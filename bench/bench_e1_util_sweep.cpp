@@ -1,0 +1,33 @@
+// E1 — Normalized energy vs. worst-case utilization (the headline figure).
+//
+// Protocol: random implicit-deadline task sets (UUniFast, 8 tasks,
+// periods 10..160 ms), actual execution times uniform in [0.1, 1.0] x
+// WCET, ideal continuously-scalable processor (P = alpha^3).  Every
+// governor replays the identical workload; energy is normalized to noDVS.
+//
+// Expected shape (DATE-2002-era literature): all DVS schemes save energy;
+// savings shrink as U -> 1; dynamic slack reclaiming (DRA, laEDF, lpSEH)
+// beats the static optimum below U ~ 0.9; lppsEDF trails the pack.
+#include "common.hpp"
+
+int main() {
+  using namespace dvs;
+
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.seed = 20020304;  // DATE 2002
+  cfg.replications = 8;
+  cfg.sim_length = 1.2;
+
+  const std::vector<double> utils{0.1, 0.2, 0.3, 0.4, 0.5,
+                                  0.6, 0.7, 0.8, 0.9, 1.0};
+  const auto sweep = exp::run_sweep(
+      cfg, "U", utils, [](double u, std::size_t, std::uint64_t seed) {
+        return bench::uniform_case(bench::base_generator(8, u, 0.1), seed);
+      });
+
+  bench::emit(sweep,
+              "E1: normalized energy vs worst-case utilization "
+              "(8 tasks, uniform RET in [0.1, 1.0] x WCET, ideal CPU)",
+              "bench_e1_util_sweep.csv");
+  return bench::total_misses(sweep) == 0 ? 0 : 1;
+}

@@ -1,0 +1,33 @@
+// E2 — Normalized energy vs. BCET/WCET ratio (execution-time variability).
+//
+// The ratio controls how much dynamic slack exists: at ratio 1.0 every job
+// consumes its full WCET and only static slack (1 - U) remains; at low
+// ratios most of the budget goes unused.  U is fixed at 0.7.
+//
+// Expected shape: all dynamic schemes converge toward the static optimum
+// as ratio -> 1; the gap between dynamic and static widens as ratio -> 0.
+#include "common.hpp"
+
+int main() {
+  using namespace dvs;
+
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.seed = 1302;
+  cfg.replications = 8;
+  cfg.sim_length = 1.2;
+
+  const std::vector<double> ratios{0.1, 0.2, 0.3, 0.4, 0.5,
+                                   0.6, 0.7, 0.8, 0.9, 1.0};
+  const auto sweep = exp::run_sweep(
+      cfg, "bcet/wcet", ratios,
+      [](double ratio, std::size_t, std::uint64_t seed) {
+        return bench::uniform_case(bench::base_generator(8, 0.7, ratio),
+                                   seed);
+      });
+
+  bench::emit(sweep,
+              "E2: normalized energy vs BCET/WCET ratio "
+              "(U = 0.7, 8 tasks, uniform RET, ideal CPU)",
+              "bench_e2_bcet_ratio.csv");
+  return bench::total_misses(sweep) == 0 ? 0 : 1;
+}

@@ -1,0 +1,50 @@
+// E4 — Effect of the number of discrete frequency levels.
+//
+// Governors emit continuous speed requests; the hardware rounds them UP to
+// the nearest available level.  This bench sweeps 2/4/8/16 evenly spaced
+// levels plus the continuous ideal, at U = 0.7 with uniform RET.
+//
+// Expected shape: energy decreases monotonically (on average) with more
+// levels and approaches the continuous bound; the marginal benefit beyond
+// ~8 levels is small — the classic justification for the handful of
+// operating points real processors ship.
+#include "common.hpp"
+
+int main() {
+  using namespace dvs;
+
+  // x encodes the level count; 0 stands for the continuous scale.
+  const std::vector<double> levels{2, 4, 8, 16, 0};
+
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"staticEDF", "ccEDF", "DRA", "lpSEH", "uniformSlack"};
+  cfg.seed = 4;
+  cfg.replications = 8;
+  cfg.sim_length = 1.2;
+
+  std::int64_t misses = 0;
+  exp::SweepOutcome combined;
+  combined.x_label = "levels";
+  for (double x : levels) {
+    exp::ExperimentConfig point_cfg = cfg;
+    point_cfg.processor = x == 0
+                              ? cpu::ideal_processor()
+                              : cpu::quantized_ideal_processor(
+                                    static_cast<int>(x), /*alpha_min=*/0.1);
+    const auto sweep = exp::run_sweep(
+        point_cfg, "levels", {x},
+        [](double, std::size_t, std::uint64_t seed) {
+          return bench::uniform_case(bench::base_generator(8, 0.7, 0.1),
+                                     seed);
+        });
+    combined.governors = sweep.governors;
+    combined.points.push_back(sweep.points.front());
+    misses += bench::total_misses(sweep);
+  }
+
+  bench::emit(combined,
+              "E4: normalized energy vs number of frequency levels "
+              "(U = 0.7, uniform RET; level count 0 = continuous)",
+              "bench_e4_freq_levels.csv");
+  return misses == 0 ? 0 : 1;
+}

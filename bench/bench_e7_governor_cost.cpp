@@ -1,0 +1,74 @@
+// E7 — Governor runtime cost (google-benchmark).
+//
+// The reproduced paper claims O(n) per-scheduling-point cost for its slack
+// estimation heuristic.  This bench measures whole-simulation throughput
+// (simulated jobs per second of host time) for every governor as the task
+// count grows, which exposes each policy's per-decision scaling:
+//   * noDVS / staticEDF / ccEDF / lppsEDF: O(1)-O(n) bookkeeping,
+//   * laEDF: O(n log n) deferral pass + demand floor,
+//   * DRA: O(n) alpha-queue maintenance,
+//   * lpSEH exact: demand sweep over the analysis window,
+//   * lpSEH-h: bounded checkpoint count (the paper's O(n) claim).
+#include <benchmark/benchmark.h>
+
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "sim/simulator.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dvs;
+
+task::TaskSet bench_set(std::size_t n_tasks) {
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = n_tasks;
+  cfg.total_utilization = 0.8;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = 0.1;
+  cfg.grid_fraction = 0.5;
+  util::Rng rng(7777);
+  return task::generate_task_set(cfg, rng);
+}
+
+void run_governor(benchmark::State& state, const std::string& name) {
+  const auto ts = bench_set(static_cast<std::size_t>(state.range(0)));
+  const auto workload = task::uniform_model(1);
+  const cpu::Processor proc = cpu::ideal_processor();
+  sim::SimOptions opts;
+  opts.length = 0.6;
+
+  std::int64_t jobs = 0;
+  for (auto _ : state) {
+    auto g = core::make_governor(name);
+    const auto r = sim::simulate(ts, *workload, proc, *g, opts);
+    jobs += r.jobs_released;
+    benchmark::DoNotOptimize(r.busy_energy);
+    if (r.deadline_misses != 0) state.SkipWithError("deadline miss!");
+  }
+  state.SetItemsProcessed(jobs);
+  state.SetLabel("simulated jobs/s");
+}
+
+}  // namespace
+
+#define GOVERNOR_BENCH(id, name)                              \
+  void BM_##id(benchmark::State& state) {                     \
+    run_governor(state, name);                                \
+  }                                                           \
+  BENCHMARK(BM_##id)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+
+GOVERNOR_BENCH(noDVS, "noDVS");
+GOVERNOR_BENCH(staticEDF, "staticEDF");
+GOVERNOR_BENCH(lppsEDF, "lppsEDF");
+GOVERNOR_BENCH(ccEDF, "ccEDF");
+GOVERNOR_BENCH(laEDF, "laEDF");
+GOVERNOR_BENCH(DRA, "DRA");
+GOVERNOR_BENCH(lpSEH_h, "lpSEH-h");
+GOVERNOR_BENCH(lpSEH, "lpSEH");
+GOVERNOR_BENCH(uniformSlack, "uniformSlack");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Shared setup for the experiment benches (E1-E7).
+//
+// Every bench prints one or more paper-style tables on stdout and exits 0
+// iff the hard real-time invariant (zero deadline misses where it must
+// hold) was observed.  CSV copies of each table are written next to the
+// binary as <bench>_<table>.csv for offline plotting.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::bench {
+
+/// Generator settings used across the random-task-set experiments: 5-ms
+/// period grid (finite hyperperiods), periods 10..160 ms.
+inline task::GeneratorConfig base_generator(std::size_t n_tasks, double u,
+                                            double bcet_ratio) {
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = n_tasks;
+  cfg.total_utilization = u;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = bcet_ratio;
+  cfg.grid_fraction = 0.5;
+  return cfg;
+}
+
+/// One random case: task set from `gen`, uniform RET in [bcet, wcet].
+inline exp::Case uniform_case(const task::GeneratorConfig& gen,
+                              std::uint64_t seed) {
+  util::Rng rng(seed);
+  return {task::generate_task_set(gen, rng), task::uniform_model(seed)};
+}
+
+/// Print the sweep and also persist it as CSV under ./bench_csv/.
+inline void emit(const exp::SweepOutcome& sweep, const std::string& title,
+                 const std::string& csv_name) {
+  exp::print_sweep(std::cout, sweep, title);
+  std::error_code ec;
+  std::filesystem::create_directories("bench_csv", ec);
+  std::ofstream csv("bench_csv/" + csv_name);
+  if (csv) exp::write_sweep_csv(csv, sweep);
+}
+
+/// Total misses across a sweep (0 required for a clean exit).
+inline std::int64_t total_misses(const exp::SweepOutcome& sweep) {
+  std::int64_t misses = 0;
+  for (const auto& p : sweep.points) misses += p.total_misses;
+  return misses;
+}
+
+}  // namespace dvs::bench

@@ -1,0 +1,50 @@
+#include "core/agr.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+AgrGovernor::AgrGovernor(double aggressiveness)
+    : aggressiveness_(aggressiveness) {
+  DVS_EXPECT(aggressiveness >= 0.0 && aggressiveness <= 1.0,
+             "aggressiveness must be in [0, 1]");
+}
+
+void AgrGovernor::on_start(const sim::SimContext& ctx) {
+  dra_.on_start(ctx);
+}
+
+void AgrGovernor::on_release(const sim::Job& job, const sim::SimContext& ctx) {
+  dra_.on_release(job, ctx);
+}
+
+void AgrGovernor::on_completion(const sim::Job& job,
+                                const sim::SimContext& ctx) {
+  dra_.on_completion(job, ctx);
+}
+
+double AgrGovernor::select_speed(const sim::Job& running,
+                                 const sim::SimContext& ctx) {
+  const Time budget = dra_.reclaim_budget(running, ctx);
+  const Work rem = running.remaining_wcet();
+  if (budget <= kTimeEps || rem <= 0.0) return 1.0;
+  const double alpha_dra = std::clamp(rem / budget, 1e-9, 1.0);
+  if (aggressiveness_ <= 0.0) return alpha_dra;
+
+  const Time now = ctx.now();
+  const Time delta =
+      std::min(ctx.next_release_after(now), now + budget) - now;
+  if (delta <= kTimeEps) return alpha_dra;
+
+  // Slowest recoverable speed inside the speculation window (can be
+  // negative when the window is small relative to the budget — then any
+  // speed recovers and the hardware floor applies).
+  const double alpha_floor =
+      std::max((rem - (budget - delta)) / delta, 1e-9);
+  if (alpha_floor >= alpha_dra) return alpha_dra;
+  return alpha_dra + (alpha_floor - alpha_dra) * aggressiveness_;
+}
+
+}  // namespace dvs::core

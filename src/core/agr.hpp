@@ -1,0 +1,45 @@
+// AGR — AGgressive speed Reduction (after Aydin, Melhem, Mossé,
+// Mejía-Alvarez, RTSS 2001; the speculative companion of DRA).
+//
+// DRA never runs the dispatched job slower than `rem / budget` even when
+// history suggests the job will finish far below its WCET.  AGR
+// speculates: it lowers the speed *below* the DRA point, betting on early
+// completion, but only within the provably recoverable window — the span
+// until the next task arrival (the next guaranteed scheduling point),
+// capped by the DRA budget itself:
+//
+//     delta       = min(next_arrival, t + budget) - t
+//     alpha_floor = (rem - (budget - delta)) / delta
+//     alpha       = alpha_dra + (alpha_floor - alpha_dra) * aggressiveness
+//
+// alpha_floor is the slowest speed from which the job can still consume
+// its *entire* worst-case budget: whatever is not executed inside the
+// speculation window still fits into the rest of the budget at full
+// speed.  Because the governor is re-consulted at the window's end (a
+// release is always a scheduling point), the bet is re-settled before any
+// deadline can be endangered — the schedule never leaves DRA's feasible
+// envelope.  aggressiveness = 0 degenerates to DRA exactly; 1 is maximal
+// speculation.
+#pragma once
+
+#include "core/dra.hpp"
+
+namespace dvs::core {
+
+class AgrGovernor final : public sim::Governor {
+ public:
+  explicit AgrGovernor(double aggressiveness = 1.0);
+
+  void on_start(const sim::SimContext& ctx) override;
+  void on_release(const sim::Job& job, const sim::SimContext& ctx) override;
+  void on_completion(const sim::Job& job, const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "AGR"; }
+
+ private:
+  DraGovernor dra_;
+  double aggressiveness_;
+};
+
+}  // namespace dvs::core

@@ -1,0 +1,46 @@
+#include "core/cc_edf.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+void CcEdfGovernor::on_start(const sim::SimContext& ctx) {
+  DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
+             "ccEDF's safety argument requires EDF dispatching");
+  const auto& ts = ctx.task_set();
+  share_.assign(ts.size(), 0.0);
+  total_ = 0.0;
+  for (const auto& t : ts) {
+    // Until the first release the task reserves its worst-case share: the
+    // conservative choice for nonzero phases.
+    share_[static_cast<std::size_t>(t.id)] = t.wcet / t.deadline;
+    total_ += share_[static_cast<std::size_t>(t.id)];
+  }
+}
+
+void CcEdfGovernor::on_release(const sim::Job& job,
+                               const sim::SimContext& ctx) {
+  const auto& t = ctx.task_set()[static_cast<std::size_t>(job.task_id)];
+  auto& s = share_[static_cast<std::size_t>(job.task_id)];
+  total_ -= s;
+  s = t.wcet / t.deadline;
+  total_ += s;
+}
+
+void CcEdfGovernor::on_completion(const sim::Job& job,
+                                  const sim::SimContext& ctx) {
+  const auto& t = ctx.task_set()[static_cast<std::size_t>(job.task_id)];
+  auto& s = share_[static_cast<std::size_t>(job.task_id)];
+  total_ -= s;
+  s = job.actual / t.deadline;
+  total_ += s;
+}
+
+double CcEdfGovernor::select_speed(const sim::Job& /*running*/,
+                                   const sim::SimContext& /*ctx*/) {
+  return std::clamp(total_, 1e-9, 1.0);
+}
+
+}  // namespace dvs::core

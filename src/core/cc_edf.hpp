@@ -1,0 +1,37 @@
+// Cycle-conserving EDF (Pillai & Shin, SOSP 2001).
+//
+// Each task contributes a utilization share: its worst-case share
+// wcet / deadline while a job of it is pending, and its *actual* share
+// actual / deadline between the completion of a job and the release of the
+// next.  The processor runs at the sum of the shares.  Early completions
+// therefore lower the speed until the task is re-released at its worst
+// case — cycles that the WCET reserved but the job did not use are
+// "conserved".
+//
+// The original formulation uses periods (implicit deadlines); this
+// implementation divides by min(deadline, period), which coincides for
+// implicit deadlines and is conservative (denser, hence faster) for
+// constrained ones.
+#pragma once
+
+#include <vector>
+
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+class CcEdfGovernor final : public sim::Governor {
+ public:
+  void on_start(const sim::SimContext& ctx) override;
+  void on_release(const sim::Job& job, const sim::SimContext& ctx) override;
+  void on_completion(const sim::Job& job, const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "ccEDF"; }
+
+ private:
+  std::vector<double> share_;  ///< current utilization share per task
+  double total_ = 0.0;
+};
+
+}  // namespace dvs::core

@@ -1,0 +1,70 @@
+#include "core/critical_speed.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+double critical_speed(const cpu::PowerModel& power) {
+  const double idle = power.idle_power();
+  // Effective marginal energy per unit of work at speed alpha: executing
+  // work w takes w/alpha seconds at busy power, *displacing* w/alpha
+  // seconds of idle draw.
+  const auto cost = [&](double alpha) {
+    return (power.busy_power(alpha) - idle) / alpha;
+  };
+  // Ternary search on (0, 1]; all shipped models yield unimodal cost.
+  double lo = 1e-3;
+  double hi = 1.0;
+  for (int i = 0; i < 200; ++i) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (cost(m1) < cost(m2)) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  return std::clamp(0.5 * (lo + hi), 1e-3, 1.0);
+}
+
+CriticalSpeedGovernor::CriticalSpeedGovernor(sim::GovernorPtr inner,
+                                             cpu::PowerModelPtr power)
+    : inner_(std::move(inner)), power_(std::move(power)) {
+  DVS_EXPECT(inner_ != nullptr, "critical-speed wrapper needs a governor");
+  DVS_EXPECT(power_ != nullptr, "critical-speed wrapper needs a power model");
+}
+
+void CriticalSpeedGovernor::on_start(const sim::SimContext& ctx) {
+  inner_->on_start(ctx);
+  floor_ = critical_speed(*power_);
+}
+
+void CriticalSpeedGovernor::on_release(const sim::Job& job,
+                                       const sim::SimContext& ctx) {
+  inner_->on_release(job, ctx);
+}
+
+void CriticalSpeedGovernor::on_completion(const sim::Job& job,
+                                          const sim::SimContext& ctx) {
+  inner_->on_completion(job, ctx);
+}
+
+double CriticalSpeedGovernor::select_speed(const sim::Job& running,
+                                           const sim::SimContext& ctx) {
+  // Raising a speed can only make the job finish earlier: deadline-safe.
+  return std::max(inner_->select_speed(running, ctx), floor_);
+}
+
+std::string CriticalSpeedGovernor::name() const {
+  return inner_->name() + "+crit";
+}
+
+sim::GovernorPtr critical_speed_clamp(sim::GovernorPtr inner,
+                                      cpu::PowerModelPtr power) {
+  return std::make_unique<CriticalSpeedGovernor>(std::move(inner),
+                                                 std::move(power));
+}
+
+}  // namespace dvs::core

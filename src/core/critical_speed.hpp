@@ -1,0 +1,53 @@
+// Critical-speed clamping — the "account for processor idle power"
+// extension the reproduced paper's conclusion lists as future work.
+//
+// With a nonzero idle draw, total energy for a job of work w executed at
+// speed alpha over a window is not monotone in alpha:
+//
+//   E(alpha) = P(alpha) * w / alpha + P_idle * (window - w / alpha)
+//
+// Below the *critical speed* alpha* = argmin [P(alpha) - P_idle] / alpha,
+// running slower costs more total energy than finishing early and idling.
+// (For the cubic model with idle fraction i, alpha* solves
+// 2 alpha^3 = ... numerically; alpha* grows with i.)
+//
+// `critical_speed()` computes alpha* for any PowerModel numerically, and
+// `CriticalSpeedGovernor` clamps an inner governor's requests from below
+// at alpha* — raising a speed is always deadline-safe, so the wrapper
+// preserves every hard guarantee of the inner policy.
+#pragma once
+
+#include "cpu/power_model.hpp"
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+/// argmin over alpha in (0, 1] of (busy_power(alpha) - idle_power())/alpha
+/// — the speed below which slowing down no longer saves energy.  Ternary
+/// search over the (unimodal for all shipped models) objective.
+[[nodiscard]] double critical_speed(const cpu::PowerModel& power);
+
+class CriticalSpeedGovernor final : public sim::Governor {
+ public:
+  CriticalSpeedGovernor(sim::GovernorPtr inner, cpu::PowerModelPtr power);
+
+  void on_start(const sim::SimContext& ctx) override;
+  void on_release(const sim::Job& job, const sim::SimContext& ctx) override;
+  void on_completion(const sim::Job& job, const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] double floor() const noexcept { return floor_; }
+
+ private:
+  sim::GovernorPtr inner_;
+  cpu::PowerModelPtr power_;
+  double floor_ = 0.0;
+};
+
+/// Convenience factory.
+[[nodiscard]] sim::GovernorPtr critical_speed_clamp(sim::GovernorPtr inner,
+                                                    cpu::PowerModelPtr power);
+
+}  // namespace dvs::core

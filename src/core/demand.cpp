@@ -1,0 +1,160 @@
+#include "core/demand.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+namespace dvs::core {
+
+TaskSetStats TaskSetStats::of(const task::TaskSet& ts) {
+  TaskSetStats s;
+  s.hyperperiod = ts.hyperperiod();
+  s.utilization = ts.utilization();
+  for (const auto& t : ts) {
+    s.wcet_sum += t.wcet;
+    s.max_deadline = std::max(s.max_deadline, t.deadline);
+    s.max_period = std::max(s.max_period, t.period);
+  }
+  return s;
+}
+
+Horizon demand_horizon(const TaskSetStats& stats, Time now, Work backlog,
+                       Time d0, double fallback_horizon_periods) {
+  Time sound = std::numeric_limits<double>::infinity();
+  if (stats.hyperperiod) {
+    sound = now + stats.max_deadline + *stats.hyperperiod;
+  }
+  if (stats.utilization < 1.0 - 1e-12) {
+    sound = std::min(sound,
+                     now + (backlog + stats.wcet_sum + stats.max_deadline) /
+                               (1.0 - stats.utilization));
+  }
+  const Time cap = now + fallback_horizon_periods * stats.max_period;
+  Horizon h;
+  h.truncated = cap < sound;
+  h.end = std::max(h.truncated ? cap : sound, d0);
+  return h;
+}
+
+std::vector<DemandContribution> demand_contributions(
+    const sim::SimContext& ctx, Time horizon, Work extra_per_job) {
+  std::vector<DemandContribution> contrib;
+  DemandSweeper sweeper(ctx, horizon, extra_per_job);
+  Time d = 0.0;
+  Work w = 0.0;
+  while (sweeper.next(d, w)) contrib.push_back({d, w});
+  return contrib;
+}
+
+DemandSweeper::DemandSweeper(const sim::SimContext& ctx, Time horizon,
+                             Work extra_per_job)
+    : horizon_(horizon), extra_per_job_(extra_per_job) {
+  const Time t = ctx.now();
+  active_ = ctx.active_jobs();  // already in EDF (deadline) order
+  cursors_.reserve(ctx.task_set().size());
+  for (const auto& task : ctx.task_set()) {
+    // First future release strictly after t.
+    std::int64_t k = task.first_job_at_or_after(t + 2.0 * kTimeEps);
+    if (task.release_of(k) <= t + kTimeEps) ++k;
+    TaskCursor c;
+    c.next_deadline = task.deadline_of(k);
+    c.period = task.period;
+    c.work = task.wcet;
+    if (!time_leq(c.next_deadline, horizon_)) {
+      c.next_deadline = std::numeric_limits<double>::infinity();
+    }
+    cursors_.push_back(c);
+  }
+}
+
+Time DemandSweeper::peek() const {
+  Time best = std::numeric_limits<double>::infinity();
+  if (active_pos_ < active_.size()) {
+    best = active_[active_pos_]->abs_deadline;
+  }
+  for (const auto& c : cursors_) best = std::min(best, c.next_deadline);
+  return best;
+}
+
+Work DemandSweeper::consume(Time deadline) {
+  Work sum = 0.0;
+  while (active_pos_ < active_.size() &&
+         time_leq(active_[active_pos_]->abs_deadline, deadline)) {
+    sum += active_[active_pos_]->remaining_wcet() + extra_per_job_;
+    ++active_pos_;
+  }
+  for (auto& c : cursors_) {
+    while (time_leq(c.next_deadline, deadline)) {
+      sum += c.work + extra_per_job_;
+      c.next_deadline += c.period;
+      if (!time_leq(c.next_deadline, horizon_)) {
+        c.next_deadline = std::numeric_limits<double>::infinity();
+        break;
+      }
+    }
+  }
+  return sum;
+}
+
+bool DemandSweeper::next(Time& deadline, Work& work_at_deadline) {
+  const Time d = peek();
+  if (!time_leq(d, horizon_)) return false;
+  deadline = d;
+  work_at_deadline = consume(d);
+  return true;
+}
+
+double demand_speed_floor(const sim::SimContext& ctx,
+                          const TaskSetStats& stats, Time d0,
+                          double fallback_horizon_periods) {
+  const Time t = ctx.now();
+  const Time window = d0 - t;
+  if (window <= kTimeEps) return 1.0;
+
+  Work backlog = 0.0;
+  for (const sim::Job* j : ctx.active_jobs()) backlog += j->remaining_wcet();
+  const Horizon horizon =
+      demand_horizon(stats, t, backlog, d0, fallback_horizon_periods);
+
+  // Upper bound on the requirement any checkpoint beyond `d` can impose
+  // (demand grows at most at rate U <= 1 plus one boundary job per task):
+  //   required(d') <= (demand(t, d) + sum C - (d - d0)) / window.
+  auto tail_bound = [&](Work demand, Time d) {
+    return (demand + stats.wcet_sum - (d - d0)) / window;
+  };
+
+  double floor = 0.0;
+  Work demand = 0.0;
+  Time last_d = d0;
+  bool exhausted = true;
+  DemandSweeper sweeper(ctx, horizon.end);
+  Time d = 0.0;
+  Work at_d = 0.0;
+  while (sweeper.next(d, at_d)) {
+    demand += at_d;
+    last_d = d;
+    if (time_leq(d, d0)) {
+      if (d - t > kTimeEps) {
+        floor = std::max(floor, demand / (d - t));
+      } else {
+        floor = 1.0;
+      }
+    } else {
+      floor = std::max(floor, (demand - (d - d0)) / window);
+      // Sound early exit: no later checkpoint can require more.
+      if (tail_bound(demand, d) <= floor) {
+        exhausted = false;
+        break;
+      }
+    }
+    if (floor >= 1.0) return 1.0;
+  }
+  if (horizon.truncated && exhausted) {
+    // The cap cut the sweep short of a provably sufficient horizon:
+    // close the tail with the same bound (conservative, never unsafe).
+    floor = std::max(floor, tail_bound(demand, std::max(last_d, d0)));
+  }
+  return std::clamp(floor, 0.0, 1.0);
+}
+
+}  // namespace dvs::core

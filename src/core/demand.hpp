@@ -1,0 +1,116 @@
+// Shared worst-case processor-demand machinery for governors.
+//
+// Both the slack-time analysis (lpSEH) and the safety floor inside laEDF
+// reason about the same quantity: the cumulative worst-case demand
+//
+//   demand(t, d) = remaining WCETs of active jobs with deadline <= d
+//                + WCETs of future releases in (t, d] with deadline <= d
+//
+// evaluated at every absolute-deadline checkpoint within a finite analysis
+// horizon.  This header centralizes the horizon rules (see
+// core/slack_time.hpp for their justification) and the checkpoint
+// enumeration so every governor reasons from identical premises.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sim/governor.hpp"
+#include "task/task_set.hpp"
+
+namespace dvs::core {
+
+/// Static task-set facts cached once per simulation (compute in on_start).
+struct TaskSetStats {
+  std::optional<Time> hyperperiod;
+  double utilization = 0.0;
+  Work wcet_sum = 0.0;
+  Time max_deadline = 0.0;
+  Time max_period = 0.0;
+
+  [[nodiscard]] static TaskSetStats of(const task::TaskSet& ts);
+};
+
+/// One (deadline, work) contribution to the demand sweep.
+struct DemandContribution {
+  Time deadline = 0.0;
+  Work work = 0.0;
+};
+
+/// Lazy, ascending-deadline stream of demand contributions: every active
+/// job's remaining budget plus every future release whose deadline falls
+/// inside (now, horizon].  Laziness matters — sweeps usually terminate via
+/// a sound early-exit long before the horizon, and materializing a
+/// 1000-second window per decision would dominate simulation cost.
+/// `extra_per_job` is added to each contribution (used to charge
+/// speed-switch stalls per job).
+class DemandSweeper {
+ public:
+  DemandSweeper(const sim::SimContext& ctx, Time horizon,
+                Work extra_per_job = 0.0);
+
+  /// Advance to the next checkpoint: folds every contribution sharing the
+  /// (numerically) same deadline.  Returns false when the window is
+  /// exhausted.
+  [[nodiscard]] bool next(Time& deadline, Work& work_at_deadline);
+
+ private:
+  /// Smallest pending deadline across active jobs and per-task cursors,
+  /// or +infinity when none remain.
+  [[nodiscard]] Time peek() const;
+  /// Consume every contribution at `deadline` and return their sum.
+  [[nodiscard]] Work consume(Time deadline);
+
+  struct TaskCursor {
+    Time next_deadline = 0.0;  ///< +inf once past the horizon
+    Time period = 0.0;
+    Work work = 0.0;
+  };
+
+  Time horizon_;
+  Work extra_per_job_;
+  std::vector<const sim::Job*> active_;  ///< EDF order
+  std::size_t active_pos_ = 0;
+  std::vector<TaskCursor> cursors_;
+};
+
+/// Analysis horizon for the checkpoint sweep.
+struct Horizon {
+  Time end = 0.0;        ///< absolute time the sweep may stop at
+  bool truncated = false;  ///< true when `end` is the cost cap, not a
+                           ///< provably sufficient bound — the caller must
+                           ///< then close the tail conservatively
+};
+
+/// The horizon is the cheapest of the *sound* rules (hyperperiod rule,
+/// busy-bound rule; see core/slack_time.hpp), hard-capped at
+/// `fallback_horizon_periods * max_period` so pathological hyperperiods
+/// (grid-snapped random periods easily exceed 1000 s) cannot blow up the
+/// per-decision cost.  When the cap bites, `truncated` is set and sweeps
+/// must apply their sound tail closure:
+///   for any d' beyond the last checkpoint D,
+///   demand(t, d') <= demand(t, D) + U (d' - D) + sum-of-WCETs,
+/// i.e. slack can drop at most sum-of-WCETs below slack(D).
+/// `backlog` is the remaining WCET of all active jobs; `d0` the deadline
+/// the caller must at least reach.
+[[nodiscard]] Horizon demand_horizon(const TaskSetStats& stats, Time now,
+                                     Work backlog, Time d0,
+                                     double fallback_horizon_periods);
+
+/// Sorted (ascending deadline) demand contributions within (now, horizon]:
+/// every active job's remaining budget plus every future release whose
+/// deadline falls inside the window.  `extra_per_job` is added to each
+/// contribution (used to charge speed-switch stalls per job).
+[[nodiscard]] std::vector<DemandContribution> demand_contributions(
+    const sim::SimContext& ctx, Time horizon, Work extra_per_job = 0.0);
+
+/// Minimum speed floor that keeps every checkpoint feasible under the plan
+/// "run at alpha until d0, full speed afterwards":
+///   d <= d0:  alpha >= demand(t, d) / (d - t)
+///   d >  d0:  alpha >= (demand(t, d) - (d - d0)) / (d0 - t)
+/// Any governor may raise its request to this floor to stay hard-safe.
+[[nodiscard]] double demand_speed_floor(const sim::SimContext& ctx,
+                                        const TaskSetStats& stats, Time d0,
+                                        double fallback_horizon_periods);
+
+}  // namespace dvs::core

@@ -1,0 +1,69 @@
+// DRA — Dynamic Reclaiming Algorithm
+// (Aydin, Melhem, Mossé, Mejía-Alvarez, RTSS 2001).
+//
+// DRA shadows the *canonical* schedule: the EDF schedule in which every
+// job presents its full WCET and the processor runs at the constant
+// optimal speed eta (the minimum feasible static speed).  The shadow is
+// maintained as the "alpha queue": one entry per released job holding the
+// execution *time* the canonical schedule still owes that job, consumed
+// earliest-deadline-first as simulated time advances.
+//
+// When the real schedule dispatches job J, any earlier-deadline entries
+// that still hold time belong to jobs the real schedule has already
+// finished (EDF would otherwise be running them).  That leftover canonical
+// time is exactly the earliness of the real schedule, and J may use it in
+// addition to its own canonical allotment:
+//
+//     speed = remaining_wcet(J) / (own allotment + earliness)
+//
+// Aydin et al. prove the resulting schedule never misses a deadline when
+// the task set is feasible at speed eta.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+class DraGovernor final : public sim::Governor {
+ public:
+  void on_start(const sim::SimContext& ctx) override;
+  void on_release(const sim::Job& job, const sim::SimContext& ctx) override;
+  void on_completion(const sim::Job& job, const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "DRA"; }
+
+  /// Nominal (canonical) speed; exposed for tests.
+  [[nodiscard]] double eta() const noexcept { return eta_; }
+
+  /// The time budget available to `running` right now: its own canonical
+  /// allotment plus the earliness of completed earlier-deadline jobs.
+  /// Advances the alpha queue to ctx.now().  Exposed for the AGR
+  /// extension and for tests.
+  [[nodiscard]] Time reclaim_budget(const sim::Job& running,
+                                    const sim::SimContext& ctx);
+
+ private:
+  struct Entry {
+    Time deadline = 0.0;
+    std::int32_t task_id = 0;
+    std::int64_t seq = 0;
+    Time remaining = 0.0;  ///< canonical execution time still owed
+    bool real_completed = false;
+  };
+
+  /// Strict ordering identical to the simulator's EDF tie-break.
+  [[nodiscard]] static bool before(const Entry& a, const Entry& b) noexcept;
+
+  /// Consume canonical execution time up to `t`.
+  void advance(Time t);
+
+  std::deque<Entry> queue_;  ///< sorted by `before`
+  double eta_ = 1.0;
+  Time last_advance_ = 0.0;
+};
+
+}  // namespace dvs::core

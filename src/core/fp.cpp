@@ -1,0 +1,39 @@
+#include "core/fp.hpp"
+
+#include <algorithm>
+
+#include "sched/fixed_priority.hpp"
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+void StaticFpGovernor::on_start(const sim::SimContext& ctx) {
+  DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kFixedPriority,
+             "staticFP requires a fixed-priority simulation");
+  alpha_ = sched::minimum_constant_speed_fp(ctx.task_set());
+}
+
+double StaticFpGovernor::select_speed(const sim::Job& /*running*/,
+                                      const sim::SimContext& /*ctx*/) {
+  return alpha_;
+}
+
+void LppsFpGovernor::on_start(const sim::SimContext& ctx) {
+  DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kFixedPriority,
+             "lppsFP requires a fixed-priority simulation");
+  DVS_EXPECT(sched::fp_schedulable(ctx.task_set()),
+             "task set is not fixed-priority schedulable");
+}
+
+double LppsFpGovernor::select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) {
+  if (ctx.active_jobs().size() != 1) return 1.0;
+  const Time now = ctx.now();
+  const Time horizon =
+      std::min(ctx.next_release_after(now), running.abs_deadline);
+  const Time window = horizon - now;
+  if (window <= kTimeEps) return 1.0;
+  return std::clamp(running.remaining_wcet() / window, 1e-9, 1.0);
+}
+
+}  // namespace dvs::core

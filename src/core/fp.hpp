@@ -1,0 +1,47 @@
+// Fixed-priority DVS governors (the repo's extension family).
+//
+// The reproduced paper is EDF-only; its companion literature covers fixed
+// priorities.  Two safe fixed-priority policies are provided:
+//
+//  * StaticFpGovernor — the optimal constant speed under deadline-
+//    monotonic fixed priorities, derived by binary search over exact
+//    response-time analysis (sched/fixed_priority.hpp).  The FP analogue
+//    of staticEDF (note: it is generally *higher* than the utilization,
+//    because fixed priorities are not utilization-optimal).
+//
+//  * LppsFpGovernor — Shin & Choi's LPFPS idea: when exactly one job is
+//    ready, stretch its *worst-case remaining budget* to min(next task
+//    arrival, its deadline).  Safe because the stretched schedule stays
+//    inside the worst-case envelope: by the next arrival the job has
+//    consumed no more budget than the all-WCET schedule the offline
+//    analysis admitted.
+//
+// Both verify at on_start that the simulation actually runs under fixed
+// priorities (and the EDF governors check the converse), so a
+// mis-configured experiment fails loudly instead of measuring nonsense.
+#pragma once
+
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+class StaticFpGovernor final : public sim::Governor {
+ public:
+  void on_start(const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "staticFP"; }
+
+ private:
+  double alpha_ = 1.0;
+};
+
+class LppsFpGovernor final : public sim::Governor {
+ public:
+  void on_start(const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "lppsFP"; }
+};
+
+}  // namespace dvs::core

@@ -1,0 +1,90 @@
+#include "core/la_edf.hpp"
+
+#include <algorithm>
+
+#include "core/demand.hpp"
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+void LaEdfGovernor::on_start(const sim::SimContext& ctx) {
+  DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
+             "laEDF's deferral analysis requires EDF dispatching");
+  const auto& ts = ctx.task_set();
+  current_deadline_.assign(ts.size(), 0.0);
+  static_u_ = 0.0;
+  for (const auto& t : ts) {
+    current_deadline_[static_cast<std::size_t>(t.id)] = t.deadline_of(0);
+    static_u_ += t.utilization();
+  }
+  stats_ = TaskSetStats::of(ts);
+}
+
+void LaEdfGovernor::on_release(const sim::Job& job,
+                               const sim::SimContext& /*ctx*/) {
+  current_deadline_[static_cast<std::size_t>(job.task_id)] = job.abs_deadline;
+}
+
+double LaEdfGovernor::select_speed(const sim::Job& running,
+                                   const sim::SimContext& ctx) {
+  const auto& ts = ctx.task_set();
+  const Time now = ctx.now();
+  const Time d_next = running.abs_deadline;
+  const Time window = d_next - now;
+  if (window <= kTimeEps) return 1.0;
+
+  // Remaining worst-case budget per task (0 when its job completed).
+  std::vector<Work> c_left(ts.size(), 0.0);
+  for (const sim::Job* j : ctx.active_jobs()) {
+    c_left[static_cast<std::size_t>(j->task_id)] += j->remaining_wcet();
+  }
+
+  // Tasks sorted by current deadline, latest first (reverse EDF).
+  std::vector<std::size_t> order(ts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    if (current_deadline_[a] != current_deadline_[b]) {
+      return current_deadline_[a] > current_deadline_[b];
+    }
+    return a > b;
+  });
+
+  // Deferral pass (Pillai & Shin, Fig. 6): U tracks how much utilization
+  // the later-deadline tasks will consume inside (d_next, d_i]; x_i is the
+  // part of task i's budget that cannot be deferred past d_next.
+  //
+  // Deviation from the published pseudo-code: a task with no remaining
+  // work keeps its static reservation (the U -= C/T step is skipped).
+  // Releasing it lets other tasks defer into capacity the completed
+  // task's *next* job will need — the as-published pass misses deadlines
+  // on pure-WCET workloads exactly this way (caught by this repo's
+  // property tests).  Keeping the reservation is conservative and safe.
+  double u = static_u_;
+  double s = 0.0;
+  for (std::size_t i : order) {
+    if (c_left[i] <= kTimeEps) continue;
+    const auto& t = ts[i];
+    u -= t.utilization();
+    const double span = current_deadline_[i] - d_next;
+    double x = 0.0;
+    if (span <= kTimeEps) {
+      // The task's deadline coincides with (or precedes) d_next: nothing
+      // can be deferred.
+      x = c_left[i];
+    } else {
+      x = std::max(0.0, c_left[i] - (1.0 - u) * span);
+      u += (c_left[i] - x) / span;
+    }
+    s += x;
+  }
+  double alpha = s / window;
+
+  // Safety net: even with the reservation fix, utilization-based deferral
+  // can under-provision near deadline boundaries (demand is not uniform).
+  // Never drop below the processor-demand floor, which keeps every future
+  // checkpoint feasible by construction (see core/demand.hpp).
+  alpha = std::max(alpha, demand_speed_floor(ctx, stats_, d_next, 64.0));
+  return std::clamp(alpha, 1e-9, 1.0);
+}
+
+}  // namespace dvs::core

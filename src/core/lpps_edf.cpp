@@ -1,0 +1,18 @@
+#include "core/lpps_edf.hpp"
+
+#include <algorithm>
+
+namespace dvs::core {
+
+double LppsEdfGovernor::select_speed(const sim::Job& running,
+                                     const sim::SimContext& ctx) {
+  if (ctx.active_jobs().size() != 1) return 1.0;
+  const Time now = ctx.now();
+  const Time horizon =
+      std::min(ctx.next_release_after(now), running.abs_deadline);
+  const Time window = horizon - now;
+  if (window <= kTimeEps) return 1.0;
+  return std::clamp(running.remaining_wcet() / window, 1e-9, 1.0);
+}
+
+}  // namespace dvs::core

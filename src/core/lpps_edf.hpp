@@ -1,0 +1,24 @@
+// lppsEDF — low-power priority-based scheduling for EDF
+// (after Shin, Choi & Sakurai, "Power-conscious fixed priority scheduling",
+// adapted to EDF in the DVS-comparison literature).
+//
+// The scheme exploits only the cheapest-to-detect slack source: when
+// exactly one job is ready and no other job arrives before it could
+// finish, the job is stretched to min(next task arrival, its deadline).
+// With more than one ready job it falls back to full speed.  Simple,
+// provably safe, and the weakest of the dynamic baselines — a useful
+// lower anchor for the comparison figures.
+#pragma once
+
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+class LppsEdfGovernor final : public sim::Governor {
+ public:
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "lppsEDF"; }
+};
+
+}  // namespace dvs::core

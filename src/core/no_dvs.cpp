@@ -1,0 +1,10 @@
+#include "core/no_dvs.hpp"
+
+namespace dvs::core {
+
+double NoDvsGovernor::select_speed(const sim::Job& /*running*/,
+                                   const sim::SimContext& /*ctx*/) {
+  return 1.0;
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,18 @@
+// The no-DVS baseline: always run at maximum speed.
+//
+// Every experiment normalizes energy against this governor, exactly as the
+// papers of the era report "normalized energy consumption".
+#pragma once
+
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+class NoDvsGovernor final : public sim::Governor {
+ public:
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "noDVS"; }
+};
+
+}  // namespace dvs::core

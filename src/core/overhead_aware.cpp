@@ -1,0 +1,89 @@
+#include "core/overhead_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+OverheadAwareGovernor::OverheadAwareGovernor(sim::GovernorPtr inner,
+                                             cpu::Processor processor)
+    : inner_(std::move(inner)), proc_(std::move(processor)) {
+  DVS_EXPECT(inner_ != nullptr, "overhead wrapper needs an inner governor");
+}
+
+void OverheadAwareGovernor::on_start(const sim::SimContext& ctx) {
+  inner_->on_start(ctx);
+  vetoes_ = 0;
+}
+
+void OverheadAwareGovernor::on_release(const sim::Job& job,
+                                       const sim::SimContext& ctx) {
+  inner_->on_release(job, ctx);
+}
+
+void OverheadAwareGovernor::on_completion(const sim::Job& job,
+                                          const sim::SimContext& ctx) {
+  inner_->on_completion(job, ctx);
+}
+
+double OverheadAwareGovernor::select_speed(const sim::Job& running,
+                                           const sim::SimContext& ctx) {
+  const double a_cur = ctx.current_speed();
+  double a_req = std::clamp(inner_->select_speed(running, ctx), 1e-9, 1.0);
+  const Work rem = running.remaining_wcet();
+  if (rem <= kTimeEps) return a_cur;
+
+  const double a_req_q = proc_.scale.quantize_up(a_req);
+  const double a_cur_q = proc_.scale.quantize_up(a_cur);
+  if (std::fabs(a_req_q - a_cur_q) <= 1e-9) return a_cur_q;  // no change
+
+  const Time t_sw = proc_.transition.switch_time(a_cur_q, a_req_q);
+  const double budget = rem / a_req;  // time the inner governor proved safe
+
+  if (a_req_q > a_cur_q) {
+    // Must speed up (deadline pressure): pay one stall out of the budget.
+    const Time usable = budget - t_sw;
+    if (usable <= rem) return 1.0;  // not even full speed fits; best effort
+    return std::clamp(rem / usable, a_req, 1.0);
+  }
+
+  // Slowdown opportunity: reserve two stalls (down now, possibly up later).
+  const Time usable = budget - 2.0 * t_sw;
+  if (usable <= rem) {
+    ++vetoes_;  // stretching would not survive the stalls
+    return a_cur_q;
+  }
+  double a_new = rem / usable;
+  a_new = std::max(a_new, a_req);  // never slower than the proven request
+  const double a_new_q = proc_.scale.quantize_up(a_new);
+  if (a_new_q >= a_cur_q - 1e-9) {
+    ++vetoes_;  // quantization ate the gain
+    return a_cur_q;
+  }
+
+  // Energy worthiness at quantized speeds: run `rem` at the new speed plus
+  // two transitions versus staying put.
+  const auto& pm = *proc_.power;
+  const double e_switch = proc_.transition.switch_energy(pm, a_cur_q, a_new_q) +
+                          proc_.transition.switch_energy(pm, a_new_q, a_cur_q);
+  const double e_new = pm.busy_power(a_new_q) * (rem / a_new_q) + e_switch;
+  const double e_stay = pm.busy_power(a_cur_q) * (rem / a_cur_q);
+  if (e_new >= e_stay) {
+    ++vetoes_;
+    return a_cur_q;
+  }
+  return a_new;
+}
+
+std::string OverheadAwareGovernor::name() const {
+  return inner_->name() + "+oh";
+}
+
+sim::GovernorPtr overhead_aware(sim::GovernorPtr inner,
+                                const cpu::Processor& processor) {
+  return std::make_unique<OverheadAwareGovernor>(std::move(inner), processor);
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,54 @@
+// Overhead-aware decorator for any governor.
+//
+// Real processors stall for t_switch during a voltage change and dissipate
+// transition energy.  This wrapper applies the "pessimistic judgment"
+// policy of the DATE-era literature (Mochocki/Hu/Quan; also described in
+// follow-ups to the reproduced paper):
+//
+//   * time safety — the inner governor's speed request implies a time
+//     budget rem / alpha_req.  Before slowing down, the budget is shrunk
+//     by 2 * t_switch (the switch now plus a possible emergency switch
+//     back up); before speeding up, by 1 * t_switch.  The corrected speed
+//     is re-derived from the shrunk budget, so every stall the decision
+//     can cause is already paid for inside slack the inner governor
+//     proved.
+//   * energy worthiness — a slowdown is vetoed when the predicted saving
+//     (at quantized speeds) does not exceed the two transition energies it
+//     may cost.
+//
+// The wrapper needs the processor description to price transitions; pass
+// the same Processor the simulation runs on.
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/processors.hpp"
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+class OverheadAwareGovernor final : public sim::Governor {
+ public:
+  OverheadAwareGovernor(sim::GovernorPtr inner, cpu::Processor processor);
+
+  void on_start(const sim::SimContext& ctx) override;
+  void on_release(const sim::Job& job, const sim::SimContext& ctx) override;
+  void on_completion(const sim::Job& job, const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Number of slowdown requests vetoed on energy grounds (tests/reports).
+  [[nodiscard]] std::int64_t vetoes() const noexcept { return vetoes_; }
+
+ private:
+  sim::GovernorPtr inner_;
+  cpu::Processor proc_;
+  std::int64_t vetoes_ = 0;
+};
+
+/// Convenience factory.
+[[nodiscard]] sim::GovernorPtr overhead_aware(sim::GovernorPtr inner,
+                                              const cpu::Processor& processor);
+
+}  // namespace dvs::core

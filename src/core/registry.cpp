@@ -1,0 +1,76 @@
+#include "core/registry.hpp"
+
+#include "core/agr.hpp"
+#include "core/cc_edf.hpp"
+#include "core/dra.hpp"
+#include "core/la_edf.hpp"
+#include "core/lpps_edf.hpp"
+#include "core/no_dvs.hpp"
+#include "core/slack_time.hpp"
+#include "core/static_edf.hpp"
+#include "core/uniform_slack.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::core {
+
+const std::vector<GovernorSpec>& standard_governors() {
+  static const std::vector<GovernorSpec> kSpecs = [] {
+    std::vector<GovernorSpec> specs;
+    specs.push_back({"noDVS", "always run at maximum speed (baseline)",
+                     [] { return std::make_unique<NoDvsGovernor>(); }});
+    specs.push_back({"staticEDF",
+                     "optimal constant speed (Pillai & Shin static)",
+                     [] { return std::make_unique<StaticEdfGovernor>(); }});
+    specs.push_back({"lppsEDF",
+                     "stretch a lone job to the next arrival (Shin/Choi)",
+                     [] { return std::make_unique<LppsEdfGovernor>(); }});
+    specs.push_back({"ccEDF", "cycle-conserving EDF (Pillai & Shin)",
+                     [] { return std::make_unique<CcEdfGovernor>(); }});
+    specs.push_back({"laEDF", "look-ahead EDF (Pillai & Shin)",
+                     [] { return std::make_unique<LaEdfGovernor>(); }});
+    specs.push_back({"DRA", "dynamic reclaiming (Aydin et al.)",
+                     [] { return std::make_unique<DraGovernor>(); }});
+    specs.push_back({"AGR",
+                     "aggressive speculative reduction (Aydin et al.)",
+                     [] { return std::make_unique<AgrGovernor>(); }});
+    specs.push_back({"lpSEH-h",
+                     "slack-time analysis, bounded-checkpoint heuristic "
+                     "(this paper, ablation)",
+                     [] {
+                       SlackTimeConfig cfg;
+                       cfg.mode = SlackTimeConfig::Mode::kHeuristic;
+                       return std::make_unique<SlackTimeGovernor>(cfg);
+                     }});
+    specs.push_back({"lpSEH",
+                     "slack-time analysis, exact sweep (this paper)",
+                     [] { return std::make_unique<SlackTimeGovernor>(); }});
+    specs.push_back({"uniformSlack",
+                     "slack spread uniformly over the backlog (extension)",
+                     [] { return std::make_unique<UniformSlackGovernor>(); }});
+    return specs;
+  }();
+  return kSpecs;
+}
+
+GovernorFactory governor_factory(const std::string& name) {
+  const std::string key = util::to_lower(name);
+  for (const auto& spec : standard_governors()) {
+    if (util::to_lower(spec.name) == key) return spec.make;
+  }
+  DVS_EXPECT(false, "unknown governor: " + name);
+  return {};
+}
+
+sim::GovernorPtr make_governor(const std::string& name) {
+  return governor_factory(name)();
+}
+
+std::vector<std::string> governor_names() {
+  std::vector<std::string> names;
+  names.reserve(standard_governors().size());
+  for (const auto& spec : standard_governors()) names.push_back(spec.name);
+  return names;
+}
+
+}  // namespace dvs::core

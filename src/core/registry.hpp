@@ -1,0 +1,34 @@
+// Governor registry: name -> factory, for benches, examples and tests.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+using GovernorFactory = std::function<sim::GovernorPtr()>;
+
+struct GovernorSpec {
+  std::string name;         ///< registry key, e.g. "lpSEH"
+  std::string description;  ///< one-line summary for --help style output
+  GovernorFactory make;
+};
+
+/// All built-in governors in canonical report order:
+/// noDVS, staticEDF, lppsEDF, ccEDF, laEDF, DRA, lpSEH-h, lpSEH.
+[[nodiscard]] const std::vector<GovernorSpec>& standard_governors();
+
+/// Factory for one governor by (case-insensitive) name; throws
+/// ContractError for unknown names.
+[[nodiscard]] GovernorFactory governor_factory(const std::string& name);
+
+/// Fresh instance by name.
+[[nodiscard]] sim::GovernorPtr make_governor(const std::string& name);
+
+/// Registry keys in canonical order.
+[[nodiscard]] std::vector<std::string> governor_names();
+
+}  // namespace dvs::core

@@ -1,0 +1,115 @@
+#include "core/slack_time.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+SlackTimeGovernor::SlackTimeGovernor(const SlackTimeConfig& config)
+    : config_(config) {
+  DVS_EXPECT(config.heuristic_checkpoints >= 1,
+             "need at least one heuristic checkpoint");
+  DVS_EXPECT(config.fallback_horizon_periods >= 1.0,
+             "fallback horizon must span at least one max period");
+  DVS_EXPECT(config.switch_overhead >= 0.0,
+             "switch overhead must be non-negative");
+}
+
+void SlackTimeGovernor::on_start(const sim::SimContext& ctx) {
+  DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
+             "slack-time analysis (processor demand) requires EDF "
+             "dispatching");
+  stats_ = TaskSetStats::of(ctx.task_set());
+}
+
+double SlackTimeGovernor::select_speed(const sim::Job& running,
+                                       const sim::SimContext& ctx) {
+  const Work rem = running.remaining_wcet();
+  if (rem <= kTimeEps) return ctx.current_speed();
+  const Time slack = compute_slack(running, ctx);
+  last_slack_ = slack;
+  if (slack <= 0.0) return 1.0;
+  return std::clamp(rem / (rem + slack), 1e-9, 1.0);
+}
+
+Time SlackTimeGovernor::compute_slack(const sim::Job& running,
+                                      const sim::SimContext& ctx) const {
+  const Time t = ctx.now();
+  const Time d0 = running.abs_deadline;
+  if (d0 - t <= kTimeEps) return 0.0;
+
+  Work backlog = 0.0;
+  for (const sim::Job* j : ctx.active_jobs()) backlog += j->remaining_wcet();
+  const Horizon horizon = demand_horizon(stats_, t, backlog, d0,
+                                         config_.fallback_horizon_periods);
+
+  // With a nonzero switch overhead each job is charged two worst-case
+  // stalls (see SlackTimeConfig::switch_overhead), and the decision being
+  // made right now two more (switch down + possible emergency switch up).
+  const Work per_job_stall = 2.0 * config_.switch_overhead;
+
+  // Beyond any checkpoint d, demand can exceed the utilization rate only
+  // by one boundary job per task:  slack(d') >= slack(d) - tail_work for
+  // every d' > d.  Used both for the sound early exit and for closing a
+  // truncated or checkpoint-limited sweep.
+  const Work tail_work =
+      stats_.wcet_sum +
+      static_cast<double>(ctx.task_set().size()) * per_job_stall;
+
+  const bool heuristic = config_.mode == SlackTimeConfig::Mode::kHeuristic;
+  const int max_checked = heuristic ? config_.heuristic_checkpoints
+                                    : std::numeric_limits<int>::max();
+
+  Work demand = per_job_stall;
+  Time best = d0 - t;  // slack can never exceed the window itself
+  int checked = 0;
+  Time last_slack_seen = best;
+
+  enum class SweepEnd { kExhausted, kProvenCovered, kCutShort };
+  SweepEnd end_state = SweepEnd::kExhausted;
+
+  DemandSweeper sweeper(ctx, horizon.end, per_job_stall);
+  Time d = 0.0;
+  Work at_d = 0.0;
+  while (sweeper.next(d, at_d)) {
+    demand += at_d;
+    if (time_leq(d0, d)) {
+      const Time s = d - t - demand;
+      best = std::min(best, s);
+      last_slack_seen = s;
+      ++checked;
+      if (best <= 0.0) return 0.0;
+      if (s - tail_work >= best) {
+        // Sound early exit: slack(d') >= s - tail_work >= best for every
+        // d' > d, so no later checkpoint (even beyond the horizon) can
+        // undercut `best`.
+        end_state = SweepEnd::kProvenCovered;
+        break;
+      }
+      if (checked >= max_checked) {  // heuristic checkpoint budget spent
+        end_state = SweepEnd::kCutShort;
+        break;
+      }
+    }
+  }
+
+  const bool tail_unexamined =
+      end_state == SweepEnd::kCutShort ||
+      (end_state == SweepEnd::kExhausted && horizon.truncated);
+  if (tail_unexamined) {
+    // Close the unexamined tail conservatively (never unsafe).
+    best = std::min(best, std::max(0.0, last_slack_seen - tail_work));
+  }
+  return std::max(0.0, best);
+}
+
+std::string SlackTimeGovernor::name() const {
+  return config_.mode == SlackTimeConfig::Mode::kExact ? "lpSEH"
+                                                       : "lpSEH-h";
+}
+
+}  // namespace dvs::core

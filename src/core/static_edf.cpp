@@ -1,0 +1,19 @@
+#include "core/static_edf.hpp"
+
+#include "sched/analysis.hpp"
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+void StaticEdfGovernor::on_start(const sim::SimContext& ctx) {
+  DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
+             "staticEDF requires an EDF simulation (use staticFP instead)");
+  alpha_ = sched::minimum_constant_speed(ctx.task_set());
+}
+
+double StaticEdfGovernor::select_speed(const sim::Job& /*running*/,
+                                       const sim::SimContext& /*ctx*/) {
+  return alpha_;
+}
+
+}  // namespace dvs::core

@@ -1,0 +1,25 @@
+// Static EDF DVS (Pillai & Shin 2001, "statically-scaled EDF").
+//
+// The entire schedule runs at the minimum constant speed that keeps the
+// task set EDF-schedulable — the utilization for implicit deadlines, the
+// processor-demand bound for constrained deadlines.  This is the optimal
+// *static* policy; every dynamic scheme tries to beat it by reclaiming
+// run-time slack.
+#pragma once
+
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+class StaticEdfGovernor final : public sim::Governor {
+ public:
+  void on_start(const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "staticEDF"; }
+
+ private:
+  double alpha_ = 1.0;
+};
+
+}  // namespace dvs::core

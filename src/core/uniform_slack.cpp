@@ -1,0 +1,22 @@
+#include "core/uniform_slack.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvs::core {
+
+void UniformSlackGovernor::on_start(const sim::SimContext& ctx) {
+  DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
+             "the demand speed floor requires EDF dispatching");
+  stats_ = TaskSetStats::of(ctx.task_set());
+}
+
+double UniformSlackGovernor::select_speed(const sim::Job& running,
+                                          const sim::SimContext& ctx) {
+  const double floor =
+      demand_speed_floor(ctx, stats_, running.abs_deadline, 64.0);
+  return std::clamp(floor, 1e-9, 1.0);
+}
+
+}  // namespace dvs::core

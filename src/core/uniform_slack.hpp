@@ -1,0 +1,39 @@
+// uniformSlack — an extension governor built on the same slack-time
+// analysis as lpSEH (not part of the reproduced paper; the paper's
+// conclusion lists "more aggressive slack reclaiming strategies" as future
+// work, and this is the natural next step).
+//
+// lpSEH assigns ALL provable slack to the earliest-deadline job, which
+// produces uneven speeds (very slow now, fast later).  Under a convex
+// power curve an uneven speed profile wastes energy; this governor instead
+// runs at the processor-demand *speed floor* of core/demand.hpp: the
+// minimum speed until the next deadline d0 such that — even if everything
+// afterwards had to run at full speed — every future checkpoint stays
+// feasible.  Because it is re-derived at every scheduling point, the
+// "full speed afterwards" phase never actually materializes; successive
+// floors stay low as early completions keep lowering future demand, so the
+// reclaimed capacity is spread over the whole backlog instead of being
+// granted to one job.
+//
+// Safety: the floor's plan is feasible by construction and re-validated at
+// each decision, so deadlines are always met (property-tested across the
+// whole experiment grid).
+#pragma once
+
+#include "core/demand.hpp"
+#include "sim/governor.hpp"
+
+namespace dvs::core {
+
+class UniformSlackGovernor final : public sim::Governor {
+ public:
+  void on_start(const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override { return "uniformSlack"; }
+
+ private:
+  TaskSetStats stats_;
+};
+
+}  // namespace dvs::core

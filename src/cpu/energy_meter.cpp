@@ -1,0 +1,38 @@
+#include "cpu/energy_meter.hpp"
+
+#include "util/error.hpp"
+
+namespace dvs::cpu {
+
+EnergyMeter::EnergyMeter(PowerModelPtr power, std::size_t task_count)
+    : power_(std::move(power)), per_task_energy_(task_count, 0.0) {
+  DVS_EXPECT(power_ != nullptr, "EnergyMeter needs a power model");
+}
+
+void EnergyMeter::add_busy(Time dt, double alpha, std::int32_t task_id) {
+  DVS_EXPECT(dt >= 0.0, "negative busy interval");
+  DVS_EXPECT(task_id >= 0 &&
+                 static_cast<std::size_t>(task_id) < per_task_energy_.size(),
+             "task id out of range");
+  if (dt == 0.0) return;
+  const double e = power_->busy_power(alpha) * dt;
+  busy_energy_ += e;
+  busy_time_ += dt;
+  per_task_energy_[static_cast<std::size_t>(task_id)] += e;
+}
+
+void EnergyMeter::add_idle(Time dt) {
+  DVS_EXPECT(dt >= 0.0, "negative idle interval");
+  if (dt == 0.0) return;
+  idle_energy_ += power_->idle_power() * dt;
+  idle_time_ += dt;
+}
+
+void EnergyMeter::add_transition(Time dt, double energy) {
+  DVS_EXPECT(dt >= 0.0 && energy >= 0.0, "negative transition cost");
+  transition_energy_ += energy;
+  transition_time_ += dt;
+  ++transition_count_;
+}
+
+}  // namespace dvs::cpu

@@ -1,0 +1,69 @@
+// Energy accounting for a simulation run.
+//
+// The meter integrates the power model over busy, idle, and transition
+// intervals and keeps a per-task breakdown.  Energies are in normalized
+// units (max power × seconds); see cpu/power_model.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/power_model.hpp"
+#include "util/time.hpp"
+
+namespace dvs::cpu {
+
+class EnergyMeter {
+ public:
+  EnergyMeter(PowerModelPtr power, std::size_t task_count);
+
+  /// Account `dt` seconds of execution at speed `alpha` for `task_id`.
+  void add_busy(Time dt, double alpha, std::int32_t task_id);
+
+  /// Account `dt` seconds of idling.
+  void add_idle(Time dt);
+
+  /// Account one speed transition lasting `dt` with the given energy.
+  void add_transition(Time dt, double energy);
+
+  [[nodiscard]] double busy_energy() const noexcept { return busy_energy_; }
+  [[nodiscard]] double idle_energy() const noexcept { return idle_energy_; }
+  [[nodiscard]] double transition_energy() const noexcept {
+    return transition_energy_;
+  }
+  [[nodiscard]] double total_energy() const noexcept {
+    return busy_energy_ + idle_energy_ + transition_energy_;
+  }
+
+  [[nodiscard]] Time busy_time() const noexcept { return busy_time_; }
+  [[nodiscard]] Time idle_time() const noexcept { return idle_time_; }
+  [[nodiscard]] Time transition_time() const noexcept {
+    return transition_time_;
+  }
+
+  [[nodiscard]] std::int64_t transition_count() const noexcept {
+    return transition_count_;
+  }
+
+  /// Busy energy attributed to each task (index == task id).
+  [[nodiscard]] const std::vector<double>& per_task_energy() const noexcept {
+    return per_task_energy_;
+  }
+
+  [[nodiscard]] const PowerModel& power_model() const noexcept {
+    return *power_;
+  }
+
+ private:
+  PowerModelPtr power_;
+  double busy_energy_ = 0.0;
+  double idle_energy_ = 0.0;
+  double transition_energy_ = 0.0;
+  Time busy_time_ = 0.0;
+  Time idle_time_ = 0.0;
+  Time transition_time_ = 0.0;
+  std::int64_t transition_count_ = 0;
+  std::vector<double> per_task_energy_;
+};
+
+}  // namespace dvs::cpu

@@ -1,0 +1,71 @@
+#include "cpu/frequency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::cpu {
+
+FrequencyScale FrequencyScale::continuous(double alpha_min) {
+  DVS_EXPECT(alpha_min > 0.0 && alpha_min <= 1.0,
+             "alpha_min must be in (0, 1]");
+  FrequencyScale s;
+  s.alpha_min_ = alpha_min;
+  return s;
+}
+
+FrequencyScale FrequencyScale::discrete(std::vector<double> levels) {
+  DVS_EXPECT(!levels.empty(), "discrete scale needs at least one level");
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  for (double a : levels) {
+    DVS_EXPECT(a > 0.0 && a <= 1.0, "levels must be in (0, 1]");
+  }
+  DVS_EXPECT(std::fabs(levels.back() - 1.0) < 1e-12,
+             "the maximum speed (alpha = 1) must be an available level");
+  FrequencyScale s;
+  s.alpha_min_ = levels.front();
+  s.levels_ = std::move(levels);
+  return s;
+}
+
+FrequencyScale FrequencyScale::uniform_levels(int n, double alpha_min) {
+  DVS_EXPECT(n >= 1, "need at least one level");
+  DVS_EXPECT(alpha_min > 0.0 && alpha_min < 1.0, "alpha_min must be in (0, 1)");
+  std::vector<double> levels;
+  levels.reserve(static_cast<std::size_t>(n));
+  if (n == 1) {
+    levels.push_back(1.0);
+  } else {
+    for (int i = 0; i < n; ++i) {
+      levels.push_back(alpha_min + (1.0 - alpha_min) * static_cast<double>(i) /
+                                       static_cast<double>(n - 1));
+    }
+  }
+  return discrete(std::move(levels));
+}
+
+double FrequencyScale::quantize_up(double alpha) const noexcept {
+  if (levels_.empty()) {
+    return std::clamp(alpha, alpha_min_, 1.0);
+  }
+  // First level >= alpha (within tolerance so exact levels map to themselves).
+  for (double level : levels_) {
+    if (level >= alpha - 1e-12) return level;
+  }
+  return levels_.back();
+}
+
+std::string FrequencyScale::describe() const {
+  if (levels_.empty()) {
+    return "continuous[" + util::format_double(alpha_min_, 3) + ", 1]";
+  }
+  std::vector<std::string> parts;
+  parts.reserve(levels_.size());
+  for (double a : levels_) parts.push_back(util::format_double(a, 3));
+  return "discrete{" + util::join(parts, ", ") + "}";
+}
+
+}  // namespace dvs::cpu

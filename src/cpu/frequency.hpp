@@ -1,0 +1,47 @@
+// Available operating points of a DVS processor.
+//
+// Speeds are expressed as the relative frequency alpha = f / f_max in
+// (0, 1].  A scale is either continuous over [alpha_min, 1] or a discrete
+// set of levels; governors always emit an *ideal* alpha and the simulator
+// quantizes it **upward** (never down — a lower-than-requested speed could
+// miss deadlines).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dvs::cpu {
+
+class FrequencyScale {
+ public:
+  /// Continuous range [alpha_min, 1].  Requires 0 < alpha_min <= 1.
+  [[nodiscard]] static FrequencyScale continuous(double alpha_min = 0.05);
+
+  /// Discrete levels; they are sorted, deduplicated, and must end at 1.0
+  /// (the maximum speed must be available).  Each level must be in (0, 1].
+  [[nodiscard]] static FrequencyScale discrete(std::vector<double> levels);
+
+  /// n evenly spaced levels alpha_min, ..., 1.0 (n >= 1).
+  [[nodiscard]] static FrequencyScale uniform_levels(int n,
+                                                     double alpha_min = 0.1);
+
+  [[nodiscard]] bool is_discrete() const noexcept { return !levels_.empty(); }
+  [[nodiscard]] double alpha_min() const noexcept { return alpha_min_; }
+  /// Discrete levels, ascending; empty for a continuous scale.
+  [[nodiscard]] const std::vector<double>& levels() const noexcept {
+    return levels_;
+  }
+
+  /// The smallest available speed >= alpha; alpha above 1 clamps to 1,
+  /// alpha below the minimum clamps to the minimum available speed.
+  [[nodiscard]] double quantize_up(double alpha) const noexcept;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  FrequencyScale() = default;
+  double alpha_min_ = 0.05;
+  std::vector<double> levels_;  // empty == continuous
+};
+
+}  // namespace dvs::cpu

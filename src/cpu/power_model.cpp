@@ -1,0 +1,180 @@
+#include "cpu/power_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dvs::cpu {
+namespace {
+
+void check_alpha(double alpha) {
+  DVS_EXPECT(alpha > 0.0 && alpha <= 1.0 + 1e-12,
+             "alpha must be in (0, 1]");
+}
+
+class CubicPowerModel final : public PowerModel {
+ public:
+  CubicPowerModel(double idle_fraction, double vmax)
+      : idle_(idle_fraction), vmax_(vmax) {
+    DVS_EXPECT(idle_fraction >= 0.0 && idle_fraction < 1.0,
+               "idle fraction must be in [0, 1)");
+    DVS_EXPECT(vmax > 0.0, "vmax must be positive");
+  }
+  double busy_power(double alpha) const override {
+    check_alpha(alpha);
+    return alpha * alpha * alpha;
+  }
+  double idle_power() const override { return idle_; }
+  double voltage(double alpha) const override {
+    check_alpha(alpha);
+    return vmax_ * alpha;
+  }
+  std::string name() const override { return "cubic"; }
+
+ private:
+  double idle_;
+  double vmax_;
+};
+
+class AlphaPowerLawModel final : public PowerModel {
+ public:
+  AlphaPowerLawModel(double vmax, double vt, double exponent,
+                     double idle_fraction)
+      : vmax_(vmax), vt_(vt), a_(exponent), idle_(idle_fraction) {
+    DVS_EXPECT(vmax > vt && vt >= 0.0, "need vmax > vt >= 0");
+    DVS_EXPECT(exponent >= 1.0 && exponent <= 3.0,
+               "alpha-power exponent outside the physical range [1, 3]");
+    DVS_EXPECT(idle_fraction >= 0.0 && idle_fraction < 1.0,
+               "idle fraction must be in [0, 1)");
+    fmax_rel_ = speed_of(vmax_);
+  }
+  double busy_power(double alpha) const override {
+    const double v = voltage(alpha);
+    // P = Ceff * V^2 * f, normalized so that (vmax, alpha = 1) -> 1.
+    return (v * v * alpha) / (vmax_ * vmax_);
+  }
+  double idle_power() const override { return idle_; }
+  double voltage(double alpha) const override {
+    check_alpha(alpha);
+    // Invert alpha = speed_of(V)/speed_of(vmax) by bisection; speed_of is
+    // strictly increasing in V on (vt, vmax].
+    const double target = alpha * fmax_rel_;
+    double lo = vt_ + 1e-9;
+    double hi = vmax_;
+    for (int i = 0; i < 80; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (speed_of(mid) < target) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return 0.5 * (lo + hi);
+  }
+  std::string name() const override { return "alpha-power-law"; }
+
+ private:
+  [[nodiscard]] double speed_of(double v) const {
+    return std::pow(v - vt_, a_) / v;
+  }
+  double vmax_, vt_, a_, idle_;
+  double fmax_rel_ = 1.0;
+};
+
+class TablePowerModel final : public PowerModel {
+ public:
+  TablePowerModel(std::string model_name, std::vector<OperatingPoint> points,
+                  double idle_fraction)
+      : name_(std::move(model_name)), points_(std::move(points)),
+        idle_(idle_fraction) {
+    DVS_EXPECT(!points_.empty(), "table power model needs points");
+    DVS_EXPECT(idle_fraction >= 0.0 && idle_fraction < 1.0,
+               "idle fraction must be in [0, 1)");
+    std::sort(points_.begin(), points_.end(),
+              [](const OperatingPoint& a, const OperatingPoint& b) {
+                return a.alpha < b.alpha;
+              });
+    for (auto& p : points_) {
+      DVS_EXPECT(p.alpha > 0.0 && p.alpha <= 1.0 + 1e-12,
+                 "operating point alpha must be in (0, 1]");
+      DVS_EXPECT(p.voltage > 0.0, "operating point voltage must be positive");
+      if (p.power < 0.0) p.power = p.voltage * p.voltage * p.alpha;
+    }
+    DVS_EXPECT(std::fabs(points_.back().alpha - 1.0) < 1e-9,
+               "the table must contain the alpha = 1 point");
+    const double pmax = points_.back().power;
+    DVS_EXPECT(pmax > 0.0, "maximum power must be positive");
+    for (auto& p : points_) p.power /= pmax;
+  }
+  double busy_power(double alpha) const override {
+    check_alpha(alpha);
+    // Below the lowest point, extrapolate with V^2*f using its voltage.
+    if (alpha <= points_.front().alpha) {
+      const auto& p = points_.front();
+      return p.power * alpha / p.alpha;
+    }
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (alpha <= points_[i].alpha + 1e-12) {
+        const auto& a = points_[i - 1];
+        const auto& b = points_[i];
+        const double t = (alpha - a.alpha) / (b.alpha - a.alpha);
+        const double v = a.voltage + t * (b.voltage - a.voltage);
+        // Power follows V^2 * f between measured points, renormalized to
+        // pass through both endpoints at their measured values.
+        const double raw = v * v * alpha;
+        const double raw_a = a.voltage * a.voltage * a.alpha;
+        const double raw_b = b.voltage * b.voltage * b.alpha;
+        const double meas = a.power + t * (b.power - a.power);
+        // Blend: follow the physical curve, scaled so endpoints match.
+        const double scale =
+            raw_b > raw_a ? (a.power + (raw - raw_a) / (raw_b - raw_a) *
+                                            (b.power - a.power))
+                          : meas;
+        return scale;
+      }
+    }
+    return 1.0;
+  }
+  double idle_power() const override { return idle_; }
+  double voltage(double alpha) const override {
+    check_alpha(alpha);
+    if (alpha <= points_.front().alpha) return points_.front().voltage;
+    for (std::size_t i = 1; i < points_.size(); ++i) {
+      if (alpha <= points_[i].alpha + 1e-12) {
+        const auto& a = points_[i - 1];
+        const auto& b = points_[i];
+        const double t = (alpha - a.alpha) / (b.alpha - a.alpha);
+        return a.voltage + t * (b.voltage - a.voltage);
+      }
+    }
+    return points_.back().voltage;
+  }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<OperatingPoint> points_;
+  double idle_;
+};
+
+}  // namespace
+
+PowerModelPtr cubic_power_model(double idle_fraction, double vmax) {
+  return std::make_shared<CubicPowerModel>(idle_fraction, vmax);
+}
+
+PowerModelPtr alpha_power_law_model(double vmax, double vt, double exponent,
+                                    double idle_fraction) {
+  return std::make_shared<AlphaPowerLawModel>(vmax, vt, exponent,
+                                              idle_fraction);
+}
+
+PowerModelPtr table_power_model(std::string name,
+                                std::vector<OperatingPoint> points,
+                                double idle_fraction) {
+  return std::make_shared<TablePowerModel>(std::move(name), std::move(points),
+                                           idle_fraction);
+}
+
+}  // namespace dvs::cpu

@@ -1,0 +1,61 @@
+// Processor power models.
+//
+// Power is reported in normalized units with busy_power(1.0) == 1: all
+// experiment outputs are energy *ratios*, so absolute watts cancel out.
+// voltage(alpha) is still reported in real volts because the transition
+// energy model (Burd) depends on the physical voltage swing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dvs::cpu {
+
+class PowerModel {
+ public:
+  virtual ~PowerModel() = default;
+
+  /// Power while executing at relative speed alpha in (0, 1].
+  /// Normalized: busy_power(1.0) == 1.
+  [[nodiscard]] virtual double busy_power(double alpha) const = 0;
+
+  /// Power while idle (clock gated / lowest operating point), same units.
+  [[nodiscard]] virtual double idle_power() const = 0;
+
+  /// Supply voltage at relative speed alpha, in volts.
+  [[nodiscard]] virtual double voltage(double alpha) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using PowerModelPtr = std::shared_ptr<const PowerModel>;
+
+/// Ideal CMOS scaling with V proportional to f: P(alpha) = alpha^3.
+/// The textbook model used by most DVS-algorithm papers.
+[[nodiscard]] PowerModelPtr cubic_power_model(double idle_fraction = 0.0,
+                                              double vmax = 1.8);
+
+/// Alpha-power-law MOSFET model: f ∝ (V - Vt)^a / V.  Given alpha, the
+/// voltage is recovered numerically and P = (V/Vmax)^2 * alpha.
+/// More realistic near-threshold behaviour than the cubic model.
+[[nodiscard]] PowerModelPtr alpha_power_law_model(double vmax, double vt,
+                                                  double exponent = 1.5,
+                                                  double idle_fraction = 0.02);
+
+/// One operating point of a measured table.
+struct OperatingPoint {
+  double alpha = 1.0;    ///< relative frequency, in (0, 1]
+  double voltage = 1.0;  ///< volts
+  double power = -1.0;   ///< measured power; negative -> derive as k*V^2*f
+};
+
+/// Power model from measured operating points (voltage and optionally
+/// power per point).  Between points, voltage is interpolated linearly and
+/// power follows V^2*f; everything is normalized so the alpha = 1 point has
+/// power 1.  Points must include alpha = 1.
+[[nodiscard]] PowerModelPtr table_power_model(std::string name,
+                                              std::vector<OperatingPoint> points,
+                                              double idle_fraction = 0.02);
+
+}  // namespace dvs::cpu

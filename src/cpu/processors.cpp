@@ -1,0 +1,126 @@
+#include "cpu/processors.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::cpu {
+
+Processor ideal_processor(double alpha_min) {
+  Processor p;
+  p.name = "ideal";
+  p.scale = FrequencyScale::continuous(alpha_min);
+  p.power = cubic_power_model(/*idle_fraction=*/0.0);
+  p.transition = TransitionModel::none();
+  return p;
+}
+
+Processor quantized_ideal_processor(int levels, double alpha_min) {
+  Processor p;
+  p.name = "ideal-" + std::to_string(levels) + "lv";
+  p.scale = FrequencyScale::uniform_levels(levels, alpha_min);
+  p.power = cubic_power_model(/*idle_fraction=*/0.0);
+  p.transition = TransitionModel::none();
+  return p;
+}
+
+Processor xscale_processor() {
+  // Frequencies 150/400/600/800/1000 MHz, voltages and measured powers
+  // (mW) as cited across the DVS literature (Xu et al., Aydin et al.).
+  Processor p;
+  p.name = "xscale";
+  p.scale = FrequencyScale::discrete({0.15, 0.40, 0.60, 0.80, 1.00});
+  p.power = table_power_model(
+      "xscale",
+      {
+          {0.15, 0.75, 80.0},
+          {0.40, 1.00, 170.0},
+          {0.60, 1.30, 400.0},
+          {0.80, 1.60, 900.0},
+          {1.00, 1.80, 1600.0},
+      },
+      /*idle_fraction=*/0.025);  // ~40 mW idle
+  p.transition = TransitionModel::voltage_delta(/*t_switch=*/20e-6,
+                                                /*cdd_farads=*/5e-6,
+                                                /*k=*/0.9,
+                                                /*pmax_watts=*/1.6);
+  return p;
+}
+
+Processor strongarm_processor() {
+  // StrongARM SA-1100: 59..206 MHz; voltage change takes <= 140 us
+  // (Pouwelse, Langendoen, Sips 2001).
+  Processor p;
+  p.name = "strongarm";
+  const double fmax = 206.0;
+  p.scale = FrequencyScale::discrete({59.0 / fmax, 89.0 / fmax, 118.0 / fmax,
+                                      148.0 / fmax, 177.0 / fmax, 1.0});
+  p.power = table_power_model(
+      "strongarm",
+      {
+          {59.0 / fmax, 0.96, -1.0},
+          {89.0 / fmax, 1.05, -1.0},
+          {118.0 / fmax, 1.18, -1.0},
+          {148.0 / fmax, 1.32, -1.0},
+          {177.0 / fmax, 1.47, -1.0},
+          {1.0, 1.65, -1.0},
+      },
+      /*idle_fraction=*/0.05);
+  p.transition = TransitionModel::voltage_delta(/*t_switch=*/140e-6,
+                                                /*cdd_farads=*/5e-6,
+                                                /*k=*/0.9,
+                                                /*pmax_watts=*/0.9);
+  return p;
+}
+
+Processor crusoe_processor() {
+  // Transmeta Crusoe TM5400 LongRun operating points.
+  Processor p;
+  p.name = "crusoe";
+  const double fmax = 667.0;
+  p.scale = FrequencyScale::discrete({300.0 / fmax, 400.0 / fmax,
+                                      500.0 / fmax, 600.0 / fmax, 1.0});
+  p.power = table_power_model(
+      "crusoe",
+      {
+          {300.0 / fmax, 1.20, -1.0},
+          {400.0 / fmax, 1.23, -1.0},
+          {500.0 / fmax, 1.35, -1.0},
+          {600.0 / fmax, 1.50, -1.0},
+          {1.0, 1.60, -1.0},
+      },
+      /*idle_fraction=*/0.03);
+  p.transition = TransitionModel::voltage_delta(/*t_switch=*/30e-6,
+                                                /*cdd_farads=*/5e-6,
+                                                /*k=*/0.9,
+                                                /*pmax_watts=*/5.5);
+  return p;
+}
+
+Processor four_level_processor() {
+  Processor p;
+  p.name = "four-level";
+  p.scale = FrequencyScale::discrete({0.25, 0.50, 0.75, 1.00});
+  p.power = table_power_model("four-level",
+                              {
+                                  {0.25, 2.0, -1.0},
+                                  {0.50, 3.0, -1.0},
+                                  {0.75, 4.0, -1.0},
+                                  {1.00, 5.0, -1.0},
+                              },
+                              /*idle_fraction=*/0.02);
+  p.transition = TransitionModel::none();
+  return p;
+}
+
+Processor processor_by_name(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  if (n == "ideal") return ideal_processor();
+  if (n == "xscale") return xscale_processor();
+  if (n == "strongarm") return strongarm_processor();
+  if (n == "crusoe") return crusoe_processor();
+  if (n == "four-level" || n == "four_level") return four_level_processor();
+  DVS_EXPECT(false, "unknown processor preset: " + name);
+  return {};
+}
+
+}  // namespace dvs::cpu

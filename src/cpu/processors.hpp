@@ -1,0 +1,52 @@
+// Ready-made processor configurations.
+//
+// A Processor bundles the three hardware-facing policies the simulator
+// needs: which speeds exist (FrequencyScale), what they cost (PowerModel),
+// and what changing them costs (TransitionModel).
+#pragma once
+
+#include <string>
+
+#include "cpu/frequency.hpp"
+#include "cpu/power_model.hpp"
+#include "cpu/transition.hpp"
+
+namespace dvs::cpu {
+
+struct Processor {
+  std::string name = "ideal";
+  FrequencyScale scale = FrequencyScale::continuous();
+  PowerModelPtr power = cubic_power_model();
+  TransitionModel transition = TransitionModel::none();
+};
+
+/// Idealized continuously scalable CPU with P = alpha^3 and free
+/// transitions — the model under which DVS papers derive their headline
+/// numbers.
+[[nodiscard]] Processor ideal_processor(double alpha_min = 0.05);
+
+/// Ideal power curve but only n evenly spaced speed levels.
+[[nodiscard]] Processor quantized_ideal_processor(int levels,
+                                                  double alpha_min = 0.1);
+
+/// Intel XScale-like: 5 operating points (150..1000 MHz, 0.75..1.8 V) with
+/// measured-power table from the DVS literature.
+[[nodiscard]] Processor xscale_processor();
+
+/// StrongARM SA-1100-like: 6 operating points (59..206 MHz,
+/// 0.96..1.65 V); voltage transitions take <= 140 us.
+[[nodiscard]] Processor strongarm_processor();
+
+/// Transmeta Crusoe TM5400-like: 5 operating points (300..667 MHz,
+/// 1.2..1.6 V).
+[[nodiscard]] Processor crusoe_processor();
+
+/// Generic 4-level model (25/50/75/100 % frequency at 2/3/4/5 V), the
+/// didactic table that appears across the era's papers.
+[[nodiscard]] Processor four_level_processor();
+
+/// Look up a preset by name ("ideal", "xscale", "strongarm", "crusoe",
+/// "four-level"); throws ContractError for unknown names.
+[[nodiscard]] Processor processor_by_name(const std::string& name);
+
+}  // namespace dvs::cpu

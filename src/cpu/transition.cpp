@@ -1,0 +1,71 @@
+#include "cpu/transition.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::cpu {
+
+TransitionModel TransitionModel::none() noexcept { return TransitionModel{}; }
+
+TransitionModel TransitionModel::constant(Time t_switch, double e_switch) {
+  DVS_EXPECT(t_switch >= 0.0 && e_switch >= 0.0,
+             "transition costs must be non-negative");
+  TransitionModel m;
+  m.kind_ = Kind::kConstant;
+  m.t_switch_ = t_switch;
+  m.e_switch_ = e_switch;
+  return m;
+}
+
+TransitionModel TransitionModel::voltage_delta(Time t_switch,
+                                               double cdd_farads, double k,
+                                               double pmax_watts) {
+  DVS_EXPECT(t_switch >= 0.0, "switch time must be non-negative");
+  DVS_EXPECT(cdd_farads > 0.0, "Cdd must be positive");
+  DVS_EXPECT(k > 0.0, "inefficiency factor must be positive");
+  DVS_EXPECT(pmax_watts > 0.0, "reference max power must be positive");
+  TransitionModel m;
+  m.kind_ = Kind::kVoltageDelta;
+  m.t_switch_ = t_switch;
+  m.cdd_ = cdd_farads;
+  m.k_ = k;
+  m.pmax_watts_ = pmax_watts;
+  return m;
+}
+
+bool TransitionModel::is_free() const noexcept {
+  return kind_ == Kind::kNone;
+}
+
+Time TransitionModel::switch_time(double alpha_from, double alpha_to) const {
+  if (kind_ == Kind::kNone || alpha_from == alpha_to) return 0.0;
+  return t_switch_;
+}
+
+double TransitionModel::switch_energy(const PowerModel& pm, double alpha_from,
+                                      double alpha_to) const {
+  if (kind_ == Kind::kNone || alpha_from == alpha_to) return 0.0;
+  if (kind_ == Kind::kConstant) return e_switch_;
+  const double v1 = pm.voltage(alpha_from);
+  const double v2 = pm.voltage(alpha_to);
+  const double joules = k_ * cdd_ * std::fabs(v1 * v1 - v2 * v2);
+  return joules / pmax_watts_;  // -> normalized (max-power-seconds)
+}
+
+std::string TransitionModel::describe() const {
+  switch (kind_) {
+    case Kind::kNone:
+      return "free";
+    case Kind::kConstant:
+      return "constant(t=" + util::format_si_time(t_switch_) +
+             ", e=" + util::format_double(e_switch_, 6) + ")";
+    case Kind::kVoltageDelta:
+      return "voltage-delta(t=" + util::format_si_time(t_switch_) +
+             ", Cdd=" + util::format_double(cdd_ * 1e6, 2) + "uF)";
+  }
+  return "unknown";
+}
+
+}  // namespace dvs::cpu

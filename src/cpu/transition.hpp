@@ -1,0 +1,66 @@
+// Speed/voltage transition overhead models.
+//
+// Most inter-task DVS papers first assume free transitions, then study the
+// impact of a nonzero switch cost.  Three models are provided:
+//   * none      — free and instantaneous (the default assumption),
+//   * constant  — fixed time and energy per switch (e.g. StrongARM
+//                 SA-1100: <= 140 us per voltage change),
+//   * voltage-delta — Burd's model: E = k * Cdd * |V1^2 - V2^2| with a
+//                 fixed switch latency; energy scales with the actual
+//                 voltage swing of the transition.
+//
+// Transition energy is expressed in the same normalized units as
+// PowerModel (1 unit == max power for one second); the voltage-delta model
+// converts joules via a reference max power in watts.
+#pragma once
+
+#include <string>
+
+#include "cpu/power_model.hpp"
+#include "util/time.hpp"
+
+namespace dvs::cpu {
+
+class TransitionModel {
+ public:
+  /// Free transitions (zero time, zero energy).
+  [[nodiscard]] static TransitionModel none() noexcept;
+
+  /// Fixed `t_switch` seconds and `e_switch` normalized energy per change.
+  [[nodiscard]] static TransitionModel constant(Time t_switch, double e_switch);
+
+  /// Burd's voltage-swing model.
+  /// @param t_switch   switch latency in seconds (processor stalls)
+  /// @param cdd_farads effective DC-DC converter capacitance (e.g. 5e-6)
+  /// @param k          inefficiency factor (literature uses ~0.9)
+  /// @param pmax_watts absolute max power used to normalize joules
+  [[nodiscard]] static TransitionModel voltage_delta(Time t_switch,
+                                                     double cdd_farads = 5e-6,
+                                                     double k = 0.9,
+                                                     double pmax_watts = 1.0);
+
+  /// True when switching costs nothing (fast path for the simulator).
+  [[nodiscard]] bool is_free() const noexcept;
+
+  /// Stall time for a speed change; 0 when from == to.
+  [[nodiscard]] Time switch_time(double alpha_from, double alpha_to) const;
+
+  /// Normalized energy for a speed change; 0 when from == to.
+  /// The power model supplies the physical voltages.
+  [[nodiscard]] double switch_energy(const PowerModel& pm, double alpha_from,
+                                     double alpha_to) const;
+
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  enum class Kind { kNone, kConstant, kVoltageDelta };
+  TransitionModel() = default;
+  Kind kind_ = Kind::kNone;
+  Time t_switch_ = 0.0;
+  double e_switch_ = 0.0;    // constant model
+  double cdd_ = 0.0;         // voltage-delta model
+  double k_ = 0.9;
+  double pmax_watts_ = 1.0;
+};
+
+}  // namespace dvs::cpu

@@ -1,0 +1,98 @@
+#include "exp/experiment.hpp"
+
+#include "core/registry.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::exp {
+
+const GovernorOutcome& CaseOutcome::by_name(const std::string& name) const {
+  for (const auto& o : outcomes) {
+    if (util::to_lower(o.governor) == util::to_lower(name)) return o;
+  }
+  DVS_EXPECT(false, "governor not part of this case: " + name);
+  return outcomes.front();  // unreachable
+}
+
+CaseOutcome run_case(const Case& c, const ExperimentConfig& cfg) {
+  DVS_EXPECT(c.workload != nullptr, "case has no workload model");
+  sim::SimOptions opts;
+  opts.length = cfg.sim_length;
+
+  CaseOutcome out;
+
+  // The normalization reference always runs first.
+  {
+    auto ref = core::make_governor("noDVS");
+    GovernorOutcome g;
+    g.governor = ref->name();
+    g.result = sim::simulate(c.task_set, *c.workload, cfg.processor, *ref,
+                             opts);
+    g.normalized_energy = 1.0;
+    out.outcomes.push_back(std::move(g));
+  }
+  const double ref_energy = out.outcomes.front().result.total_energy();
+
+  for (const auto& name : cfg.governors) {
+    if (util::to_lower(name) == "nodvs") continue;  // already ran
+    auto governor = core::make_governor(name);
+    GovernorOutcome g;
+    g.governor = governor->name();
+    g.result = sim::simulate(c.task_set, *c.workload, cfg.processor,
+                             *governor, opts);
+    g.normalized_energy =
+        ref_energy > 0.0 ? g.result.total_energy() / ref_energy : 1.0;
+    out.outcomes.push_back(std::move(g));
+  }
+  return out;
+}
+
+SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
+                       const std::vector<double>& xs,
+                       const CaseBuilder& builder) {
+  DVS_EXPECT(!xs.empty(), "sweep needs at least one point");
+  DVS_EXPECT(cfg.replications >= 1, "sweep needs at least one replication");
+
+  SweepOutcome sweep;
+  sweep.x_label = x_label;
+  sweep.governors.push_back("noDVS");
+  for (const auto& name : cfg.governors) {
+    if (util::to_lower(name) != "nodvs") sweep.governors.push_back(name);
+  }
+
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    PointResult point;
+    point.x = xs[xi];
+    point.normalized_energy.assign(sweep.governors.size(), {});
+    point.speed_switches.assign(sweep.governors.size(), {});
+
+    for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
+      const std::uint64_t case_seed =
+          util::hash_u64(cfg.seed, static_cast<std::uint64_t>(xi) + 1,
+                         static_cast<std::uint64_t>(rep) + 1);
+      const Case c = builder(xs[xi], rep, case_seed);
+      const CaseOutcome outcome = run_case(c, cfg);
+      DVS_ENSURE(outcome.outcomes.size() == sweep.governors.size(),
+                 "sweep governor list mismatch");
+      for (std::size_t g = 0; g < outcome.outcomes.size(); ++g) {
+        point.normalized_energy[g].add(
+            outcome.outcomes[g].normalized_energy);
+        point.speed_switches[g].add(static_cast<double>(
+            outcome.outcomes[g].result.speed_switches));
+        point.total_misses += outcome.outcomes[g].result.deadline_misses;
+      }
+    }
+    sweep.points.push_back(std::move(point));
+  }
+  return sweep;
+}
+
+ExperimentConfig default_config() {
+  ExperimentConfig cfg;
+  cfg.governors = core::governor_names();
+  cfg.processor = cpu::ideal_processor();
+  return cfg;
+}
+
+}  // namespace dvs::exp

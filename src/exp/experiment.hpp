@@ -1,0 +1,85 @@
+// Experiment harness: governor comparisons and parameter sweeps.
+//
+// Protocol (matching the era's papers):
+//  * every governor replays the identical workload (common random
+//    numbers — guaranteed by the counter-based ExecutionTimeModel),
+//  * energy is normalized against the noDVS run of the same case,
+//  * each sweep point aggregates several independently generated cases
+//    (task set + workload), reporting mean/min/max normalized energy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/processors.hpp"
+#include "sim/simulator.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+#include "util/stats.hpp"
+
+namespace dvs::exp {
+
+/// One simulation case: a task set plus the workload it executes.
+struct Case {
+  task::TaskSet task_set;
+  task::ExecutionTimeModelPtr workload;
+};
+
+/// Builds the case for sweep point `x`, replication `rep`; `seed` is
+/// derived deterministically from the experiment seed, x and rep.
+using CaseBuilder =
+    std::function<Case(double x, std::size_t rep, std::uint64_t seed)>;
+
+struct ExperimentConfig {
+  /// Governors to compare (registry names); noDVS is always run as the
+  /// normalization reference even when absent from this list.
+  std::vector<std::string> governors;
+  cpu::Processor processor;
+  std::uint64_t seed = 42;
+  std::size_t replications = 20;
+  Time sim_length = -1.0;  ///< negative: per-task-set default
+};
+
+/// Result of one governor on one case.
+struct GovernorOutcome {
+  std::string governor;
+  sim::SimResult result;
+  double normalized_energy = 1.0;  ///< total energy / noDVS total energy
+};
+
+/// All governors on one case (the noDVS reference is outcomes.front()).
+struct CaseOutcome {
+  std::vector<GovernorOutcome> outcomes;
+  [[nodiscard]] const GovernorOutcome& by_name(const std::string& name) const;
+};
+
+/// Aggregate of one sweep point.
+struct PointResult {
+  double x = 0.0;
+  std::vector<util::RunningStats> normalized_energy;  ///< per governor
+  std::vector<util::RunningStats> speed_switches;     ///< per governor
+  std::int64_t total_misses = 0;  ///< across every governor and case
+};
+
+struct SweepOutcome {
+  std::string x_label;
+  std::vector<std::string> governors;
+  std::vector<PointResult> points;
+};
+
+/// Run every configured governor (plus the noDVS reference) on one case.
+[[nodiscard]] CaseOutcome run_case(const Case& c, const ExperimentConfig& cfg);
+
+/// Full parameter sweep: for each x, `replications` cases, all governors.
+[[nodiscard]] SweepOutcome run_sweep(const ExperimentConfig& cfg,
+                                     const std::string& x_label,
+                                     const std::vector<double>& xs,
+                                     const CaseBuilder& builder);
+
+/// Convenience: default experiment configuration (all registry governors,
+/// ideal processor).
+[[nodiscard]] ExperimentConfig default_config();
+
+}  // namespace dvs::exp

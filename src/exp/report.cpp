@@ -1,0 +1,64 @@
+#include "exp/report.hpp"
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dvs::exp {
+
+void print_sweep(std::ostream& out, const SweepOutcome& sweep,
+                 const std::string& title) {
+  out << "== " << title << " ==\n";
+  out << "   (normalized energy; 1.0 = noDVS; lower is better)\n";
+  util::TextTable table;
+  std::vector<std::string> header{sweep.x_label};
+  header.insert(header.end(), sweep.governors.begin(), sweep.governors.end());
+  table.header(std::move(header));
+  std::int64_t misses = 0;
+  for (const auto& p : sweep.points) {
+    std::vector<double> values;
+    values.reserve(p.normalized_energy.size());
+    for (const auto& s : p.normalized_energy) values.push_back(s.mean());
+    table.row_numeric(util::format_double(p.x, 3), values, 4);
+    misses += p.total_misses;
+  }
+  table.render(out);
+  out << "  deadline misses across all runs: " << misses
+      << (misses == 0 ? "  [hard real-time invariant holds]" : "  [VIOLATION]")
+      << "\n\n";
+}
+
+void print_case(std::ostream& out, const CaseOutcome& outcome,
+                const std::string& title) {
+  out << "== " << title << " ==\n";
+  util::TextTable table;
+  table.header({"governor", "energy", "normalized", "avg speed", "switches",
+                "misses"});
+  for (const auto& g : outcome.outcomes) {
+    table.row({g.governor, util::format_double(g.result.total_energy(), 4),
+               util::format_double(g.normalized_energy, 4),
+               util::format_double(g.result.average_speed, 3),
+               std::to_string(g.result.speed_switches),
+               std::to_string(g.result.deadline_misses)});
+  }
+  table.render(out);
+  out << '\n';
+}
+
+void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
+  util::CsvWriter csv(out);
+  std::vector<std::string> header{sweep.x_label};
+  for (const auto& g : sweep.governors) header.push_back(g + "_mean");
+  for (const auto& g : sweep.governors) header.push_back(g + "_min");
+  for (const auto& g : sweep.governors) header.push_back(g + "_max");
+  csv.row(header);
+  for (const auto& p : sweep.points) {
+    std::vector<double> row{p.x};
+    for (const auto& s : p.normalized_energy) row.push_back(s.mean());
+    for (const auto& s : p.normalized_energy) row.push_back(s.min());
+    for (const auto& s : p.normalized_energy) row.push_back(s.max());
+    csv.row_numeric(row, 6);
+  }
+}
+
+}  // namespace dvs::exp

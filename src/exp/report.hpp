@@ -1,0 +1,25 @@
+// Paper-style report emission for sweeps and case comparisons.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace dvs::exp {
+
+/// Print a sweep as an aligned table: one row per x, one column per
+/// governor (mean normalized energy), plus a trailing miss-count line.
+void print_sweep(std::ostream& out, const SweepOutcome& sweep,
+                 const std::string& title);
+
+/// Print one case comparison: per governor energy, normalized energy,
+/// switches, misses, average speed.
+void print_case(std::ostream& out, const CaseOutcome& outcome,
+                const std::string& title);
+
+/// Write the sweep to CSV: x, then one column per governor (mean), then
+/// one stddev column per governor.
+void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep);
+
+}  // namespace dvs::exp

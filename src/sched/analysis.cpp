@@ -1,0 +1,119 @@
+#include "sched/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dvs::sched {
+
+namespace {
+
+/// True when every task has an implicit deadline (D == T).
+bool implicit_deadlines(const task::TaskSet& ts) {
+  for (const auto& t : ts) {
+    if (!time_eq(t.deadline, t.period)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Work demand_bound(const task::TaskSet& ts, Time t) {
+  DVS_EXPECT(t >= 0.0, "demand bound needs t >= 0");
+  Work h = 0.0;
+  for (const auto& task : ts) {
+    if (t + kTimeEps < task.deadline) continue;
+    const double k = std::floor((t - task.deadline) / task.period + kTimeEps);
+    h += (k + 1.0) * task.wcet;
+  }
+  return h;
+}
+
+std::optional<Time> busy_period_bound(const task::TaskSet& ts) {
+  const double u = ts.utilization();
+  if (u >= 1.0 - 1e-12) return std::nullopt;
+  Work c_sum = 0.0;
+  for (const auto& t : ts) c_sum += t.wcet;
+  return c_sum / (1.0 - u);
+}
+
+std::optional<Time> analysis_horizon(const task::TaskSet& ts) {
+  const auto hyper = ts.hyperperiod();
+  const auto busy = busy_period_bound(ts);
+
+  // Baruah's L_a bound: max over the first deadline of each task and
+  // sum((T_i - D_i) * U_i) / (1 - U).
+  std::optional<Time> la;
+  const double u = ts.utilization();
+  if (u < 1.0 - 1e-12) {
+    double acc = 0.0;
+    Time max_first_deadline = 0.0;
+    for (const auto& t : ts) {
+      acc += (t.period - t.deadline) * t.utilization();
+      max_first_deadline = std::max(max_first_deadline, t.deadline);
+    }
+    la = std::max(max_first_deadline, acc / (1.0 - u));
+  }
+
+  std::optional<Time> horizon;
+  auto consider = [&horizon](const std::optional<Time>& h) {
+    if (!h) return;
+    if (!horizon || *h < *horizon) horizon = h;
+  };
+  consider(hyper);
+  consider(busy);
+  consider(la);
+  return horizon;
+}
+
+std::vector<Time> deadline_checkpoints(const task::TaskSet& ts, Time horizon) {
+  DVS_EXPECT(horizon >= 0.0, "horizon must be non-negative");
+  std::vector<Time> points;
+  for (const auto& t : ts) {
+    for (Time d = t.deadline; time_leq(d, horizon); d += t.period) {
+      points.push_back(d);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end(),
+                           [](Time a, Time b) { return time_eq(a, b); }),
+               points.end());
+  return points;
+}
+
+bool edf_schedulable(const task::TaskSet& ts) {
+  if (ts.empty()) return true;
+  const double u = ts.utilization();
+  if (u > 1.0 + 1e-9) return false;
+  if (implicit_deadlines(ts)) return true;  // U <= 1 is exact for EDF
+
+  const auto horizon = analysis_horizon(ts);
+  if (!horizon) {
+    // U <= 1 with constrained deadlines but no finite horizon: fall back to
+    // the (sufficient) density test.
+    return ts.density() <= 1.0 + 1e-9;
+  }
+  for (Time d : deadline_checkpoints(ts, *horizon)) {
+    if (demand_bound(ts, d) > d + kTimeEps) return false;
+  }
+  return true;
+}
+
+double minimum_constant_speed(const task::TaskSet& ts) {
+  DVS_EXPECT(edf_schedulable(ts), "task set is not EDF-schedulable");
+  if (ts.empty()) return 1e-9;
+  if (implicit_deadlines(ts)) {
+    return std::min(1.0, ts.utilization());
+  }
+  const auto horizon = analysis_horizon(ts);
+  if (!horizon) return std::min(1.0, ts.density());
+  double speed = ts.utilization();  // demand/t converges to U for large t
+  for (Time d : deadline_checkpoints(ts, *horizon)) {
+    if (d <= 0.0) continue;
+    speed = std::max(speed, demand_bound(ts, d) / d);
+  }
+  return std::min(1.0, speed);
+}
+
+}  // namespace dvs::sched

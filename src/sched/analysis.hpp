@@ -1,0 +1,44 @@
+// Offline EDF schedulability analysis.
+//
+// Hard real-time DVS only makes sense for task sets that are schedulable at
+// maximum speed; these tests gate every experiment.  Implicit-deadline sets
+// use the Liu & Layland utilization bound (U <= 1 is exact for EDF);
+// constrained-deadline sets use the processor-demand criterion with
+// checkpoints up to the standard bound min(hyperperiod, busy period,
+// Baruah's L_a).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "task/task_set.hpp"
+
+namespace dvs::sched {
+
+/// Processor demand h(t) of synchronous periodic tasks in [0, t]:
+/// sum over tasks of max(0, floor((t - D_i) / T_i) + 1) * C_i.
+[[nodiscard]] Work demand_bound(const task::TaskSet& ts, Time t);
+
+/// Upper bound on the length of the longest busy period (synchronous
+/// arrival), nullopt when U >= 1 (the classic bound diverges).
+[[nodiscard]] std::optional<Time> busy_period_bound(const task::TaskSet& ts);
+
+/// Absolute-deadline checkpoints in (0, horizon] for the demand test,
+/// ascending and deduplicated.
+[[nodiscard]] std::vector<Time> deadline_checkpoints(const task::TaskSet& ts,
+                                                     Time horizon);
+
+/// The horizon the demand test must examine; nullopt when no finite bound
+/// exists (U > 1 with unbounded hyperperiod).
+[[nodiscard]] std::optional<Time> analysis_horizon(const task::TaskSet& ts);
+
+/// Exact EDF schedulability on a unit-speed processor.
+[[nodiscard]] bool edf_schedulable(const task::TaskSet& ts);
+
+/// The minimum constant speed at which the set remains EDF-schedulable
+/// (the optimal static DVS speed).  For implicit deadlines this equals the
+/// utilization; for constrained deadlines it is max_t h(t)/t over the
+/// checkpoints.  Requires a schedulable set; the result is in (0, 1].
+[[nodiscard]] double minimum_constant_speed(const task::TaskSet& ts);
+
+}  // namespace dvs::sched

@@ -1,0 +1,61 @@
+#include "sched/edf_queue.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvs::sched {
+
+bool edf_before(const EdfEntry& a, const EdfEntry& b) noexcept {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.task_id != b.task_id) return a.task_id < b.task_id;
+  return a.seq < b.seq;
+}
+
+void EdfReadyQueue::push(EdfEntry e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+const EdfEntry& EdfReadyQueue::top() const {
+  DVS_EXPECT(!heap_.empty(), "top() on empty EDF queue");
+  return heap_.front();
+}
+
+void EdfReadyQueue::pop() {
+  DVS_EXPECT(!heap_.empty(), "pop() on empty EDF queue");
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+std::vector<EdfEntry> EdfReadyQueue::sorted() const {
+  std::vector<EdfEntry> out = heap_;
+  std::sort(out.begin(), out.end(), edf_before);
+  return out;
+}
+
+void EdfReadyQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!edf_before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EdfReadyQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t smallest = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && edf_before(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && edf_before(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace dvs::sched

@@ -1,0 +1,53 @@
+// Earliest-Deadline-First ready queue.
+//
+// A binary min-heap keyed by (absolute deadline, task id, job sequence);
+// the full key makes pop order fully deterministic even with equal
+// deadlines, which keeps simulations reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dvs::sched {
+
+/// Handle stored in the queue; `slot` is an opaque owner-side index
+/// (e.g. into the simulator's job array).
+struct EdfEntry {
+  Time deadline = 0.0;
+  std::int32_t task_id = 0;
+  std::int64_t seq = 0;
+  std::size_t slot = 0;
+};
+
+/// Strict-weak ordering: earlier deadline first, ties by task id then seq.
+[[nodiscard]] bool edf_before(const EdfEntry& a, const EdfEntry& b) noexcept;
+
+class EdfReadyQueue {
+ public:
+  void push(EdfEntry e);
+  /// Entry with the earliest deadline. Requires !empty().
+  [[nodiscard]] const EdfEntry& top() const;
+  /// Remove the top entry. Requires !empty().
+  void pop();
+  void clear() noexcept { heap_.clear(); }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// All entries in EDF order (copies and sorts; O(n log n)).
+  [[nodiscard]] std::vector<EdfEntry> sorted() const;
+
+  /// Unordered view of the live entries (heap order).
+  [[nodiscard]] const std::vector<EdfEntry>& raw() const noexcept {
+    return heap_;
+  }
+
+ private:
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  std::vector<EdfEntry> heap_;
+};
+
+}  // namespace dvs::sched

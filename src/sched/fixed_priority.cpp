@@ -1,0 +1,81 @@
+#include "sched/fixed_priority.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dvs::sched {
+
+std::vector<int> deadline_monotonic_priorities(const task::TaskSet& ts) {
+  std::vector<std::size_t> order(ts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&ts](std::size_t a, std::size_t b) {
+    if (!time_eq(ts[a].deadline, ts[b].deadline)) {
+      return ts[a].deadline < ts[b].deadline;
+    }
+    if (!time_eq(ts[a].period, ts[b].period)) {
+      return ts[a].period < ts[b].period;
+    }
+    return a < b;
+  });
+  std::vector<int> rank(ts.size(), 0);
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    rank[order[pos]] = static_cast<int>(pos);
+  }
+  return rank;
+}
+
+std::optional<std::vector<Time>> response_times(
+    const task::TaskSet& ts, const std::vector<int>& priorities,
+    double speed) {
+  DVS_EXPECT(priorities.size() == ts.size(),
+             "one priority per task required");
+  DVS_EXPECT(speed > 0.0 && speed <= 1.0, "speed must be in (0, 1]");
+
+  std::vector<Time> response(ts.size(), 0.0);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const Work ci = ts[i].wcet / speed;
+    // Fixed-point iteration R = C_i + sum_{j higher} ceil(R / T_j) C_j.
+    Time r = ci;
+    for (int iter = 0; iter < 10000; ++iter) {
+      Time next = ci;
+      for (std::size_t j = 0; j < ts.size(); ++j) {
+        if (priorities[j] >= priorities[i]) continue;  // lower or self
+        next += std::ceil(r / ts[j].period - kTimeEps) *
+                (ts[j].wcet / speed);
+      }
+      if (time_eq(next, r)) break;
+      r = next;
+      if (time_less(ts[i].deadline, r)) return std::nullopt;
+    }
+    if (time_less(ts[i].deadline, r)) return std::nullopt;
+    response[i] = r;
+  }
+  return response;
+}
+
+bool fp_schedulable(const task::TaskSet& ts) {
+  if (ts.empty()) return true;
+  return response_times(ts, deadline_monotonic_priorities(ts)).has_value();
+}
+
+double minimum_constant_speed_fp(const task::TaskSet& ts) {
+  DVS_EXPECT(fp_schedulable(ts),
+             "task set is not fixed-priority schedulable at full speed");
+  if (ts.empty()) return 1e-9;
+  const auto priorities = deadline_monotonic_priorities(ts);
+  double lo = std::min(1.0, ts.utilization());  // never feasible below U
+  double hi = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (response_times(ts, priorities, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace dvs::sched

@@ -1,0 +1,42 @@
+// Fixed-priority (rate-/deadline-monotonic) scheduling analysis.
+//
+// The reproduced paper targets dynamic priorities (EDF); its companion
+// work and half the DVS-comparison literature target fixed priorities.
+// This module provides the analysis side of the repo's fixed-priority
+// extension: deadline-monotonic priority assignment (optimal for
+// constrained deadlines) and exact response-time analysis (Joseph &
+// Pandya / Audsley), including the scaled-WCET variant used to derive the
+// optimal static DVS speed under fixed priorities.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "task/task_set.hpp"
+
+namespace dvs::sched {
+
+/// Priority rank per task (index == task id): 0 is the highest priority.
+/// Deadline-monotonic (== rate-monotonic for implicit deadlines); ties
+/// break by period, then id, making the assignment total and deterministic.
+[[nodiscard]] std::vector<int> deadline_monotonic_priorities(
+    const task::TaskSet& ts);
+
+/// Worst-case response times under the given priorities at constant
+/// processor speed `speed` (WCETs are divided by it).  nullopt when any
+/// response time exceeds its deadline (unschedulable) or the fixed-point
+/// iteration diverges past the deadline.
+[[nodiscard]] std::optional<std::vector<Time>> response_times(
+    const task::TaskSet& ts, const std::vector<int>& priorities,
+    double speed = 1.0);
+
+/// True when the set is schedulable under deadline-monotonic fixed
+/// priorities at full speed.
+[[nodiscard]] bool fp_schedulable(const task::TaskSet& ts);
+
+/// Minimum constant speed keeping the set fixed-priority schedulable
+/// (binary search over response-time analysis).  Requires a set that is
+/// schedulable at speed 1; the result is in (0, 1].
+[[nodiscard]] double minimum_constant_speed_fp(const task::TaskSet& ts);
+
+}  // namespace dvs::sched

@@ -1,0 +1,87 @@
+// The DVS governor interface — the extension point of the library.
+//
+// A governor is consulted at every *scheduling point* (job release, job
+// completion, return from idle) while a job is about to execute, and
+// returns the ideal relative speed alpha for the earliest-deadline job.
+// The simulator clamps/quantizes the request to the processor's available
+// speeds, always rounding UP so a governor can never cause a deadline miss
+// through quantization.
+//
+// Information contract (hard real-time): a governor sees only
+//   * the static task set,
+//   * released-but-unfinished jobs with their *worst-case* remaining
+//     budgets, and
+//   * the current time and future release times (periodic model).
+// It never observes a job's actual execution time before that job
+// completes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "task/task_set.hpp"
+
+namespace dvs::sim {
+
+/// Which priority order the dispatcher uses.
+/// kEdf: absolute deadlines (dynamic priority, the paper's setting).
+/// kFixedPriority: static deadline-monotonic ranks (the repo's
+/// fixed-priority extension; see sched/fixed_priority.hpp).
+enum class SchedulingPolicy { kEdf, kFixedPriority };
+
+/// Read-only view of the simulation exposed to governors.
+class SimContext {
+ public:
+  [[nodiscard]] virtual Time now() const = 0;
+  [[nodiscard]] virtual const task::TaskSet& task_set() const = 0;
+  [[nodiscard]] virtual SchedulingPolicy policy() const = 0;
+
+  /// Lowest speed offered by the processor (after quantization).
+  [[nodiscard]] virtual double alpha_min() const = 0;
+
+  /// Earliest future release strictly after `t` across all tasks.
+  [[nodiscard]] virtual Time next_release_after(Time t) const = 0;
+
+  /// Released, unfinished jobs in dispatch order (earliest deadline first
+  /// under EDF; priority order under fixed priorities).  The first
+  /// element is the job about to run.
+  [[nodiscard]] virtual std::vector<const Job*> active_jobs() const = 0;
+
+  /// Speed of the most recent execution segment (1.0 before any).
+  [[nodiscard]] virtual double current_speed() const = 0;
+
+ protected:
+  ~SimContext() = default;
+};
+
+/// Base class for DVS policies.  Implementations live in src/core/.
+class Governor {
+ public:
+  virtual ~Governor() = default;
+
+  /// Called once before the simulation starts.
+  virtual void on_start(const SimContext& /*ctx*/) {}
+
+  /// Called when a job is released (after it joined the ready queue).
+  virtual void on_release(const Job& /*job*/, const SimContext& /*ctx*/) {}
+
+  /// Called when a job completes (its actual demand is now public).
+  virtual void on_completion(const Job& /*job*/, const SimContext& /*ctx*/) {}
+
+  /// Ideal relative speed for `running` (the highest-priority active
+  /// job).  Must be > 0; values above 1 are clamped.  Called at every
+  /// scheduling point, so stateless recomputation is fine.  Governors
+  /// whose safety argument is policy-specific must check ctx.policy() in
+  /// on_start (all EDF slack-analysis governors do).
+  [[nodiscard]] virtual double select_speed(const Job& running,
+                                            const SimContext& ctx) = 0;
+
+  /// Identifier used in reports and the registry.
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using GovernorPtr = std::unique_ptr<Governor>;
+
+}  // namespace dvs::sim

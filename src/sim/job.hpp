@@ -1,0 +1,36 @@
+// A job: one activation of a periodic task inside a simulation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace dvs::sim {
+
+struct Job {
+  std::int32_t task_id = 0;
+  std::int64_t index = 0;       ///< per-task activation number (0-based)
+  Time release = 0.0;
+  Time abs_deadline = 0.0;
+  Work wcet = 0.0;              ///< worst-case budget (what governors see)
+  Work actual = 0.0;            ///< true demand, hidden from governors
+  Work executed = 0.0;          ///< work retired so far
+  Time completion = -1.0;       ///< set when the job finishes
+  bool missed = false;
+
+  /// Remaining worst-case budget — the only remaining-work figure a
+  /// governor is allowed to use.
+  [[nodiscard]] Work remaining_wcet() const noexcept {
+    return std::max(0.0, wcet - executed);
+  }
+
+  /// Remaining true demand (simulator-internal).
+  [[nodiscard]] Work remaining_actual() const noexcept {
+    return std::max(0.0, actual - executed);
+  }
+
+  [[nodiscard]] bool finished() const noexcept { return completion >= 0.0; }
+};
+
+}  // namespace dvs::sim

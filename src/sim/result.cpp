@@ -1,0 +1,24 @@
+#include "sim/result.hpp"
+
+#include "util/strings.hpp"
+
+namespace dvs::sim {
+
+std::string SimResult::summary() const {
+  std::string s = governor + ": E=" + util::format_double(total_energy(), 4) +
+                  " (busy " + util::format_double(busy_energy, 4) + ", idle " +
+                  util::format_double(idle_energy, 4) + ", switch " +
+                  util::format_double(transition_energy, 4) + "), jobs " +
+                  std::to_string(jobs_completed) + "/" +
+                  std::to_string(jobs_released) + ", misses " +
+                  std::to_string(deadline_misses) + ", switches " +
+                  std::to_string(speed_switches) + ", avg speed " +
+                  util::format_double(average_speed, 3);
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& out, const SimResult& r) {
+  return out << r.summary();
+}
+
+}  // namespace dvs::sim

@@ -1,0 +1,72 @@
+// Outcome of one simulation run.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dvs::sim {
+
+/// Per-job record kept when SimOptions::record_jobs is set.
+struct JobRecord {
+  std::int32_t task_id = 0;
+  std::int64_t index = 0;
+  Time release = 0.0;
+  Time abs_deadline = 0.0;
+  Time completion = -1.0;  ///< < 0 when unfinished at simulation end
+  Work wcet = 0.0;
+  Work actual = 0.0;
+  bool missed = false;
+};
+
+struct SimResult {
+  std::string governor;
+  std::string processor;
+  std::string workload;
+  Time sim_length = 0.0;
+
+  // Energy, normalized units (max power × seconds).
+  double busy_energy = 0.0;
+  double idle_energy = 0.0;
+  double transition_energy = 0.0;
+  [[nodiscard]] double total_energy() const noexcept {
+    return busy_energy + idle_energy + transition_energy;
+  }
+
+  // Time breakdown; busy + idle + transition == sim_length.
+  Time busy_time = 0.0;
+  Time idle_time = 0.0;
+  Time transition_time = 0.0;
+
+  std::int64_t jobs_released = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t deadline_misses = 0;
+  /// Jobs whose deadline lies beyond the simulation end; not counted as
+  /// misses even though they are unfinished.
+  std::int64_t jobs_truncated = 0;
+
+  /// Number of speed changes between consecutive execution segments.
+  std::int64_t speed_switches = 0;
+
+  /// Work-weighted average executed speed in (0, 1].
+  double average_speed = 1.0;
+
+  std::vector<double> per_task_energy;
+
+  /// Worst observed response time (completion - release) per task; 0 for
+  /// tasks that completed no job.  Under fixed priorities this is the
+  /// empirical counterpart of response-time analysis.
+  std::vector<Time> worst_response;
+
+  std::vector<JobRecord> jobs;  ///< only when record_jobs was requested
+
+  /// One-line human-readable summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& out, const SimResult& r);
+
+}  // namespace dvs::sim

@@ -1,0 +1,337 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "cpu/energy_meter.hpp"
+#include "sched/edf_queue.hpp"
+#include "sched/fixed_priority.hpp"
+#include "util/error.hpp"
+
+namespace dvs::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Speeds closer than this are the same operating point (no switch).
+constexpr double kAlphaTol = 1e-9;
+
+class SimEngine final : public SimContext {
+ public:
+  SimEngine(const task::TaskSet& ts, const task::ExecutionTimeModel& workload,
+            const cpu::Processor& proc, Governor& governor,
+            const SimOptions& opts)
+      : ts_(ts),
+        workload_(workload),
+        proc_(proc),
+        governor_(governor),
+        opts_(opts),
+        meter_(proc.power, ts.size()) {
+    DVS_EXPECT(!ts_.empty(), "cannot simulate an empty task set");
+    ts_.validate();
+    length_ = opts.length < 0.0 ? ts_.default_sim_length() : opts.length;
+    DVS_EXPECT(length_ > 0.0, "simulation length must be positive");
+    next_release_.reserve(ts_.size());
+    next_index_.assign(ts_.size(), 0);
+    worst_response_.assign(ts_.size(), 0.0);
+    for (const auto& t : ts_) next_release_.push_back(t.phase);
+    if (opts_.policy == SchedulingPolicy::kFixedPriority) {
+      priorities_ = sched::deadline_monotonic_priorities(ts_);
+    }
+  }
+
+  SimResult run() {
+    governor_.on_start(*this);
+    while (true) {
+      release_due_jobs();
+      if (t_ >= length_ - kTimeEps) break;
+      if (ready_.empty()) {
+        if (!advance_idle()) break;
+        continue;
+      }
+      Job& job = jobs_[ready_.top().slot];
+      const double alpha = decide_speed(job);
+      if (!apply_transition(alpha)) continue;  // arrivals during stall
+      if (t_ >= length_ - kTimeEps) break;
+      execute(job, alpha);
+      if (opts_.stop_on_miss && misses_ > 0) break;
+    }
+    return finish();
+  }
+
+  // --- SimContext -------------------------------------------------------
+  [[nodiscard]] Time now() const override { return t_; }
+  [[nodiscard]] const task::TaskSet& task_set() const override { return ts_; }
+  [[nodiscard]] SchedulingPolicy policy() const override {
+    return opts_.policy;
+  }
+  [[nodiscard]] double alpha_min() const override {
+    return proc_.scale.alpha_min();
+  }
+  [[nodiscard]] Time next_release_after(Time t) const override {
+    Time best = kInf;
+    for (const auto& task : ts_) {
+      std::int64_t k = task.first_job_at_or_after(t + 2.0 * kTimeEps);
+      Time r = task.release_of(k);
+      if (r <= t + kTimeEps) r = task.release_of(k + 1);
+      best = std::min(best, r);
+    }
+    return best;
+  }
+  [[nodiscard]] std::vector<const Job*> active_jobs() const override {
+    std::vector<const Job*> out;
+    out.reserve(ready_.size());
+    for (const auto& e : ready_.sorted()) out.push_back(&jobs_[e.slot]);
+    return out;
+  }
+  [[nodiscard]] double current_speed() const override {
+    return last_alpha_ > 0.0 ? last_alpha_ : 1.0;
+  }
+
+ private:
+  /// Release every job whose release time has been reached (and lies
+  /// within the simulated window).
+  void release_due_jobs() {
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      while (next_release_[i] <= t_ + kTimeEps &&
+             next_release_[i] < length_ - kTimeEps) {
+        const task::Task& task = ts_[i];
+        Job job;
+        job.task_id = task.id;
+        job.index = next_index_[i];
+        job.release = next_release_[i];
+        job.abs_deadline = job.release + task.deadline;
+        job.wcet = task.wcet;
+        job.actual = workload_.draw(task, job.index);
+        DVS_ENSURE(job.actual > 0.0 && job.actual <= job.wcet + kTimeEps,
+                   "workload model returned work outside (0, wcet]");
+        job.actual = std::min(job.actual, job.wcet);
+        const std::size_t slot = jobs_.size();
+        jobs_.push_back(job);
+        // The queue key encodes dispatch priority: the absolute deadline
+        // under EDF, the static rank under fixed priorities.
+        const Time key =
+            opts_.policy == SchedulingPolicy::kEdf
+                ? job.abs_deadline
+                : static_cast<Time>(
+                      priorities_[static_cast<std::size_t>(job.task_id)]);
+        ready_.push({key, job.task_id, job.index, slot});
+        ++released_;
+        ++next_index_[i];
+        next_release_[i] += task.period;
+        if (opts_.trace != nullptr) {
+          opts_.trace->event({TraceEvent::Kind::kRelease, job.release,
+                              job.task_id, job.index});
+        }
+        governor_.on_release(jobs_[slot], *this);
+      }
+    }
+  }
+
+  /// Idle until the next release (or the end of the run).
+  /// Returns false when the run is over.
+  bool advance_idle() {
+    Time next = kInf;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (next_release_[i] < length_ - kTimeEps) {
+        next = std::min(next, next_release_[i]);
+      }
+    }
+    const Time until = std::min(next, length_);
+    if (until > t_) {
+      meter_.add_idle(until - t_);
+      if (opts_.trace != nullptr) {
+        opts_.trace->segment(
+            {t_, until, SegmentKind::kIdle, -1, -1, 0.0});
+      }
+      t_ = until;
+    }
+    return t_ < length_ - kTimeEps;
+  }
+
+  /// Ask the governor for a speed and quantize it to the hardware.
+  double decide_speed(const Job& job) {
+    double req = governor_.select_speed(job, *this);
+    DVS_ENSURE(std::isfinite(req) && req > 0.0,
+               "governor '" + governor_.name() +
+                   "' returned a non-positive or non-finite speed");
+    req = std::min(req, 1.0);
+    return proc_.scale.quantize_up(req);
+  }
+
+  /// Charge the speed-switch cost when the operating point changes.
+  /// Returns false when releases arrived during the stall (the caller must
+  /// re-dispatch); otherwise the engine is committed to `alpha`.
+  bool apply_transition(double alpha) {
+    if (last_alpha_ <= 0.0) {  // first execution segment: free setup
+      last_alpha_ = alpha;
+      return true;
+    }
+    if (std::fabs(alpha - last_alpha_) <= kAlphaTol) return true;
+
+    ++switches_;
+    const double from = last_alpha_;
+    last_alpha_ = alpha;
+    if (proc_.transition.is_free()) return true;
+
+    const Time dsw =
+        std::min(proc_.transition.switch_time(from, alpha), length_ - t_);
+    const double esw =
+        proc_.transition.switch_energy(*proc_.power, from, alpha);
+    meter_.add_transition(dsw, esw);
+    if (dsw <= 0.0) return true;
+    if (opts_.trace != nullptr) {
+      opts_.trace->segment(
+          {t_, t_ + dsw, SegmentKind::kTransition, -1, -1, 0.0});
+    }
+    const Time stall_end = t_ + dsw;
+    bool arrivals = false;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (next_release_[i] <= stall_end + kTimeEps &&
+          next_release_[i] < length_ - kTimeEps) {
+        arrivals = true;
+        break;
+      }
+    }
+    t_ = stall_end;
+    return !arrivals;
+  }
+
+  /// Execute the EDF-top job at `alpha` until it completes or the next
+  /// release, whichever comes first.
+  void execute(Job& job, double alpha) {
+    if (job.remaining_actual() <= kTimeEps) {
+      complete(job);  // guards against zero-length execution windows
+      return;
+    }
+    const Time t_fin = t_ + job.remaining_actual() / alpha;
+    Time t_rel = kInf;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (next_release_[i] < length_ - kTimeEps) {
+        t_rel = std::min(t_rel, next_release_[i]);
+      }
+    }
+    const Time t_next = std::min({t_fin, t_rel, length_});
+    DVS_ENSURE(t_next > t_, "simulation failed to make progress");
+
+    const Time dt = t_next - t_;
+    meter_.add_busy(dt, alpha, job.task_id);
+    retired_work_ += alpha * dt;
+    job.executed += alpha * dt;
+    if (opts_.trace != nullptr) {
+      opts_.trace->segment(
+          {t_, t_next, SegmentKind::kBusy, job.task_id, job.index, alpha});
+    }
+    t_ = t_next;
+
+    if (job.remaining_actual() <= kTimeEps ||
+        time_leq(t_fin, t_next)) {
+      complete(job);
+    }
+  }
+
+  void complete(Job& job) {
+    job.executed = job.actual;  // snap away rounding residue
+    job.completion = t_;
+    auto& worst = worst_response_[static_cast<std::size_t>(job.task_id)];
+    worst = std::max(worst, job.completion - job.release);
+    job.missed = time_less(job.abs_deadline, t_);
+    DVS_ENSURE(&jobs_[ready_.top().slot] == &job,
+               "completing job is not the EDF head");
+    ready_.pop();
+    ++completed_;
+    if (job.missed) {
+      ++misses_;
+      if (opts_.trace != nullptr) {
+        opts_.trace->event(
+            {TraceEvent::Kind::kMiss, t_, job.task_id, job.index});
+      }
+    }
+    if (opts_.trace != nullptr) {
+      opts_.trace->event(
+          {TraceEvent::Kind::kCompletion, t_, job.task_id, job.index});
+    }
+    governor_.on_completion(job, *this);
+  }
+
+  SimResult finish() {
+    // Jobs still active at the end either ran out of simulated time
+    // (deadline beyond the end: truncated, not a miss) or genuinely missed.
+    std::int64_t truncated = 0;
+    for (const auto& e : ready_.raw()) {
+      Job& job = jobs_[e.slot];
+      if (time_leq(job.abs_deadline, length_)) {
+        job.missed = true;
+        ++misses_;
+      } else {
+        ++truncated;
+      }
+    }
+
+    SimResult r;
+    r.governor = governor_.name();
+    r.processor = proc_.name;
+    r.workload = workload_.name();
+    r.sim_length = length_;
+    r.busy_energy = meter_.busy_energy();
+    r.idle_energy = meter_.idle_energy();
+    r.transition_energy = meter_.transition_energy();
+    r.busy_time = meter_.busy_time();
+    r.idle_time = meter_.idle_time();
+    r.transition_time = meter_.transition_time();
+    r.jobs_released = released_;
+    r.jobs_completed = completed_;
+    r.deadline_misses = misses_;
+    r.jobs_truncated = truncated;
+    r.speed_switches = switches_;
+    r.average_speed =
+        meter_.busy_time() > 0.0 ? retired_work_ / meter_.busy_time() : 1.0;
+    r.per_task_energy = meter_.per_task_energy();
+    r.worst_response = worst_response_;
+    if (opts_.record_jobs) {
+      r.jobs.reserve(jobs_.size());
+      for (const auto& j : jobs_) {
+        r.jobs.push_back({j.task_id, j.index, j.release, j.abs_deadline,
+                          j.completion, j.wcet, j.actual, j.missed});
+      }
+    }
+    return r;
+  }
+
+  const task::TaskSet& ts_;
+  const task::ExecutionTimeModel& workload_;
+  const cpu::Processor& proc_;
+  Governor& governor_;
+  const SimOptions& opts_;
+  cpu::EnergyMeter meter_;
+
+  Time length_ = 0.0;
+  Time t_ = 0.0;
+  double last_alpha_ = -1.0;  ///< speed of the previous execution segment
+  double retired_work_ = 0.0;
+
+  std::deque<Job> jobs_;  ///< deque: stable references as it grows
+  sched::EdfReadyQueue ready_;  ///< min-heap over the policy's key
+  std::vector<Time> next_release_;
+  std::vector<std::int64_t> next_index_;
+  std::vector<int> priorities_;  ///< fixed-priority ranks (FP policy only)
+  std::vector<Time> worst_response_;  ///< per-task max completion - release
+
+  std::int64_t released_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t switches_ = 0;
+};
+
+}  // namespace
+
+SimResult simulate(const task::TaskSet& ts,
+                   const task::ExecutionTimeModel& workload,
+                   const cpu::Processor& processor, Governor& governor,
+                   const SimOptions& options) {
+  SimEngine engine(ts, workload, processor, governor, options);
+  return engine.run();
+}
+
+}  // namespace dvs::sim

@@ -1,0 +1,56 @@
+// The discrete-event simulation engine.
+//
+// Model: a single DVS-capable processor runs a periodic task set under
+// preemptive EDF.  At every scheduling point (job release, job completion,
+// end of a speed-transition stall, return from idle) the governor is asked
+// for the speed of the earliest-deadline job; the request is quantized
+// upward to the processor's available speeds.  Execution then proceeds
+// until the next event.  Jobs consume their *actual* execution demand
+// (drawn from the workload model); governors only ever see worst-case
+// remaining budgets, so slack materializes exactly as on real hardware —
+// through early completions.
+//
+// Determinism: with the same task set, workload model, processor and
+// governor, a run is bit-for-bit reproducible (no wall clocks, no global
+// state, deterministic tie-breaking in the ready queue).
+#pragma once
+
+#include "cpu/processors.hpp"
+#include "sim/governor.hpp"
+#include "sim/result.hpp"
+#include "sim/trace.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::sim {
+
+struct SimOptions {
+  /// Simulated length in seconds; negative selects
+  /// TaskSet::default_sim_length().
+  Time length = -1.0;
+
+  /// Dispatch order: EDF (the paper's setting) or deadline-monotonic
+  /// fixed priorities (the repo's extension).
+  SchedulingPolicy policy = SchedulingPolicy::kEdf;
+
+  /// Keep a JobRecord for every job (memory proportional to job count).
+  bool record_jobs = false;
+
+  /// Abort the run at the first deadline miss (the miss is still counted).
+  bool stop_on_miss = false;
+
+  /// Optional trace sink; pass a VectorTrace to collect segments.
+  TraceRecorder* trace = nullptr;
+};
+
+/// Run one simulation.  Throws ContractError for invalid inputs (empty or
+/// non-validating task set, non-schedulable set is allowed but misses will
+/// be recorded).  The governor is used in place and may keep state; create
+/// a fresh instance per run.
+[[nodiscard]] SimResult simulate(const task::TaskSet& ts,
+                                 const task::ExecutionTimeModel& workload,
+                                 const cpu::Processor& processor,
+                                 Governor& governor,
+                                 const SimOptions& options = {});
+
+}  // namespace dvs::sim

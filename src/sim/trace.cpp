@@ -1,0 +1,86 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::sim {
+
+void VectorTrace::segment(const TraceSegment& s) {
+  if (s.end <= s.begin) return;  // zero-length segments carry no information
+  if (!segments_.empty()) {
+    auto& last = segments_.back();
+    const bool same_stream = last.kind == s.kind && last.task_id == s.task_id &&
+                             last.job_index == s.job_index &&
+                             last.alpha == s.alpha;
+    if (same_stream && time_eq(last.end, s.begin)) {
+      last.end = s.end;
+      return;
+    }
+  }
+  segments_.push_back(s);
+}
+
+void VectorTrace::event(const TraceEvent& e) { events_.push_back(e); }
+
+void render_gantt(const VectorTrace& trace, const task::TaskSet& ts, Time t0,
+                  Time t1, std::ostream& out, int columns) {
+  DVS_EXPECT(t1 > t0, "gantt window must be non-empty");
+  DVS_EXPECT(columns > 0, "gantt needs at least one column");
+  const double dt = (t1 - t0) / columns;
+
+  // rows 0..n-1: tasks; row n: idle/transition.
+  const std::size_t rows = ts.size() + 1;
+  std::vector<std::string> grid(rows,
+                                std::string(static_cast<std::size_t>(columns), ' '));
+
+  for (const auto& s : trace.segments()) {
+    if (s.end <= t0 || s.begin >= t1) continue;
+    const int c0 = std::max(
+        0, static_cast<int>(std::floor((s.begin - t0) / dt)));
+    const int c1 = std::min(
+        columns, static_cast<int>(std::ceil((s.end - t0) / dt)));
+    char mark = '.';
+    std::size_t row = ts.size();
+    if (s.kind == SegmentKind::kBusy) {
+      row = static_cast<std::size_t>(s.task_id);
+      const int tenth = std::clamp(
+          static_cast<int>(std::lround(s.alpha * 10.0)), 1, 10);
+      mark = tenth == 10 ? 'F' : static_cast<char>('0' + tenth);
+    } else if (s.kind == SegmentKind::kTransition) {
+      mark = 'x';
+    }
+    for (int c = c0; c < c1; ++c) {
+      grid[row][static_cast<std::size_t>(c)] = mark;
+    }
+  }
+
+  std::size_t label_w = 4;
+  for (const auto& t : ts) label_w = std::max(label_w, t.name.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::string label = r < ts.size() ? ts[r].name : "idle";
+    out << label << std::string(label_w - label.size() + 1, ' ') << '|'
+        << grid[r] << "|\n";
+  }
+  out << std::string(label_w + 1, ' ') << '^' << util::format_double(t0, 3)
+      << "s ... " << util::format_double(t1, 3)
+      << "s  (digits = alpha*10, F = full speed, x = transition)\n";
+}
+
+void write_trace_csv(const VectorTrace& trace, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.row({"begin", "end", "kind", "task", "job", "alpha"});
+  for (const auto& s : trace.segments()) {
+    const char* kind = s.kind == SegmentKind::kBusy ? "busy"
+                       : s.kind == SegmentKind::kIdle ? "idle"
+                                                      : "transition";
+    csv.row({util::format_double(s.begin, 9), util::format_double(s.end, 9),
+             kind, std::to_string(s.task_id), std::to_string(s.job_index),
+             util::format_double(s.alpha, 6)});
+  }
+}
+
+}  // namespace dvs::sim

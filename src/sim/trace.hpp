@@ -1,0 +1,73 @@
+// Execution traces: what ran, when, at which speed.
+//
+// Traces are optional (the simulator runs without one); they power the
+// ASCII Gantt renderer used by examples and the CSV export used for
+// offline plotting.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "task/task_set.hpp"
+#include "util/time.hpp"
+
+namespace dvs::sim {
+
+enum class SegmentKind : std::uint8_t { kBusy, kIdle, kTransition };
+
+struct TraceSegment {
+  Time begin = 0.0;
+  Time end = 0.0;
+  SegmentKind kind = SegmentKind::kIdle;
+  std::int32_t task_id = -1;  ///< valid for kBusy
+  std::int64_t job_index = -1;
+  double alpha = 0.0;         ///< valid for kBusy
+};
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { kRelease, kCompletion, kMiss };
+  Kind kind = Kind::kRelease;
+  Time at = 0.0;
+  std::int32_t task_id = 0;
+  std::int64_t job_index = 0;
+};
+
+/// Receives segments/events from the simulator.
+class TraceRecorder {
+ public:
+  virtual ~TraceRecorder() = default;
+  virtual void segment(const TraceSegment& s) = 0;
+  virtual void event(const TraceEvent& e) = 0;
+};
+
+/// Stores everything in vectors; adjacent busy segments of the same job at
+/// the same speed are merged.
+class VectorTrace final : public TraceRecorder {
+ public:
+  void segment(const TraceSegment& s) override;
+  void event(const TraceEvent& e) override;
+
+  [[nodiscard]] const std::vector<TraceSegment>& segments() const noexcept {
+    return segments_;
+  }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+
+ private:
+  std::vector<TraceSegment> segments_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Render a trace as an ASCII Gantt chart: one row per task plus an idle
+/// row; `columns` characters span [t0, t1).  Speeds are shown as digits
+/// 1..9 (alpha rounded to tenths) so speed changes are visible.
+void render_gantt(const VectorTrace& trace, const task::TaskSet& ts, Time t0,
+                  Time t1, std::ostream& out, int columns = 100);
+
+/// Dump segments as CSV (begin,end,kind,task,job,alpha).
+void write_trace_csv(const VectorTrace& trace, std::ostream& out);
+
+}  // namespace dvs::sim

@@ -1,0 +1,94 @@
+#include "task/benchmarks.hpp"
+
+#include "util/error.hpp"
+
+namespace dvs::task {
+namespace {
+
+struct Row {
+  const char* name;
+  double period_ms;
+  double wcet_ms;
+};
+
+TaskSet build(const std::string& set_name, const Row* rows, std::size_t n,
+              double bcet_ratio) {
+  DVS_EXPECT(bcet_ratio > 0.0 && bcet_ratio <= 1.0,
+             "bcet_ratio must be in (0, 1]");
+  TaskSet set(set_name);
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.name = rows[i].name;
+    t.period = rows[i].period_ms * 1e-3;
+    t.deadline = t.period;
+    t.wcet = rows[i].wcet_ms * 1e-3;
+    t.bcet = bcet_ratio * t.wcet;
+    set.add(std::move(t));
+  }
+  set.validate();
+  return set;
+}
+
+}  // namespace
+
+TaskSet ins_task_set(double bcet_ratio) {
+  // Approximation of the Inertial Navigation System workload
+  // (Burns/Wellings et al.); U ≈ 0.89.
+  static constexpr Row kRows[] = {
+      {"attitude_update", 2.5, 1.18},
+      {"velocity_update", 40.0, 4.28},
+      {"attitude_send", 62.5, 10.28},
+      {"navigation_send", 1000.0, 100.28},
+      {"status_display", 1000.0, 25.28},
+      {"position_update", 1250.0, 29.28},
+  };
+  return build("INS", kRows, std::size(kRows), bcet_ratio);
+}
+
+TaskSet cnc_task_set(double bcet_ratio) {
+  // Approximation of the CNC machine-controller workload
+  // (Kim et al. 1996); U ≈ 0.52.
+  static constexpr Row kRows[] = {
+      {"x_axis_control", 2.4, 0.22},
+      {"y_axis_control", 2.4, 0.22},
+      {"x_position_read", 4.8, 0.24},
+      {"y_position_read", 4.8, 0.24},
+      {"interpolator", 4.8, 0.50},
+      {"status_monitor", 9.6, 0.48},
+      {"command_parser", 9.6, 0.48},
+      {"panel_update", 19.2, 0.60},
+  };
+  return build("CNC", kRows, std::size(kRows), bcet_ratio);
+}
+
+TaskSet avionics_task_set(double bcet_ratio) {
+  // Approximation of the Generic Avionics Platform workload
+  // (Locke, Vogel, Mesler 1991); 17 tasks, U ≈ 0.84.
+  static constexpr Row kRows[] = {
+      {"weapon_release", 10.0, 0.8},
+      {"radar_tracking", 25.0, 2.0},
+      {"target_tracking", 25.0, 3.0},
+      {"aircraft_flight_data", 25.0, 1.0},
+      {"display_graphic", 40.0, 3.0},
+      {"hook_update", 40.0, 2.0},
+      {"steering_cmds", 50.0, 3.0},
+      {"display_hook_update", 50.0, 3.0},
+      {"tracking_filter", 50.0, 2.0},
+      {"nav_update", 59.0, 6.0},
+      {"display_stores_update", 200.0, 1.0},
+      {"display_keyset", 200.0, 1.0},
+      {"display_stat_update", 200.0, 3.0},
+      {"bet_e_status_update", 1000.0, 1.0},
+      {"nav_status", 1000.0, 1.0},
+      {"weapon_protocol", 200.0, 10.0},
+      {"weapon_aim", 50.0, 3.0},
+  };
+  return build("Avionics", kRows, std::size(kRows), bcet_ratio);
+}
+
+std::vector<TaskSet> embedded_task_sets(double bcet_ratio) {
+  return {ins_task_set(bcet_ratio), cnc_task_set(bcet_ratio),
+          avionics_task_set(bcet_ratio)};
+}
+
+}  // namespace dvs::task

@@ -1,0 +1,33 @@
+// Classic embedded real-time task sets used throughout the DVS literature.
+//
+// The DATE 2002 evaluation protocol (and the follow-up SimDVS comparison)
+// exercises DVS algorithms on three well-known applications:
+//   * INS      — Inertial Navigation System (Burns et al.),
+//   * CNC      — Computerized Numerical Control machine controller
+//                (Kim, Shin et al. 1996),
+//   * Avionics — Generic Avionics Platform (Locke, Vogel, Mesler 1991).
+//
+// The parameter tables below are *approximations* reconstructed from the
+// secondary literature (see DESIGN.md §2.3): periods and WCETs are of the
+// right order and the total utilizations land near the commonly cited
+// regimes (≈0.89 INS, ≈0.52 CNC, ≈0.84 avionics).  BCET defaults to 10% of
+// WCET and can be overridden to sweep execution-time variability.
+#pragma once
+
+#include "task/task_set.hpp"
+
+namespace dvs::task {
+
+/// 6-task Inertial Navigation System workload (U ≈ 0.89).
+[[nodiscard]] TaskSet ins_task_set(double bcet_ratio = 0.1);
+
+/// 8-task CNC machine-controller workload (U ≈ 0.52).
+[[nodiscard]] TaskSet cnc_task_set(double bcet_ratio = 0.1);
+
+/// 17-task Generic Avionics Platform workload (U ≈ 0.84).
+[[nodiscard]] TaskSet avionics_task_set(double bcet_ratio = 0.1);
+
+/// All three, for table-style experiments.
+[[nodiscard]] std::vector<TaskSet> embedded_task_sets(double bcet_ratio = 0.1);
+
+}  // namespace dvs::task

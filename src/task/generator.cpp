@@ -1,0 +1,93 @@
+#include "task/generator.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dvs::task {
+
+std::vector<double> uunifast(std::size_t n, double total_u, util::Rng& rng) {
+  DVS_EXPECT(n >= 1, "uunifast requires at least one task");
+  DVS_EXPECT(total_u > 0.0, "uunifast requires positive total utilization");
+  std::vector<double> u(n);
+  double sum = total_u;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double next =
+        sum * std::pow(rng.unit(), 1.0 / static_cast<double>(n - 1 - i));
+    u[i] = sum - next;
+    sum = next;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+TaskSet generate_task_set(const GeneratorConfig& cfg, util::Rng& rng,
+                          const std::string& name) {
+  DVS_EXPECT(cfg.n_tasks >= 1, "need at least one task");
+  DVS_EXPECT(cfg.total_utilization > 0.0 && cfg.total_utilization <= 1.0,
+             "total utilization must be in (0, 1] for EDF feasibility");
+  DVS_EXPECT(cfg.period_min > 0.0 && cfg.period_min <= cfg.period_max,
+             "need 0 < period_min <= period_max");
+  DVS_EXPECT(cfg.bcet_ratio > 0.0 && cfg.bcet_ratio <= 1.0,
+             "bcet_ratio must be in (0, 1]");
+  DVS_EXPECT(cfg.max_task_utilization > 0.0 && cfg.max_task_utilization <= 1.0,
+             "max_task_utilization must be in (0, 1]");
+
+  // Resample until no individual task exceeds the per-task utilization cap.
+  // UUniFast is uniform over the simplex, so acceptance is fast except in
+  // adversarial configs; bound the retries regardless.
+  std::vector<double> shares;
+  for (int attempt = 0;; ++attempt) {
+    DVS_EXPECT(attempt < 1000,
+               "cannot satisfy max_task_utilization; relax the cap");
+    shares = uunifast(cfg.n_tasks, cfg.total_utilization, rng);
+    bool ok = true;
+    for (double s : shares) {
+      if (s > cfg.max_task_utilization) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) break;
+  }
+
+  TaskSet set(name);
+  for (std::size_t i = 0; i < cfg.n_tasks; ++i) {
+    Time period = 0.0;
+    if (cfg.log_uniform_periods) {
+      period = std::exp(
+          rng.uniform(std::log(cfg.period_min), std::log(cfg.period_max)));
+    } else {
+      period = rng.uniform(cfg.period_min, cfg.period_max);
+    }
+    if (cfg.grid_fraction > 0.0) {
+      const Time grid = cfg.period_min * cfg.grid_fraction;
+      period = std::max(cfg.period_min, std::round(period / grid) * grid);
+    }
+    Task t;
+    t.name = "tau" + std::to_string(i);
+    t.period = period;
+    t.deadline = period;
+    t.wcet = shares[i] * period;
+    t.bcet = cfg.bcet_ratio * t.wcet;
+    t.phase = 0.0;
+    set.add(std::move(t));
+  }
+  set.validate();
+  return set;
+}
+
+std::vector<TaskSet> generate_task_sets(const GeneratorConfig& cfg,
+                                        std::size_t count,
+                                        std::uint64_t seed) {
+  std::vector<TaskSet> sets;
+  sets.reserve(count);
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    sets.push_back(
+        generate_task_set(cfg, rng, "random" + std::to_string(i)));
+  }
+  return sets;
+}
+
+}  // namespace dvs::task

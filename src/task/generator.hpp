@@ -1,0 +1,49 @@
+// Random task-set generation for the experiment suite.
+//
+// Utilizations come from UUniFast (Bini & Buttazzo), the standard unbiased
+// sampler of task utilizations summing to a target U; periods are
+// log-uniform over a configurable range (the usual choice, so that short
+// and long periods are equally represented per decade).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "task/task_set.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::task {
+
+/// UUniFast: n utilizations summing (exactly, up to FP) to total_u.
+/// Requires n >= 1 and total_u > 0.
+[[nodiscard]] std::vector<double> uunifast(std::size_t n, double total_u,
+                                           util::Rng& rng);
+
+/// Knobs for random task-set generation.
+struct GeneratorConfig {
+  std::size_t n_tasks = 8;
+  double total_utilization = 0.7;   ///< target WCET utilization, in (0, 1]
+  Time period_min = 0.01;           ///< seconds
+  Time period_max = 1.0;            ///< seconds
+  double bcet_ratio = 0.1;          ///< bcet = bcet_ratio * wcet, in (0, 1]
+  bool log_uniform_periods = true;  ///< false -> linear-uniform periods
+  /// Snap periods to a decimal grid so hyperperiods stay finite.  The grid
+  /// is period_min * grid_fraction; 0 disables snapping.
+  double grid_fraction = 0.05;
+  /// Reject tasks whose utilization exceeds this (UUniFast can emit large
+  /// individual shares at high total U).
+  double max_task_utilization = 1.0;
+};
+
+/// Generate one random task set.  Throws ContractError on bad config.
+/// The resulting set always has utilization within 1e-6 of the target
+/// (WCETs are derived as u_i * T_i) and validates.
+[[nodiscard]] TaskSet generate_task_set(const GeneratorConfig& config,
+                                        util::Rng& rng,
+                                        const std::string& name = "random");
+
+/// Generate `count` independent task sets (convenience for sweeps).
+[[nodiscard]] std::vector<TaskSet> generate_task_sets(
+    const GeneratorConfig& config, std::size_t count, std::uint64_t seed);
+
+}  // namespace dvs::task

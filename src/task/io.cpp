@@ -1,0 +1,101 @@
+#include "task/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::task {
+namespace {
+
+std::vector<std::string> split_csv_row(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(field);
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+double parse_time(const std::string& field, double fallback,
+                  std::size_t line_no, const char* what) {
+  if (field.empty()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(field, &pos);
+    DVS_EXPECT(pos == field.size(), "trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    DVS_EXPECT(false, "task CSV line " + std::to_string(line_no) +
+                          ": malformed " + what + " '" + field + "'");
+    return 0.0;  // unreachable
+  }
+}
+
+}  // namespace
+
+TaskSet load_task_set_csv(std::istream& in, const std::string& name) {
+  TaskSet ts(name);
+  std::string line;
+  std::size_t line_no = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    if (!header_seen) {
+      DVS_EXPECT(util::starts_with(util::to_lower(line), "name,"),
+                 "task CSV line " + std::to_string(line_no) +
+                     ": expected header 'name,period,deadline,wcet,"
+                     "bcet,phase'");
+      header_seen = true;
+      continue;
+    }
+    const auto fields = split_csv_row(line);
+    DVS_EXPECT(fields.size() == 6, "task CSV line " + std::to_string(line_no) +
+                                       ": expected 6 fields, got " +
+                                       std::to_string(fields.size()));
+    Task t;
+    t.name = fields[0];
+    DVS_EXPECT(!t.name.empty(), "task CSV line " + std::to_string(line_no) +
+                                    ": empty task name");
+    t.period = parse_time(fields[1], -1.0, line_no, "period");
+    t.deadline = parse_time(fields[2], t.period, line_no, "deadline");
+    t.wcet = parse_time(fields[3], -1.0, line_no, "wcet");
+    t.bcet = parse_time(fields[4], t.wcet, line_no, "bcet");
+    t.phase = parse_time(fields[5], 0.0, line_no, "phase");
+    try {
+      ts.add(std::move(t));
+    } catch (const util::ContractError& e) {
+      DVS_EXPECT(false, "task CSV line " + std::to_string(line_no) + ": " +
+                            e.what());
+    }
+  }
+  DVS_EXPECT(header_seen, "task CSV: missing header row");
+  DVS_EXPECT(!ts.empty(), "task CSV: no tasks");
+  return ts;
+}
+
+TaskSet load_task_set_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  DVS_EXPECT(in.is_open(), "cannot open task set file: " + path);
+  // Use the file's basename as the set name.
+  const auto slash = path.find_last_of('/');
+  return load_task_set_csv(
+      in, slash == std::string::npos ? path : path.substr(slash + 1));
+}
+
+void save_task_set_csv(const TaskSet& ts, std::ostream& out) {
+  out << "name,period,deadline,wcet,bcet,phase\n";
+  for (const auto& t : ts) {
+    out << t.name << ',' << util::format_double(t.period, 9) << ','
+        << util::format_double(t.deadline, 9) << ','
+        << util::format_double(t.wcet, 9) << ','
+        << util::format_double(t.bcet, 9) << ','
+        << util::format_double(t.phase, 9) << '\n';
+  }
+}
+
+}  // namespace dvs::task

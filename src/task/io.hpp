@@ -1,0 +1,33 @@
+// Task-set serialization: load and save the CSV interchange format used
+// by the CLI tool and the examples.
+//
+// Format (header required, '#' comments and blank lines ignored):
+//
+//   name,period,deadline,wcet,bcet,phase
+//   control,0.005,0.005,0.002,0.0005,0
+//   telemetry,0.020,0.020,0.004,0.001,0
+//
+// All times are seconds.  `deadline`, `bcet`, and `phase` may be left
+// empty ("") to default to period, wcet, and 0 respectively.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "task/task_set.hpp"
+
+namespace dvs::task {
+
+/// Parse a task set; throws ContractError with the offending line number
+/// on malformed input.  `name` labels the resulting set.
+[[nodiscard]] TaskSet load_task_set_csv(std::istream& in,
+                                        const std::string& name = "loaded");
+
+/// Load from a file path (convenience).
+[[nodiscard]] TaskSet load_task_set_csv_file(const std::string& path);
+
+/// Write the interchange format (full precision).
+void save_task_set_csv(const TaskSet& ts, std::ostream& out);
+
+}  // namespace dvs::task

@@ -1,0 +1,45 @@
+#include "task/task.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dvs::task {
+
+std::int64_t Task::first_job_at_or_after(Time t) const noexcept {
+  if (t <= phase) return 0;
+  // ceil with tolerance: a release exactly at t counts as "at t".
+  const double k = (t - phase) / period;
+  auto idx = static_cast<std::int64_t>(std::ceil(k - kTimeEps));
+  if (idx < 0) idx = 0;
+  return idx;
+}
+
+void Task::validate() const {
+  DVS_EXPECT(period > 0.0, "task '" + name + "': period must be positive");
+  DVS_EXPECT(deadline > 0.0, "task '" + name + "': deadline must be positive");
+  DVS_EXPECT(time_leq(deadline, period),
+             "task '" + name + "': constrained deadlines only (D <= T)");
+  DVS_EXPECT(wcet > 0.0, "task '" + name + "': WCET must be positive");
+  DVS_EXPECT(time_leq(wcet, deadline),
+             "task '" + name + "': WCET must fit within the deadline");
+  DVS_EXPECT(bcet > 0.0 && time_leq(bcet, wcet),
+             "task '" + name + "': BCET must be in (0, WCET]");
+  DVS_EXPECT(phase >= 0.0, "task '" + name + "': phase must be non-negative");
+}
+
+Task make_task(std::int32_t id, std::string name, Time period, Work wcet,
+               Work bcet) {
+  Task t;
+  t.id = id;
+  t.name = std::move(name);
+  t.period = period;
+  t.deadline = period;
+  t.wcet = wcet;
+  t.bcet = bcet < 0.0 ? wcet : bcet;
+  t.phase = 0.0;
+  t.validate();
+  return t;
+}
+
+}  // namespace dvs::task

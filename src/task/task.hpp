@@ -1,0 +1,52 @@
+// Periodic hard real-time task model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace dvs::task {
+
+/// One periodic task.  All work quantities are expressed at maximum
+/// processor speed (see util/time.hpp).  Deadlines are relative and
+/// constrained (deadline <= period); the common implicit-deadline case is
+/// deadline == period.
+struct Task {
+  std::int32_t id = 0;     ///< unique within a TaskSet
+  std::string name;        ///< human-readable label
+  Time period = 0.0;       ///< > 0
+  Time deadline = 0.0;     ///< relative; 0 < deadline <= period
+  Work wcet = 0.0;         ///< worst-case execution time at max speed; <= deadline
+  Work bcet = 0.0;         ///< best-case execution time; 0 < bcet <= wcet
+  Time phase = 0.0;        ///< release offset of the first job; >= 0
+
+  /// WCET utilization wcet / period.
+  [[nodiscard]] double utilization() const noexcept { return wcet / period; }
+
+  /// WCET density wcet / min(deadline, period).
+  [[nodiscard]] double density() const noexcept { return wcet / deadline; }
+
+  /// Release time of job `k` (k >= 0).
+  [[nodiscard]] Time release_of(std::int64_t k) const noexcept {
+    return phase + static_cast<double>(k) * period;
+  }
+
+  /// Absolute deadline of job `k`.
+  [[nodiscard]] Time deadline_of(std::int64_t k) const noexcept {
+    return release_of(k) + deadline;
+  }
+
+  /// Index of the first job released at or after time `t`.
+  [[nodiscard]] std::int64_t first_job_at_or_after(Time t) const noexcept;
+
+  /// Throws ContractError when any field violates the model constraints.
+  void validate() const;
+};
+
+/// Convenience factory for the common implicit-deadline case
+/// (deadline = period, phase = 0).  A negative `bcet` means bcet = wcet.
+[[nodiscard]] Task make_task(std::int32_t id, std::string name, Time period,
+                             Work wcet, Work bcet = -1.0);
+
+}  // namespace dvs::task

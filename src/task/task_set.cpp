@@ -1,0 +1,108 @@
+#include "task/task_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dvs::task {
+
+TaskSet::TaskSet(std::string name, std::vector<Task> tasks)
+    : name_(std::move(name)) {
+  for (auto& t : tasks) add(std::move(t));
+}
+
+void TaskSet::add(Task t) {
+  t.id = static_cast<std::int32_t>(tasks_.size());
+  t.validate();
+  tasks_.push_back(std::move(t));
+}
+
+double TaskSet::utilization() const noexcept {
+  double u = 0.0;
+  for (const auto& t : tasks_) u += t.utilization();
+  return u;
+}
+
+double TaskSet::density() const noexcept {
+  double d = 0.0;
+  for (const auto& t : tasks_) d += t.density();
+  return d;
+}
+
+Time TaskSet::max_period() const {
+  DVS_EXPECT(!tasks_.empty(), "max_period of empty task set");
+  Time m = tasks_.front().period;
+  for (const auto& t : tasks_) m = std::max(m, t.period);
+  return m;
+}
+
+Time TaskSet::min_period() const {
+  DVS_EXPECT(!tasks_.empty(), "min_period of empty task set");
+  Time m = tasks_.front().period;
+  for (const auto& t : tasks_) m = std::min(m, t.period);
+  return m;
+}
+
+Work TaskSet::max_wcet() const {
+  DVS_EXPECT(!tasks_.empty(), "max_wcet of empty task set");
+  Work m = tasks_.front().wcet;
+  for (const auto& t : tasks_) m = std::max(m, t.wcet);
+  return m;
+}
+
+std::optional<Time> TaskSet::hyperperiod() const {
+  if (tasks_.empty()) return std::nullopt;
+  // Find a decimal scale that turns every period into an integer, then take
+  // the 64-bit LCM.  Periods in this domain are human-chosen values such as
+  // 2.4 ms or 62.5 ms, so a scale of at most 1e6 covers them.
+  for (double scale : {1.0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6}) {
+    bool all_integral = true;
+    std::vector<std::int64_t> scaled;
+    scaled.reserve(tasks_.size());
+    for (const auto& t : tasks_) {
+      const double v = t.period * scale;
+      const double r = std::round(v);
+      if (v > 9e15 || std::fabs(v - r) > 1e-6) {
+        all_integral = false;
+        break;
+      }
+      scaled.push_back(static_cast<std::int64_t>(r));
+    }
+    if (!all_integral) continue;
+    std::int64_t l = 1;
+    bool overflow = false;
+    for (std::int64_t p : scaled) {
+      const std::int64_t g = std::gcd(l, p);
+      // l / g * p may overflow; detect before multiplying.
+      if (p != 0 && (l / g) > (9'000'000'000'000'000'000LL / p)) {
+        overflow = true;
+        break;
+      }
+      l = l / g * p;
+    }
+    if (!overflow) return static_cast<Time>(l) / scale;
+  }
+  return std::nullopt;
+}
+
+Time TaskSet::default_sim_length() const {
+  DVS_EXPECT(!tasks_.empty(), "default_sim_length of empty task set");
+  const Time max_p = max_period();
+  Time length = 64.0 * max_p;
+  if (const auto h = hyperperiod()) {
+    length = std::min(length, 4.0 * *h);
+  }
+  return std::max(length, max_p);
+}
+
+void TaskSet::validate() const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    DVS_EXPECT(tasks_[i].id == static_cast<std::int32_t>(i),
+               "task ids must equal their index");
+    tasks_[i].validate();
+  }
+}
+
+}  // namespace dvs::task

@@ -1,0 +1,65 @@
+// A set of periodic tasks plus whole-set derived quantities.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "task/task.hpp"
+
+namespace dvs::task {
+
+/// Immutable-after-construction collection of tasks.
+/// Invariants (enforced by the constructor / add()):
+///  * task ids are unique and equal to their index,
+///  * every task individually validates.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::string name) : name_(std::move(name)) {}
+  TaskSet(std::string name, std::vector<Task> tasks);
+
+  /// Append a task; its id is rewritten to its index in the set.
+  void add(Task t);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return tasks_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return tasks_.empty(); }
+  [[nodiscard]] const Task& operator[](std::size_t i) const { return tasks_[i]; }
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  [[nodiscard]] std::vector<Task>::const_iterator begin() const noexcept {
+    return tasks_.begin();
+  }
+  [[nodiscard]] std::vector<Task>::const_iterator end() const noexcept {
+    return tasks_.end();
+  }
+
+  /// Sum of WCET utilizations.
+  [[nodiscard]] double utilization() const noexcept;
+
+  /// Sum of WCET densities (wcet / deadline).
+  [[nodiscard]] double density() const noexcept;
+
+  [[nodiscard]] Time max_period() const;
+  [[nodiscard]] Time min_period() const;
+  [[nodiscard]] Work max_wcet() const;
+
+  /// Least common multiple of the periods when they are commensurate
+  /// (expressible on a decimal grid without 64-bit overflow); nullopt
+  /// otherwise.  Phases are ignored.
+  [[nodiscard]] std::optional<Time> hyperperiod() const;
+
+  /// A sensible default simulation length: min(4 hyperperiods, 64 max
+  /// periods), at least one max period.
+  [[nodiscard]] Time default_sim_length() const;
+
+  /// Validates every task and whole-set invariants; throws on violation.
+  void validate() const;
+
+ private:
+  std::string name_ = "taskset";
+  std::vector<Task> tasks_;
+};
+
+}  // namespace dvs::task

@@ -1,0 +1,94 @@
+#include "task/trace_workload.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dvs::task {
+namespace {
+
+class TraceModel final : public ExecutionTimeModel {
+ public:
+  TraceModel(std::vector<std::vector<double>> samples, bool ratios)
+      : samples_(std::move(samples)), ratios_(ratios) {
+    for (const auto& trace : samples_) {
+      for (double v : trace) {
+        DVS_EXPECT(v >= 0.0, "trace samples must be non-negative");
+      }
+    }
+  }
+
+  Work draw(const Task& t, std::int64_t job) const override {
+    const auto id = static_cast<std::size_t>(t.id);
+    if (id >= samples_.size() || samples_[id].empty()) {
+      return t.wcet;  // no data: conservative worst case
+    }
+    const auto& trace = samples_[id];
+    const double raw =
+        trace[static_cast<std::size_t>(job) % trace.size()];
+    const double work = ratios_ ? raw * t.wcet : raw;
+    return std::clamp(work, t.bcet, t.wcet);
+  }
+
+  std::string name() const override {
+    return ratios_ ? "trace(ratios)" : "trace";
+  }
+
+ private:
+  std::vector<std::vector<double>> samples_;
+  bool ratios_;
+};
+
+}  // namespace
+
+ExecutionTimeModelPtr trace_model(
+    std::vector<std::vector<Work>> per_task_work) {
+  return std::make_shared<TraceModel>(std::move(per_task_work),
+                                      /*ratios=*/false);
+}
+
+ExecutionTimeModelPtr trace_ratio_model(
+    std::vector<std::vector<double>> per_task_ratios) {
+  return std::make_shared<TraceModel>(std::move(per_task_ratios),
+                                      /*ratios=*/true);
+}
+
+std::vector<std::vector<double>> load_trace_csv(std::istream& in,
+                                                std::size_t n_tasks) {
+  std::vector<std::vector<double>> out(n_tasks);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream row(line);
+    std::string id_field;
+    std::string value_field;
+    const bool ok = static_cast<bool>(std::getline(row, id_field, ',')) &&
+                    static_cast<bool>(std::getline(row, value_field));
+    DVS_EXPECT(ok, "trace CSV line " + std::to_string(line_no) +
+                       ": expected 'task_id,value'");
+    std::size_t pos = 0;
+    long id = -1;
+    double value = -1.0;
+    try {
+      id = std::stol(id_field, &pos);
+      DVS_EXPECT(pos == id_field.size(), "trailing junk in task id");
+      value = std::stod(value_field, &pos);
+    } catch (const std::exception&) {
+      DVS_EXPECT(false, "trace CSV line " + std::to_string(line_no) +
+                            ": malformed number");
+    }
+    DVS_EXPECT(id >= 0 && static_cast<std::size_t>(id) < n_tasks,
+               "trace CSV line " + std::to_string(line_no) +
+                   ": task id out of range");
+    DVS_EXPECT(value >= 0.0, "trace CSV line " + std::to_string(line_no) +
+                                 ": negative value");
+    out[static_cast<std::size_t>(id)].push_back(value);
+  }
+  return out;
+}
+
+}  // namespace dvs::task

@@ -1,0 +1,39 @@
+// Trace-driven actual-execution-time model.
+//
+// Real deployments rarely have closed-form RET distributions; they have
+// measurements.  This model replays per-task execution-time traces
+// (vectors of work values, or ratios of WCET), cycling when a trace is
+// shorter than the simulation.  Values are clamped to [bcet, wcet] like
+// every other model, so a sloppy trace can never break the hard
+// real-time contract.
+//
+// A small CSV loader is included: one row per sample,
+//   task_id,work_seconds
+// or, with `ratios = true`, task_id,ratio-of-wcet.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <vector>
+
+#include "task/workload.hpp"
+
+namespace dvs::task {
+
+/// Per-task traces indexed by task id; missing/empty traces fall back to
+/// the task's WCET (the conservative choice).
+[[nodiscard]] ExecutionTimeModelPtr trace_model(
+    std::vector<std::vector<Work>> per_task_work);
+
+/// Same, with samples given as fractions of each task's WCET.
+[[nodiscard]] ExecutionTimeModelPtr trace_ratio_model(
+    std::vector<std::vector<double>> per_task_ratios);
+
+/// Parse "task_id,value" rows into per-task sample vectors.  Lines that
+/// are empty or start with '#' are skipped.  Throws ContractError on
+/// malformed rows or negative ids/values.  `n_tasks` sizes the result;
+/// ids outside [0, n_tasks) are rejected.
+[[nodiscard]] std::vector<std::vector<double>> load_trace_csv(
+    std::istream& in, std::size_t n_tasks);
+
+}  // namespace dvs::task

@@ -1,0 +1,272 @@
+#include "task/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::task {
+namespace {
+
+using util::hash_unit;
+
+/// Clamp a candidate work value into the task's legal [bcet, wcet] band.
+Work clamp_work(const Task& t, double w) {
+  return std::clamp(w, t.bcet, t.wcet);
+}
+
+/// Per-(task, job) uniform deviate in [0,1), decorrelated by a salt so a
+/// model drawing several deviates per job stays independent.
+double deviate(std::uint64_t seed, const Task& t, std::int64_t job,
+               std::uint64_t salt) {
+  return hash_unit(seed ^ (0x51ACDB5ULL + salt),
+                   static_cast<std::uint64_t>(t.id) + 1,
+                   static_cast<std::uint64_t>(job));
+}
+
+class ConstantRatioModel final : public ExecutionTimeModel {
+ public:
+  explicit ConstantRatioModel(double ratio) : ratio_(ratio) {
+    DVS_EXPECT(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+  }
+  Work draw(const Task& t, std::int64_t) const override {
+    return clamp_work(t, ratio_ * t.wcet);
+  }
+  std::string name() const override {
+    return "const(" + util::format_double(ratio_, 2) + ")";
+  }
+
+ private:
+  double ratio_;
+};
+
+class UniformRatioModel final : public ExecutionTimeModel {
+ public:
+  UniformRatioModel(std::uint64_t seed, double lo, double hi)
+      : seed_(seed), lo_(lo), hi_(hi) {
+    DVS_EXPECT(lo > 0.0 && lo <= hi && hi <= 1.0,
+               "need 0 < lo_ratio <= hi_ratio <= 1");
+  }
+  Work draw(const Task& t, std::int64_t job) const override {
+    const double r = lo_ + (hi_ - lo_) * deviate(seed_, t, job, 1);
+    return clamp_work(t, r * t.wcet);
+  }
+  std::string name() const override {
+    return "uniform[" + util::format_double(lo_, 2) + "," +
+           util::format_double(hi_, 2) + "]";
+  }
+
+ private:
+  std::uint64_t seed_;
+  double lo_, hi_;
+};
+
+class UniformBcetWcetModel final : public ExecutionTimeModel {
+ public:
+  explicit UniformBcetWcetModel(std::uint64_t seed) : seed_(seed) {}
+  Work draw(const Task& t, std::int64_t job) const override {
+    return t.bcet + (t.wcet - t.bcet) * deviate(seed_, t, job, 2);
+  }
+  std::string name() const override { return "uniform"; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+class NormalModel final : public ExecutionTimeModel {
+ public:
+  NormalModel(std::uint64_t seed, double mean_ratio, double cv)
+      : seed_(seed), mean_ratio_(mean_ratio), cv_(cv) {
+    DVS_EXPECT(mean_ratio > 0.0 && mean_ratio <= 1.0,
+               "mean_ratio must be in (0, 1]");
+    DVS_EXPECT(cv >= 0.0, "coefficient of variation must be >= 0");
+  }
+  Work draw(const Task& t, std::int64_t job) const override {
+    // Deterministic Box–Muller from two counter-based deviates.
+    double u1 = deviate(seed_, t, job, 3);
+    if (u1 <= 0.0) u1 = 0.5;
+    const double u2 = deviate(seed_, t, job, 4);
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * std::numbers::pi * u2);
+    return clamp_work(t, (mean_ratio_ + cv_ * z) * t.wcet);
+  }
+  std::string name() const override {
+    return "normal(" + util::format_double(mean_ratio_, 2) + "," +
+           util::format_double(cv_, 2) + ")";
+  }
+
+ private:
+  std::uint64_t seed_;
+  double mean_ratio_, cv_;
+};
+
+class BimodalModel final : public ExecutionTimeModel {
+ public:
+  BimodalModel(std::uint64_t seed, double p_heavy, double light, double heavy)
+      : seed_(seed), p_heavy_(p_heavy), light_(light), heavy_(heavy) {
+    DVS_EXPECT(p_heavy >= 0.0 && p_heavy <= 1.0, "p_heavy must be in [0, 1]");
+    DVS_EXPECT(light > 0.0 && light <= heavy && heavy <= 1.0,
+               "need 0 < light_ratio <= heavy_ratio <= 1");
+  }
+  Work draw(const Task& t, std::int64_t job) const override {
+    const bool heavy = deviate(seed_, t, job, 5) < p_heavy_;
+    return clamp_work(t, (heavy ? heavy_ : light_) * t.wcet);
+  }
+  std::string name() const override {
+    return "bimodal(p=" + util::format_double(p_heavy_, 2) + ")";
+  }
+
+ private:
+  std::uint64_t seed_;
+  double p_heavy_, light_, heavy_;
+};
+
+class SinusoidalModel final : public ExecutionTimeModel {
+ public:
+  SinusoidalModel(std::uint64_t seed, double mean, double amplitude,
+                  double period_jobs, double phase, double jitter)
+      : seed_(seed),
+        mean_(mean),
+        amplitude_(amplitude),
+        period_jobs_(period_jobs),
+        phase_(phase),
+        jitter_(jitter) {
+    DVS_EXPECT(period_jobs > 0.0, "sinusoid period must be positive");
+    DVS_EXPECT(mean > 0.0 && mean <= 1.0, "mean ratio must be in (0, 1]");
+    DVS_EXPECT(amplitude >= 0.0 && jitter >= 0.0,
+               "amplitude and jitter must be >= 0");
+  }
+  Work draw(const Task& t, std::int64_t job) const override {
+    const double angle =
+        2.0 * std::numbers::pi * static_cast<double>(job) / period_jobs_ +
+        phase_;
+    double r = mean_ + amplitude_ * std::sin(angle);
+    if (jitter_ > 0.0) {
+      r += jitter_ * (deviate(seed_, t, job, 6) - 0.5);
+    }
+    return clamp_work(t, r * t.wcet);
+  }
+  std::string name() const override {
+    return phase_ == 0.0 ? "sin" : "sin(phase)";
+  }
+
+ private:
+  std::uint64_t seed_;
+  double mean_, amplitude_, period_jobs_, phase_, jitter_;
+};
+
+class PhasedModel final : public ExecutionTimeModel {
+ public:
+  PhasedModel(std::uint64_t seed, std::int64_t block_len, double p_heavy,
+              double light, double heavy)
+      : seed_(seed),
+        block_len_(block_len),
+        p_heavy_(p_heavy),
+        light_(light),
+        heavy_(heavy) {
+    DVS_EXPECT(block_len > 0, "block length must be positive");
+    DVS_EXPECT(p_heavy >= 0.0 && p_heavy <= 1.0, "p_heavy must be in [0, 1]");
+    DVS_EXPECT(light > 0.0 && light <= heavy && heavy <= 1.0,
+               "need 0 < light_ratio <= heavy_ratio <= 1");
+  }
+  Work draw(const Task& t, std::int64_t job) const override {
+    const std::int64_t block = job / block_len_;
+    const bool heavy =
+        util::hash_unit(seed_ ^ 0xB10CULL,
+                        static_cast<std::uint64_t>(t.id) + 1,
+                        static_cast<std::uint64_t>(block)) < p_heavy_;
+    // Small within-block variation keeps jobs from being byte-identical.
+    const double wiggle = 0.05 * (deviate(seed_, t, job, 7) - 0.5);
+    return clamp_work(t, ((heavy ? heavy_ : light_) + wiggle) * t.wcet);
+  }
+  std::string name() const override {
+    return "phased(L=" + std::to_string(block_len_) + ")";
+  }
+
+ private:
+  std::uint64_t seed_;
+  std::int64_t block_len_;
+  double p_heavy_, light_, heavy_;
+};
+
+class ExponentialModel final : public ExecutionTimeModel {
+ public:
+  ExponentialModel(std::uint64_t seed, double mean_ratio)
+      : seed_(seed), mean_ratio_(mean_ratio) {
+    DVS_EXPECT(mean_ratio > 0.0 && mean_ratio <= 1.0,
+               "mean_ratio must be in (0, 1]");
+  }
+  Work draw(const Task& t, std::int64_t job) const override {
+    double u = deviate(seed_, t, job, 8);
+    if (u >= 1.0) u = 0.5;
+    const double mean = mean_ratio_ * (t.wcet - t.bcet);
+    const double overshoot = mean > 0.0 ? -mean * std::log1p(-u) : 0.0;
+    return clamp_work(t, t.bcet + overshoot);
+  }
+  std::string name() const override { return "exponential"; }
+
+ private:
+  std::uint64_t seed_;
+  double mean_ratio_;
+};
+
+}  // namespace
+
+ExecutionTimeModelPtr constant_ratio_model(double ratio) {
+  return std::make_shared<ConstantRatioModel>(ratio);
+}
+
+ExecutionTimeModelPtr uniform_model(std::uint64_t seed) {
+  return std::make_shared<UniformBcetWcetModel>(seed);
+}
+
+ExecutionTimeModelPtr uniform_ratio_model(std::uint64_t seed, double lo_ratio,
+                                          double hi_ratio) {
+  return std::make_shared<UniformRatioModel>(seed, lo_ratio, hi_ratio);
+}
+
+ExecutionTimeModelPtr normal_model(std::uint64_t seed, double mean_ratio,
+                                   double cv) {
+  return std::make_shared<NormalModel>(seed, mean_ratio, cv);
+}
+
+ExecutionTimeModelPtr bimodal_model(std::uint64_t seed, double p_heavy,
+                                    double light_ratio, double heavy_ratio) {
+  return std::make_shared<BimodalModel>(seed, p_heavy, light_ratio,
+                                        heavy_ratio);
+}
+
+ExecutionTimeModelPtr sinusoidal_model(std::uint64_t seed, double mean,
+                                       double amplitude, double period_jobs,
+                                       double phase, double jitter) {
+  return std::make_shared<SinusoidalModel>(seed, mean, amplitude, period_jobs,
+                                           phase, jitter);
+}
+
+ExecutionTimeModelPtr sin_pattern_model(std::uint64_t seed) {
+  // Ratio oscillates across [0.5, 1.0] over ~16 jobs with mild jitter,
+  // mirroring the "Sin Pattern" RET workloads of the era's experiments.
+  return std::make_shared<SinusoidalModel>(seed, 0.75, 0.25, 16.0, 0.0, 0.1);
+}
+
+ExecutionTimeModelPtr cos_pattern_model(std::uint64_t seed) {
+  return std::make_shared<SinusoidalModel>(seed, 0.75, 0.25, 16.0,
+                                           std::numbers::pi / 2.0, 0.1);
+}
+
+ExecutionTimeModelPtr phased_model(std::uint64_t seed, std::int64_t block_len,
+                                   double p_heavy, double light_ratio,
+                                   double heavy_ratio) {
+  return std::make_shared<PhasedModel>(seed, block_len, p_heavy, light_ratio,
+                                       heavy_ratio);
+}
+
+ExecutionTimeModelPtr exponential_model(std::uint64_t seed,
+                                        double mean_ratio) {
+  return std::make_shared<ExponentialModel>(seed, mean_ratio);
+}
+
+}  // namespace dvs::task

@@ -1,0 +1,90 @@
+// Actual-execution-time (RET) models.
+//
+// A hard real-time DVS scheme never *knows* a job's actual execution time;
+// slack appears only because jobs finish under their WCET budget.  These
+// models decide, per job, how much work the job really performs.
+//
+// Determinism contract: draw() depends only on (model seed, task id,
+// job_index).  The simulator may call it in any order and any number of
+// times; every governor therefore replays the identical workload — the
+// common-random-numbers protocol used throughout the experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "task/task.hpp"
+
+namespace dvs::task {
+
+/// Interface for actual-execution-time generation.
+class ExecutionTimeModel {
+ public:
+  virtual ~ExecutionTimeModel() = default;
+
+  /// Actual work of job `job_index` of `task`; always in [bcet, wcet].
+  [[nodiscard]] virtual Work draw(const Task& task,
+                                  std::int64_t job_index) const = 0;
+
+  /// Short identifier used in reports ("uniform", "sin", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using ExecutionTimeModelPtr = std::shared_ptr<const ExecutionTimeModel>;
+
+/// Every job consumes ratio * WCET (clamped to [bcet, wcet]).
+/// ratio = 1 reproduces the pure worst-case workload.
+[[nodiscard]] ExecutionTimeModelPtr constant_ratio_model(double ratio);
+
+/// Uniform in [bcet, wcet].
+[[nodiscard]] ExecutionTimeModelPtr uniform_model(std::uint64_t seed);
+
+/// Uniform in [lo_ratio, hi_ratio] * wcet (clamped to [bcet, wcet]).
+[[nodiscard]] ExecutionTimeModelPtr uniform_ratio_model(std::uint64_t seed,
+                                                        double lo_ratio,
+                                                        double hi_ratio);
+
+/// Normal(mean_ratio * wcet, cv * wcet) truncated to [bcet, wcet].
+[[nodiscard]] ExecutionTimeModelPtr normal_model(std::uint64_t seed,
+                                                 double mean_ratio, double cv);
+
+/// With probability p_heavy the job takes heavy_ratio * wcet, otherwise
+/// light_ratio * wcet (both clamped).  Models bursty workloads.
+[[nodiscard]] ExecutionTimeModelPtr bimodal_model(std::uint64_t seed,
+                                                  double p_heavy,
+                                                  double light_ratio,
+                                                  double heavy_ratio);
+
+/// ratio(job) = mean + amplitude * sin(2*pi*job/period_jobs + phase),
+/// clamped to [bcet, wcet].  With phase = pi/2 this is the "Cos" pattern of
+/// the DVS literature; random per-job jitter can be added on top.
+[[nodiscard]] ExecutionTimeModelPtr sinusoidal_model(std::uint64_t seed,
+                                                     double mean,
+                                                     double amplitude,
+                                                     double period_jobs,
+                                                     double phase = 0.0,
+                                                     double jitter = 0.0);
+
+/// Convenience: the classic "Sin pattern" — C_random * |sin|-like modulation
+/// with ratios spanning [0.5, 1.0].
+[[nodiscard]] ExecutionTimeModelPtr sin_pattern_model(std::uint64_t seed);
+
+/// Convenience: the classic "Cos pattern" (sin shifted by pi/2).
+[[nodiscard]] ExecutionTimeModelPtr cos_pattern_model(std::uint64_t seed);
+
+/// Workload phases: jobs are grouped into blocks of `block_len`; each block
+/// is independently either light or heavy.  Models mode changes
+/// (e.g. an MPEG stream alternating between simple and complex scenes).
+[[nodiscard]] ExecutionTimeModelPtr phased_model(std::uint64_t seed,
+                                                 std::int64_t block_len,
+                                                 double p_heavy,
+                                                 double light_ratio,
+                                                 double heavy_ratio);
+
+/// Exponentially distributed overshoot above BCET, truncated at WCET:
+/// actual = bcet + Exp(mean = mean_ratio * (wcet - bcet)).
+[[nodiscard]] ExecutionTimeModelPtr exponential_model(std::uint64_t seed,
+                                                      double mean_ratio);
+
+}  // namespace dvs::task

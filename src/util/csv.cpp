@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::util {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << csv_escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values, int precision) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_double(v, precision));
+  row(fields);
+}
+
+CsvFile::CsvFile(const std::string& path)
+    : stream_(path), writer_(stream_) {
+  DVS_EXPECT(stream_.is_open(), "cannot open CSV output file: " + path);
+}
+
+}  // namespace dvs::util

@@ -1,0 +1,43 @@
+// Minimal RFC-4180-ish CSV emission for experiment results and traces.
+#pragma once
+
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dvs::util {
+
+/// Streams rows to a std::ostream, quoting fields when needed.
+/// The writer does not own the stream; keep it alive while writing.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write a full row; fields are quoted iff they contain , " or newline.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: write a row of doubles with the given precision.
+  void row_numeric(const std::vector<double>& values, int precision = 6);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Owns an output file and a CsvWriter over it.
+class CsvFile {
+ public:
+  /// Opens (truncates) `path`. Throws ContractError when it cannot.
+  explicit CsvFile(const std::string& path);
+
+  [[nodiscard]] CsvWriter& writer() { return writer_; }
+
+ private:
+  std::ofstream stream_;
+  CsvWriter writer_;
+};
+
+/// Escape a single CSV field (exposed for tests).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace dvs::util

@@ -1,0 +1,60 @@
+// Error handling for SlackDVS.
+//
+// The library distinguishes two failure classes:
+//  * contract violations (caller bugs) -> dvs::util::ContractError via
+//    DVS_EXPECT, mirroring the Core Guidelines' Expects();
+//  * internal invariant breakage       -> dvs::util::InternalError via
+//    DVS_ENSURE, mirroring Ensures().
+//
+// Both throw rather than abort so that tests can exercise failure paths.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dvs::util {
+
+/// Thrown when a caller violates a documented precondition.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant is found broken (a library bug).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_contract(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  throw ContractError(std::string("precondition failed: ") + cond + " at " +
+                      file + ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (" — " + msg)));
+}
+[[noreturn]] inline void throw_internal(const char* cond, const char* file,
+                                        int line, const std::string& msg) {
+  throw InternalError(std::string("invariant failed: ") + cond + " at " +
+                      file + ":" + std::to_string(line) +
+                      (msg.empty() ? "" : (" — " + msg)));
+}
+}  // namespace detail
+
+}  // namespace dvs::util
+
+/// Precondition check: document and enforce what callers must guarantee.
+#define DVS_EXPECT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dvs::util::detail::throw_contract(#cond, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)
+
+/// Postcondition / invariant check: guards against internal bugs.
+#define DVS_ENSURE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dvs::util::detail::throw_internal(#cond, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (false)

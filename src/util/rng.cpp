@@ -1,0 +1,97 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace dvs::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_u64(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  // Feed the coordinates through successive SplitMix64 rounds; each round
+  // fully avalanches, so (a,b,c) and (a',b,c) with a != a' decorrelate.
+  std::uint64_t state = a ^ 0x2545f4914f6cdd1dULL;
+  std::uint64_t h = splitmix64(state);
+  state ^= b + 0x9e3779b97f4a7c15ULL;
+  h ^= splitmix64(state);
+  state ^= c + 0xd1b54a32d192ed03ULL;
+  h ^= splitmix64(state);
+  return h;
+}
+
+double hash_unit(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
+  // Top 53 bits -> [0, 1) with full double precision.
+  return static_cast<double>(hash_u64(a, b, c) >> 11) * 0x1.0p-53;
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256StarStar::Xoshiro256StarStar(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Xoshiro256StarStar::result_type Xoshiro256StarStar::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256StarStar::unit() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256StarStar::uniform(double lo, double hi) {
+  DVS_EXPECT(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * unit();
+}
+
+std::int64_t Xoshiro256StarStar::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DVS_EXPECT(lo <= hi, "uniform_int(lo, hi) requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling removes modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = 0;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Xoshiro256StarStar::normal() {
+  // Box–Muller; regenerate u1 until nonzero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = unit();
+  } while (u1 <= 0.0);
+  const double u2 = unit();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Xoshiro256StarStar::normal(double mean, double stddev) {
+  DVS_EXPECT(stddev >= 0.0, "normal() requires stddev >= 0");
+  return mean + stddev * normal();
+}
+
+}  // namespace dvs::util

@@ -1,0 +1,63 @@
+// Deterministic random number generation.
+//
+// Two generators are provided:
+//  * Xoshiro256StarStar — a fast, high-quality sequential PRNG used for
+//    task-set generation and experiment replication;
+//  * stateless counter-based hashing (hash_u64 / hash_unit) used to draw a
+//    job's actual execution time from (seed, task, job_index).  Because the
+//    draw depends only on those coordinates, every governor replays a
+//    byte-identical workload — the common-random-numbers protocol the
+//    experiment harness relies on (see DESIGN.md §4).
+//
+// <random> distributions are avoided on purpose: their outputs are not
+// reproducible across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace dvs::util {
+
+/// SplitMix64 step; used for seeding and as the mixing core of hash_u64.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of up to three 64-bit coordinates into one 64-bit hash.
+[[nodiscard]] std::uint64_t hash_u64(std::uint64_t a, std::uint64_t b = 0,
+                                     std::uint64_t c = 0) noexcept;
+
+/// Stateless uniform draw in [0, 1) from three coordinates.
+[[nodiscard]] double hash_unit(std::uint64_t a, std::uint64_t b = 0,
+                               std::uint64_t c = 0) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Xoshiro256StarStar {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256StarStar(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~static_cast<result_type>(0);
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double unit();
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  [[nodiscard]] double normal();
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Default generator type for the library.
+using Rng = Xoshiro256StarStar;
+
+}  // namespace dvs::util

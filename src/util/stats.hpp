@@ -1,0 +1,44 @@
+// Streaming statistics used by the experiment harness and tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dvs::util {
+
+/// Welford-style running mean/variance with min/max tracking.
+/// Numerically stable for long experiment runs.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+  /// Mean of the samples. Requires count() > 0.
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance. Requires count() > 1.
+  [[nodiscard]] double variance() const;
+  /// sqrt(variance()). Requires count() > 1.
+  [[nodiscard]] double stddev() const;
+  /// Smallest sample. Requires count() > 0.
+  [[nodiscard]] double min() const;
+  /// Largest sample. Requires count() > 0.
+  [[nodiscard]] double max() const;
+  /// Sum of all samples (0 when empty).
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolation percentile of a sample vector (copies and sorts).
+/// `p` in [0, 100]. Requires a non-empty vector.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+}  // namespace dvs::util

@@ -1,0 +1,52 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace dvs::util {
+
+std::string format_double(double value, int precision) {
+  DVS_EXPECT(precision >= 0 && precision <= 17, "unreasonable precision");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_si_time(double seconds) {
+  const double a = std::fabs(seconds);
+  char buf[64];
+  if (a >= 1.0 || a == 0.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string to_lower(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+}  // namespace dvs::util

@@ -1,0 +1,25 @@
+// Small string formatting helpers (no external dependencies).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dvs::util {
+
+/// Fixed-precision formatting, e.g. format_double(0.12345, 3) == "0.123".
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+/// Human-oriented SI time formatting (e.g. "1.50 ms", "20.0 us").
+[[nodiscard]] std::string format_si_time(double seconds);
+
+/// Join strings with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               const std::string& sep);
+
+/// True when `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Lower-case ASCII copy.
+[[nodiscard]] std::string to_lower(std::string s);
+
+}  // namespace dvs::util

@@ -1,0 +1,73 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace dvs::util {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::row_numeric(const std::string& label,
+                            const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(format_double(v, precision));
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::render(std::ostream& out, int indent) const {
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit = [&](const std::vector<std::string>& cells) {
+    out << pad;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out << "  ";
+      // Left-align the first column (labels), right-align numeric columns.
+      const auto w = static_cast<long>(widths[i]);
+      if (i == 0) {
+        out << cells[i];
+        for (long k = static_cast<long>(cells[i].size()); k < w; ++k) out << ' ';
+      } else {
+        for (long k = static_cast<long>(cells[i].size()); k < w; ++k) out << ' ';
+        out << cells[i];
+      }
+    }
+    out << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      total += widths[i] + (i > 0 ? 2 : 0);
+    }
+    out << pad << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::str() const {
+  std::ostringstream os;
+  render(os);
+  return os.str();
+}
+
+}  // namespace dvs::util

@@ -1,0 +1,41 @@
+// Aligned plain-text tables for experiment reports.
+//
+// The benchmark harness prints paper-style tables on stdout; this class
+// handles column sizing and alignment so every bench binary reports in a
+// uniform format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dvs::util {
+
+/// Builds a table row by row, then renders with aligned columns.
+class TextTable {
+ public:
+  /// Set the header row (optional; rendered with a separator line).
+  void header(std::vector<std::string> cells);
+
+  /// Append a data row. Rows may have differing cell counts.
+  void row(std::vector<std::string> cells);
+
+  /// Append a row of numbers formatted at the given precision, with an
+  /// optional leading label cell.
+  void row_numeric(const std::string& label, const std::vector<double>& values,
+                   int precision = 4);
+
+  /// Render to a stream with `indent` leading spaces per line.
+  void render(std::ostream& out, int indent = 2) const;
+
+  /// Render to a string (convenience for tests).
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dvs::util

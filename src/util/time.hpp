@@ -1,0 +1,45 @@
+// Fundamental quantities of the simulation.
+//
+// * Time is model seconds (double).
+// * Work is "normalized cycles": the wall-clock time a computation needs at
+//   the processor's maximum speed.  Executing for wall time dt at relative
+//   speed alpha in (0, 1] retires alpha * dt units of Work.
+//
+// Floating-point time requires an explicit comparison tolerance; all
+// deadline / ordering comparisons in the library go through the helpers
+// below so the tolerance lives in exactly one place.
+#pragma once
+
+#include <cmath>
+
+namespace dvs {
+
+using Time = double;
+using Work = double;
+
+/// Absolute tolerance for time comparisons.  Simulations run for at most
+/// ~1e6 model seconds with events no denser than microseconds, so 1e-9
+/// distinguishes every meaningful instant while absorbing rounding noise.
+inline constexpr Time kTimeEps = 1e-9;
+
+/// a < b beyond tolerance.
+[[nodiscard]] inline bool time_less(Time a, Time b) noexcept {
+  return a < b - kTimeEps;
+}
+
+/// a == b within tolerance.
+[[nodiscard]] inline bool time_eq(Time a, Time b) noexcept {
+  return std::fabs(a - b) <= kTimeEps;
+}
+
+/// a <= b within tolerance.
+[[nodiscard]] inline bool time_leq(Time a, Time b) noexcept {
+  return a <= b + kTimeEps;
+}
+
+/// Clamp tiny negative values (rounding residue) to exactly zero.
+[[nodiscard]] inline double snap_nonnegative(double x) noexcept {
+  return (x < 0.0 && x > -kTimeEps) ? 0.0 : x;
+}
+
+}  // namespace dvs

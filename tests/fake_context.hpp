@@ -1,0 +1,79 @@
+// Test double for sim::SimContext: lets governor unit tests pin the exact
+// scheduler state (time, active jobs, next arrival) a decision sees.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "sim/governor.hpp"
+#include "task/task_set.hpp"
+
+namespace dvs::testing {
+
+class FakeContext final : public sim::SimContext {
+ public:
+  explicit FakeContext(task::TaskSet ts) : ts_(std::move(ts)) {}
+
+  Time now() const override { return now_; }
+  const task::TaskSet& task_set() const override { return ts_; }
+  sim::SchedulingPolicy policy() const override { return policy_; }
+  double alpha_min() const override { return alpha_min_; }
+  Time next_release_after(Time t) const override {
+    // Periodic model: compute honestly from the task set so governors that
+    // reason about future arrivals see consistent answers.
+    Time best = std::numeric_limits<double>::infinity();
+    for (const auto& task : ts_) {
+      std::int64_t k = task.first_job_at_or_after(t + 2.0 * kTimeEps);
+      Time r = task.release_of(k);
+      if (r <= t + kTimeEps) r = task.release_of(k + 1);
+      best = std::min(best, r);
+    }
+    return best;
+  }
+  std::vector<const sim::Job*> active_jobs() const override {
+    std::vector<const sim::Job*> out;
+    out.reserve(jobs_.size());
+    for (const auto& j : jobs_) out.push_back(&j);
+    std::sort(out.begin(), out.end(),
+              [](const sim::Job* a, const sim::Job* b) {
+                if (a->abs_deadline != b->abs_deadline) {
+                  return a->abs_deadline < b->abs_deadline;
+                }
+                return a->task_id < b->task_id;
+              });
+    return out;
+  }
+  double current_speed() const override { return speed_; }
+
+  /// Add an active job of task `task_id`, released at `release`, with
+  /// `executed` work already done.  Returns a reference for tweaking.
+  sim::Job& add_job(std::int32_t task_id, std::int64_t index, Time release,
+                    Work executed = 0.0) {
+    const auto& t = ts_[static_cast<std::size_t>(task_id)];
+    sim::Job j;
+    j.task_id = task_id;
+    j.index = index;
+    j.release = release;
+    j.abs_deadline = release + t.deadline;
+    j.wcet = t.wcet;
+    j.actual = t.wcet;
+    j.executed = executed;
+    jobs_.push_back(j);
+    return jobs_.back();
+  }
+
+  void clear_jobs() { jobs_.clear(); }
+
+  Time now_ = 0.0;
+  double alpha_min_ = 0.05;
+  double speed_ = 1.0;
+  sim::SchedulingPolicy policy_ = sim::SchedulingPolicy::kEdf;
+  std::deque<sim::Job> jobs_;  ///< deque: stable references as it grows
+
+ private:
+  task::TaskSet ts_;
+};
+
+}  // namespace dvs::testing

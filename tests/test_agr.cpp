@@ -1,0 +1,125 @@
+#include "core/agr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/dra.hpp"
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+TaskSet half_set() {
+  TaskSet ts("agr");
+  ts.add(make_task(0, "a", 10.0, 3.0, 0.3));  // u = 0.3
+  ts.add(make_task(1, "b", 20.0, 4.0, 0.4));  // u = 0.2
+  return ts;  // eta = 0.5
+}
+
+TEST(Agr, RejectsBadAggressiveness) {
+  EXPECT_THROW((void)AgrGovernor(-0.1), util::ContractError);
+  EXPECT_THROW((void)AgrGovernor(1.1), util::ContractError);
+}
+
+TEST(Agr, ZeroAggressivenessEqualsDra) {
+  FakeContext actx(half_set());
+  FakeContext dctx(half_set());
+  AgrGovernor agr(0.0);
+  DraGovernor dra;
+  agr.on_start(actx);
+  dra.on_start(dctx);
+  auto& ja = actx.add_job(0, 0, 0.0);
+  auto& jd = dctx.add_job(0, 0, 0.0);
+  agr.on_release(ja, actx);
+  dra.on_release(jd, dctx);
+  EXPECT_DOUBLE_EQ(agr.select_speed(ja, actx), dra.select_speed(jd, dctx));
+}
+
+TEST(Agr, SpeculatesBelowDraWithinTheArrivalWindow) {
+  FakeContext ctx(half_set());
+  AgrGovernor agr(1.0);
+  agr.on_start(ctx);
+  auto& job = ctx.add_job(0, 0, 0.0);
+  agr.on_release(job, ctx);
+  // DRA speed: rem 3 / budget 6 = 0.5.  Next arrival: t = 10 (delta 6,
+  // capped by the budget).  alpha_floor = (3 - 0)/6 = 0.5 -> window equals
+  // the budget, nothing to speculate on here.
+  EXPECT_NEAR(agr.select_speed(job, ctx), 0.5, 1e-9);
+}
+
+TEST(Agr, SpeculationKicksInWithReclaimedBudget) {
+  FakeContext ctx(half_set());
+  AgrGovernor agr(1.0);
+  agr.on_start(ctx);
+  // Both jobs released; task 0's finishes almost instantly, leaving its
+  // canonical allotment to task 1.
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  auto& j1 = ctx.add_job(1, 0, 0.0);
+  agr.on_release(j0, ctx);
+  agr.on_release(j1, ctx);
+  ctx.now_ = 1.0;
+  j0.actual = 0.5;
+  j0.executed = 0.5;
+  agr.on_completion(j0, ctx);
+  ctx.clear_jobs();
+  auto& j1b = ctx.add_job(1, 0, 0.0);
+
+  // DRA: budget = 5 (leftover) + 8 (own) = 13, alpha_dra = 4/13 ~ 0.3077.
+  // Speculation window: next arrival at t = 10 -> delta = 9;
+  // alpha_floor = (4 - (13 - 9))/9 = 0.  Full aggressiveness drops the
+  // request to the recoverable floor (clamped to a positive epsilon).
+  const double alpha = agr.select_speed(j1b, ctx);
+  EXPECT_LT(alpha, 4.0 / 13.0 - 0.05);
+}
+
+TEST(Agr, NeverMissesUnderWorstCase) {
+  const TaskSet ts = half_set();
+  const auto workload = task::constant_ratio_model(1.0);
+  AgrGovernor agr(1.0);
+  sim::SimOptions opts;
+  opts.length = 200.0;
+  const auto r =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), agr, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+}
+
+TEST(Agr, SpeculationLowersAverageSpeedOnLightWorkloads) {
+  const TaskSet ts = half_set();
+  const auto workload = task::constant_ratio_model(0.3);
+  AgrGovernor agr(1.0);
+  DraGovernor dra;
+  sim::SimOptions opts;
+  opts.length = 200.0;
+  const auto a =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), agr, opts);
+  const auto d =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), dra, opts);
+  EXPECT_EQ(a.deadline_misses, 0);
+  EXPECT_EQ(d.deadline_misses, 0);
+  EXPECT_LT(a.average_speed, d.average_speed);
+}
+
+TEST(Agr, AggressivenessInterpolatesMonotonically) {
+  const TaskSet ts = half_set();
+  const auto workload = task::constant_ratio_model(0.3);
+  sim::SimOptions opts;
+  opts.length = 100.0;
+  double prev_speed = 0.0;
+  for (double k : {1.0, 0.5, 0.0}) {
+    AgrGovernor agr(k);
+    const auto r =
+        sim::simulate(ts, *workload, cpu::ideal_processor(), agr, opts);
+    EXPECT_EQ(r.deadline_misses, 0) << "aggressiveness " << k;
+    EXPECT_GE(r.average_speed, prev_speed - 1e-9);
+    prev_speed = r.average_speed;
+  }
+}
+
+}  // namespace
+}  // namespace dvs::core

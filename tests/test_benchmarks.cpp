@@ -1,0 +1,66 @@
+#include "task/benchmarks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/analysis.hpp"
+
+namespace dvs::task {
+namespace {
+
+TEST(Benchmarks, InsShape) {
+  const TaskSet ts = ins_task_set();
+  EXPECT_EQ(ts.name(), "INS");
+  EXPECT_EQ(ts.size(), 6u);
+  EXPECT_NEAR(ts.utilization(), 0.89, 0.03);
+  EXPECT_NO_THROW(ts.validate());
+  EXPECT_TRUE(sched::edf_schedulable(ts));
+}
+
+TEST(Benchmarks, CncShape) {
+  const TaskSet ts = cnc_task_set();
+  EXPECT_EQ(ts.name(), "CNC");
+  EXPECT_EQ(ts.size(), 8u);
+  EXPECT_NEAR(ts.utilization(), 0.52, 0.03);
+  EXPECT_TRUE(sched::edf_schedulable(ts));
+}
+
+TEST(Benchmarks, AvionicsShape) {
+  const TaskSet ts = avionics_task_set();
+  EXPECT_EQ(ts.name(), "Avionics");
+  EXPECT_EQ(ts.size(), 17u);
+  EXPECT_NEAR(ts.utilization(), 0.84, 0.03);
+  EXPECT_TRUE(sched::edf_schedulable(ts));
+}
+
+TEST(Benchmarks, BcetRatioPropagates) {
+  for (double r : {0.1, 0.5, 1.0}) {
+    for (const auto& ts : embedded_task_sets(r)) {
+      for (const auto& t : ts) {
+        EXPECT_NEAR(t.bcet, r * t.wcet, 1e-12) << ts.name() << "/" << t.name;
+      }
+    }
+  }
+}
+
+TEST(Benchmarks, HyperperiodsAreFinite) {
+  for (const auto& ts : embedded_task_sets()) {
+    EXPECT_TRUE(ts.hyperperiod().has_value()) << ts.name();
+  }
+}
+
+TEST(Benchmarks, InsHyperperiodValue) {
+  const auto h = ins_task_set().hyperperiod();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_NEAR(*h, 5.0, 1e-9);  // lcm(2.5, 40, 62.5, 1000, 1250) ms
+}
+
+TEST(Benchmarks, EmbeddedReturnsAllThree) {
+  const auto sets = embedded_task_sets();
+  ASSERT_EQ(sets.size(), 3u);
+  EXPECT_EQ(sets[0].name(), "INS");
+  EXPECT_EQ(sets[1].name(), "CNC");
+  EXPECT_EQ(sets[2].name(), "Avionics");
+}
+
+}  // namespace
+}  // namespace dvs::task

@@ -1,0 +1,101 @@
+#include "core/cc_edf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+TaskSet two_tasks() {
+  TaskSet ts("cc");
+  ts.add(make_task(0, "a", 10.0, 4.0, 0.4));  // u = 0.4
+  ts.add(make_task(1, "b", 20.0, 8.0, 0.8));  // u = 0.4
+  return ts;
+}
+
+TEST(CcEdf, StartsAtWorstCaseUtilization) {
+  FakeContext ctx(two_tasks());
+  auto& job = ctx.add_job(0, 0, 0.0);
+  CcEdfGovernor g;
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.8, 1e-12);
+}
+
+TEST(CcEdf, EarlyCompletionLowersShare) {
+  FakeContext ctx(two_tasks());
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  auto& j1 = ctx.add_job(1, 0, 0.0);
+  CcEdfGovernor g;
+  g.on_start(ctx);
+  // Job of task 0 finishes having used only 1.0 of its 4.0 budget:
+  // its share drops from 0.4 to 0.1 -> total 0.5.
+  j0.actual = 1.0;
+  j0.executed = 1.0;
+  g.on_completion(j0, ctx);
+  EXPECT_NEAR(g.select_speed(j1, ctx), 0.5, 1e-12);
+}
+
+TEST(CcEdf, ReleaseRestoresWorstCaseShare) {
+  FakeContext ctx(two_tasks());
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  auto& j1 = ctx.add_job(1, 0, 0.0);
+  CcEdfGovernor g;
+  g.on_start(ctx);
+  j0.actual = 1.0;
+  j0.executed = 1.0;
+  g.on_completion(j0, ctx);
+  // Next job of task 0 arrives: back to 0.4 + 0.4.
+  auto& j0b = ctx.add_job(0, 1, 10.0);
+  g.on_release(j0b, ctx);
+  EXPECT_NEAR(g.select_speed(j1, ctx), 0.8, 1e-12);
+}
+
+TEST(CcEdf, WorstCaseWorkloadMatchesStaticSpeed) {
+  // When every job really uses its WCET, ccEDF behaves like staticEDF
+  // between releases (shares never drop below the worst case for long).
+  const TaskSet ts = two_tasks();
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  CcEdfGovernor g;
+  sim::SimOptions opts;
+  opts.length = 100.0;
+  const auto r = sim::simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_NEAR(r.average_speed, 0.8, 0.05);
+}
+
+TEST(CcEdf, LightWorkloadScalesDown) {
+  const TaskSet ts = two_tasks();
+  const auto workload = task::constant_ratio_model(0.3);
+  const cpu::Processor proc = cpu::ideal_processor();
+  CcEdfGovernor g;
+  sim::SimOptions opts;
+  opts.length = 200.0;
+  const auto r = sim::simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  // Shares sit between 0.3 * U and U depending on completion timing.
+  EXPECT_LT(r.average_speed, 0.8);
+  EXPECT_GT(r.average_speed, 0.2);
+}
+
+TEST(CcEdf, SpeedClampedToOneUnderOverrun) {
+  // Shares can sum above 1 transiently for U = 1 sets; speed must clamp.
+  TaskSet ts("full");
+  ts.add(make_task(0, "a", 10.0, 5.0));
+  ts.add(make_task(1, "b", 10.0, 5.0));
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  CcEdfGovernor g;
+  g.on_start(ctx);
+  EXPECT_DOUBLE_EQ(g.select_speed(job, ctx), 1.0);
+}
+
+}  // namespace
+}  // namespace dvs::core

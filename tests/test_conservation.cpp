@@ -1,0 +1,127 @@
+// Conservation invariants: whatever policy runs, the simulator's books
+// must balance.  Run every governor over the same workload and check
+// time, work, and energy accounting against each other and the trace.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/registry.hpp"
+#include "sim/simulator.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+
+namespace dvs {
+namespace {
+
+class Conservation : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Conservation, BooksBalance) {
+  task::TaskSet ts("cons");
+  ts.add(task::make_task(0, "a", 0.02, 0.006, 0.0012));
+  ts.add(task::make_task(1, "b", 0.05, 0.01, 0.002));
+  ts.add(task::make_task(2, "c", 0.1, 0.02, 0.004));
+  const auto workload = task::uniform_model(5);
+  const cpu::Processor proc = cpu::ideal_processor();
+
+  auto g = core::make_governor(GetParam());
+  sim::VectorTrace trace;
+  sim::SimOptions opts;
+  opts.length = 1.0;  // = 10 hyperperiods: no truncated jobs
+  opts.record_jobs = true;
+  opts.trace = &trace;
+  const auto r = sim::simulate(ts, *workload, proc, *g, opts);
+
+  // 1. No misses, no truncation on this schedulable set and length.
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_EQ(r.jobs_truncated, 0);
+  EXPECT_EQ(r.jobs_completed, r.jobs_released);
+
+  // 2. Time is conserved: busy + idle + transitions == simulated length.
+  EXPECT_NEAR(r.busy_time + r.idle_time + r.transition_time, r.sim_length,
+              1e-6);
+
+  // 3. Work is conserved: retired work (avg speed x busy time) equals the
+  //    total actual demand of all completed jobs.
+  double total_actual = 0.0;
+  for (const auto& j : r.jobs) total_actual += j.actual;
+  EXPECT_NEAR(r.average_speed * r.busy_time, total_actual, 1e-6);
+
+  // 4. The trace tells the same story: per-segment work sums to the same
+  //    total, and segment boundaries tile [0, length] without overlap.
+  double trace_work = 0.0;
+  Time covered = 0.0;
+  Time cursor = 0.0;
+  for (const auto& s : trace.segments()) {
+    EXPECT_GE(s.begin, cursor - kTimeEps) << "overlapping segments";
+    cursor = s.end;
+    covered += s.end - s.begin;
+    if (s.kind == sim::SegmentKind::kBusy) {
+      trace_work += s.alpha * (s.end - s.begin);
+    }
+  }
+  EXPECT_NEAR(covered, r.sim_length, 1e-6);
+  EXPECT_NEAR(trace_work, total_actual, 1e-6);
+
+  // 5. Energy attribution: per-task busy energies sum to the busy total.
+  double per_task_sum = 0.0;
+  for (double e : r.per_task_energy) per_task_sum += e;
+  EXPECT_NEAR(per_task_sum, r.busy_energy, 1e-9);
+
+  // 6. Event bookkeeping: one release per job, one completion per job.
+  std::map<std::pair<int, long>, int> releases;
+  std::map<std::pair<int, long>, int> completions;
+  for (const auto& e : trace.events()) {
+    const auto key = std::make_pair(static_cast<int>(e.task_id),
+                                    static_cast<long>(e.job_index));
+    if (e.kind == sim::TraceEvent::Kind::kRelease) ++releases[key];
+    if (e.kind == sim::TraceEvent::Kind::kCompletion) ++completions[key];
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(releases.size()), r.jobs_released);
+  EXPECT_EQ(static_cast<std::int64_t>(completions.size()),
+            r.jobs_completed);
+  for (const auto& [key, count] : releases) EXPECT_EQ(count, 1);
+  for (const auto& [key, count] : completions) EXPECT_EQ(count, 1);
+
+  // 7. Every job obeys causality: release <= completion <= deadline, and
+  //    it cannot finish faster than its work at full speed.
+  for (const auto& j : r.jobs) {
+    EXPECT_GE(j.completion, j.release);
+    EXPECT_LE(j.completion, j.abs_deadline + kTimeEps);
+    EXPECT_GE(j.completion - j.release, j.actual - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGovernors, Conservation,
+                         ::testing::Values("noDVS", "staticEDF", "lppsEDF",
+                                           "ccEDF", "laEDF", "DRA", "AGR",
+                                           "lpSEH-h", "lpSEH",
+                                           "uniformSlack"),
+                         [](const ::testing::TestParamInfo<const char*>& i) {
+                           std::string name = i.param;
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(ConservationWithOverhead, TransitionTimeAccounted) {
+  task::TaskSet ts("ov");
+  ts.add(task::make_task(0, "a", 0.02, 0.005, 0.001));
+  ts.add(task::make_task(1, "b", 0.05, 0.012, 0.0024));
+  const auto workload = task::uniform_model(8);
+  cpu::Processor proc = cpu::four_level_processor();
+  proc.transition = cpu::TransitionModel::constant(50e-6, 1e-4);
+
+  auto g = core::make_governor("ccEDF");
+  sim::SimOptions opts;
+  opts.length = 1.0;
+  const auto r = sim::simulate(ts, *workload, proc, *g, opts);
+  EXPECT_NEAR(r.busy_time + r.idle_time + r.transition_time, 1.0, 1e-6);
+  EXPECT_NEAR(r.transition_time,
+              50e-6 * static_cast<double>(r.speed_switches), 1e-6);
+  EXPECT_NEAR(r.transition_energy,
+              1e-4 * static_cast<double>(r.speed_switches), 1e-9);
+}
+
+}  // namespace
+}  // namespace dvs

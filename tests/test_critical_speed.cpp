@@ -1,0 +1,121 @@
+#include "core/critical_speed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/slack_time.hpp"
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+TEST(CriticalSpeed, ZeroIdlePowerMeansNoFloor) {
+  // With no idle draw, cost (alpha^3)/alpha = alpha^2 is minimized at the
+  // lowest speed: the critical speed collapses to (almost) zero.
+  const auto pm = cpu::cubic_power_model(0.0);
+  EXPECT_LT(critical_speed(*pm), 0.01);
+}
+
+TEST(CriticalSpeed, MatchesClosedFormForCubicModel) {
+  // cost(alpha) = (alpha^3 - i)/alpha = alpha^2 - i/alpha;
+  // d/dalpha = 2 alpha + i/alpha^2 = 0 has no positive root — cost is
+  // increasing, so with the displaced-idle formulation the minimum is at
+  // alpha -> 0?  No: for alpha below i^(1/3), busy power is *below* idle
+  // power and cost is negative and decreasing toward... evaluate:
+  // cost'(alpha) = 2 alpha + i/alpha^2 > 0 for alpha > 0, so cost is
+  // strictly increasing and the argmin is the lower boundary.
+  // The meaningful check: the numeric result sits at the boundary.
+  const auto pm = cpu::cubic_power_model(0.05);
+  EXPECT_LT(critical_speed(*pm), 0.01);
+}
+
+TEST(CriticalSpeed, TableModelWithFlatLowEndHasRealFloor) {
+  // Real processors burn near-constant voltage at their low operating
+  // points, so (P(alpha) - idle)/alpha genuinely rises again below some
+  // speed.  Build such a model: power barely drops below alpha = 0.4.
+  const auto pm = cpu::table_power_model("flatlow",
+                                         {
+                                             {0.2, 1.00, 300.0},
+                                             {0.4, 1.05, 380.0},
+                                             {0.7, 1.40, 800.0},
+                                             {1.0, 1.80, 1600.0},
+                                         },
+                                         /*idle_fraction=*/0.02);
+  const double crit = critical_speed(*pm);
+  EXPECT_GT(crit, 0.3);
+  EXPECT_LT(crit, 0.8);
+}
+
+TEST(CriticalSpeedGovernor, ClampsFromBelowOnly) {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 4.0));
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+
+  const auto pm = cpu::table_power_model("flatlow",
+                                         {
+                                             {0.2, 1.00, 300.0},
+                                             {0.4, 1.05, 380.0},
+                                             {1.0, 1.80, 1600.0},
+                                         },
+                                         0.02);
+  CriticalSpeedGovernor g(std::make_unique<SlackTimeGovernor>(), pm);
+  g.on_start(ctx);
+  const double crit = g.floor();
+  // Inner lpSEH would pick 0.4 here; the clamp keeps max(0.4, crit).
+  EXPECT_NEAR(g.select_speed(job, ctx), std::max(0.4, crit), 1e-9);
+}
+
+TEST(CriticalSpeedGovernor, PreservesName) {
+  CriticalSpeedGovernor g(make_governor("lpSEH"),
+                          cpu::cubic_power_model(0.1));
+  EXPECT_EQ(g.name(), "lpSEH+crit");
+}
+
+TEST(CriticalSpeedGovernor, RejectsNulls) {
+  EXPECT_THROW(CriticalSpeedGovernor(nullptr, cpu::cubic_power_model()),
+               util::ContractError);
+  EXPECT_THROW(CriticalSpeedGovernor(make_governor("noDVS"), nullptr),
+               util::ContractError);
+}
+
+TEST(CriticalSpeedGovernor, SavesEnergyWhenLowSpeedsAreWasteful) {
+  // On the flat-low-end processor, clamping lpSEH at the critical speed
+  // must not increase total energy (it avoids the wasteful region) and
+  // must keep all deadlines.
+  TaskSet ts("mix");
+  ts.add(make_task(0, "a", 0.02, 0.005, 0.0005));
+  ts.add(make_task(1, "b", 0.05, 0.012, 0.0012));
+  const auto workload = task::uniform_model(4);
+
+  cpu::Processor proc = cpu::ideal_processor();
+  proc.power = cpu::table_power_model("flatlow",
+                                      {
+                                          {0.2, 1.00, 300.0},
+                                          {0.4, 1.05, 380.0},
+                                          {0.7, 1.40, 800.0},
+                                          {1.0, 1.80, 1600.0},
+                                      },
+                                      0.02);
+  sim::SimOptions opts;
+  opts.length = 2.0;
+
+  SlackTimeGovernor plain;
+  const auto base = sim::simulate(ts, *workload, proc, plain, opts);
+  auto clamped = critical_speed_clamp(make_governor("lpSEH"), proc.power);
+  const auto better = sim::simulate(ts, *workload, proc, *clamped, opts);
+
+  EXPECT_EQ(base.deadline_misses, 0);
+  EXPECT_EQ(better.deadline_misses, 0);
+  EXPECT_LE(better.total_energy(), base.total_energy() * 1.001);
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,183 @@
+// Cross-validation between the analytical models (sched/) and the
+// discrete-event simulator (sim/): independent implementations of the
+// same theory must agree.
+#include <gtest/gtest.h>
+
+#include "core/no_dvs.hpp"
+#include "core/registry.hpp"
+#include "sched/analysis.hpp"
+#include "sched/fixed_priority.hpp"
+#include "sim/simulator.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+
+TEST(CrossValidation, SimulatedFpResponseTimesMatchRta) {
+  // Synchronous release (all phases 0) is the fixed-priority critical
+  // instant: the first job of every task attains the analytical
+  // worst-case response time, and no later job exceeds it.
+  TaskSet ts("rta");
+  ts.add(make_task(0, "a", 4.0, 1.0));
+  ts.add(make_task(1, "b", 6.0, 2.0));
+  ts.add(make_task(2, "c", 12.0, 3.0));
+  const auto rta =
+      sched::response_times(ts, sched::deadline_monotonic_priorities(ts));
+  ASSERT_TRUE(rta.has_value());
+
+  const auto workload = task::constant_ratio_model(1.0);
+  core::NoDvsGovernor g;
+  sim::SimOptions opts;
+  opts.length = 48.0;  // several hyperperiods
+  opts.policy = sim::SchedulingPolicy::kFixedPriority;
+  opts.record_jobs = true;
+  const auto r =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), g, opts);
+
+  ASSERT_EQ(r.worst_response.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    // Observed worst response equals the analytical bound at the critical
+    // instant (within floating-point tolerance).
+    EXPECT_NEAR(r.worst_response[i], (*rta)[i], 1e-9) << ts[i].name;
+  }
+  // The first job of each task individually attains the bound.
+  for (const auto& j : r.jobs) {
+    if (j.index == 0) {
+      EXPECT_NEAR(j.completion - j.release,
+                  (*rta)[static_cast<std::size_t>(j.task_id)], 1e-9);
+    }
+  }
+}
+
+TEST(CrossValidation, SimulatedFpResponsesNeverExceedRtaOnRandomSets) {
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = 5;
+  cfg.total_utilization = 0.6;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.grid_fraction = 0.5;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng rng(900 + seed);
+    const auto ts = task::generate_task_set(cfg, rng);
+    const auto rta =
+        sched::response_times(ts, sched::deadline_monotonic_priorities(ts));
+    ASSERT_TRUE(rta.has_value());
+    const auto workload = task::constant_ratio_model(1.0);
+    core::NoDvsGovernor g;
+    sim::SimOptions opts;
+    opts.length = 2.0;
+    opts.policy = sim::SchedulingPolicy::kFixedPriority;
+    const auto r =
+        sim::simulate(ts, *workload, cpu::ideal_processor(), g, opts);
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      EXPECT_LE(r.worst_response[i], (*rta)[i] + 1e-9)
+          << "seed " << seed << " task " << i;
+    }
+  }
+}
+
+TEST(CrossValidation, EdfAtMinimumConstantSpeedIsExactlyTight) {
+  // Running at the analytical minimum constant speed with full-WCET jobs
+  // must meet all deadlines; running 2% below it must not.
+  TaskSet ts("tight");
+  ts.add(make_task(0, "a", 0.01, 0.004));
+  ts.add(make_task(1, "b", 0.025, 0.01));  // U = 0.8
+  const double s = sched::minimum_constant_speed(ts);
+  const auto workload = task::constant_ratio_model(1.0);
+
+  class FixedSpeed final : public sim::Governor {
+   public:
+    explicit FixedSpeed(double a) : a_(a) {}
+    double select_speed(const sim::Job&, const sim::SimContext&) override {
+      return a_;
+    }
+    std::string name() const override { return "fixed"; }
+    double a_;
+  };
+
+  sim::SimOptions opts;
+  opts.length = 1.0;
+  FixedSpeed at_bound(s);
+  const auto ok =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), at_bound, opts);
+  EXPECT_EQ(ok.deadline_misses, 0);
+
+  FixedSpeed below(s * 0.98);
+  const auto bad =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), below, opts);
+  EXPECT_GT(bad.deadline_misses, 0);
+}
+
+TEST(CrossValidation, FpMinimumSpeedIsExactlyTightToo) {
+  TaskSet ts("fp-tight");
+  ts.add(make_task(0, "a", 2.0, 0.6));
+  ts.add(make_task(1, "b", 5.0, 1.5));
+  const double s = sched::minimum_constant_speed_fp(ts);
+  const auto workload = task::constant_ratio_model(1.0);
+
+  class FixedSpeed final : public sim::Governor {
+   public:
+    explicit FixedSpeed(double a) : a_(a) {}
+    double select_speed(const sim::Job&, const sim::SimContext&) override {
+      return a_;
+    }
+    std::string name() const override { return "fixed"; }
+    double a_;
+  };
+
+  sim::SimOptions opts;
+  opts.length = 50.0;
+  opts.policy = sim::SchedulingPolicy::kFixedPriority;
+  FixedSpeed at_bound(s);
+  const auto ok =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), at_bound, opts);
+  EXPECT_EQ(ok.deadline_misses, 0);
+
+  FixedSpeed below(s * 0.97);
+  const auto bad =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), below, opts);
+  EXPECT_GT(bad.deadline_misses, 0);
+}
+
+TEST(GoldenRegression, PinnedEnergiesForFixedSeed) {
+  // Regression anchors: a deliberate behavioral change to the simulator
+  // or a governor will move these numbers — update them consciously.
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = 5;
+  cfg.total_utilization = 0.7;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = 0.1;
+  cfg.grid_fraction = 0.5;
+  util::Rng rng(123456);
+  const auto ts = task::generate_task_set(cfg, rng);
+  const auto workload = task::uniform_model(123456);
+  sim::SimOptions opts;
+  opts.length = 1.0;
+
+  auto energy = [&](const char* name) {
+    auto g = core::make_governor(name);
+    return sim::simulate(ts, *workload, cpu::ideal_processor(), *g, opts)
+        .total_energy();
+  };
+  const double nodvs = energy("noDVS");
+  EXPECT_GT(nodvs, 0.0);
+  // Ratios are more stable anchors than absolute joule-equivalents.
+  EXPECT_NEAR(energy("staticEDF") / nodvs, 0.49, 0.01);
+  const double lpseh = energy("lpSEH") / nodvs;
+  const double ccedf = energy("ccEDF") / nodvs;
+  EXPECT_GT(lpseh, 0.1);
+  EXPECT_LT(lpseh, 0.8);
+  EXPECT_GT(ccedf, 0.1);
+  EXPECT_LT(ccedf, 0.8);
+  // Determinism: the identical run reproduces bit-for-bit.
+  EXPECT_DOUBLE_EQ(energy("lpSEH"), energy("lpSEH"));
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dvs::util {
+namespace {
+
+TEST(CsvEscape, PlainFieldUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+}
+
+TEST(CsvEscape, QuotesFieldsWithCommas) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvEscape, DoublesEmbeddedQuotes) {
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvEscape, QuotesNewlines) {
+  EXPECT_EQ(csv_escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row({"x", "y"});
+  w.row({"1", "2,3"});
+  EXPECT_EQ(os.str(), "x,y\n1,\"2,3\"\n");
+}
+
+TEST(CsvWriter, NumericRow) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row_numeric({1.5, 2.25}, 2);
+  EXPECT_EQ(os.str(), "1.50,2.25\n");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"a", "1"});
+  t.row({"longer", "22"});
+  const std::string s = t.str();
+  // Header separator present, all rows aligned to the widest cell.
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("------"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+}
+
+TEST(TextTable, NumericRowFormatsPrecision) {
+  TextTable t;
+  t.row_numeric("r", {0.123456}, 3);
+  EXPECT_NE(t.str().find("0.123"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, FormatSiTime) {
+  EXPECT_EQ(format_si_time(1.5), "1.500 s");
+  EXPECT_EQ(format_si_time(2e-3), "2.000 ms");
+  EXPECT_EQ(format_si_time(3e-6), "3.000 us");
+  EXPECT_EQ(format_si_time(4e-9), "4.000 ns");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("lpSEH-h", "lpSEH"));
+  EXPECT_FALSE(starts_with("lp", "lpSEH"));
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("lpSEH"), "lpseh"); }
+
+}  // namespace
+}  // namespace dvs::util

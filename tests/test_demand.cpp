@@ -1,0 +1,197 @@
+#include "core/demand.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fake_context.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+TaskSet pair_set() {
+  TaskSet ts("pair");
+  ts.add(make_task(0, "a", 10.0, 2.0));
+  ts.add(make_task(1, "b", 25.0, 5.0));
+  return ts;
+}
+
+TEST(TaskSetStats, AggregatesCorrectly) {
+  const auto stats = TaskSetStats::of(pair_set());
+  EXPECT_NEAR(stats.utilization, 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.wcet_sum, 7.0);
+  EXPECT_DOUBLE_EQ(stats.max_deadline, 25.0);
+  EXPECT_DOUBLE_EQ(stats.max_period, 25.0);
+  ASSERT_TRUE(stats.hyperperiod.has_value());
+  EXPECT_DOUBLE_EQ(*stats.hyperperiod, 50.0);
+}
+
+TEST(DemandHorizon, PicksTheCheapestSoundRule) {
+  const auto stats = TaskSetStats::of(pair_set());
+  // hyper rule: 0 + 25 + 50 = 75; busy rule: (0 + 7 + 25)/0.6 ~= 53.3.
+  const auto h = demand_horizon(stats, 0.0, 0.0, 10.0, 64.0);
+  EXPECT_FALSE(h.truncated);
+  EXPECT_NEAR(h.end, 32.0 / 0.6, 1e-9);
+}
+
+TEST(DemandHorizon, CapTruncatesPathologicalWindows) {
+  auto stats = TaskSetStats::of(pair_set());
+  stats.hyperperiod = 1e6;      // pathological LCM
+  stats.utilization = 1.0;      // busy rule unavailable
+  const auto h = demand_horizon(stats, 0.0, 0.0, 10.0, 4.0);
+  EXPECT_TRUE(h.truncated);
+  EXPECT_DOUBLE_EQ(h.end, 4.0 * 25.0);
+}
+
+TEST(DemandHorizon, NeverEndsBeforeD0) {
+  auto stats = TaskSetStats::of(pair_set());
+  const auto h = demand_horizon(stats, 0.0, 0.0, 500.0, 1.0);
+  EXPECT_GE(h.end, 500.0);
+}
+
+TEST(DemandSweeper, MergesActiveJobsAndFutureReleases) {
+  FakeContext ctx(pair_set());
+  ctx.add_job(0, 0, 0.0);            // deadline 10, rem 2
+  ctx.add_job(1, 0, 0.0, 1.0);       // deadline 25, rem 4
+  DemandSweeper sweeper(ctx, 30.0);
+
+  Time d = 0.0;
+  Work w = 0.0;
+  // Checkpoints: 10 (active a), 20 (a's release at 10), 25 (active b),
+  // 30 (a's release at 20).  b's release at 25 has deadline 50 > horizon.
+  ASSERT_TRUE(sweeper.next(d, w));
+  EXPECT_DOUBLE_EQ(d, 10.0);
+  EXPECT_DOUBLE_EQ(w, 2.0);
+  ASSERT_TRUE(sweeper.next(d, w));
+  EXPECT_DOUBLE_EQ(d, 20.0);
+  EXPECT_DOUBLE_EQ(w, 2.0);
+  ASSERT_TRUE(sweeper.next(d, w));
+  EXPECT_DOUBLE_EQ(d, 25.0);
+  EXPECT_DOUBLE_EQ(w, 4.0);
+  ASSERT_TRUE(sweeper.next(d, w));
+  EXPECT_DOUBLE_EQ(d, 30.0);
+  EXPECT_DOUBLE_EQ(w, 2.0);
+  EXPECT_FALSE(sweeper.next(d, w));
+}
+
+TEST(DemandSweeper, FoldsCoincidingDeadlines) {
+  TaskSet ts("tie");
+  ts.add(make_task(0, "a", 10.0, 2.0));
+  ts.add(make_task(1, "b", 10.0, 3.0));
+  FakeContext ctx(std::move(ts));
+  ctx.add_job(0, 0, 0.0);
+  ctx.add_job(1, 0, 0.0);
+  DemandSweeper sweeper(ctx, 10.0);
+  Time d = 0.0;
+  Work w = 0.0;
+  ASSERT_TRUE(sweeper.next(d, w));
+  EXPECT_DOUBLE_EQ(d, 10.0);
+  EXPECT_DOUBLE_EQ(w, 5.0);
+  EXPECT_FALSE(sweeper.next(d, w));
+}
+
+TEST(DemandSweeper, ChargesExtraPerJob) {
+  FakeContext ctx(pair_set());
+  ctx.add_job(0, 0, 0.0);
+  DemandSweeper sweeper(ctx, 10.0, /*extra_per_job=*/0.5);
+  Time d = 0.0;
+  Work w = 0.0;
+  ASSERT_TRUE(sweeper.next(d, w));
+  EXPECT_DOUBLE_EQ(w, 2.5);
+}
+
+TEST(DemandSweeper, MatchesOfflineDemandBound) {
+  // With all first jobs active at t = 0, cumulative sweeper demand equals
+  // the textbook synchronous demand-bound function at every checkpoint.
+  FakeContext ctx(pair_set());
+  ctx.add_job(0, 0, 0.0);
+  ctx.add_job(1, 0, 0.0);
+  DemandSweeper sweeper(ctx, 100.0);
+  Time d = 0.0;
+  Work w = 0.0;
+  Work cumulative = 0.0;
+  const auto ts = pair_set();
+  int checkpoints = 0;
+  while (sweeper.next(d, w)) {
+    cumulative += w;
+    Work dbf = 0.0;  // sum over tasks of (floor((d - D)/T) + 1) * C
+    for (const auto& t : ts) {
+      if (d + kTimeEps >= t.deadline) {
+        dbf += (std::floor((d - t.deadline) / t.period + kTimeEps) + 1.0) *
+               t.wcet;
+      }
+    }
+    EXPECT_NEAR(cumulative, dbf, 1e-9) << "at checkpoint " << d;
+    ++checkpoints;
+  }
+  EXPECT_GE(checkpoints, 10);
+}
+
+TEST(DemandContributions, MaterializedFormMatchesSweeper) {
+  FakeContext ctx(pair_set());
+  ctx.add_job(0, 0, 0.0);
+  const auto list = demand_contributions(ctx, 40.0);
+  DemandSweeper sweeper(ctx, 40.0);
+  Time d = 0.0;
+  Work w = 0.0;
+  std::size_t i = 0;
+  while (sweeper.next(d, w)) {
+    ASSERT_LT(i, list.size());
+    EXPECT_DOUBLE_EQ(list[i].deadline, d);
+    EXPECT_DOUBLE_EQ(list[i].work, w);
+    ++i;
+  }
+  EXPECT_EQ(i, list.size());
+}
+
+TEST(DemandSpeedFloor, SingleJobNeedsItsDensity) {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 4.0));
+  FakeContext ctx(std::move(ts));
+  ctx.add_job(0, 0, 0.0);
+  const auto stats = TaskSetStats::of(ctx.task_set());
+  EXPECT_NEAR(demand_speed_floor(ctx, stats, 10.0, 64.0), 0.4, 1e-9);
+}
+
+TEST(DemandSpeedFloor, FutureBurstRaisesTheFloor) {
+  // Running job J: rem 2, d0 = 20.  Task b floods right after d0: its job
+  // (rel 5, deadline 15 < d0) requires work *before* d0 too.
+  TaskSet ts("burst");
+  ts.add(make_task(0, "a", 20.0, 2.0));
+  auto b = make_task(1, "b", 10.0, 6.0);
+  b.phase = 5.0;
+  ts.add(b);
+  FakeContext ctx(std::move(ts));
+  ctx.add_job(0, 0, 0.0);
+  const auto stats = TaskSetStats::of(ctx.task_set());
+  const double floor = demand_speed_floor(ctx, stats, 20.0, 64.0);
+  // J's own work (deadline 20) is not due at the d = 15 checkpoint, so:
+  //   d = 15: 6/15 = 0.4;  d = 20 (= d0): 8/20 = 0.4;
+  //   d = 25: (demand 14 - (25-20))/20 = 0.45   <- binding
+  //   (b's second job squeezes the post-d0 full-speed phase).
+  EXPECT_NEAR(floor, 0.45, 1e-9);
+}
+
+TEST(DemandSpeedFloor, FullUtilizationWorstCaseIsFullSpeed) {
+  TaskSet ts("full");
+  ts.add(make_task(0, "a", 10.0, 5.0));
+  ts.add(make_task(1, "b", 10.0, 5.0));
+  FakeContext ctx(std::move(ts));
+  ctx.add_job(0, 0, 0.0);
+  ctx.add_job(1, 0, 0.0);
+  const auto stats = TaskSetStats::of(ctx.task_set());
+  EXPECT_DOUBLE_EQ(demand_speed_floor(ctx, stats, 10.0, 64.0), 1.0);
+}
+
+TEST(DemandSpeedFloor, VanishingWindowIsFullSpeed) {
+  FakeContext ctx(pair_set());
+  ctx.add_job(0, 0, 0.0);
+  ctx.now_ = 10.0;
+  const auto stats = TaskSetStats::of(ctx.task_set());
+  EXPECT_DOUBLE_EQ(demand_speed_floor(ctx, stats, 10.0, 64.0), 1.0);
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,122 @@
+#include "core/dra.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+TaskSet half_set() {
+  TaskSet ts("dra");
+  ts.add(make_task(0, "a", 10.0, 3.0, 0.3));  // u = 0.3
+  ts.add(make_task(1, "b", 20.0, 4.0, 0.4));  // u = 0.2
+  return ts;  // U = 0.5 -> eta = 0.5
+}
+
+TEST(Dra, EtaIsTheStaticOptimalSpeed) {
+  FakeContext ctx(half_set());
+  DraGovernor g;
+  g.on_start(ctx);
+  EXPECT_NEAR(g.eta(), 0.5, 1e-12);
+}
+
+TEST(Dra, FreshJobRunsAtEta) {
+  FakeContext ctx(half_set());
+  DraGovernor g;
+  g.on_start(ctx);
+  auto& job = ctx.add_job(0, 0, 0.0);
+  g.on_release(job, ctx);
+  // Canonical allotment = wcet / eta = 6; speed = 3 / 6 = eta.
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.5, 1e-12);
+}
+
+TEST(Dra, ReclaimsEarlinessOfCompletedEarlierJob) {
+  FakeContext ctx(half_set());
+  DraGovernor g;
+  g.on_start(ctx);
+  // Both jobs released at t = 0.  Job of task 0 (deadline 10) finishes
+  // almost immediately at t = 1; the canonical schedule (at eta = 0.5)
+  // still owes it 6 - 1 = 5 time units.  Task 1's job may reclaim them.
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  auto& j1 = ctx.add_job(1, 0, 0.0);
+  g.on_release(j0, ctx);
+  g.on_release(j1, ctx);
+
+  ctx.now_ = 1.0;
+  j0.actual = 0.5;
+  j0.executed = 0.5;
+  g.on_completion(j0, ctx);
+  ctx.clear_jobs();
+  auto& j1b = ctx.add_job(1, 0, 0.0);
+
+  // Budget for task 1's job: its own canonical allotment (4 / 0.5 = 8)
+  // plus the 5 leftover canonical units of the finished job -> 13.
+  // Speed = 4 / 13.
+  EXPECT_NEAR(g.select_speed(j1b, ctx), 4.0 / 13.0, 1e-9);
+}
+
+TEST(Dra, CanonicalQueueDrainsOverTime) {
+  FakeContext ctx(half_set());
+  DraGovernor g;
+  g.on_start(ctx);
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  g.on_release(j0, ctx);
+  // After 4 time units the canonical schedule consumed 4 of the 6
+  // allotted units; remaining budget = 2; rem work still 3 -> speed
+  // clamps at 1 (the job is *behind* the canonical schedule, which can
+  // happen when it ran slower than eta meanwhile).
+  ctx.now_ = 4.0;
+  j0.executed = 0.0;
+  EXPECT_NEAR(g.select_speed(j0, ctx), 1.0, 1e-12);
+}
+
+TEST(Dra, NeverStealsFromIncompleteEqualDeadlineJob) {
+  TaskSet ts("tie");
+  ts.add(make_task(0, "a", 10.0, 3.0));
+  ts.add(make_task(1, "b", 10.0, 3.0));  // same deadline as a
+  FakeContext ctx(std::move(ts));
+  DraGovernor g;
+  g.on_start(ctx);
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  auto& j1 = ctx.add_job(1, 0, 0.0);
+  g.on_release(j0, ctx);
+  g.on_release(j1, ctx);
+  // Task 1's job must not count task 0's (incomplete, same deadline,
+  // earlier tie-break) canonical allotment.
+  const double speed = g.select_speed(j1, ctx);
+  EXPECT_NEAR(speed, 3.0 / 5.0, 1e-9);  // own allotment = 3 / 0.6 = 5
+}
+
+TEST(Dra, WorstCaseWorkloadNeverMisses) {
+  const TaskSet ts = half_set();
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  DraGovernor g;
+  sim::SimOptions opts;
+  opts.length = 200.0;
+  const auto r = sim::simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_NEAR(r.average_speed, 0.5, 0.05);  // sticks near eta
+}
+
+TEST(Dra, LightWorkloadBeatsStaticSpeedEnergy) {
+  const TaskSet ts = half_set();
+  const auto light = task::constant_ratio_model(0.25);
+  const cpu::Processor proc = cpu::ideal_processor();
+  sim::SimOptions opts;
+  opts.length = 200.0;
+  DraGovernor dra;
+  const auto r = sim::simulate(ts, *light, proc, dra, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_LT(r.average_speed, 0.5);  // reclaimed below eta
+}
+
+}  // namespace
+}  // namespace dvs::core

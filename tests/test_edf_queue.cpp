@@ -1,0 +1,100 @@
+#include "sched/edf_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::sched {
+namespace {
+
+TEST(EdfBefore, OrdersByDeadlineThenTaskThenSeq) {
+  EXPECT_TRUE(edf_before({1.0, 0, 0, 0}, {2.0, 0, 0, 0}));
+  EXPECT_TRUE(edf_before({1.0, 0, 0, 0}, {1.0, 1, 0, 0}));
+  EXPECT_TRUE(edf_before({1.0, 0, 0, 0}, {1.0, 0, 1, 0}));
+  EXPECT_FALSE(edf_before({1.0, 0, 0, 0}, {1.0, 0, 0, 0}));
+}
+
+TEST(EdfQueue, PopsInDeadlineOrder) {
+  EdfReadyQueue q;
+  q.push({3.0, 0, 0, 0});
+  q.push({1.0, 1, 0, 1});
+  q.push({2.0, 2, 0, 2});
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.top().deadline, 1.0);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.top().deadline, 2.0);
+  q.pop();
+  EXPECT_DOUBLE_EQ(q.top().deadline, 3.0);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EdfQueue, DeterministicTieBreak) {
+  EdfReadyQueue q;
+  q.push({1.0, 2, 0, 0});
+  q.push({1.0, 0, 0, 1});
+  q.push({1.0, 1, 0, 2});
+  EXPECT_EQ(q.top().task_id, 0);
+  q.pop();
+  EXPECT_EQ(q.top().task_id, 1);
+  q.pop();
+  EXPECT_EQ(q.top().task_id, 2);
+}
+
+TEST(EdfQueue, SortedSnapshotMatchesPopOrder) {
+  EdfReadyQueue q;
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    q.push({rng.uniform(0.0, 10.0), static_cast<std::int32_t>(i % 7),
+            i, static_cast<std::size_t>(i)});
+  }
+  const auto snapshot = q.sorted();
+  ASSERT_EQ(snapshot.size(), 50u);
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(q.top().slot, snapshot[i].slot) << "position " << i;
+    q.pop();
+  }
+}
+
+TEST(EdfQueue, HeapPropertyUnderRandomLoad) {
+  EdfReadyQueue q;
+  util::Rng rng(9);
+  for (int round = 0; round < 200; ++round) {
+    if (q.empty() || rng.unit() < 0.6) {
+      q.push({rng.uniform(0.0, 100.0), 0, round,
+              static_cast<std::size_t>(round)});
+    } else {
+      const Time top = q.top().deadline;
+      // The popped element must be <= everything still stored.
+      for (const auto& e : q.raw()) EXPECT_LE(top, e.deadline);
+      q.pop();
+    }
+  }
+  // Draining with no interleaved pushes yields a sorted sequence.
+  std::vector<Time> drained;
+  while (!q.empty()) {
+    drained.push_back(q.top().deadline);
+    q.pop();
+  }
+  EXPECT_TRUE(std::is_sorted(drained.begin(), drained.end()));
+}
+
+TEST(EdfQueue, EmptyAccessThrows) {
+  EdfReadyQueue q;
+  EXPECT_THROW((void)q.top(), util::ContractError);
+  EXPECT_THROW(q.pop(), util::ContractError);
+}
+
+TEST(EdfQueue, ClearEmpties) {
+  EdfReadyQueue q;
+  q.push({1.0, 0, 0, 0});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace dvs::sched

@@ -1,0 +1,63 @@
+#include "cpu/energy_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dvs::cpu {
+namespace {
+
+using util::ContractError;
+
+TEST(EnergyMeter, IntegratesBusyPower) {
+  EnergyMeter m(cubic_power_model(), 2);
+  m.add_busy(2.0, 1.0, 0);    // 2.0 * 1.0
+  m.add_busy(4.0, 0.5, 1);    // 4.0 * 0.125
+  EXPECT_DOUBLE_EQ(m.busy_energy(), 2.5);
+  EXPECT_DOUBLE_EQ(m.busy_time(), 6.0);
+  EXPECT_DOUBLE_EQ(m.per_task_energy()[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.per_task_energy()[1], 0.5);
+}
+
+TEST(EnergyMeter, IdleUsesIdlePower) {
+  EnergyMeter m(cubic_power_model(0.1), 1);
+  m.add_idle(5.0);
+  EXPECT_DOUBLE_EQ(m.idle_energy(), 0.5);
+  EXPECT_DOUBLE_EQ(m.idle_time(), 5.0);
+}
+
+TEST(EnergyMeter, TransitionsAccumulate) {
+  EnergyMeter m(cubic_power_model(), 1);
+  m.add_transition(1e-4, 0.01);
+  m.add_transition(1e-4, 0.02);
+  EXPECT_DOUBLE_EQ(m.transition_energy(), 0.03);
+  EXPECT_DOUBLE_EQ(m.transition_time(), 2e-4);
+  EXPECT_EQ(m.transition_count(), 2);
+}
+
+TEST(EnergyMeter, TotalSumsComponents) {
+  EnergyMeter m(cubic_power_model(0.1), 1);
+  m.add_busy(1.0, 1.0, 0);
+  m.add_idle(1.0);
+  m.add_transition(0.0, 0.05);
+  EXPECT_DOUBLE_EQ(m.total_energy(), 1.0 + 0.1 + 0.05);
+}
+
+TEST(EnergyMeter, ZeroLengthIntervalsAreFree) {
+  EnergyMeter m(cubic_power_model(0.1), 1);
+  m.add_busy(0.0, 1.0, 0);
+  m.add_idle(0.0);
+  EXPECT_DOUBLE_EQ(m.total_energy(), 0.0);
+}
+
+TEST(EnergyMeter, RejectsBadInput) {
+  EnergyMeter m(cubic_power_model(), 1);
+  EXPECT_THROW(m.add_busy(-1.0, 1.0, 0), ContractError);
+  EXPECT_THROW(m.add_busy(1.0, 1.0, 5), ContractError);
+  EXPECT_THROW(m.add_idle(-1.0), ContractError);
+  EXPECT_THROW(m.add_transition(-1.0, 0.0), ContractError);
+  EXPECT_THROW(EnergyMeter(nullptr, 1), ContractError);
+}
+
+}  // namespace
+}  // namespace dvs::cpu

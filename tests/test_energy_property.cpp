@@ -1,0 +1,173 @@
+// Energy-ordering properties.  Per-case guarantees use hard assertions;
+// statistical orderings (who beats whom on average) are asserted over a
+// batch of task sets with a safety margin, mirroring how the paper's
+// claims are statements about means.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "exp/experiment.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs {
+namespace {
+
+task::TaskSet random_set(double utilization, std::uint64_t seed) {
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = 5;
+  cfg.total_utilization = utilization;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = 0.1;
+  cfg.grid_fraction = 0.5;
+  util::Rng rng(seed);
+  return task::generate_task_set(cfg, rng);
+}
+
+/// Mean normalized energy of each governor over a batch of cases.
+std::map<std::string, double> batch_means(double utilization,
+                                          double workload_ratio_hi,
+                                          std::size_t cases) {
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.sim_length = 1.5;
+  std::map<std::string, util::RunningStats> acc;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const auto ts = random_set(utilization, 500 + i);
+    const auto workload =
+        task::uniform_ratio_model(i + 1, 0.05, workload_ratio_hi);
+    const auto outcome = exp::run_case({ts, workload}, cfg);
+    for (const auto& g : outcome.outcomes) {
+      acc[g.governor].add(g.normalized_energy);
+    }
+  }
+  std::map<std::string, double> means;
+  for (const auto& [name, stats] : acc) means[name] = stats.mean();
+  return means;
+}
+
+TEST(EnergyProperty, NoGovernorExceedsNoDvs) {
+  // On an ideal processor (zero idle power, convex P), any speed reduction
+  // strictly reduces busy energy, so every governor is at most 1.0.
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.sim_length = 1.5;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto ts = random_set(0.3 + 0.15 * static_cast<double>(i), 90 + i);
+    const auto workload = task::uniform_model(i);
+    const auto outcome = exp::run_case({ts, workload}, cfg);
+    for (const auto& g : outcome.outcomes) {
+      EXPECT_LE(g.normalized_energy, 1.0 + 1e-9)
+          << g.governor << " case " << i;
+      EXPECT_EQ(g.result.deadline_misses, 0);
+    }
+  }
+}
+
+TEST(EnergyProperty, StaticEdfMatchesTheoreticalSavingOnWorstCase) {
+  // Full-WCET workload, ideal cubic processor: staticEDF busy energy is
+  // exactly U^2 of noDVS busy energy.
+  const auto ts = random_set(0.6, 4);
+  const auto workload = task::constant_ratio_model(1.0);
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"staticEDF"};
+  cfg.sim_length = 2.0;
+  const auto outcome = exp::run_case({ts, workload}, cfg);
+  const auto& nodvs = outcome.by_name("noDVS").result;
+  const auto& stat = outcome.by_name("staticEDF").result;
+  EXPECT_NEAR(stat.busy_energy / nodvs.busy_energy, 0.36, 0.01);
+}
+
+TEST(EnergyProperty, PaperGovernorDeliversLargeAbsoluteSavings) {
+  // Note: lpSEH's greedy slack assignment (all provable slack to the
+  // earliest-deadline job) produces uneven speed profiles, so under convex
+  // power it does NOT dominate ccEDF's spread-out slowdown on every
+  // workload — see EXPERIMENTS.md.  The robust claim is the large
+  // absolute saving over running unscaled.
+  const auto means = batch_means(0.7, 1.0, 8);
+  EXPECT_LT(means.at("lpSEH"), 0.55);
+}
+
+TEST(EnergyProperty, UniformSpreadingBeatsGreedySlackAssignment) {
+  // The uniformSlack extension spreads reclaimed slack over the whole
+  // backlog; convexity of P(alpha) makes it at least as good as the
+  // greedy assignment on average.
+  const auto means = batch_means(0.7, 1.0, 8);
+  EXPECT_LE(means.at("uniformSlack"), means.at("lpSEH") + 0.01);
+}
+
+TEST(EnergyProperty, PaperGovernorBeatsLppsEdfClearly) {
+  const auto means = batch_means(0.7, 1.0, 8);
+  EXPECT_LT(means.at("lpSEH"), means.at("lppsEDF") - 0.05);
+}
+
+TEST(EnergyProperty, DynamicSchemesBeatStaticWhenWorkloadIsLight) {
+  const auto means = batch_means(0.7, /*ratio hi=*/0.4, 8);
+  EXPECT_LT(means.at("lpSEH"), means.at("staticEDF") - 0.05);
+  EXPECT_LT(means.at("ccEDF"), means.at("staticEDF"));
+  EXPECT_LT(means.at("laEDF"), means.at("staticEDF"));
+}
+
+TEST(EnergyProperty, SavingsGrowAsWorkloadLightens) {
+  const auto heavy = batch_means(0.7, 1.0, 6);
+  const auto light = batch_means(0.7, 0.3, 6);
+  EXPECT_LT(light.at("lpSEH"), heavy.at("lpSEH") - 0.05);
+  EXPECT_LT(light.at("ccEDF"), heavy.at("ccEDF") - 0.05);
+}
+
+TEST(EnergyProperty, MoreFrequencyLevelsNeverHurtOnAverage) {
+  // Nested level sets (2 ⊂ 4 ⊂ 16 levels): quantize_up can only choose a
+  // lower (or equal) speed with more levels; averaged over cases, energy
+  // must not increase.
+  std::map<int, double> mean_by_levels;
+  for (int levels : {2, 4, 16}) {
+    exp::ExperimentConfig cfg = exp::default_config();
+    cfg.governors = {"lpSEH"};
+    cfg.processor = cpu::quantized_ideal_processor(levels);
+    cfg.sim_length = 1.5;
+    util::RunningStats acc;
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      const auto ts = random_set(0.7, 300 + i);
+      const auto workload = task::uniform_model(i + 41);
+      const auto outcome = exp::run_case({ts, workload}, cfg);
+      acc.add(outcome.by_name("lpSEH").normalized_energy);
+    }
+    mean_by_levels[levels] = acc.mean();
+  }
+  EXPECT_LE(mean_by_levels[4], mean_by_levels[2] + 0.01);
+  EXPECT_LE(mean_by_levels[16], mean_by_levels[4] + 0.01);
+}
+
+TEST(EnergyProperty, ExactSlackAnalysisAtLeastAsGoodAsHeuristic) {
+  util::RunningStats exact_acc;
+  util::RunningStats heur_acc;
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"lpSEH", "lpSEH-h"};
+  cfg.sim_length = 1.5;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const auto ts = random_set(0.75, 700 + i);
+    const auto workload = task::uniform_model(i + 3);
+    const auto outcome = exp::run_case({ts, workload}, cfg);
+    exact_acc.add(outcome.by_name("lpSEH").normalized_energy);
+    heur_acc.add(outcome.by_name("lpSEH-h").normalized_energy);
+  }
+  EXPECT_LE(exact_acc.mean(), heur_acc.mean() + 1e-9);
+}
+
+TEST(EnergyProperty, AverageSpeedNeverBelowAlphaMin) {
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.sim_length = 1.0;
+  const auto ts = random_set(0.5, 13);
+  const auto workload = task::uniform_model(9);
+  const auto outcome = exp::run_case({ts, workload}, cfg);
+  for (const auto& g : outcome.outcomes) {
+    EXPECT_GE(g.result.average_speed,
+              cfg.processor.scale.alpha_min() - 1e-9);
+    EXPECT_LE(g.result.average_speed, 1.0 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,162 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/report.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::exp {
+namespace {
+
+Case small_case(std::uint64_t seed) {
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = 4;
+  cfg.total_utilization = 0.6;
+  cfg.period_min = 0.02;
+  cfg.period_max = 0.1;
+  cfg.bcet_ratio = 0.1;
+  util::Rng rng(seed);
+  return {task::generate_task_set(cfg, rng), task::uniform_model(seed)};
+}
+
+TEST(RunCase, ReferenceRunsFirstAndIsNormalizedToOne) {
+  ExperimentConfig cfg = default_config();
+  cfg.sim_length = 0.5;
+  const auto outcome = run_case(small_case(1), cfg);
+  ASSERT_FALSE(outcome.outcomes.empty());
+  EXPECT_EQ(outcome.outcomes.front().governor, "noDVS");
+  EXPECT_DOUBLE_EQ(outcome.outcomes.front().normalized_energy, 1.0);
+}
+
+TEST(RunCase, CoversEveryRequestedGovernorExactlyOnce) {
+  ExperimentConfig cfg = default_config();
+  cfg.sim_length = 0.5;
+  const auto outcome = run_case(small_case(2), cfg);
+  // noDVS + the 9 other registry governors.
+  EXPECT_EQ(outcome.outcomes.size(), 10u);
+}
+
+TEST(RunCase, ByNameFindsAndThrows) {
+  ExperimentConfig cfg = default_config();
+  cfg.governors = {"lpSEH"};
+  cfg.sim_length = 0.3;
+  const auto outcome = run_case(small_case(3), cfg);
+  EXPECT_EQ(outcome.by_name("lpseh").governor, "lpSEH");
+  EXPECT_THROW((void)outcome.by_name("nonexistent"), util::ContractError);
+}
+
+TEST(RunCase, NormalizationIsConsistent) {
+  ExperimentConfig cfg = default_config();
+  cfg.governors = {"staticEDF"};
+  cfg.sim_length = 0.5;
+  const auto outcome = run_case(small_case(4), cfg);
+  const auto& ref = outcome.by_name("noDVS");
+  const auto& stat = outcome.by_name("staticEDF");
+  EXPECT_NEAR(stat.normalized_energy,
+              stat.result.total_energy() / ref.result.total_energy(), 1e-12);
+}
+
+TEST(RunSweep, ShapeMatchesInputs) {
+  ExperimentConfig cfg = default_config();
+  cfg.governors = {"staticEDF", "lpSEH"};
+  cfg.replications = 2;
+  cfg.sim_length = 0.3;
+  const auto sweep = run_sweep(
+      cfg, "U", {0.4, 0.8},
+      [](double u, std::size_t, std::uint64_t seed) {
+        task::GeneratorConfig gen;
+        gen.n_tasks = 4;
+        gen.total_utilization = u;
+        gen.period_min = 0.02;
+        gen.period_max = 0.1;
+        util::Rng rng(seed);
+        return Case{task::generate_task_set(gen, rng),
+                    task::uniform_model(seed)};
+      });
+  ASSERT_EQ(sweep.points.size(), 2u);
+  ASSERT_EQ(sweep.governors.size(), 3u);  // noDVS + 2
+  EXPECT_EQ(sweep.governors.front(), "noDVS");
+  for (const auto& p : sweep.points) {
+    ASSERT_EQ(p.normalized_energy.size(), 3u);
+    for (const auto& s : p.normalized_energy) EXPECT_EQ(s.count(), 2u);
+  }
+  EXPECT_EQ(sweep.points[0].x, 0.4);
+  EXPECT_EQ(sweep.points[1].x, 0.8);
+}
+
+TEST(RunSweep, DeterministicForFixedSeed) {
+  auto build = [](double, std::size_t, std::uint64_t seed) {
+    return small_case(seed);
+  };
+  ExperimentConfig cfg = default_config();
+  cfg.governors = {"ccEDF"};
+  cfg.replications = 2;
+  cfg.sim_length = 0.3;
+  const auto a = run_sweep(cfg, "x", {1.0}, build);
+  const auto b = run_sweep(cfg, "x", {1.0}, build);
+  EXPECT_DOUBLE_EQ(a.points[0].normalized_energy[1].mean(),
+                   b.points[0].normalized_energy[1].mean());
+}
+
+TEST(RunSweep, RejectsEmptyInputs) {
+  ExperimentConfig cfg = default_config();
+  auto build = [](double, std::size_t, std::uint64_t seed) {
+    return small_case(seed);
+  };
+  EXPECT_THROW((void)run_sweep(cfg, "x", {}, build), util::ContractError);
+  cfg.replications = 0;
+  EXPECT_THROW((void)run_sweep(cfg, "x", {1.0}, build), util::ContractError);
+}
+
+TEST(Report, PrintSweepMentionsGovernorsAndMisses) {
+  ExperimentConfig cfg = default_config();
+  cfg.governors = {"lpSEH"};
+  cfg.replications = 1;
+  cfg.sim_length = 0.3;
+  const auto sweep = run_sweep(cfg, "U", {0.5},
+                               [](double, std::size_t, std::uint64_t seed) {
+                                 return small_case(seed);
+                               });
+  std::ostringstream os;
+  print_sweep(os, sweep, "test sweep");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("lpSEH"), std::string::npos);
+  EXPECT_NE(out.find("deadline misses"), std::string::npos);
+  EXPECT_NE(out.find("invariant holds"), std::string::npos);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerPoint) {
+  ExperimentConfig cfg = default_config();
+  cfg.governors = {"lpSEH"};
+  cfg.replications = 1;
+  cfg.sim_length = 0.3;
+  const auto sweep = run_sweep(cfg, "U", {0.4, 0.6},
+                               [](double, std::size_t, std::uint64_t seed) {
+                                 return small_case(seed);
+                               });
+  std::ostringstream os;
+  write_sweep_csv(os, sweep);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("U,noDVS_mean,lpSEH_mean"), std::string::npos);
+  // header + 2 data rows
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Report, PrintCaseListsEveryGovernor) {
+  ExperimentConfig cfg = default_config();
+  cfg.sim_length = 0.3;
+  const auto outcome = run_case(small_case(5), cfg);
+  std::ostringstream os;
+  print_case(os, outcome, "case");
+  for (const auto& g : outcome.outcomes) {
+    EXPECT_NE(os.str().find(g.governor), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dvs::exp

@@ -1,0 +1,230 @@
+#include "sched/fixed_priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fp.hpp"
+#include "core/no_dvs.hpp"
+#include "core/registry.hpp"
+#include "sched/analysis.hpp"
+#include "sim/simulator.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+
+TEST(DmPriorities, ShorterDeadlineWins) {
+  TaskSet ts("p");
+  ts.add(make_task(0, "slow", 12.0, 1.0));
+  ts.add(make_task(1, "fast", 4.0, 1.0));
+  ts.add(make_task(2, "mid", 6.0, 1.0));
+  const auto rank = sched::deadline_monotonic_priorities(ts);
+  EXPECT_EQ(rank[1], 0);
+  EXPECT_EQ(rank[2], 1);
+  EXPECT_EQ(rank[0], 2);
+}
+
+TEST(DmPriorities, TieBreaksByIdDeterministically) {
+  TaskSet ts("p");
+  ts.add(make_task(0, "a", 4.0, 1.0));
+  ts.add(make_task(1, "b", 4.0, 1.0));
+  const auto rank = sched::deadline_monotonic_priorities(ts);
+  EXPECT_EQ(rank[0], 0);
+  EXPECT_EQ(rank[1], 1);
+}
+
+TEST(ResponseTimes, ClassicThreeTaskExample) {
+  // Textbook RTA: C = {1, 2, 3}, T = {4, 6, 12} -> R = {1, 3, 10}.
+  TaskSet ts("rta");
+  ts.add(make_task(0, "a", 4.0, 1.0));
+  ts.add(make_task(1, "b", 6.0, 2.0));
+  ts.add(make_task(2, "c", 12.0, 3.0));
+  const auto r =
+      sched::response_times(ts, sched::deadline_monotonic_priorities(ts));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_NEAR((*r)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*r)[1], 3.0, 1e-9);
+  EXPECT_NEAR((*r)[2], 10.0, 1e-9);
+}
+
+TEST(ResponseTimes, DetectsOverload) {
+  TaskSet ts("over");
+  ts.add(make_task(0, "a", 4.0, 3.0));
+  ts.add(make_task(1, "b", 6.0, 3.0));  // U = 1.25
+  EXPECT_FALSE(
+      sched::response_times(ts, sched::deadline_monotonic_priorities(ts))
+          .has_value());
+  EXPECT_FALSE(sched::fp_schedulable(ts));
+}
+
+TEST(ResponseTimes, EdfFeasibleButFpInfeasible) {
+  // The classic separation: U = 1.0 is EDF-feasible but breaks RM.
+  TaskSet ts("sep");
+  ts.add(make_task(0, "a", 2.0, 1.0));
+  ts.add(make_task(1, "b", 5.0, 2.5));
+  EXPECT_TRUE(sched::edf_schedulable(ts));
+  EXPECT_FALSE(sched::fp_schedulable(ts));
+}
+
+TEST(MinimumConstantSpeedFp, HarmonicSetNeedsExactlyItsUtilization) {
+  TaskSet ts("harmonic");
+  ts.add(make_task(0, "a", 2.0, 0.5));
+  ts.add(make_task(1, "b", 4.0, 1.0));
+  ts.add(make_task(2, "c", 8.0, 2.0));
+  EXPECT_NEAR(sched::minimum_constant_speed_fp(ts), 0.75, 1e-6);
+}
+
+TEST(MinimumConstantSpeedFp, NonHarmonicNeedsMoreThanUtilization) {
+  TaskSet ts("liu-layland");
+  ts.add(make_task(0, "a", 2.0, 0.6));
+  ts.add(make_task(1, "b", 5.0, 1.5));  // U = 0.6
+  const double s = sched::minimum_constant_speed_fp(ts);
+  EXPECT_GT(s, 0.6 + 0.05);  // RM penalty over EDF
+  EXPECT_LE(s, 1.0);
+  // The derived speed must itself be feasible.
+  EXPECT_TRUE(sched::response_times(
+                  ts, sched::deadline_monotonic_priorities(ts), s)
+                  .has_value());
+}
+
+TEST(MinimumConstantSpeedFp, RejectsInfeasibleSets) {
+  TaskSet ts("over");
+  ts.add(make_task(0, "a", 2.0, 1.0));
+  ts.add(make_task(1, "b", 5.0, 2.5));
+  EXPECT_THROW((void)sched::minimum_constant_speed_fp(ts),
+               util::ContractError);
+}
+
+TEST(FpSimulation, RmPreemptsWhereEdfWouldNot) {
+  // B: T=20, C=14, release 0 (deadline 20).  A: T=10, C=2, first release
+  // at 12 (deadline 22 > 20).  EDF lets B finish; RM preempts at 12.
+  TaskSet ts("sep");
+  auto a = make_task(0, "A", 10.0, 2.0);
+  a.phase = 12.0;
+  ts.add(a);
+  ts.add(make_task(1, "B", 20.0, 14.0));
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+
+  auto first_completion_of_a = [&](sim::SchedulingPolicy policy) {
+    core::NoDvsGovernor g;
+    sim::SimOptions opts;
+    opts.length = 20.0;
+    opts.policy = policy;
+    opts.record_jobs = true;
+    const auto r = sim::simulate(ts, *workload, proc, g, opts);
+    for (const auto& j : r.jobs) {
+      if (j.task_id == 0) return j.completion;
+    }
+    return -1.0;
+  };
+
+  EXPECT_NEAR(first_completion_of_a(sim::SchedulingPolicy::kFixedPriority),
+              14.0, 1e-9);  // preempted B at 12, ran [12, 14]
+  EXPECT_NEAR(first_completion_of_a(sim::SchedulingPolicy::kEdf), 16.0,
+              1e-9);  // waited for B to finish at 14
+}
+
+TEST(FpGovernors, StaticFpMeetsAllDeadlinesAtItsDerivedSpeed) {
+  TaskSet ts("fp");
+  ts.add(make_task(0, "a", 0.02, 0.004, 0.001));
+  ts.add(make_task(1, "b", 0.05, 0.01, 0.002));
+  ts.add(make_task(2, "c", 0.11, 0.02, 0.004));
+  ASSERT_TRUE(sched::fp_schedulable(ts));
+  const auto workload = task::constant_ratio_model(1.0);  // worst case
+  core::StaticFpGovernor g;
+  sim::SimOptions opts;
+  opts.length = 2.0;
+  opts.policy = sim::SchedulingPolicy::kFixedPriority;
+  const auto r =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_LT(r.average_speed, 1.0);
+}
+
+TEST(FpGovernors, LppsFpStretchesAndStaysSafe) {
+  TaskSet ts("fp");
+  ts.add(make_task(0, "a", 0.02, 0.004, 0.0008));
+  ts.add(make_task(1, "b", 0.06, 0.012, 0.0024));
+  ASSERT_TRUE(sched::fp_schedulable(ts));
+  const auto workload = task::uniform_model(3);
+  core::LppsFpGovernor g;
+  sim::SimOptions opts;
+  opts.length = 2.0;
+  opts.policy = sim::SchedulingPolicy::kFixedPriority;
+  const auto r =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_LT(r.average_speed, 1.0);
+}
+
+TEST(FpGovernors, PropertySweepZeroMisses) {
+  // Random sets kept below the Liu & Layland bound are always
+  // RM-schedulable; all FP governors must meet every deadline.
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = 5;
+  cfg.total_utilization = 0.65;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = 0.1;
+  cfg.grid_fraction = 0.5;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    util::Rng rng(400 + seed);
+    const auto ts = task::generate_task_set(cfg, rng);
+    ASSERT_TRUE(sched::fp_schedulable(ts));
+    const auto workload = task::uniform_model(seed);
+    for (int which = 0; which < 3; ++which) {
+      sim::GovernorPtr g;
+      if (which == 0) g = core::make_governor("noDVS");
+      if (which == 1) g = std::make_unique<core::StaticFpGovernor>();
+      if (which == 2) g = std::make_unique<core::LppsFpGovernor>();
+      sim::SimOptions opts;
+      opts.length = 2.0;
+      opts.policy = sim::SchedulingPolicy::kFixedPriority;
+      const auto r =
+          sim::simulate(ts, *workload, cpu::ideal_processor(), *g, opts);
+      EXPECT_EQ(r.deadline_misses, 0)
+          << g->name() << " seed " << seed;
+    }
+  }
+}
+
+TEST(PolicyGuards, EdfGovernorsRefuseFixedPriorityRuns) {
+  TaskSet ts("g");
+  ts.add(make_task(0, "a", 0.02, 0.004));
+  const auto workload = task::uniform_model(1);
+  sim::SimOptions opts;
+  opts.length = 0.1;
+  opts.policy = sim::SchedulingPolicy::kFixedPriority;
+  for (const char* name :
+       {"staticEDF", "ccEDF", "laEDF", "DRA", "lpSEH", "uniformSlack"}) {
+    auto g = core::make_governor(name);
+    EXPECT_THROW(
+        (void)sim::simulate(ts, *workload, cpu::ideal_processor(), *g, opts),
+        util::ContractError)
+        << name;
+  }
+}
+
+TEST(PolicyGuards, FpGovernorsRefuseEdfRuns) {
+  TaskSet ts("g");
+  ts.add(make_task(0, "a", 0.02, 0.004));
+  const auto workload = task::uniform_model(1);
+  sim::SimOptions opts;
+  opts.length = 0.1;
+  core::StaticFpGovernor stat;
+  EXPECT_THROW((void)sim::simulate(ts, *workload, cpu::ideal_processor(),
+                                   stat, opts),
+               util::ContractError);
+  core::LppsFpGovernor lpps;
+  EXPECT_THROW((void)sim::simulate(ts, *workload, cpu::ideal_processor(),
+                                   lpps, opts),
+               util::ContractError);
+}
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,99 @@
+#include "cpu/frequency.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dvs::cpu {
+namespace {
+
+using util::ContractError;
+
+TEST(Continuous, ClampsIntoRange) {
+  const auto s = FrequencyScale::continuous(0.1);
+  EXPECT_FALSE(s.is_discrete());
+  EXPECT_DOUBLE_EQ(s.alpha_min(), 0.1);
+  EXPECT_DOUBLE_EQ(s.quantize_up(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(s.quantize_up(0.05), 0.1);
+  EXPECT_DOUBLE_EQ(s.quantize_up(1.7), 1.0);
+}
+
+TEST(Continuous, RejectsBadAlphaMin) {
+  EXPECT_THROW((void)FrequencyScale::continuous(0.0), ContractError);
+  EXPECT_THROW((void)FrequencyScale::continuous(1.5), ContractError);
+}
+
+TEST(Discrete, RoundsUpOnly) {
+  const auto s = FrequencyScale::discrete({0.25, 0.5, 0.75, 1.0});
+  EXPECT_TRUE(s.is_discrete());
+  EXPECT_DOUBLE_EQ(s.quantize_up(0.26), 0.5);
+  EXPECT_DOUBLE_EQ(s.quantize_up(0.5), 0.5);    // exact level maps to itself
+  EXPECT_DOUBLE_EQ(s.quantize_up(0.51), 0.75);
+  EXPECT_DOUBLE_EQ(s.quantize_up(0.10), 0.25);  // below min clamps up
+  EXPECT_DOUBLE_EQ(s.quantize_up(0.99), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantize_up(1.3), 1.0);
+}
+
+TEST(Discrete, SortsAndDeduplicates) {
+  const auto s = FrequencyScale::discrete({1.0, 0.5, 0.5, 0.25});
+  ASSERT_EQ(s.levels().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.levels()[0], 0.25);
+  EXPECT_DOUBLE_EQ(s.levels()[2], 1.0);
+  EXPECT_DOUBLE_EQ(s.alpha_min(), 0.25);
+}
+
+TEST(Discrete, RequiresMaxSpeedLevel) {
+  EXPECT_THROW((void)FrequencyScale::discrete({0.25, 0.5}), ContractError);
+  EXPECT_THROW((void)FrequencyScale::discrete({}), ContractError);
+  EXPECT_THROW((void)FrequencyScale::discrete({0.0, 1.0}), ContractError);
+}
+
+TEST(UniformLevels, EvenSpacing) {
+  const auto s = FrequencyScale::uniform_levels(4, 0.25);
+  ASSERT_EQ(s.levels().size(), 4u);
+  EXPECT_DOUBLE_EQ(s.levels()[0], 0.25);
+  EXPECT_DOUBLE_EQ(s.levels()[1], 0.5);
+  EXPECT_DOUBLE_EQ(s.levels()[2], 0.75);
+  EXPECT_DOUBLE_EQ(s.levels()[3], 1.0);
+}
+
+TEST(UniformLevels, SingleLevelIsFullSpeed) {
+  const auto s = FrequencyScale::uniform_levels(1, 0.3);
+  ASSERT_EQ(s.levels().size(), 1u);
+  EXPECT_DOUBLE_EQ(s.levels()[0], 1.0);
+}
+
+TEST(Describe, MentionsKind) {
+  EXPECT_NE(FrequencyScale::continuous(0.05).describe().find("continuous"),
+            std::string::npos);
+  EXPECT_NE(FrequencyScale::uniform_levels(2).describe().find("discrete"),
+            std::string::npos);
+}
+
+/// Quantization must never return a speed below the request (deadline
+/// safety) for any scale.
+class QuantizeUpProperty : public ::testing::TestWithParam<FrequencyScale> {};
+
+TEST_P(QuantizeUpProperty, NeverBelowRequestWithinRange) {
+  const auto& s = GetParam();
+  for (int i = 1; i <= 100; ++i) {
+    const double alpha = i / 100.0;
+    const double q = s.quantize_up(alpha);
+    if (alpha >= s.alpha_min()) {
+      EXPECT_GE(q, alpha - 1e-12);
+    }
+    EXPECT_LE(q, 1.0);
+    EXPECT_GE(q, s.alpha_min());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Frequency, QuantizeUpProperty,
+    ::testing::Values(FrequencyScale::continuous(0.05),
+                      FrequencyScale::continuous(0.3),
+                      FrequencyScale::uniform_levels(2),
+                      FrequencyScale::uniform_levels(5, 0.2),
+                      FrequencyScale::discrete({0.15, 0.4, 0.6, 0.8, 1.0})));
+
+}  // namespace
+}  // namespace dvs::cpu

@@ -1,0 +1,130 @@
+#include "task/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dvs::task {
+namespace {
+
+using util::ContractError;
+
+TEST(UUniFast, SharesSumToTarget) {
+  util::Rng rng(1);
+  for (double target : {0.1, 0.5, 0.9, 1.0}) {
+    const auto u = uunifast(8, target, rng);
+    EXPECT_EQ(u.size(), 8u);
+    const double sum = std::accumulate(u.begin(), u.end(), 0.0);
+    EXPECT_NEAR(sum, target, 1e-12);
+    for (double x : u) EXPECT_GE(x, 0.0);
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  util::Rng rng(2);
+  const auto u = uunifast(1, 0.7, rng);
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_DOUBLE_EQ(u[0], 0.7);
+}
+
+TEST(UUniFast, RejectsDegenerateInput) {
+  util::Rng rng(3);
+  EXPECT_THROW((void)uunifast(0, 0.5, rng), ContractError);
+  EXPECT_THROW((void)uunifast(4, 0.0, rng), ContractError);
+}
+
+TEST(Generator, ProducesValidSetAtTargetUtilization) {
+  GeneratorConfig cfg;
+  cfg.n_tasks = 8;
+  cfg.total_utilization = 0.75;
+  util::Rng rng(7);
+  const TaskSet ts = generate_task_set(cfg, rng, "g");
+  EXPECT_EQ(ts.size(), 8u);
+  EXPECT_NO_THROW(ts.validate());
+  EXPECT_NEAR(ts.utilization(), 0.75, 1e-9);
+}
+
+TEST(Generator, PeriodsRespectRange) {
+  GeneratorConfig cfg;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.5;
+  util::Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const TaskSet ts = generate_task_set(cfg, rng);
+    for (const auto& t : ts) {
+      EXPECT_GE(t.period, cfg.period_min - 1e-12);
+      // grid snapping can round up by at most half a grid step
+      EXPECT_LE(t.period, cfg.period_max + cfg.period_min * cfg.grid_fraction);
+    }
+  }
+}
+
+TEST(Generator, GridSnappingYieldsFiniteHyperperiods) {
+  GeneratorConfig cfg;
+  cfg.n_tasks = 4;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.08;
+  cfg.grid_fraction = 0.5;  // coarse grid: 5 ms
+  util::Rng rng(9);
+  int finite = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (generate_task_set(cfg, rng).hyperperiod()) ++finite;
+  }
+  EXPECT_EQ(finite, 20);
+}
+
+TEST(Generator, BcetRatioApplied) {
+  GeneratorConfig cfg;
+  cfg.bcet_ratio = 0.25;
+  util::Rng rng(10);
+  const TaskSet ts = generate_task_set(cfg, rng);
+  for (const auto& t : ts) EXPECT_NEAR(t.bcet, 0.25 * t.wcet, 1e-12);
+}
+
+TEST(Generator, PerTaskUtilizationCapHolds) {
+  GeneratorConfig cfg;
+  cfg.n_tasks = 6;
+  cfg.total_utilization = 0.9;
+  cfg.max_task_utilization = 0.4;
+  util::Rng rng(11);
+  for (int i = 0; i < 10; ++i) {
+    const TaskSet ts = generate_task_set(cfg, rng);
+    for (const auto& t : ts) EXPECT_LE(t.utilization(), 0.4 + 1e-12);
+  }
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  GeneratorConfig cfg;
+  const auto a = generate_task_sets(cfg, 3, 99);
+  const auto b = generate_task_sets(cfg, 3, 99);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (std::size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(a[i][j].period, b[i][j].period);
+      EXPECT_DOUBLE_EQ(a[i][j].wcet, b[i][j].wcet);
+    }
+  }
+}
+
+TEST(Generator, RejectsInvalidConfig) {
+  util::Rng rng(1);
+  GeneratorConfig cfg;
+  cfg.total_utilization = 1.5;
+  EXPECT_THROW((void)generate_task_set(cfg, rng), ContractError);
+  cfg = {};
+  cfg.period_min = 0.5;
+  cfg.period_max = 0.1;
+  EXPECT_THROW((void)generate_task_set(cfg, rng), ContractError);
+  cfg = {};
+  cfg.bcet_ratio = 0.0;
+  EXPECT_THROW((void)generate_task_set(cfg, rng), ContractError);
+  cfg = {};
+  cfg.n_tasks = 0;
+  EXPECT_THROW((void)generate_task_set(cfg, rng), ContractError);
+}
+
+}  // namespace
+}  // namespace dvs::task

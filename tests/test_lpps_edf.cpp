@@ -1,0 +1,78 @@
+#include "core/lpps_edf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+TEST(LppsEdf, LoneJobStretchesToNextArrival) {
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 10.0, 2.0));
+  ts.add(make_task(1, "b", 6.0, 1.0));
+  FakeContext ctx(std::move(ts));
+  // Only task 0's job is active at t = 1; task 1's next arrival is t = 6.
+  auto& job = ctx.add_job(0, 0, 0.0);
+  ctx.now_ = 1.0;
+  LppsEdfGovernor g;
+  // Stretch 2 units of work across min(NTA, deadline) - now = 5.
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.4, 1e-12);
+}
+
+TEST(LppsEdf, StretchCappedByOwnDeadline) {
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 5.0, 2.0));
+  ts.add(make_task(1, "b", 100.0, 1.0));
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  // NTA (t = 5, task a's own next release) equals the deadline here;
+  // the stretch window is the deadline, not the distant task-b arrival.
+  LppsEdfGovernor g;
+  EXPECT_NEAR(g.select_speed(job, ctx), 2.0 / 5.0, 1e-12);
+}
+
+TEST(LppsEdf, FullSpeedWithMultipleActiveJobs) {
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 10.0, 2.0));
+  ts.add(make_task(1, "b", 12.0, 2.0));
+  FakeContext ctx(std::move(ts));
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  ctx.add_job(1, 0, 0.0);
+  LppsEdfGovernor g;
+  EXPECT_DOUBLE_EQ(g.select_speed(j0, ctx), 1.0);
+}
+
+TEST(LppsEdf, NeverBelowWhatTheWindowRequires) {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 8.0));
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  LppsEdfGovernor g;
+  // 8 units across 10 -> 0.8; running any slower would miss the deadline.
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.8, 1e-12);
+}
+
+TEST(LppsEdf, EndToEndSafeAndSavesSomething) {
+  TaskSet ts("mix");
+  ts.add(make_task(0, "a", 0.1, 0.02, 0.004));
+  ts.add(make_task(1, "b", 0.4, 0.1, 0.02));
+  const auto workload = task::uniform_model(23);
+  const cpu::Processor proc = cpu::ideal_processor();
+
+  LppsEdfGovernor lpps;
+  sim::SimOptions opts;
+  opts.length = 8.0;
+  const auto r = sim::simulate(ts, *workload, proc, lpps, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_LT(r.average_speed, 1.0);  // it did scale down sometimes
+}
+
+}  // namespace
+}  // namespace dvs::core

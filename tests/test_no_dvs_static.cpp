@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/no_dvs.hpp"
+#include "core/static_edf.hpp"
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using testing_ctx = dvs::testing::FakeContext;
+
+TaskSet simple_set(double u) {
+  TaskSet ts("s");
+  ts.add(make_task(0, "a", 10.0, u * 5.0));
+  ts.add(make_task(1, "b", 20.0, u * 10.0));
+  return ts;  // utilization = u
+}
+
+TEST(NoDvs, AlwaysFullSpeed) {
+  testing_ctx ctx(simple_set(0.5));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  NoDvsGovernor g;
+  g.on_start(ctx);
+  EXPECT_DOUBLE_EQ(g.select_speed(job, ctx), 1.0);
+  ctx.now_ = 3.0;
+  EXPECT_DOUBLE_EQ(g.select_speed(job, ctx), 1.0);
+}
+
+TEST(StaticEdf, SpeedEqualsUtilizationForImplicitDeadlines) {
+  testing_ctx ctx(simple_set(0.6));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  StaticEdfGovernor g;
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.6, 1e-12);
+}
+
+TEST(StaticEdf, SpeedConstantOverTime) {
+  testing_ctx ctx(simple_set(0.4));
+  auto& job = ctx.add_job(1, 0, 0.0);
+  StaticEdfGovernor g;
+  g.on_start(ctx);
+  const double first = g.select_speed(job, ctx);
+  ctx.now_ = 7.5;
+  EXPECT_DOUBLE_EQ(g.select_speed(job, ctx), first);
+}
+
+TEST(StaticEdf, ConstrainedDeadlinesRaiseTheSpeed) {
+  TaskSet ts("c");
+  auto t = make_task(0, "a", 10.0, 2.0);
+  t.deadline = 2.5;  // needs speed 0.8 at its first deadline
+  ts.add(t);
+  testing_ctx ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  StaticEdfGovernor g;
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.8, 1e-9);
+}
+
+TEST(StaticEdf, FullUtilizationMeansFullSpeed) {
+  testing_ctx ctx(simple_set(1.0));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  StaticEdfGovernor g;
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(job, ctx), 1.0, 1e-12);
+}
+
+TEST(StaticEdf, EndToEndBeatsNoDvsOnEnergy) {
+  const TaskSet ts = simple_set(0.5);
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  sim::SimOptions opts;
+  opts.length = 100.0;
+
+  NoDvsGovernor fast;
+  StaticEdfGovernor scaled;
+  const auto a = sim::simulate(ts, *workload, proc, fast, opts);
+  const auto b = sim::simulate(ts, *workload, proc, scaled, opts);
+  EXPECT_EQ(a.deadline_misses, 0);
+  EXPECT_EQ(b.deadline_misses, 0);
+  // With P = alpha^3 and full-WCET workloads, running at U = 0.5 uses
+  // 0.5^2 = 25% of the no-DVS busy energy.
+  EXPECT_NEAR(b.busy_energy / a.busy_energy, 0.25, 1e-6);
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,147 @@
+#include "core/overhead_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/registry.hpp"
+#include "core/slack_time.hpp"
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+/// Inner governor with a scripted response.
+class ScriptedGovernor final : public sim::Governor {
+ public:
+  explicit ScriptedGovernor(double alpha) : alpha_(alpha) {}
+  double select_speed(const sim::Job&, const sim::SimContext&) override {
+    return alpha_;
+  }
+  std::string name() const override { return "scripted"; }
+  double alpha_;
+};
+
+cpu::Processor overhead_processor(Time t_switch, double e_switch) {
+  cpu::Processor p = cpu::ideal_processor();
+  p.transition = cpu::TransitionModel::constant(t_switch, e_switch);
+  return p;
+}
+
+TaskSet one_task() {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 4.0));
+  return ts;
+}
+
+TEST(OverheadAware, PassesThroughWhenNoChangeNeeded) {
+  FakeContext ctx(one_task());
+  ctx.speed_ = 0.5;
+  auto& job = ctx.add_job(0, 0, 0.0);
+  OverheadAwareGovernor g(std::make_unique<ScriptedGovernor>(0.5),
+                          overhead_processor(0.1, 0.01));
+  g.on_start(ctx);
+  EXPECT_DOUBLE_EQ(g.select_speed(job, ctx), 0.5);
+  EXPECT_EQ(g.vetoes(), 0);
+}
+
+TEST(OverheadAware, ShrinksSlowdownBudgetByTwoStalls) {
+  FakeContext ctx(one_task());
+  ctx.speed_ = 1.0;
+  auto& job = ctx.add_job(0, 0, 0.0);
+  // Inner wants 0.4 (budget 4 / 0.4 = 10); two stalls of 1.0 shrink the
+  // budget to 8 -> corrected speed 0.5.
+  OverheadAwareGovernor g(std::make_unique<ScriptedGovernor>(0.4),
+                          overhead_processor(1.0, 0.0));
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.5, 1e-9);
+}
+
+TEST(OverheadAware, VetoesWhenStallsEatTheWholeGain) {
+  FakeContext ctx(one_task());
+  ctx.speed_ = 1.0;
+  auto& job = ctx.add_job(0, 0, 0.0);
+  // budget 10, stalls 2 x 3.1 -> usable 3.8 < rem 4: cannot slow down.
+  OverheadAwareGovernor g(std::make_unique<ScriptedGovernor>(0.4),
+                          overhead_processor(3.1, 0.0));
+  g.on_start(ctx);
+  EXPECT_DOUBLE_EQ(g.select_speed(job, ctx), 1.0);
+  EXPECT_EQ(g.vetoes(), 1);
+}
+
+TEST(OverheadAware, VetoesEnergyNegativeSwitches) {
+  FakeContext ctx(one_task());
+  ctx.speed_ = 1.0;
+  auto& job = ctx.add_job(0, 0, 0.0);
+  // Zero stall time, but a huge per-switch energy: staying at full speed
+  // costs 4 (P=1 for 4s); slowing to 0.4 costs 0.4^2*4 = 0.64 + 2*10 -> veto.
+  OverheadAwareGovernor g(std::make_unique<ScriptedGovernor>(0.4),
+                          overhead_processor(0.0, 10.0));
+  g.on_start(ctx);
+  EXPECT_DOUBLE_EQ(g.select_speed(job, ctx), 1.0);
+  EXPECT_EQ(g.vetoes(), 1);
+}
+
+TEST(OverheadAware, AllowsProfitableSwitches) {
+  FakeContext ctx(one_task());
+  ctx.speed_ = 1.0;
+  auto& job = ctx.add_job(0, 0, 0.0);
+  // Tiny switch energy: slowing down is clearly worth it.
+  OverheadAwareGovernor g(std::make_unique<ScriptedGovernor>(0.4),
+                          overhead_processor(0.0, 1e-6));
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.4, 1e-9);
+  EXPECT_EQ(g.vetoes(), 0);
+}
+
+TEST(OverheadAware, SpeedUpPaysOneStall) {
+  FakeContext ctx(one_task());
+  ctx.speed_ = 0.25;
+  auto& job = ctx.add_job(0, 0, 0.0);
+  // Inner demands 0.8 (budget 5); one stall of 0.5 -> usable 4.5 ->
+  // corrected speed 4 / 4.5 ~= 0.889.
+  OverheadAwareGovernor g(std::make_unique<ScriptedGovernor>(0.8),
+                          overhead_processor(0.5, 0.0));
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(job, ctx), 4.0 / 4.5, 1e-9);
+}
+
+TEST(OverheadAware, NameAppendsSuffix) {
+  OverheadAwareGovernor g(std::make_unique<ScriptedGovernor>(0.5),
+                          cpu::ideal_processor());
+  EXPECT_EQ(g.name(), "scripted+oh");
+}
+
+TEST(OverheadAware, RejectsNullInner) {
+  EXPECT_THROW(OverheadAwareGovernor(nullptr, cpu::ideal_processor()),
+               util::ContractError);
+}
+
+TEST(OverheadAware, EndToEndZeroMissesWithRealStalls) {
+  // The CNC-style guarantee: slack analysis charged with the stall time,
+  // wrapped for energy gating, on a processor with expensive transitions.
+  TaskSet ts("mix");
+  ts.add(make_task(0, "a", 0.01, 0.003, 0.0006));
+  ts.add(make_task(1, "b", 0.04, 0.01, 0.002));
+  ts.add(make_task(2, "c", 0.08, 0.02, 0.004));
+  cpu::Processor proc = cpu::strongarm_processor();
+
+  SlackTimeConfig cfg;
+  cfg.switch_overhead = proc.transition.switch_time(0.5, 1.0);
+  auto g = overhead_aware(std::make_unique<SlackTimeGovernor>(cfg), proc);
+  const auto workload = task::uniform_model(5);
+  sim::SimOptions opts;
+  opts.length = 4.0;
+  const auto r = sim::simulate(ts, *workload, proc, *g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_GT(r.speed_switches, 0);
+  EXPECT_LT(r.average_speed, 1.0);
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,149 @@
+#include "cpu/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cpu/processors.hpp"
+#include "util/error.hpp"
+
+namespace dvs::cpu {
+namespace {
+
+using util::ContractError;
+
+TEST(CubicModel, MatchesAlphaCubed) {
+  const auto m = cubic_power_model();
+  EXPECT_DOUBLE_EQ(m->busy_power(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m->busy_power(0.5), 0.125);
+  EXPECT_DOUBLE_EQ(m->busy_power(0.1), 0.001);
+  EXPECT_DOUBLE_EQ(m->idle_power(), 0.0);
+}
+
+TEST(CubicModel, VoltageProportionalToSpeed) {
+  const auto m = cubic_power_model(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(m->voltage(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(m->voltage(0.5), 1.0);
+}
+
+TEST(CubicModel, IdleFraction) {
+  const auto m = cubic_power_model(0.07);
+  EXPECT_DOUBLE_EQ(m->idle_power(), 0.07);
+}
+
+TEST(CubicModel, RejectsBadArguments) {
+  EXPECT_THROW((void)cubic_power_model(1.0), ContractError);
+  EXPECT_THROW((void)cubic_power_model(0.0, -1.0), ContractError);
+  EXPECT_THROW((void)cubic_power_model()->busy_power(0.0), ContractError);
+  EXPECT_THROW((void)cubic_power_model()->busy_power(1.5), ContractError);
+}
+
+TEST(AlphaPowerLaw, NormalizedAtFullSpeed) {
+  const auto m = alpha_power_law_model(1.8, 0.5, 1.5, 0.0);
+  EXPECT_NEAR(m->busy_power(1.0), 1.0, 1e-9);
+  EXPECT_NEAR(m->voltage(1.0), 1.8, 1e-6);
+}
+
+TEST(AlphaPowerLaw, VoltageMonotoneInSpeed) {
+  const auto m = alpha_power_law_model(1.8, 0.5);
+  double prev = 0.0;
+  for (int i = 1; i <= 10; ++i) {
+    const double v = m->voltage(i / 10.0);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(AlphaPowerLaw, LessConvexThanCubicNearThreshold) {
+  // With a nonzero threshold voltage, low speeds still need substantial
+  // voltage, so power at low alpha is *higher* than the ideal cubic.
+  const auto real = alpha_power_law_model(1.8, 0.6, 1.5, 0.0);
+  const auto ideal = cubic_power_model();
+  EXPECT_GT(real->busy_power(0.2), ideal->busy_power(0.2));
+}
+
+TEST(AlphaPowerLaw, RejectsBadArguments) {
+  EXPECT_THROW((void)alpha_power_law_model(0.5, 0.6), ContractError);
+  EXPECT_THROW((void)alpha_power_law_model(1.8, 0.5, 0.5), ContractError);
+}
+
+TEST(TableModel, NormalizedToTopPoint) {
+  const auto m = table_power_model("t",
+                                   {{0.5, 1.0, 100.0}, {1.0, 2.0, 400.0}});
+  EXPECT_DOUBLE_EQ(m->busy_power(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m->busy_power(0.5), 0.25);
+}
+
+TEST(TableModel, DerivesPowerFromVSquaredFWhenMissing) {
+  const auto m =
+      table_power_model("t", {{0.5, 1.0, -1.0}, {1.0, 2.0, -1.0}});
+  // raw powers: 0.5*1 = 0.5 and 1*4 = 4 -> normalized 0.125 and 1.
+  EXPECT_NEAR(m->busy_power(0.5), 0.125, 1e-12);
+  EXPECT_DOUBLE_EQ(m->busy_power(1.0), 1.0);
+}
+
+TEST(TableModel, InterpolatesBetweenPoints) {
+  const auto m = table_power_model("t",
+                                   {{0.5, 1.0, 100.0}, {1.0, 2.0, 400.0}});
+  const double p75 = m->busy_power(0.75);
+  EXPECT_GT(p75, 0.25);
+  EXPECT_LT(p75, 1.0);
+  // Voltage interpolates linearly.
+  EXPECT_NEAR(m->voltage(0.75), 1.5, 1e-12);
+}
+
+TEST(TableModel, ExtrapolatesBelowLowestPoint) {
+  const auto m = table_power_model("t",
+                                   {{0.5, 1.0, 100.0}, {1.0, 2.0, 400.0}});
+  // Below the first point power falls linearly with frequency.
+  EXPECT_NEAR(m->busy_power(0.25), 0.125, 1e-12);
+  EXPECT_DOUBLE_EQ(m->voltage(0.25), 1.0);
+}
+
+TEST(TableModel, RequiresFullSpeedPoint) {
+  EXPECT_THROW((void)table_power_model("t", {{0.5, 1.0, 1.0}}),
+               ContractError);
+  EXPECT_THROW((void)table_power_model("t", {}), ContractError);
+}
+
+/// Physical sanity for every preset processor's power model.
+class PresetPower : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PresetPower, MonotoneAndNormalized) {
+  const Processor p = processor_by_name(GetParam());
+  const auto& m = *p.power;
+  EXPECT_NEAR(m.busy_power(1.0), 1.0, 1e-9);
+  double prev_power = 0.0;
+  double prev_voltage = 0.0;
+  for (int i = 1; i <= 20; ++i) {
+    const double a = i / 20.0;
+    const double pw = m.busy_power(a);
+    const double v = m.voltage(a);
+    EXPECT_GE(pw, prev_power - 1e-12) << "power not monotone at " << a;
+    EXPECT_GE(v, prev_voltage - 1e-12) << "voltage not monotone at " << a;
+    EXPECT_GE(pw, 0.0);
+    prev_power = pw;
+    prev_voltage = v;
+  }
+  EXPECT_GE(m.idle_power(), 0.0);
+  EXPECT_LT(m.idle_power(), 0.5);
+}
+
+TEST_P(PresetPower, ScaleEndsAtFullSpeed) {
+  const Processor p = processor_by_name(GetParam());
+  EXPECT_DOUBLE_EQ(p.scale.quantize_up(1.0), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Processors, PresetPower,
+                         ::testing::Values("ideal", "xscale", "strongarm",
+                                           "crusoe", "four-level"));
+
+TEST(Processors, UnknownNameThrows) {
+  EXPECT_THROW((void)processor_by_name("pentium"), ContractError);
+}
+
+TEST(Processors, QuantizedIdealLevelCount) {
+  const Processor p = quantized_ideal_processor(8);
+  EXPECT_EQ(p.scale.levels().size(), 8u);
+}
+
+}  // namespace
+}  // namespace dvs::cpu

@@ -1,0 +1,56 @@
+#include "core/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace dvs::core {
+namespace {
+
+TEST(Registry, ContainsTheWholeFamily) {
+  const auto names = governor_names();
+  const std::set<std::string> expected{
+      "noDVS", "staticEDF", "lppsEDF",      "ccEDF", "laEDF",
+      "DRA",   "AGR",       "lpSEH-h",      "lpSEH", "uniformSlack"};
+  EXPECT_EQ(std::set<std::string>(names.begin(), names.end()), expected);
+}
+
+TEST(Registry, FactoryNamesMatchInstances) {
+  for (const auto& spec : standard_governors()) {
+    const auto g = spec.make();
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->name(), spec.name);
+    EXPECT_FALSE(spec.description.empty());
+  }
+}
+
+TEST(Registry, LookupIsCaseInsensitive) {
+  EXPECT_EQ(make_governor("lpseh")->name(), "lpSEH");
+  EXPECT_EQ(make_governor("NODVS")->name(), "noDVS");
+  EXPECT_EQ(make_governor("dra")->name(), "DRA");
+}
+
+TEST(Registry, InstancesAreIndependent) {
+  const auto a = make_governor("ccEDF");
+  const auto b = make_governor("ccEDF");
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW((void)make_governor("ondemand"), util::ContractError);
+  EXPECT_THROW((void)governor_factory(""), util::ContractError);
+}
+
+TEST(Registry, ReportOrderEndsWithPaperThenExtension) {
+  // Report order matters: baselines, then the paper's algorithm, then the
+  // repo's extension.
+  const auto names = governor_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_EQ(names[names.size() - 2], "lpSEH");
+  EXPECT_EQ(names.back(), "uniformSlack");
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,146 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dvs::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t s1 = 42;
+  std::uint64_t s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashU64, SameInputsSameOutput) {
+  EXPECT_EQ(hash_u64(1, 2, 3), hash_u64(1, 2, 3));
+}
+
+TEST(HashU64, DiffersInEachCoordinate) {
+  const auto base = hash_u64(1, 2, 3);
+  EXPECT_NE(base, hash_u64(2, 2, 3));
+  EXPECT_NE(base, hash_u64(1, 3, 3));
+  EXPECT_NE(base, hash_u64(1, 2, 4));
+}
+
+TEST(HashU64, NoTrivialCollisionsOverGrid) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t a = 0; a < 30; ++a) {
+    for (std::uint64_t b = 0; b < 30; ++b) {
+      seen.insert(hash_u64(a, b, 7));
+    }
+  }
+  EXPECT_EQ(seen.size(), 900u);
+}
+
+TEST(HashUnit, InHalfOpenUnitInterval) {
+  for (std::uint64_t i = 0; i < 2000; ++i) {
+    const double u = hash_unit(i, i * 31, 5);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(HashUnit, MeanIsNearHalf) {
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += hash_unit(static_cast<std::uint64_t>(i));
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro, ReproducibleFromSeed) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(7);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiverge) {
+  Xoshiro256StarStar a(7);
+  Xoshiro256StarStar b(8);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, UnitInRange) {
+  Xoshiro256StarStar rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro, UniformRespectsBounds) {
+  Xoshiro256StarStar rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Xoshiro, UniformRejectsInvertedBounds) {
+  Xoshiro256StarStar rng(3);
+  EXPECT_THROW((void)rng.uniform(1.0, 0.0), ContractError);
+}
+
+TEST(Xoshiro, UniformIntCoversAllValues) {
+  Xoshiro256StarStar rng(4);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(3, 8));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 8);
+}
+
+TEST(Xoshiro, UniformIntSingleton) {
+  Xoshiro256StarStar rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Xoshiro, NormalMomentsAreSane) {
+  Xoshiro256StarStar rng(6);
+  const int n = 50000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Xoshiro, NormalScalesMeanAndStddev) {
+  Xoshiro256StarStar rng(7);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Xoshiro, NormalRejectsNegativeStddev) {
+  Xoshiro256StarStar rng(8);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), ContractError);
+}
+
+}  // namespace
+}  // namespace dvs::util

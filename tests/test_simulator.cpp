@@ -1,0 +1,358 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/no_dvs.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::sim {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+
+/// Test governor: always requests a fixed speed.
+class FixedSpeedGovernor final : public Governor {
+ public:
+  explicit FixedSpeedGovernor(double alpha) : alpha_(alpha) {}
+  double select_speed(const Job&, const SimContext&) override { return alpha_; }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double alpha_;
+};
+
+/// Test governor: alternates between two speeds on every decision.
+class AlternatingGovernor final : public Governor {
+ public:
+  double select_speed(const Job&, const SimContext&) override {
+    flip_ = !flip_;
+    return flip_ ? 1.0 : 0.5;
+  }
+  std::string name() const override { return "alternating"; }
+
+ private:
+  bool flip_ = false;
+};
+
+/// Test governor: records SimContext observations for later inspection.
+class ProbeGovernor final : public Governor {
+ public:
+  double select_speed(const Job& running, const SimContext& ctx) override {
+    const auto jobs = ctx.active_jobs();
+    EXPECT_FALSE(jobs.empty());
+    // The running job is the EDF head.
+    EXPECT_EQ(jobs.front()->task_id, running.task_id);
+    EXPECT_EQ(jobs.front()->index, running.index);
+    for (std::size_t i = 1; i < jobs.size(); ++i) {
+      EXPECT_LE(jobs[i - 1]->abs_deadline, jobs[i]->abs_deadline + kTimeEps);
+    }
+    EXPECT_GT(ctx.next_release_after(ctx.now()), ctx.now());
+    max_active_ = std::max(max_active_, jobs.size());
+    return 1.0;
+  }
+  std::string name() const override { return "probe"; }
+  std::size_t max_active_ = 0;
+};
+
+TaskSet one_task() {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 2.0, 0.5));
+  return ts;
+}
+
+TEST(Simulator, SingleTaskFullSpeedAccounting) {
+  const TaskSet ts = one_task();
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  SimOptions opts;
+  opts.length = 40.0;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+
+  EXPECT_EQ(r.jobs_released, 4);
+  EXPECT_EQ(r.jobs_completed, 4);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_EQ(r.speed_switches, 0);
+  EXPECT_NEAR(r.busy_time, 8.0, 1e-9);   // 4 jobs x 2 s at full speed
+  EXPECT_NEAR(r.idle_time, 32.0, 1e-9);
+  EXPECT_NEAR(r.busy_energy, 8.0, 1e-9);  // P(1) = 1
+  EXPECT_NEAR(r.idle_energy, 0.0, 1e-12);
+  EXPECT_NEAR(r.average_speed, 1.0, 1e-9);
+}
+
+TEST(Simulator, HalfSpeedDoublesBusyTimeCubicallyCutsEnergy) {
+  const TaskSet ts = one_task();
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  FixedSpeedGovernor g(0.5);
+  SimOptions opts;
+  opts.length = 40.0;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+
+  EXPECT_EQ(r.deadline_misses, 0);  // 2/0.5 = 4 <= deadline 10
+  EXPECT_NEAR(r.busy_time, 16.0, 1e-9);
+  EXPECT_NEAR(r.busy_energy, 16.0 * 0.125, 1e-9);  // P(0.5) = 1/8
+  EXPECT_NEAR(r.average_speed, 0.5, 1e-9);
+}
+
+TEST(Simulator, EarlyCompletionUsesActualNotWcet) {
+  const TaskSet ts = one_task();
+  const auto workload = task::constant_ratio_model(0.5);  // actual = 1.0
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  SimOptions opts;
+  opts.length = 40.0;
+  opts.record_jobs = true;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_NEAR(r.busy_time, 4.0, 1e-9);  // 4 jobs x 1 s
+  ASSERT_EQ(r.jobs.size(), 4u);
+  for (const auto& j : r.jobs) {
+    EXPECT_NEAR(j.actual, 1.0, 1e-12);
+    EXPECT_NEAR(j.completion - j.release, 1.0, 1e-9);
+  }
+}
+
+TEST(Simulator, EdfPreemptionOrder) {
+  // T1 = {C=1, T=4}, T2 = {C=2, T=8}: at t=0 J1 (d=4) runs before J2 (d=8);
+  // at t=4 the new J1 (d=8) ties with J2 -> task id breaks the tie.
+  TaskSet ts("two");
+  ts.add(make_task(0, "hi", 4.0, 1.0));
+  ts.add(make_task(1, "lo", 8.0, 2.0));
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  VectorTrace trace;
+  SimOptions opts;
+  opts.length = 8.0;
+  opts.trace = &trace;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+
+  // Expected busy segments: [0,1] task0, [1,3] task1, idle [3,4],
+  // [4,5] task0, idle [5,8].
+  std::vector<std::pair<double, int>> busy;
+  for (const auto& s : trace.segments()) {
+    if (s.kind == SegmentKind::kBusy) {
+      busy.push_back({s.begin, s.task_id});
+    }
+  }
+  ASSERT_EQ(busy.size(), 3u);
+  EXPECT_EQ(busy[0], (std::pair<double, int>{0.0, 0}));
+  EXPECT_EQ(busy[1], (std::pair<double, int>{1.0, 1}));
+  EXPECT_EQ(busy[2], (std::pair<double, int>{4.0, 0}));
+}
+
+TEST(Simulator, PreemptionSplitsExecution) {
+  // Slow task started first gets preempted by a later-released urgent one.
+  TaskSet ts("preempt");
+  auto urgent = make_task(0, "urgent", 10.0, 1.0);
+  urgent.phase = 1.0;  // arrives mid-execution of "slow"
+  auto slow = make_task(1, "slow", 20.0, 5.0);
+  ts.add(urgent);
+  ts.add(slow);
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  VectorTrace trace;
+  SimOptions opts;
+  opts.length = 20.0;
+  opts.trace = &trace;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+
+  // slow runs [0,1], urgent [1,2] (deadline 11 < 20), slow resumes [2,6].
+  std::vector<std::tuple<double, double, int>> busy;
+  for (const auto& s : trace.segments()) {
+    if (s.kind == SegmentKind::kBusy) busy.push_back({s.begin, s.end, s.task_id});
+  }
+  ASSERT_GE(busy.size(), 3u);
+  EXPECT_EQ(std::get<2>(busy[0]), 1);
+  EXPECT_NEAR(std::get<1>(busy[0]), 1.0, 1e-9);
+  EXPECT_EQ(std::get<2>(busy[1]), 0);
+  EXPECT_NEAR(std::get<1>(busy[1]), 2.0, 1e-9);
+  EXPECT_EQ(std::get<2>(busy[2]), 1);
+  EXPECT_NEAR(std::get<1>(busy[2]), 6.0, 1e-9);
+}
+
+TEST(Simulator, DetectsMissesOnOverload) {
+  TaskSet ts("overload");
+  ts.add(make_task(0, "a", 10.0, 7.0));
+  ts.add(make_task(1, "b", 10.0, 7.0));  // U = 1.4
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  SimOptions opts;
+  opts.length = 100.0;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_GT(r.deadline_misses, 0);
+}
+
+TEST(Simulator, StopOnMissHaltsEarly) {
+  TaskSet ts("overload");
+  ts.add(make_task(0, "a", 10.0, 7.0));
+  ts.add(make_task(1, "b", 10.0, 7.0));
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  SimOptions opts;
+  opts.length = 1000.0;
+  opts.stop_on_miss = true;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_GE(r.deadline_misses, 1);
+  // Halted long before the nominal end.
+  EXPECT_LT(r.busy_time + r.idle_time, 100.0);
+}
+
+TEST(Simulator, QuantizesRequestsUpward) {
+  const TaskSet ts = one_task();
+  const auto workload = task::constant_ratio_model(1.0);
+  cpu::Processor proc = cpu::four_level_processor();
+  FixedSpeedGovernor g(0.3);  // -> 0.5 on the 4-level scale
+  SimOptions opts;
+  opts.length = 10.0;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_NEAR(r.busy_time, 2.0 / 0.5, 1e-9);
+  EXPECT_NEAR(r.average_speed, 0.5, 1e-9);
+}
+
+TEST(Simulator, ChargesTransitionCosts) {
+  const TaskSet ts = one_task();
+  const auto workload = task::constant_ratio_model(1.0);
+  cpu::Processor proc = cpu::ideal_processor();
+  proc.transition = cpu::TransitionModel::constant(0.01, 0.05);
+  AlternatingGovernor g;
+  SimOptions opts;
+  opts.length = 40.0;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_GT(r.speed_switches, 0);
+  EXPECT_NEAR(r.transition_energy,
+              0.05 * static_cast<double>(r.speed_switches), 1e-9);
+  EXPECT_NEAR(r.transition_time,
+              0.01 * static_cast<double>(r.speed_switches), 1e-9);
+  EXPECT_EQ(r.deadline_misses, 0);
+}
+
+TEST(Simulator, FreeTransitionsStillCounted) {
+  const TaskSet ts = one_task();
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  AlternatingGovernor g;
+  SimOptions opts;
+  opts.length = 40.0;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_GT(r.speed_switches, 0);
+  EXPECT_DOUBLE_EQ(r.transition_energy, 0.0);
+}
+
+TEST(Simulator, TimeBreakdownCoversLength) {
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 0.1, 0.03, 0.01));
+  ts.add(make_task(1, "b", 0.25, 0.05, 0.02));
+  const auto workload = task::uniform_model(3);
+  cpu::Processor proc = cpu::ideal_processor();
+  proc.transition = cpu::TransitionModel::constant(1e-4, 0.0);
+  AlternatingGovernor g;
+  SimOptions opts;
+  opts.length = 2.0;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_NEAR(r.busy_time + r.idle_time + r.transition_time, 2.0, 1e-6);
+}
+
+TEST(Simulator, ContextInvariantsHold) {
+  TaskSet ts("three");
+  ts.add(make_task(0, "a", 0.1, 0.02));
+  ts.add(make_task(1, "b", 0.15, 0.03));
+  ts.add(make_task(2, "c", 0.4, 0.1));
+  const auto workload = task::uniform_model(4);
+  const cpu::Processor proc = cpu::ideal_processor();
+  ProbeGovernor g;
+  SimOptions opts;
+  opts.length = 2.0;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_GE(g.max_active_, 2u);  // preemption scenarios occurred
+}
+
+TEST(Simulator, WorkloadIdenticalAcrossGovernors) {
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 0.1, 0.03, 0.003));
+  ts.add(make_task(1, "b", 0.25, 0.05, 0.005));
+  const auto workload = task::uniform_model(77);
+  const cpu::Processor proc = cpu::ideal_processor();
+  SimOptions opts;
+  opts.length = 2.0;
+  opts.record_jobs = true;
+
+  core::NoDvsGovernor fast;
+  FixedSpeedGovernor slow(0.6);
+  const SimResult a = simulate(ts, *workload, proc, fast, opts);
+  const SimResult b = simulate(ts, *workload, proc, slow, opts);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].actual, b.jobs[i].actual);
+  }
+}
+
+TEST(Simulator, TruncatedJobsAreNotMisses) {
+  TaskSet ts("late");
+  ts.add(make_task(0, "a", 10.0, 6.0));
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  SimOptions opts;
+  opts.length = 13.0;  // second job (release 10, deadline 20) gets cut off
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_EQ(r.jobs_truncated, 1);
+  EXPECT_EQ(r.jobs_released, 2);
+  EXPECT_EQ(r.jobs_completed, 1);
+}
+
+TEST(Simulator, PhasedReleasesStartLate) {
+  TaskSet ts("phase");
+  auto t = make_task(0, "a", 10.0, 2.0);
+  t.phase = 5.0;
+  ts.add(t);
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  VectorTrace trace;
+  SimOptions opts;
+  opts.length = 20.0;
+  opts.trace = &trace;
+  const SimResult r = simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.jobs_released, 2);
+  ASSERT_FALSE(trace.segments().empty());
+  EXPECT_EQ(trace.segments().front().kind, SegmentKind::kIdle);
+  EXPECT_NEAR(trace.segments().front().end, 5.0, 1e-9);
+}
+
+TEST(Simulator, RejectsEmptyTaskSet) {
+  TaskSet empty;
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  EXPECT_THROW((void)simulate(empty, *workload, proc, g), util::ContractError);
+}
+
+TEST(Simulator, GovernorReturningGarbageIsCaught) {
+  class BadGovernor final : public Governor {
+   public:
+    double select_speed(const Job&, const SimContext&) override {
+      return std::nan("");
+    }
+    std::string name() const override { return "bad"; }
+  };
+  const TaskSet ts = one_task();
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  BadGovernor g;
+  EXPECT_THROW((void)simulate(ts, *workload, proc, g), util::InternalError);
+}
+
+}  // namespace
+}  // namespace dvs::sim

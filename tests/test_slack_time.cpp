@@ -1,0 +1,197 @@
+#include "core/slack_time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+TEST(SlackTime, LoneJobGetsDeadlineMinusDemand) {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 4.0));
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  SlackTimeGovernor g;
+  g.on_start(ctx);
+  // slack(10) = 10 - 4 = 6 is the binding checkpoint
+  // (slack(20) = 20 - 8 = 12 is looser); alpha = 4 / (4 + 6) = 0.4.
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.4, 1e-9);
+  EXPECT_NEAR(g.last_slack(), 6.0, 1e-9);
+}
+
+TEST(SlackTime, LaterCheckpointCanBind) {
+  // Hand-verified scenario: J = task a (C=2, T=20) runs alone at t=0;
+  // task b (C=6, T=10, phase 5) floods the window after J's deadline.
+  //   slack(20) = 20 - (2 + 6)          = 12
+  //   slack(25) = 25 - (2 + 6 + 6)      = 11   <- binding
+  //   slack(35) = 35 - (2 + 18)         = 15
+  //   slack(40) = 40 - (2 + 2 + 18)     = 18
+  // Stretching J by 12 would finish b's second job at 26 > 25; by 11 it
+  // completes exactly at 25.  The exact sweep must find 11.
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 20.0, 2.0));
+  auto b = make_task(1, "b", 10.0, 6.0);
+  b.phase = 5.0;
+  ts.add(b);
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  SlackTimeGovernor g;
+  g.on_start(ctx);
+  const double alpha = g.select_speed(job, ctx);
+  EXPECT_NEAR(g.last_slack(), 11.0, 1e-9);
+  EXPECT_NEAR(alpha, 2.0 / 13.0, 1e-9);
+}
+
+TEST(SlackTime, ZeroSlackAtFullUtilizationWorstCase) {
+  TaskSet ts("full");
+  ts.add(make_task(0, "a", 10.0, 5.0));
+  ts.add(make_task(1, "b", 10.0, 5.0));
+  FakeContext ctx(std::move(ts));
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  ctx.add_job(1, 0, 0.0);
+  SlackTimeGovernor g;
+  g.on_start(ctx);
+  EXPECT_DOUBLE_EQ(g.select_speed(j0, ctx), 1.0);
+  EXPECT_DOUBLE_EQ(g.last_slack(), 0.0);
+}
+
+TEST(SlackTime, EarlyCompletionIsReclaimed) {
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 10.0, 4.0));
+  ts.add(make_task(1, "b", 10.0, 4.0));
+  FakeContext ctx(std::move(ts));
+  SlackTimeGovernor g;
+  g.on_start(ctx);
+
+  // Both active: demand(10) = 8 -> slack 2 for the head job.
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  ctx.add_job(1, 0, 0.0);
+  (void)g.select_speed(j0, ctx);
+  EXPECT_NEAR(g.last_slack(), 2.0, 1e-9);
+
+  // Task 0's job turns out to need only 1 unit: once it is gone, the
+  // remaining job sees demand(10) = 4 + nothing -> slack grows to 5.
+  ctx.clear_jobs();
+  auto& j1 = ctx.add_job(1, 0, 0.0);
+  ctx.now_ = 1.0;
+  (void)g.select_speed(j1, ctx);
+  EXPECT_NEAR(g.last_slack(), 5.0, 1e-9);
+}
+
+TEST(SlackTime, MidExecutionUsesRemainingBudget) {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 4.0));
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0, /*executed=*/3.0);
+  ctx.now_ = 3.0;
+  SlackTimeGovernor g;
+  g.on_start(ctx);
+  // rem = 1, slack(10) = 7 - 0 ... demand(3,10) = 1 -> slack = 6.
+  (void)g.select_speed(job, ctx);
+  EXPECT_NEAR(g.last_slack(), 6.0, 1e-9);
+}
+
+TEST(SlackTime, HeuristicIsNeverMoreOptimisticThanExact) {
+  TaskSet ts("three");
+  ts.add(make_task(0, "a", 0.05, 0.012));
+  ts.add(make_task(1, "b", 0.08, 0.02));
+  ts.add(make_task(2, "c", 0.2, 0.05));
+  SlackTimeConfig heuristic_cfg;
+  heuristic_cfg.mode = SlackTimeConfig::Mode::kHeuristic;
+  heuristic_cfg.heuristic_checkpoints = 2;
+
+  for (Time now : {0.0, 0.013, 0.027}) {
+    FakeContext ctx(ts);
+    ctx.now_ = now;
+    auto& job = ctx.add_job(0, 0, now);
+    ctx.add_job(1, 0, 0.0);
+    SlackTimeGovernor exact;
+    SlackTimeGovernor heuristic(heuristic_cfg);
+    exact.on_start(ctx);
+    heuristic.on_start(ctx);
+    const double a_exact = exact.select_speed(job, ctx);
+    const double a_heur = heuristic.select_speed(job, ctx);
+    EXPECT_GE(a_heur, a_exact - 1e-12) << "at t = " << now;
+    EXPECT_LE(heuristic.last_slack(), exact.last_slack() + 1e-12);
+  }
+}
+
+TEST(SlackTime, SwitchOverheadShrinksSlack) {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 4.0));
+  SlackTimeConfig with_overhead;
+  with_overhead.switch_overhead = 0.5;
+
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  SlackTimeGovernor plain;
+  SlackTimeGovernor charged(with_overhead);
+  plain.on_start(ctx);
+  charged.on_start(ctx);
+  const double a_plain = plain.select_speed(job, ctx);
+  const double a_charged = charged.select_speed(job, ctx);
+  EXPECT_GT(a_charged, a_plain);
+  // Demand gains 2 stalls for the job itself + 2 for the decision: slack
+  // drops from 6 to 6 - 2 = 4 at the d0 checkpoint... the job's own two
+  // stalls also count: 6 - (2*0.5 + 2*0.5) = 4.
+  EXPECT_NEAR(charged.last_slack(), 4.0, 1e-9);
+}
+
+TEST(SlackTime, NamesDistinguishModes) {
+  SlackTimeConfig cfg;
+  EXPECT_EQ(SlackTimeGovernor{}.name(), "lpSEH");
+  cfg.mode = SlackTimeConfig::Mode::kHeuristic;
+  EXPECT_EQ(SlackTimeGovernor{cfg}.name(), "lpSEH-h");
+}
+
+TEST(SlackTime, RejectsBadConfig) {
+  SlackTimeConfig cfg;
+  cfg.heuristic_checkpoints = 0;
+  EXPECT_THROW((void)SlackTimeGovernor{cfg}, util::ContractError);
+  cfg = {};
+  cfg.fallback_horizon_periods = 0.5;
+  EXPECT_THROW((void)SlackTimeGovernor{cfg}, util::ContractError);
+  cfg = {};
+  cfg.switch_overhead = -1.0;
+  EXPECT_THROW((void)SlackTimeGovernor{cfg}, util::ContractError);
+}
+
+TEST(SlackTime, WorstCaseWorkloadStillMeetsEverything) {
+  TaskSet ts("tight");
+  ts.add(make_task(0, "a", 0.01, 0.004));
+  ts.add(make_task(1, "b", 0.02, 0.006));
+  ts.add(make_task(2, "c", 0.05, 0.015));  // U = 1.0 exactly
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  SlackTimeGovernor g;
+  sim::SimOptions opts;
+  opts.length = 2.0;
+  const auto r = sim::simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_NEAR(r.average_speed, 1.0, 1e-6);  // no slack exists at U = 1
+}
+
+TEST(SlackTime, BeatsStaticOnLightWorkloads) {
+  TaskSet ts("light");
+  ts.add(make_task(0, "a", 0.01, 0.003, 0.0003));
+  ts.add(make_task(1, "b", 0.04, 0.012, 0.0012));
+  const auto workload = task::constant_ratio_model(0.2);
+  const cpu::Processor proc = cpu::ideal_processor();
+  sim::SimOptions opts;
+  opts.length = 2.0;
+  SlackTimeGovernor seh;
+  const auto r = sim::simulate(ts, *workload, proc, seh, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_LT(r.average_speed, ts.utilization());
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,128 @@
+#include "task/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "task/task_set.hpp"
+#include "util/error.hpp"
+
+namespace dvs::task {
+namespace {
+
+using util::ContractError;
+
+TEST(Task, MakeTaskDefaults) {
+  const Task t = make_task(0, "t", 0.1, 0.02);
+  EXPECT_DOUBLE_EQ(t.period, 0.1);
+  EXPECT_DOUBLE_EQ(t.deadline, 0.1);  // implicit deadline
+  EXPECT_DOUBLE_EQ(t.wcet, 0.02);
+  EXPECT_DOUBLE_EQ(t.bcet, 0.02);  // bcet defaults to wcet
+  EXPECT_DOUBLE_EQ(t.phase, 0.0);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.2);
+  EXPECT_DOUBLE_EQ(t.density(), 0.2);
+}
+
+TEST(Task, ReleaseAndDeadlineArithmetic) {
+  Task t = make_task(0, "t", 0.25, 0.05);
+  t.phase = 1.0;
+  EXPECT_DOUBLE_EQ(t.release_of(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.release_of(4), 2.0);
+  EXPECT_DOUBLE_EQ(t.deadline_of(0), 1.25);
+}
+
+TEST(Task, FirstJobAtOrAfter) {
+  const Task t = make_task(0, "t", 0.5, 0.1);
+  EXPECT_EQ(t.first_job_at_or_after(0.0), 0);
+  EXPECT_EQ(t.first_job_at_or_after(0.49), 1);
+  EXPECT_EQ(t.first_job_at_or_after(0.5), 1);  // release at exactly 0.5
+  EXPECT_EQ(t.first_job_at_or_after(0.5 + 1e-6), 2);
+  EXPECT_EQ(t.first_job_at_or_after(-3.0), 0);
+}
+
+TEST(Task, ValidateRejectsBadFields) {
+  Task t = make_task(0, "t", 0.1, 0.02);
+  t.period = 0.0;
+  EXPECT_THROW(t.validate(), ContractError);
+  t = make_task(0, "t", 0.1, 0.02);
+  t.deadline = 0.2;  // D > T
+  EXPECT_THROW(t.validate(), ContractError);
+  t = make_task(0, "t", 0.1, 0.02);
+  t.wcet = 0.2;  // C > D
+  EXPECT_THROW(t.validate(), ContractError);
+  t = make_task(0, "t", 0.1, 0.02);
+  t.bcet = 0.05;  // B > C
+  EXPECT_THROW(t.validate(), ContractError);
+  t = make_task(0, "t", 0.1, 0.02);
+  t.phase = -1.0;
+  EXPECT_THROW(t.validate(), ContractError);
+}
+
+TEST(TaskSet, AddRewritesIds) {
+  TaskSet ts("s");
+  ts.add(make_task(99, "a", 0.1, 0.01));
+  ts.add(make_task(-5, "b", 0.2, 0.02));
+  EXPECT_EQ(ts[0].id, 0);
+  EXPECT_EQ(ts[1].id, 1);
+  EXPECT_NO_THROW(ts.validate());
+}
+
+TEST(TaskSet, UtilizationSumsShares) {
+  TaskSet ts("s");
+  ts.add(make_task(0, "a", 0.1, 0.02));   // 0.2
+  ts.add(make_task(1, "b", 0.2, 0.05));   // 0.25
+  EXPECT_NEAR(ts.utilization(), 0.45, 1e-12);
+  EXPECT_NEAR(ts.density(), 0.45, 1e-12);
+}
+
+TEST(TaskSet, MinMaxHelpers) {
+  TaskSet ts("s");
+  ts.add(make_task(0, "a", 0.1, 0.02));
+  ts.add(make_task(1, "b", 0.4, 0.05));
+  EXPECT_DOUBLE_EQ(ts.min_period(), 0.1);
+  EXPECT_DOUBLE_EQ(ts.max_period(), 0.4);
+  EXPECT_DOUBLE_EQ(ts.max_wcet(), 0.05);
+}
+
+TEST(TaskSet, HyperperiodOfCommensuratePeriods) {
+  TaskSet ts("s");
+  ts.add(make_task(0, "a", 0.0025, 0.001));  // 2.5 ms
+  ts.add(make_task(1, "b", 0.04, 0.004));    // 40 ms
+  ts.add(make_task(2, "c", 0.0625, 0.006));  // 62.5 ms
+  const auto h = ts.hyperperiod();
+  ASSERT_TRUE(h.has_value());
+  EXPECT_NEAR(*h, 1.0, 1e-9);  // lcm(2.5, 40, 62.5) ms = 1000 ms
+}
+
+TEST(TaskSet, HyperperiodUnavailableForIrrationalRatios) {
+  TaskSet ts("s");
+  ts.add(make_task(0, "a", 0.1, 0.01));
+  ts.add(make_task(1, "b", 0.1 * 1.0001234567, 0.01));
+  // A period that needs more than 1e6 decimal scaling cannot be expressed.
+  EXPECT_FALSE(ts.hyperperiod().has_value());
+}
+
+TEST(TaskSet, DefaultSimLengthBounded) {
+  TaskSet ts("s");
+  ts.add(make_task(0, "a", 0.01, 0.001));
+  ts.add(make_task(1, "b", 0.02, 0.002));
+  const Time len = ts.default_sim_length();
+  EXPECT_GE(len, ts.max_period());
+  EXPECT_LE(len, 64.0 * ts.max_period() + 1e-9);
+}
+
+TEST(TaskSet, EmptyQueriesThrow) {
+  TaskSet ts;
+  EXPECT_THROW((void)ts.max_period(), ContractError);
+  EXPECT_THROW((void)ts.default_sim_length(), ContractError);
+}
+
+TEST(TimeHelpers, ToleranceSemantics) {
+  EXPECT_TRUE(time_eq(1.0, 1.0 + 0.5 * kTimeEps));
+  EXPECT_TRUE(time_less(1.0, 1.0 + 2.0 * kTimeEps));
+  EXPECT_FALSE(time_less(1.0, 1.0 + 0.5 * kTimeEps));
+  EXPECT_TRUE(time_leq(1.0 + 0.5 * kTimeEps, 1.0));
+  EXPECT_DOUBLE_EQ(snap_nonnegative(-0.5 * kTimeEps), 0.0);
+  EXPECT_LT(snap_nonnegative(-1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace dvs::task

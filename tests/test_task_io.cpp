@@ -1,0 +1,104 @@
+#include "task/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "task/benchmarks.hpp"
+#include "util/error.hpp"
+
+namespace dvs::task {
+namespace {
+
+using util::ContractError;
+
+constexpr const char* kGood =
+    "# demo set\n"
+    "name,period,deadline,wcet,bcet,phase\n"
+    "control,0.005,0.005,0.002,0.0005,0\n"
+    "telemetry,0.020,,0.004,,\n";
+
+TEST(TaskSetCsv, ParsesFullAndDefaultedFields) {
+  std::istringstream in(kGood);
+  const TaskSet ts = load_task_set_csv(in, "demo");
+  ASSERT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts[0].name, "control");
+  EXPECT_DOUBLE_EQ(ts[0].bcet, 0.0005);
+  // Defaults: deadline = period, bcet = wcet, phase = 0.
+  EXPECT_DOUBLE_EQ(ts[1].deadline, 0.020);
+  EXPECT_DOUBLE_EQ(ts[1].bcet, 0.004);
+  EXPECT_DOUBLE_EQ(ts[1].phase, 0.0);
+  EXPECT_NO_THROW(ts.validate());
+}
+
+TEST(TaskSetCsv, RoundTripsExactly) {
+  const TaskSet original = cnc_task_set(0.25);
+  std::ostringstream out;
+  save_task_set_csv(original, out);
+  std::istringstream in(out.str());
+  const TaskSet loaded = load_task_set_csv(in, original.name());
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded[i].name, original[i].name);
+    EXPECT_NEAR(loaded[i].period, original[i].period, 1e-9);
+    EXPECT_NEAR(loaded[i].wcet, original[i].wcet, 1e-9);
+    EXPECT_NEAR(loaded[i].bcet, original[i].bcet, 1e-9);
+  }
+}
+
+TEST(TaskSetCsv, RejectsMissingHeader) {
+  std::istringstream in("control,0.005,0.005,0.002,0.0005,0\n");
+  EXPECT_THROW((void)load_task_set_csv(in), ContractError);
+}
+
+TEST(TaskSetCsv, RejectsWrongFieldCount) {
+  std::istringstream in(
+      "name,period,deadline,wcet,bcet,phase\n"
+      "control,0.005,0.002\n");
+  EXPECT_THROW((void)load_task_set_csv(in), ContractError);
+}
+
+TEST(TaskSetCsv, RejectsMalformedNumbers) {
+  std::istringstream in(
+      "name,period,deadline,wcet,bcet,phase\n"
+      "control,fast,,0.002,,\n");
+  EXPECT_THROW((void)load_task_set_csv(in), ContractError);
+}
+
+TEST(TaskSetCsv, RejectsInvalidTaskParameters) {
+  // WCET above the deadline violates the model; the loader reports the
+  // line number.
+  std::istringstream in(
+      "name,period,deadline,wcet,bcet,phase\n"
+      "bad,0.005,0.005,0.007,,\n");
+  try {
+    (void)load_task_set_csv(in);
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(TaskSetCsv, RejectsEmptyInput) {
+  std::istringstream in("name,period,deadline,wcet,bcet,phase\n");
+  EXPECT_THROW((void)load_task_set_csv(in), ContractError);
+  std::istringstream empty("");
+  EXPECT_THROW((void)load_task_set_csv(empty), ContractError);
+}
+
+TEST(TaskSetCsv, HandlesWindowsLineEndings) {
+  std::istringstream in(
+      "name,period,deadline,wcet,bcet,phase\r\n"
+      "control,0.005,0.005,0.002,0.0005,0\r\n");
+  const TaskSet ts = load_task_set_csv(in);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].name, "control");
+}
+
+TEST(TaskSetCsv, MissingFileThrows) {
+  EXPECT_THROW((void)load_task_set_csv_file("/nonexistent/path.csv"),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace dvs::task

@@ -1,0 +1,104 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/no_dvs.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::sim {
+namespace {
+
+TEST(VectorTrace, MergesAdjacentSegmentsOfSameStream) {
+  VectorTrace t;
+  t.segment({0.0, 1.0, SegmentKind::kBusy, 0, 0, 0.5});
+  t.segment({1.0, 2.0, SegmentKind::kBusy, 0, 0, 0.5});
+  ASSERT_EQ(t.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(t.segments().front().end, 2.0);
+}
+
+TEST(VectorTrace, KeepsDistinctStreamsApart) {
+  VectorTrace t;
+  t.segment({0.0, 1.0, SegmentKind::kBusy, 0, 0, 0.5});
+  t.segment({1.0, 2.0, SegmentKind::kBusy, 0, 0, 1.0});  // speed change
+  t.segment({2.0, 3.0, SegmentKind::kBusy, 1, 0, 1.0});  // task change
+  t.segment({3.0, 4.0, SegmentKind::kIdle, -1, -1, 0.0});
+  EXPECT_EQ(t.segments().size(), 4u);
+}
+
+TEST(VectorTrace, DropsZeroLengthSegments) {
+  VectorTrace t;
+  t.segment({1.0, 1.0, SegmentKind::kIdle, -1, -1, 0.0});
+  EXPECT_TRUE(t.segments().empty());
+}
+
+TEST(VectorTrace, RecordsEvents) {
+  VectorTrace t;
+  t.event({TraceEvent::Kind::kRelease, 0.5, 2, 3});
+  ASSERT_EQ(t.events().size(), 1u);
+  EXPECT_EQ(t.events().front().task_id, 2);
+}
+
+TEST(Gantt, RendersOneRowPerTaskPlusIdle) {
+  task::TaskSet ts("two");
+  ts.add(task::make_task(0, "alpha", 10.0, 2.0));
+  ts.add(task::make_task(1, "beta", 20.0, 4.0));
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  core::NoDvsGovernor g;
+  VectorTrace trace;
+  SimOptions opts;
+  opts.length = 20.0;
+  opts.trace = &trace;
+  (void)simulate(ts, *workload, proc, g, opts);
+
+  std::ostringstream os;
+  render_gantt(trace, ts, 0.0, 20.0, os, 80);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+  EXPECT_NE(out.find("idle"), std::string::npos);
+  EXPECT_NE(out.find('F'), std::string::npos);  // full-speed marker
+}
+
+TEST(Gantt, RejectsEmptyWindow) {
+  VectorTrace trace;
+  task::TaskSet ts("one");
+  ts.add(task::make_task(0, "a", 1.0, 0.1));
+  std::ostringstream os;
+  EXPECT_THROW(render_gantt(trace, ts, 1.0, 1.0, os), util::ContractError);
+}
+
+TEST(TraceCsv, HeaderAndRows) {
+  VectorTrace t;
+  t.segment({0.0, 1.0, SegmentKind::kBusy, 0, 0, 0.5});
+  t.segment({1.0, 2.0, SegmentKind::kIdle, -1, -1, 0.0});
+  std::ostringstream os;
+  write_trace_csv(t, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("begin,end,kind,task,job,alpha"), std::string::npos);
+  EXPECT_NE(out.find("busy"), std::string::npos);
+  EXPECT_NE(out.find("idle"), std::string::npos);
+}
+
+TEST(Gantt, BusySegmentsLandOnTheRightRow) {
+  task::TaskSet ts("two");
+  ts.add(task::make_task(0, "first", 10.0, 2.0));
+  ts.add(task::make_task(1, "second", 10.0, 2.0));
+  VectorTrace trace;
+  trace.segment({0.0, 5.0, SegmentKind::kBusy, 1, 0, 1.0});
+  std::ostringstream os;
+  render_gantt(trace, ts, 0.0, 10.0, os, 20);
+  std::string line;
+  std::istringstream is(os.str());
+  std::getline(is, line);  // row of task 0
+  EXPECT_EQ(line.find('F'), std::string::npos);
+  std::getline(is, line);  // row of task 1
+  EXPECT_NE(line.find('F'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvs::sim

@@ -1,0 +1,105 @@
+#include "task/trace_workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/no_dvs.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+
+namespace dvs::task {
+namespace {
+
+using util::ContractError;
+
+Task probe() { return make_task(0, "p", 0.1, 0.04, 0.004); }
+
+TEST(TraceModel, ReplaysSamplesInOrder) {
+  const auto m = trace_model({{0.01, 0.02, 0.03}});
+  const Task t = probe();
+  EXPECT_DOUBLE_EQ(m->draw(t, 0), 0.01);
+  EXPECT_DOUBLE_EQ(m->draw(t, 1), 0.02);
+  EXPECT_DOUBLE_EQ(m->draw(t, 2), 0.03);
+}
+
+TEST(TraceModel, CyclesWhenTraceIsShort) {
+  const auto m = trace_model({{0.01, 0.02}});
+  const Task t = probe();
+  EXPECT_DOUBLE_EQ(m->draw(t, 2), 0.01);
+  EXPECT_DOUBLE_EQ(m->draw(t, 5), 0.02);
+}
+
+TEST(TraceModel, ClampsToLegalBand) {
+  const auto m = trace_model({{0.0001, 9.0}});
+  const Task t = probe();
+  EXPECT_DOUBLE_EQ(m->draw(t, 0), t.bcet);  // below bcet -> bcet
+  EXPECT_DOUBLE_EQ(m->draw(t, 1), t.wcet);  // above wcet -> wcet
+}
+
+TEST(TraceModel, MissingTraceFallsBackToWcet) {
+  const auto m = trace_model({});
+  const Task t = probe();
+  EXPECT_DOUBLE_EQ(m->draw(t, 0), t.wcet);
+  const auto empty = trace_model({{}});
+  EXPECT_DOUBLE_EQ(empty->draw(t, 0), t.wcet);
+}
+
+TEST(TraceModel, RatioVariantScalesByWcet) {
+  const auto m = trace_ratio_model({{0.5, 0.25}});
+  const Task t = probe();
+  EXPECT_DOUBLE_EQ(m->draw(t, 0), 0.02);
+  EXPECT_DOUBLE_EQ(m->draw(t, 1), 0.01);
+}
+
+TEST(TraceModel, RejectsNegativeSamples) {
+  EXPECT_THROW((void)trace_model({{-0.5}}), ContractError);
+}
+
+TEST(TraceCsv, ParsesRowsPerTask) {
+  std::istringstream in(
+      "# comment\n"
+      "0,0.5\n"
+      "\n"
+      "1,0.25\n"
+      "0,0.75\n");
+  const auto traces = load_trace_csv(in, 2);
+  ASSERT_EQ(traces.size(), 2u);
+  ASSERT_EQ(traces[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(traces[0][0], 0.5);
+  EXPECT_DOUBLE_EQ(traces[0][1], 0.75);
+  ASSERT_EQ(traces[1].size(), 1u);
+  EXPECT_DOUBLE_EQ(traces[1][0], 0.25);
+}
+
+TEST(TraceCsv, RejectsMalformedInput) {
+  std::istringstream bad_id("x,0.5\n");
+  EXPECT_THROW((void)load_trace_csv(bad_id, 1), ContractError);
+  std::istringstream out_of_range("5,0.5\n");
+  EXPECT_THROW((void)load_trace_csv(out_of_range, 1), ContractError);
+  std::istringstream negative("0,-0.5\n");
+  EXPECT_THROW((void)load_trace_csv(negative, 1), ContractError);
+  std::istringstream missing_value("0\n");
+  EXPECT_THROW((void)load_trace_csv(missing_value, 1), ContractError);
+}
+
+TEST(TraceModel, DrivesASimulationDeterministically) {
+  TaskSet ts("traced");
+  ts.add(make_task(0, "a", 0.1, 0.04, 0.004));
+  const auto m = trace_ratio_model({{0.25, 0.5, 1.0}});
+  core::NoDvsGovernor g;
+  sim::SimOptions opts;
+  opts.length = 0.9;  // 9 jobs -> trace cycles three times
+  opts.record_jobs = true;
+  const auto r =
+      sim::simulate(ts, *m, cpu::ideal_processor(), g, opts);
+  ASSERT_EQ(r.jobs.size(), 9u);
+  EXPECT_DOUBLE_EQ(r.jobs[0].actual, 0.01);
+  EXPECT_DOUBLE_EQ(r.jobs[1].actual, 0.02);
+  EXPECT_DOUBLE_EQ(r.jobs[2].actual, 0.04);
+  EXPECT_DOUBLE_EQ(r.jobs[3].actual, 0.01);
+  EXPECT_EQ(r.deadline_misses, 0);
+}
+
+}  // namespace
+}  // namespace dvs::task

@@ -1,0 +1,91 @@
+#include "cpu/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace dvs::cpu {
+namespace {
+
+using util::ContractError;
+
+TEST(TransitionNone, CostsNothing) {
+  const auto m = TransitionModel::none();
+  const auto pm = cubic_power_model();
+  EXPECT_TRUE(m.is_free());
+  EXPECT_DOUBLE_EQ(m.switch_time(0.2, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(m.switch_energy(*pm, 0.2, 1.0), 0.0);
+}
+
+TEST(TransitionConstant, FixedCosts) {
+  const auto m = TransitionModel::constant(1e-4, 0.002);
+  const auto pm = cubic_power_model();
+  EXPECT_FALSE(m.is_free());
+  EXPECT_DOUBLE_EQ(m.switch_time(0.2, 1.0), 1e-4);
+  EXPECT_DOUBLE_EQ(m.switch_energy(*pm, 0.2, 1.0), 0.002);
+}
+
+TEST(TransitionConstant, NoChangeNoCost) {
+  const auto m = TransitionModel::constant(1e-4, 0.002);
+  const auto pm = cubic_power_model();
+  EXPECT_DOUBLE_EQ(m.switch_time(0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(m.switch_energy(*pm, 0.5, 0.5), 0.0);
+}
+
+TEST(TransitionConstant, RejectsNegativeCosts) {
+  EXPECT_THROW((void)TransitionModel::constant(-1.0, 0.0), ContractError);
+  EXPECT_THROW((void)TransitionModel::constant(0.0, -1.0), ContractError);
+}
+
+TEST(TransitionVoltageDelta, BurdsFormula) {
+  // E = k * Cdd * |V1^2 - V2^2| / Pmax; cubic model: V = vmax * alpha.
+  const auto pm = cubic_power_model(0.0, /*vmax=*/2.0);
+  const auto m = TransitionModel::voltage_delta(/*t_switch=*/1e-4,
+                                                /*cdd=*/5e-6, /*k=*/0.9,
+                                                /*pmax_watts=*/1.0);
+  // V(1.0) = 2, V(0.5) = 1 -> |4 - 1| = 3.
+  EXPECT_NEAR(m.switch_energy(*pm, 1.0, 0.5), 0.9 * 5e-6 * 3.0, 1e-15);
+  EXPECT_DOUBLE_EQ(m.switch_time(1.0, 0.5), 1e-4);
+}
+
+TEST(TransitionVoltageDelta, SymmetricInDirection) {
+  const auto pm = cubic_power_model(0.0, 1.8);
+  const auto m = TransitionModel::voltage_delta(1e-5);
+  EXPECT_DOUBLE_EQ(m.switch_energy(*pm, 0.3, 0.9),
+                   m.switch_energy(*pm, 0.9, 0.3));
+}
+
+TEST(TransitionVoltageDelta, LargerSwingCostsMore) {
+  const auto pm = cubic_power_model(0.0, 1.8);
+  const auto m = TransitionModel::voltage_delta(1e-5);
+  EXPECT_GT(m.switch_energy(*pm, 0.1, 1.0), m.switch_energy(*pm, 0.8, 1.0));
+}
+
+TEST(TransitionVoltageDelta, NormalizesByReferencePower) {
+  const auto pm = cubic_power_model(0.0, 1.8);
+  const auto small = TransitionModel::voltage_delta(1e-5, 5e-6, 0.9, 1.0);
+  const auto big = TransitionModel::voltage_delta(1e-5, 5e-6, 0.9, 2.0);
+  EXPECT_NEAR(small.switch_energy(*pm, 0.2, 1.0),
+              2.0 * big.switch_energy(*pm, 0.2, 1.0), 1e-15);
+}
+
+TEST(TransitionVoltageDelta, RejectsBadArguments) {
+  EXPECT_THROW((void)TransitionModel::voltage_delta(-1.0), ContractError);
+  EXPECT_THROW((void)TransitionModel::voltage_delta(0.0, 0.0), ContractError);
+  EXPECT_THROW((void)TransitionModel::voltage_delta(0.0, 5e-6, 0.0),
+               ContractError);
+  EXPECT_THROW((void)TransitionModel::voltage_delta(0.0, 5e-6, 0.9, 0.0),
+               ContractError);
+}
+
+TEST(TransitionDescribe, NamesModel) {
+  EXPECT_EQ(TransitionModel::none().describe(), "free");
+  EXPECT_NE(TransitionModel::constant(1e-4, 0.0).describe().find("constant"),
+            std::string::npos);
+  EXPECT_NE(
+      TransitionModel::voltage_delta(1e-4).describe().find("voltage-delta"),
+      std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvs::cpu

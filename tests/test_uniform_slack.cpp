@@ -1,0 +1,137 @@
+#include "core/uniform_slack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/slack_time.hpp"
+#include "fake_context.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::core {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using dvs::testing::FakeContext;
+
+TEST(UniformSlack, LoneWorstCaseJobRunsAtItsDensity) {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 4.0));
+  FakeContext ctx(std::move(ts));
+  auto& job = ctx.add_job(0, 0, 0.0);
+  UniformSlackGovernor g;
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(job, ctx), 0.4, 1e-9);
+}
+
+TEST(UniformSlack, BindingCheckpointSetsTheSpeed) {
+  // Synchronous release of both worst-case jobs.  The floor's plan is
+  // "alpha until d0 = 10, full speed afterwards", so the d = 20
+  // checkpoint (demand 3 + 8 + 3 = 14) requires 10*alpha + 10 >= 14,
+  // i.e. alpha >= 0.4; d = 10 requires only 0.3.
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 10.0, 3.0));
+  ts.add(make_task(1, "b", 20.0, 8.0));
+  FakeContext ctx(std::move(ts));
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  ctx.add_job(1, 0, 0.0);
+  UniformSlackGovernor g;
+  g.on_start(ctx);
+  EXPECT_NEAR(g.select_speed(j0, ctx), 0.4, 1e-9);
+}
+
+TEST(UniformSlack, EarlyCompletionLowersTheFloor) {
+  TaskSet ts("two");
+  ts.add(make_task(0, "a", 10.0, 3.0));
+  ts.add(make_task(1, "b", 20.0, 8.0));
+  FakeContext ctx(ts);
+  UniformSlackGovernor g;
+  g.on_start(ctx);
+  // Task b's job finished after only 1 unit; only task a's job remains.
+  auto& j0 = ctx.add_job(0, 0, 0.0);
+  ctx.now_ = 1.0;
+  const double alpha = g.select_speed(j0, ctx);
+  // d=10: 3/9 = 0.333; d=20: (3+3)/19 = 0.316 -> floor 0.333.
+  EXPECT_NEAR(alpha, 3.0 / 9.0, 1e-9);
+}
+
+TEST(UniformSlack, SpeedsAreMoreEvenThanGreedy) {
+  // Measure the spread of executed speeds: uniformSlack should have a
+  // smaller (max - min) weighted span than lpSEH on a slack-rich workload.
+  TaskSet ts("mix");
+  ts.add(make_task(0, "a", 0.02, 0.006, 0.0006));
+  ts.add(make_task(1, "b", 0.05, 0.015, 0.0015));
+  ts.add(make_task(2, "c", 0.1, 0.02, 0.002));
+  const auto workload = task::uniform_model(3);
+  const cpu::Processor proc = cpu::ideal_processor();
+  sim::SimOptions opts;
+  opts.length = 2.0;
+
+  auto spread = [&](sim::Governor& g) {
+    sim::VectorTrace trace;
+    sim::SimOptions traced = opts;
+    traced.trace = &trace;
+    const auto r = sim::simulate(ts, *workload, proc, g, traced);
+    EXPECT_EQ(r.deadline_misses, 0);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (const auto& s : trace.segments()) {
+      if (s.kind != sim::SegmentKind::kBusy) continue;
+      lo = std::min(lo, s.alpha);
+      hi = std::max(hi, s.alpha);
+    }
+    return hi - lo;
+  };
+
+  UniformSlackGovernor uniform;
+  SlackTimeGovernor greedy;
+  EXPECT_LT(spread(uniform), spread(greedy));
+}
+
+TEST(UniformSlack, EnergyStaysInGreedysBallparkHere) {
+  // Whether spreading or greedy wins depends on the workload: on *random*
+  // task sets spreading wins on average (see
+  // EnergyProperty.UniformSpreadingBeatsGreedySlackAssignment); on this
+  // particular harmonic-ish set greedy is slightly ahead.  Pin both facts:
+  // no misses, and the two stay within 15% of each other.
+  TaskSet ts("mix");
+  ts.add(make_task(0, "a", 0.02, 0.006, 0.0006));
+  ts.add(make_task(1, "b", 0.05, 0.015, 0.0015));
+  ts.add(make_task(2, "c", 0.1, 0.02, 0.002));
+  const cpu::Processor proc = cpu::ideal_processor();
+  sim::SimOptions opts;
+  opts.length = 2.0;
+
+  double uniform_sum = 0.0;
+  double greedy_sum = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto workload = task::uniform_model(seed);
+    UniformSlackGovernor uniform;
+    SlackTimeGovernor greedy;
+    const auto a = sim::simulate(ts, *workload, proc, uniform, opts);
+    const auto b = sim::simulate(ts, *workload, proc, greedy, opts);
+    EXPECT_EQ(a.deadline_misses, 0);
+    EXPECT_EQ(b.deadline_misses, 0);
+    uniform_sum += a.total_energy();
+    greedy_sum += b.total_energy();
+  }
+  EXPECT_LT(uniform_sum, greedy_sum * 1.15);
+  EXPECT_GT(uniform_sum, greedy_sum * 0.5);
+}
+
+TEST(UniformSlack, NeverBelowStaticRequirementUnderWorstCase) {
+  TaskSet ts("full");
+  ts.add(make_task(0, "a", 0.01, 0.005));
+  ts.add(make_task(1, "b", 0.02, 0.01));  // U = 1
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  UniformSlackGovernor g;
+  sim::SimOptions opts;
+  opts.length = 1.0;
+  const auto r = sim::simulate(ts, *workload, proc, g, opts);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_NEAR(r.average_speed, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -1,0 +1,170 @@
+#include "task/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "task/task.hpp"
+#include "util/error.hpp"
+
+namespace dvs::task {
+namespace {
+
+using util::ContractError;
+
+Task probe_task() { return make_task(3, "probe", 0.1, 0.04, 0.008); }
+
+/// Every model must stay within [bcet, wcet] for every job index.
+class AllModelsBounds : public ::testing::TestWithParam<ExecutionTimeModelPtr> {};
+
+TEST_P(AllModelsBounds, DrawsStayWithinBand) {
+  const Task t = probe_task();
+  const auto& model = *GetParam();
+  for (std::int64_t job = 0; job < 500; ++job) {
+    const Work w = model.draw(t, job);
+    EXPECT_GE(w, t.bcet) << model.name() << " job " << job;
+    EXPECT_LE(w, t.wcet) << model.name() << " job " << job;
+  }
+}
+
+TEST_P(AllModelsBounds, DrawIsAPureFunctionOfCoordinates) {
+  const Task t = probe_task();
+  const auto& model = *GetParam();
+  for (std::int64_t job = 0; job < 50; ++job) {
+    EXPECT_DOUBLE_EQ(model.draw(t, job), model.draw(t, job)) << model.name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workload, AllModelsBounds,
+    ::testing::Values(constant_ratio_model(0.5), uniform_model(1),
+                      uniform_ratio_model(2, 0.2, 0.9), normal_model(3, 0.5, 0.2),
+                      bimodal_model(4, 0.3, 0.2, 0.9),
+                      sinusoidal_model(5, 0.7, 0.25, 16.0),
+                      sin_pattern_model(6), cos_pattern_model(7),
+                      phased_model(8, 10, 0.4, 0.3, 0.9),
+                      exponential_model(9, 0.4)));
+
+TEST(ConstantRatio, ExactValueWhenAboveBcet) {
+  const Task t = probe_task();
+  const auto m = constant_ratio_model(0.5);
+  EXPECT_DOUBLE_EQ(m->draw(t, 0), 0.02);
+  EXPECT_DOUBLE_EQ(m->draw(t, 123), 0.02);
+}
+
+TEST(ConstantRatio, ClampsToBcet) {
+  const Task t = probe_task();  // bcet = 0.008 = 20% of wcet
+  const auto m = constant_ratio_model(0.05);
+  EXPECT_DOUBLE_EQ(m->draw(t, 0), t.bcet);
+}
+
+TEST(ConstantRatio, RatioOneIsWorstCase) {
+  const Task t = probe_task();
+  EXPECT_DOUBLE_EQ(constant_ratio_model(1.0)->draw(t, 9), t.wcet);
+}
+
+TEST(ConstantRatio, RejectsBadRatio) {
+  EXPECT_THROW((void)constant_ratio_model(0.0), ContractError);
+  EXPECT_THROW((void)constant_ratio_model(1.5), ContractError);
+}
+
+TEST(UniformModel, DifferentSeedsGiveDifferentStreams) {
+  const Task t = probe_task();
+  const auto a = uniform_model(1);
+  const auto b = uniform_model(2);
+  int equal = 0;
+  for (std::int64_t j = 0; j < 100; ++j) {
+    if (a->draw(t, j) == b->draw(t, j)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(UniformModel, MeanNearMidpoint) {
+  const Task t = probe_task();
+  const auto m = uniform_model(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int j = 0; j < n; ++j) sum += m->draw(t, j);
+  EXPECT_NEAR(sum / n, 0.5 * (t.bcet + t.wcet), 0.001);
+}
+
+TEST(UniformModel, TasksAreDecorrelated) {
+  const Task a = make_task(0, "a", 0.1, 0.04, 0.004);
+  const Task b = make_task(1, "b", 0.1, 0.04, 0.004);
+  const auto m = uniform_model(5);
+  int equal = 0;
+  for (std::int64_t j = 0; j < 100; ++j) {
+    if (m->draw(a, j) == m->draw(b, j)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(BimodalModel, HeavyFractionMatchesProbability) {
+  const Task t = probe_task();
+  const auto m = bimodal_model(21, 0.3, 0.25, 1.0);
+  int heavy = 0;
+  const int n = 20000;
+  for (int j = 0; j < n; ++j) {
+    if (m->draw(t, j) > 0.9 * t.wcet) ++heavy;
+  }
+  EXPECT_NEAR(static_cast<double>(heavy) / n, 0.3, 0.02);
+}
+
+TEST(SinusoidalModel, OscillatesWithConfiguredPeriod) {
+  const Task t = probe_task();
+  const auto m = sinusoidal_model(0, 0.7, 0.25, 16.0, 0.0, 0.0);
+  // job 4 is the crest (sin(pi/2)), job 12 the trough.
+  EXPECT_NEAR(m->draw(t, 4), 0.95 * t.wcet, 1e-12);
+  EXPECT_NEAR(m->draw(t, 12), 0.45 * t.wcet, 1e-12);
+}
+
+TEST(SinusoidalModel, CosPatternIsQuarterPhaseShifted) {
+  const Task t = probe_task();
+  const auto sinm = sinusoidal_model(3, 0.75, 0.25, 16.0, 0.0, 0.0);
+  const auto cosm =
+      sinusoidal_model(3, 0.75, 0.25, 16.0, std::numbers::pi / 2.0, 0.0);
+  // cos pattern at job 0 equals sin pattern at its crest (job 4).
+  EXPECT_NEAR(cosm->draw(t, 0), sinm->draw(t, 4), 1e-12);
+}
+
+TEST(PhasedModel, ConstantWithinBlockModulo) {
+  const Task t = probe_task();
+  const auto m = phased_model(31, 20, 0.5, 0.3, 0.9);
+  // Jobs in the same block share the mode: their draws cluster within the
+  // 5% wiggle band around either the light or the heavy ratio.
+  for (int block = 0; block < 10; ++block) {
+    const Work first = m->draw(t, block * 20);
+    for (int k = 1; k < 20; ++k) {
+      const Work w = m->draw(t, block * 20 + k);
+      EXPECT_NEAR(w, first, 0.06 * t.wcet);
+    }
+  }
+}
+
+TEST(ExponentialModel, SkewsTowardBcet) {
+  const Task t = probe_task();
+  const auto m = exponential_model(41, 0.3);
+  int low = 0;
+  const int n = 10000;
+  const Work mid = 0.5 * (t.bcet + t.wcet);
+  for (int j = 0; j < n; ++j) {
+    if (m->draw(t, j) < mid) ++low;
+  }
+  EXPECT_GT(low, n / 2);  // more than half the mass below the midpoint
+}
+
+TEST(WorkloadFactories, RejectInvalidParameters) {
+  EXPECT_THROW((void)uniform_ratio_model(0, 0.0, 0.5), ContractError);
+  EXPECT_THROW((void)uniform_ratio_model(0, 0.9, 0.5), ContractError);
+  EXPECT_THROW((void)normal_model(0, 0.0, 0.1), ContractError);
+  EXPECT_THROW((void)normal_model(0, 0.5, -0.1), ContractError);
+  EXPECT_THROW((void)bimodal_model(0, 1.5, 0.2, 0.9), ContractError);
+  EXPECT_THROW((void)bimodal_model(0, 0.5, 0.9, 0.2), ContractError);
+  EXPECT_THROW((void)sinusoidal_model(0, 0.5, 0.2, 0.0), ContractError);
+  EXPECT_THROW((void)phased_model(0, 0, 0.5, 0.3, 0.9), ContractError);
+  EXPECT_THROW((void)exponential_model(0, 0.0), ContractError);
+}
+
+}  // namespace
+}  // namespace dvs::task

@@ -1,0 +1,266 @@
+// slackdvs — command-line front end for the SlackDVS library.
+//
+//   slackdvs analyze  <taskset>                      schedulability report
+//   slackdvs run      <taskset> [options]            simulate + compare
+//   slackdvs gen      <U> <n> <seed> [file]          random task set CSV
+//
+// <taskset> is either a CSV file (see task/io.hpp) or one of the presets
+// ins / cnc / avionics.
+//
+// run options:
+//   --governor NAME[,NAME...]   registry names; default: all
+//   --processor NAME            ideal|xscale|strongarm|crusoe|four-level
+//   --workload SPEC             uniform[:seed] | const:RATIO | sin[:seed] |
+//                               cos[:seed] | bimodal[:seed]
+//   --length SECONDS            simulated time (default: per-set)
+//   --policy edf|fp             dispatch policy (fp limits the governors)
+//   --gantt T0:T1               print an ASCII Gantt of the last governor
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/fp.hpp"
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "sched/analysis.hpp"
+#include "sched/fixed_priority.hpp"
+#include "sim/simulator.hpp"
+#include "task/benchmarks.hpp"
+#include "task/generator.hpp"
+#include "task/io.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dvs;
+
+void usage() {
+  std::cout <<
+      R"(slackdvs — slack-time DVS for hard real-time systems (DATE 2002 repro)
+
+  slackdvs analyze <taskset>
+  slackdvs run     <taskset> [--governor A,B|all] [--processor NAME]
+                   [--workload SPEC] [--length SECONDS] [--policy edf|fp]
+                   [--gantt T0:T1]
+  slackdvs gen     <utilization> <n_tasks> <seed> [out.csv]
+
+<taskset>: a CSV file or a preset (ins | cnc | avionics).
+)";
+}
+
+task::TaskSet resolve_task_set(const std::string& spec) {
+  const std::string low = util::to_lower(spec);
+  if (low == "ins") return task::ins_task_set();
+  if (low == "cnc") return task::cnc_task_set();
+  if (low == "avionics") return task::avionics_task_set();
+  return task::load_task_set_csv_file(spec);
+}
+
+task::ExecutionTimeModelPtr resolve_workload(const std::string& spec) {
+  std::string kind = spec;
+  std::string arg;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    kind = spec.substr(0, colon);
+    arg = spec.substr(colon + 1);
+  }
+  kind = util::to_lower(kind);
+  const std::uint64_t seed =
+      arg.empty() ? 42 : static_cast<std::uint64_t>(std::atoll(arg.c_str()));
+  if (kind == "uniform") return task::uniform_model(seed);
+  if (kind == "const") {
+    DVS_EXPECT(!arg.empty(), "const workload needs a ratio, e.g. const:0.5");
+    return task::constant_ratio_model(std::atof(arg.c_str()));
+  }
+  if (kind == "sin") return task::sin_pattern_model(seed);
+  if (kind == "cos") return task::cos_pattern_model(seed);
+  if (kind == "bimodal") return task::bimodal_model(seed, 0.3, 0.2, 0.95);
+  DVS_EXPECT(false, "unknown workload spec: " + spec);
+  return nullptr;
+}
+
+int cmd_analyze(const std::string& spec) {
+  const task::TaskSet ts = resolve_task_set(spec);
+  std::cout << "task set '" << ts.name() << "': " << ts.size()
+            << " tasks, U = " << util::format_double(ts.utilization(), 4)
+            << ", density = " << util::format_double(ts.density(), 4) << '\n';
+  for (const auto& t : ts) {
+    std::cout << "  " << t.name << ": T=" << util::format_si_time(t.period)
+              << " D=" << util::format_si_time(t.deadline)
+              << " C=" << util::format_si_time(t.wcet)
+              << " u=" << util::format_double(t.utilization(), 3) << '\n';
+  }
+  if (const auto h = ts.hyperperiod()) {
+    std::cout << "hyperperiod: " << util::format_si_time(*h) << '\n';
+  } else {
+    std::cout << "hyperperiod: not expressible (incommensurate periods)\n";
+  }
+  const bool edf = sched::edf_schedulable(ts);
+  std::cout << "EDF schedulable: " << (edf ? "yes" : "NO");
+  if (edf) {
+    std::cout << " (min constant speed "
+              << util::format_double(sched::minimum_constant_speed(ts), 4)
+              << ")";
+  }
+  std::cout << '\n';
+  const bool fp = sched::fp_schedulable(ts);
+  std::cout << "fixed-priority (DM) schedulable: " << (fp ? "yes" : "NO");
+  if (fp) {
+    std::cout << " (min constant speed "
+              << util::format_double(sched::minimum_constant_speed_fp(ts), 4)
+              << ")";
+  }
+  std::cout << '\n';
+  return edf ? 0 : 2;
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  DVS_EXPECT(!args.empty(), "run: missing <taskset>");
+  const task::TaskSet ts = resolve_task_set(args[0]);
+
+  std::vector<std::string> governors = core::governor_names();
+  cpu::Processor processor = cpu::ideal_processor();
+  task::ExecutionTimeModelPtr workload = task::uniform_model(42);
+  Time length = -1.0;
+  sim::SchedulingPolicy policy = sim::SchedulingPolicy::kEdf;
+  bool want_gantt = false;
+  Time gantt_t0 = 0.0;
+  Time gantt_t1 = 0.0;
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      DVS_EXPECT(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--governor") {
+      const std::string v = value();
+      if (util::to_lower(v) != "all") {
+        governors.clear();
+        std::istringstream in(v);
+        std::string name;
+        while (std::getline(in, name, ',')) governors.push_back(name);
+      }
+    } else if (a == "--processor") {
+      processor = cpu::processor_by_name(value());
+    } else if (a == "--workload") {
+      workload = resolve_workload(value());
+    } else if (a == "--length") {
+      length = std::atof(value().c_str());
+    } else if (a == "--policy") {
+      const std::string v = util::to_lower(value());
+      DVS_EXPECT(v == "edf" || v == "fp", "--policy must be edf or fp");
+      policy = v == "edf" ? sim::SchedulingPolicy::kEdf
+                          : sim::SchedulingPolicy::kFixedPriority;
+    } else if (a == "--gantt") {
+      const std::string v = value();
+      const auto colon = v.find(':');
+      DVS_EXPECT(colon != std::string::npos, "--gantt wants T0:T1");
+      gantt_t0 = std::atof(v.substr(0, colon).c_str());
+      gantt_t1 = std::atof(v.substr(colon + 1).c_str());
+      want_gantt = true;
+    } else {
+      DVS_EXPECT(false, "unknown option: " + a);
+    }
+  }
+
+  std::int64_t misses = 0;
+  if (policy == sim::SchedulingPolicy::kEdf) {
+    exp::ExperimentConfig cfg = exp::default_config();
+    cfg.governors = governors;
+    cfg.processor = processor;
+    cfg.sim_length = length;
+    const exp::CaseOutcome outcome = exp::run_case({ts, workload}, cfg);
+    exp::print_case(std::cout, outcome,
+                    ts.name() + " on " + processor.name + " (" +
+                        workload->name() + ", EDF)");
+    for (const auto& g : outcome.outcomes) misses += g.result.deadline_misses;
+  } else {
+    // Fixed-priority: run the FP-safe family.
+    sim::SimOptions opts;
+    opts.length = length;
+    opts.policy = policy;
+    std::vector<sim::GovernorPtr> fp_governors;
+    fp_governors.push_back(core::make_governor("noDVS"));
+    fp_governors.push_back(std::make_unique<core::StaticFpGovernor>());
+    fp_governors.push_back(std::make_unique<core::LppsFpGovernor>());
+    double ref = -1.0;
+    std::cout << "== " << ts.name() << " on " << processor.name
+              << " (fixed priorities) ==\n";
+    for (auto& g : fp_governors) {
+      const auto r = sim::simulate(ts, *workload, processor, *g, opts);
+      if (ref < 0.0) ref = r.total_energy();
+      misses += r.deadline_misses;
+      std::cout << "  " << r.summary() << "  normalized="
+                << util::format_double(r.total_energy() / ref, 4) << '\n';
+    }
+  }
+
+  if (want_gantt) {
+    auto g = policy == sim::SchedulingPolicy::kEdf
+                 ? core::make_governor(governors.back())
+                 : sim::GovernorPtr(std::make_unique<core::LppsFpGovernor>());
+    sim::VectorTrace trace;
+    sim::SimOptions opts;
+    opts.length = length;
+    opts.policy = policy;
+    opts.trace = &trace;
+    const auto r = sim::simulate(ts, *workload, processor, *g, opts);
+    std::cout << "\nschedule of " << r.governor << ":\n";
+    sim::render_gantt(trace, ts, gantt_t0, gantt_t1, std::cout, 110);
+  }
+  return misses == 0 ? 0 : 3;
+}
+
+int cmd_gen(const std::vector<std::string>& args) {
+  DVS_EXPECT(args.size() >= 3, "gen: need <utilization> <n_tasks> <seed>");
+  task::GeneratorConfig cfg;
+  cfg.total_utilization = std::atof(args[0].c_str());
+  cfg.n_tasks = static_cast<std::size_t>(std::atoll(args[1].c_str()));
+  util::Rng rng(static_cast<std::uint64_t>(std::atoll(args[2].c_str())));
+  const task::TaskSet ts = task::generate_task_set(cfg, rng, "generated");
+  if (args.size() >= 4) {
+    std::ofstream out(args[3]);
+    DVS_EXPECT(out.is_open(), "cannot open output file: " + args[3]);
+    task::save_task_set_csv(ts, out);
+    std::cout << "wrote " << ts.size() << " tasks (U = "
+              << util::format_double(ts.utilization(), 4) << ") to "
+              << args[3] << '\n';
+  } else {
+    task::save_task_set_csv(ts, std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty() || args[0] == "--help" || args[0] == "-h") {
+    usage();
+    return args.empty() ? 1 : 0;
+  }
+  try {
+    const std::string cmd = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (cmd == "analyze") {
+      DVS_EXPECT(rest.size() == 1, "analyze: exactly one <taskset>");
+      return cmd_analyze(rest[0]);
+    }
+    if (cmd == "run") return cmd_run(rest);
+    if (cmd == "gen") return cmd_gen(rest);
+    usage();
+    std::cerr << "unknown command: " << cmd << '\n';
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
