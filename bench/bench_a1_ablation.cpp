@@ -22,31 +22,47 @@ namespace {
 
 using namespace dvs;
 
-/// Mean normalized energy of `governor` over `n` random cases.
+/// Worker threads for every ablation below (set once from the CLI).
+std::size_t g_jobs = 0;
+
+/// Mean normalized energy of `governor` over `n` random cases.  The cases
+/// fan out over a thread pool; `make` must be callable concurrently (all
+/// makers below construct a fresh governor per call).  Aggregation happens
+/// in case-index order, so the result is independent of --jobs.
 template <typename MakeGovernor>
 double mean_normalized(MakeGovernor make, const cpu::Processor& proc,
                        double u, std::size_t n, std::int64_t& misses) {
+  struct CaseResult {
+    double normalized = 0.0;
+    std::int64_t misses = 0;
+  };
+  const auto results =
+      bench::parallel_index_map(g_jobs, n, [&](std::size_t i) {
+        const auto c = bench::uniform_case(bench::base_generator(8, u, 0.1),
+                                           4242 + 31 * i);
+        sim::SimOptions opts;
+        opts.length = 1.2;
+        auto nodvs = core::make_governor("noDVS");
+        const auto base =
+            sim::simulate(c.task_set, *c.workload, proc, *nodvs, opts);
+        auto g = make();
+        const auto r = sim::simulate(c.task_set, *c.workload, proc, *g, opts);
+        return CaseResult{r.total_energy() / base.total_energy(),
+                          r.deadline_misses};
+      });
   util::RunningStats acc;
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto c = bench::uniform_case(bench::base_generator(8, u, 0.1),
-                                       4242 + 31 * i);
-    sim::SimOptions opts;
-    opts.length = 1.2;
-    auto nodvs = core::make_governor("noDVS");
-    const auto base =
-        sim::simulate(c.task_set, *c.workload, proc, *nodvs, opts);
-    auto g = make();
-    const auto r = sim::simulate(c.task_set, *c.workload, proc, *g, opts);
-    acc.add(r.total_energy() / base.total_energy());
-    misses += r.deadline_misses;
+  for (const auto& r : results) {
+    acc.add(r.normalized);
+    misses += r.misses;
   }
   return acc.mean();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvs;
+  g_jobs = bench::parse_jobs(argc, argv);
   const std::size_t kCases = 6;
   std::int64_t misses = 0;
   const cpu::Processor ideal = cpu::ideal_processor();

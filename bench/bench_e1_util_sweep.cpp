@@ -10,13 +10,14 @@
 // beats the static optimum below U ~ 0.9; lppsEDF trails the pack.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvs;
 
   exp::ExperimentConfig cfg = exp::default_config();
   cfg.seed = 20020304;  // DATE 2002
   cfg.replications = 8;
   cfg.sim_length = 1.2;
+  cfg.n_threads = bench::parse_jobs(argc, argv);
 
   const std::vector<double> utils{0.1, 0.2, 0.3, 0.4, 0.5,
                                   0.6, 0.7, 0.8, 0.9, 1.0};

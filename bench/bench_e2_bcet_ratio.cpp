@@ -8,13 +8,14 @@
 // as ratio -> 1; the gap between dynamic and static widens as ratio -> 0.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvs;
 
   exp::ExperimentConfig cfg = exp::default_config();
   cfg.seed = 1302;
   cfg.replications = 8;
   cfg.sim_length = 1.2;
+  cfg.n_threads = bench::parse_jobs(argc, argv);
 
   const std::vector<double> ratios{0.1, 0.2, 0.3, 0.4, 0.5,
                                    0.6, 0.7, 0.8, 0.9, 1.0};

@@ -12,11 +12,13 @@
 #include "task/benchmarks.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvs;
 
   exp::ExperimentConfig cfg = exp::default_config();
   cfg.sim_length = -1.0;  // per-set default (multiple hyperperiods)
+  // No sweep here; --jobs parallelizes the governors within each case.
+  cfg.n_threads = bench::parse_jobs(argc, argv);
 
   std::int64_t misses = 0;
   for (double ratio : {0.2, 0.5, 0.8}) {

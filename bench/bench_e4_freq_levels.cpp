@@ -10,7 +10,7 @@
 // operating points real processors ship.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvs;
 
   // x encodes the level count; 0 stands for the continuous scale.
@@ -21,6 +21,7 @@ int main() {
   cfg.seed = 4;
   cfg.replications = 8;
   cfg.sim_length = 1.2;
+  cfg.n_threads = bench::parse_jobs(argc, argv);
 
   std::int64_t misses = 0;
   exp::SweepOutcome combined;
@@ -39,6 +40,9 @@ int main() {
         });
     combined.governors = sweep.governors;
     combined.points.push_back(sweep.points.front());
+    combined.wall_seconds += sweep.wall_seconds;
+    combined.simulations += sweep.simulations;
+    combined.threads_used = sweep.threads_used;
     misses += bench::total_misses(sweep);
   }
 

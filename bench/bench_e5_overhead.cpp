@@ -22,8 +22,55 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace dvs;
+namespace {
+
+using namespace dvs;
+
+/// Everything one (stall, case) pair contributes to the table; computed in
+/// parallel, aggregated serially in index order.
+struct CaseResult {
+  double oblivious_energy = 0.0;
+  double aware_energy = 0.0;
+  double aware_switches = 0.0;
+  std::int64_t oblivious_misses = 0;
+  std::int64_t aware_misses = 0;
+};
+
+CaseResult run_one(Time t_sw, std::uint64_t seed) {
+  const auto c = bench::uniform_case(bench::base_generator(6, 0.7, 0.1), seed);
+  cpu::Processor proc = cpu::strongarm_processor();
+  proc.transition = cpu::TransitionModel::voltage_delta(
+      t_sw, /*cdd=*/5e-6, /*k=*/0.9, /*pmax_watts=*/0.9);
+
+  sim::SimOptions opts;
+  opts.length = 1.2;
+
+  auto nodvs = core::make_governor("noDVS");
+  const auto base =
+      sim::simulate(c.task_set, *c.workload, proc, *nodvs, opts);
+
+  CaseResult out;
+  auto plain = core::make_governor("lpSEH");
+  const auto obl = sim::simulate(c.task_set, *c.workload, proc, *plain, opts);
+  out.oblivious_energy = obl.total_energy() / base.total_energy();
+  out.oblivious_misses = obl.deadline_misses;
+
+  core::SlackTimeConfig st;
+  st.switch_overhead = t_sw;
+  auto wrapped = core::overhead_aware(
+      std::make_unique<core::SlackTimeGovernor>(st), proc);
+  const auto aw =
+      sim::simulate(c.task_set, *c.workload, proc, *wrapped, opts);
+  out.aware_energy = aw.total_energy() / base.total_energy();
+  out.aware_switches = static_cast<double>(aw.speed_switches);
+  out.aware_misses = aw.deadline_misses;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
 
   const std::vector<Time> stalls{0.0, 10e-6, 100e-6, 1e-3};
   const std::size_t kCases = 6;
@@ -34,41 +81,21 @@ int main() {
 
   std::int64_t aware_misses_total = 0;
   for (Time t_sw : stalls) {
+    const auto results = bench::parallel_index_map(
+        jobs, kCases,
+        [t_sw](std::size_t i) { return run_one(t_sw, 900 + i); });
+
     util::RunningStats oblivious;
     util::RunningStats aware;
     util::RunningStats aware_switches;
     std::int64_t oblivious_misses = 0;
     std::int64_t aware_misses = 0;
-
-    for (std::size_t i = 0; i < kCases; ++i) {
-      const auto c =
-          bench::uniform_case(bench::base_generator(6, 0.7, 0.1), 900 + i);
-      cpu::Processor proc = cpu::strongarm_processor();
-      proc.transition = cpu::TransitionModel::voltage_delta(
-          t_sw, /*cdd=*/5e-6, /*k=*/0.9, /*pmax_watts=*/0.9);
-
-      sim::SimOptions opts;
-      opts.length = 1.2;
-
-      auto nodvs = core::make_governor("noDVS");
-      const auto base = sim::simulate(c.task_set, *c.workload, proc, *nodvs,
-                                      opts);
-
-      auto plain = core::make_governor("lpSEH");
-      const auto obl =
-          sim::simulate(c.task_set, *c.workload, proc, *plain, opts);
-      oblivious.add(obl.total_energy() / base.total_energy());
-      oblivious_misses += obl.deadline_misses;
-
-      core::SlackTimeConfig st;
-      st.switch_overhead = t_sw;
-      auto wrapped = core::overhead_aware(
-          std::make_unique<core::SlackTimeGovernor>(st), proc);
-      const auto aw =
-          sim::simulate(c.task_set, *c.workload, proc, *wrapped, opts);
-      aware.add(aw.total_energy() / base.total_energy());
-      aware_switches.add(static_cast<double>(aw.speed_switches));
-      aware_misses += aw.deadline_misses;
+    for (const auto& r : results) {
+      oblivious.add(r.oblivious_energy);
+      oblivious_misses += r.oblivious_misses;
+      aware.add(r.aware_energy);
+      aware_switches.add(r.aware_switches);
+      aware_misses += r.aware_misses;
     }
     aware_misses_total += aware_misses;
     table.row({util::format_si_time(t_sw),

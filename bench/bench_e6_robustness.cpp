@@ -12,7 +12,7 @@
 
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dvs;
 
   // --- Part A: task-set size sweep ---------------------------------------
@@ -22,6 +22,7 @@ int main() {
   cfg.seed = 6;
   cfg.replications = 6;
   cfg.sim_length = 1.2;
+  cfg.n_threads = bench::parse_jobs(argc, argv);
 
   const std::vector<double> sizes{3, 5, 8, 12, 16};
   const auto size_sweep = exp::run_sweep(

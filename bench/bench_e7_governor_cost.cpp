@@ -11,6 +11,10 @@
 //   * lpSEH-h: bounded checkpoint count (the paper's O(n) claim).
 #include <benchmark/benchmark.h>
 
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "core/registry.hpp"
 #include "cpu/processors.hpp"
 #include "sim/simulator.hpp"
@@ -71,4 +75,28 @@ GOVERNOR_BENCH(lpSEH_h, "lpSEH-h");
 GOVERNOR_BENCH(lpSEH, "lpSEH");
 GOVERNOR_BENCH(uniformSlack, "uniformSlack");
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() that first strips --jobs (accepted for CLI
+// uniformity with the other benches, but deliberately ignored: this bench
+// measures single-governor scheduling cost, and those timings must stay
+// single-threaded to be meaningful).
+int main(int argc, char** argv) {
+  std::vector<char*> kept;
+  kept.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string(argv[i]) == "--jobs" && i + 1 < argc) {
+      std::cout << "note: --jobs ignored; E7 is a single-threaded "
+                   "microbenchmark of per-governor cost\n";
+      ++i;
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

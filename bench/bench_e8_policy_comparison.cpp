@@ -18,8 +18,62 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
-int main() {
-  using namespace dvs;
+namespace {
+
+using namespace dvs;
+
+/// One case's contribution (skipped == true for FP-infeasible sets).
+struct CaseResult {
+  bool skipped = false;
+  double speed_fp = 0.0;
+  double static_edf = 0.0;
+  double static_fp = 0.0;
+  double lpseh = 0.0;
+  double lppsfp = 0.0;
+  std::int64_t misses = 0;
+};
+
+CaseResult run_one(double u, std::uint64_t seed) {
+  const auto c = bench::uniform_case(bench::base_generator(5, u, 0.1), seed);
+  CaseResult out;
+  if (!sched::fp_schedulable(c.task_set)) {
+    out.skipped = true;
+    return out;
+  }
+  out.speed_fp = sched::minimum_constant_speed_fp(c.task_set);
+
+  const cpu::Processor proc = cpu::ideal_processor();
+  sim::SimOptions edf_opts;
+  edf_opts.length = 1.2;
+  sim::SimOptions fp_opts = edf_opts;
+  fp_opts.policy = sim::SchedulingPolicy::kFixedPriority;
+
+  auto nodvs = core::make_governor("noDVS");
+  const auto base =
+      sim::simulate(c.task_set, *c.workload, proc, *nodvs, edf_opts);
+  const double ref = base.total_energy();
+
+  auto run = [&](sim::Governor& g, const sim::SimOptions& opts,
+                 double& slot) {
+    const auto r = sim::simulate(c.task_set, *c.workload, proc, g, opts);
+    out.misses += r.deadline_misses;
+    slot = r.total_energy() / ref;
+  };
+  auto se = core::make_governor("staticEDF");
+  run(*se, edf_opts, out.static_edf);
+  core::StaticFpGovernor sf;
+  run(sf, fp_opts, out.static_fp);
+  auto seh = core::make_governor("lpSEH");
+  run(*seh, edf_opts, out.lpseh);
+  core::LppsFpGovernor lf;
+  run(lf, fp_opts, out.lppsfp);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench::parse_jobs(argc, argv);
   const std::size_t kCases = 8;
   std::int64_t misses = 0;
 
@@ -34,37 +88,17 @@ int main() {
     util::RunningStats lpseh;
     util::RunningStats lppsfp;
 
-    for (std::size_t i = 0; i < kCases; ++i) {
-      const auto c = bench::uniform_case(bench::base_generator(5, u, 0.1),
-                                         7000 + 13 * i);
-      if (!sched::fp_schedulable(c.task_set)) continue;
-      speed_fp.add(sched::minimum_constant_speed_fp(c.task_set));
-
-      const cpu::Processor proc = cpu::ideal_processor();
-      sim::SimOptions edf_opts;
-      edf_opts.length = 1.2;
-      sim::SimOptions fp_opts = edf_opts;
-      fp_opts.policy = sim::SchedulingPolicy::kFixedPriority;
-
-      auto nodvs = core::make_governor("noDVS");
-      const auto base = sim::simulate(c.task_set, *c.workload, proc,
-                                      *nodvs, edf_opts);
-      const double ref = base.total_energy();
-
-      auto run = [&](sim::Governor& g, const sim::SimOptions& opts,
-                     util::RunningStats& acc) {
-        const auto r = sim::simulate(c.task_set, *c.workload, proc, g, opts);
-        misses += r.deadline_misses;
-        acc.add(r.total_energy() / ref);
-      };
-      auto se = core::make_governor("staticEDF");
-      run(*se, edf_opts, static_edf);
-      core::StaticFpGovernor sf;
-      run(sf, fp_opts, static_fp);
-      auto seh = core::make_governor("lpSEH");
-      run(*seh, edf_opts, lpseh);
-      core::LppsFpGovernor lf;
-      run(lf, fp_opts, lppsfp);
+    const auto results = bench::parallel_index_map(
+        jobs, kCases,
+        [u](std::size_t i) { return run_one(u, 7000 + 13 * i); });
+    for (const auto& r : results) {
+      if (r.skipped) continue;
+      speed_fp.add(r.speed_fp);
+      static_edf.add(r.static_edf);
+      static_fp.add(r.static_fp);
+      lpseh.add(r.lpseh);
+      lppsfp.add(r.lppsfp);
+      misses += r.misses;
     }
 
     t.row({util::format_double(u, 2), util::format_double(u, 4),

@@ -3,13 +3,23 @@
 // Every bench prints one or more paper-style tables on stdout and exits 0
 // iff the hard real-time invariant (zero deadline misses where it must
 // hold) was observed.  CSV copies of each table are written next to the
-// binary as <bench>_<table>.csv for offline plotting.
+// binary as <bench>_<table>.csv for offline plotting; execution metadata
+// (wall-clock, simulations/s, threads) goes to a sibling *.meta.csv so the
+// data CSVs stay byte-identical across thread counts.
+//
+// Parallelism: every bench accepts `--jobs N` (or the SLACKDVS_JOBS
+// environment variable; the flag wins).  N = 0 (the default) uses one
+// worker per hardware thread, N = 1 forces the legacy serial path.
+// Results are bit-for-bit identical for every N — see DESIGN.md §6.
 #pragma once
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/registry.hpp"
 #include "cpu/processors.hpp"
@@ -18,8 +28,31 @@
 #include "task/generator.hpp"
 #include "task/workload.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dvs::bench {
+
+/// Worker-thread request from `--jobs N` / SLACKDVS_JOBS (flag wins);
+/// 0 = hardware concurrency.  Unknown arguments are rejected with exit 2
+/// so a typo cannot silently run a different experiment.
+inline std::size_t parse_jobs(int argc, char** argv) {
+  std::size_t jobs = 0;
+  if (const char* env = std::getenv("SLACKDVS_JOBS")) {
+    jobs = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--jobs N]\n"
+                << "  (N = 0: one worker per hardware thread; N = 1: "
+                   "serial; results are identical for every N)\n";
+      std::exit(2);
+    }
+  }
+  return jobs;
+}
 
 /// Generator settings used across the random-task-set experiments: 5-ms
 /// period grid (finite hyperperiods), periods 10..160 ms.
@@ -42,7 +75,8 @@ inline exp::Case uniform_case(const task::GeneratorConfig& gen,
   return {task::generate_task_set(gen, rng), task::uniform_model(seed)};
 }
 
-/// Print the sweep and also persist it as CSV under ./bench_csv/.
+/// Print the sweep and also persist it as CSV under ./bench_csv/ (data in
+/// <csv_name>, timing metadata in <csv_name minus .csv>.meta.csv).
 inline void emit(const exp::SweepOutcome& sweep, const std::string& title,
                  const std::string& csv_name) {
   exp::print_sweep(std::cout, sweep, title);
@@ -50,6 +84,12 @@ inline void emit(const exp::SweepOutcome& sweep, const std::string& title,
   std::filesystem::create_directories("bench_csv", ec);
   std::ofstream csv("bench_csv/" + csv_name);
   if (csv) exp::write_sweep_csv(csv, sweep);
+  std::string meta_name = csv_name;
+  if (meta_name.size() > 4 && meta_name.ends_with(".csv")) {
+    meta_name.resize(meta_name.size() - 4);
+  }
+  std::ofstream meta("bench_csv/" + meta_name + ".meta.csv");
+  if (meta) exp::write_sweep_meta_csv(meta, sweep);
 }
 
 /// Total misses across a sweep (0 required for a clean exit).
@@ -57,6 +97,35 @@ inline std::int64_t total_misses(const exp::SweepOutcome& sweep) {
   std::int64_t misses = 0;
   for (const auto& p : sweep.points) misses += p.total_misses;
   return misses;
+}
+
+/// Evaluate `fn(i)` for i in [0, n) and return the results in index order.
+/// With jobs != 1 the calls run on a util::ThreadPool; `fn` must be safe
+/// to invoke concurrently (the benches' case runners are pure functions of
+/// the index).  Because results are collected by index, the output — and
+/// any aggregation done over it in order — is identical for every jobs
+/// value.  This is the deterministic fan-out used by the benches whose
+/// loops do not fit exp::run_sweep (E5, E8, A1).
+template <typename Fn>
+auto parallel_index_map(std::size_t jobs, std::size_t n, const Fn& fn)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using R = decltype(fn(std::size_t{}));
+  std::vector<R> results;
+  results.reserve(n);
+  const std::size_t workers =
+      std::min(util::ThreadPool::resolve_threads(jobs), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) results.push_back(fn(i));
+    return results;
+  }
+  util::ThreadPool pool(workers);
+  std::vector<std::future<R>> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending.push_back(pool.submit([&fn, i] { return fn(i); }));
+  }
+  for (auto& f : pending) results.push_back(f.get());
+  return results;
 }
 
 }  // namespace dvs::bench

@@ -1,11 +1,81 @@
 #include "exp/experiment.hpp"
 
+#include <chrono>
+#include <future>
+#include <utility>
+
 #include "core/registry.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dvs::exp {
+namespace {
+
+sim::SimOptions sim_options(const ExperimentConfig& cfg) {
+  sim::SimOptions opts;
+  opts.length = cfg.sim_length;
+  opts.record_jobs = cfg.record_jobs;
+  return opts;
+}
+
+/// The governor roster of a run: the noDVS reference first, then the
+/// configured governors (minus any duplicate noDVS entry).
+std::vector<std::string> governor_roster(const ExperimentConfig& cfg) {
+  std::vector<std::string> roster{"noDVS"};
+  for (const auto& name : cfg.governors) {
+    if (util::to_lower(name) != "nodvs") roster.push_back(name);
+  }
+  return roster;
+}
+
+/// One simulation: a FRESH governor instance (constructed on the calling
+/// worker — governors are stateful, sharing one across cases would leak
+/// state between simulations) run on `c`.  Normalization happens later,
+/// once the noDVS reference of the same case is available.
+GovernorOutcome simulate_governor(const std::string& name, const Case& c,
+                                  const ExperimentConfig& cfg) {
+  auto governor = core::make_governor(name);
+  GovernorOutcome g;
+  g.governor = governor->name();
+  g.result = sim::simulate(c.task_set, *c.workload, cfg.processor, *governor,
+                           sim_options(cfg));
+  return g;
+}
+
+/// Fill in normalized_energy against outcomes.front() (the noDVS run),
+/// exactly as the legacy serial loop did.
+void normalize_case(CaseOutcome& out) {
+  DVS_ENSURE(!out.outcomes.empty(), "case without outcomes");
+  out.outcomes.front().normalized_energy = 1.0;
+  const double ref_energy = out.outcomes.front().result.total_energy();
+  for (std::size_t i = 1; i < out.outcomes.size(); ++i) {
+    auto& g = out.outcomes[i];
+    g.normalized_energy =
+        ref_energy > 0.0 ? g.result.total_energy() / ref_energy : 1.0;
+  }
+}
+
+/// Run `jobs(i)` for i in [0, n): serially when `workers` <= 1, otherwise
+/// fanned out over a pool.  Futures are drained in index order, so the
+/// first failing index's exception propagates deterministically.
+template <typename Fn>
+void dispatch_indexed(std::size_t workers, std::size_t n, const Fn& job) {
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+  util::ThreadPool pool(std::min(workers, n));
+  std::vector<std::future<void>> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending.push_back(pool.submit([&job, i] { job(i); }));
+  }
+  for (auto& f : pending) f.get();
+}
+
+}  // namespace
 
 const GovernorOutcome& CaseOutcome::by_name(const std::string& name) const {
   for (const auto& o : outcomes) {
@@ -17,34 +87,15 @@ const GovernorOutcome& CaseOutcome::by_name(const std::string& name) const {
 
 CaseOutcome run_case(const Case& c, const ExperimentConfig& cfg) {
   DVS_EXPECT(c.workload != nullptr, "case has no workload model");
-  sim::SimOptions opts;
-  opts.length = cfg.sim_length;
+  const std::vector<std::string> roster = governor_roster(cfg);
 
   CaseOutcome out;
-
-  // The normalization reference always runs first.
-  {
-    auto ref = core::make_governor("noDVS");
-    GovernorOutcome g;
-    g.governor = ref->name();
-    g.result = sim::simulate(c.task_set, *c.workload, cfg.processor, *ref,
-                             opts);
-    g.normalized_energy = 1.0;
-    out.outcomes.push_back(std::move(g));
-  }
-  const double ref_energy = out.outcomes.front().result.total_energy();
-
-  for (const auto& name : cfg.governors) {
-    if (util::to_lower(name) == "nodvs") continue;  // already ran
-    auto governor = core::make_governor(name);
-    GovernorOutcome g;
-    g.governor = governor->name();
-    g.result = sim::simulate(c.task_set, *c.workload, cfg.processor,
-                             *governor, opts);
-    g.normalized_energy =
-        ref_energy > 0.0 ? g.result.total_energy() / ref_energy : 1.0;
-    out.outcomes.push_back(std::move(g));
-  }
+  out.outcomes.resize(roster.size());
+  const std::size_t workers = util::ThreadPool::resolve_threads(cfg.n_threads);
+  dispatch_indexed(workers, roster.size(), [&](std::size_t g) {
+    out.outcomes[g] = simulate_governor(roster[g], c, cfg);
+  });
+  normalize_case(out);
   return out;
 }
 
@@ -53,38 +104,73 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
                        const CaseBuilder& builder) {
   DVS_EXPECT(!xs.empty(), "sweep needs at least one point");
   DVS_EXPECT(cfg.replications >= 1, "sweep needs at least one replication");
+  const auto started = std::chrono::steady_clock::now();
 
   SweepOutcome sweep;
   sweep.x_label = x_label;
-  sweep.governors.push_back("noDVS");
-  for (const auto& name : cfg.governors) {
-    if (util::to_lower(name) != "nodvs") sweep.governors.push_back(name);
-  }
+  sweep.governors = governor_roster(cfg);
+  const std::size_t n_govs = sweep.governors.size();
+  const std::size_t n_cases = xs.size() * cfg.replications;
 
+  // Build every case up front, in (point, replication) index order, on the
+  // calling thread: seeds are derived exactly as in the legacy serial loop
+  // and the builder is never invoked concurrently.
+  std::vector<Case> cases;
+  cases.reserve(n_cases);
   for (std::size_t xi = 0; xi < xs.size(); ++xi) {
-    PointResult point;
-    point.x = xs[xi];
-    point.normalized_energy.assign(sweep.governors.size(), {});
-    point.speed_switches.assign(sweep.governors.size(), {});
-
     for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
       const std::uint64_t case_seed =
           util::hash_u64(cfg.seed, static_cast<std::uint64_t>(xi) + 1,
                          static_cast<std::uint64_t>(rep) + 1);
-      const Case c = builder(xs[xi], rep, case_seed);
-      const CaseOutcome outcome = run_case(c, cfg);
-      DVS_ENSURE(outcome.outcomes.size() == sweep.governors.size(),
+      cases.push_back(builder(xs[xi], rep, case_seed));
+    }
+  }
+
+  // One independent simulation per (case, governor); results land in a
+  // flat slot array, so execution order is irrelevant to the outcome.
+  const std::size_t n_sims = n_cases * n_govs;
+  std::vector<GovernorOutcome> sims(n_sims);
+  const std::size_t workers = util::ThreadPool::resolve_threads(cfg.n_threads);
+  dispatch_indexed(workers, n_sims, [&](std::size_t i) {
+    sims[i] = simulate_governor(sweep.governors[i % n_govs],
+                                cases[i / n_govs], cfg);
+  });
+
+  // Deterministic reassembly: normalize and aggregate in the same
+  // (point, replication, governor) order as the legacy serial loop, so
+  // every RunningStats receives identical values in identical order.
+  for (std::size_t xi = 0; xi < xs.size(); ++xi) {
+    PointResult point;
+    point.x = xs[xi];
+    point.normalized_energy.assign(n_govs, {});
+    point.speed_switches.assign(n_govs, {});
+
+    for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
+      const std::size_t ci = xi * cfg.replications + rep;
+      CaseOutcome outcome;
+      outcome.outcomes.reserve(n_govs);
+      for (std::size_t g = 0; g < n_govs; ++g) {
+        outcome.outcomes.push_back(std::move(sims[ci * n_govs + g]));
+      }
+      normalize_case(outcome);
+      DVS_ENSURE(outcome.outcomes.size() == n_govs,
                  "sweep governor list mismatch");
-      for (std::size_t g = 0; g < outcome.outcomes.size(); ++g) {
-        point.normalized_energy[g].add(
-            outcome.outcomes[g].normalized_energy);
+      for (std::size_t g = 0; g < n_govs; ++g) {
+        point.normalized_energy[g].add(outcome.outcomes[g].normalized_energy);
         point.speed_switches[g].add(static_cast<double>(
             outcome.outcomes[g].result.speed_switches));
         point.total_misses += outcome.outcomes[g].result.deadline_misses;
       }
+      if (cfg.keep_case_outcomes) point.cases.push_back(std::move(outcome));
     }
     sweep.points.push_back(std::move(point));
   }
+
+  sweep.simulations = n_sims;
+  sweep.threads_used = workers < 1 ? 1 : workers;
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
   return sweep;
 }
 

@@ -6,6 +6,15 @@
 //  * energy is normalized against the noDVS run of the same case,
 //  * each sweep point aggregates several independently generated cases
 //    (task set + workload), reporting mean/min/max normalized energy.
+//
+// Parallel execution (DESIGN.md §6): every (point, replication, governor)
+// simulation is independent, so run_sweep fans them out over a fixed-size
+// util::ThreadPool.  The result is nevertheless bit-for-bit identical to a
+// serial run: case seeds are derived exactly as in the serial loop, cases
+// are built in index order on the calling thread, every worker constructs
+// its own fresh governor instance, and outcomes are reassembled and
+// aggregated in deterministic index order.  `--jobs` therefore changes
+// wall-clock time only, never a single output byte.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +38,10 @@ struct Case {
 
 /// Builds the case for sweep point `x`, replication `rep`; `seed` is
 /// derived deterministically from the experiment seed, x and rep.
+/// run_sweep invokes the builder once per case, in (point, replication)
+/// index order, on the calling thread — it need not be thread-safe, but it
+/// must be a pure function of its arguments for results to be independent
+/// of the thread count.
 using CaseBuilder =
     std::function<Case(double x, std::size_t rep, std::uint64_t seed)>;
 
@@ -40,6 +53,14 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   std::size_t replications = 20;
   Time sim_length = -1.0;  ///< negative: per-task-set default
+  /// Worker threads for run_sweep / run_case: 0 = hardware_concurrency,
+  /// 1 = legacy serial path.  Results are identical for every value.
+  std::size_t n_threads = 1;
+  /// Keep a JobRecord per job in every SimResult (memory per job).
+  bool record_jobs = false;
+  /// Retain every CaseOutcome in PointResult::cases (memory per case);
+  /// used by the determinism tests to compare per-case results.
+  bool keep_case_outcomes = false;
 };
 
 /// Result of one governor on one case.
@@ -61,18 +82,38 @@ struct PointResult {
   std::vector<util::RunningStats> normalized_energy;  ///< per governor
   std::vector<util::RunningStats> speed_switches;     ///< per governor
   std::int64_t total_misses = 0;  ///< across every governor and case
+  /// Per-case outcomes, only when ExperimentConfig::keep_case_outcomes.
+  std::vector<CaseOutcome> cases;
 };
 
 struct SweepOutcome {
   std::string x_label;
   std::vector<std::string> governors;
   std::vector<PointResult> points;
+
+  // Execution metadata (measured, NOT part of the deterministic result —
+  // excluded from golden files and determinism comparisons).
+  double wall_seconds = 0.0;     ///< host time spent inside run_sweep
+  std::size_t simulations = 0;   ///< points x replications x governors
+  std::size_t threads_used = 1;  ///< resolved worker count
+
+  /// Simulations per second of host time (0 when unmeasured).
+  [[nodiscard]] double throughput() const noexcept {
+    return wall_seconds > 0.0
+               ? static_cast<double>(simulations) / wall_seconds
+               : 0.0;
+  }
 };
 
 /// Run every configured governor (plus the noDVS reference) on one case.
+/// With cfg.n_threads != 1 the governors run concurrently (each on its own
+/// fresh instance); outcomes keep the configured order either way.
 [[nodiscard]] CaseOutcome run_case(const Case& c, const ExperimentConfig& cfg);
 
 /// Full parameter sweep: for each x, `replications` cases, all governors.
+/// Dispatches one task per (point, replication, governor) onto a
+/// util::ThreadPool when cfg.n_threads != 1; see the header comment for
+/// why the outcome is independent of the thread count.
 [[nodiscard]] SweepOutcome run_sweep(const ExperimentConfig& cfg,
                                      const std::string& x_label,
                                      const std::vector<double>& xs,

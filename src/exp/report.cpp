@@ -25,7 +25,15 @@ void print_sweep(std::ostream& out, const SweepOutcome& sweep,
   table.render(out);
   out << "  deadline misses across all runs: " << misses
       << (misses == 0 ? "  [hard real-time invariant holds]" : "  [VIOLATION]")
-      << "\n\n";
+      << "\n";
+  if (sweep.wall_seconds > 0.0 && sweep.simulations > 0) {
+    out << "  wall-clock " << util::format_double(sweep.wall_seconds, 3)
+        << " s | " << sweep.simulations << " simulations | "
+        << util::format_double(sweep.throughput(), 1) << " sims/s | "
+        << sweep.threads_used
+        << (sweep.threads_used == 1 ? " thread" : " threads") << "\n";
+  }
+  out << "\n";
 }
 
 void print_case(std::ostream& out, const CaseOutcome& outcome,
@@ -59,6 +67,15 @@ void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
     for (const auto& s : p.normalized_energy) row.push_back(s.max());
     csv.row_numeric(row, 6);
   }
+}
+
+void write_sweep_meta_csv(std::ostream& out, const SweepOutcome& sweep) {
+  util::CsvWriter csv(out);
+  csv.row({"wall_seconds", "simulations", "sims_per_second", "threads"});
+  csv.row({util::format_double(sweep.wall_seconds, 6),
+           std::to_string(sweep.simulations),
+           util::format_double(sweep.throughput(), 2),
+           std::to_string(sweep.threads_used)});
 }
 
 }  // namespace dvs::exp

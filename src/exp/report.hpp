@@ -19,7 +19,14 @@ void print_case(std::ostream& out, const CaseOutcome& outcome,
                 const std::string& title);
 
 /// Write the sweep to CSV: x, then one column per governor (mean), then
-/// one stddev column per governor.
+/// one stddev column per governor.  Contains only deterministic data — the
+/// output is byte-identical for every thread count.
 void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep);
+
+/// Write the sweep's execution metadata (wall-clock seconds, simulation
+/// count, simulations/s, worker threads) as a one-row CSV.  Kept separate
+/// from write_sweep_csv so the data CSV stays reproducible while the
+/// timing stays measurable.
+void write_sweep_meta_csv(std::ostream& out, const SweepOutcome& sweep);
 
 }  // namespace dvs::exp

@@ -1,0 +1,74 @@
+// A minimal fixed-size thread pool for deterministic experiment fan-out.
+//
+// Design notes (see DESIGN.md §6):
+//  * No work stealing, no dynamic sizing: a fixed worker count plus one
+//    FIFO queue keeps scheduling trivial to reason about.  Determinism of
+//    experiment results never depends on execution order anyway — callers
+//    collect futures in submission (index) order, so results are assembled
+//    identically no matter which worker ran which task.
+//  * submit() returns a std::future; exceptions thrown by a task are
+//    captured by its packaged_task and rethrown from future::get() on the
+//    caller's thread.
+//  * The destructor DRAINS the queue: every task submitted before
+//    destruction runs to completion, then the workers join.  A future
+//    obtained from submit() therefore never observes a broken promise.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dvs::util {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `n_threads` workers; throws ContractError for 0.
+  explicit ThreadPool(std::size_t n_threads);
+
+  /// Drains every pending task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Maps a user-facing thread request onto a concrete worker count:
+  /// 0 selects std::thread::hardware_concurrency() (at least 1),
+  /// any other value is taken literally.
+  [[nodiscard]] static std::size_t resolve_threads(std::size_t requested);
+
+  /// Enqueue a nullary callable; its result (or exception) is delivered
+  /// through the returned future.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace dvs::util

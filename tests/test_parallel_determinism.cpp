@@ -1,0 +1,181 @@
+// The parallel-execution contract (DESIGN.md §8): exp::run_sweep and
+// exp::run_case produce EXACTLY the same outcome — every aggregate, every
+// per-case result, every per-job record — for every thread count.  These
+// tests run identical sweeps at n_threads = 1 (legacy serial path), 2 and
+// 8 (more workers than this suite assumes cores, which also exercises
+// worker starvation) and compare the full SweepOutcome with exact
+// (bitwise) floating-point equality, not tolerances.
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::exp {
+namespace {
+
+Case e1_style_case(double u, std::uint64_t seed) {
+  task::GeneratorConfig gen;
+  gen.n_tasks = 4;
+  gen.total_utilization = u;
+  gen.period_min = 0.02;
+  gen.period_max = 0.1;
+  gen.bcet_ratio = 0.1;
+  util::Rng rng(seed);
+  return {task::generate_task_set(gen, rng), task::uniform_model(seed)};
+}
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg = default_config();
+  cfg.governors = {"staticEDF", "ccEDF", "DRA", "lpSEH"};
+  cfg.seed = 777;
+  cfg.replications = 3;
+  cfg.sim_length = 0.3;
+  cfg.keep_case_outcomes = true;
+  return cfg;
+}
+
+SweepOutcome sweep_with_threads(ExperimentConfig cfg, std::size_t n_threads) {
+  cfg.n_threads = n_threads;
+  return run_sweep(cfg, "U", {0.5, 0.8},
+                   [](double u, std::size_t, std::uint64_t seed) {
+                     return e1_style_case(u, seed);
+                   });
+}
+
+// EXPECT_EQ on doubles throughout: the contract is bit-identical results,
+// not results within a tolerance.
+void expect_same_result(const sim::SimResult& a, const sim::SimResult& b) {
+  EXPECT_EQ(a.governor, b.governor);
+  EXPECT_EQ(a.sim_length, b.sim_length);
+  EXPECT_EQ(a.busy_energy, b.busy_energy);
+  EXPECT_EQ(a.idle_energy, b.idle_energy);
+  EXPECT_EQ(a.transition_energy, b.transition_energy);
+  EXPECT_EQ(a.busy_time, b.busy_time);
+  EXPECT_EQ(a.idle_time, b.idle_time);
+  EXPECT_EQ(a.transition_time, b.transition_time);
+  EXPECT_EQ(a.jobs_released, b.jobs_released);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.jobs_truncated, b.jobs_truncated);
+  EXPECT_EQ(a.speed_switches, b.speed_switches);
+  EXPECT_EQ(a.average_speed, b.average_speed);
+  EXPECT_EQ(a.per_task_energy, b.per_task_energy);
+  EXPECT_EQ(a.worst_response, b.worst_response);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].task_id, b.jobs[j].task_id);
+    EXPECT_EQ(a.jobs[j].index, b.jobs[j].index);
+    EXPECT_EQ(a.jobs[j].release, b.jobs[j].release);
+    EXPECT_EQ(a.jobs[j].abs_deadline, b.jobs[j].abs_deadline);
+    EXPECT_EQ(a.jobs[j].completion, b.jobs[j].completion);
+    EXPECT_EQ(a.jobs[j].wcet, b.jobs[j].wcet);
+    EXPECT_EQ(a.jobs[j].actual, b.jobs[j].actual);
+    EXPECT_EQ(a.jobs[j].missed, b.jobs[j].missed);
+  }
+}
+
+void expect_same_stats(const util::RunningStats& a,
+                       const util::RunningStats& b) {
+  ASSERT_EQ(a.count(), b.count());
+  if (a.count() > 0) {
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+  }
+  if (a.count() > 1) EXPECT_EQ(a.variance(), b.variance());
+}
+
+void expect_same_sweep(const SweepOutcome& a, const SweepOutcome& b) {
+  EXPECT_EQ(a.x_label, b.x_label);
+  EXPECT_EQ(a.governors, b.governors);
+  EXPECT_EQ(a.simulations, b.simulations);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const PointResult& pa = a.points[p];
+    const PointResult& pb = b.points[p];
+    EXPECT_EQ(pa.x, pb.x);
+    EXPECT_EQ(pa.total_misses, pb.total_misses);
+    ASSERT_EQ(pa.normalized_energy.size(), pb.normalized_energy.size());
+    for (std::size_t g = 0; g < pa.normalized_energy.size(); ++g) {
+      expect_same_stats(pa.normalized_energy[g], pb.normalized_energy[g]);
+      expect_same_stats(pa.speed_switches[g], pb.speed_switches[g]);
+    }
+    ASSERT_EQ(pa.cases.size(), pb.cases.size());
+    for (std::size_t c = 0; c < pa.cases.size(); ++c) {
+      const CaseOutcome& ca = pa.cases[c];
+      const CaseOutcome& cb = pb.cases[c];
+      ASSERT_EQ(ca.outcomes.size(), cb.outcomes.size());
+      for (std::size_t g = 0; g < ca.outcomes.size(); ++g) {
+        EXPECT_EQ(ca.outcomes[g].governor, cb.outcomes[g].governor);
+        EXPECT_EQ(ca.outcomes[g].normalized_energy,
+                  cb.outcomes[g].normalized_energy);
+        expect_same_result(ca.outcomes[g].result, cb.outcomes[g].result);
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminism, SweepIsIdenticalAcrossThreadCounts) {
+  const ExperimentConfig cfg = base_config();
+  const SweepOutcome serial = sweep_with_threads(cfg, 1);
+  const SweepOutcome two = sweep_with_threads(cfg, 2);
+  const SweepOutcome eight = sweep_with_threads(cfg, 8);
+  expect_same_sweep(serial, two);
+  expect_same_sweep(serial, eight);
+  EXPECT_EQ(two.threads_used, 2u);
+  EXPECT_EQ(eight.threads_used, 8u);
+}
+
+TEST(ParallelDeterminism, HoldsWithPerJobRecordsAndNoTrace) {
+  // The trace-free configuration with record_jobs = true: every JobRecord
+  // of every simulation must also be independent of the thread count.
+  ExperimentConfig cfg = base_config();
+  cfg.record_jobs = true;
+  const SweepOutcome serial = sweep_with_threads(cfg, 1);
+  const SweepOutcome eight = sweep_with_threads(cfg, 8);
+  // Sanity: records were actually kept, so the comparison below bites.
+  ASSERT_FALSE(serial.points.front().cases.front().outcomes.front()
+                   .result.jobs.empty());
+  expect_same_sweep(serial, eight);
+}
+
+TEST(ParallelDeterminism, AutoThreadCountMatchesSerial) {
+  const ExperimentConfig cfg = base_config();
+  const SweepOutcome serial = sweep_with_threads(cfg, 1);
+  const SweepOutcome auto_threads = sweep_with_threads(cfg, 0);
+  EXPECT_GE(auto_threads.threads_used, 1u);
+  expect_same_sweep(serial, auto_threads);
+}
+
+TEST(ParallelDeterminism, RunCaseIsIdenticalAcrossThreadCounts) {
+  ExperimentConfig cfg = base_config();
+  const Case c = e1_style_case(0.7, 99);
+  cfg.n_threads = 1;
+  const CaseOutcome serial = run_case(c, cfg);
+  cfg.n_threads = 8;
+  const CaseOutcome parallel = run_case(c, cfg);
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (std::size_t g = 0; g < serial.outcomes.size(); ++g) {
+    EXPECT_EQ(serial.outcomes[g].governor, parallel.outcomes[g].governor);
+    EXPECT_EQ(serial.outcomes[g].normalized_energy,
+              parallel.outcomes[g].normalized_energy);
+    expect_same_result(serial.outcomes[g].result, parallel.outcomes[g].result);
+  }
+}
+
+TEST(ParallelDeterminism, BuilderExceptionPropagates) {
+  ExperimentConfig cfg = base_config();
+  cfg.n_threads = 4;
+  EXPECT_THROW(
+      (void)run_sweep(cfg, "U", {0.5},
+                      [](double, std::size_t, std::uint64_t) -> Case {
+                        throw std::runtime_error("builder failed");
+                      }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dvs::exp

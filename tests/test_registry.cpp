@@ -4,7 +4,12 @@
 
 #include <set>
 
+#include "cpu/processors.hpp"
+#include "sim/simulator.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace dvs::core {
 namespace {
@@ -36,6 +41,50 @@ TEST(Registry, InstancesAreIndependent) {
   const auto a = make_governor("ccEDF");
   const auto b = make_governor("ccEDF");
   EXPECT_NE(a.get(), b.get());
+}
+
+TEST(Registry, InstancesShareNoMutableState) {
+  // The parallel sweep engine constructs one fresh governor per
+  // simulation and runs many concurrently; that is only sound if
+  // instances of the same governor share no mutable state.  Audit every
+  // registry entry: dirty one instance with a full simulation, then check
+  // that a second instance still reproduces a fresh instance's result
+  // exactly.
+  const auto make_case = [](std::uint64_t seed, double u) {
+    task::GeneratorConfig gen;
+    gen.n_tasks = 4;
+    gen.total_utilization = u;
+    gen.period_min = 0.02;
+    gen.period_max = 0.1;
+    gen.bcet_ratio = 0.1;
+    util::Rng rng(seed);
+    return generate_task_set(gen, rng);
+  };
+  const auto ts_main = make_case(11, 0.7);
+  const auto ts_other = make_case(12, 0.5);
+  const auto workload = task::uniform_model(13);
+  const cpu::Processor proc = cpu::ideal_processor();
+  sim::SimOptions opts;
+  opts.length = 0.3;
+
+  for (const auto& name : governor_names()) {
+    SCOPED_TRACE(name);
+    const auto baseline_gov = make_governor(name);
+    const auto baseline =
+        sim::simulate(ts_main, *workload, proc, *baseline_gov, opts);
+
+    auto dirty = make_governor(name);
+    auto clean = make_governor(name);
+    // Mutate `dirty`'s state with a different case...
+    (void)sim::simulate(ts_other, *workload, proc, *dirty, opts);
+    // ...which must not affect `clean`.
+    const auto after =
+        sim::simulate(ts_main, *workload, proc, *clean, opts);
+    EXPECT_EQ(after.total_energy(), baseline.total_energy());
+    EXPECT_EQ(after.speed_switches, baseline.speed_switches);
+    EXPECT_EQ(after.deadline_misses, baseline.deadline_misses);
+    EXPECT_EQ(after.average_speed, baseline.average_speed);
+  }
 }
 
 TEST(Registry, UnknownNameThrows) {

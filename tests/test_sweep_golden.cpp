@@ -1,0 +1,88 @@
+// Golden regression for the sweep pipeline: a small fixed-seed E1-style
+// sweep whose CSV output is checked byte-for-byte against a committed
+// expected file.  The serial/parallel determinism tests only prove that
+// thread counts agree with each other; this test pins the *absolute*
+// numbers, catching accidental semantic drift from harness refactors
+// (changed seed derivation, aggregation order, normalization, CSV
+// formatting) even when the drift is thread-count-independent.
+//
+// To regenerate after an INTENDED semantic change:
+//   SLACKDVS_REGOLD=1 ./test_exp --gtest_filter='SweepGolden.*'
+// then commit the rewritten tests/data/sweep_golden_expected.csv.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "exp/report.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::exp {
+namespace {
+
+const char* const kGoldenPath =
+    SLACKDVS_TEST_DATA_DIR "/sweep_golden_expected.csv";
+
+SweepOutcome golden_sweep(std::size_t n_threads) {
+  ExperimentConfig cfg = default_config();
+  cfg.governors = {"staticEDF", "ccEDF", "lpSEH"};
+  cfg.seed = 20020304;  // the E1 seed
+  cfg.replications = 2;
+  cfg.sim_length = 0.4;
+  cfg.n_threads = n_threads;
+  return run_sweep(cfg, "U", {0.5, 0.9},
+                   [](double u, std::size_t, std::uint64_t seed) {
+                     task::GeneratorConfig gen;
+                     gen.n_tasks = 4;
+                     gen.total_utilization = u;
+                     gen.period_min = 0.01;
+                     gen.period_max = 0.16;
+                     gen.bcet_ratio = 0.1;
+                     gen.grid_fraction = 0.5;
+                     util::Rng rng(seed);
+                     return Case{task::generate_task_set(gen, rng),
+                                 task::uniform_model(seed)};
+                   });
+}
+
+std::string to_csv(const SweepOutcome& sweep) {
+  std::ostringstream os;
+  write_sweep_csv(os, sweep);
+  return os.str();
+}
+
+std::string read_golden() {
+  std::ifstream in(kGoldenPath);
+  EXPECT_TRUE(in.is_open()) << "missing golden file: " << kGoldenPath;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(SweepGolden, SerialSweepMatchesCommittedCsv) {
+  const std::string actual = to_csv(golden_sweep(1));
+  if (std::getenv("SLACKDVS_REGOLD") != nullptr) {
+    std::ofstream out(kGoldenPath);
+    ASSERT_TRUE(out.is_open()) << "cannot rewrite " << kGoldenPath;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << kGoldenPath;
+  }
+  EXPECT_EQ(actual, read_golden())
+      << "sweep output drifted from the committed golden CSV; if the "
+         "change is intended, regenerate with SLACKDVS_REGOLD=1";
+}
+
+TEST(SweepGolden, ParallelSweepMatchesCommittedCsv) {
+  if (std::getenv("SLACKDVS_REGOLD") != nullptr) {
+    GTEST_SKIP() << "regolding uses the serial test";
+  }
+  EXPECT_EQ(to_csv(golden_sweep(4)), read_golden());
+}
+
+}  // namespace
+}  // namespace dvs::exp

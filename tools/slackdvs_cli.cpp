@@ -15,6 +15,10 @@
 //   --length SECONDS            simulated time (default: per-set)
 //   --policy edf|fp             dispatch policy (fp limits the governors)
 //   --gantt T0:T1               print an ASCII Gantt of the last governor
+//   --jobs N                    worker threads for the governor comparison
+//                               (0 = hardware concurrency, 1 = serial;
+//                               results are identical for every N; the
+//                               SLACKDVS_JOBS env var sets the default)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -49,7 +53,7 @@ void usage() {
   slackdvs analyze <taskset>
   slackdvs run     <taskset> [--governor A,B|all] [--processor NAME]
                    [--workload SPEC] [--length SECONDS] [--policy edf|fp]
-                   [--gantt T0:T1]
+                   [--gantt T0:T1] [--jobs N]
   slackdvs gen     <utilization> <n_tasks> <seed> [out.csv]
 
 <taskset>: a CSV file or a preset (ins | cnc | avionics).
@@ -130,6 +134,10 @@ int cmd_run(const std::vector<std::string>& args) {
   task::ExecutionTimeModelPtr workload = task::uniform_model(42);
   Time length = -1.0;
   sim::SchedulingPolicy policy = sim::SchedulingPolicy::kEdf;
+  std::size_t jobs = 0;
+  if (const char* env = std::getenv("SLACKDVS_JOBS")) {
+    jobs = static_cast<std::size_t>(std::atoll(env));
+  }
   bool want_gantt = false;
   Time gantt_t0 = 0.0;
   Time gantt_t1 = 0.0;
@@ -159,6 +167,8 @@ int cmd_run(const std::vector<std::string>& args) {
       DVS_EXPECT(v == "edf" || v == "fp", "--policy must be edf or fp");
       policy = v == "edf" ? sim::SchedulingPolicy::kEdf
                           : sim::SchedulingPolicy::kFixedPriority;
+    } else if (a == "--jobs") {
+      jobs = static_cast<std::size_t>(std::atoll(value().c_str()));
     } else if (a == "--gantt") {
       const std::string v = value();
       const auto colon = v.find(':');
@@ -177,6 +187,7 @@ int cmd_run(const std::vector<std::string>& args) {
     cfg.governors = governors;
     cfg.processor = processor;
     cfg.sim_length = length;
+    cfg.n_threads = jobs;  // parallel across governors; output identical
     const exp::CaseOutcome outcome = exp::run_case({ts, workload}, cfg);
     exp::print_case(std::cout, outcome,
                     ts.name() + " on " + processor.name + " (" +
