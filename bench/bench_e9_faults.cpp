@@ -1,0 +1,204 @@
+// E9 — Fault injection: WCET overruns, containment policies, and
+// processor faults (DESIGN.md §7).
+//
+// Part A sweeps the per-job overrun probability (magnitude fixed at +50%
+// WCET) under each sim::OverrunPolicy; Part B fixes the probability and
+// sweeps the overrun magnitude; Part C injects processor faults
+// (stuck-frequency + transition stalls) at increasing rates.  Every
+// governor runs wrapped in fault::CheckedGovernor, so an out-of-range
+// speed request under fault pressure becomes a recorded SimFailure
+// instead of a silently wrong number.
+//
+// Expected shape: under `none` the miss ratio grows with the fault rate
+// (the paper's guarantee is conditioned on demand <= WCET);
+// `clamp_at_wcet` restores the fault-free run exactly, so its sweeps must
+// stay at zero misses; `escalate_to_max_speed` trades energy for misses
+// in between.  Exit 0 iff no simulation failed, the clamp sweeps kept the
+// hard real-time invariant, and every fault-free baseline point is
+// miss-free.
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dvs;
+
+constexpr std::uint64_t kFaultSeedSalt = 0x9e3779b97f4a7c15ull;
+
+// Containment policies compared in Parts A and B.
+const sim::OverrunPolicy kPolicies[] = {
+    sim::OverrunPolicy::kNone,
+    sim::OverrunPolicy::kClampAtWcet,
+    sim::OverrunPolicy::kEscalateToMaxSpeed,
+};
+
+exp::CaseBuilder overrun_builder(double fixed_prob, double fixed_mag,
+                                 bool sweep_is_magnitude) {
+  return [=](double x, std::size_t /*rep*/, std::uint64_t seed) {
+    exp::Case c = bench::uniform_case(bench::base_generator(8, 0.85, 0.1),
+                                      seed);
+    fault::FaultSpec spec;
+    spec.seed = seed ^ kFaultSeedSalt;
+    spec.overrun_prob = sweep_is_magnitude ? fixed_prob : x;
+    spec.overrun_magnitude = sweep_is_magnitude ? x : fixed_mag;
+    c.workload = fault::faulty_workload(std::move(c.workload), spec);
+    return c;
+  };
+}
+
+// Append one combined-CSV row per (point, governor) of `sweep`.
+void append_rows(util::CsvWriter& csv, const std::string& part,
+                 sim::OverrunPolicy policy, const std::string& x_name,
+                 const exp::SweepOutcome& sweep) {
+  for (const auto& p : sweep.points) {
+    for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
+      const auto& miss = p.miss_ratio[g];
+      const auto& energy = p.normalized_energy[g];
+      csv.row({part, fault::containment_name(policy), x_name,
+               util::format_double(p.x, 6), sweep.governors[g],
+               miss.count() > 0 ? util::format_double(miss.mean(), 6) : "",
+               miss.count() > 0 ? util::format_double(miss.max(), 6) : "",
+               energy.count() > 0 ? util::format_double(energy.mean(), 6)
+                                  : "",
+               std::to_string(sweep.failures.size())});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dvs;
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"staticEDF", "ccEDF", "laEDF", "DRA", "lpSEH"};
+  cfg.seed = 9;
+  cfg.replications = opts.smoke ? 2 : 6;
+  cfg.sim_length = opts.smoke ? 0.4 : 1.2;
+  cfg.n_threads = opts.jobs;
+  cfg.check_governors = true;  // loud failures instead of silent clamps
+  cfg.fail_fast = opts.strict;
+
+  const std::vector<double> probs =
+      opts.smoke ? std::vector<double>{0.0, 0.2}
+                 : std::vector<double>{0.0, 0.05, 0.1, 0.2, 0.4};
+  const std::vector<double> mags = opts.smoke
+                                       ? std::vector<double>{0.5}
+                                       : std::vector<double>{0.25, 0.5, 1.0};
+  constexpr double kFixedMag = 0.5;   // Part A: demand = 1.5 x WCET
+  constexpr double kFixedProb = 0.2;  // Part B: one job in five overruns
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_csv", ec);
+  util::CsvFile combined("bench_csv/bench_e9_faults.csv");
+  combined.writer().row({"part", "containment", "x_name", "x", "governor",
+                         "miss_ratio_mean", "miss_ratio_max",
+                         "norm_energy_mean", "failures"});
+
+  std::size_t failures = 0;
+  std::int64_t clamp_misses = 0;
+  std::int64_t baseline_misses = 0;
+
+  // --- Parts A and B: overrun probability / magnitude sweeps --------------
+  for (const auto policy : kPolicies) {
+    cfg.containment = policy;
+    const std::string pname = fault::containment_name(policy);
+
+    const auto prob_sweep = exp::run_sweep(
+        cfg, "overrun_prob", probs,
+        overrun_builder(kFixedProb, kFixedMag, /*sweep_is_magnitude=*/false));
+    bench::emit(prob_sweep,
+                "E9a[" + pname + "]: overrun probability sweep "
+                "(magnitude +50% WCET, 8 tasks, U = 0.85)",
+                "bench_e9a_" + pname + ".csv");
+    append_rows(combined.writer(), "A", policy, "overrun_prob", prob_sweep);
+    failures += prob_sweep.failures.size();
+    baseline_misses += prob_sweep.points.front().total_misses;  // prob = 0
+    if (policy == sim::OverrunPolicy::kClampAtWcet) {
+      clamp_misses += bench::total_misses(prob_sweep);
+    }
+
+    const auto mag_sweep = exp::run_sweep(
+        cfg, "overrun_mag", mags,
+        overrun_builder(kFixedProb, kFixedMag, /*sweep_is_magnitude=*/true));
+    bench::emit(mag_sweep,
+                "E9b[" + pname + "]: overrun magnitude sweep "
+                "(probability 0.2, 8 tasks, U = 0.85)",
+                "bench_e9b_" + pname + ".csv");
+    append_rows(combined.writer(), "B", policy, "overrun_mag", mag_sweep);
+    failures += mag_sweep.failures.size();
+    if (policy == sim::OverrunPolicy::kClampAtWcet) {
+      clamp_misses += bench::total_misses(mag_sweep);
+    }
+  }
+
+  // --- Part C: processor faults (stuck frequency + transition stalls) ----
+  cfg.containment = sim::OverrunPolicy::kNone;
+  const std::vector<double> stuck_probs =
+      opts.smoke ? std::vector<double>{0.0, 0.25}
+                 : std::vector<double>{0.0, 0.1, 0.25, 0.5};
+
+  util::TextTable table;
+  {
+    std::vector<std::string> header{"stuck_prob"};
+    for (const auto& g : cfg.governors) {
+      header.push_back(g + " energy");
+      header.push_back(g + " faults");
+    }
+    header.push_back("misses");
+    table.header(std::move(header));
+  }
+  for (const double stuck : stuck_probs) {
+    fault::FaultSpec spec;
+    spec.seed = 909;
+    spec.stuck_prob = stuck;
+    spec.stall_prob = 0.25;
+    spec.stall_time = 0.0005;  // 0.5 ms extra stall when injected
+
+    util::Rng rng(909);
+    const auto ts =
+        task::generate_task_set(bench::base_generator(8, 0.85, 0.1), rng);
+    exp::ExperimentConfig run_cfg = cfg;
+    run_cfg.processor = fault::faulty_processor(cfg.processor, spec);
+    const auto outcome =
+        exp::run_case({ts, task::uniform_model(909)}, run_cfg);
+
+    std::vector<std::string> row{util::format_double(stuck, 2)};
+    std::int64_t row_misses = 0;
+    for (const auto& name : cfg.governors) {
+      const auto& g = outcome.by_name(name);
+      row.push_back(util::format_double(g.normalized_energy, 4));
+      row.push_back(std::to_string(g.result.processor_faults));
+      row_misses += g.result.deadline_misses;
+      combined.writer().row(
+          {"C", "none", "stuck_prob", util::format_double(stuck, 6), name,
+           util::format_double(static_cast<double>(g.result.deadline_misses) /
+                                   static_cast<double>(std::max<std::int64_t>(
+                                       g.result.jobs_released, 1)),
+                               6),
+           "", util::format_double(g.normalized_energy, 6), "0"});
+    }
+    row.push_back(std::to_string(row_misses));
+    table.row(std::move(row));
+  }
+  std::cout << "== E9c: processor faults (stall_prob 0.25, stall 0.5 ms; "
+               "one 8-task set, U = 0.85; misses reported, not gated) ==\n";
+  table.render(std::cout);
+
+  // --- Verdict ------------------------------------------------------------
+  const bool ok = failures == 0 && clamp_misses == 0 && baseline_misses == 0;
+  std::cout << "  failed simulations: " << failures
+            << ", clamp_at_wcet misses: " << clamp_misses
+            << ", fault-free baseline misses: " << baseline_misses
+            << (ok ? "  [containment invariant holds]\n" : "  [VIOLATION]\n");
+  return ok ? 0 : 1;
+}

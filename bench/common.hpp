@@ -54,6 +54,42 @@ inline std::size_t parse_jobs(int argc, char** argv) {
   return jobs;
 }
 
+/// Options of the fault/robustness benches, a superset of parse_jobs:
+/// `--strict` turns failure isolation off (fail-fast on the first broken
+/// simulation), `--smoke` shrinks the grid for CI smoke runs.
+struct BenchOptions {
+  std::size_t jobs = 0;
+  bool strict = false;
+  bool smoke = false;
+};
+
+inline BenchOptions parse_bench_options(int argc, char** argv) {
+  BenchOptions opts;
+  if (const char* env = std::getenv("SLACKDVS_JOBS")) {
+    opts.jobs = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--jobs" && i + 1 < argc) {
+      opts.jobs =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (a == "--strict") {
+      opts.strict = true;
+    } else if (a == "--smoke") {
+      opts.smoke = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--jobs N] [--strict] [--smoke]\n"
+                << "  --jobs N   worker threads (0: one per hardware thread; "
+                   "1: serial; identical results for every N)\n"
+                << "  --strict   abort on the first failed simulation instead "
+                   "of isolating it\n"
+                << "  --smoke    tiny grid for CI smoke runs\n";
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
 /// Generator settings used across the random-task-set experiments: 5-ms
 /// period grid (finite hyperperiods), periods 10..160 ms.
 inline task::GeneratorConfig base_generator(std::size_t n_tasks, double u,

@@ -16,7 +16,12 @@ bool DraGovernor::before(const Entry& a, const Entry& b) noexcept {
 void DraGovernor::on_start(const sim::SimContext& ctx) {
   DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
              "DRA's canonical-schedule argument requires EDF dispatching");
-  eta_ = std::max(sched::minimum_constant_speed(ctx.task_set()), 1e-9);
+  // Best-effort degradation: an overloaded set has no feasible canonical
+  // speed (and minimum_constant_speed requires schedulability) — pin the
+  // canonical schedule to full speed and let misses be recorded.
+  eta_ = sched::edf_schedulable(ctx.task_set())
+             ? std::max(sched::minimum_constant_speed(ctx.task_set()), 1e-9)
+             : 1.0;
   queue_.clear();
   last_advance_ = ctx.now();
 }

@@ -10,7 +10,12 @@ namespace dvs::core {
 void StaticFpGovernor::on_start(const sim::SimContext& ctx) {
   DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kFixedPriority,
              "staticFP requires a fixed-priority simulation");
-  alpha_ = sched::minimum_constant_speed_fp(ctx.task_set());
+  // Best-effort degradation: with an overloaded (non-schedulable) set
+  // there is no feasible constant speed — run flat out instead of
+  // aborting mid-mission.
+  alpha_ = sched::fp_schedulable(ctx.task_set())
+               ? sched::minimum_constant_speed_fp(ctx.task_set())
+               : 1.0;
 }
 
 double StaticFpGovernor::select_speed(const sim::Job& /*running*/,

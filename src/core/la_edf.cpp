@@ -72,7 +72,12 @@ double LaEdfGovernor::select_speed(const sim::Job& running,
       // can be deferred.
       x = c_left[i];
     } else {
-      x = std::max(0.0, c_left[i] - (1.0 - u) * span);
+      // Overload guard: with U > 1 (overrun experiments) the available
+      // utilization 1 - u goes negative and the unclamped formula would
+      // inflate x beyond the remaining budget.  No capacity means nothing
+      // defers — x = c_left[i] — which is the U <= 1 formula's limit.
+      const double avail = std::max(0.0, 1.0 - u);
+      x = std::max(0.0, c_left[i] - avail * span);
       u += (c_left[i] - x) / span;
     }
     s += x;

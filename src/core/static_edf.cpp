@@ -8,7 +8,12 @@ namespace dvs::core {
 void StaticEdfGovernor::on_start(const sim::SimContext& ctx) {
   DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
              "staticEDF requires an EDF simulation (use staticFP instead)");
-  alpha_ = sched::minimum_constant_speed(ctx.task_set());
+  // Best-effort degradation: a non-schedulable (overloaded) set has no
+  // feasible constant speed, and minimum_constant_speed requires
+  // schedulability — run flat out instead of aborting mid-mission.
+  alpha_ = sched::edf_schedulable(ctx.task_set())
+               ? sched::minimum_constant_speed(ctx.task_set())
+               : 1.0;
 }
 
 double StaticEdfGovernor::select_speed(const sim::Job& /*running*/,

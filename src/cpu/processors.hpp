@@ -5,6 +5,8 @@
 // and what changing them costs (TransitionModel).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 #include "cpu/frequency.hpp"
@@ -13,11 +15,43 @@
 
 namespace dvs::cpu {
 
+/// Hardware-fault hook consulted by the simulator at every speed-switch
+/// attempt (fault/fault.hpp provides the stochastic implementation).
+/// `switch_index` counts switch attempts within one run, so deterministic
+/// (counter-hashed) implementations replay identically across thread
+/// counts.  Implementations must be stateless/const: one instance may be
+/// shared by concurrent simulations.
+class ProcessorFaultModel {
+ public:
+  virtual ~ProcessorFaultModel() = default;
+
+  /// The speed the hardware actually honors when switch attempt
+  /// `switch_index` requests `requested` while running at `from`.  Must
+  /// return a speed the processor offers; returning `from` models a
+  /// stuck-frequency fault (the request is silently ignored).
+  [[nodiscard]] virtual double honored_speed(std::int64_t switch_index,
+                                             double from,
+                                             double requested) const = 0;
+
+  /// Extra stall seconds injected on switch attempt `switch_index`
+  /// (on top of the TransitionModel's own cost); must be >= 0.
+  [[nodiscard]] virtual Time extra_stall(std::int64_t switch_index,
+                                         double from,
+                                         double requested) const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using ProcessorFaultModelPtr = std::shared_ptr<const ProcessorFaultModel>;
+
 struct Processor {
   std::string name = "ideal";
   FrequencyScale scale = FrequencyScale::continuous();
   PowerModelPtr power = cubic_power_model();
   TransitionModel transition = TransitionModel::none();
+  /// Optional hardware-fault hook; null (the default) means fault-free
+  /// hardware and keeps every fault-free code path byte-identical.
+  ProcessorFaultModelPtr faults;
 };
 
 /// Idealized continuously scalable CPU with P = alpha^3 and free

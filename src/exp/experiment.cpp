@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/registry.hpp"
+#include "fault/checked_governor.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -17,6 +18,7 @@ sim::SimOptions sim_options(const ExperimentConfig& cfg) {
   sim::SimOptions opts;
   opts.length = cfg.sim_length;
   opts.record_jobs = cfg.record_jobs;
+  opts.containment = cfg.containment;
   return opts;
 }
 
@@ -36,7 +38,12 @@ std::vector<std::string> governor_roster(const ExperimentConfig& cfg) {
 /// once the noDVS reference of the same case is available.
 GovernorOutcome simulate_governor(const std::string& name, const Case& c,
                                   const ExperimentConfig& cfg) {
-  auto governor = core::make_governor(name);
+  auto governor =
+      cfg.governor_factory ? cfg.governor_factory(name)
+                           : core::make_governor(name);
+  DVS_EXPECT(governor != nullptr,
+             "governor factory returned null for '" + name + "'");
+  if (cfg.check_governors) governor = fault::checked(std::move(governor));
   GovernorOutcome g;
   g.governor = governor->name();
   g.result = sim::simulate(c.task_set, *c.workload, cfg.processor, *governor,
@@ -45,16 +52,28 @@ GovernorOutcome simulate_governor(const std::string& name, const Case& c,
 }
 
 /// Fill in normalized_energy against outcomes.front() (the noDVS run),
-/// exactly as the legacy serial loop did.
+/// exactly as the legacy serial loop did.  Failed outcomes keep their
+/// placeholder value; a failed reference leaves the whole case
+/// unnormalized (there is no baseline to divide by).
 void normalize_case(CaseOutcome& out) {
   DVS_ENSURE(!out.outcomes.empty(), "case without outcomes");
+  if (out.outcomes.front().failed()) return;
   out.outcomes.front().normalized_energy = 1.0;
   const double ref_energy = out.outcomes.front().result.total_energy();
   for (std::size_t i = 1; i < out.outcomes.size(); ++i) {
     auto& g = out.outcomes[i];
+    if (g.failed()) continue;
     g.normalized_energy =
         ref_energy > 0.0 ? g.result.total_energy() / ref_energy : 1.0;
   }
+}
+
+/// Per-case deadline-miss ratio of one outcome.
+double miss_ratio_of(const sim::SimResult& r) {
+  return r.jobs_released > 0
+             ? static_cast<double>(r.deadline_misses) /
+                   static_cast<double>(r.jobs_released)
+             : 0.0;
 }
 
 /// Run `jobs(i)` for i in [0, n): serially when `workers` <= 1, otherwise
@@ -132,8 +151,17 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
   std::vector<GovernorOutcome> sims(n_sims);
   const std::size_t workers = util::ThreadPool::resolve_threads(cfg.n_threads);
   dispatch_indexed(workers, n_sims, [&](std::size_t i) {
-    sims[i] = simulate_governor(sweep.governors[i % n_govs],
-                                cases[i / n_govs], cfg);
+    const std::string& gov = sweep.governors[i % n_govs];
+    try {
+      sims[i] = simulate_governor(gov, cases[i / n_govs], cfg);
+    } catch (const std::exception& e) {
+      // Failure isolation: one crashing simulation must not take down the
+      // other (n_sims - 1) jobs.  The error is parked in its slot and
+      // attributed during the deterministic reassembly below.
+      if (cfg.fail_fast) throw;
+      sims[i].governor = gov;
+      sims[i].error = e.what();
+    }
   });
 
   // Deterministic reassembly: normalize and aggregate in the same
@@ -144,6 +172,7 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
     point.x = xs[xi];
     point.normalized_energy.assign(n_govs, {});
     point.speed_switches.assign(n_govs, {});
+    point.miss_ratio.assign(n_govs, {});
 
     for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
       const std::size_t ci = xi * cfg.replications + rep;
@@ -155,11 +184,23 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
       normalize_case(outcome);
       DVS_ENSURE(outcome.outcomes.size() == n_govs,
                  "sweep governor list mismatch");
+      const bool ref_failed = outcome.outcomes.front().failed();
       for (std::size_t g = 0; g < n_govs; ++g) {
-        point.normalized_energy[g].add(outcome.outcomes[g].normalized_energy);
-        point.speed_switches[g].add(static_cast<double>(
-            outcome.outcomes[g].result.speed_switches));
-        point.total_misses += outcome.outcomes[g].result.deadline_misses;
+        const GovernorOutcome& o = outcome.outcomes[g];
+        if (o.failed()) {
+          sweep.failures.push_back(
+              {xi, xs[xi], rep, sweep.governors[g], o.error});
+          continue;
+        }
+        // A failed noDVS reference leaves no normalization baseline: the
+        // whole case is excluded from the aggregates (failures above are
+        // still recorded), matching what a statistician would drop.
+        if (ref_failed) continue;
+        point.normalized_energy[g].add(o.normalized_energy);
+        point.speed_switches[g].add(
+            static_cast<double>(o.result.speed_switches));
+        point.miss_ratio[g].add(miss_ratio_of(o.result));
+        point.total_misses += o.result.deadline_misses;
       }
       if (cfg.keep_case_outcomes) point.cases.push_back(std::move(outcome));
     }

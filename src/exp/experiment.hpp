@@ -61,6 +61,21 @@ struct ExperimentConfig {
   /// Retain every CaseOutcome in PointResult::cases (memory per case);
   /// used by the determinism tests to compare per-case results.
   bool keep_case_outcomes = false;
+
+  /// Overrun containment applied to every simulation (fault experiments;
+  /// see sim::OverrunPolicy).
+  sim::OverrunPolicy containment = sim::OverrunPolicy::kNone;
+  /// Wrap every governor in fault::CheckedGovernor, turning out-of-range
+  /// speed requests into loud failures instead of silent clamps.
+  bool check_governors = false;
+  /// Rethrow the first simulation failure (deterministic: lowest
+  /// (point, replication, governor) index) instead of recording it in
+  /// SweepOutcome::failures.  Case-builder exceptions always propagate.
+  bool fail_fast = false;
+  /// Override governor construction (null: core::make_governor).  Lets
+  /// tests inject deliberately faulty governors; called concurrently, so
+  /// the factory must be thread-safe.
+  std::function<sim::GovernorPtr(const std::string&)> governor_factory;
 };
 
 /// Result of one governor on one case.
@@ -68,6 +83,10 @@ struct GovernorOutcome {
   std::string governor;
   sim::SimResult result;
   double normalized_energy = 1.0;  ///< total energy / noDVS total energy
+  /// Non-empty when the simulation threw instead of completing; `result`
+  /// and `normalized_energy` are then meaningless placeholders.
+  std::string error;
+  [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
 };
 
 /// All governors on one case (the noDVS reference is outcomes.front()).
@@ -81,15 +100,34 @@ struct PointResult {
   double x = 0.0;
   std::vector<util::RunningStats> normalized_energy;  ///< per governor
   std::vector<util::RunningStats> speed_switches;     ///< per governor
+  /// Per-governor deadline-miss ratio (misses / released) across cases.
+  std::vector<util::RunningStats> miss_ratio;
   std::int64_t total_misses = 0;  ///< across every governor and case
   /// Per-case outcomes, only when ExperimentConfig::keep_case_outcomes.
   std::vector<CaseOutcome> cases;
+};
+
+/// One simulation that threw instead of completing, attributed to its
+/// exact (point, replication, governor) coordinates.  Failure isolation:
+/// a failed non-reference simulation is excluded from its governor's
+/// aggregates only; a failed noDVS reference excludes the whole case (no
+/// normalization baseline).  The record list is deterministic — identical
+/// for every thread count.
+struct SimFailure {
+  std::size_t point_index = 0;
+  double x = 0.0;
+  std::size_t replication = 0;
+  std::string governor;
+  std::string message;
 };
 
 struct SweepOutcome {
   std::string x_label;
   std::vector<std::string> governors;
   std::vector<PointResult> points;
+  /// Failed simulations, in (point, replication, governor) order; empty on
+  /// clean runs.  See ExperimentConfig::fail_fast for the throwing mode.
+  std::vector<SimFailure> failures;
 
   // Execution metadata (measured, NOT part of the deterministic result —
   // excluded from golden files and determinism comparisons).

@@ -26,6 +26,15 @@ void print_sweep(std::ostream& out, const SweepOutcome& sweep,
   out << "  deadline misses across all runs: " << misses
       << (misses == 0 ? "  [hard real-time invariant holds]" : "  [VIOLATION]")
       << "\n";
+  if (!sweep.failures.empty()) {
+    out << "  FAILED simulations: " << sweep.failures.size()
+        << " (excluded from the aggregates above)\n";
+    for (const auto& f : sweep.failures) {
+      out << "    " << sweep.x_label << "=" << util::format_double(f.x, 3)
+          << " rep=" << f.replication << " governor=" << f.governor << ": "
+          << f.message << "\n";
+    }
+  }
   if (sweep.wall_seconds > 0.0 && sweep.simulations > 0) {
     out << "  wall-clock " << util::format_double(sweep.wall_seconds, 3)
         << " s | " << sweep.simulations << " simulations | "
@@ -71,11 +80,13 @@ void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
 
 void write_sweep_meta_csv(std::ostream& out, const SweepOutcome& sweep) {
   util::CsvWriter csv(out);
-  csv.row({"wall_seconds", "simulations", "sims_per_second", "threads"});
+  csv.row({"wall_seconds", "simulations", "sims_per_second", "threads",
+           "failures"});
   csv.row({util::format_double(sweep.wall_seconds, 6),
            std::to_string(sweep.simulations),
            util::format_double(sweep.throughput(), 2),
-           std::to_string(sweep.threads_used)});
+           std::to_string(sweep.threads_used),
+           std::to_string(sweep.failures.size())});
 }
 
 }  // namespace dvs::exp

@@ -1,0 +1,55 @@
+#include "fault/checked_governor.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::fault {
+namespace {
+/// Slightly above 1 so honest governors whose arithmetic lands at
+/// 1 + a few ulps are not flagged; real range bugs overshoot by far more.
+constexpr double kSpeedTol = 1e-9;
+}  // namespace
+
+CheckedGovernor::CheckedGovernor(sim::GovernorPtr inner)
+    : inner_(std::move(inner)) {
+  DVS_EXPECT(inner_ != nullptr, "CheckedGovernor requires a governor");
+}
+
+void CheckedGovernor::on_start(const sim::SimContext& ctx) {
+  inner_->on_start(ctx);
+}
+
+void CheckedGovernor::on_release(const sim::Job& job,
+                                 const sim::SimContext& ctx) {
+  inner_->on_release(job, ctx);
+}
+
+void CheckedGovernor::on_completion(const sim::Job& job,
+                                    const sim::SimContext& ctx) {
+  inner_->on_completion(job, ctx);
+}
+
+double CheckedGovernor::select_speed(const sim::Job& running,
+                                     const sim::SimContext& ctx) {
+  const double alpha = inner_->select_speed(running, ctx);
+  DVS_ENSURE(std::isfinite(alpha),
+             "governor '" + inner_->name() + "' returned a non-finite speed");
+  DVS_ENSURE(alpha > 0.0, "governor '" + inner_->name() +
+                              "' returned a non-positive speed " +
+                              util::format_double(alpha, 6));
+  DVS_ENSURE(alpha <= 1.0 + kSpeedTol,
+             "governor '" + inner_->name() + "' returned out-of-range speed " +
+                 util::format_double(alpha, 6));
+  return alpha;
+}
+
+std::string CheckedGovernor::name() const { return inner_->name(); }
+
+sim::GovernorPtr checked(sim::GovernorPtr inner) {
+  return std::make_unique<CheckedGovernor>(std::move(inner));
+}
+
+}  // namespace dvs::fault

@@ -1,0 +1,38 @@
+// Invariant-checking governor decorator.
+//
+// Wraps any Governor and verifies, at every scheduling point, that the
+// wrapped policy's speed request is finite, strictly positive and at most
+// 1 (+ a tiny tolerance for accumulated rounding).  The simulator itself
+// tolerates out-of-range requests by clamping (see Governor::select_speed);
+// this wrapper exists so tests and fault-injection benches can turn a
+// silent clamp into a loud InternalError — any governor whose slack math
+// goes negative or unbounded under overrun is a bug we want to see, not
+// paper over.
+//
+// name() forwards to the wrapped governor so reports, CSV columns and
+// registry lookups are unaffected by the wrapping.
+#pragma once
+
+#include "sim/governor.hpp"
+
+namespace dvs::fault {
+
+class CheckedGovernor final : public sim::Governor {
+ public:
+  explicit CheckedGovernor(sim::GovernorPtr inner);
+
+  void on_start(const sim::SimContext& ctx) override;
+  void on_release(const sim::Job& job, const sim::SimContext& ctx) override;
+  void on_completion(const sim::Job& job, const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  sim::GovernorPtr inner_;
+};
+
+/// Convenience factory: wrap `inner` in a CheckedGovernor.
+[[nodiscard]] sim::GovernorPtr checked(sim::GovernorPtr inner);
+
+}  // namespace dvs::fault

@@ -1,0 +1,159 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::fault {
+namespace {
+
+// Distinct salts keep the four fault channels statistically independent
+// even though they share one FaultSpec::seed.
+constexpr std::uint64_t kOverrunSalt = 0x6f76657272756e21ULL;   // "overrun!"
+constexpr std::uint64_t kJitterSalt = 0x6a69747465722121ULL;    // "jitter!!"
+constexpr std::uint64_t kJitterAmtSalt = 0x6a69747465724d41ULL; // "jitterMA"
+constexpr std::uint64_t kStuckSalt = 0x737475636b212121ULL;     // "stuck!!!"
+constexpr std::uint64_t kStallSalt = 0x7374616c6c212121ULL;     // "stall!!!"
+
+void expect_prob(double p, const char* what) {
+  DVS_EXPECT(std::isfinite(p) && p >= 0.0 && p <= 1.0,
+             std::string(what) + " must lie in [0, 1]");
+}
+
+void expect_nonneg(double v, const char* what) {
+  DVS_EXPECT(std::isfinite(v) && v >= 0.0,
+             std::string(what) + " must be finite and >= 0");
+}
+
+/// ExecutionTimeModel decorator injecting WCET overruns and (demand-folded)
+/// release jitter on top of a base model's draws.  Stateless counter
+/// hashing on (seed, task id, job index) preserves the common-random-
+/// numbers protocol: every governor and every thread count sees the same
+/// fault pattern.
+class FaultyExecutionTimeModel final : public task::ExecutionTimeModel {
+ public:
+  FaultyExecutionTimeModel(task::ExecutionTimeModelPtr base, FaultSpec spec)
+      : base_(std::move(base)), spec_(spec) {}
+
+  [[nodiscard]] Work draw(const task::Task& task,
+                          std::int64_t job_index) const override {
+    Work w = base_->draw(task, job_index);
+    const auto tid = static_cast<std::uint64_t>(task.id);
+    const auto jix = static_cast<std::uint64_t>(job_index);
+    if (spec_.overrun_prob > 0.0 &&
+        util::hash_unit(spec_.seed ^ kOverrunSalt, tid, jix) <
+            spec_.overrun_prob) {
+      // The documented overrun shape: demand = wcet * (1 + magnitude).
+      w = task.wcet * (1.0 + spec_.overrun_magnitude);
+    }
+    if (spec_.jitter_prob > 0.0 &&
+        util::hash_unit(spec_.seed ^ kJitterSalt, tid, jix) <
+            spec_.jitter_prob) {
+      // Release jitter J with a fixed absolute deadline is, in demand-bound
+      // terms, J extra work at unit speed (fault.hpp header comment).
+      w += spec_.jitter_time *
+           util::hash_unit(spec_.seed ^ kJitterAmtSalt, tid, jix);
+    }
+    return w;
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return base_->name() + "+faults";
+  }
+
+ private:
+  task::ExecutionTimeModelPtr base_;
+  FaultSpec spec_;
+};
+
+/// ProcessorFaultModel drawing stuck-frequency and extra-stall events from
+/// (seed, switch index) — one independent decision per switch attempt.
+class SpecProcessorFaults final : public cpu::ProcessorFaultModel {
+ public:
+  explicit SpecProcessorFaults(FaultSpec spec) : spec_(spec) {}
+
+  [[nodiscard]] double honored_speed(std::int64_t switch_index, double from,
+                                     double requested) const override {
+    const auto idx = static_cast<std::uint64_t>(switch_index);
+    if (spec_.stuck_prob > 0.0 &&
+        util::hash_unit(spec_.seed ^ kStuckSalt, idx) < spec_.stuck_prob) {
+      return from;  // stuck frequency: the request is silently ignored
+    }
+    return requested;
+  }
+
+  [[nodiscard]] Time extra_stall(std::int64_t switch_index, double /*from*/,
+                                 double /*requested*/) const override {
+    const auto idx = static_cast<std::uint64_t>(switch_index);
+    if (spec_.stall_prob > 0.0 &&
+        util::hash_unit(spec_.seed ^ kStallSalt, idx) < spec_.stall_prob) {
+      return spec_.stall_time;
+    }
+    return 0.0;
+  }
+
+  [[nodiscard]] std::string name() const override { return "spec-faults"; }
+
+ private:
+  FaultSpec spec_;
+};
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  expect_prob(overrun_prob, "overrun_prob");
+  expect_prob(jitter_prob, "jitter_prob");
+  expect_prob(stuck_prob, "stuck_prob");
+  expect_prob(stall_prob, "stall_prob");
+  expect_nonneg(overrun_magnitude, "overrun_magnitude");
+  expect_nonneg(jitter_time, "jitter_time");
+  expect_nonneg(stall_time, "stall_time");
+}
+
+task::ExecutionTimeModelPtr faulty_workload(task::ExecutionTimeModelPtr base,
+                                            const FaultSpec& spec) {
+  DVS_EXPECT(base != nullptr, "faulty_workload requires a base model");
+  spec.validate();
+  if (!spec.injects_workload_faults()) return base;  // pure pass-through
+  return std::make_shared<FaultyExecutionTimeModel>(std::move(base), spec);
+}
+
+cpu::Processor faulty_processor(const cpu::Processor& base,
+                                const FaultSpec& spec) {
+  spec.validate();
+  cpu::Processor out = base;
+  if (spec.injects_processor_faults()) {
+    out.name += "+faults";
+    out.faults = std::make_shared<SpecProcessorFaults>(spec);
+  }
+  return out;
+}
+
+sim::OverrunPolicy containment_by_name(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  if (n == "none") return sim::OverrunPolicy::kNone;
+  if (n == "clamp_at_wcet") return sim::OverrunPolicy::kClampAtWcet;
+  if (n == "escalate_to_max_speed") {
+    return sim::OverrunPolicy::kEscalateToMaxSpeed;
+  }
+  throw util::ContractError(
+      "unknown containment policy '" + name +
+      "' (expected none | clamp_at_wcet | escalate_to_max_speed)");
+}
+
+std::string containment_name(sim::OverrunPolicy policy) {
+  switch (policy) {
+    case sim::OverrunPolicy::kNone:
+      return "none";
+    case sim::OverrunPolicy::kClampAtWcet:
+      return "clamp_at_wcet";
+    case sim::OverrunPolicy::kEscalateToMaxSpeed:
+      return "escalate_to_max_speed";
+  }
+  throw util::InternalError("unhandled OverrunPolicy value");
+}
+
+}  // namespace dvs::fault

@@ -1,0 +1,94 @@
+// Fault injection for robustness experiments (DESIGN.md §7).
+//
+// The DATE 2002 argument — and every governor in src/core/ — assumes two
+// things reality routinely violates: actual execution time never exceeds
+// the WCET budget, and the processor always honors a speed request.  This
+// module makes both assumptions breakable on purpose, through two
+// decorators that slot into the existing simulation interfaces:
+//
+//  * faulty_workload() wraps an ExecutionTimeModel and injects
+//      - WCET overruns: with probability `overrun_prob` per job, the job's
+//        demand becomes wcet * (1 + overrun_magnitude);
+//      - release jitter: with probability `jitter_prob` per job, up to
+//        `jitter_time` seconds of extra demand.  A job released J seconds
+//        late with an unchanged absolute deadline loses exactly J seconds
+//        of window, which in demand-bound terms equals J extra units of
+//        work at full speed — so jitter is folded into the execution-time
+//        channel (the standard transformation; recorded in DESIGN.md §7).
+//  * faulty_processor() wraps a cpu::Processor and injects
+//      - stuck-frequency faults: with probability `stuck_prob` per switch
+//        attempt, the hardware ignores the request and stays at the
+//        current operating point;
+//      - transition stalls: with probability `stall_prob` per switch, an
+//        extra `stall_time` seconds of stall on top of the transition
+//        model's own cost.
+//
+// Determinism contract: every draw is a stateless counter hash —
+// (seed, task id, job index) for the workload channel, (seed, switch
+// index) for the processor channel — so fault patterns replay identically
+// for every governor and every thread count, exactly like the
+// common-random-numbers protocol of the workload models (util/rng.hpp).
+//
+// What happens when an injected overrun meets the simulator is governed by
+// sim::OverrunPolicy (SimOptions::containment); see sim/simulator.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cpu/processors.hpp"
+#include "sim/simulator.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::fault {
+
+/// Knobs of one fault scenario.  All probabilities are per-event
+/// (per job for the workload channel, per switch attempt for the
+/// processor channel) and must lie in [0, 1]; magnitudes must be >= 0.
+struct FaultSpec {
+  std::uint64_t seed = 0;  ///< fault stream seed (independent of workload)
+
+  // --- execution-time channel (faulty_workload) -------------------------
+  double overrun_prob = 0.0;       ///< P(job demand exceeds its WCET)
+  double overrun_magnitude = 0.0;  ///< overrun demand = wcet * (1 + this)
+  double jitter_prob = 0.0;        ///< P(release jitter hits a job)
+  Time jitter_time = 0.0;          ///< max jitter, folded as extra demand
+
+  // --- processor channel (faulty_processor) -----------------------------
+  double stuck_prob = 0.0;  ///< P(speed request is ignored per switch)
+  double stall_prob = 0.0;  ///< P(extra stall per honored switch)
+  Time stall_time = 0.0;    ///< extra stall seconds when injected
+
+  [[nodiscard]] bool injects_workload_faults() const noexcept {
+    return overrun_prob > 0.0 || jitter_prob > 0.0;
+  }
+  [[nodiscard]] bool injects_processor_faults() const noexcept {
+    return stuck_prob > 0.0 || stall_prob > 0.0;
+  }
+
+  /// Throws ContractError when any knob is outside its documented range.
+  void validate() const;
+};
+
+/// Decorate `base` with the spec's execution-time faults.  The result
+/// keeps base's determinism contract; with a spec that injects nothing it
+/// is a pure pass-through.  Overrunning draws exceed task.wcet — pick a
+/// sim::OverrunPolicy to decide what the simulator does about it.
+[[nodiscard]] task::ExecutionTimeModelPtr faulty_workload(
+    task::ExecutionTimeModelPtr base, const FaultSpec& spec);
+
+/// Copy of `base` whose `faults` hook injects the spec's stuck-frequency
+/// and transition-stall faults (consulted by the simulator at every speed
+/// switch attempt; see cpu::ProcessorFaultModel).
+[[nodiscard]] cpu::Processor faulty_processor(const cpu::Processor& base,
+                                              const FaultSpec& spec);
+
+/// Parse a containment policy name: "none" | "clamp_at_wcet" |
+/// "escalate_to_max_speed" (case-insensitive); throws ContractError on
+/// unknown names.
+[[nodiscard]] sim::OverrunPolicy containment_by_name(const std::string& name);
+
+/// Canonical name of a containment policy (inverse of containment_by_name).
+[[nodiscard]] std::string containment_name(sim::OverrunPolicy policy);
+
+}  // namespace dvs::fault

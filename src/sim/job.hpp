@@ -18,6 +18,8 @@ struct Job {
   Work executed = 0.0;          ///< work retired so far
   Time completion = -1.0;       ///< set when the job finishes
   bool missed = false;
+  bool overrun = false;         ///< drawn demand exceeded the WCET budget
+  bool escalated = false;       ///< overrun containment forced max speed
 
   /// Remaining worst-case budget — the only remaining-work figure a
   /// governor is allowed to use.

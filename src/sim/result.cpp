@@ -14,6 +14,11 @@ std::string SimResult::summary() const {
                   std::to_string(deadline_misses) + ", switches " +
                   std::to_string(speed_switches) + ", avg speed " +
                   util::format_double(average_speed, 3);
+  if (jobs_overrun > 0 || processor_faults > 0) {
+    s += ", overruns " + std::to_string(jobs_overrun) + " (contained " +
+         std::to_string(overruns_contained) + "), hw faults " +
+         std::to_string(processor_faults);
+  }
   return s;
 }
 

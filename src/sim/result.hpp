@@ -51,6 +51,16 @@ struct SimResult {
   /// Number of speed changes between consecutive execution segments.
   std::int64_t speed_switches = 0;
 
+  // Fault / containment accounting (all zero on fault-free runs).
+  /// Jobs whose drawn demand exceeded their WCET budget.
+  std::int64_t jobs_overrun = 0;
+  /// Containment actions taken: demand clamps (kClampAtWcet) or
+  /// max-speed escalations (kEscalateToMaxSpeed).
+  std::int64_t overruns_contained = 0;
+  /// Injected hardware faults observed: stuck-frequency events plus
+  /// extra transition stalls (see cpu::ProcessorFaultModel).
+  std::int64_t processor_faults = 0;
+
   /// Work-weighted average executed speed in (0, 1].
   double average_speed = 1.0;
 

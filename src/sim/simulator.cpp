@@ -51,7 +51,7 @@ class SimEngine final : public SimContext {
         continue;
       }
       Job& job = jobs_[ready_.top().slot];
-      const double alpha = decide_speed(job);
+      double alpha = decide_speed(job);
       if (!apply_transition(alpha)) continue;  // arrivals during stall
       if (t_ >= length_ - kTimeEps) break;
       execute(job, alpha);
@@ -104,9 +104,20 @@ class SimEngine final : public SimContext {
         job.abs_deadline = job.release + task.deadline;
         job.wcet = task.wcet;
         job.actual = workload_.draw(task, job.index);
-        DVS_ENSURE(job.actual > 0.0 && job.actual <= job.wcet + kTimeEps,
-                   "workload model returned work outside (0, wcet]");
-        job.actual = std::min(job.actual, job.wcet);
+        DVS_ENSURE(std::isfinite(job.actual) && job.actual > 0.0,
+                   "workload model returned non-positive or non-finite work");
+        if (job.actual > job.wcet + kTimeEps) {
+          // WCET overrun (fault-injecting workloads only; every model in
+          // task/workload.hpp stays within the budget).
+          job.overrun = true;
+          ++overruns_;
+          if (opts_.containment == OverrunPolicy::kClampAtWcet) {
+            job.actual = job.wcet;  // budget enforcement at release
+            ++contained_;
+          }
+        } else {
+          job.actual = std::min(job.actual, job.wcet);
+        }
         const std::size_t slot = jobs_.size();
         jobs_.push_back(job);
         // The queue key encodes dispatch priority: the absolute deadline
@@ -150,8 +161,20 @@ class SimEngine final : public SimContext {
     return t_ < length_ - kTimeEps;
   }
 
-  /// Ask the governor for a speed and quantize it to the hardware.
-  double decide_speed(const Job& job) {
+  /// Ask the governor for a speed and quantize it to the hardware.  Under
+  /// kEscalateToMaxSpeed containment, a job that has exhausted its WCET
+  /// budget without completing (a detected overrun — real kernels see the
+  /// enforcement timer fire) bypasses the governor and runs at max speed.
+  double decide_speed(Job& job) {
+    if (opts_.containment == OverrunPolicy::kEscalateToMaxSpeed &&
+        job.executed >= job.wcet - kTimeEps &&
+        job.remaining_actual() > kTimeEps) {
+      if (!job.escalated) {
+        job.escalated = true;
+        ++contained_;
+      }
+      return 1.0;
+    }
     double req = governor_.select_speed(job, *this);
     DVS_ENSURE(std::isfinite(req) && req > 0.0,
                "governor '" + governor_.name() +
@@ -160,25 +183,49 @@ class SimEngine final : public SimContext {
     return proc_.scale.quantize_up(req);
   }
 
-  /// Charge the speed-switch cost when the operating point changes.
-  /// Returns false when releases arrived during the stall (the caller must
-  /// re-dispatch); otherwise the engine is committed to `alpha`.
-  bool apply_transition(double alpha) {
+  /// Charge the speed-switch cost when the operating point changes.  With
+  /// a ProcessorFaultModel attached, the request may be downgraded to the
+  /// speed the (faulty) hardware actually honors — `alpha` is updated in
+  /// place so the caller executes at the real speed.  Returns false when
+  /// releases arrived during the stall (the caller must re-dispatch);
+  /// otherwise the engine is committed to `alpha`.
+  bool apply_transition(double& alpha) {
     if (last_alpha_ <= 0.0) {  // first execution segment: free setup
       last_alpha_ = alpha;
       return true;
     }
     if (std::fabs(alpha - last_alpha_) <= kAlphaTol) return true;
 
+    Time fault_stall = 0.0;
+    if (proc_.faults != nullptr) {
+      const std::int64_t idx = switch_attempts_++;
+      const double honored =
+          proc_.faults->honored_speed(idx, last_alpha_, alpha);
+      DVS_ENSURE(std::isfinite(honored) && honored > 0.0,
+                 "processor fault model returned an invalid speed");
+      if (std::fabs(honored - alpha) > kAlphaTol) {
+        ++hw_faults_;  // stuck frequency: the request was ignored
+        alpha = honored;
+        if (std::fabs(alpha - last_alpha_) <= kAlphaTol) return true;
+      }
+      fault_stall = proc_.faults->extra_stall(idx, last_alpha_, alpha);
+      DVS_ENSURE(fault_stall >= 0.0, "negative injected stall");
+      if (fault_stall > 0.0) ++hw_faults_;
+    }
+
     ++switches_;
     const double from = last_alpha_;
     last_alpha_ = alpha;
-    if (proc_.transition.is_free()) return true;
+    if (proc_.transition.is_free() && fault_stall <= 0.0) return true;
 
-    const Time dsw =
-        std::min(proc_.transition.switch_time(from, alpha), length_ - t_);
+    const Time base_stall =
+        proc_.transition.is_free() ? 0.0
+                                   : proc_.transition.switch_time(from, alpha);
+    const Time dsw = std::min(base_stall + fault_stall, length_ - t_);
     const double esw =
-        proc_.transition.switch_energy(*proc_.power, from, alpha);
+        proc_.transition.is_free()
+            ? 0.0
+            : proc_.transition.switch_energy(*proc_.power, from, alpha);
     meter_.add_transition(dsw, esw);
     if (dsw <= 0.0) return true;
     if (opts_.trace != nullptr) {
@@ -212,7 +259,16 @@ class SimEngine final : public SimContext {
         t_rel = std::min(t_rel, next_release_[i]);
       }
     }
-    const Time t_next = std::min({t_fin, t_rel, length_});
+    // Budget-exhaustion timer: under kEscalateToMaxSpeed, a job that will
+    // overrun must stop at the instant its executed work reaches the WCET
+    // so the next dispatch escalates it (see decide_speed).
+    Time t_budget = kInf;
+    if (opts_.containment == OverrunPolicy::kEscalateToMaxSpeed &&
+        !job.escalated && job.actual > job.wcet + kTimeEps &&
+        job.executed < job.wcet - kTimeEps) {
+      t_budget = t_ + (job.wcet - job.executed) / alpha;
+    }
+    const Time t_next = std::min({t_fin, t_rel, t_budget, length_});
     DVS_ENSURE(t_next > t_, "simulation failed to make progress");
 
     const Time dt = t_next - t_;
@@ -285,6 +341,9 @@ class SimEngine final : public SimContext {
     r.deadline_misses = misses_;
     r.jobs_truncated = truncated;
     r.speed_switches = switches_;
+    r.jobs_overrun = overruns_;
+    r.overruns_contained = contained_;
+    r.processor_faults = hw_faults_;
     r.average_speed =
         meter_.busy_time() > 0.0 ? retired_work_ / meter_.busy_time() : 1.0;
     r.per_task_energy = meter_.per_task_energy();
@@ -322,6 +381,10 @@ class SimEngine final : public SimContext {
   std::int64_t completed_ = 0;
   std::int64_t misses_ = 0;
   std::int64_t switches_ = 0;
+  std::int64_t overruns_ = 0;        ///< jobs whose demand exceeded WCET
+  std::int64_t contained_ = 0;       ///< clamp/escalate actions taken
+  std::int64_t hw_faults_ = 0;       ///< injected processor faults observed
+  std::int64_t switch_attempts_ = 0; ///< fault-model index (incl. ignored)
 };
 
 }  // namespace

@@ -24,6 +24,22 @@
 
 namespace dvs::sim {
 
+/// What the simulator does when a job's actual demand exceeds its WCET
+/// budget (possible only with an overrun-injecting workload model, e.g.
+/// fault::faulty_workload):
+///  * kNone               — no enforcement: the job simply keeps executing
+///                          past its budget at the governor-chosen speed
+///                          (governors see remaining_wcet() == 0; the
+///                          overrun is still counted);
+///  * kClampAtWcet        — budget enforcement at release: the demand is
+///                          clamped to the WCET, modeling an RTOS that
+///                          aborts a job at budget exhaustion;
+///  * kEscalateToMaxSpeed — a budget-exhaustion timer: the moment a job's
+///                          executed work reaches its WCET, the remainder
+///                          runs at maximum speed, bypassing the governor
+///                          (best-effort damage limitation).
+enum class OverrunPolicy { kNone, kClampAtWcet, kEscalateToMaxSpeed };
+
 struct SimOptions {
   /// Simulated length in seconds; negative selects
   /// TaskSet::default_sim_length().
@@ -41,6 +57,11 @@ struct SimOptions {
 
   /// Optional trace sink; pass a VectorTrace to collect segments.
   TraceRecorder* trace = nullptr;
+
+  /// Overrun containment (see OverrunPolicy).  With kNone and a workload
+  /// model that never exceeds the WCET — every model in task/workload.hpp —
+  /// behavior is exactly the pre-fault-injection simulator.
+  OverrunPolicy containment = OverrunPolicy::kNone;
 };
 
 /// Run one simulation.  Throws ContractError for invalid inputs (empty or

@@ -24,8 +24,14 @@ std::vector<double> uunifast(std::size_t n, double total_u, util::Rng& rng) {
 TaskSet generate_task_set(const GeneratorConfig& cfg, util::Rng& rng,
                           const std::string& name) {
   DVS_EXPECT(cfg.n_tasks >= 1, "need at least one task");
-  DVS_EXPECT(cfg.total_utilization > 0.0 && cfg.total_utilization <= 1.0,
-             "total utilization must be in (0, 1] for EDF feasibility");
+  DVS_EXPECT(cfg.total_utilization > 0.0,
+             "total utilization must be positive");
+  DVS_EXPECT(cfg.allow_overload || cfg.total_utilization <= 1.0,
+             "total utilization must be in (0, 1] for EDF feasibility "
+             "(set allow_overload for deliberate overload experiments)");
+  DVS_EXPECT(cfg.total_utilization <=
+                 static_cast<double>(cfg.n_tasks) * cfg.max_task_utilization,
+             "total utilization exceeds n_tasks * max_task_utilization");
   DVS_EXPECT(cfg.period_min > 0.0 && cfg.period_min <= cfg.period_max,
              "need 0 < period_min <= period_max");
   DVS_EXPECT(cfg.bcet_ratio > 0.0 && cfg.bcet_ratio <= 1.0,

@@ -33,6 +33,11 @@ struct GeneratorConfig {
   /// Reject tasks whose utilization exceeds this (UUniFast can emit large
   /// individual shares at high total U).
   double max_task_utilization = 1.0;
+  /// Permit total_utilization > 1 (overloaded sets for robustness tests;
+  /// deadline misses are then expected).  Off by default: accidentally
+  /// requesting an infeasible set should stay an error.  Individual tasks
+  /// are still capped at utilization 1 (WCET must fit the deadline).
+  bool allow_overload = false;
 };
 
 /// Generate one random task set.  Throws ContractError on bad config.

@@ -1,7 +1,9 @@
 #include "task/io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "util/error.hpp"
@@ -10,11 +12,18 @@
 namespace dvs::task {
 namespace {
 
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t");
+  if (first == std::string::npos) return "";
+  const auto last = s.find_last_not_of(" \t");
+  return s.substr(first, last - first + 1);
+}
+
 std::vector<std::string> split_csv_row(const std::string& line) {
   std::vector<std::string> fields;
   std::string field;
   std::istringstream in(line);
-  while (std::getline(in, field, ',')) fields.push_back(field);
+  while (std::getline(in, field, ',')) fields.push_back(trim(field));
   if (!line.empty() && line.back() == ',') fields.emplace_back();
   return fields;
 }
@@ -22,16 +31,21 @@ std::vector<std::string> split_csv_row(const std::string& line) {
 double parse_time(const std::string& field, double fallback,
                   std::size_t line_no, const char* what) {
   if (field.empty()) return fallback;
+  double v = 0.0;
   try {
     std::size_t pos = 0;
-    const double v = std::stod(field, &pos);
+    v = std::stod(field, &pos);
     DVS_EXPECT(pos == field.size(), "trailing junk");
-    return v;
   } catch (const std::exception&) {
     DVS_EXPECT(false, "task CSV line " + std::to_string(line_no) +
                           ": malformed " + what + " '" + field + "'");
-    return 0.0;  // unreachable
   }
+  // "nan"/"inf" parse fine but poison every downstream time comparison;
+  // reject them here with the line number instead of deep in validate().
+  DVS_EXPECT(std::isfinite(v), "task CSV line " + std::to_string(line_no) +
+                                   ": non-finite " + what + " '" + field +
+                                   "'");
+  return v;
 }
 
 }  // namespace
@@ -41,6 +55,7 @@ TaskSet load_task_set_csv(std::istream& in, const std::string& name) {
   std::string line;
   std::size_t line_no = 0;
   bool header_seen = false;
+  std::unordered_set<std::string> seen_names;
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
@@ -61,6 +76,9 @@ TaskSet load_task_set_csv(std::istream& in, const std::string& name) {
     t.name = fields[0];
     DVS_EXPECT(!t.name.empty(), "task CSV line " + std::to_string(line_no) +
                                     ": empty task name");
+    DVS_EXPECT(seen_names.insert(t.name).second,
+               "task CSV line " + std::to_string(line_no) +
+                   ": duplicate task name '" + t.name + "'");
     t.period = parse_time(fields[1], -1.0, line_no, "period");
     t.deadline = parse_time(fields[2], t.period, line_no, "deadline");
     t.wcet = parse_time(fields[3], -1.0, line_no, "wcet");

@@ -1,0 +1,286 @@
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/no_dvs.hpp"
+#include "fault/checked_governor.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::fault {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using util::ContractError;
+using util::InternalError;
+
+/// Test governor: always requests a fixed speed.
+class FixedSpeedGovernor final : public sim::Governor {
+ public:
+  explicit FixedSpeedGovernor(double alpha) : alpha_(alpha) {}
+  double select_speed(const sim::Job&, const sim::SimContext&) override {
+    return alpha_;
+  }
+  std::string name() const override { return "fixed"; }
+
+ private:
+  double alpha_;
+};
+
+/// Test governor: alternates between two speeds on every decision.
+class AlternatingGovernor final : public sim::Governor {
+ public:
+  double select_speed(const sim::Job&, const sim::SimContext&) override {
+    flip_ = !flip_;
+    return flip_ ? 1.0 : 0.5;
+  }
+  std::string name() const override { return "alternating"; }
+
+ private:
+  bool flip_ = false;
+};
+
+TaskSet one_task() {
+  TaskSet ts("one");
+  ts.add(make_task(0, "a", 10.0, 2.0, 0.5));
+  return ts;
+}
+
+sim::SimResult run(const TaskSet& ts, const task::ExecutionTimeModel& wl,
+                   const cpu::Processor& proc, sim::Governor& g,
+                   sim::OverrunPolicy policy) {
+  sim::SimOptions opts;
+  opts.length = 40.0;
+  opts.containment = policy;
+  return sim::simulate(ts, wl, proc, g, opts);
+}
+
+TEST(FaultSpec, ValidatesKnobRanges) {
+  EXPECT_NO_THROW(FaultSpec{}.validate());
+  FaultSpec ok;
+  ok.overrun_prob = 1.0;
+  ok.overrun_magnitude = 2.5;
+  ok.stall_time = 0.1;
+  EXPECT_NO_THROW(ok.validate());
+
+  FaultSpec bad_prob;
+  bad_prob.overrun_prob = 1.5;
+  EXPECT_THROW(bad_prob.validate(), ContractError);
+  bad_prob.overrun_prob = -0.1;
+  EXPECT_THROW(bad_prob.validate(), ContractError);
+
+  FaultSpec bad_mag;
+  bad_mag.overrun_magnitude = -1.0;
+  EXPECT_THROW(bad_mag.validate(), ContractError);
+
+  FaultSpec bad_stall;
+  bad_stall.stall_time = std::nan("");
+  EXPECT_THROW(bad_stall.validate(), ContractError);
+}
+
+TEST(FaultyWorkload, NoFaultsIsPassThrough) {
+  auto base = task::constant_ratio_model(0.7);
+  FaultSpec spec;
+  spec.stuck_prob = 1.0;  // processor-channel knobs must not matter here
+  EXPECT_EQ(faulty_workload(base, spec).get(), base.get());
+}
+
+TEST(FaultyWorkload, OverrunDrawsAreDeterministicAndShaped) {
+  const TaskSet ts = one_task();
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.overrun_prob = 0.5;
+  spec.overrun_magnitude = 0.25;
+  auto a = faulty_workload(task::constant_ratio_model(1.0), spec);
+  auto b = faulty_workload(task::constant_ratio_model(1.0), spec);
+
+  int overruns = 0;
+  for (std::int64_t j = 0; j < 400; ++j) {
+    const Work wa = a->draw(ts[0], j);
+    EXPECT_DOUBLE_EQ(wa, b->draw(ts[0], j));  // stateless counter hashing
+    if (wa > ts[0].wcet) {
+      EXPECT_DOUBLE_EQ(wa, ts[0].wcet * 1.25);  // documented overrun shape
+      ++overruns;
+    }
+  }
+  // ~Binomial(400, 0.5); 140..260 is > 6 sigma.
+  EXPECT_GT(overruns, 140);
+  EXPECT_LT(overruns, 260);
+}
+
+TEST(FaultyWorkload, JitterFoldsIntoExtraDemand) {
+  const TaskSet ts = one_task();
+  FaultSpec spec;
+  spec.seed = 11;
+  spec.jitter_prob = 1.0;
+  spec.jitter_time = 0.5;
+  auto wl = faulty_workload(task::constant_ratio_model(1.0), spec);
+  for (std::int64_t j = 0; j < 50; ++j) {
+    const Work w = wl->draw(ts[0], j);
+    EXPECT_GE(w, ts[0].wcet);
+    EXPECT_LE(w, ts[0].wcet + 0.5);
+  }
+}
+
+TEST(Containment, NoneCountsOverrunsAndRunsPastBudget) {
+  const TaskSet ts = one_task();
+  FaultSpec spec;
+  spec.overrun_prob = 1.0;
+  spec.overrun_magnitude = 0.5;  // actual = 3.0 against wcet = 2.0
+  auto wl = faulty_workload(task::constant_ratio_model(1.0), spec);
+  core::NoDvsGovernor g;
+  const auto r = run(ts, *wl, cpu::ideal_processor(), g,
+                     sim::OverrunPolicy::kNone);
+  EXPECT_EQ(r.jobs_released, 4);
+  EXPECT_EQ(r.jobs_overrun, 4);
+  EXPECT_EQ(r.overruns_contained, 0);
+  EXPECT_NEAR(r.busy_time, 12.0, 1e-9);  // 4 jobs x 3.0 work at full speed
+  EXPECT_EQ(r.deadline_misses, 0);       // 3.0 < period 10: still feasible
+}
+
+TEST(Containment, ClampAtWcetRestoresTheFaultFreeRun) {
+  const TaskSet ts = one_task();
+  auto clean = task::constant_ratio_model(1.0);
+  FaultSpec spec;
+  spec.overrun_prob = 1.0;
+  spec.overrun_magnitude = 0.5;
+  auto wl = faulty_workload(clean, spec);
+
+  core::NoDvsGovernor g1;
+  const auto baseline = run(ts, *clean, cpu::ideal_processor(), g1,
+                            sim::OverrunPolicy::kNone);
+  core::NoDvsGovernor g2;
+  const auto clamped = run(ts, *wl, cpu::ideal_processor(), g2,
+                           sim::OverrunPolicy::kClampAtWcet);
+
+  EXPECT_EQ(clamped.jobs_overrun, 4);
+  EXPECT_EQ(clamped.overruns_contained, 4);
+  // Budget enforcement makes the faulty run numerically identical to the
+  // fault-free one.
+  EXPECT_DOUBLE_EQ(clamped.busy_time, baseline.busy_time);
+  EXPECT_DOUBLE_EQ(clamped.total_energy(), baseline.total_energy());
+  EXPECT_EQ(clamped.deadline_misses, 0);
+}
+
+TEST(Containment, EscalateRunsTheOverrunTailAtMaxSpeed) {
+  const TaskSet ts = one_task();
+  FaultSpec spec;
+  spec.overrun_prob = 1.0;
+  spec.overrun_magnitude = 0.5;  // actual = 3.0
+  auto wl = faulty_workload(task::constant_ratio_model(1.0), spec);
+
+  FixedSpeedGovernor slow(0.5);
+  const auto r = run(ts, *wl, cpu::ideal_processor(), slow,
+                     sim::OverrunPolicy::kEscalateToMaxSpeed);
+  EXPECT_EQ(r.jobs_overrun, 4);
+  EXPECT_EQ(r.overruns_contained, 4);
+  // Per job: 2.0 budget at 0.5 (4 s) + 1.0 overrun tail at 1.0 (1 s).
+  EXPECT_NEAR(r.busy_time, 20.0, 1e-9);
+  EXPECT_EQ(r.deadline_misses, 0);
+
+  FixedSpeedGovernor slow2(0.5);
+  const auto uncontained = run(ts, *wl, cpu::ideal_processor(), slow2,
+                               sim::OverrunPolicy::kNone);
+  // Without escalation the whole 3.0 runs at 0.5: 6 s per job.
+  EXPECT_NEAR(uncontained.busy_time, 24.0, 1e-9);
+  EXPECT_EQ(uncontained.overruns_contained, 0);
+}
+
+TEST(ProcessorFaults, StuckFrequencyIgnoresEveryRequest) {
+  const TaskSet ts = one_task();
+  auto wl = task::constant_ratio_model(1.0);
+  FaultSpec spec;
+  spec.stuck_prob = 1.0;
+  const cpu::Processor proc = faulty_processor(cpu::ideal_processor(), spec);
+  EXPECT_NE(proc.faults, nullptr);
+  EXPECT_NE(proc.name.find("+faults"), std::string::npos);
+
+  AlternatingGovernor g;
+  const auto r = run(ts, *wl, proc, g, sim::OverrunPolicy::kNone);
+  // The first segment pins the operating point; every later change request
+  // is swallowed by the stuck-frequency fault.
+  EXPECT_EQ(r.speed_switches, 0);
+  EXPECT_GT(r.processor_faults, 0);
+}
+
+TEST(ProcessorFaults, ExtraStallsAreChargedAndCounted) {
+  const TaskSet ts = one_task();
+  auto wl = task::constant_ratio_model(1.0);
+  FaultSpec spec;
+  spec.stall_prob = 1.0;
+  spec.stall_time = 0.01;
+  const cpu::Processor proc = faulty_processor(cpu::ideal_processor(), spec);
+
+  AlternatingGovernor g;
+  const auto r = run(ts, *wl, proc, g, sim::OverrunPolicy::kNone);
+  // Jobs alternate 1.0 / 0.5: three speed changes across four jobs, each
+  // with an injected 10 ms stall (the ideal processor's own cost is zero).
+  EXPECT_EQ(r.speed_switches, 3);
+  EXPECT_EQ(r.processor_faults, 3);
+  EXPECT_NEAR(r.transition_time, 0.03, 1e-9);
+  EXPECT_EQ(r.deadline_misses, 0);
+}
+
+TEST(ProcessorFaults, NoFaultsLeavesProcessorUntouched) {
+  FaultSpec spec;
+  spec.overrun_prob = 1.0;  // workload-channel knobs must not matter here
+  const cpu::Processor proc = faulty_processor(cpu::ideal_processor(), spec);
+  EXPECT_EQ(proc.faults, nullptr);
+  EXPECT_EQ(proc.name, "ideal");
+}
+
+TEST(CheckedGovernor, ForwardsCleanGovernorsUnchanged) {
+  const TaskSet ts = one_task();
+  auto wl = task::constant_ratio_model(1.0);
+  core::NoDvsGovernor plain;
+  auto wrapped = checked(std::make_unique<core::NoDvsGovernor>());
+  EXPECT_EQ(wrapped->name(), plain.name());
+
+  const auto a =
+      run(ts, *wl, cpu::ideal_processor(), plain, sim::OverrunPolicy::kNone);
+  const auto b =
+      run(ts, *wl, cpu::ideal_processor(), *wrapped, sim::OverrunPolicy::kNone);
+  EXPECT_DOUBLE_EQ(a.total_energy(), b.total_energy());
+  EXPECT_EQ(a.speed_switches, b.speed_switches);
+}
+
+TEST(CheckedGovernor, ThrowsOnOutOfRangeSpeeds) {
+  const TaskSet ts = one_task();
+  auto wl = task::constant_ratio_model(1.0);
+  {
+    auto too_fast = checked(std::make_unique<FixedSpeedGovernor>(1.5));
+    EXPECT_THROW((void)run(ts, *wl, cpu::ideal_processor(), *too_fast,
+                           sim::OverrunPolicy::kNone),
+                 InternalError);
+  }
+  {
+    auto negative = checked(std::make_unique<FixedSpeedGovernor>(-0.25));
+    EXPECT_THROW((void)run(ts, *wl, cpu::ideal_processor(), *negative,
+                           sim::OverrunPolicy::kNone),
+                 InternalError);
+  }
+  {
+    auto nan_speed =
+        checked(std::make_unique<FixedSpeedGovernor>(std::nan("")));
+    EXPECT_THROW((void)run(ts, *wl, cpu::ideal_processor(), *nan_speed,
+                           sim::OverrunPolicy::kNone),
+                 InternalError);
+  }
+}
+
+TEST(ContainmentNames, RoundTripAndRejectUnknown) {
+  for (const auto policy :
+       {sim::OverrunPolicy::kNone, sim::OverrunPolicy::kClampAtWcet,
+        sim::OverrunPolicy::kEscalateToMaxSpeed}) {
+    EXPECT_EQ(containment_by_name(containment_name(policy)), policy);
+  }
+  EXPECT_EQ(containment_by_name("CLAMP_AT_WCET"),
+            sim::OverrunPolicy::kClampAtWcet);  // case-insensitive
+  EXPECT_THROW((void)containment_by_name("abort"), ContractError);
+}
+
+}  // namespace
+}  // namespace dvs::fault

@@ -9,14 +9,17 @@
 
 #include <gtest/gtest.h>
 
+#include "core/registry.hpp"
 #include "task/generator.hpp"
 #include "task/workload.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace dvs::exp {
 namespace {
 
-Case e1_style_case(double u, std::uint64_t seed) {
+Case e1_style_case(double u, std::uint64_t seed,
+                   const std::string& name = "random") {
   task::GeneratorConfig gen;
   gen.n_tasks = 4;
   gen.total_utilization = u;
@@ -24,7 +27,7 @@ Case e1_style_case(double u, std::uint64_t seed) {
   gen.period_max = 0.1;
   gen.bcet_ratio = 0.1;
   util::Rng rng(seed);
-  return {task::generate_task_set(gen, rng), task::uniform_model(seed)};
+  return {task::generate_task_set(gen, rng, name), task::uniform_model(seed)};
 }
 
 ExperimentConfig base_config() {
@@ -102,6 +105,7 @@ void expect_same_sweep(const SweepOutcome& a, const SweepOutcome& b) {
     for (std::size_t g = 0; g < pa.normalized_energy.size(); ++g) {
       expect_same_stats(pa.normalized_energy[g], pb.normalized_energy[g]);
       expect_same_stats(pa.speed_switches[g], pb.speed_switches[g]);
+      expect_same_stats(pa.miss_ratio[g], pb.miss_ratio[g]);
     }
     ASSERT_EQ(pa.cases.size(), pb.cases.size());
     for (std::size_t c = 0; c < pa.cases.size(); ++c) {
@@ -110,11 +114,21 @@ void expect_same_sweep(const SweepOutcome& a, const SweepOutcome& b) {
       ASSERT_EQ(ca.outcomes.size(), cb.outcomes.size());
       for (std::size_t g = 0; g < ca.outcomes.size(); ++g) {
         EXPECT_EQ(ca.outcomes[g].governor, cb.outcomes[g].governor);
+        EXPECT_EQ(ca.outcomes[g].error, cb.outcomes[g].error);
         EXPECT_EQ(ca.outcomes[g].normalized_energy,
                   cb.outcomes[g].normalized_energy);
         expect_same_result(ca.outcomes[g].result, cb.outcomes[g].result);
       }
     }
+  }
+  // Failure records are part of the deterministic outcome too.
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t f = 0; f < a.failures.size(); ++f) {
+    EXPECT_EQ(a.failures[f].point_index, b.failures[f].point_index);
+    EXPECT_EQ(a.failures[f].x, b.failures[f].x);
+    EXPECT_EQ(a.failures[f].replication, b.failures[f].replication);
+    EXPECT_EQ(a.failures[f].governor, b.failures[f].governor);
+    EXPECT_EQ(a.failures[f].message, b.failures[f].message);
   }
 }
 
@@ -175,6 +189,144 @@ TEST(ParallelDeterminism, BuilderExceptionPropagates) {
                         throw std::runtime_error("builder failed");
                       }),
       std::runtime_error);
+}
+
+// --- Failure isolation (DESIGN.md §7) ----------------------------------
+
+/// Deliberately broken governor: delegates to a real one, but throws in
+/// on_start for the case named "poison".
+class BoomGovernor final : public sim::Governor {
+ public:
+  explicit BoomGovernor(sim::GovernorPtr inner) : inner_(std::move(inner)) {}
+  void on_start(const sim::SimContext& ctx) override {
+    if (ctx.task_set().name() == "poison") {
+      throw std::runtime_error("boom: injected governor failure");
+    }
+    inner_->on_start(ctx);
+  }
+  void on_release(const sim::Job& j, const sim::SimContext& c) override {
+    inner_->on_release(j, c);
+  }
+  void on_completion(const sim::Job& j, const sim::SimContext& c) override {
+    inner_->on_completion(j, c);
+  }
+  double select_speed(const sim::Job& j, const sim::SimContext& c) override {
+    return inner_->select_speed(j, c);
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  sim::GovernorPtr inner_;
+};
+
+/// Poison exactly one (point, replication) case: x = 0.8, rep = 1.
+CaseBuilder poisoned_builder() {
+  return [](double u, std::size_t rep, std::uint64_t seed) {
+    const bool poison = u == 0.8 && rep == 1;
+    return e1_style_case(u, seed, poison ? "poison" : "random");
+  };
+}
+
+/// Make `victim` (a registry name) explode on the poisoned case; every
+/// other governor is the stock registry instance.
+std::function<sim::GovernorPtr(const std::string&)> booby_trap(
+    const std::string& victim) {
+  return [victim](const std::string& name) -> sim::GovernorPtr {
+    auto g = core::make_governor(name);
+    if (util::to_lower(name) == util::to_lower(victim)) {
+      return std::make_unique<BoomGovernor>(std::move(g));
+    }
+    return g;
+  };
+}
+
+TEST(FailureIsolation, OneFailureIsAttributedAndOthersStayIdentical) {
+  ExperimentConfig cfg = base_config();
+  cfg.governor_factory = booby_trap("ccEDF");
+
+  SweepOutcome faulty = run_sweep(cfg, "U", {0.5, 0.8}, poisoned_builder());
+
+  // Exactly one failure, attributed to its exact coordinates.
+  ASSERT_EQ(faulty.failures.size(), 1u);
+  const SimFailure& f = faulty.failures.front();
+  EXPECT_EQ(f.point_index, 1u);
+  EXPECT_EQ(f.x, 0.8);
+  EXPECT_EQ(f.replication, 1u);
+  EXPECT_EQ(f.governor, "ccEDF");
+  EXPECT_NE(f.message.find("boom"), std::string::npos);
+
+  // The failed slot is excluded from ccEDF's aggregates only; every other
+  // governor keeps all replications.
+  const std::size_t n_govs = faulty.governors.size();
+  for (std::size_t g = 0; g < n_govs; ++g) {
+    const std::size_t expect_pt1 =
+        faulty.governors[g] == "ccEDF" ? cfg.replications - 1
+                                       : cfg.replications;
+    EXPECT_EQ(faulty.points[0].normalized_energy[g].count(), cfg.replications);
+    EXPECT_EQ(faulty.points[1].normalized_energy[g].count(), expect_pt1);
+  }
+
+  // Every simulation outside the poisoned slot is byte-identical to a
+  // clean sweep without the booby trap (same builder, benign case names).
+  ExperimentConfig clean_cfg = base_config();
+  SweepOutcome clean =
+      run_sweep(clean_cfg, "U", {0.5, 0.8}, poisoned_builder());
+  EXPECT_TRUE(clean.failures.empty());
+  for (std::size_t p = 0; p < clean.points.size(); ++p) {
+    for (std::size_t c = 0; c < clean.points[p].cases.size(); ++c) {
+      for (std::size_t g = 0; g < n_govs; ++g) {
+        const GovernorOutcome& fo = faulty.points[p].cases[c].outcomes[g];
+        if (p == 1 && c == 1 && faulty.governors[g] == "ccEDF") {
+          EXPECT_TRUE(fo.failed());
+          continue;
+        }
+        EXPECT_FALSE(fo.failed());
+        expect_same_result(clean.points[p].cases[c].outcomes[g].result,
+                           fo.result);
+      }
+    }
+  }
+}
+
+TEST(FailureIsolation, IsDeterministicAcrossThreadCounts) {
+  ExperimentConfig cfg = base_config();
+  cfg.governor_factory = booby_trap("ccEDF");
+
+  cfg.n_threads = 1;
+  const SweepOutcome serial =
+      run_sweep(cfg, "U", {0.5, 0.8}, poisoned_builder());
+  cfg.n_threads = 8;
+  const SweepOutcome parallel =
+      run_sweep(cfg, "U", {0.5, 0.8}, poisoned_builder());
+  ASSERT_EQ(serial.failures.size(), 1u);
+  expect_same_sweep(serial, parallel);
+}
+
+TEST(FailureIsolation, FailedReferenceExcludesTheWholeCase) {
+  ExperimentConfig cfg = base_config();
+  cfg.governor_factory = booby_trap("noDVS");
+
+  const SweepOutcome sweep =
+      run_sweep(cfg, "U", {0.5, 0.8}, poisoned_builder());
+  // Only the reference failure is recorded...
+  ASSERT_EQ(sweep.failures.size(), 1u);
+  EXPECT_EQ(sweep.failures.front().governor, "noDVS");
+  // ...but without a normalization baseline the whole case drops out of
+  // every governor's aggregate at that point.
+  for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
+    EXPECT_EQ(sweep.points[0].normalized_energy[g].count(), cfg.replications);
+    EXPECT_EQ(sweep.points[1].normalized_energy[g].count(),
+              cfg.replications - 1);
+  }
+}
+
+TEST(FailureIsolation, StrictModeRethrowsTheFailure) {
+  ExperimentConfig cfg = base_config();
+  cfg.governor_factory = booby_trap("ccEDF");
+  cfg.fail_fast = true;
+  cfg.n_threads = 4;
+  EXPECT_THROW((void)run_sweep(cfg, "U", {0.5, 0.8}, poisoned_builder()),
+               std::runtime_error);
 }
 
 }  // namespace

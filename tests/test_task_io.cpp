@@ -100,5 +100,68 @@ TEST(TaskSetCsv, MissingFileThrows) {
                ContractError);
 }
 
+TEST(TaskSetCsv, TrimsFieldWhitespace) {
+  std::istringstream in(
+      "name,period,deadline,wcet,bcet,phase\n"
+      "control , 0.005 ,\t0.005, 0.002 , 0.0005 , 0\n");
+  const TaskSet ts = load_task_set_csv(in);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].name, "control");
+  EXPECT_DOUBLE_EQ(ts[0].period, 0.005);
+}
+
+// Malformed-input table: every row must be rejected with a ContractError
+// that names the offending line.  One case per failure class the loader
+// hardens against.
+struct MalformedCase {
+  const char* label;
+  const char* row;            // appended after a valid header + line 2
+  const char* expect_in_msg;  // substring the error must contain
+};
+
+class TaskSetCsvMalformed : public ::testing::TestWithParam<MalformedCase> {};
+
+TEST_P(TaskSetCsvMalformed, RejectedWithLineNumber) {
+  const MalformedCase& c = GetParam();
+  std::istringstream in(
+      std::string("name,period,deadline,wcet,bcet,phase\n"
+                  "good,0.010,0.010,0.004,0.001,0\n") +
+      c.row + "\n");
+  try {
+    (void)load_task_set_csv(in);
+    FAIL() << c.label << ": expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line 3"), std::string::npos) << c.label << ": " << msg;
+    EXPECT_NE(msg.find(c.expect_in_msg), std::string::npos)
+        << c.label << ": " << msg;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, TaskSetCsvMalformed,
+    ::testing::Values(
+        MalformedCase{"truncated_row", "short,0.005,0.005", "expected 6"},
+        MalformedCase{"extra_fields", "long,0.005,0.005,0.002,0.0005,0,1",
+                      "expected 6"},
+        MalformedCase{"nan_period", "t,nan,,0.002,,", "non-finite"},
+        MalformedCase{"inf_wcet", "t,0.005,,inf,,", "non-finite"},
+        MalformedCase{"negative_period", "t,-0.005,,0.002,,",
+                      "period must be positive"},
+        MalformedCase{"zero_period", "t,0,,0.001,,",
+                      "period must be positive"},
+        MalformedCase{"zero_wcet", "t,0.005,,0,,", "WCET must be positive"},
+        MalformedCase{"deadline_over_period", "t,0.005,0.009,0.002,,",
+                      "constrained deadlines"},
+        MalformedCase{"bcet_over_wcet", "t,0.005,,0.002,0.003,",
+                      "BCET must be in"},
+        MalformedCase{"duplicate_name", "good,0.020,0.020,0.004,0.001,0",
+                      "duplicate task name"},
+        MalformedCase{"not_a_number", "t,0.005,,2ms,,", "malformed wcet"},
+        MalformedCase{"empty_name", ",0.005,,0.002,,", "empty task name"}),
+    [](const ::testing::TestParamInfo<MalformedCase>& info) {
+      return info.param.label;
+    });
+
 }  // namespace
 }  // namespace dvs::task

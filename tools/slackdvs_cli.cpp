@@ -19,6 +19,11 @@
 //                               (0 = hardware concurrency, 1 = serial;
 //                               results are identical for every N; the
 //                               SLACKDVS_JOBS env var sets the default)
+//   --overrun-prob P            inject WCET overruns with probability P
+//                               per job (fault injection, DESIGN.md §7)
+//   --overrun-mag M             overrun demand = wcet * (1 + M); default 0.5
+//   --containment MODE          none | clamp_at_wcet | escalate_to_max_speed
+//                               (what the simulator does about overruns)
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -28,6 +33,7 @@
 
 #include "core/fp.hpp"
 #include "core/registry.hpp"
+#include "fault/fault.hpp"
 #include "cpu/processors.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
@@ -53,7 +59,8 @@ void usage() {
   slackdvs analyze <taskset>
   slackdvs run     <taskset> [--governor A,B|all] [--processor NAME]
                    [--workload SPEC] [--length SECONDS] [--policy edf|fp]
-                   [--gantt T0:T1] [--jobs N]
+                   [--gantt T0:T1] [--jobs N] [--overrun-prob P]
+                   [--overrun-mag M] [--containment MODE]
   slackdvs gen     <utilization> <n_tasks> <seed> [out.csv]
 
 <taskset>: a CSV file or a preset (ins | cnc | avionics).
@@ -141,6 +148,10 @@ int cmd_run(const std::vector<std::string>& args) {
   bool want_gantt = false;
   Time gantt_t0 = 0.0;
   Time gantt_t1 = 0.0;
+  fault::FaultSpec fspec;
+  fspec.seed = 42;
+  fspec.overrun_magnitude = 0.5;
+  sim::OverrunPolicy containment = sim::OverrunPolicy::kNone;
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -169,6 +180,12 @@ int cmd_run(const std::vector<std::string>& args) {
                           : sim::SchedulingPolicy::kFixedPriority;
     } else if (a == "--jobs") {
       jobs = static_cast<std::size_t>(std::atoll(value().c_str()));
+    } else if (a == "--overrun-prob") {
+      fspec.overrun_prob = std::atof(value().c_str());
+    } else if (a == "--overrun-mag") {
+      fspec.overrun_magnitude = std::atof(value().c_str());
+    } else if (a == "--containment") {
+      containment = fault::containment_by_name(value());
     } else if (a == "--gantt") {
       const std::string v = value();
       const auto colon = v.find(':');
@@ -181,23 +198,40 @@ int cmd_run(const std::vector<std::string>& args) {
     }
   }
 
+  fspec.validate();
+  if (fspec.injects_workload_faults()) {
+    workload = fault::faulty_workload(std::move(workload), fspec);
+  }
+
   std::int64_t misses = 0;
   if (policy == sim::SchedulingPolicy::kEdf) {
     exp::ExperimentConfig cfg = exp::default_config();
     cfg.governors = governors;
     cfg.processor = processor;
     cfg.sim_length = length;
+    cfg.containment = containment;
     cfg.n_threads = jobs;  // parallel across governors; output identical
     const exp::CaseOutcome outcome = exp::run_case({ts, workload}, cfg);
     exp::print_case(std::cout, outcome,
                     ts.name() + " on " + processor.name + " (" +
                         workload->name() + ", EDF)");
     for (const auto& g : outcome.outcomes) misses += g.result.deadline_misses;
+    if (fspec.injects_workload_faults() ||
+        containment != sim::OverrunPolicy::kNone) {
+      std::cout << "fault containment ("
+                << fault::containment_name(containment) << "):\n";
+      for (const auto& g : outcome.outcomes) {
+        std::cout << "  " << g.governor << ": overruns "
+                  << g.result.jobs_overrun << " (contained "
+                  << g.result.overruns_contained << ")\n";
+      }
+    }
   } else {
     // Fixed-priority: run the FP-safe family.
     sim::SimOptions opts;
     opts.length = length;
     opts.policy = policy;
+    opts.containment = containment;
     std::vector<sim::GovernorPtr> fp_governors;
     fp_governors.push_back(core::make_governor("noDVS"));
     fp_governors.push_back(std::make_unique<core::StaticFpGovernor>());
