@@ -18,6 +18,9 @@ int main(int argc, char** argv) {
   cfg.replications = 8;
   cfg.sim_length = 1.2;
   cfg.n_threads = bench::parse_jobs(argc, argv);
+  // Slack-estimate audit for the headline figure (observational only: the
+  // data CSV is byte-identical with this off — CI compares it across runs).
+  cfg.audit_decisions = true;
 
   const std::vector<double> utils{0.1, 0.2, 0.3, 0.4, 0.5,
                                   0.6, 0.7, 0.8, 0.9, 1.0};

@@ -126,6 +126,14 @@ inline void emit(const exp::SweepOutcome& sweep, const std::string& title,
   }
   std::ofstream meta("bench_csv/" + meta_name + ".meta.csv");
   if (meta) exp::write_sweep_meta_csv(meta, sweep);
+  // Slack-audit companion (one row per governor), only for sweeps that ran
+  // with ExperimentConfig::audit_decisions — the data CSV stays untouched.
+  bool audited = false;
+  for (const auto& a : sweep.slack_accuracy) audited |= a.decisions > 0;
+  if (audited) {
+    std::ofstream metrics("bench_csv/" + meta_name + ".metrics.csv");
+    if (metrics) exp::write_sweep_metrics_csv(metrics, sweep);
+  }
 }
 
 /// Total misses across a sweep (0 required for a clean exit).

@@ -1,6 +1,7 @@
 #include "core/agr.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -28,6 +29,20 @@ void AgrGovernor::on_completion(const sim::Job& job,
 double AgrGovernor::select_speed(const sim::Job& running,
                                  const sim::SimContext& ctx) {
   const Time budget = dra_.reclaim_budget(running, ctx);
+  const Work rem = running.remaining_wcet();
+  // The *proven* slack is the DRA core's reclaimed budget beyond the
+  // remaining work; the speculative discount below the DRA speed is a bet
+  // on future early completions, not a slack estimate, so it is excluded
+  // (an implied-stretch reading of the speculative alpha would report
+  // astronomical pseudo-slack whenever the bet drives alpha toward the
+  // 1e-9 floor).
+  last_slack_ = rem > 0.0 ? std::max(0.0, budget - rem)
+                          : std::numeric_limits<Time>::quiet_NaN();
+  return decide(running, ctx, budget);
+}
+
+double AgrGovernor::decide(const sim::Job& running,
+                           const sim::SimContext& ctx, Time budget) {
   const Work rem = running.remaining_wcet();
   if (budget <= kTimeEps || rem <= 0.0) return 1.0;
   const double alpha_dra = std::clamp(rem / budget, 1e-9, 1.0);

@@ -37,9 +37,23 @@ class AgrGovernor final : public sim::Governor {
                                     const sim::SimContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "AGR"; }
 
+  /// Audit hook: the *proven* slack behind the last decision — the DRA
+  /// core's reclaimed budget beyond the remaining work.  The speculative
+  /// discount below the DRA speed is a bet, not an estimate, and is
+  /// deliberately excluded (see select_speed).
+  [[nodiscard]] Time last_slack_estimate() const override {
+    return last_slack_;
+  }
+
  private:
+  /// The speculative speed choice itself (select_speed minus bookkeeping);
+  /// `budget` is the DRA core's reclaimed budget at ctx.now().
+  [[nodiscard]] double decide(const sim::Job& running,
+                              const sim::SimContext& ctx, Time budget);
+
   DraGovernor dra_;
   double aggressiveness_;
+  Time last_slack_ = 0.0;
 };
 
 }  // namespace dvs::core

@@ -90,6 +90,7 @@ double DraGovernor::select_speed(const sim::Job& running,
                                  const sim::SimContext& ctx) {
   const Time budget = reclaim_budget(running, ctx);
   const Work rem = running.remaining_wcet();
+  last_slack_ = std::max(0.0, budget - rem);
   if (budget <= kTimeEps || rem <= 0.0) return 1.0;
   return std::clamp(rem / budget, 1e-9, 1.0);
 }

@@ -39,6 +39,12 @@ class DraGovernor final : public sim::Governor {
   /// Nominal (canonical) speed; exposed for tests.
   [[nodiscard]] double eta() const noexcept { return eta_; }
 
+  /// Audit hook: the stretch beyond the remaining budget the last
+  /// reclaim allowed, max(0, budget - rem).
+  [[nodiscard]] Time last_slack_estimate() const override {
+    return last_slack_;
+  }
+
   /// The time budget available to `running` right now: its own canonical
   /// allotment plus the earliness of completed earlier-deadline jobs.
   /// Advances the alpha queue to ctx.now().  Exposed for the AGR
@@ -64,6 +70,7 @@ class DraGovernor final : public sim::Governor {
   std::deque<Entry> queue_;  ///< sorted by `before`
   double eta_ = 1.0;
   Time last_advance_ = 0.0;
+  Time last_slack_ = 0.0;
 };
 
 }  // namespace dvs::core

@@ -6,12 +6,14 @@ namespace dvs::core {
 
 double LppsEdfGovernor::select_speed(const sim::Job& running,
                                      const sim::SimContext& ctx) {
+  last_slack_ = 0.0;  // "no slack detected" — the scheme's default claim
   if (ctx.active_jobs().size() != 1) return 1.0;
   const Time now = ctx.now();
   const Time horizon =
       std::min(ctx.next_release_after(now), running.abs_deadline);
   const Time window = horizon - now;
   if (window <= kTimeEps) return 1.0;
+  last_slack_ = std::max(0.0, window - running.remaining_wcet());
   return std::clamp(running.remaining_wcet() / window, 1e-9, 1.0);
 }
 

@@ -19,6 +19,17 @@ class LppsEdfGovernor final : public sim::Governor {
   [[nodiscard]] double select_speed(const sim::Job& running,
                                     const sim::SimContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "lppsEDF"; }
+
+  /// Audit hook: the lone-job stretch window minus the remaining budget;
+  /// 0 whenever the scheme detects no slack (multiple ready jobs).  The
+  /// audit therefore shows exactly how much slack the cheap detector
+  /// misses — the reason it anchors the comparison from below.
+  [[nodiscard]] Time last_slack_estimate() const override {
+    return last_slack_;
+  }
+
+ private:
+  Time last_slack_ = 0.0;
 };
 
 }  // namespace dvs::core

@@ -41,6 +41,13 @@ class OverheadAwareGovernor final : public sim::Governor {
   /// Number of slowdown requests vetoed on energy grounds (tests/reports).
   [[nodiscard]] std::int64_t vetoes() const noexcept { return vetoes_; }
 
+  /// Audit hook: forwards the inner analysis' estimate.  A veto or
+  /// overhead correction changes the chosen speed, not the slack the
+  /// analysis proved, so the inner figure stays the meaningful one.
+  [[nodiscard]] Time last_slack_estimate() const override {
+    return inner_->last_slack_estimate();
+  }
+
  private:
   sim::GovernorPtr inner_;
   cpu::Processor proc_;

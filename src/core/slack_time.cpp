@@ -29,7 +29,12 @@ void SlackTimeGovernor::on_start(const sim::SimContext& ctx) {
 double SlackTimeGovernor::select_speed(const sim::Job& running,
                                        const sim::SimContext& ctx) {
   const Work rem = running.remaining_wcet();
-  if (rem <= kTimeEps) return ctx.current_speed();
+  if (rem <= kTimeEps) {
+    // No budget left, nothing to stretch: keep the current speed and
+    // report no estimate (excluded from audit accuracy).
+    last_slack_ = std::numeric_limits<Time>::quiet_NaN();
+    return ctx.current_speed();
+  }
   const Time slack = compute_slack(running, ctx);
   last_slack_ = slack;
   if (slack <= 0.0) return 1.0;

@@ -89,6 +89,12 @@ class SlackTimeGovernor final : public sim::Governor {
   /// The slack S(t) that backed the most recent speed decision (tests).
   [[nodiscard]] Time last_slack() const noexcept { return last_slack_; }
 
+  /// Audit hook (obs/audit.hpp): same value as last_slack(), NaN for the
+  /// degenerate exhausted-budget dispatch where no sweep runs.
+  [[nodiscard]] Time last_slack_estimate() const override {
+    return last_slack_;
+  }
+
  private:
   /// Slack available to `running` at time t (the S(t) of the header).
   [[nodiscard]] Time compute_slack(const sim::Job& running,

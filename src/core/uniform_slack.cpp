@@ -1,6 +1,7 @@
 #include "core/uniform_slack.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -16,7 +17,11 @@ double UniformSlackGovernor::select_speed(const sim::Job& running,
                                           const sim::SimContext& ctx) {
   const double floor =
       demand_speed_floor(ctx, stats_, running.abs_deadline, 64.0);
-  return std::clamp(floor, 1e-9, 1.0);
+  const double alpha = std::clamp(floor, 1e-9, 1.0);
+  const Work rem = running.remaining_wcet();
+  last_slack_ = rem > 0.0 ? rem / alpha - rem
+                          : std::numeric_limits<Time>::quiet_NaN();
+  return alpha;
 }
 
 }  // namespace dvs::core

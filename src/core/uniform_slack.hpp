@@ -32,8 +32,16 @@ class UniformSlackGovernor final : public sim::Governor {
                                     const sim::SimContext& ctx) override;
   [[nodiscard]] std::string name() const override { return "uniformSlack"; }
 
+  /// Audit hook: the stretch the last speed floor grants the running job,
+  /// rem / floor - rem.  Unlike lpSEH the floor deliberately leaves slack
+  /// for later jobs, so its estimates are intentionally conservative.
+  [[nodiscard]] Time last_slack_estimate() const override {
+    return last_slack_;
+  }
+
  private:
   TaskSetStats stats_;
+  Time last_slack_ = 0.0;
 };
 
 }  // namespace dvs::core

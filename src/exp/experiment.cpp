@@ -46,8 +46,15 @@ GovernorOutcome simulate_governor(const std::string& name, const Case& c,
   if (cfg.check_governors) governor = fault::checked(std::move(governor));
   GovernorOutcome g;
   g.governor = governor->name();
-  g.result = sim::simulate(c.task_set, *c.workload, cfg.processor, *governor,
-                           sim_options(cfg));
+  sim::SimOptions opts = sim_options(cfg);
+  // Per-simulation audit, summarized before the worker returns: workers
+  // never share observability state, so auditing cannot perturb the
+  // deterministic fan-out.
+  obs::DecisionAudit audit;
+  if (cfg.audit_decisions) opts.audit = &audit;
+  g.result =
+      sim::simulate(c.task_set, *c.workload, cfg.processor, *governor, opts);
+  if (cfg.audit_decisions) g.slack = audit.accuracy();
   return g;
 }
 
@@ -129,6 +136,7 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
   sweep.x_label = x_label;
   sweep.governors = governor_roster(cfg);
   const std::size_t n_govs = sweep.governors.size();
+  sweep.slack_accuracy.assign(n_govs, {});
   const std::size_t n_cases = xs.size() * cfg.replications;
 
   // Build every case up front, in (point, replication) index order, on the
@@ -196,6 +204,7 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
         // whole case is excluded from the aggregates (failures above are
         // still recorded), matching what a statistician would drop.
         if (ref_failed) continue;
+        sweep.slack_accuracy[g].merge(o.slack);
         point.normalized_energy[g].add(o.normalized_energy);
         point.speed_switches[g].add(
             static_cast<double>(o.result.speed_switches));

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cpu/processors.hpp"
+#include "obs/audit.hpp"
 #include "sim/simulator.hpp"
 #include "task/task_set.hpp"
 #include "task/workload.hpp"
@@ -72,6 +73,11 @@ struct ExperimentConfig {
   /// (point, replication, governor) index) instead of recording it in
   /// SweepOutcome::failures.  Case-builder exceptions always propagate.
   bool fail_fast = false;
+  /// Attach a fresh obs::DecisionAudit to every simulation and aggregate
+  /// slack-estimate accuracy per governor (SweepOutcome::slack_accuracy,
+  /// GovernorOutcome::slack).  Purely observational: the simulated results
+  /// are bit-identical with and without auditing (DESIGN.md §8).
+  bool audit_decisions = false;
   /// Override governor construction (null: core::make_governor).  Lets
   /// tests inject deliberately faulty governors; called concurrently, so
   /// the factory must be thread-safe.
@@ -83,6 +89,9 @@ struct GovernorOutcome {
   std::string governor;
   sim::SimResult result;
   double normalized_energy = 1.0;  ///< total energy / noDVS total energy
+  /// Slack-estimate accuracy of this run; all-zero unless
+  /// ExperimentConfig::audit_decisions was set.
+  obs::SlackAccuracy slack;
   /// Non-empty when the simulation threw instead of completing; `result`
   /// and `normalized_energy` are then meaningless placeholders.
   std::string error;
@@ -128,6 +137,12 @@ struct SweepOutcome {
   /// Failed simulations, in (point, replication, governor) order; empty on
   /// clean runs.  See ExperimentConfig::fail_fast for the throwing mode.
   std::vector<SimFailure> failures;
+
+  /// Per-governor slack-estimate accuracy across the whole sweep (parallel
+  /// to `governors`), merged in (point, replication, governor) index order
+  /// so it is identical for every thread count.  All-zero unless
+  /// ExperimentConfig::audit_decisions was set.
+  std::vector<obs::SlackAccuracy> slack_accuracy;
 
   // Execution metadata (measured, NOT part of the deterministic result —
   // excluded from golden files and determinism comparisons).

@@ -5,6 +5,25 @@
 #include "util/table.hpp"
 
 namespace dvs::exp {
+namespace {
+
+/// Any recorded governor decision at all?  (False on sweeps run without
+/// ExperimentConfig::audit_decisions.)
+bool sweep_was_audited(const SweepOutcome& sweep) {
+  for (const auto& a : sweep.slack_accuracy) {
+    if (a.decisions > 0) return true;
+  }
+  return false;
+}
+
+/// Sweep-wide audit totals (all governors merged).
+obs::SlackAccuracy audit_totals(const SweepOutcome& sweep) {
+  obs::SlackAccuracy total;
+  for (const auto& a : sweep.slack_accuracy) total.merge(a);
+  return total;
+}
+
+}  // namespace
 
 void print_sweep(std::ostream& out, const SweepOutcome& sweep,
                  const std::string& title) {
@@ -26,6 +45,22 @@ void print_sweep(std::ostream& out, const SweepOutcome& sweep,
   out << "  deadline misses across all runs: " << misses
       << (misses == 0 ? "  [hard real-time invariant holds]" : "  [VIOLATION]")
       << "\n";
+  if (sweep_was_audited(sweep)) {
+    out << "  slack-estimate audit (error = realized - estimated, seconds):\n";
+    util::TextTable audit;
+    audit.header({"governor", "decisions", "audited", "bias", "mae", "min",
+                  "max"});
+    for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
+      const obs::SlackAccuracy& a = sweep.slack_accuracy[g];
+      const bool any = a.audited > 0;
+      audit.row({sweep.governors[g], std::to_string(a.decisions),
+                 std::to_string(a.audited), util::format_double(a.bias(), 4),
+                 util::format_double(a.mae(), 4),
+                 util::format_double(any ? a.min_error : 0.0, 4),
+                 util::format_double(any ? a.max_error : 0.0, 4)});
+    }
+    audit.render(out);
+  }
   if (!sweep.failures.empty()) {
     out << "  FAILED simulations: " << sweep.failures.size()
         << " (excluded from the aggregates above)\n";
@@ -79,14 +114,36 @@ void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
 }
 
 void write_sweep_meta_csv(std::ostream& out, const SweepOutcome& sweep) {
+  const obs::SlackAccuracy total = audit_totals(sweep);
   util::CsvWriter csv(out);
   csv.row({"wall_seconds", "simulations", "sims_per_second", "threads",
-           "failures"});
+           "failures", "audit_decisions", "audit_audited", "audit_bias_s",
+           "audit_mae_s"});
   csv.row({util::format_double(sweep.wall_seconds, 6),
            std::to_string(sweep.simulations),
            util::format_double(sweep.throughput(), 2),
            std::to_string(sweep.threads_used),
-           std::to_string(sweep.failures.size())});
+           std::to_string(sweep.failures.size()),
+           std::to_string(total.decisions), std::to_string(total.audited),
+           util::format_double(total.bias(), 6),
+           util::format_double(total.mae(), 6)});
+}
+
+void write_sweep_metrics_csv(std::ostream& out, const SweepOutcome& sweep) {
+  util::CsvWriter csv(out);
+  csv.row({"governor", "decisions", "audited", "bias_s", "mae_s",
+           "min_error_s", "max_error_s"});
+  for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
+    const obs::SlackAccuracy a =
+        g < sweep.slack_accuracy.size() ? sweep.slack_accuracy[g]
+                                        : obs::SlackAccuracy{};
+    const bool any = a.audited > 0;
+    csv.row({sweep.governors[g], std::to_string(a.decisions),
+             std::to_string(a.audited), util::format_double(a.bias(), 6),
+             util::format_double(a.mae(), 6),
+             util::format_double(any ? a.min_error : 0.0, 6),
+             util::format_double(any ? a.max_error : 0.0, 6)});
+  }
 }
 
 }  // namespace dvs::exp

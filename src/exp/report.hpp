@@ -24,9 +24,17 @@ void print_case(std::ostream& out, const CaseOutcome& outcome,
 void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep);
 
 /// Write the sweep's execution metadata (wall-clock seconds, simulation
-/// count, simulations/s, worker threads) as a one-row CSV.  Kept separate
-/// from write_sweep_csv so the data CSV stays reproducible while the
-/// timing stays measurable.
+/// count, simulations/s, worker threads) as a one-row CSV, followed by the
+/// sweep-wide slack-audit totals (decisions, audited, bias, MAE — all zero
+/// when auditing was off).  Kept separate from write_sweep_csv so the data
+/// CSV stays reproducible while the timing stays measurable.
 void write_sweep_meta_csv(std::ostream& out, const SweepOutcome& sweep);
+
+/// Write per-governor slack-estimate accuracy (one row per governor:
+/// decisions, audited, bias, MAE, min/max error) — the observability
+/// companion of the data CSV.  Deterministic for every thread count; rows
+/// are all-zero when the sweep ran without ExperimentConfig::
+/// audit_decisions.
+void write_sweep_metrics_csv(std::ostream& out, const SweepOutcome& sweep);
 
 }  // namespace dvs::exp

@@ -28,6 +28,11 @@ class CheckedGovernor final : public sim::Governor {
                                     const sim::SimContext& ctx) override;
   [[nodiscard]] std::string name() const override;
 
+  /// Transparent for the decision audit, like name().
+  [[nodiscard]] Time last_slack_estimate() const override {
+    return inner_->last_slack_estimate();
+  }
+
  private:
   sim::GovernorPtr inner_;
 };

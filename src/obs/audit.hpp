@@ -1,0 +1,183 @@
+// Governor decision audit: every speed decision, with the slack estimate
+// behind it and the slack that actually materialized.
+//
+// The DATE 2002 algorithm's whole value proposition is the quality of its
+// slack-time analysis — an audit turns "lpSEH saved 12% more energy" into
+// "lpSEH's slack estimates were 38 ms conservative on average, here is the
+// error distribution".  The simulator records one Decision per governor
+// dispatch (sim::SimOptions::audit); when the decided job later completes,
+// the realized slack (absolute deadline minus completion time) is
+// backfilled into every decision made for that job, so
+//
+//     error = realized_slack - estimated_slack
+//
+// compares the stretch the analysis proved against the margin that was
+// still unused at the deadline.  Positive error is slack the governor saw
+// too late or not at all (conservatism, early completions, quantization);
+// error near zero means the estimate was fully converted into slowdown; a
+// wide spread marks a noisy estimator.  Governors
+// expose their estimate through sim::Governor::last_slack_estimate();
+// policies without an explicit slack model report NaN and are counted but
+// excluded from the accuracy statistics.
+//
+// Header-only for the same reason as metrics.hpp: the simulator writes
+// into the audit without linking the obs library.  One audit observes one
+// simulation; sweeps aggregate per-sim SlackAccuracy values in
+// deterministic index order (see exp::run_sweep).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace dvs::obs {
+
+/// One governor speed decision at a scheduling point.
+struct Decision {
+  Time at = 0.0;                  ///< decision time
+  std::int32_t task_id = 0;
+  std::int64_t job_index = 0;
+  Work remaining_wcet = 0.0;      ///< budget the governor saw
+  /// Governor's slack estimate (seconds of provable stretch beyond the
+  /// remaining budget); NaN when the policy exposes none.
+  Time estimated_slack = std::numeric_limits<Time>::quiet_NaN();
+  double requested_alpha = 1.0;   ///< governor request, pre-quantization
+  double chosen_alpha = 1.0;      ///< what actually ran (post-quantization)
+  /// abs_deadline - completion of the decided job, backfilled when it
+  /// completes; NaN while pending / for jobs truncated at simulation end.
+  Time realized_slack = std::numeric_limits<Time>::quiet_NaN();
+};
+
+/// Mergeable accuracy summary of (realized - estimated) slack errors.
+/// merge() is exact (sum/min/max), so aggregating per-simulation values in
+/// a fixed order yields thread-count-independent sweep statistics.
+struct SlackAccuracy {
+  std::int64_t decisions = 0;  ///< all recorded decisions
+  std::int64_t audited = 0;    ///< decisions with estimate AND realized
+  double sum_error = 0.0;
+  double sum_abs_error = 0.0;
+  double min_error = std::numeric_limits<double>::infinity();
+  double max_error = -std::numeric_limits<double>::infinity();
+
+  void add_error(double e) noexcept {
+    ++audited;
+    sum_error += e;
+    sum_abs_error += std::fabs(e);
+    min_error = std::min(min_error, e);
+    max_error = std::max(max_error, e);
+  }
+
+  void merge(const SlackAccuracy& o) noexcept {
+    decisions += o.decisions;
+    audited += o.audited;
+    sum_error += o.sum_error;
+    sum_abs_error += o.sum_abs_error;
+    min_error = std::min(min_error, o.min_error);
+    max_error = std::max(max_error, o.max_error);
+  }
+
+  /// Mean signed error: positive = estimates were conservative.
+  [[nodiscard]] double bias() const noexcept {
+    return audited > 0 ? sum_error / static_cast<double>(audited) : 0.0;
+  }
+  /// Mean absolute error.
+  [[nodiscard]] double mae() const noexcept {
+    return audited > 0 ? sum_abs_error / static_cast<double>(audited) : 0.0;
+  }
+};
+
+/// Records decisions and backfills realized slack at job completion.
+class DecisionAudit {
+ public:
+  /// Called by the simulator right after a governor dispatch.
+  void decision(const Decision& d) {
+    open_[{d.task_id, d.job_index}].push_back(records_.size());
+    records_.push_back(d);
+  }
+
+  /// Called by the simulator when the job completes; `realized_slack` is
+  /// abs_deadline - completion (negative on a deadline miss).
+  void complete(std::int32_t task_id, std::int64_t job_index,
+                Time realized_slack) {
+    const auto it = open_.find({task_id, job_index});
+    if (it == open_.end()) return;  // job ran without a recorded decision
+    for (std::size_t i : it->second) {
+      records_[i].realized_slack = realized_slack;
+    }
+    open_.erase(it);
+  }
+
+  [[nodiscard]] const std::vector<Decision>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+  /// Accuracy over every record with both an estimate and a realization.
+  [[nodiscard]] SlackAccuracy accuracy() const {
+    SlackAccuracy acc;
+    acc.decisions = static_cast<std::int64_t>(records_.size());
+    for (const Decision& d : records_) {
+      if (std::isfinite(d.estimated_slack) &&
+          std::isfinite(d.realized_slack)) {
+        acc.add_error(d.realized_slack - d.estimated_slack);
+      }
+    }
+    return acc;
+  }
+
+  /// Add every (realized - estimated) error to `h` — the registry's
+  /// slack-prediction-error histogram.
+  void fill_error_histogram(Histogram& h) const {
+    for (const Decision& d : records_) {
+      if (std::isfinite(d.estimated_slack) &&
+          std::isfinite(d.realized_slack)) {
+        h.add(d.realized_slack - d.estimated_slack);
+      }
+    }
+  }
+
+  /// Full decision log as CSV (offline analysis / plotting).
+  void write_csv(std::ostream& out) const {
+    out << "at,task,job,remaining_wcet,estimated_slack,requested_alpha,"
+           "chosen_alpha,realized_slack,error\n";
+    for (const Decision& d : records_) {
+      const bool audited = std::isfinite(d.estimated_slack) &&
+                           std::isfinite(d.realized_slack);
+      out << fmt(d.at) << ',' << d.task_id << ',' << d.job_index << ','
+          << fmt(d.remaining_wcet) << ',' << fmt_or_empty(d.estimated_slack)
+          << ',' << fmt(d.requested_alpha) << ',' << fmt(d.chosen_alpha)
+          << ',' << fmt_or_empty(d.realized_slack) << ','
+          << (audited ? fmt(d.realized_slack - d.estimated_slack)
+                      : std::string())
+          << '\n';
+    }
+  }
+
+ private:
+  static std::string fmt(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+  }
+  static std::string fmt_or_empty(double v) {
+    return std::isfinite(v) ? fmt(v) : std::string();
+  }
+
+  std::vector<Decision> records_;
+  /// Open decisions per (task, job): indices into records_ awaiting their
+  /// realized slack.
+  std::map<std::pair<std::int32_t, std::int64_t>, std::vector<std::size_t>>
+      open_;
+};
+
+}  // namespace dvs::obs

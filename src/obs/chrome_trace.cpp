@@ -1,0 +1,175 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace dvs::obs {
+namespace {
+
+/// Microsecond timestamp with sub-μs residue preserved (trace viewers
+/// accept fractional ts); %.3f keeps nanosecond resolution.
+std::string us(Time seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string num(double v, int precision = 6) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& out) : out_(out) {}
+
+  /// Emit one already-JSON-formatted event object body.
+  void event(const std::string& body) {
+    out_ << (first_ ? "\n  {" : ",\n  {") << body << "}";
+    first_ = false;
+  }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+void write_metadata(EventWriter& w, const task::TaskSet& ts, int pid,
+                    const std::string& governor) {
+  w.event("\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
+          std::to_string(pid) + ",\"args\":{\"name\":\"" +
+          json_escape(governor) + "\"}");
+  w.event("\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" +
+          std::to_string(pid) + ",\"args\":{\"sort_index\":" +
+          std::to_string(pid) + "}");
+  for (const auto& t : ts) {
+    w.event("\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+            std::to_string(pid) + ",\"tid\":" + std::to_string(t.id) +
+            ",\"args\":{\"name\":\"" + json_escape(t.name) + "\"}");
+  }
+  w.event("\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
+          std::to_string(pid) + ",\"tid\":" + std::to_string(ts.size()) +
+          ",\"args\":{\"name\":\"cpu (idle / transition)\"}");
+}
+
+void write_segments(EventWriter& w, const task::TaskSet& ts, int pid,
+                    const sim::VectorTrace& trace) {
+  const std::string cpu_tid = std::to_string(ts.size());
+  for (const auto& s : trace.segments()) {
+    const std::string common =
+        ",\"pid\":" + std::to_string(pid) + ",\"ts\":" + us(s.begin) +
+        ",\"dur\":" + us(s.end - s.begin);
+    switch (s.kind) {
+      case sim::SegmentKind::kBusy: {
+        DVS_EXPECT(s.task_id >= 0 &&
+                       static_cast<std::size_t>(s.task_id) < ts.size(),
+                   "trace segment references a task outside the task set");
+        const auto& t = ts[static_cast<std::size_t>(s.task_id)];
+        w.event("\"ph\":\"X\",\"cat\":\"busy\",\"name\":\"" +
+                json_escape(t.name) + " #" + std::to_string(s.job_index) +
+                "\",\"tid\":" + std::to_string(s.task_id) + common +
+                ",\"args\":{\"alpha\":" + num(s.alpha) +
+                ",\"job\":" + std::to_string(s.job_index) + "}");
+        break;
+      }
+      case sim::SegmentKind::kIdle:
+        w.event("\"ph\":\"X\",\"cat\":\"idle\",\"name\":\"idle\",\"tid\":" +
+                cpu_tid + common + ",\"args\":{}");
+        break;
+      case sim::SegmentKind::kTransition:
+        w.event(
+            "\"ph\":\"X\",\"cat\":\"transition\",\"name\":\"transition\","
+            "\"tid\":" +
+            cpu_tid + common + ",\"args\":{}");
+        break;
+    }
+  }
+}
+
+/// The staircase speed profile: one counter sample at every segment
+/// boundary (busy -> its alpha, idle/transition -> 0), plus a closing
+/// zero so the track spans the whole run.
+void write_speed_counter(EventWriter& w, int pid,
+                         const sim::VectorTrace& trace, Time sim_length) {
+  for (const auto& s : trace.segments()) {
+    const double alpha = s.kind == sim::SegmentKind::kBusy ? s.alpha : 0.0;
+    w.event("\"ph\":\"C\",\"name\":\"speed\",\"pid\":" + std::to_string(pid) +
+            ",\"ts\":" + us(s.begin) + ",\"args\":{\"alpha\":" + num(alpha) +
+            "}");
+  }
+  if (!trace.segments().empty()) {
+    w.event("\"ph\":\"C\",\"name\":\"speed\",\"pid\":" + std::to_string(pid) +
+            ",\"ts\":" + us(sim_length) + ",\"args\":{\"alpha\":0}");
+  }
+}
+
+void write_miss_instants(EventWriter& w, int pid,
+                         const sim::VectorTrace& trace) {
+  for (const auto& e : trace.events()) {
+    if (e.kind != sim::TraceEvent::Kind::kMiss) continue;
+    w.event("\"ph\":\"i\",\"s\":\"t\",\"name\":\"deadline miss\",\"pid\":" +
+            std::to_string(pid) + ",\"tid\":" + std::to_string(e.task_id) +
+            ",\"ts\":" + us(e.at) + ",\"args\":{\"job\":" +
+            std::to_string(e.job_index) + "}");
+  }
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(std::ostream& out, const task::TaskSet& ts,
+                        const std::vector<GovernorTrace>& traces,
+                        Time sim_length) {
+  DVS_EXPECT(!traces.empty(), "chrome trace export needs at least one trace");
+  DVS_EXPECT(sim_length > 0.0, "chrome trace export needs a positive length");
+  for (const auto& g : traces) {
+    DVS_EXPECT(g.trace != nullptr,
+               "chrome trace export: null trace for governor '" + g.governor +
+                   "'");
+  }
+
+  out << "{\n\"traceEvents\": [";
+  EventWriter w(out);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const int pid = static_cast<int>(i) + 1;
+    write_metadata(w, ts, pid, traces[i].governor);
+    write_segments(w, ts, pid, *traces[i].trace);
+    write_speed_counter(w, pid, *traces[i].trace, sim_length);
+    write_miss_instants(w, pid, *traces[i].trace);
+  }
+  out << "\n],\n";
+  out << "\"displayTimeUnit\": \"ms\",\n";
+  out << "\"otherData\": {\"exporter\": \"slackdvs\", \"task_set\": \""
+      << json_escape(ts.name()) << "\", \"sim_length_us\": "
+      << num(sim_length * 1e6, 12) << ", \"governors\": "
+      << traces.size() << "}\n}\n";
+}
+
+}  // namespace dvs::obs

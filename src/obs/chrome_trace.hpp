@@ -1,0 +1,52 @@
+// Chrome trace-event JSON export for simulation traces.
+//
+// Converts sim::VectorTrace recordings into the Trace Event Format that
+// chrome://tracing, Perfetto (ui.perfetto.dev) and speedscope load
+// natively — replacing squinting at the ASCII Gantt with a zoomable
+// timeline.  Layout convention (the tentpole's contract):
+//
+//   * one *process* (pid) per governor, named after it, so several
+//     governors' schedules of the same task set sit side by side;
+//   * one *thread* (tid) per task, named after the task — busy segments
+//     become complete ("X") duration events on their task's row, with
+//     the executed speed and job index in args;
+//   * idle and speed-transition segments share a final "cpu" row, so per
+//     pid the X events partition [0, sim_length] exactly — the property
+//     tools/trace_check verifies;
+//   * the executed speed is additionally emitted as a counter ("C") track
+//     named "speed", one sample per segment boundary, giving the
+//     staircase speed profile the DVS papers plot;
+//   * deadline misses appear as instant ("i") events on the task's row.
+//
+// Timestamps are microseconds (the format's unit).  Output is fully
+// deterministic: segment order is the recording order of the (single
+// threaded, deterministic) simulation.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+#include "task/task_set.hpp"
+#include "util/time.hpp"
+
+namespace dvs::obs {
+
+/// One governor's recorded schedule, to be exported as one pid.
+struct GovernorTrace {
+  std::string governor;
+  const sim::VectorTrace* trace = nullptr;
+};
+
+/// Write a complete Chrome trace-event JSON document.  `sim_length` is the
+/// simulated duration every trace covers (recorded into otherData and used
+/// by the validator's duration-conservation check).
+void write_chrome_trace(std::ostream& out, const task::TaskSet& ts,
+                        const std::vector<GovernorTrace>& traces,
+                        Time sim_length);
+
+/// JSON string escaping (exposed for tests).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace dvs::obs

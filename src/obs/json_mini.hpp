@@ -1,0 +1,50 @@
+// Minimal JSON value model + parser.
+//
+// Exists for exactly one consumer: tools/trace_check, which must re-parse
+// the Chrome trace-event JSON this library emits and verify it
+// structurally (obs/trace_check.hpp).  The container ships no JSON
+// dependency, so this is a small, strict RFC-8259-subset recursive-descent
+// parser: objects, arrays, strings (with escapes incl. \uXXXX), numbers,
+// booleans, null.  It is a validator's parser — unknown escapes, trailing
+// garbage, or unterminated structures throw rather than recover.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dvs::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Key order preserved as parsed (duplicate keys: first one wins find()).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const noexcept { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind == Kind::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return kind == Kind::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return kind == Kind::kObject;
+  }
+
+  /// Object member lookup; null when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const noexcept;
+};
+
+/// Parse a complete JSON document.  Throws util::ContractError (with a
+/// byte offset) on malformed input, including trailing non-whitespace.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
+
+}  // namespace dvs::obs

@@ -1,0 +1,316 @@
+// Metrics registry: counters, gauges, fixed-bucket histograms.
+//
+// The observability layer's data plane.  A MetricsRegistry is attached to
+// a simulation through sim::SimOptions::metrics; when the pointer is null
+// the simulator skips every metrics call (zero overhead when disabled —
+// the contract DESIGN.md §8 documents and bench_e1 guards).
+//
+// Design constraints:
+//  * header-only, so the simulator can update metrics without a link-time
+//    dependency on the obs library (which itself depends on sim for the
+//    trace exporters);
+//  * deterministic: instruments are stored and exported in insertion
+//    order, values are plain sums — a registry filled by a deterministic
+//    simulation is itself deterministic, for any thread count (registries
+//    are per-simulation, never shared);
+//  * instruments are owned by the registry and handed out as stable
+//    references (deque storage), so hot paths can cache the pointer once
+//    instead of re-hashing the name per event.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dvs::obs {
+
+/// Monotone event count.
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Last-write-wins sample with optional max/min tracking.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (!seen_) {
+      min_ = max_ = v;
+      seen_ = true;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double min() const noexcept { return seen_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return seen_ ? max_ : 0.0; }
+  [[nodiscard]] bool seen() const noexcept { return seen_; }
+
+ private:
+  double value_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  bool seen_ = false;
+};
+
+/// Fixed-bucket histogram over [lo, hi) with explicit under-/overflow
+/// buckets.  Samples may carry a weight (e.g. seconds of residency);
+/// non-finite samples are dropped (and counted).
+class Histogram {
+ public:
+  Histogram() : Histogram(0.0, 1.0, 1) {}
+  Histogram(double lo, double hi, std::size_t n_buckets)
+      : lo_(lo), hi_(hi), weights_(n_buckets, 0.0) {
+    DVS_EXPECT(n_buckets >= 1, "histogram needs at least one bucket");
+    DVS_EXPECT(hi > lo, "histogram needs a non-empty value range");
+  }
+
+  void add(double x, double weight = 1.0) noexcept {
+    if (!std::isfinite(x) || !std::isfinite(weight)) {
+      ++dropped_;
+      return;
+    }
+    ++samples_;
+    weight_sum_ += weight;
+    if (samples_ == 1) {
+      min_seen_ = max_seen_ = x;
+    } else {
+      min_seen_ = std::min(min_seen_, x);
+      max_seen_ = std::max(max_seen_, x);
+    }
+    if (x < lo_) {
+      underflow_ += weight;
+      return;
+    }
+    if (x >= hi_) {
+      overflow_ += weight;
+      return;
+    }
+    const auto n = static_cast<double>(weights_.size());
+    auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * n);
+    if (i >= weights_.size()) i = weights_.size() - 1;  // rounding edge
+    weights_[i] += weight;
+  }
+
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return weights_.size();
+  }
+  [[nodiscard]] double bucket_lo(std::size_t i) const noexcept {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(weights_.size());
+  }
+  [[nodiscard]] double bucket_hi(std::size_t i) const noexcept {
+    return bucket_lo(i + 1);
+  }
+  [[nodiscard]] double bucket_weight(std::size_t i) const noexcept {
+    return weights_[i];
+  }
+  [[nodiscard]] double underflow() const noexcept { return underflow_; }
+  [[nodiscard]] double overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::int64_t samples() const noexcept { return samples_; }
+  [[nodiscard]] std::int64_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] double weight_sum() const noexcept { return weight_sum_; }
+  [[nodiscard]] double min_seen() const noexcept {
+    return samples_ > 0 ? min_seen_ : 0.0;
+  }
+  [[nodiscard]] double max_seen() const noexcept {
+    return samples_ > 0 ? max_seen_ : 0.0;
+  }
+
+  /// Buckets (incl. under-/overflow) holding weight: a distribution is
+  /// "degenerate" when everything landed in a single bucket.
+  [[nodiscard]] std::size_t nonzero_buckets() const noexcept {
+    std::size_t n = (underflow_ > 0.0 ? 1u : 0u) + (overflow_ > 0.0 ? 1u : 0u);
+    for (double w : weights_) n += w > 0.0 ? 1u : 0u;
+    return n;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> weights_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double weight_sum_ = 0.0;
+  std::int64_t samples_ = 0;
+  std::int64_t dropped_ = 0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+/// Insertion-ordered collection of named instruments.  Lookups create on
+/// first use; repeated lookups return the same instrument (a histogram
+/// re-request must agree on the bucket layout).  Not thread-safe by
+/// design: one registry observes exactly one simulation.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) {
+    if (Counter* c = find_counter(name)) return *c;
+    order_.push_back({Kind::kCounter, name, counters_.size()});
+    counters_.emplace_back();
+    return counters_.back();
+  }
+
+  Gauge& gauge(const std::string& name) {
+    if (Gauge* g = find_gauge(name)) return *g;
+    order_.push_back({Kind::kGauge, name, gauges_.size()});
+    gauges_.emplace_back();
+    return gauges_.back();
+  }
+
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t n_buckets) {
+    if (Histogram* h = find_histogram(name)) {
+      DVS_EXPECT(h->lo() == lo && h->hi() == hi &&
+                     h->bucket_count() == n_buckets,
+                 "histogram '" + name + "' re-registered with a different "
+                 "bucket layout");
+      return *h;
+    }
+    order_.push_back({Kind::kHistogram, name, histograms_.size()});
+    histograms_.emplace_back(lo, hi, n_buckets);
+    return histograms_.back();
+  }
+
+  [[nodiscard]] Counter* find_counter(const std::string& name) noexcept {
+    const Entry* e = find(Kind::kCounter, name);
+    return e != nullptr ? &counters_[e->index] : nullptr;
+  }
+  [[nodiscard]] Gauge* find_gauge(const std::string& name) noexcept {
+    const Entry* e = find(Kind::kGauge, name);
+    return e != nullptr ? &gauges_[e->index] : nullptr;
+  }
+  [[nodiscard]] Histogram* find_histogram(const std::string& name) noexcept {
+    const Entry* e = find(Kind::kHistogram, name);
+    return e != nullptr ? &histograms_[e->index] : nullptr;
+  }
+  [[nodiscard]] const Counter* find_counter(
+      const std::string& name) const noexcept {
+    const Entry* e = find(Kind::kCounter, name);
+    return e != nullptr ? &counters_[e->index] : nullptr;
+  }
+  [[nodiscard]] const Gauge* find_gauge(
+      const std::string& name) const noexcept {
+    const Entry* e = find(Kind::kGauge, name);
+    return e != nullptr ? &gauges_[e->index] : nullptr;
+  }
+  [[nodiscard]] const Histogram* find_histogram(
+      const std::string& name) const noexcept {
+    const Entry* e = find(Kind::kHistogram, name);
+    return e != nullptr ? &histograms_[e->index] : nullptr;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return order_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+
+  /// Long-format CSV: kind,name,field,value — one row per scalar, one row
+  /// per histogram bucket.  Deterministic (insertion order).
+  void write_csv(std::ostream& out) const {
+    out << "kind,name,field,value\n";
+    for (const Entry& e : order_) {
+      switch (e.kind) {
+        case Kind::kCounter:
+          out << "counter," << e.name << ",value,"
+              << counters_[e.index].value() << "\n";
+          break;
+        case Kind::kGauge: {
+          const Gauge& g = gauges_[e.index];
+          out << "gauge," << e.name << ",value," << fmt(g.value()) << "\n";
+          out << "gauge," << e.name << ",min," << fmt(g.min()) << "\n";
+          out << "gauge," << e.name << ",max," << fmt(g.max()) << "\n";
+          break;
+        }
+        case Kind::kHistogram: {
+          const Histogram& h = histograms_[e.index];
+          out << "histogram," << e.name << ",samples," << h.samples() << "\n";
+          out << "histogram," << e.name << ",weight_sum,"
+              << fmt(h.weight_sum()) << "\n";
+          out << "histogram," << e.name << ",underflow," << fmt(h.underflow())
+              << "\n";
+          for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+            out << "histogram," << e.name << ",bucket[" << fmt(h.bucket_lo(i))
+                << ";" << fmt(h.bucket_hi(i)) << ")," << fmt(h.bucket_weight(i))
+                << "\n";
+          }
+          out << "histogram," << e.name << ",overflow," << fmt(h.overflow())
+              << "\n";
+          break;
+        }
+      }
+    }
+  }
+
+  /// Compact human-readable dump (the CLI's --metrics output).
+  void print(std::ostream& out, const std::string& indent = "  ") const {
+    for (const Entry& e : order_) {
+      switch (e.kind) {
+        case Kind::kCounter:
+          out << indent << e.name << " = " << counters_[e.index].value()
+              << "\n";
+          break;
+        case Kind::kGauge: {
+          const Gauge& g = gauges_[e.index];
+          out << indent << e.name << " = " << fmt(g.value()) << " (min "
+              << fmt(g.min()) << ", max " << fmt(g.max()) << ")\n";
+          break;
+        }
+        case Kind::kHistogram: {
+          const Histogram& h = histograms_[e.index];
+          out << indent << e.name << ": " << h.samples() << " samples in ["
+              << fmt(h.min_seen()) << ", " << fmt(h.max_seen()) << "], "
+              << h.nonzero_buckets() << "/" << h.bucket_count() + 2
+              << " buckets occupied\n";
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::size_t index;  ///< into the per-kind deque
+  };
+
+  [[nodiscard]] const Entry* find(Kind kind,
+                                  const std::string& name) const noexcept {
+    for (const Entry& e : order_) {
+      if (e.kind == kind && e.name == name) return &e;
+    }
+    return nullptr;
+  }
+
+  static std::string fmt(double v) {
+    // Shortest exact-enough form: %.6g keeps the CSV readable while the
+    // deterministic source values make byte-identity hold regardless.
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+  }
+
+  std::vector<Entry> order_;
+  // deques: instrument references stay valid as the registry grows.
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace dvs::obs

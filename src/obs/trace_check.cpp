@@ -1,0 +1,178 @@
+#include "obs/trace_check.hpp"
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "obs/json_mini.hpp"
+
+namespace dvs::obs {
+namespace {
+
+/// Timestamp slop in μs.  The simulator's event epsilon is 1e-9 s = 1e-3
+/// μs; segments are emitted back to back, so one event-level epsilon (plus
+/// the exporter's fixed-point rounding at 1e-3 μs) bounds any seam.
+constexpr double kSeamTolUs = 2e-3;
+
+double get_number(const JsonValue& e, const char* key, double fallback) {
+  const JsonValue* v = e.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+struct TrackState {
+  double last_end = -1.0;   ///< end of the previous X event on this row
+  double last_ts = -1.0;    ///< ts of the previous event on this row
+  std::size_t events = 0;
+};
+
+}  // namespace
+
+TraceCheckReport check_chrome_trace(const std::string& json) {
+  TraceCheckReport report;
+  auto err = [&report](const std::string& msg) {
+    if (report.errors.size() < 50) report.errors.push_back(msg);
+  };
+
+  JsonValue doc;
+  try {
+    doc = parse_json(json);
+  } catch (const std::exception& e) {
+    err(e.what());
+    return report;
+  }
+
+  if (!doc.is_object()) {
+    err("top-level JSON value is not an object");
+    return report;
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    err("missing or non-array \"traceEvents\"");
+    return report;
+  }
+  if (const JsonValue* other = doc.find("otherData")) {
+    report.sim_length_us = get_number(*other, "sim_length_us", 0.0);
+  }
+
+  std::map<std::pair<double, double>, TrackState> x_tracks;   // (pid, tid)
+  std::map<std::pair<double, std::string>, double> counters;  // (pid, name)
+  std::map<double, double> pid_duration;                      // pid -> Σ dur
+  std::set<double> pids;
+
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const std::string at = "event[" + std::to_string(i) + "]";
+    if (!e.is_object()) {
+      err(at + ": not an object");
+      continue;
+    }
+    ++report.events;
+
+    const JsonValue* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string.size() != 1) {
+      err(at + ": missing or invalid \"ph\"");
+      continue;
+    }
+    const JsonValue* pid = e.find("pid");
+    if (pid == nullptr || !pid->is_number()) {
+      err(at + ": missing or non-numeric \"pid\"");
+      continue;
+    }
+    pids.insert(pid->number);
+
+    const char kind = ph->string[0];
+    if (kind == 'M') continue;  // metadata carries no timestamp
+
+    const double ts = get_number(e, "ts", std::nan(""));
+    if (!std::isfinite(ts)) {
+      err(at + ": missing or non-finite \"ts\"");
+      continue;
+    }
+
+    if (kind == 'X') {
+      ++report.duration_events;
+      const JsonValue* name = e.find("name");
+      if (name == nullptr || !name->is_string()) {
+        err(at + ": duration event without a string \"name\"");
+      }
+      const double tid = get_number(e, "tid", std::nan(""));
+      if (!std::isfinite(tid)) {
+        err(at + ": duration event without a numeric \"tid\"");
+        continue;
+      }
+      const double dur = get_number(e, "dur", std::nan(""));
+      if (!std::isfinite(dur) || dur < 0.0) {
+        err(at + ": missing, non-finite or negative \"dur\"");
+        continue;
+      }
+      TrackState& track = x_tracks[{pid->number, tid}];
+      if (track.events > 0 && ts < track.last_ts - kSeamTolUs) {
+        err(at + ": timestamps not monotone on (pid " +
+            std::to_string(pid->number) + ", tid " + std::to_string(tid) +
+            "): ts " + std::to_string(ts) + " after ts " +
+            std::to_string(track.last_ts));
+      }
+      if (track.events > 0 && ts < track.last_end - kSeamTolUs) {
+        err(at + ": overlapping duration events on (pid " +
+            std::to_string(pid->number) + ", tid " + std::to_string(tid) +
+            "): ts " + std::to_string(ts) + " before previous end " +
+            std::to_string(track.last_end));
+      }
+      track.last_ts = ts;
+      track.last_end = ts + dur;
+      ++track.events;
+      pid_duration[pid->number] += dur;
+    } else if (kind == 'C') {
+      const JsonValue* name = e.find("name");
+      if (name == nullptr || !name->is_string()) {
+        err(at + ": counter event without a string \"name\"");
+        continue;
+      }
+      auto [it, fresh] =
+          counters.try_emplace({pid->number, name->string}, ts);
+      if (!fresh) {
+        if (ts < it->second - kSeamTolUs) {
+          err(at + ": counter \"" + name->string +
+              "\" timestamps not monotone (ts " + std::to_string(ts) +
+              " after " + std::to_string(it->second) + ")");
+        }
+        it->second = ts;
+      }
+    } else if (kind == 'i') {
+      // Instant events need only the (already checked) ts and pid.
+    } else {
+      err(at + ": unexpected event phase '" + ph->string + "'");
+    }
+  }
+
+  report.tracks = x_tracks.size();
+  report.pids = pids.size();
+
+  if (report.duration_events == 0) {
+    err("trace contains no duration events");
+  }
+
+  // Duration conservation per pid: busy + idle + transition == sim length.
+  if (report.sim_length_us > 0.0) {
+    for (const auto& [pid, total] : pid_duration) {
+      // Tolerance: one seam per event is the worst accumulation case.
+      const double tol =
+          kSeamTolUs * static_cast<double>(report.duration_events + 1) +
+          1e-9 * report.sim_length_us;
+      if (std::fabs(total - report.sim_length_us) > tol) {
+        err("pid " + std::to_string(pid) +
+            ": busy/idle/transition durations sum to " +
+            std::to_string(total) + " us, expected sim length " +
+            std::to_string(report.sim_length_us) + " us");
+      }
+    }
+  } else {
+    err("otherData.sim_length_us missing — cannot check duration "
+        "conservation");
+  }
+
+  return report;
+}
+
+}  // namespace dvs::obs

@@ -1,0 +1,45 @@
+// Structural validator for exported Chrome trace-event JSON.
+//
+// Round-trips what obs/chrome_trace.hpp writes: parses the document with
+// the minimal JSON parser and checks the invariants any consumer
+// (chrome://tracing, Perfetto) relies on, plus the physics this
+// simulator guarantees:
+//
+//   1. well-formed JSON with a top-level "traceEvents" array of objects,
+//      each carrying a string "ph" and numeric "pid" (duration events
+//      additionally name, tid, finite ts and dur >= 0);
+//   2. monotone per-track timestamps — on every (pid, tid) row the "X"
+//      events are ordered and non-overlapping, and every counter track's
+//      samples are in non-decreasing ts order;
+//   3. duration conservation — per pid, busy + idle + transition "X"
+//      durations sum to otherData.sim_length_us: the single processor is
+//      in exactly one state at every instant, so the rows of one governor
+//      partition the simulated interval.
+//
+// Used by tools/trace_check (CI round-trip smoke) and the test suite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dvs::obs {
+
+struct TraceCheckReport {
+  std::vector<std::string> errors;  ///< empty iff the trace validates
+
+  // Statistics for the tool's summary line.
+  std::size_t events = 0;          ///< total entries in traceEvents
+  std::size_t duration_events = 0; ///< "X" events checked
+  std::size_t tracks = 0;          ///< distinct (pid, tid) rows
+  std::size_t pids = 0;            ///< distinct processes (governors)
+  double sim_length_us = 0.0;      ///< from otherData (0 when absent)
+
+  [[nodiscard]] bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Validate a Chrome trace-event JSON document (the full file contents).
+/// Never throws on bad input — parse failures become report errors.
+[[nodiscard]] TraceCheckReport check_chrome_trace(const std::string& json);
+
+}  // namespace dvs::obs

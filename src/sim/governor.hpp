@@ -16,6 +16,7 @@
 // completes.
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -77,6 +78,18 @@ class Governor {
   /// on_start (all EDF slack-analysis governors do).
   [[nodiscard]] virtual double select_speed(const Job& running,
                                             const SimContext& ctx) = 0;
+
+  /// Decision reporting for the observability layer (obs/audit.hpp): the
+  /// slack estimate — seconds of provable stretch beyond the running
+  /// job's remaining worst-case budget — that backed the most recent
+  /// select_speed() return value.  The simulator reads it immediately
+  /// after each dispatch when a DecisionAudit is attached, pairing it
+  /// later with the slack that actually materialized.  Policies without
+  /// an explicit slack model return NaN (recorded but excluded from the
+  /// accuracy statistics); wrappers forward or re-derive it.
+  [[nodiscard]] virtual Time last_slack_estimate() const {
+    return std::numeric_limits<Time>::quiet_NaN();
+  }
 
   /// Identifier used in reports and the registry.
   [[nodiscard]] virtual std::string name() const = 0;

@@ -12,7 +12,8 @@ std::string SimResult::summary() const {
                   std::to_string(jobs_completed) + "/" +
                   std::to_string(jobs_released) + ", misses " +
                   std::to_string(deadline_misses) + ", switches " +
-                  std::to_string(speed_switches) + ", avg speed " +
+                  std::to_string(speed_switches) + ", preempts " +
+                  std::to_string(preemptions) + ", avg speed " +
                   util::format_double(average_speed, 3);
   if (jobs_overrun > 0 || processor_faults > 0) {
     s += ", overruns " + std::to_string(jobs_overrun) + " (contained " +

@@ -51,6 +51,11 @@ struct SimResult {
   /// Number of speed changes between consecutive execution segments.
   std::int64_t speed_switches = 0;
 
+  /// Times a job's execution was interrupted by a higher-priority job
+  /// (the previously running job was unfinished when another was
+  /// dispatched).
+  std::int64_t preemptions = 0;
+
   // Fault / containment accounting (all zero on fault-free runs).
   /// Jobs whose drawn demand exceeded their WCET budget.
   std::int64_t jobs_overrun = 0;

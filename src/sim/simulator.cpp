@@ -39,6 +39,18 @@ class SimEngine final : public SimContext {
     if (opts_.policy == SchedulingPolicy::kFixedPriority) {
       priorities_ = sched::deadline_monotonic_priorities(ts_);
     }
+    if (opts_.metrics != nullptr) {
+      // Instruments are created once and cached; the hot path never
+      // re-hashes a name.  Bucket layouts are derived from the task set,
+      // so they are as deterministic as the simulation itself.
+      auto& m = *opts_.metrics;
+      speed_hist_ = &m.histogram("speed_residency_s", 0.0, 1.0, 20);
+      depth_hist_ = &m.histogram("ready_queue_depth", 0.0,
+                                 static_cast<double>(ts_.size()) + 1.0,
+                                 ts_.size() + 1);
+      depth_gauge_ = &m.gauge("ready_queue_depth_last");
+      dispatch_counter_ = &m.counter("dispatches");
+    }
   }
 
   SimResult run() {
@@ -166,6 +178,11 @@ class SimEngine final : public SimContext {
   /// budget without completing (a detected overrun — real kernels see the
   /// enforcement timer fire) bypasses the governor and runs at max speed.
   double decide_speed(Job& job) {
+    if (dispatch_counter_ != nullptr) {
+      dispatch_counter_->inc();
+      depth_hist_->add(static_cast<double>(ready_.size()) + 0.5);
+      depth_gauge_->set(static_cast<double>(ready_.size()));
+    }
     if (opts_.containment == OverrunPolicy::kEscalateToMaxSpeed &&
         job.executed >= job.wcet - kTimeEps &&
         job.remaining_actual() > kTimeEps) {
@@ -173,6 +190,8 @@ class SimEngine final : public SimContext {
         job.escalated = true;
         ++contained_;
       }
+      // Escalation bypasses the governor — audited with no slack estimate.
+      record_decision(job, 1.0, 1.0, /*from_governor=*/false);
       return 1.0;
     }
     double req = governor_.select_speed(job, *this);
@@ -180,7 +199,25 @@ class SimEngine final : public SimContext {
                "governor '" + governor_.name() +
                    "' returned a non-positive or non-finite speed");
     req = std::min(req, 1.0);
-    return proc_.scale.quantize_up(req);
+    const double chosen = proc_.scale.quantize_up(req);
+    record_decision(job, req, chosen, /*from_governor=*/true);
+    return chosen;
+  }
+
+  void record_decision(const Job& job, double requested, double chosen,
+                       bool from_governor) {
+    if (opts_.audit == nullptr) return;
+    obs::Decision d;
+    d.at = t_;
+    d.task_id = job.task_id;
+    d.job_index = job.index;
+    d.remaining_wcet = job.remaining_wcet();
+    d.estimated_slack = from_governor
+                            ? governor_.last_slack_estimate()
+                            : std::numeric_limits<Time>::quiet_NaN();
+    d.requested_alpha = requested;
+    d.chosen_alpha = chosen;
+    opts_.audit->decision(d);
   }
 
   /// Charge the speed-switch cost when the operating point changes.  With
@@ -271,10 +308,19 @@ class SimEngine final : public SimContext {
     const Time t_next = std::min({t_fin, t_rel, t_budget, length_});
     DVS_ENSURE(t_next > t_, "simulation failed to make progress");
 
+    // Preemption accounting: dispatching a different job while the
+    // previous one is unfinished means the previous one was interrupted.
+    if (last_running_ != nullptr && last_running_ != &job &&
+        !last_running_->finished()) {
+      ++preemptions_;
+    }
+    last_running_ = &job;
+
     const Time dt = t_next - t_;
     meter_.add_busy(dt, alpha, job.task_id);
     retired_work_ += alpha * dt;
     job.executed += alpha * dt;
+    if (speed_hist_ != nullptr) speed_hist_->add(alpha, dt);
     if (opts_.trace != nullptr) {
       opts_.trace->segment(
           {t_, t_next, SegmentKind::kBusy, job.task_id, job.index, alpha});
@@ -290,6 +336,10 @@ class SimEngine final : public SimContext {
   void complete(Job& job) {
     job.executed = job.actual;  // snap away rounding residue
     job.completion = t_;
+    if (last_running_ == &job) last_running_ = nullptr;
+    if (opts_.audit != nullptr) {
+      opts_.audit->complete(job.task_id, job.index, job.abs_deadline - t_);
+    }
     auto& worst = worst_response_[static_cast<std::size_t>(job.task_id)];
     worst = std::max(worst, job.completion - job.release);
     job.missed = time_less(job.abs_deadline, t_);
@@ -341,6 +391,7 @@ class SimEngine final : public SimContext {
     r.deadline_misses = misses_;
     r.jobs_truncated = truncated;
     r.speed_switches = switches_;
+    r.preemptions = preemptions_;
     r.jobs_overrun = overruns_;
     r.overruns_contained = contained_;
     r.processor_faults = hw_faults_;
@@ -353,6 +404,21 @@ class SimEngine final : public SimContext {
       for (const auto& j : jobs_) {
         r.jobs.push_back({j.task_id, j.index, j.release, j.abs_deadline,
                           j.completion, j.wcet, j.actual, j.missed});
+      }
+    }
+    if (opts_.metrics != nullptr) {
+      opts_.metrics->counter("preemptions").inc(preemptions_);
+      opts_.metrics->counter("deadline_misses").inc(misses_);
+      if (opts_.audit != nullptr && !opts_.audit->empty()) {
+        // Prediction-error histogram spans ± the longest relative deadline:
+        // no estimate can be off by more than one deadline in either
+        // direction without the run being broken anyway.
+        Time d_max = 0.0;
+        for (const auto& task : ts_.tasks()) {
+          d_max = std::max(d_max, task.deadline);
+        }
+        auto& h = opts_.metrics->histogram("slack_error_s", -d_max, d_max, 32);
+        opts_.audit->fill_error_histogram(h);
       }
     }
     return r;
@@ -385,6 +451,15 @@ class SimEngine final : public SimContext {
   std::int64_t contained_ = 0;       ///< clamp/escalate actions taken
   std::int64_t hw_faults_ = 0;       ///< injected processor faults observed
   std::int64_t switch_attempts_ = 0; ///< fault-model index (incl. ignored)
+  std::int64_t preemptions_ = 0;     ///< interrupted-while-unfinished count
+  const Job* last_running_ = nullptr;  ///< job of the previous exec segment
+
+  // Cached metrics instruments (null unless SimOptions::metrics is set);
+  // caching keeps the hot path to a single pointer test per sample.
+  obs::Histogram* speed_hist_ = nullptr;
+  obs::Histogram* depth_hist_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+  obs::Counter* dispatch_counter_ = nullptr;
 };
 
 }  // namespace

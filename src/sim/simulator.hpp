@@ -16,6 +16,8 @@
 #pragma once
 
 #include "cpu/processors.hpp"
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
 #include "sim/governor.hpp"
 #include "sim/result.hpp"
 #include "sim/trace.hpp"
@@ -62,6 +64,18 @@ struct SimOptions {
   /// model that never exceeds the WCET — every model in task/workload.hpp —
   /// behavior is exactly the pre-fault-injection simulator.
   OverrunPolicy containment = OverrunPolicy::kNone;
+
+  /// Optional metrics sink (DESIGN.md §8).  When attached, the run fills
+  /// speed-residency / ready-queue-depth histograms and dispatch /
+  /// preemption counters; when null every metrics call is skipped (zero
+  /// overhead when disabled).  Purely observational: attaching a registry
+  /// never changes a single simulated value.
+  obs::MetricsRegistry* metrics = nullptr;
+
+  /// Optional governor decision audit: one obs::Decision per dispatch
+  /// (time, job, slack estimate, requested/chosen alpha), realized slack
+  /// backfilled at job completion.  Observational, like `metrics`.
+  obs::DecisionAudit* audit = nullptr;
 };
 
 /// Run one simulation.  Throws ContractError for invalid inputs (empty or

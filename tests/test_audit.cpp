@@ -1,0 +1,246 @@
+// The governor decision audit: record/backfill semantics, the slack-error
+// histograms of the analysis governors, the purely-observational contract,
+// and thread-count independence of audited sweeps (DESIGN.md §8).
+#include "obs/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "exp/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "task/benchmarks.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::obs {
+namespace {
+
+TEST(DecisionAudit, BackfillsRealizedSlackIntoEveryDecisionOfTheJob) {
+  DecisionAudit audit;
+  Decision d;
+  d.task_id = 1;
+  d.job_index = 7;
+  d.estimated_slack = 0.5;
+  d.at = 0.0;
+  audit.decision(d);
+  d.at = 1.0;  // same job dispatched again after a preemption
+  audit.decision(d);
+  audit.complete(1, 7, 0.75);
+  ASSERT_EQ(audit.records().size(), 2u);
+  EXPECT_DOUBLE_EQ(audit.records()[0].realized_slack, 0.75);
+  EXPECT_DOUBLE_EQ(audit.records()[1].realized_slack, 0.75);
+}
+
+TEST(DecisionAudit, AccuracyCountsOnlyFullyObservedDecisions) {
+  DecisionAudit audit;
+  Decision with_estimate;
+  with_estimate.task_id = 0;
+  with_estimate.job_index = 0;
+  with_estimate.estimated_slack = 1.0;
+  audit.decision(with_estimate);
+
+  Decision no_estimate;  // NaN estimate: recorded but never audited
+  no_estimate.task_id = 0;
+  no_estimate.job_index = 1;
+  audit.decision(no_estimate);
+
+  Decision never_completes;
+  never_completes.task_id = 0;
+  never_completes.job_index = 2;
+  never_completes.estimated_slack = 2.0;
+  audit.decision(never_completes);
+
+  audit.complete(0, 0, 1.25);
+  audit.complete(0, 1, 0.5);
+
+  const SlackAccuracy acc = audit.accuracy();
+  EXPECT_EQ(acc.decisions, 3);
+  EXPECT_EQ(acc.audited, 1);
+  EXPECT_DOUBLE_EQ(acc.bias(), 0.25);
+  EXPECT_DOUBLE_EQ(acc.mae(), 0.25);
+  EXPECT_DOUBLE_EQ(acc.min_error, 0.25);
+  EXPECT_DOUBLE_EQ(acc.max_error, 0.25);
+}
+
+TEST(SlackAccuracy, MergeIsExact) {
+  SlackAccuracy a;
+  a.decisions = 2;
+  a.add_error(0.5);
+  SlackAccuracy b;
+  b.decisions = 3;
+  b.add_error(-0.25);
+  b.add_error(1.0);
+
+  SlackAccuracy merged = a;
+  merged.merge(b);
+  EXPECT_EQ(merged.decisions, 5);
+  EXPECT_EQ(merged.audited, 3);
+  EXPECT_DOUBLE_EQ(merged.sum_error, 0.5 - 0.25 + 1.0);
+  EXPECT_DOUBLE_EQ(merged.sum_abs_error, 0.5 + 0.25 + 1.0);
+  EXPECT_DOUBLE_EQ(merged.min_error, -0.25);
+  EXPECT_DOUBLE_EQ(merged.max_error, 1.0);
+  // Merging an empty summary is the identity.
+  merged.merge(SlackAccuracy{});
+  EXPECT_EQ(merged.audited, 3);
+  EXPECT_DOUBLE_EQ(merged.min_error, -0.25);
+}
+
+/// One simulation with full observability attached.
+struct ObservedRun {
+  sim::SimResult result;
+  MetricsRegistry metrics;
+  SlackAccuracy accuracy;
+};
+
+ObservedRun observe(const std::string& governor_name) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const auto workload = task::uniform_model(2002);
+  auto governor = core::make_governor(governor_name);
+  ObservedRun run;
+  DecisionAudit audit;
+  sim::SimOptions opts;
+  opts.length = 0.1;
+  opts.metrics = &run.metrics;
+  opts.audit = &audit;
+  run.result = sim::simulate(ts, *workload, cpu::ideal_processor(), *governor,
+                             opts);
+  run.accuracy = audit.accuracy();
+  return run;
+}
+
+TEST(AuditedSimulation, LpSehErrorHistogramIsPopulatedAndNonDegenerate) {
+  ObservedRun run = observe("lpSEH");
+  ASSERT_GT(run.accuracy.audited, 50);
+  const Histogram* h = run.metrics.find_histogram("slack_error_s");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->samples(), run.accuracy.audited);
+  // Non-degenerate: the errors spread over several buckets rather than
+  // collapsing into one.
+  EXPECT_GE(h->nonzero_buckets(), 3u);
+}
+
+TEST(AuditedSimulation, DraErrorHistogramIsPopulatedAndNonDegenerate) {
+  ObservedRun run = observe("DRA");
+  ASSERT_GT(run.accuracy.audited, 50);
+  const Histogram* h = run.metrics.find_histogram("slack_error_s");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->samples(), run.accuracy.audited);
+  EXPECT_GE(h->nonzero_buckets(), 3u);
+}
+
+TEST(AuditedSimulation, NoDvsRecordsDecisionsButExposesNoEstimate) {
+  ObservedRun run = observe("noDVS");
+  EXPECT_GT(run.accuracy.decisions, 0);
+  EXPECT_EQ(run.accuracy.audited, 0);
+}
+
+TEST(AuditedSimulation, CoreMetricsArePopulated) {
+  ObservedRun run = observe("lpSEH");
+  const Counter* dispatches = run.metrics.find_counter("dispatches");
+  ASSERT_NE(dispatches, nullptr);
+  EXPECT_GT(dispatches->value(), 0);
+  const Histogram* residency = run.metrics.find_histogram("speed_residency_s");
+  ASSERT_NE(residency, nullptr);
+  // Residency weight is seconds of busy time: it must sum to the result's.
+  EXPECT_NEAR(residency->weight_sum(), run.result.busy_time, 1e-9);
+  const Counter* preempts = run.metrics.find_counter("preemptions");
+  ASSERT_NE(preempts, nullptr);
+  EXPECT_EQ(preempts->value(), run.result.preemptions);
+}
+
+TEST(AuditedSimulation, ObservabilityNeverChangesTheSimulation) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const auto workload = task::uniform_model(7);
+  sim::SimOptions bare_opts;
+  bare_opts.length = 0.1;
+  auto bare_gov = core::make_governor("lpSEH");
+  const sim::SimResult bare =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), *bare_gov,
+                    bare_opts);
+
+  MetricsRegistry metrics;
+  DecisionAudit audit;
+  sim::SimOptions obs_opts;
+  obs_opts.length = 0.1;
+  obs_opts.metrics = &metrics;
+  obs_opts.audit = &audit;
+  auto obs_gov = core::make_governor("lpSEH");
+  const sim::SimResult observed =
+      sim::simulate(ts, *workload, cpu::ideal_processor(), *obs_gov, obs_opts);
+
+  // Bit-identical, not merely close: observability is read-only.
+  EXPECT_EQ(bare.busy_energy, observed.busy_energy);
+  EXPECT_EQ(bare.idle_energy, observed.idle_energy);
+  EXPECT_EQ(bare.transition_energy, observed.transition_energy);
+  EXPECT_EQ(bare.busy_time, observed.busy_time);
+  EXPECT_EQ(bare.idle_time, observed.idle_time);
+  EXPECT_EQ(bare.jobs_released, observed.jobs_released);
+  EXPECT_EQ(bare.jobs_completed, observed.jobs_completed);
+  EXPECT_EQ(bare.deadline_misses, observed.deadline_misses);
+  EXPECT_EQ(bare.speed_switches, observed.speed_switches);
+  EXPECT_EQ(bare.preemptions, observed.preemptions);
+  EXPECT_EQ(bare.average_speed, observed.average_speed);
+  EXPECT_EQ(bare.per_task_energy, observed.per_task_energy);
+  EXPECT_EQ(bare.worst_response, observed.worst_response);
+}
+
+exp::CaseBuilder sweep_builder() {
+  return [](double u, std::size_t, std::uint64_t seed) {
+    task::GeneratorConfig gen;
+    gen.n_tasks = 4;
+    gen.total_utilization = u;
+    gen.period_min = 0.02;
+    gen.period_max = 0.1;
+    util::Rng rng(seed);
+    return exp::Case{task::generate_task_set(gen, rng),
+                     task::uniform_model(seed)};
+  };
+}
+
+TEST(AuditedSweep, SlackAccuracyIsThreadCountIndependent) {
+  exp::ExperimentConfig cfg;
+  cfg.governors = {"lpSEH", "DRA", "lppsEDF"};
+  cfg.processor = cpu::ideal_processor();
+  cfg.replications = 3;
+  cfg.sim_length = 0.3;
+  cfg.audit_decisions = true;
+
+  cfg.n_threads = 1;
+  const auto serial = exp::run_sweep(cfg, "U", {0.5, 0.8}, sweep_builder());
+  cfg.n_threads = 4;
+  const auto parallel = exp::run_sweep(cfg, "U", {0.5, 0.8}, sweep_builder());
+
+  ASSERT_EQ(serial.slack_accuracy.size(), parallel.slack_accuracy.size());
+  bool any_audited = false;
+  for (std::size_t g = 0; g < serial.slack_accuracy.size(); ++g) {
+    const SlackAccuracy& a = serial.slack_accuracy[g];
+    const SlackAccuracy& b = parallel.slack_accuracy[g];
+    EXPECT_EQ(a.decisions, b.decisions);
+    EXPECT_EQ(a.audited, b.audited);
+    EXPECT_EQ(a.sum_error, b.sum_error);  // exact, not approximate
+    EXPECT_EQ(a.sum_abs_error, b.sum_abs_error);
+    EXPECT_EQ(a.min_error, b.min_error);
+    EXPECT_EQ(a.max_error, b.max_error);
+    any_audited |= a.audited > 0;
+  }
+  EXPECT_TRUE(any_audited);
+  // The audit rides along without perturbing the data aggregates.
+  cfg.audit_decisions = false;
+  cfg.n_threads = 1;
+  const auto unaudited = exp::run_sweep(cfg, "U", {0.5, 0.8}, sweep_builder());
+  ASSERT_EQ(unaudited.points.size(), serial.points.size());
+  for (std::size_t p = 0; p < serial.points.size(); ++p) {
+    for (std::size_t g = 0; g < serial.governors.size(); ++g) {
+      EXPECT_EQ(serial.points[p].normalized_energy[g].mean(),
+                unaudited.points[p].normalized_energy[g].mean());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dvs::obs

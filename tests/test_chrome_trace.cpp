@@ -1,0 +1,198 @@
+// The Chrome-trace exporter stack: the minimal JSON parser it validates
+// with, string escaping, the export -> check_chrome_trace round-trip on a
+// real simulation, and the validator's rejection of tampered documents.
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "obs/json_mini.hpp"
+#include "obs/trace_check.hpp"
+#include "sim/simulator.hpp"
+#include "task/benchmarks.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::obs {
+namespace {
+
+// ---------------------------------------------------------------- parser
+
+TEST(JsonMini, ParsesScalarsAndContainers) {
+  const JsonValue v = parse_json(
+      R"({"a": 1.5, "b": [true, false, null], "c": "hi", "d": {}})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->is_number());
+  EXPECT_DOUBLE_EQ(a->number, 1.5);
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->array.size(), 3u);
+  EXPECT_TRUE(b->array[0].boolean);
+  EXPECT_FALSE(b->array[1].boolean);
+  EXPECT_TRUE(b->array[2].is_null());
+  EXPECT_EQ(v.find("c")->string, "hi");
+  EXPECT_TRUE(v.find("d")->is_object());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonMini, DecodesEscapesIncludingUnicode) {
+  const JsonValue v = parse_json(R"(["a\"b\\c\n", "é", "\t\r"])");
+  ASSERT_TRUE(v.is_array());
+  ASSERT_EQ(v.array.size(), 3u);
+  EXPECT_EQ(v.array[0].string, "a\"b\\c\n");
+  EXPECT_EQ(v.array[1].string, "\xc3\xa9");  // e-acute as UTF-8
+  EXPECT_EQ(v.array[2].string, "\t\r");
+}
+
+TEST(JsonMini, ParsesNumbersWithExponents) {
+  const JsonValue v = parse_json("[-0.5, 1e3, 2.5E-2]");
+  ASSERT_EQ(v.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.array[0].number, -0.5);
+  EXPECT_DOUBLE_EQ(v.array[1].number, 1000.0);
+  EXPECT_DOUBLE_EQ(v.array[2].number, 0.025);
+}
+
+TEST(JsonMini, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), util::ContractError);
+  EXPECT_THROW(parse_json("{"), util::ContractError);
+  EXPECT_THROW(parse_json("[1,]"), util::ContractError);
+  EXPECT_THROW(parse_json("\"unterminated"), util::ContractError);
+  EXPECT_THROW(parse_json("{\"k\": 1} trailing"), util::ContractError);
+  EXPECT_THROW(parse_json("\"bad \\q escape\""), util::ContractError);
+  EXPECT_THROW(parse_json("nul"), util::ContractError);
+}
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ----------------------------------------------------------- round-trip
+
+/// Simulate `names` on the CNC set and export one trace document.
+/// `length_scale` misreports the simulated length to the exporter (1.0 is
+/// honest) — the tamper knob for the duration-conservation check.
+std::string exported_trace(const std::vector<std::string>& names,
+                           double length_scale = 1.0) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const auto workload = task::uniform_model(2002);
+  std::vector<sim::VectorTrace> recordings(names.size());
+  Time sim_length = 0.0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    auto governor = core::make_governor(names[i]);
+    sim::SimOptions opts;
+    opts.length = 0.05;
+    opts.trace = &recordings[i];
+    const sim::SimResult r = sim::simulate(ts, *workload,
+                                           cpu::ideal_processor(), *governor,
+                                           opts);
+    sim_length = r.sim_length;
+  }
+  std::vector<GovernorTrace> traces;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    traces.push_back({names[i], &recordings[i]});
+  }
+  std::ostringstream out;
+  write_chrome_trace(out, ts, traces, sim_length * length_scale);
+  return out.str();
+}
+
+TEST(ChromeTrace, ExportedSimulationValidates) {
+  const std::string json = exported_trace({"noDVS", "DRA", "lpSEH"});
+  const TraceCheckReport report = check_chrome_trace(json);
+  for (const auto& e : report.errors) ADD_FAILURE() << e;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.pids, 3u);
+  EXPECT_GT(report.duration_events, 0u);
+  EXPECT_GT(report.tracks, 3u);  // task rows + cpu row per governor
+  EXPECT_NEAR(report.sim_length_us, 0.05 * 1e6, 1.0);
+}
+
+TEST(ChromeTrace, ExportIsDeterministic) {
+  EXPECT_EQ(exported_trace({"DRA"}), exported_trace({"DRA"}));
+}
+
+// ------------------------------------------------------------ tampering
+
+TEST(TraceCheck, RejectsTruncatedJson) {
+  std::string json = exported_trace({"DRA"});
+  json.resize(json.size() / 2);
+  const TraceCheckReport report = check_chrome_trace(json);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(TraceCheck, RejectsMissingTraceEvents) {
+  const TraceCheckReport report = check_chrome_trace(R"({"otherData": {}})");
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(TraceCheck, RejectsDurationSumMismatch) {
+  // The document advertises a simulation 10% shorter than the one the
+  // segments actually cover: per-pid X durations no longer sum to it.
+  const std::string json = exported_trace({"DRA"}, 0.9);
+  const TraceCheckReport report = check_chrome_trace(json);
+  EXPECT_FALSE(report.ok());
+  bool mentions_sum = false;
+  for (const auto& e : report.errors) {
+    mentions_sum |= e.find("sum to") != std::string::npos;
+  }
+  EXPECT_TRUE(mentions_sum);
+}
+
+TEST(TraceCheck, RejectsOverlappingDurationEvents) {
+  // Hand-built minimal document: two X events on one row overlap in time.
+  const std::string json = R"({"traceEvents": [
+    {"ph": "X", "pid": 0, "tid": 0, "name": "a", "ts": 0, "dur": 10},
+    {"ph": "X", "pid": 0, "tid": 0, "name": "b", "ts": 5, "dur": 10}
+  ], "otherData": {"sim_length_us": 20}})";
+  const TraceCheckReport report = check_chrome_trace(json);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("overlapping"), std::string::npos);
+}
+
+TEST(TraceCheck, RejectsNonMonotoneCounterTrack) {
+  const std::string json = R"({"traceEvents": [
+    {"ph": "X", "pid": 0, "tid": 0, "name": "a", "ts": 0, "dur": 20},
+    {"ph": "C", "pid": 0, "name": "speed", "ts": 10, "args": {"alpha": 1}},
+    {"ph": "C", "pid": 0, "name": "speed", "ts": 5, "args": {"alpha": 0.5}}
+  ], "otherData": {"sim_length_us": 20}})";
+  const TraceCheckReport report = check_chrome_trace(json);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("not monotone"), std::string::npos);
+}
+
+TEST(TraceCheck, RejectsMissingSimLength) {
+  const std::string json = R"({"traceEvents": [
+    {"ph": "X", "pid": 0, "tid": 0, "name": "a", "ts": 0, "dur": 10}
+  ]})";
+  const TraceCheckReport report = check_chrome_trace(json);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(TraceCheck, AcceptsMinimalWellFormedDocument) {
+  const std::string json = R"({"traceEvents": [
+    {"ph": "X", "pid": 0, "tid": 0, "name": "a", "ts": 0, "dur": 10},
+    {"ph": "X", "pid": 0, "tid": 0, "name": "b", "ts": 10, "dur": 5}
+  ], "otherData": {"sim_length_us": 15}})";
+  const TraceCheckReport report = check_chrome_trace(json);
+  for (const auto& e : report.errors) ADD_FAILURE() << e;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.duration_events, 2u);
+  EXPECT_EQ(report.tracks, 1u);
+}
+
+}  // namespace
+}  // namespace dvs::obs

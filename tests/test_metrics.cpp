@@ -1,0 +1,142 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dvs::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42);
+}
+
+TEST(Gauge, TracksMinAndMax) {
+  Gauge g;
+  EXPECT_FALSE(g.seen());
+  g.set(3.0);
+  g.set(-1.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+  EXPECT_DOUBLE_EQ(g.min(), -1.0);
+  EXPECT_DOUBLE_EQ(g.max(), 3.0);
+  EXPECT_TRUE(g.seen());
+}
+
+TEST(Histogram, PlacesSamplesInTheRightBuckets) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);   // bucket 0
+  h.add(0.95);   // bucket 9
+  h.add(0.55, 2.0);  // bucket 5, weight 2
+  EXPECT_DOUBLE_EQ(h.bucket_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(5), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_weight(9), 1.0);
+  EXPECT_EQ(h.samples(), 3);
+  EXPECT_DOUBLE_EQ(h.weight_sum(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min_seen(), 0.05);
+  EXPECT_DOUBLE_EQ(h.max_seen(), 0.95);
+  EXPECT_EQ(h.nonzero_buckets(), 3u);
+}
+
+TEST(Histogram, UnderAndOverflowAreExplicit) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.0);  // hi is exclusive: lands in overflow
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_EQ(h.samples(), 3);
+  EXPECT_EQ(h.nonzero_buckets(), 2u);  // the two boundary buckets
+}
+
+TEST(Histogram, DropsNonFiniteSamples) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(0.5, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.samples(), 0);
+  EXPECT_EQ(h.dropped(), 3);
+  EXPECT_DOUBLE_EQ(h.weight_sum(), 0.0);
+}
+
+TEST(Histogram, RejectsEmptyRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), util::ContractError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), util::ContractError);
+}
+
+TEST(MetricsRegistry, ReturnsStableInstruments) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("dispatches");
+  // Growing the registry must not invalidate handed-out references.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("c" + std::to_string(i));
+  }
+  Counter& b = reg.counter("dispatches");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(reg.find_counter("dispatches")->value(), 1);
+}
+
+TEST(MetricsRegistry, HistogramRelookupMustMatchLayout) {
+  MetricsRegistry reg;
+  reg.histogram("h", 0.0, 1.0, 8);
+  EXPECT_NO_THROW(reg.histogram("h", 0.0, 1.0, 8));
+  EXPECT_THROW(reg.histogram("h", 0.0, 2.0, 8), util::ContractError);
+  EXPECT_THROW(reg.histogram("h", 0.0, 1.0, 16), util::ContractError);
+}
+
+TEST(MetricsRegistry, KindsShareNamesWithoutCollision) {
+  MetricsRegistry reg;
+  reg.counter("x").inc(7);
+  reg.gauge("x").set(1.5);
+  EXPECT_EQ(reg.find_counter("x")->value(), 7);
+  EXPECT_DOUBLE_EQ(reg.find_gauge("x")->value(), 1.5);
+  EXPECT_EQ(reg.find_histogram("x"), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricsRegistry, CsvIsInsertionOrderedAndDeterministic) {
+  MetricsRegistry reg;
+  reg.counter("first").inc(2);
+  reg.gauge("second").set(0.5);
+  reg.histogram("third", 0.0, 1.0, 2).add(0.25);
+
+  std::ostringstream a;
+  reg.write_csv(a);
+  std::ostringstream b;
+  reg.write_csv(b);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical re-export
+
+  const std::string out = a.str();
+  EXPECT_EQ(out.find("kind,name,field,value"), 0u);
+  const auto p1 = out.find("counter,first");
+  const auto p2 = out.find("gauge,second");
+  const auto p3 = out.find("histogram,third");
+  ASSERT_NE(p1, std::string::npos);
+  ASSERT_NE(p2, std::string::npos);
+  ASSERT_NE(p3, std::string::npos);
+  EXPECT_LT(p1, p2);
+  EXPECT_LT(p2, p3);
+  EXPECT_NE(out.find("histogram,third,bucket[0;0.5),1"), std::string::npos);
+}
+
+TEST(MetricsRegistry, PrintMentionsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("dispatches").inc(3);
+  reg.histogram("residency", 0.0, 1.0, 4).add(0.5, 2.0);
+  std::ostringstream out;
+  reg.print(out);
+  EXPECT_NE(out.str().find("dispatches = 3"), std::string::npos);
+  EXPECT_NE(out.str().find("residency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dvs::obs

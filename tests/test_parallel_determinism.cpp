@@ -64,6 +64,7 @@ void expect_same_result(const sim::SimResult& a, const sim::SimResult& b) {
   EXPECT_EQ(a.deadline_misses, b.deadline_misses);
   EXPECT_EQ(a.jobs_truncated, b.jobs_truncated);
   EXPECT_EQ(a.speed_switches, b.speed_switches);
+  EXPECT_EQ(a.preemptions, b.preemptions);
   EXPECT_EQ(a.average_speed, b.average_speed);
   EXPECT_EQ(a.per_task_energy, b.per_task_energy);
   EXPECT_EQ(a.worst_response, b.worst_response);

@@ -1,0 +1,73 @@
+// Golden-text tests for the trace renderers: the exact ASCII Gantt and
+// CSV bytes for a hand-built trace, pinning column mapping, speed marks,
+// label padding and number formatting.  A deliberate change to either
+// format should update these strings consciously.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/trace.hpp"
+#include "task/task.hpp"
+#include "task/task_set.hpp"
+
+namespace dvs::sim {
+namespace {
+
+/// Two tasks, five segments; the transition at [1, 1.25) splits task a's
+/// job 0 into two half-speed chunks that must NOT merge across it even
+/// though stream identity (task, job, alpha) matches.
+VectorTrace golden_trace() {
+  VectorTrace t;
+  t.segment({0.0, 1.0, SegmentKind::kBusy, 0, 0, 0.5});
+  t.segment({1.0, 1.25, SegmentKind::kTransition, -1, -1, 0.0});
+  t.segment({1.25, 2.0, SegmentKind::kBusy, 0, 0, 0.5});
+  t.segment({2.0, 3.0, SegmentKind::kBusy, 1, 0, 1.0});
+  t.segment({3.0, 4.0, SegmentKind::kIdle, -1, -1, 0.0});
+  return t;
+}
+
+task::TaskSet golden_task_set() {
+  task::TaskSet ts("golden");
+  ts.add(task::make_task(0, "a", 10.0, 2.0));
+  ts.add(task::make_task(1, "b", 10.0, 2.0));
+  return ts;
+}
+
+TEST(VectorTrace, NeverMergesAcrossATransition) {
+  const VectorTrace t = golden_trace();
+  ASSERT_EQ(t.segments().size(), 5u);
+  EXPECT_EQ(t.segments()[1].kind, SegmentKind::kTransition);
+  // The two busy chunks of (task 0, job 0, alpha 0.5) stayed separate.
+  EXPECT_DOUBLE_EQ(t.segments()[0].end, 1.0);
+  EXPECT_DOUBLE_EQ(t.segments()[2].begin, 1.25);
+}
+
+TEST(GanttGolden, RendersExactly) {
+  std::ostringstream os;
+  render_gantt(golden_trace(), golden_task_set(), 0.0, 4.0, os, 16);
+  // 16 columns over [0, 4): one column per 0.25 s.  '5' = alpha 0.5,
+  // 'F' = full speed, 'x' = transition, '.' = idle.
+  const std::string expected =
+      "a    |5555 555        |\n"
+      "b    |        FFFF    |\n"
+      "idle |    x       ....|\n"
+      "     ^0.000s ... 4.000s"
+      "  (digits = alpha*10, F = full speed, x = transition)\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+TEST(TraceCsvGolden, WritesExactly) {
+  std::ostringstream os;
+  write_trace_csv(golden_trace(), os);
+  const std::string expected =
+      "begin,end,kind,task,job,alpha\n"
+      "0.000000000,1.000000000,busy,0,0,0.500000\n"
+      "1.000000000,1.250000000,transition,-1,-1,0.000000\n"
+      "1.250000000,2.000000000,busy,0,0,0.500000\n"
+      "2.000000000,3.000000000,busy,1,0,1.000000\n"
+      "3.000000000,4.000000000,idle,-1,-1,0.000000\n";
+  EXPECT_EQ(os.str(), expected);
+}
+
+}  // namespace
+}  // namespace dvs::sim

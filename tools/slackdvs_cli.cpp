@@ -24,7 +24,13 @@
 //   --overrun-mag M             overrun demand = wcet * (1 + M); default 0.5
 //   --containment MODE          none | clamp_at_wcet | escalate_to_max_speed
 //                               (what the simulator does about overruns)
+//   --trace-out FILE.json       export every governor's schedule as Chrome
+//                               trace-event JSON (chrome://tracing, Perfetto)
+//   --metrics                   print per-governor metrics (speed residency,
+//                               queue depth, preemptions) and the slack-
+//                               estimate audit
 #include <cstdlib>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -37,6 +43,9 @@
 #include "cpu/processors.hpp"
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
+#include "obs/audit.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
 #include "sched/analysis.hpp"
 #include "sched/fixed_priority.hpp"
 #include "sim/simulator.hpp"
@@ -47,6 +56,7 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/table.hpp"
 
 namespace {
 
@@ -61,6 +71,7 @@ void usage() {
                    [--workload SPEC] [--length SECONDS] [--policy edf|fp]
                    [--gantt T0:T1] [--jobs N] [--overrun-prob P]
                    [--overrun-mag M] [--containment MODE]
+                   [--trace-out FILE.json] [--metrics]
   slackdvs gen     <utilization> <n_tasks> <seed> [out.csv]
 
 <taskset>: a CSV file or a preset (ins | cnc | avionics).
@@ -132,6 +143,29 @@ int cmd_analyze(const std::string& spec) {
   return edf ? 0 : 2;
 }
 
+/// Per-task energy breakdown: one row per task, one column per governor.
+/// (Satellite of the observability PR: SimResult::per_task_energy existed
+/// but never reached the CLI.)
+void print_per_task_energy(const task::TaskSet& ts,
+                           const std::vector<std::string>& names,
+                           const std::vector<const sim::SimResult*>& results) {
+  util::TextTable table;
+  std::vector<std::string> header{"task"};
+  header.insert(header.end(), names.begin(), names.end());
+  table.header(std::move(header));
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    std::vector<std::string> row{ts.tasks()[i].name};
+    for (const sim::SimResult* r : results) {
+      const double e = i < r->per_task_energy.size() ? r->per_task_energy[i]
+                                                     : 0.0;
+      row.push_back(util::format_double(e, 4));
+    }
+    table.row(std::move(row));
+  }
+  std::cout << "per-task busy energy (normalized units):\n";
+  table.render(std::cout);
+}
+
 int cmd_run(const std::vector<std::string>& args) {
   DVS_EXPECT(!args.empty(), "run: missing <taskset>");
   const task::TaskSet ts = resolve_task_set(args[0]);
@@ -148,6 +182,8 @@ int cmd_run(const std::vector<std::string>& args) {
   bool want_gantt = false;
   Time gantt_t0 = 0.0;
   Time gantt_t1 = 0.0;
+  std::string trace_out;
+  bool want_metrics = false;
   fault::FaultSpec fspec;
   fspec.seed = 42;
   fspec.overrun_magnitude = 0.5;
@@ -186,6 +222,11 @@ int cmd_run(const std::vector<std::string>& args) {
       fspec.overrun_magnitude = std::atof(value().c_str());
     } else if (a == "--containment") {
       containment = fault::containment_by_name(value());
+    } else if (a == "--trace-out") {
+      trace_out = value();
+      DVS_EXPECT(!trace_out.empty(), "--trace-out needs a file name");
+    } else if (a == "--metrics") {
+      want_metrics = true;
     } else if (a == "--gantt") {
       const std::string v = value();
       const auto colon = v.find(':');
@@ -216,6 +257,15 @@ int cmd_run(const std::vector<std::string>& args) {
                     ts.name() + " on " + processor.name + " (" +
                         workload->name() + ", EDF)");
     for (const auto& g : outcome.outcomes) misses += g.result.deadline_misses;
+    {
+      std::vector<std::string> names;
+      std::vector<const sim::SimResult*> results;
+      for (const auto& g : outcome.outcomes) {
+        names.push_back(g.governor);
+        results.push_back(&g.result);
+      }
+      print_per_task_energy(ts, names, results);
+    }
     if (fspec.injects_workload_faults() ||
         containment != sim::OverrunPolicy::kNone) {
       std::cout << "fault containment ("
@@ -239,12 +289,88 @@ int cmd_run(const std::vector<std::string>& args) {
     double ref = -1.0;
     std::cout << "== " << ts.name() << " on " << processor.name
               << " (fixed priorities) ==\n";
+    std::vector<sim::SimResult> fp_results;
     for (auto& g : fp_governors) {
       const auto r = sim::simulate(ts, *workload, processor, *g, opts);
       if (ref < 0.0) ref = r.total_energy();
       misses += r.deadline_misses;
       std::cout << "  " << r.summary() << "  normalized="
                 << util::format_double(r.total_energy() / ref, 4) << '\n';
+      fp_results.push_back(r);
+    }
+    {
+      std::vector<std::string> names;
+      std::vector<const sim::SimResult*> results;
+      for (const auto& r : fp_results) {
+        names.push_back(r.governor);
+        results.push_back(&r);
+      }
+      print_per_task_energy(ts, names, results);
+    }
+  }
+
+  if (!trace_out.empty() || want_metrics) {
+    // Observability pass: re-run every governor of the comparison with a
+    // trace recorder (and, with --metrics, a registry + decision audit)
+    // attached.  Determinism makes the re-run reproduce the comparison
+    // exactly; a deque keeps trace addresses stable for the exporter.
+    struct ObsRun {
+      std::string name;
+      sim::VectorTrace trace;
+    };
+    std::deque<ObsRun> obs_runs;
+    Time sim_len = 0.0;
+    auto observe = [&](sim::GovernorPtr g) {
+      obs_runs.emplace_back();
+      ObsRun& run = obs_runs.back();
+      sim::SimOptions o;
+      o.length = length;
+      o.policy = policy;
+      o.containment = containment;
+      o.trace = &run.trace;
+      obs::MetricsRegistry reg;
+      obs::DecisionAudit audit;
+      if (want_metrics) {
+        o.metrics = &reg;
+        o.audit = &audit;
+      }
+      const auto r = sim::simulate(ts, *workload, processor, *g, o);
+      run.name = r.governor;
+      sim_len = r.sim_length;
+      if (want_metrics) {
+        std::cout << "metrics of " << r.governor << ":\n";
+        reg.print(std::cout);
+        const obs::SlackAccuracy acc = audit.accuracy();
+        if (acc.audited > 0) {
+          std::cout << "  slack estimate: bias "
+                    << util::format_double(acc.bias(), 4) << " s, mae "
+                    << util::format_double(acc.mae(), 4) << " s over "
+                    << acc.audited << "/" << acc.decisions << " decisions\n";
+        } else if (acc.decisions > 0) {
+          std::cout << "  slack estimate: none exposed (" << acc.decisions
+                    << " decisions recorded)\n";
+        }
+      }
+    };
+    if (policy == sim::SchedulingPolicy::kEdf) {
+      for (const auto& name : governors) observe(core::make_governor(name));
+    } else {
+      observe(core::make_governor("noDVS"));
+      observe(std::make_unique<core::StaticFpGovernor>());
+      observe(std::make_unique<core::LppsFpGovernor>());
+    }
+    if (!trace_out.empty()) {
+      std::vector<obs::GovernorTrace> traces;
+      traces.reserve(obs_runs.size());
+      for (const ObsRun& run : obs_runs) {
+        traces.push_back({run.name, &run.trace});
+      }
+      std::ofstream out(trace_out);
+      DVS_EXPECT(out.is_open(), "cannot open trace output: " + trace_out);
+      obs::write_chrome_trace(out, ts, traces, sim_len);
+      std::cout << "wrote Chrome trace (" << traces.size()
+                << " governors) to " << trace_out
+                << "  [chrome://tracing or ui.perfetto.dev]\n";
     }
   }
 

@@ -1,0 +1,54 @@
+// trace_check — validate an exported Chrome trace-event JSON file.
+//
+//   trace_check <trace.json> [more.json ...]
+//
+// Round-trip guard for obs::write_chrome_trace: parses the document with
+// the dependency-free obs JSON parser and verifies the structural
+// invariants the exporter promises — well-formed JSON, complete duration
+// events with finite timestamps, monotone non-overlapping events per
+// (pid, tid) track, monotone counter samples, and per-pid busy + idle +
+// transition durations summing to the simulated length.  CI pipes every
+// exported trace through this tool, so a formatting regression fails the
+// build instead of silently producing files Perfetto rejects.
+//
+// Exit status: 0 when every file validates, 1 on any check failure or
+// unreadable file.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: " << argv[0] << " <trace.json> [more.json ...]\n";
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in.is_open()) {
+      std::cerr << path << ": cannot open\n";
+      all_ok = false;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const dvs::obs::TraceCheckReport report =
+        dvs::obs::check_chrome_trace(buffer.str());
+    if (report.ok()) {
+      std::cout << path << ": OK (" << report.events << " events, "
+                << report.duration_events << " duration events, "
+                << report.tracks << " tracks, " << report.pids
+                << " governors)\n";
+    } else {
+      all_ok = false;
+      std::cerr << path << ": INVALID (" << report.errors.size()
+                << " errors)\n";
+      for (const auto& e : report.errors) std::cerr << "  " << e << "\n";
+    }
+  }
+  return all_ok ? 0 : 1;
+}
