@@ -1,0 +1,305 @@
+// E10 — hot-path microbenchmark (repo experiment, no paper counterpart).
+//
+// Two measurements per governor, on the E1 workload (8 tasks, 5-ms period
+// grid, uniform actual demand):
+//
+//   * ns/decision — wall time of a full simulation divided by the number
+//     of governor dispatches in it (counted once with a DecisionAudit on
+//     an untimed run; the timed runs carry no observers).  This is the
+//     end-to-end cost of one scheduling decision including the engine's
+//     share, which is what a deployment would pay.
+//   * sims/s — single-thread simulation throughput over the E1
+//     utilization grid (one fresh governor per case, serial loop).
+//
+// Output: a human table on stdout and a JSON report (default
+// BENCH_hotpath.json; see docs/PERFORMANCE.md for the format).  With
+// `--check [baseline.json]` the run compares RELATIVE throughput —
+// each governor's sims/s divided by the same run's noDVS sims/s — against
+// the committed baseline and exits 1 on a regression beyond 30%.  The
+// regressions this gate exists for — losing the incremental sweep or the
+// scratch buffers puts the slack governors 2-3x down — sit far below the
+// threshold, while run-to-run noise on a loaded single core stays above
+// it.
+// Relative numbers are used because absolute sims/s measures the host
+// machine as much as the code; the noDVS ratio cancels the machine.
+//
+// Timing uses std::chrono::steady_clock directly (not google-benchmark):
+// each sample is a whole simulation, hundreds of microseconds at least,
+// so a monotonic clock and best-of-R is plenty — and the JSON stays fully
+// under our control.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/audit.hpp"
+#include "obs/json_mini.hpp"
+#include "sim/simulator.hpp"
+
+namespace dvs::bench {
+namespace {
+
+struct E10Options {
+  bool smoke = false;
+  bool check = false;
+  std::size_t reps = 0;  ///< 0: mode default (smoke 2, full 5)
+  std::string out = "BENCH_hotpath.json";
+  std::string baseline = "";  ///< --check default: next to the binary
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--smoke] [--reps N] [--out FILE] [--check [BASELINE]]\n"
+      << "  --smoke          tiny grid for CI smoke runs\n"
+      << "  --reps N         timing repetitions per measurement (best-of)\n"
+      << "  --out FILE       write the JSON report here\n"
+      << "  --check [FILE]   compare relative throughput against a baseline\n"
+      << "                   report (default bench/baseline_hotpath.json,\n"
+      << "                   resolved from the source tree) and exit 1 on a\n"
+      << "                   >30% regression\n";
+  std::exit(2);
+}
+
+E10Options parse(int argc, char** argv) {
+  E10Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--smoke") {
+      o.smoke = true;
+    } else if (a == "--reps" && i + 1 < argc) {
+      o.reps = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (a == "--out" && i + 1 < argc) {
+      o.out = argv[++i];
+    } else if (a == "--check") {
+      o.check = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') o.baseline = argv[++i];
+    } else {
+      usage(argv[0]);
+    }
+  }
+  return o;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Single sims are tens of microseconds — far below timer and scheduler
+/// noise on a shared core.  Like google-benchmark, calibrate an inner
+/// iteration count so one timed sample spans at least `min_sample_s`,
+/// then report the best per-iteration time across `reps` samples.
+constexpr double kMinSampleSeconds = 0.1;
+
+template <typename Body>
+double best_seconds_per_iteration(std::size_t reps, const Body& body) {
+  const auto c0 = Clock::now();
+  body();
+  const double once = std::max(seconds_since(c0), 1e-9);
+  const auto inner = static_cast<std::size_t>(kMinSampleSeconds / once) + 1;
+  double best = once;  // the calibration pass is itself a 1-iter sample
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < inner; ++i) body();
+    best = std::min(best, seconds_since(t0) / static_cast<double>(inner));
+  }
+  return best;
+}
+
+struct GovernorReport {
+  std::string name;
+  std::int64_t decisions = 0;
+  double ns_per_decision = 0.0;
+  double sims_per_second = 0.0;
+  double relative_throughput = 1.0;  ///< sims/s divided by noDVS sims/s
+};
+
+/// ns/decision on one fixed heavy case (E1 shape, U = 0.9).
+GovernorReport measure_decisions(const std::string& name, Time length,
+                                 std::size_t reps) {
+  GovernorReport rep;
+  rep.name = name;
+  const exp::Case c = uniform_case(base_generator(8, 0.9, 0.1), 20020304);
+  const cpu::Processor proc = cpu::ideal_processor();
+
+  {  // Count dispatches once; the audit is not attached to timed runs.
+    obs::DecisionAudit audit;
+    sim::SimOptions opts;
+    opts.length = length;
+    opts.audit = &audit;
+    auto gov = core::make_governor(name);
+    (void)sim::simulate(c.task_set, *c.workload, proc, *gov, opts);
+    rep.decisions = static_cast<std::int64_t>(audit.records().size());
+  }
+
+  sim::SimOptions opts;
+  opts.length = length;
+  const double best = best_seconds_per_iteration(reps, [&] {
+    auto gov = core::make_governor(name);
+    (void)sim::simulate(c.task_set, *c.workload, proc, *gov, opts);
+  });
+  if (rep.decisions > 0) {
+    rep.ns_per_decision = best * 1e9 / static_cast<double>(rep.decisions);
+  }
+  return rep;
+}
+
+/// Serial sims/s over the E1 utilization grid (fresh governor per case).
+double measure_throughput(const std::string& name,
+                          const std::vector<double>& utils, Time length,
+                          std::size_t reps) {
+  const cpu::Processor proc = cpu::ideal_processor();
+  std::vector<exp::Case> cases;
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    cases.push_back(
+        uniform_case(base_generator(8, utils[i], 0.1), 777 + 13 * i));
+  }
+  sim::SimOptions opts;
+  opts.length = length;
+  const double best = best_seconds_per_iteration(reps, [&] {
+    for (const auto& c : cases) {
+      auto gov = core::make_governor(name);
+      (void)sim::simulate(c.task_set, *c.workload, proc, *gov, opts);
+    }
+  });
+  return static_cast<double>(cases.size()) / best;
+}
+
+void write_json(std::ostream& out, const std::vector<GovernorReport>& reps,
+                const E10Options& o) {
+  out << "{\n"
+      << "  \"bench\": \"e10_hotpath\",\n"
+      << "  \"mode\": \"" << (o.smoke ? "smoke" : "full") << "\",\n"
+      << "  \"workload\": \"E1 grid, 8 tasks, uniform demand\",\n"
+      << "  \"governors\": [\n";
+  out << std::setprecision(10);
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const auto& r = reps[i];
+    out << "    {\"name\": \"" << r.name
+        << "\", \"decisions\": " << r.decisions
+        << ", \"ns_per_decision\": " << r.ns_per_decision
+        << ", \"sims_per_second\": " << r.sims_per_second
+        << ", \"relative_throughput\": " << r.relative_throughput << "}"
+        << (i + 1 < reps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+/// Locate the committed baseline next to this source file's tree when
+/// --check was given without a path.
+std::string default_baseline() {
+  return std::string(SLACKDVS_E10_BASELINE);
+}
+
+/// Returns the number of regressions (>30% relative-throughput loss).
+int check_against(const std::string& path,
+                  const std::vector<GovernorReport>& reps) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "e10: cannot open baseline " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue doc = obs::parse_json(buf.str());
+  const obs::JsonValue* govs = doc.find("governors");
+  if (govs == nullptr || !govs->is_array()) {
+    std::cerr << "e10: baseline " << path << " has no governors array\n";
+    return 1;
+  }
+  int regressions = 0;
+  for (const auto& r : reps) {
+    const obs::JsonValue* base = nullptr;
+    for (const auto& g : govs->array) {
+      const obs::JsonValue* n = g.find("name");
+      if (n != nullptr && n->is_string() && n->string == r.name) base = &g;
+    }
+    if (base == nullptr) {
+      std::cout << "  [check] " << r.name << ": no baseline entry, skipped\n";
+      continue;
+    }
+    const obs::JsonValue* rel = base->find("relative_throughput");
+    if (rel == nullptr || !rel->is_number() || rel->number <= 0.0) continue;
+    const double ratio = r.relative_throughput / rel->number;
+    const bool bad = ratio < 0.7;
+    std::cout << "  [check] " << std::left << std::setw(12) << r.name
+              << " relative " << std::fixed << std::setprecision(4)
+              << r.relative_throughput << " vs baseline " << rel->number
+              << "  (" << std::setprecision(2) << ratio * 100.0 << "%)"
+              << (bad ? "  REGRESSION" : "") << "\n";
+    if (bad) ++regressions;
+  }
+  return regressions;
+}
+
+int run(int argc, char** argv) {
+  const E10Options o = parse(argc, argv);
+  const std::size_t reps = o.reps != 0 ? o.reps : (o.smoke ? 2 : 5);
+  const Time length = o.smoke ? 0.4 : 1.2;
+  const std::vector<double> utils =
+      o.smoke ? std::vector<double>{0.3, 0.9}
+              : std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5,
+                                    0.6, 0.7, 0.8, 0.9, 1.0};
+
+  std::vector<GovernorReport> reports;
+  for (const std::string& name : core::governor_names()) {
+    GovernorReport rep = measure_decisions(name, length, reps);
+    rep.sims_per_second = measure_throughput(name, utils, length, reps);
+    reports.push_back(rep);
+  }
+  double no_dvs = 0.0;
+  for (const auto& r : reports) {
+    if (r.name == "noDVS") no_dvs = r.sims_per_second;
+  }
+  for (auto& r : reports) {
+    r.relative_throughput =
+        no_dvs > 0.0 ? r.sims_per_second / no_dvs : 1.0;
+  }
+
+  std::cout << "E10 hot path (" << (o.smoke ? "smoke" : "full")
+            << " mode, best of " << reps << ")\n"
+            << std::left << std::setw(14) << "governor" << std::right
+            << std::setw(12) << "decisions" << std::setw(16) << "ns/decision"
+            << std::setw(12) << "sims/s" << std::setw(12) << "rel" << "\n";
+  for (const auto& r : reports) {
+    std::cout << std::left << std::setw(14) << r.name << std::right
+              << std::setw(12) << r.decisions << std::setw(16) << std::fixed
+              << std::setprecision(0) << r.ns_per_decision << std::setw(12)
+              << std::setprecision(1) << r.sims_per_second << std::setw(12)
+              << std::setprecision(4) << r.relative_throughput << "\n";
+  }
+
+  std::ofstream out(o.out);
+  if (!out) {
+    std::cerr << "e10: cannot write " << o.out << "\n";
+    return 1;
+  }
+  write_json(out, reports, o);
+  std::cout << "JSON report: " << o.out << "\n";
+
+  if (o.check) {
+    const std::string baseline =
+        o.baseline.empty() ? default_baseline() : o.baseline;
+    std::cout << "checking against " << baseline
+              << " (fail under 70% of baseline relative throughput)\n";
+    const int bad = check_against(baseline, reports);
+    if (bad > 0) {
+      std::cerr << "e10: " << bad << " governor(s) regressed\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dvs::bench
+
+int main(int argc, char** argv) { return dvs::bench::run(argc, argv); }

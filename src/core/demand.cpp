@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <optional>
 
 namespace dvs::core {
 
@@ -46,25 +47,78 @@ std::vector<DemandContribution> demand_contributions(
   return contrib;
 }
 
-DemandSweeper::DemandSweeper(const sim::SimContext& ctx, Time horizon,
-                             Work extra_per_job)
-    : horizon_(horizon), extra_per_job_(extra_per_job) {
-  const Time t = ctx.now();
-  active_ = ctx.active_jobs();  // already in EDF (deadline) order
-  cursors_.reserve(ctx.task_set().size());
+std::int64_t first_strict_future_release(const task::Task& task, Time t) {
+  // Division-based starting guess; the ceil can land one off either way
+  // within a ±1 ulp window, so correct by direct comparison.  Both loops
+  // run at most once in practice.
+  std::int64_t k = task.first_job_at_or_after(t + 2.0 * kTimeEps);
+  while (k > 0 && task.release_of(k - 1) > t + kTimeEps) --k;
+  while (task.release_of(k) <= t + kTimeEps) ++k;
+  return k;
+}
+
+void DemandCache::advance_to(const task::TaskSet& ts, Time t) {
+  if (!valid_ || next_k_.size() != ts.size() || t < last_now_) {
+    // Cold start (or time moved backwards — test doubles do): derive
+    // every index from scratch through the canonical helper.
+    next_k_.resize(ts.size());
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      next_k_[i] = first_strict_future_release(ts[i], t);
+    }
+    valid_ = true;
+  } else {
+    // Warm path: release times are strictly increasing in k, so advancing
+    // the previous minimal index by the same `> t + kTimeEps` predicate
+    // lands on exactly the index the from-scratch derivation would.
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      std::int64_t k = next_k_[i];
+      while (ts[i].release_of(k) <= t + kTimeEps) ++k;
+      next_k_[i] = k;
+    }
+  }
+  last_now_ = t;
+}
+
+template <typename NextK>
+void DemandSweeper::init_cursors(const sim::SimContext& ctx, NextK next_k) {
+  cur_->clear();
+  cur_->reserve(ctx.task_set().size());
+  std::size_t i = 0;
   for (const auto& task : ctx.task_set()) {
-    // First future release strictly after t.
-    std::int64_t k = task.first_job_at_or_after(t + 2.0 * kTimeEps);
-    if (task.release_of(k) <= t + kTimeEps) ++k;
     TaskCursor c;
-    c.next_deadline = task.deadline_of(k);
+    c.next_deadline = task.deadline_of(next_k(i++));
     c.period = task.period;
     c.work = task.wcet;
     if (!time_leq(c.next_deadline, horizon_)) {
       c.next_deadline = std::numeric_limits<double>::infinity();
     }
-    cursors_.push_back(c);
+    cur_->push_back(c);
   }
+}
+
+DemandSweeper::DemandSweeper(const sim::SimContext& ctx, Time horizon,
+                             Work extra_per_job)
+    : horizon_(horizon),
+      extra_per_job_(extra_per_job),
+      active_(ctx.active_jobs()),  // already in EDF (deadline) order
+      cur_(&own_cursors_) {
+  const Time t = ctx.now();
+  const auto& ts = ctx.task_set();
+  init_cursors(ctx, [&](std::size_t i) {
+    return first_strict_future_release(ts[i], t);
+  });
+  next_peek_ = peek();
+}
+
+DemandSweeper::DemandSweeper(const sim::SimContext& ctx, Time horizon,
+                             Work extra_per_job, DemandCache& cache)
+    : horizon_(horizon),
+      extra_per_job_(extra_per_job),
+      active_(ctx.active_jobs()),
+      cur_(&cache.cursors_) {
+  cache.advance_to(ctx.task_set(), ctx.now());
+  init_cursors(ctx, [&](std::size_t i) { return cache.next_k_[i]; });
+  next_peek_ = peek();
 }
 
 Time DemandSweeper::peek() const {
@@ -72,7 +126,7 @@ Time DemandSweeper::peek() const {
   if (active_pos_ < active_.size()) {
     best = active_[active_pos_]->abs_deadline;
   }
-  for (const auto& c : cursors_) best = std::min(best, c.next_deadline);
+  for (const auto& c : *cur_) best = std::min(best, c.next_deadline);
   return best;
 }
 
@@ -83,7 +137,14 @@ Work DemandSweeper::consume(Time deadline) {
     sum += active_[active_pos_]->remaining_wcet() + extra_per_job_;
     ++active_pos_;
   }
-  for (auto& c : cursors_) {
+  // Advancing every cursor past `deadline` visits exactly the scan peek()
+  // would repeat — so fold the min of the advanced deadlines into
+  // next_peek_ on the way (bit-identical: same min over the same values).
+  Time best = std::numeric_limits<double>::infinity();
+  if (active_pos_ < active_.size()) {
+    best = active_[active_pos_]->abs_deadline;
+  }
+  for (auto& c : *cur_) {
     while (time_leq(c.next_deadline, deadline)) {
       sum += c.work + extra_per_job_;
       c.next_deadline += c.period;
@@ -92,12 +153,14 @@ Work DemandSweeper::consume(Time deadline) {
         break;
       }
     }
+    best = std::min(best, c.next_deadline);
   }
+  next_peek_ = best;
   return sum;
 }
 
 bool DemandSweeper::next(Time& deadline, Work& work_at_deadline) {
-  const Time d = peek();
+  const Time d = next_peek_;
   if (!time_leq(d, horizon_)) return false;
   deadline = d;
   work_at_deadline = consume(d);
@@ -106,7 +169,8 @@ bool DemandSweeper::next(Time& deadline, Work& work_at_deadline) {
 
 double demand_speed_floor(const sim::SimContext& ctx,
                           const TaskSetStats& stats, Time d0,
-                          double fallback_horizon_periods) {
+                          double fallback_horizon_periods,
+                          DemandCache* cache) {
   const Time t = ctx.now();
   const Time window = d0 - t;
   if (window <= kTimeEps) return 1.0;
@@ -127,7 +191,13 @@ double demand_speed_floor(const sim::SimContext& ctx,
   Work demand = 0.0;
   Time last_d = d0;
   bool exhausted = true;
-  DemandSweeper sweeper(ctx, horizon.end);
+  std::optional<DemandSweeper> sw;
+  if (cache != nullptr) {
+    sw.emplace(ctx, horizon.end, 0.0, *cache);
+  } else {
+    sw.emplace(ctx, horizon.end, 0.0);
+  }
+  DemandSweeper& sweeper = *sw;
   Time d = 0.0;
   Work at_d = 0.0;
   while (sweeper.next(d, at_d)) {

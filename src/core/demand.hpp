@@ -12,7 +12,9 @@
 // enumeration so every governor reasons from identical premises.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "sim/governor.hpp"
@@ -37,6 +39,60 @@ struct DemandContribution {
   Work work = 0.0;
 };
 
+/// Index of the first job of `task` released strictly after `t` (with the
+/// kTimeEps tolerance): the minimal k with release_of(k) > t + kTimeEps.
+/// The closed-form division is only a starting guess — it can land one off
+/// inside a ±1 ulp window — so the result is corrected by direct
+/// comparison.  Every demand path (from-scratch and cached) derives its
+/// future-release cursors through this one function, which is what makes
+/// the incremental path bit-identical to the oracle (see
+/// docs/ALGORITHMS.md, "Cache-invalidation invariants").
+[[nodiscard]] std::int64_t first_strict_future_release(const task::Task& task,
+                                                       Time t);
+
+/// Per-task future-release cursor of the demand sweep (one per task;
+/// `next_deadline` is +inf once past the sweep horizon).
+struct TaskCursor {
+  Time next_deadline = 0.0;
+  Time period = 0.0;
+  Work work = 0.0;
+};
+
+/// Memoizes the per-task checkpoint enumeration between decisions.
+///
+/// The future-release part of demand(t, d) depends only on the current
+/// time t, and simulated time is monotone — so instead of re-deriving
+/// every task's next-release index by division at each decision, the
+/// cache stores the index from the previous decision and advances it by
+/// comparison (usually zero or one step).  Active-job contributions are
+/// NOT cached here: they change on release/completion events and are
+/// re-read from the engine's active-set scratch, which the engine
+/// invalidates exactly on those events.  The cache also owns the cursor
+/// scratch vector, so a cached sweep performs no allocation.
+///
+/// Invariant (asserted by the oracle-equivalence tests): for every task i,
+/// the cached index equals first_strict_future_release(task_i, now) —
+/// advancing monotonically by comparison and recomputing from scratch
+/// agree exactly, because release times are strictly increasing in k and
+/// both paths use the same `> t + kTimeEps` predicate.
+class DemandCache {
+ public:
+  /// Forget everything.  Call when a new simulation starts (on_start);
+  /// time moving backwards is also detected and handled automatically.
+  void invalidate() noexcept { valid_ = false; }
+
+ private:
+  friend class DemandSweeper;
+
+  /// Bring next_k_ up to date for time `t` over `ts`.
+  void advance_to(const task::TaskSet& ts, Time t);
+
+  std::vector<std::int64_t> next_k_;  ///< per-task strict-future index
+  std::vector<TaskCursor> cursors_;   ///< reusable sweep scratch
+  Time last_now_ = 0.0;
+  bool valid_ = false;
+};
+
 /// Lazy, ascending-deadline stream of demand contributions: every active
 /// job's remaining budget plus every future release whose deadline falls
 /// inside (now, horizon].  Laziness matters — sweeps usually terminate via
@@ -46,8 +102,17 @@ struct DemandContribution {
 /// speed-switch stalls per job).
 class DemandSweeper {
  public:
+  /// From-scratch sweep: derives every cursor by division (the oracle
+  /// path; allocates its own cursor storage).
   DemandSweeper(const sim::SimContext& ctx, Time horizon,
                 Work extra_per_job = 0.0);
+
+  /// Cached sweep: cursor indices memoized in `cache` from the previous
+  /// decision and advanced incrementally; cursor storage reused from the
+  /// cache, so construction is allocation-free.  Bit-identical to the
+  /// from-scratch path (test oracle: tests/test_hotpath_oracle.cpp).
+  DemandSweeper(const sim::SimContext& ctx, Time horizon, Work extra_per_job,
+                DemandCache& cache);
 
   /// Advance to the next checkpoint: folds every contribution sharing the
   /// (numerically) same deadline.  Returns false when the window is
@@ -55,23 +120,27 @@ class DemandSweeper {
   [[nodiscard]] bool next(Time& deadline, Work& work_at_deadline);
 
  private:
-  /// Smallest pending deadline across active jobs and per-task cursors,
-  /// or +infinity when none remain.
-  [[nodiscard]] Time peek() const;
-  /// Consume every contribution at `deadline` and return their sum.
-  [[nodiscard]] Work consume(Time deadline);
+  /// Fill `*cur_` with one cursor per task, task i's first deadline taken
+  /// from release index `next_k(i)`.
+  template <typename NextK>
+  void init_cursors(const sim::SimContext& ctx, NextK next_k);
 
-  struct TaskCursor {
-    Time next_deadline = 0.0;  ///< +inf once past the horizon
-    Time period = 0.0;
-    Work work = 0.0;
-  };
+  /// Smallest pending deadline across active jobs and per-task cursors,
+  /// or +infinity when none remain.  Full scan; used once at construction
+  /// — afterwards consume() maintains the value in next_peek_, fused into
+  /// its advancing pass (same min over the same set, half the scans).
+  [[nodiscard]] Time peek() const;
+  /// Consume every contribution at `deadline`, update next_peek_, and
+  /// return their sum.
+  [[nodiscard]] Work consume(Time deadline);
 
   Time horizon_;
   Work extra_per_job_;
-  std::vector<const sim::Job*> active_;  ///< EDF order
+  std::span<const sim::Job* const> active_;  ///< EDF order
   std::size_t active_pos_ = 0;
-  std::vector<TaskCursor> cursors_;
+  Time next_peek_ = 0.0;  ///< smallest pending deadline (maintained)
+  std::vector<TaskCursor> own_cursors_;  ///< from-scratch path only
+  std::vector<TaskCursor>* cur_ = nullptr;  ///< own_cursors_ or the cache's
 };
 
 /// Analysis horizon for the checkpoint sweep.
@@ -109,8 +178,11 @@ struct Horizon {
 ///   d <= d0:  alpha >= demand(t, d) / (d - t)
 ///   d >  d0:  alpha >= (demand(t, d) - (d - d0)) / (d0 - t)
 /// Any governor may raise its request to this floor to stay hard-safe.
+/// With a non-null `cache` the checkpoint enumeration is memoized across
+/// decisions (same result, no per-decision allocation).
 [[nodiscard]] double demand_speed_floor(const sim::SimContext& ctx,
                                         const TaskSetStats& stats, Time d0,
-                                        double fallback_horizon_periods);
+                                        double fallback_horizon_periods,
+                                        DemandCache* cache = nullptr);
 
 }  // namespace dvs::core

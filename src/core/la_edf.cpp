@@ -18,6 +18,9 @@ void LaEdfGovernor::on_start(const sim::SimContext& ctx) {
     static_u_ += t.utilization();
   }
   stats_ = TaskSetStats::of(ts);
+  cache_.invalidate();
+  c_left_.reserve(ts.size());
+  order_.reserve(ts.size());
 }
 
 void LaEdfGovernor::on_release(const sim::Job& job,
@@ -34,13 +37,15 @@ double LaEdfGovernor::select_speed(const sim::Job& running,
   if (window <= kTimeEps) return 1.0;
 
   // Remaining worst-case budget per task (0 when its job completed).
-  std::vector<Work> c_left(ts.size(), 0.0);
+  std::vector<Work>& c_left = c_left_;
+  c_left.assign(ts.size(), 0.0);
   for (const sim::Job* j : ctx.active_jobs()) {
     c_left[static_cast<std::size_t>(j->task_id)] += j->remaining_wcet();
   }
 
   // Tasks sorted by current deadline, latest first (reverse EDF).
-  std::vector<std::size_t> order(ts.size());
+  std::vector<std::size_t>& order = order_;
+  order.resize(ts.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     if (current_deadline_[a] != current_deadline_[b]) {
@@ -88,7 +93,8 @@ double LaEdfGovernor::select_speed(const sim::Job& running,
   // can under-provision near deadline boundaries (demand is not uniform).
   // Never drop below the processor-demand floor, which keeps every future
   // checkpoint feasible by construction (see core/demand.hpp).
-  alpha = std::max(alpha, demand_speed_floor(ctx, stats_, d_next, 64.0));
+  alpha = std::max(alpha,
+                   demand_speed_floor(ctx, stats_, d_next, 64.0, &cache_));
   return std::clamp(alpha, 1e-9, 1.0);
 }
 

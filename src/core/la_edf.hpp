@@ -40,6 +40,10 @@ class LaEdfGovernor final : public sim::Governor {
   std::vector<Time> current_deadline_;  ///< per task
   double static_u_ = 0.0;
   TaskSetStats stats_;
+  DemandCache cache_;  ///< memoized floor enumeration (see core/demand.hpp)
+  // Per-decision scratch (capacity reused; the hot path never allocates).
+  std::vector<Work> c_left_;
+  std::vector<std::size_t> order_;
 };
 
 }  // namespace dvs::core

@@ -24,6 +24,7 @@ void SlackTimeGovernor::on_start(const sim::SimContext& ctx) {
              "slack-time analysis (processor demand) requires EDF "
              "dispatching");
   stats_ = TaskSetStats::of(ctx.task_set());
+  cache_.invalidate();  // a reused governor must not see the previous run
 }
 
 double SlackTimeGovernor::select_speed(const sim::Job& running,
@@ -42,7 +43,7 @@ double SlackTimeGovernor::select_speed(const sim::Job& running,
 }
 
 Time SlackTimeGovernor::compute_slack(const sim::Job& running,
-                                      const sim::SimContext& ctx) const {
+                                      const sim::SimContext& ctx) {
   const Time t = ctx.now();
   const Time d0 = running.abs_deadline;
   if (d0 - t <= kTimeEps) return 0.0;
@@ -65,6 +66,31 @@ Time SlackTimeGovernor::compute_slack(const sim::Job& running,
       stats_.wcet_sum +
       static_cast<double>(ctx.task_set().size()) * per_job_stall;
 
+  if (config_.verify_with_oracle) {
+    DemandSweeper oracle(ctx, horizon.end, per_job_stall);
+    const Time s_oracle = sweep_slack(oracle, t, d0, per_job_stall,
+                                      tail_work, horizon.truncated);
+    DemandSweeper cached(ctx, horizon.end, per_job_stall, cache_);
+    const Time s_cached = sweep_slack(cached, t, d0, per_job_stall,
+                                      tail_work, horizon.truncated);
+    DVS_ENSURE(s_cached == s_oracle,
+               "incremental slack sweep diverged from the from-scratch "
+               "oracle");
+    return s_cached;
+  }
+  if (config_.incremental) {
+    DemandSweeper sweeper(ctx, horizon.end, per_job_stall, cache_);
+    return sweep_slack(sweeper, t, d0, per_job_stall, tail_work,
+                       horizon.truncated);
+  }
+  DemandSweeper sweeper(ctx, horizon.end, per_job_stall);
+  return sweep_slack(sweeper, t, d0, per_job_stall, tail_work,
+                     horizon.truncated);
+}
+
+Time SlackTimeGovernor::sweep_slack(DemandSweeper& sweeper, Time t, Time d0,
+                                    Work per_job_stall, Work tail_work,
+                                    bool truncated_horizon) const {
   const bool heuristic = config_.mode == SlackTimeConfig::Mode::kHeuristic;
   const int max_checked = heuristic ? config_.heuristic_checkpoints
                                     : std::numeric_limits<int>::max();
@@ -77,7 +103,6 @@ Time SlackTimeGovernor::compute_slack(const sim::Job& running,
   enum class SweepEnd { kExhausted, kProvenCovered, kCutShort };
   SweepEnd end_state = SweepEnd::kExhausted;
 
-  DemandSweeper sweeper(ctx, horizon.end, per_job_stall);
   Time d = 0.0;
   Work at_d = 0.0;
   while (sweeper.next(d, at_d)) {
@@ -104,7 +129,7 @@ Time SlackTimeGovernor::compute_slack(const sim::Job& running,
 
   const bool tail_unexamined =
       end_state == SweepEnd::kCutShort ||
-      (end_state == SweepEnd::kExhausted && horizon.truncated);
+      (end_state == SweepEnd::kExhausted && truncated_horizon);
   if (tail_unexamined) {
     // Close the unexamined tail conservatively (never unsafe).
     best = std::min(best, std::max(0.0, last_slack_seen - tail_work));

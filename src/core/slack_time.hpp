@@ -74,6 +74,15 @@ struct SlackTimeConfig {
   /// the schedule can incur.  Combine with OverheadAwareGovernor to also
   /// veto energy-negative switches.
   Time switch_overhead = 0.0;
+
+  /// Use the DemandCache: memoize the checkpoint enumeration between
+  /// decisions (bit-identical slack, no per-decision allocation — see
+  /// docs/ALGORITHMS.md).  Off = always sweep from scratch (the oracle).
+  bool incremental = true;
+
+  /// Paranoia mode for tests: run BOTH the cached and the from-scratch
+  /// sweep at every decision and assert the slack values are bit-equal.
+  bool verify_with_oracle = false;
 };
 
 class SlackTimeGovernor final : public sim::Governor {
@@ -98,10 +107,18 @@ class SlackTimeGovernor final : public sim::Governor {
  private:
   /// Slack available to `running` at time t (the S(t) of the header).
   [[nodiscard]] Time compute_slack(const sim::Job& running,
-                                   const sim::SimContext& ctx) const;
+                                   const sim::SimContext& ctx);
+
+  /// The checkpoint sweep itself, over an already-constructed sweeper
+  /// (shared verbatim by the cached and the from-scratch path so the
+  /// oracle comparison exercises identical arithmetic).
+  [[nodiscard]] Time sweep_slack(DemandSweeper& sweeper, Time t, Time d0,
+                                 Work per_job_stall, Work tail_work,
+                                 bool truncated_horizon) const;
 
   SlackTimeConfig config_;
   TaskSetStats stats_;
+  DemandCache cache_;
   Time last_slack_ = 0.0;
 };
 

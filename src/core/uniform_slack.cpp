@@ -11,12 +11,13 @@ void UniformSlackGovernor::on_start(const sim::SimContext& ctx) {
   DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
              "the demand speed floor requires EDF dispatching");
   stats_ = TaskSetStats::of(ctx.task_set());
+  cache_.invalidate();
 }
 
 double UniformSlackGovernor::select_speed(const sim::Job& running,
                                           const sim::SimContext& ctx) {
   const double floor =
-      demand_speed_floor(ctx, stats_, running.abs_deadline, 64.0);
+      demand_speed_floor(ctx, stats_, running.abs_deadline, 64.0, &cache_);
   const double alpha = std::clamp(floor, 1e-9, 1.0);
   const Work rem = running.remaining_wcet();
   last_slack_ = rem > 0.0 ? rem / alpha - rem

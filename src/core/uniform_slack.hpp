@@ -41,6 +41,7 @@ class UniformSlackGovernor final : public sim::Governor {
 
  private:
   TaskSetStats stats_;
+  DemandCache cache_;  ///< memoized floor enumeration (see core/demand.hpp)
   Time last_slack_ = 0.0;
 };
 

@@ -31,7 +31,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <limits>
-#include <map>
 #include <ostream>
 #include <string>
 #include <utility>
@@ -97,24 +96,51 @@ struct SlackAccuracy {
 };
 
 /// Records decisions and backfills realized slack at job completion.
+///
+/// Pending decisions are tracked without per-decision allocation: records
+/// of the same still-open job form an intrusive chain through `next_`
+/// (parallel to `records_`), and the open-job table is a flat vector
+/// scanned linearly — the number of concurrently open jobs is bounded by
+/// the number of released-unfinished jobs, a handful in practice.
 class DecisionAudit {
  public:
+  /// Pre-allocate for ~`expected_decisions` records (engine hint).
+  void reserve(std::size_t expected_decisions) {
+    records_.reserve(expected_decisions);
+    next_.reserve(expected_decisions);
+  }
+
   /// Called by the simulator right after a governor dispatch.
   void decision(const Decision& d) {
-    open_[{d.task_id, d.job_index}].push_back(records_.size());
+    const std::size_t idx = records_.size();
     records_.push_back(d);
+    next_.push_back(kNone);
+    for (auto& o : open_) {
+      if (o.task_id == d.task_id && o.job_index == d.job_index) {
+        next_[o.tail] = idx;
+        o.tail = idx;
+        return;
+      }
+    }
+    open_.push_back({d.task_id, d.job_index, idx, idx});
   }
 
   /// Called by the simulator when the job completes; `realized_slack` is
   /// abs_deadline - completion (negative on a deadline miss).
   void complete(std::int32_t task_id, std::int64_t job_index,
                 Time realized_slack) {
-    const auto it = open_.find({task_id, job_index});
-    if (it == open_.end()) return;  // job ran without a recorded decision
-    for (std::size_t i : it->second) {
-      records_[i].realized_slack = realized_slack;
+    for (std::size_t k = 0; k < open_.size(); ++k) {
+      if (open_[k].task_id != task_id || open_[k].job_index != job_index) {
+        continue;
+      }
+      for (std::size_t i = open_[k].head; i != kNone; i = next_[i]) {
+        records_[i].realized_slack = realized_slack;
+      }
+      open_[k] = open_.back();
+      open_.pop_back();
+      return;
     }
-    open_.erase(it);
+    // No match: the job ran without a recorded decision.
   }
 
   [[nodiscard]] const std::vector<Decision>& records() const noexcept {
@@ -173,11 +199,20 @@ class DecisionAudit {
     return std::isfinite(v) ? fmt(v) : std::string();
   }
 
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// A job with decisions still awaiting their realized slack; head/tail
+  /// index the first/last record of its chain in `next_`.
+  struct OpenJob {
+    std::int32_t task_id = 0;
+    std::int64_t job_index = 0;
+    std::size_t head = kNone;
+    std::size_t tail = kNone;
+  };
+
   std::vector<Decision> records_;
-  /// Open decisions per (task, job): indices into records_ awaiting their
-  /// realized slack.
-  std::map<std::pair<std::int32_t, std::int64_t>, std::vector<std::size_t>>
-      open_;
+  std::vector<std::size_t> next_;  ///< same-job chain, parallel to records_
+  std::vector<OpenJob> open_;
 };
 
 }  // namespace dvs::obs

@@ -35,6 +35,11 @@ std::vector<EdfEntry> EdfReadyQueue::sorted() const {
   return out;
 }
 
+void EdfReadyQueue::sorted_into(std::vector<EdfEntry>& out) const {
+  out.assign(heap_.begin(), heap_.end());
+  std::sort(out.begin(), out.end(), edf_before);
+}
+
 void EdfReadyQueue::sift_up(std::size_t i) {
   while (i > 0) {
     const std::size_t parent = (i - 1) / 2;

@@ -39,6 +39,13 @@ class EdfReadyQueue {
   /// All entries in EDF order (copies and sorts; O(n log n)).
   [[nodiscard]] std::vector<EdfEntry> sorted() const;
 
+  /// Same EDF order, written into `out` (capacity reused across calls —
+  /// the engine's allocation-free hot path; see docs/PERFORMANCE.md).
+  void sorted_into(std::vector<EdfEntry>& out) const;
+
+  /// Pre-allocate heap storage for `n` entries.
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
   /// Unordered view of the live entries (heap order).
   [[nodiscard]] const std::vector<EdfEntry>& raw() const noexcept {
     return heap_;

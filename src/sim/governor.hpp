@@ -18,8 +18,8 @@
 
 #include <limits>
 #include <memory>
+#include <span>
 #include <string>
-#include <vector>
 
 #include "sim/job.hpp"
 #include "task/task_set.hpp"
@@ -47,8 +47,11 @@ class SimContext {
 
   /// Released, unfinished jobs in dispatch order (earliest deadline first
   /// under EDF; priority order under fixed priorities).  The first
-  /// element is the job about to run.
-  [[nodiscard]] virtual std::vector<const Job*> active_jobs() const = 0;
+  /// element is the job about to run.  The span views engine-owned scratch
+  /// storage: it stays valid (and its contents fixed) until the next
+  /// scheduling event — i.e. for the whole of one governor callback —
+  /// but must not be retained across callbacks.
+  [[nodiscard]] virtual std::span<const Job* const> active_jobs() const = 0;
 
   /// Speed of the most recent execution segment (1.0 before any).
   [[nodiscard]] virtual double current_speed() const = 0;

@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 
 #include "cpu/energy_meter.hpp"
 #include "sched/edf_queue.hpp"
 #include "sched/fixed_priority.hpp"
 #include "util/error.hpp"
+#include "util/stable_vector.hpp"
 
 namespace dvs::sim {
 namespace {
@@ -39,6 +39,22 @@ class SimEngine final : public SimContext {
     if (opts_.policy == SchedulingPolicy::kFixedPriority) {
       priorities_ = sched::deadline_monotonic_priorities(ts_);
     }
+    // Pre-size every growth container from the release count the periodic
+    // model fixes in advance, so the event loop never touches the
+    // allocator (verified by tests/test_alloc_regression.cpp).
+    std::size_t expected_jobs = 0;
+    for (const auto& t : ts_) {
+      if (t.phase < length_) {
+        expected_jobs +=
+            static_cast<std::size_t>((length_ - t.phase) / t.period) + 2;
+      }
+    }
+    jobs_.reserve(expected_jobs);
+    ready_.reserve(ts_.size() + 1);
+    sorted_scratch_.reserve(ts_.size() + 1);
+    active_scratch_.reserve(ts_.size() + 1);
+    if (opts_.trace != nullptr) opts_.trace->reserve_hint(expected_jobs);
+    if (opts_.audit != nullptr) opts_.audit->reserve(expected_jobs * 3);
     if (opts_.metrics != nullptr) {
       // Instruments are created once and cached; the hot path never
       // re-hashes a name.  Bucket layouts are derived from the task set,
@@ -91,11 +107,19 @@ class SimEngine final : public SimContext {
     }
     return best;
   }
-  [[nodiscard]] std::vector<const Job*> active_jobs() const override {
-    std::vector<const Job*> out;
-    out.reserve(ready_.size());
-    for (const auto& e : ready_.sorted()) out.push_back(&jobs_[e.slot]);
-    return out;
+  [[nodiscard]] std::span<const Job* const> active_jobs() const override {
+    // Engine-owned scratch, rebuilt lazily: the ready queue only changes
+    // at release/completion events (which set active_dirty_), so repeated
+    // governor queries within one scheduling point reuse the same sort.
+    if (active_dirty_) {
+      ready_.sorted_into(sorted_scratch_);
+      active_scratch_.clear();
+      for (const auto& e : sorted_scratch_) {
+        active_scratch_.push_back(&jobs_[e.slot]);
+      }
+      active_dirty_ = false;
+    }
+    return active_scratch_;
   }
   [[nodiscard]] double current_speed() const override {
     return last_alpha_ > 0.0 ? last_alpha_ : 1.0;
@@ -140,6 +164,7 @@ class SimEngine final : public SimContext {
                 : static_cast<Time>(
                       priorities_[static_cast<std::size_t>(job.task_id)]);
         ready_.push({key, job.task_id, job.index, slot});
+        active_dirty_ = true;
         ++released_;
         ++next_index_[i];
         next_release_[i] += task.period;
@@ -346,6 +371,7 @@ class SimEngine final : public SimContext {
     DVS_ENSURE(&jobs_[ready_.top().slot] == &job,
                "completing job is not the EDF head");
     ready_.pop();
+    active_dirty_ = true;
     ++completed_;
     if (job.missed) {
       ++misses_;
@@ -436,8 +462,13 @@ class SimEngine final : public SimContext {
   double last_alpha_ = -1.0;  ///< speed of the previous execution segment
   double retired_work_ = 0.0;
 
-  std::deque<Job> jobs_;  ///< deque: stable references as it grows
+  util::StableVector<Job> jobs_;  ///< slab pool: stable refs, no per-job
+                                  ///< allocation after the ctor's reserve
   sched::EdfReadyQueue ready_;  ///< min-heap over the policy's key
+  /// active_jobs() scratch: rebuilt only when the ready queue changed.
+  mutable std::vector<sched::EdfEntry> sorted_scratch_;
+  mutable std::vector<const Job*> active_scratch_;
+  mutable bool active_dirty_ = true;
   std::vector<Time> next_release_;
   std::vector<std::int64_t> next_index_;
   std::vector<int> priorities_;  ///< fixed-priority ranks (FP policy only)

@@ -1,0 +1,132 @@
+// Pooled, reference-stable storage for hot-path event records.
+//
+// The simulation engine appends one Job record per release and hands out
+// references that must stay valid for the rest of the run.  std::deque
+// delivers the stability but allocates a fresh block every ~5 elements
+// (512-byte chunks in libstdc++), which puts an allocator call inside the
+// event loop.  StableVector keeps the stability guarantee while pooling
+// elements into large fixed-size slabs (256 elements each), and reserve()
+// pre-allocates every slab up front — after that, push_back never touches
+// the allocator.  See docs/PERFORMANCE.md for the measurement that
+// motivated it.
+#pragma once
+
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace dvs::util {
+
+/// Append-only sequence with reference stability: elements never move,
+/// so a `T&` returned by push_back/operator[] is valid until clear() or
+/// destruction.  Elements live in heap slabs of `SlabSize` elements;
+/// allocation happens at most once per slab (or never after a sufficient
+/// reserve()).  T must be default-constructible.
+template <typename T, std::size_t SlabSize = 256>
+class StableVector {
+  static_assert(SlabSize > 0, "slab must hold at least one element");
+
+ public:
+  StableVector() = default;
+  StableVector(StableVector&&) noexcept = default;
+  StableVector& operator=(StableVector&&) noexcept = default;
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  /// Pre-allocate slabs for at least `n` elements.
+  void reserve(std::size_t n) {
+    const std::size_t slabs = (n + SlabSize - 1) / SlabSize;
+    slabs_.reserve(slabs);
+    while (slabs_.size() < slabs) {
+      slabs_.push_back(std::make_unique<T[]>(SlabSize));
+    }
+  }
+
+  /// Append a copy of `v`; returns a stable reference to the element.
+  T& push_back(const T& v) {
+    T& slot = next_slot();
+    slot = v;
+    ++size_;
+    return slot;
+  }
+
+  T& push_back(T&& v) {
+    T& slot = next_slot();
+    slot = std::move(v);
+    ++size_;
+    return slot;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    return slabs_[i / SlabSize][i % SlabSize];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return slabs_[i / SlabSize][i % SlabSize];
+  }
+
+  [[nodiscard]] T& back() noexcept { return (*this)[size_ - 1]; }
+  [[nodiscard]] const T& back() const noexcept { return (*this)[size_ - 1]; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Number of elements the current slabs can hold without allocating.
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return slabs_.size() * SlabSize;
+  }
+
+  /// Drop all elements; slabs are kept for reuse.
+  void clear() noexcept { size_ = 0; }
+
+  template <typename V, typename Owner>
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = V;
+    using difference_type = std::ptrdiff_t;
+    using pointer = V*;
+    using reference = V&;
+
+    Iterator() = default;
+    Iterator(Owner* owner, std::size_t i) : owner_(owner), i_(i) {}
+
+    reference operator*() const { return (*owner_)[i_]; }
+    pointer operator->() const { return &(*owner_)[i_]; }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    Iterator operator++(int) {
+      Iterator tmp = *this;
+      ++i_;
+      return tmp;
+    }
+    bool operator==(const Iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const Iterator& o) const { return i_ != o.i_; }
+
+   private:
+    Owner* owner_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  using iterator = Iterator<T, StableVector>;
+  using const_iterator = Iterator<const T, const StableVector>;
+
+  [[nodiscard]] iterator begin() noexcept { return {this, 0}; }
+  [[nodiscard]] iterator end() noexcept { return {this, size_}; }
+  [[nodiscard]] const_iterator begin() const noexcept { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const noexcept { return {this, size_}; }
+
+ private:
+  T& next_slot() {
+    if (size_ == capacity()) slabs_.push_back(std::make_unique<T[]>(SlabSize));
+    return (*this)[size_];
+  }
+
+  std::vector<std::unique_ptr<T[]>> slabs_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dvs::util

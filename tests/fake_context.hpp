@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "sim/governor.hpp"
@@ -32,18 +33,20 @@ class FakeContext final : public sim::SimContext {
     }
     return best;
   }
-  std::vector<const sim::Job*> active_jobs() const override {
-    std::vector<const sim::Job*> out;
-    out.reserve(jobs_.size());
-    for (const auto& j : jobs_) out.push_back(&j);
-    std::sort(out.begin(), out.end(),
+  std::span<const sim::Job* const> active_jobs() const override {
+    // Rebuilt on every call (tests mutate jobs_ freely between queries);
+    // the scratch member gives the span the lifetime the contract needs.
+    scratch_.clear();
+    scratch_.reserve(jobs_.size());
+    for (const auto& j : jobs_) scratch_.push_back(&j);
+    std::sort(scratch_.begin(), scratch_.end(),
               [](const sim::Job* a, const sim::Job* b) {
                 if (a->abs_deadline != b->abs_deadline) {
                   return a->abs_deadline < b->abs_deadline;
                 }
                 return a->task_id < b->task_id;
               });
-    return out;
+    return scratch_;
   }
   double current_speed() const override { return speed_; }
 
@@ -74,6 +77,7 @@ class FakeContext final : public sim::SimContext {
 
  private:
   task::TaskSet ts_;
+  mutable std::vector<const sim::Job*> scratch_;
 };
 
 }  // namespace dvs::testing

@@ -1,0 +1,127 @@
+// Allocation regression guard for the hot path (docs/PERFORMANCE.md).
+//
+// The whole binary counts ::operator new calls.  A simulation's allocation
+// cost must be dominated by up-front reservation: growing the simulated
+// length 11x (hundreds of extra jobs, thousands of extra governor
+// decisions) may add only a handful of allocations (extra job-record
+// slabs, a larger trace reserve) — a fraction of an allocation per extra
+// job.  Any per-event allocation creeping back into the engine or a
+// governor's decision path multiplies with the job count and fails the
+// bound immediately.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "core/registry.hpp"
+#include "obs/audit.hpp"
+#include "sim/simulator.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dvs {
+namespace {
+
+// 3 tasks, hyperperiod 0.1 s: 8 + 2 + 1 = 11 jobs per hyperperiod.
+task::TaskSet small_set() {
+  task::TaskSet ts("alloc");
+  ts.add(task::make_task(0, "a", 0.0125, 0.004, 0.0008));
+  ts.add(task::make_task(1, "b", 0.05, 0.012, 0.0024));
+  ts.add(task::make_task(2, "c", 0.1, 0.02, 0.004));
+  return ts;
+}
+
+struct RunCost {
+  std::uint64_t allocations = 0;
+  long long jobs = 0;
+};
+
+RunCost measure(const std::string& governor, Time length, bool audited) {
+  const auto ts = small_set();
+  const auto workload = task::uniform_model(42);
+  const cpu::Processor proc = cpu::ideal_processor();
+  auto gov = core::make_governor(governor);
+  obs::DecisionAudit audit;
+  sim::SimOptions opts;
+  opts.length = length;
+  if (audited) opts.audit = &audit;
+
+  const std::uint64_t before = g_new_calls.load(std::memory_order_relaxed);
+  const auto r = sim::simulate(ts, *workload, proc, *gov, opts);
+  const std::uint64_t after = g_new_calls.load(std::memory_order_relaxed);
+  return {after - before, r.jobs_released};
+}
+
+class AllocRegression : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllocRegression, SteadyStateIsAllocationFree) {
+  // Warm up allocator pools, lazily-initialized statics, etc.
+  (void)measure(GetParam(), 0.1, /*audited=*/false);
+
+  const RunCost one = measure(GetParam(), 0.1, /*audited=*/false);
+  const RunCost eleven = measure(GetParam(), 1.1, /*audited=*/false);
+  const long long extra_jobs = eleven.jobs - one.jobs;
+  ASSERT_GE(extra_jobs, 100);  // the long run really is ~10 hyperperiods
+  // 11x the events may cost a few extra up-front allocations (job-record
+  // slabs are 256 jobs each), never per-event ones.
+  const std::uint64_t extra_allocs =
+      eleven.allocations > one.allocations
+          ? eleven.allocations - one.allocations
+          : 0;
+  EXPECT_LE(extra_allocs, 16u)
+      << GetParam() << ": " << extra_allocs << " allocations for "
+      << extra_jobs << " extra jobs";
+}
+
+TEST_P(AllocRegression, SteadyStateIsAllocationFreeWhenAudited) {
+  (void)measure(GetParam(), 0.1, /*audited=*/true);
+  const RunCost one = measure(GetParam(), 0.1, /*audited=*/true);
+  const RunCost eleven = measure(GetParam(), 1.1, /*audited=*/true);
+  ASSERT_GE(eleven.jobs - one.jobs, 100);
+  const std::uint64_t extra_allocs =
+      eleven.allocations > one.allocations
+          ? eleven.allocations - one.allocations
+          : 0;
+  // The audit adds its own reserved vectors (records, chain, open table);
+  // still O(1) growth, not O(jobs).
+  EXPECT_LE(extra_allocs, 24u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Governors, AllocRegression,
+                         ::testing::Values("noDVS", "staticEDF", "ccEDF",
+                                           "laEDF", "DRA", "lpSEH", "lpSEH-h",
+                                           "uniformSlack"));
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,149 @@
+// DemandCache — the memoized checkpoint enumeration behind the
+// allocation-free sweep (docs/ALGORITHMS.md, "Cache-invalidation
+// invariants").  The cached DemandSweeper must emit exactly the checkpoint
+// stream of the from-scratch construction, at every decision time, in any
+// monotone (or rewinding) order of queries.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "fake_context.hpp"
+
+namespace dvs::core {
+namespace {
+
+using dvs::testing::FakeContext;
+using task::make_task;
+using task::TaskSet;
+
+TaskSet trio_set() {
+  TaskSet ts("trio");
+  ts.add(make_task(0, "a", 10.0, 2.0));
+  ts.add(make_task(1, "b", 25.0, 5.0));
+  ts.add(make_task(2, "c", 40.0, 4.0));
+  return ts;
+}
+
+/// Drain both sweepers and require identical (deadline, work) streams —
+/// the bit-identity contract, checked with exact double equality.
+void expect_same_stream(DemandSweeper& oracle, DemandSweeper& cached) {
+  Time d1 = 0.0, d2 = 0.0;
+  Work w1 = 0.0, w2 = 0.0;
+  for (;;) {
+    const bool more1 = oracle.next(d1, w1);
+    const bool more2 = cached.next(d2, w2);
+    ASSERT_EQ(more1, more2);
+    if (!more1) return;
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(w1, w2);
+  }
+}
+
+TEST(FirstStrictFutureRelease, IsTheMinimalStrictlyFutureIndex) {
+  const auto ts = trio_set();
+  for (const auto& task : ts) {
+    for (const Time t : {0.0, 0.5, 9.999999, 10.0, 10.0 + 1e-12, 24.3,
+                         39.999, 40.0, 123.456}) {
+      const std::int64_t k = first_strict_future_release(task, t);
+      EXPECT_GT(task.release_of(k), t + kTimeEps)
+          << task.name << " t=" << t;
+      if (k > 0) {
+        EXPECT_LE(task.release_of(k - 1), t + kTimeEps)
+            << task.name << " t=" << t << " (not minimal)";
+      }
+    }
+  }
+}
+
+TEST(DemandCache, ColdStartMatchesOracle) {
+  FakeContext ctx(trio_set());
+  ctx.now_ = 3.0;
+  ctx.add_job(0, 0, 0.0);
+  DemandCache cache;
+  DemandSweeper oracle(ctx, 60.0);
+  DemandSweeper cached(ctx, 60.0, 0.0, cache);
+  expect_same_stream(oracle, cached);
+}
+
+TEST(DemandCache, WarmAdvanceMatchesOracleAtEveryStep) {
+  FakeContext ctx(trio_set());
+  DemandCache cache;
+  // Monotone times crossing several release boundaries of every task,
+  // including exact boundary instants (the kTimeEps edge).
+  const std::vector<Time> times{0.0, 1.0, 9.0, 10.0, 12.5, 20.0,
+                                25.0, 26.0, 40.0, 55.0, 79.9, 80.0};
+  for (const Time t : times) {
+    ctx.now_ = t;
+    ctx.clear_jobs();
+    ctx.add_job(1, 0, 0.0);
+    DemandSweeper oracle(ctx, t + 70.0);
+    DemandSweeper cached(ctx, t + 70.0, 0.0, cache);
+    expect_same_stream(oracle, cached);
+  }
+}
+
+TEST(DemandCache, RepeatedQueriesAtTheSameInstantAgree) {
+  FakeContext ctx(trio_set());
+  ctx.now_ = 17.0;
+  DemandCache cache;
+  for (int i = 0; i < 3; ++i) {
+    DemandSweeper oracle(ctx, 90.0);
+    DemandSweeper cached(ctx, 90.0, 0.0, cache);
+    expect_same_stream(oracle, cached);
+  }
+}
+
+TEST(DemandCache, TimeRewindRecomputesFromScratch) {
+  FakeContext ctx(trio_set());
+  DemandCache cache;
+  ctx.now_ = 50.0;
+  { DemandSweeper warm(ctx, 120.0, 0.0, cache); }  // advance the cache
+  ctx.now_ = 5.0;  // rewind (only test doubles do this)
+  DemandSweeper oracle(ctx, 70.0);
+  DemandSweeper cached(ctx, 70.0, 0.0, cache);
+  expect_same_stream(oracle, cached);
+}
+
+TEST(DemandCache, InvalidateForgetsThePreviousRun) {
+  FakeContext ctx(trio_set());
+  DemandCache cache;
+  ctx.now_ = 33.0;
+  { DemandSweeper warm(ctx, 100.0, 0.0, cache); }
+  cache.invalidate();
+  ctx.now_ = 2.0;
+  DemandSweeper oracle(ctx, 60.0);
+  DemandSweeper cached(ctx, 60.0, 0.0, cache);
+  expect_same_stream(oracle, cached);
+}
+
+TEST(DemandCache, CachedWithExtraPerJobMatchesOracle) {
+  FakeContext ctx(trio_set());
+  ctx.now_ = 11.0;
+  ctx.add_job(0, 1, 10.0, 0.5);
+  ctx.add_job(2, 0, 0.0);
+  DemandCache cache;
+  DemandSweeper oracle(ctx, 95.0, 0.25);
+  DemandSweeper cached(ctx, 95.0, 0.25, cache);
+  expect_same_stream(oracle, cached);
+}
+
+TEST(DemandSpeedFloor, CachedEqualsUncachedAcrossDecisions) {
+  FakeContext ctx(trio_set());
+  const auto stats = TaskSetStats::of(ctx.task_set());
+  DemandCache cache;
+  for (const Time t : {0.0, 4.0, 9.5, 10.0, 21.0, 37.0, 64.0}) {
+    ctx.now_ = t;
+    ctx.clear_jobs();
+    auto& job = ctx.add_job(0, 0, t);
+    const double plain = demand_speed_floor(ctx, stats, job.abs_deadline,
+                                            64.0);
+    const double cached = demand_speed_floor(ctx, stats, job.abs_deadline,
+                                             64.0, &cache);
+    EXPECT_EQ(plain, cached) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace dvs::core

@@ -96,5 +96,50 @@ TEST(EdfQueue, ClearEmpties) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EdfQueue, SortedIntoMatchesSorted) {
+  EdfReadyQueue q;
+  q.push({5.0, 2, 0, 0});
+  q.push({1.0, 1, 0, 1});
+  q.push({5.0, 0, 3, 2});
+  q.push({2.5, 3, 1, 3});
+  const auto expect = q.sorted();
+  std::vector<EdfEntry> out;
+  q.sorted_into(out);
+  ASSERT_EQ(out.size(), expect.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].deadline, expect[i].deadline);
+    EXPECT_EQ(out[i].task_id, expect[i].task_id);
+    EXPECT_EQ(out[i].seq, expect[i].seq);
+    EXPECT_EQ(out[i].slot, expect[i].slot);
+  }
+}
+
+TEST(EdfQueue, SortedIntoReusesAndOverwritesTheBuffer) {
+  EdfReadyQueue q;
+  q.push({3.0, 0, 0, 0});
+  q.push({1.0, 1, 0, 1});
+  std::vector<EdfEntry> out;
+  q.sorted_into(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].task_id, 1);
+  q.pop();
+  q.sorted_into(out);  // stale contents must be fully replaced
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].task_id, 0);
+  q.pop();
+  q.sorted_into(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(EdfQueue, ReserveDoesNotChangeContents) {
+  EdfReadyQueue q;
+  q.reserve(32);
+  EXPECT_TRUE(q.empty());
+  q.push({1.0, 0, 0, 0});
+  q.reserve(64);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.top().task_id, 0);
+}
+
 }  // namespace
 }  // namespace dvs::sched

@@ -1,0 +1,215 @@
+// Oracle equivalence of the incremental slack sweep (ISSUE 4 tentpole).
+//
+// Two layers of evidence that the DemandCache path is bit-identical to the
+// from-scratch enumeration:
+//   1. verify_with_oracle mode — every compute_slack() runs BOTH sweeps
+//      and DVS_ENSUREs exact equality; with fail_fast any divergence
+//      anywhere in a sweep aborts the test.  Exercised across the E1
+//      utilization grid, the E6 task-set-size grid, and the fault arms
+//      (overrun + jitter under each containment policy), serially and
+//      with 8 worker threads.
+//   2. A full-sweep comparison: SweepOutcomes produced with
+//      incremental = true vs incremental = false must agree on every
+//      energy, switch and miss number, exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/slack_time.hpp"
+#include "exp/experiment.hpp"
+#include "fault/fault.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs {
+namespace {
+
+task::GeneratorConfig grid_generator(std::size_t n_tasks, double u) {
+  task::GeneratorConfig cfg;  // the benches' 5-ms grid (common.hpp)
+  cfg.n_tasks = n_tasks;
+  cfg.total_utilization = u;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = 0.1;
+  cfg.grid_fraction = 0.5;
+  return cfg;
+}
+
+exp::Case uniform_case(const task::GeneratorConfig& gen, std::uint64_t seed) {
+  util::Rng rng(seed);
+  return {task::generate_task_set(gen, rng), task::uniform_model(seed)};
+}
+
+/// Factory: lpSEH / lpSEH-h built straight from `cfg`; every other name
+/// (the noDVS reference, laEDF, ...) from the registry.
+exp::ExperimentConfig verify_config(core::SlackTimeConfig slack_cfg) {
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"lpSEH", "lpSEH-h"};
+  cfg.seed = 20020304;
+  cfg.replications = 2;
+  cfg.sim_length = 0.5;
+  cfg.fail_fast = true;  // a sweep divergence must abort, not be isolated
+  cfg.governor_factory = [slack_cfg](const std::string& name) {
+    core::SlackTimeConfig c = slack_cfg;
+    if (name == "lpSEH") {
+      c.mode = core::SlackTimeConfig::Mode::kExact;
+      return sim::GovernorPtr(std::make_unique<core::SlackTimeGovernor>(c));
+    }
+    if (name == "lpSEH-h") {
+      c.mode = core::SlackTimeConfig::Mode::kHeuristic;
+      return sim::GovernorPtr(std::make_unique<core::SlackTimeGovernor>(c));
+    }
+    return core::make_governor(name);
+  };
+  return cfg;
+}
+
+const std::vector<double> kUtilGrid{0.1, 0.2, 0.3, 0.4, 0.5,
+                                    0.6, 0.7, 0.8, 0.9, 1.0};
+const std::vector<double> kSizeGrid{3, 5, 8, 12, 16};
+
+exp::SweepOutcome run_util_grid(exp::ExperimentConfig cfg) {
+  return exp::run_sweep(cfg, "U", kUtilGrid,
+                        [](double u, std::size_t, std::uint64_t seed) {
+                          return uniform_case(grid_generator(6, u), seed);
+                        });
+}
+
+exp::SweepOutcome run_size_grid(exp::ExperimentConfig cfg) {
+  return exp::run_sweep(
+      cfg, "tasks", kSizeGrid, [](double n, std::size_t, std::uint64_t seed) {
+        return uniform_case(grid_generator(static_cast<std::size_t>(n), 0.9),
+                            seed);
+      });
+}
+
+TEST(OracleEquivalence, E1UtilizationGridSerial) {
+  core::SlackTimeConfig sc;
+  sc.verify_with_oracle = true;
+  auto cfg = verify_config(sc);
+  const auto sweep = run_util_grid(cfg);  // divergence throws (fail_fast)
+  EXPECT_TRUE(sweep.failures.empty());
+  EXPECT_EQ(sweep.simulations, kUtilGrid.size() * 2 * 3);  // + noDVS ref
+}
+
+TEST(OracleEquivalence, E1UtilizationGridEightThreads) {
+  core::SlackTimeConfig sc;
+  sc.verify_with_oracle = true;
+  auto cfg = verify_config(sc);
+  cfg.n_threads = 8;
+  const auto sweep = run_util_grid(cfg);
+  EXPECT_TRUE(sweep.failures.empty());
+}
+
+TEST(OracleEquivalence, E6TaskSetSizeGridSerial) {
+  core::SlackTimeConfig sc;
+  sc.verify_with_oracle = true;
+  const auto sweep = run_size_grid(verify_config(sc));
+  EXPECT_TRUE(sweep.failures.empty());
+}
+
+TEST(OracleEquivalence, E6TaskSetSizeGridEightThreads) {
+  core::SlackTimeConfig sc;
+  sc.verify_with_oracle = true;
+  auto cfg = verify_config(sc);
+  cfg.n_threads = 8;
+  const auto sweep = run_size_grid(cfg);
+  EXPECT_TRUE(sweep.failures.empty());
+}
+
+TEST(OracleEquivalence, WithSwitchOverheadCharged) {
+  core::SlackTimeConfig sc;
+  sc.verify_with_oracle = true;
+  sc.switch_overhead = 1e-4;  // nonzero per-job stall in the sweep
+  const auto sweep = run_util_grid(verify_config(sc));
+  EXPECT_TRUE(sweep.failures.empty());
+}
+
+TEST(OracleEquivalence, FaultArmsUnderEveryContainmentPolicy) {
+  constexpr std::uint64_t kFaultSalt = 0x9e3779b97f4a7c15ull;
+  const sim::OverrunPolicy policies[] = {
+      sim::OverrunPolicy::kNone,
+      sim::OverrunPolicy::kClampAtWcet,
+      sim::OverrunPolicy::kEscalateToMaxSpeed,
+  };
+  for (const auto policy : policies) {
+    core::SlackTimeConfig sc;
+    sc.verify_with_oracle = true;
+    auto cfg = verify_config(sc);
+    cfg.replications = 3;
+    cfg.containment = policy;
+    const std::vector<double> probs{0.1, 0.3};
+    const auto sweep = exp::run_sweep(
+        cfg, "overrun_prob", probs,
+        [](double prob, std::size_t, std::uint64_t seed) {
+          exp::Case c = uniform_case(grid_generator(6, 0.85), seed);
+          fault::FaultSpec spec;
+          spec.seed = seed ^ kFaultSalt;
+          spec.overrun_prob = prob;
+          spec.overrun_magnitude = 0.5;
+          spec.jitter_prob = 0.2;
+          spec.jitter_time = 0.001;
+          c.workload = fault::faulty_workload(std::move(c.workload), spec);
+          return c;
+        });
+    EXPECT_TRUE(sweep.failures.empty())
+        << "policy " << fault::containment_name(policy);
+  }
+}
+
+// Layer 2: whole-sweep equality between incremental and from-scratch runs.
+
+void expect_identical_sweeps(const exp::SweepOutcome& a,
+                             const exp::SweepOutcome& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  ASSERT_EQ(a.governors, b.governors);
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const auto& pa = a.points[p];
+    const auto& pb = b.points[p];
+    EXPECT_EQ(pa.total_misses, pb.total_misses);
+    ASSERT_EQ(pa.cases.size(), pb.cases.size());
+    for (std::size_t c = 0; c < pa.cases.size(); ++c) {
+      ASSERT_EQ(pa.cases[c].outcomes.size(), pb.cases[c].outcomes.size());
+      for (std::size_t g = 0; g < pa.cases[c].outcomes.size(); ++g) {
+        const auto& ra = pa.cases[c].outcomes[g];
+        const auto& rb = pb.cases[c].outcomes[g];
+        EXPECT_EQ(ra.governor, rb.governor);
+        // Exact (bitwise) equality — the incremental path must not move a
+        // single ulp anywhere in the simulation.
+        EXPECT_EQ(ra.normalized_energy, rb.normalized_energy);
+        EXPECT_EQ(ra.result.busy_energy, rb.result.busy_energy);
+        EXPECT_EQ(ra.result.idle_energy, rb.result.idle_energy);
+        EXPECT_EQ(ra.result.transition_energy, rb.result.transition_energy);
+        EXPECT_EQ(ra.result.average_speed, rb.result.average_speed);
+        EXPECT_EQ(ra.result.speed_switches, rb.result.speed_switches);
+        EXPECT_EQ(ra.result.deadline_misses, rb.result.deadline_misses);
+        EXPECT_EQ(ra.result.preemptions, rb.result.preemptions);
+        EXPECT_EQ(ra.result.worst_response, rb.result.worst_response);
+      }
+    }
+  }
+}
+
+TEST(OracleEquivalence, IncrementalSweepOutcomeEqualsFromScratch) {
+  core::SlackTimeConfig inc;
+  inc.incremental = true;
+  core::SlackTimeConfig scratch;
+  scratch.incremental = false;
+
+  auto cfg_inc = verify_config(inc);
+  auto cfg_scratch = verify_config(scratch);
+  cfg_inc.keep_case_outcomes = true;
+  cfg_scratch.keep_case_outcomes = true;
+
+  expect_identical_sweeps(run_util_grid(cfg_inc), run_util_grid(cfg_scratch));
+  expect_identical_sweeps(run_size_grid(cfg_inc), run_size_grid(cfg_scratch));
+}
+
+}  // namespace
+}  // namespace dvs

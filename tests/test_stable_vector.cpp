@@ -1,0 +1,94 @@
+// util::StableVector — the slab-pooled, reference-stable storage backing
+// the simulator's job records (docs/PERFORMANCE.md).
+#include "util/stable_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace dvs::util {
+namespace {
+
+TEST(StableVector, StartsEmpty) {
+  StableVector<int> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 0u);
+  EXPECT_EQ(v.begin(), v.end());
+}
+
+TEST(StableVector, PushBackReadsBackInOrder) {
+  StableVector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(v.back(), 999);
+}
+
+TEST(StableVector, ReferencesSurviveGrowth) {
+  // The whole point of the container: a reference taken at push time must
+  // stay valid while later pushes allocate new slabs.
+  StableVector<int, 4> v;  // tiny slabs force many slab boundaries
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 100; ++i) ptrs.push_back(&v.push_back(i));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<std::size_t>(i)], i);
+    EXPECT_EQ(ptrs[static_cast<std::size_t>(i)],
+              &v[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(StableVector, ReservePreallocatesWholeSlabs) {
+  StableVector<int, 8> v;
+  v.reserve(17);  // 3 slabs of 8
+  EXPECT_EQ(v.capacity(), 24u);
+  EXPECT_EQ(v.size(), 0u);
+  v.reserve(5);  // never shrinks
+  EXPECT_EQ(v.capacity(), 24u);
+}
+
+TEST(StableVector, ClearKeepsSlabsForReuse) {
+  StableVector<int, 8> v;
+  for (int i = 0; i < 20; ++i) v.push_back(i);
+  const std::size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  v.push_back(7);
+  EXPECT_EQ(v[0], 7);
+}
+
+TEST(StableVector, RangeForIteratesEveryElement) {
+  StableVector<int, 4> v;
+  for (int i = 0; i < 11; ++i) v.push_back(i);
+  int sum = 0;
+  for (const int& x : v) sum += x;
+  EXPECT_EQ(sum, 55);
+  // Mutation through the non-const iterator.
+  for (int& x : v) x *= 2;
+  EXPECT_EQ(v[10], 20);
+}
+
+TEST(StableVector, ConstIterationMatchesIndexing) {
+  StableVector<std::string, 4> v;
+  for (int i = 0; i < 9; ++i) v.push_back(std::to_string(i));
+  const auto& cv = v;
+  std::size_t i = 0;
+  for (const auto& s : cv) EXPECT_EQ(s, std::to_string(i++));
+  EXPECT_EQ(i, cv.size());
+}
+
+TEST(StableVector, MoveTransfersStorage) {
+  StableVector<int, 4> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  int* p = &v[5];
+  StableVector<int, 4> w = std::move(v);
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_EQ(&w[5], p);  // slabs moved, not copied
+  EXPECT_EQ(w[5], 5);
+}
+
+}  // namespace
+}  // namespace dvs::util
