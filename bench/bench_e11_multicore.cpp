@@ -1,0 +1,115 @@
+// E11 — Partitioned multiprocessor DVS: normalized energy vs core count
+// under the classic bin-packing heuristics (DESIGN.md §10).
+//
+// For every heuristic (first/best/worst-fit decreasing utilization) and
+// M in {1, 2, 4, 8} cores, random task sets with a fixed per-core target
+// utilization (total U = 0.68 * M, tasks scaled 4 per core) are
+// partitioned and simulated under every governor; energy is normalized
+// against the noDVS run of the same case and partition.  M = 1 goes
+// through the partitioned backend too — it is bit-identical to the
+// uniprocessor simulator, so the M = 1 column doubles as a cross-check
+// against E1's setting.
+//
+// Expected shape: worst-fit spreads load evenly, leaving every core the
+// most slack, so the DVS governors' normalized energy is lowest (or tied)
+// under wf; first/best-fit concentrate load, starving the emptier cores'
+// governors of tasks (a powered-down core costs nothing, so concentration
+// is not free energy — the reclaiming governors just lose headroom on the
+// packed cores).  Exit 0 iff every simulation completed, every partition
+// was accepted, and no deadline was missed.
+#include "common.hpp"
+
+#include <cstdint>
+
+#include "mp/partition.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dvs;
+
+/// Per-core target utilization: high enough that DVS headroom matters,
+/// low enough that every heuristic partitions every sampled set.
+constexpr double kPerCoreU = 0.68;
+constexpr std::size_t kTasksPerCore = 4;
+
+exp::CaseBuilder multicore_builder(std::size_t m) {
+  return [m](double /*x*/, std::size_t /*rep*/, std::uint64_t seed) {
+    task::GeneratorConfig gen = bench::base_generator(
+        kTasksPerCore * m, kPerCoreU * static_cast<double>(m), 0.1);
+    gen.allow_overload = m > 1;   // total U > 1 is the point of M cores
+    gen.max_task_utilization = 0.9;  // keep every task packable
+    util::Rng rng(seed);
+    return exp::Case{task::generate_task_set(gen, rng),
+                     task::uniform_model(seed)};
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dvs;
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"staticEDF", "ccEDF", "DRA", "lpSEH"};
+  cfg.seed = 11;
+  cfg.replications = opts.smoke ? 2 : 5;
+  cfg.sim_length = opts.smoke ? 0.4 : 1.0;
+  cfg.n_threads = opts.jobs;
+  cfg.fail_fast = opts.strict;
+
+  const std::vector<std::size_t> core_counts =
+      opts.smoke ? std::vector<std::size_t>{1, 2}
+                 : std::vector<std::size_t>{1, 2, 4, 8};
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_csv", ec);
+  util::CsvFile combined("bench_csv/bench_e11_multicore.csv");
+  combined.writer().row({"heuristic", "cores", "governor",
+                         "norm_energy_mean", "norm_energy_min",
+                         "norm_energy_max", "miss_ratio_mean", "misses",
+                         "failures"});
+
+  std::size_t failures = 0;
+  std::int64_t misses = 0;
+
+  for (const auto h : mp::all_heuristics()) {
+    cfg.partitioner = h;
+    const std::string hname = mp::heuristic_name(h);
+    for (const std::size_t m : core_counts) {
+      cfg.n_cores = m;
+      const auto sweep =
+          exp::run_sweep(cfg, "cores", {static_cast<double>(m)},
+                         multicore_builder(m));
+      bench::emit(sweep,
+                  "E11[" + hname + ", M=" + std::to_string(m) +
+                      "]: partitioned DVS, per-core U = 0.68, " +
+                      std::to_string(kTasksPerCore * m) + " tasks",
+                  "bench_e11_" + hname + "_m" + std::to_string(m) + ".csv");
+      failures += sweep.failures.size();
+      misses += bench::total_misses(sweep);
+      const auto& p = sweep.points.front();
+      for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
+        const auto& e = p.normalized_energy[g];
+        const auto& mr = p.miss_ratio[g];
+        combined.writer().row(
+            {hname, std::to_string(m), sweep.governors[g],
+             e.count() > 0 ? util::format_double(e.mean(), 6) : "",
+             e.count() > 0 ? util::format_double(e.min(), 6) : "",
+             e.count() > 0 ? util::format_double(e.max(), 6) : "",
+             mr.count() > 0 ? util::format_double(mr.mean(), 6) : "",
+             std::to_string(p.total_misses),
+             std::to_string(sweep.failures.size())});
+      }
+    }
+  }
+
+  const bool ok = failures == 0 && misses == 0;
+  std::cout << "  failed simulations / rejected partitions: " << failures
+            << ", deadline misses: " << misses
+            << (ok ? "  [hard real-time invariant holds]\n"
+                   : "  [VIOLATION]\n");
+  return ok ? 0 : 1;
+}

@@ -32,18 +32,25 @@ std::vector<std::string> governor_roster(const ExperimentConfig& cfg) {
   return roster;
 }
 
-/// One simulation: a FRESH governor instance (constructed on the calling
+/// Fresh governor instance for one simulation (constructed on the calling
 /// worker — governors are stateful, sharing one across cases would leak
-/// state between simulations) run on `c`.  Normalization happens later,
-/// once the noDVS reference of the same case is available.
-GovernorOutcome simulate_governor(const std::string& name, const Case& c,
-                                  const ExperimentConfig& cfg) {
+/// state between simulations).
+sim::GovernorPtr fresh_governor(const std::string& name,
+                                const ExperimentConfig& cfg) {
   auto governor =
       cfg.governor_factory ? cfg.governor_factory(name)
                            : core::make_governor(name);
   DVS_EXPECT(governor != nullptr,
              "governor factory returned null for '" + name + "'");
   if (cfg.check_governors) governor = fault::checked(std::move(governor));
+  return governor;
+}
+
+/// One uniprocessor simulation of `name` on `c`.  Normalization happens
+/// later, once the noDVS reference of the same case is available.
+GovernorOutcome simulate_governor(const std::string& name, const Case& c,
+                                  const ExperimentConfig& cfg) {
+  auto governor = fresh_governor(name, cfg);
   GovernorOutcome g;
   g.governor = governor->name();
   sim::SimOptions opts = sim_options(cfg);
@@ -55,6 +62,66 @@ GovernorOutcome simulate_governor(const std::string& name, const Case& c,
   g.result =
       sim::simulate(c.task_set, *c.workload, cfg.processor, *governor, opts);
   if (cfg.audit_decisions) g.slack = audit.accuracy();
+  return g;
+}
+
+// --- Partitioned multiprocessor mode (ExperimentConfig::n_cores >= 1) ---
+
+/// One core's share of one (case, governor) simulation: the independent
+/// unit of work of the mp fan-out (DESIGN.md §10).
+struct CoreSlot {
+  sim::SimResult result;
+  obs::SlackAccuracy slack;
+  std::string error;
+  [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
+};
+
+/// Simulate governor `name` on core `c` of an already-planned case.
+/// Empty (powered-down) cores return a zeroed slot without instantiating
+/// a governor.
+CoreSlot simulate_core(const std::string& name, const mp::MpPlan& plan,
+                       std::size_t c, const ExperimentConfig& cfg) {
+  CoreSlot slot;
+  if (plan.core_sets[c].empty()) return slot;
+  auto governor = fresh_governor(name, cfg);
+  sim::SimOptions opts = sim_options(cfg);
+  opts.length = plan.length;  // uniform across cores (full-set default)
+  obs::DecisionAudit audit;
+  if (cfg.audit_decisions) opts.audit = &audit;
+  slot.result = sim::simulate(plan.core_sets[c], *plan.core_workloads[c],
+                              cfg.processor, *governor, opts);
+  if (cfg.audit_decisions) slot.slack = audit.accuracy();
+  return slot;
+}
+
+/// Reassemble one (case, governor) outcome from its per-core slots, in
+/// core order.  A rejected partition or any failed core marks the whole
+/// outcome failed (failure isolation at the (case, governor) grain).
+GovernorOutcome assemble_governor_mp(const std::string& name,
+                                     const task::TaskSet& ts,
+                                     const mp::MpPlan& plan,
+                                     std::vector<CoreSlot> slots) {
+  GovernorOutcome g;
+  g.governor = name;
+  if (!plan.feasible()) {
+    g.error = plan.partition.error;
+    return g;
+  }
+  std::vector<sim::SimResult> cores;
+  cores.reserve(slots.size());
+  for (std::size_t c = 0; c < slots.size(); ++c) {
+    if (slots[c].failed()) {
+      g.error = "core " + std::to_string(c) + ": " + slots[c].error;
+      return g;
+    }
+    g.slack.merge(slots[c].slack);
+    cores.push_back(std::move(slots[c].result));
+  }
+  auto detail = std::make_shared<dvs::mp::MpResult>(
+      dvs::mp::assemble_mp(ts, plan, std::move(cores)));
+  g.result = detail->total;
+  g.governor = g.result.governor.empty() ? name : g.result.governor;
+  g.mp = std::move(detail);
   return g;
 }
 
@@ -118,9 +185,32 @@ CaseOutcome run_case(const Case& c, const ExperimentConfig& cfg) {
   CaseOutcome out;
   out.outcomes.resize(roster.size());
   const std::size_t workers = util::ThreadPool::resolve_threads(cfg.n_threads);
-  dispatch_indexed(workers, roster.size(), [&](std::size_t g) {
-    out.outcomes[g] = simulate_governor(roster[g], c, cfg);
-  });
+  if (cfg.n_cores >= 1) {
+    // Partitioned mode: every (governor, core) pair is one unit of work.
+    // run_case keeps its legacy loud-failure semantics — an infeasible
+    // partition (or a throwing core simulation) propagates to the caller.
+    const mp::MpPlan plan = mp::plan_mp(c.task_set, c.workload, cfg.n_cores,
+                                        cfg.partitioner, cfg.sim_length);
+    DVS_EXPECT(plan.feasible(), plan.partition.error);
+    const std::size_t n_units = cfg.n_cores;
+    std::vector<CoreSlot> slots(roster.size() * n_units);
+    dispatch_indexed(workers, slots.size(), [&](std::size_t i) {
+      slots[i] = simulate_core(roster[i / n_units], plan, i % n_units, cfg);
+    });
+    for (std::size_t g = 0; g < roster.size(); ++g) {
+      std::vector<CoreSlot> unit(
+          std::make_move_iterator(slots.begin() +
+                                  static_cast<std::ptrdiff_t>(g * n_units)),
+          std::make_move_iterator(
+              slots.begin() + static_cast<std::ptrdiff_t>((g + 1) * n_units)));
+      out.outcomes[g] =
+          assemble_governor_mp(roster[g], c.task_set, plan, std::move(unit));
+    }
+  } else {
+    dispatch_indexed(workers, roster.size(), [&](std::size_t g) {
+      out.outcomes[g] = simulate_governor(roster[g], c, cfg);
+    });
+  }
   normalize_case(out);
   return out;
 }
@@ -153,24 +243,76 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
     }
   }
 
-  // One independent simulation per (case, governor); results land in a
-  // flat slot array, so execution order is irrelevant to the outcome.
-  const std::size_t n_sims = n_cases * n_govs;
-  std::vector<GovernorOutcome> sims(n_sims);
-  const std::size_t workers = util::ThreadPool::resolve_threads(cfg.n_threads);
-  dispatch_indexed(workers, n_sims, [&](std::size_t i) {
-    const std::string& gov = sweep.governors[i % n_govs];
-    try {
-      sims[i] = simulate_governor(gov, cases[i / n_govs], cfg);
-    } catch (const std::exception& e) {
-      // Failure isolation: one crashing simulation must not take down the
-      // other (n_sims - 1) jobs.  The error is parked in its slot and
-      // attributed during the deterministic reassembly below.
-      if (cfg.fail_fast) throw;
-      sims[i].governor = gov;
-      sims[i].error = e.what();
+  // Partitioned mode: bin-pack every case up front (still serial, still
+  // on the calling thread — partitioning is part of case construction).
+  // An infeasible partition is not an error here; it is attributed as one
+  // SimFailure per governor during reassembly, unless fail_fast asks for
+  // the legacy loud behaviour.
+  const bool mp_mode = cfg.n_cores >= 1;
+  const std::size_t n_units = mp_mode ? cfg.n_cores : 1;
+  std::vector<mp::MpPlan> plans;
+  if (mp_mode) {
+    plans.reserve(n_cases);
+    for (const Case& c : cases) {
+      plans.push_back(mp::plan_mp(c.task_set, c.workload, cfg.n_cores,
+                                  cfg.partitioner, cfg.sim_length));
+      if (cfg.fail_fast) {
+        DVS_EXPECT(plans.back().feasible(), plans.back().partition.error);
+      }
     }
-  });
+  }
+
+  // One independent simulation per (case, governor) — or, in partitioned
+  // mode, per (case, governor, core); results land in a flat slot array,
+  // so execution order is irrelevant to the outcome.
+  const std::size_t n_sims = n_cases * n_govs * n_units;
+  std::vector<GovernorOutcome> sims(n_cases * n_govs);
+  const std::size_t workers = util::ThreadPool::resolve_threads(cfg.n_threads);
+  if (mp_mode) {
+    std::vector<CoreSlot> slots(n_sims);
+    dispatch_indexed(workers, n_sims, [&](std::size_t i) {
+      const std::size_t ci = i / (n_govs * n_units);
+      if (!plans[ci].feasible()) return;  // attributed at reassembly
+      const std::size_t g = (i / n_units) % n_govs;
+      try {
+        slots[i] = simulate_core(sweep.governors[g], plans[ci], i % n_units,
+                                 cfg);
+      } catch (const std::exception& e) {
+        // Failure isolation at the core grain: the error is parked in its
+        // slot and surfaces as a (case, governor) failure at reassembly.
+        if (cfg.fail_fast) throw;
+        slots[i].error = e.what();
+      }
+    });
+    // Deterministic per-(case, governor) reassembly, cores in core order.
+    for (std::size_t ci = 0; ci < n_cases; ++ci) {
+      for (std::size_t g = 0; g < n_govs; ++g) {
+        const std::size_t base = (ci * n_govs + g) * n_units;
+        std::vector<CoreSlot> unit(
+            std::make_move_iterator(slots.begin() +
+                                    static_cast<std::ptrdiff_t>(base)),
+            std::make_move_iterator(
+                slots.begin() + static_cast<std::ptrdiff_t>(base + n_units)));
+        sims[ci * n_govs + g] = assemble_governor_mp(
+            sweep.governors[g], cases[ci].task_set, plans[ci],
+            std::move(unit));
+      }
+    }
+  } else {
+    dispatch_indexed(workers, n_sims, [&](std::size_t i) {
+      const std::string& gov = sweep.governors[i % n_govs];
+      try {
+        sims[i] = simulate_governor(gov, cases[i / n_govs], cfg);
+      } catch (const std::exception& e) {
+        // Failure isolation: one crashing simulation must not take down the
+        // other (n_sims - 1) jobs.  The error is parked in its slot and
+        // attributed during the deterministic reassembly below.
+        if (cfg.fail_fast) throw;
+        sims[i].governor = gov;
+        sims[i].error = e.what();
+      }
+    });
+  }
 
   // Deterministic reassembly: normalize and aggregate in the same
   // (point, replication, governor) order as the legacy serial loop, so

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cpu/processors.hpp"
+#include "mp/mp_sim.hpp"
 #include "obs/audit.hpp"
 #include "sim/simulator.hpp"
 #include "task/task_set.hpp"
@@ -82,6 +83,20 @@ struct ExperimentConfig {
   /// tests inject deliberately faulty governors; called concurrently, so
   /// the factory must be thread-safe.
   std::function<sim::GovernorPtr(const std::string&)> governor_factory;
+
+  /// Multiprocessor axis (src/mp/, DESIGN.md §10).  0 (the default) is
+  /// the uniprocessor simulator — the legacy path, byte-for-byte.  Any
+  /// M >= 1 routes every simulation through the partitioned backend:
+  /// each case is bin-packed onto M identical cores with `partitioner`,
+  /// one fresh governor instance runs per core, and every core is one
+  /// more independent unit of work for the thread pool (reassembled in
+  /// core order, so output stays bit-identical for any n_threads).
+  /// M = 1 is bit-identical to the uniprocessor path (the equivalence
+  /// contract enforced by the differential tests).  A case whose
+  /// partition is rejected becomes one SimFailure per governor naming
+  /// the offending task.
+  std::size_t n_cores = 0;
+  mp::PartitionHeuristic partitioner = mp::PartitionHeuristic::kFirstFit;
 };
 
 /// Result of one governor on one case.
@@ -95,6 +110,10 @@ struct GovernorOutcome {
   /// Non-empty when the simulation threw instead of completing; `result`
   /// and `normalized_energy` are then meaningless placeholders.
   std::string error;
+  /// Per-core detail of a partitioned run (ExperimentConfig::n_cores
+  /// >= 1): partition shape plus every core's SimResult.  `result` above
+  /// is then mp->total.  Null on uniprocessor runs and on failures.
+  std::shared_ptr<const mp::MpResult> mp;
   [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
 };
 

@@ -1,0 +1,222 @@
+#include "mp/mp_sim.hpp"
+
+#include <future>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dvs::mp {
+namespace {
+
+/// Pass-through ExecutionTimeModel that substitutes the core's GLOBAL
+/// task ids for the local ids of a per-core task set, so draw() returns
+/// the same value the task would see in the uniprocessor run.  name() is
+/// transparent: reports (SimResult::workload) show the inner model.
+class RemappedWorkload final : public task::ExecutionTimeModel {
+ public:
+  RemappedWorkload(task::ExecutionTimeModelPtr inner,
+                   std::vector<std::int32_t> global_ids)
+      : inner_(std::move(inner)), global_ids_(std::move(global_ids)) {}
+
+  [[nodiscard]] Work draw(const task::Task& task,
+                          std::int64_t job_index) const override {
+    const auto local = static_cast<std::size_t>(task.id);
+    DVS_EXPECT(task.id >= 0 && local < global_ids_.size(),
+               "remapped workload: task id outside the core's set");
+    if (global_ids_[local] == task.id) return inner_->draw(task, job_index);
+    task::Task global = task;
+    global.id = global_ids_[local];
+    return inner_->draw(global, job_index);
+  }
+
+  [[nodiscard]] std::string name() const override { return inner_->name(); }
+
+ private:
+  task::ExecutionTimeModelPtr inner_;
+  std::vector<std::int32_t> global_ids_;
+};
+
+/// Run `job(i)` for i in [0, n), serially or over a pool; futures drain in
+/// index order so the first failing index's exception propagates
+/// deterministically (same discipline as the sweep engine, DESIGN.md §6).
+template <typename Fn>
+void dispatch_cores(std::size_t workers, std::size_t n, const Fn& job) {
+  if (workers <= 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) job(i);
+    return;
+  }
+  util::ThreadPool pool(std::min(workers, n));
+  std::vector<std::future<void>> pending;
+  pending.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pending.push_back(pool.submit([&job, i] { job(i); }));
+  }
+  for (auto& f : pending) f.get();
+}
+
+}  // namespace
+
+task::ExecutionTimeModelPtr remap_workload(task::ExecutionTimeModelPtr inner,
+                                           std::vector<std::int32_t> ids) {
+  DVS_EXPECT(inner != nullptr, "remap_workload: null inner model");
+  return std::make_shared<RemappedWorkload>(std::move(inner), std::move(ids));
+}
+
+MpPlan plan_mp(const task::TaskSet& ts,
+               const task::ExecutionTimeModelPtr& workload,
+               std::size_t n_cores, PartitionHeuristic h, Time length) {
+  DVS_EXPECT(workload != nullptr, "plan_mp: null workload model");
+  MpPlan plan;
+  plan.partition = partition_task_set(ts, n_cores, h);
+  plan.length = length < 0.0 ? ts.default_sim_length() : length;
+  if (!plan.partition.feasible) return plan;
+
+  const Partition& p = plan.partition.partition;
+  plan.core_sets.reserve(n_cores);
+  plan.core_workloads.reserve(n_cores);
+  for (std::size_t c = 0; c < n_cores; ++c) {
+    plan.core_sets.push_back(core_task_set(ts, p, c));
+    std::vector<std::int32_t> global_ids;
+    global_ids.reserve(p.tasks_of_core[c].size());
+    for (const std::size_t gi : p.tasks_of_core[c]) {
+      global_ids.push_back(ts[gi].id);
+    }
+    plan.core_workloads.push_back(
+        remap_workload(workload, std::move(global_ids)));
+  }
+  return plan;
+}
+
+std::string MpResult::summary() const {
+  std::size_t used = 0;
+  for (const auto& c : partition.tasks_of_core) used += c.empty() ? 0 : 1;
+  return total.governor + " [" + heuristic_name(partition.heuristic) + " " +
+         std::to_string(used) + "/" + std::to_string(partition.n_cores) +
+         " cores]: E=" + util::format_double(total.total_energy(), 4) +
+         " misses=" + std::to_string(total.deadline_misses) +
+         " switches=" + std::to_string(total.speed_switches) +
+         " avg_speed=" + util::format_double(total.average_speed, 3);
+}
+
+MpResult assemble_mp(const task::TaskSet& ts, const MpPlan& plan,
+                     std::vector<sim::SimResult> cores) {
+  DVS_EXPECT(plan.feasible(), "assemble_mp: infeasible plan");
+  const Partition& p = plan.partition.partition;
+  DVS_EXPECT(cores.size() == p.n_cores,
+             "assemble_mp: one SimResult per core required");
+
+  MpResult mp;
+  mp.partition = p;
+
+  // The M = 1 equivalence contract: a single all-tasks core IS the
+  // uniprocessor run (ids and order already global), so the aggregate is
+  // that result verbatim — no re-derivation that could perturb a bit.
+  if (p.n_cores == 1) {
+    mp.total = cores.front();
+    mp.cores = std::move(cores);
+    return mp;
+  }
+
+  // Names and placeholder metadata from the first populated core.
+  sim::SimResult& total = mp.total;
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    if (p.tasks_of_core[c].empty()) continue;
+    total.governor = cores[c].governor;
+    total.processor = cores[c].processor;
+    total.workload = cores[c].workload;
+    total.sim_length = cores[c].sim_length;
+    break;
+  }
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    if (!p.tasks_of_core[c].empty()) continue;
+    cores[c] = sim::SimResult{};  // powered-down core
+    cores[c].governor = total.governor;
+    cores[c].processor = total.processor;
+    cores[c].workload = total.workload;
+    cores[c].sim_length = plan.length;
+  }
+
+  total.per_task_energy.assign(ts.size(), 0.0);
+  total.worst_response.assign(ts.size(), 0.0);
+  double speed_dot_busy = 0.0;
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    const sim::SimResult& r = cores[c];
+    const std::vector<std::size_t>& members = p.tasks_of_core[c];
+    total.busy_energy += r.busy_energy;
+    total.idle_energy += r.idle_energy;
+    total.transition_energy += r.transition_energy;
+    total.busy_time += r.busy_time;
+    total.idle_time += r.idle_time;
+    total.transition_time += r.transition_time;
+    total.jobs_released += r.jobs_released;
+    total.jobs_completed += r.jobs_completed;
+    total.deadline_misses += r.deadline_misses;
+    total.jobs_truncated += r.jobs_truncated;
+    total.speed_switches += r.speed_switches;
+    total.preemptions += r.preemptions;
+    total.jobs_overrun += r.jobs_overrun;
+    total.overruns_contained += r.overruns_contained;
+    total.processor_faults += r.processor_faults;
+    speed_dot_busy += r.average_speed * r.busy_time;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const std::size_t gi = members[i];
+      if (i < r.per_task_energy.size()) {
+        total.per_task_energy[gi] = r.per_task_energy[i];
+      }
+      if (i < r.worst_response.size()) {
+        total.worst_response[gi] = r.worst_response[i];
+      }
+    }
+    for (const sim::JobRecord& j : r.jobs) {
+      sim::JobRecord g = j;
+      DVS_ENSURE(j.task_id >= 0 &&
+                     static_cast<std::size_t>(j.task_id) < members.size(),
+                 "job record outside its core's task set");
+      g.task_id =
+          static_cast<std::int32_t>(members[static_cast<std::size_t>(
+              j.task_id)]);
+      total.jobs.push_back(g);
+    }
+  }
+  total.average_speed =
+      total.busy_time > 0.0 ? speed_dot_busy / total.busy_time : 1.0;
+  mp.cores = std::move(cores);
+  return mp;
+}
+
+MpResult simulate_mp(const task::TaskSet& ts,
+                     const task::ExecutionTimeModelPtr& workload,
+                     const cpu::Processor& processor,
+                     const GovernorFactory& make_governor,
+                     const MpOptions& options) {
+  DVS_EXPECT(make_governor != nullptr, "simulate_mp: null governor factory");
+  const MpPlan plan = plan_mp(ts, workload, options.n_cores,
+                              options.heuristic, options.length);
+  DVS_EXPECT(plan.feasible(), plan.partition.error);
+  const std::size_t n = options.n_cores;
+  if (options.traces != nullptr) {
+    options.traces->clear();
+    options.traces->resize(n);
+  }
+
+  std::vector<sim::SimResult> cores(n);
+  const std::size_t workers =
+      util::ThreadPool::resolve_threads(options.n_threads);
+  dispatch_cores(workers, n, [&](std::size_t c) {
+    if (plan.core_sets[c].empty()) return;  // powered-down core
+    auto governor = make_governor();
+    DVS_EXPECT(governor != nullptr, "governor factory returned null");
+    sim::SimOptions opts;
+    opts.length = plan.length;
+    opts.record_jobs = options.record_jobs;
+    opts.containment = options.containment;
+    if (options.traces != nullptr) opts.trace = &(*options.traces)[c];
+    cores[c] = sim::simulate(plan.core_sets[c], *plan.core_workloads[c],
+                             processor, *governor, opts);
+  });
+  return assemble_mp(ts, plan, std::move(cores));
+}
+
+}  // namespace dvs::mp

@@ -1,0 +1,124 @@
+// Partitioned multiprocessor DVS simulation (DESIGN.md §10).
+//
+// A multiprocessor run is M independent uniprocessor runs: the partitioner
+// (mp/partition.hpp) statically assigns every task to one of M identical
+// cores; each core then gets a FRESH governor instance and its own
+// EnergyMeter (inside sim::simulate) and replays the shared workload
+// model.  Because the workload draw() is a pure function of (seed, task
+// id, job index) and per-core draws are remapped back to GLOBAL task ids,
+// every task consumes the identical actual-execution-time sequence no
+// matter which core it landed on or how many cores exist — the
+// common-random-numbers protocol extends across partitionings.
+//
+// Determinism: cores are independent units of work; simulate_mp fans them
+// out over a util::ThreadPool (options.n_threads) and reassembles in core
+// order, so the MpResult is bit-identical for every thread count.  With
+// M = 1 the single core holds the original task set in original order and
+// the run is bit-identical to sim::simulate on the same inputs — the
+// equivalence contract the differential tests enforce.
+//
+// Empty cores (fewer tasks than cores): no governor is instantiated; the
+// core is modeled as powered down (zero energy, zero time accounted) —
+// the convention of the partitioned-DVS literature, where an unused core
+// sleeps.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/processors.hpp"
+#include "mp/partition.hpp"
+#include "sim/simulator.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::mp {
+
+/// Fresh-governor factory: called once per core (and per run).
+using GovernorFactory = std::function<sim::GovernorPtr()>;
+
+/// Everything derived from (task set, workload, M, heuristic) that the
+/// per-core simulations need, computed once on the calling thread so the
+/// parallel fan-out only ever reads it.
+struct MpPlan {
+  PartitionResult partition;
+  /// Resolved simulation length, uniform across cores (negative request
+  /// resolves against the FULL set's default, not per-core defaults).
+  Time length = 0.0;
+  /// Per-core task sets (ascending global order; empty for empty cores).
+  std::vector<task::TaskSet> core_sets;
+  /// Per-core workloads: the shared model with local ids remapped to
+  /// global ids (identity — and pass-through — when the core holds every
+  /// task, e.g. M = 1).
+  std::vector<task::ExecutionTimeModelPtr> core_workloads;
+
+  [[nodiscard]] bool feasible() const noexcept { return partition.feasible; }
+};
+
+/// Partition `ts` and build the per-core inputs.  An infeasible partition
+/// is NOT an error: the plan comes back with feasible() == false and the
+/// rejection details in plan.partition (core_sets stays empty).
+[[nodiscard]] MpPlan plan_mp(const task::TaskSet& ts,
+                             const task::ExecutionTimeModelPtr& workload,
+                             std::size_t n_cores, PartitionHeuristic h,
+                             Time length = -1.0);
+
+/// Workload adapter substituting global task ids for a core's local ids
+/// before delegating to `inner` (transparent name()).  Exposed for tests.
+[[nodiscard]] task::ExecutionTimeModelPtr remap_workload(
+    task::ExecutionTimeModelPtr inner, std::vector<std::int32_t> global_ids);
+
+/// Result of one partitioned multiprocessor run.
+struct MpResult {
+  Partition partition;
+  /// Per-core uniprocessor results, in core order.  Empty cores carry a
+  /// zeroed placeholder (sim_length set, all counters zero).
+  std::vector<sim::SimResult> cores;
+  /// Whole-platform aggregate: energies / times / counters summed over
+  /// cores, per_task_energy / worst_response scattered back to GLOBAL
+  /// task indices, job records concatenated in core order with global
+  /// task ids, average_speed busy-time-weighted across cores.  Note
+  /// busy + idle + transition time sums to M_used * sim_length here (one
+  /// processor per core), unlike the uniprocessor invariant.
+  sim::SimResult total;
+
+  [[nodiscard]] std::size_t n_cores() const noexcept {
+    return partition.n_cores;
+  }
+  /// One-line summary: partition shape plus the aggregate counters.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Aggregate per-core results (core order) into an MpResult; `ts` is the
+/// original full set (for the global-index scatter).  Exposed so the
+/// sweep engine can reassemble cores it simulated itself.
+[[nodiscard]] MpResult assemble_mp(const task::TaskSet& ts, const MpPlan& plan,
+                                   std::vector<sim::SimResult> cores);
+
+/// Per-simulation options of the multiprocessor backend.
+struct MpOptions {
+  Time length = -1.0;  ///< negative: the FULL set's default_sim_length()
+  std::size_t n_cores = 1;
+  PartitionHeuristic heuristic = PartitionHeuristic::kFirstFit;
+  bool record_jobs = false;
+  sim::OverrunPolicy containment = sim::OverrunPolicy::kNone;
+  /// Worker threads for the per-core fan-out (0 = hardware concurrency,
+  /// 1 = serial).  Results are bit-identical for every value.
+  std::size_t n_threads = 1;
+  /// Optional per-core trace sinks; resized to n_cores when non-null
+  /// (empty cores leave an empty trace).
+  std::vector<sim::VectorTrace>* traces = nullptr;
+};
+
+/// Run one partitioned simulation: partition, then one fresh governor
+/// (from `make_governor`) per non-empty core.  Throws ContractError when
+/// the partitioner rejects the set (the message names the offending
+/// task); callers that want a soft failure should call plan_mp first.
+[[nodiscard]] MpResult simulate_mp(const task::TaskSet& ts,
+                                   const task::ExecutionTimeModelPtr& workload,
+                                   const cpu::Processor& processor,
+                                   const GovernorFactory& make_governor,
+                                   const MpOptions& options = {});
+
+}  // namespace dvs::mp

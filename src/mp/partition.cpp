@@ -1,0 +1,151 @@
+#include "mp/partition.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "sched/analysis.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::mp {
+namespace {
+
+/// Candidate fit test: is `core_tasks` plus `extra` EDF-schedulable on one
+/// unit-speed core?  Exact (processor-demand criterion via
+/// sched::edf_schedulable), evaluated on the subset in ascending index
+/// order — the same order the final per-core sets use.
+bool fits(const task::TaskSet& ts, const std::vector<std::size_t>& core_tasks,
+          std::size_t extra) {
+  std::vector<std::size_t> candidate = core_tasks;
+  candidate.insert(
+      std::lower_bound(candidate.begin(), candidate.end(), extra), extra);
+  task::TaskSet subset("fit-probe");
+  for (const std::size_t i : candidate) subset.add(ts[i]);
+  return sched::edf_schedulable(subset);
+}
+
+}  // namespace
+
+std::string heuristic_name(PartitionHeuristic h) {
+  switch (h) {
+    case PartitionHeuristic::kFirstFit: return "ff";
+    case PartitionHeuristic::kBestFit: return "bf";
+    case PartitionHeuristic::kWorstFit: return "wf";
+  }
+  DVS_ENSURE(false, "unhandled PartitionHeuristic");
+  return "ff";  // unreachable
+}
+
+PartitionHeuristic heuristic_by_name(const std::string& name) {
+  const std::string low = util::to_lower(name);
+  if (low == "ff" || low == "first-fit" || low == "firstfit") {
+    return PartitionHeuristic::kFirstFit;
+  }
+  if (low == "bf" || low == "best-fit" || low == "bestfit") {
+    return PartitionHeuristic::kBestFit;
+  }
+  if (low == "wf" || low == "worst-fit" || low == "worstfit") {
+    return PartitionHeuristic::kWorstFit;
+  }
+  DVS_EXPECT(false, "unknown partition heuristic: '" + name +
+                        "' (expected ff | bf | wf)");
+  return PartitionHeuristic::kFirstFit;  // unreachable
+}
+
+const std::vector<PartitionHeuristic>& all_heuristics() {
+  static const std::vector<PartitionHeuristic> all{
+      PartitionHeuristic::kFirstFit, PartitionHeuristic::kBestFit,
+      PartitionHeuristic::kWorstFit};
+  return all;
+}
+
+std::string Partition::describe(const task::TaskSet& ts) const {
+  std::string out = heuristic_name(heuristic) + " on " +
+                    std::to_string(n_cores) + " core" +
+                    (n_cores == 1 ? "" : "s") + ":";
+  for (std::size_t c = 0; c < tasks_of_core.size(); ++c) {
+    out += " core" + std::to_string(c) + "{";
+    for (std::size_t i = 0; i < tasks_of_core[c].size(); ++i) {
+      if (i > 0) out += ",";
+      out += ts[tasks_of_core[c][i]].name;
+    }
+    out += "|U=" + util::format_double(core_utilization[c], 3) + "}";
+  }
+  return out;
+}
+
+PartitionResult partition_task_set(const task::TaskSet& ts,
+                                   std::size_t n_cores, PartitionHeuristic h) {
+  DVS_EXPECT(!ts.empty(), "cannot partition an empty task set");
+  DVS_EXPECT(n_cores >= 1, "need at least one core");
+
+  // Decreasing-utilization packing order; ties break toward the lower
+  // task index (stable), keeping the assignment deterministic.
+  std::vector<std::size_t> order(ts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&ts](std::size_t a, std::size_t b) {
+                     return ts[a].utilization() > ts[b].utilization();
+                   });
+
+  PartitionResult res;
+  Partition& p = res.partition;
+  p.n_cores = n_cores;
+  p.heuristic = h;
+  p.core_of.assign(ts.size(), -1);
+  p.tasks_of_core.assign(n_cores, {});
+  p.core_utilization.assign(n_cores, 0.0);
+
+  for (const std::size_t ti : order) {
+    std::int64_t chosen = -1;
+    double chosen_capacity = 0.0;
+    for (std::size_t c = 0; c < n_cores; ++c) {
+      if (!fits(ts, p.tasks_of_core[c], ti)) continue;
+      if (h == PartitionHeuristic::kFirstFit) {
+        chosen = static_cast<std::int64_t>(c);
+        break;
+      }
+      const double capacity = 1.0 - p.core_utilization[c];
+      const bool better =
+          chosen < 0 || (h == PartitionHeuristic::kBestFit
+                             ? capacity < chosen_capacity
+                             : capacity > chosen_capacity);
+      if (better) {
+        chosen = static_cast<std::int64_t>(c);
+        chosen_capacity = capacity;
+      }
+    }
+    if (chosen < 0) {
+      res.rejected_task = ts[ti].id;
+      res.error = "partition (" + heuristic_name(h) + ", " +
+                  std::to_string(n_cores) + " cores) rejected task '" +
+                  ts[ti].name + "' (id " + std::to_string(ts[ti].id) +
+                  ", u=" + util::format_double(ts[ti].utilization(), 4) +
+                  "): no core can schedule it alongside its assignment";
+      return res;
+    }
+    const auto c = static_cast<std::size_t>(chosen);
+    p.core_of[ti] = static_cast<std::int32_t>(c);
+    p.tasks_of_core[c].insert(
+        std::lower_bound(p.tasks_of_core[c].begin(), p.tasks_of_core[c].end(),
+                         ti),
+        ti);
+    p.core_utilization[c] += ts[ti].utilization();
+  }
+  res.feasible = true;
+  return res;
+}
+
+task::TaskSet core_task_set(const task::TaskSet& ts, const Partition& p,
+                            std::size_t core) {
+  DVS_EXPECT(core < p.tasks_of_core.size(), "core index out of range");
+  const std::vector<std::size_t>& members = p.tasks_of_core[core];
+  const std::string name = members.size() == ts.size()
+                               ? ts.name()
+                               : ts.name() + "#c" + std::to_string(core);
+  task::TaskSet out(name);
+  for (const std::size_t i : members) out.add(ts[i]);
+  return out;
+}
+
+}  // namespace dvs::mp

@@ -1,0 +1,98 @@
+// Partitioned multiprocessor scheduling: bin-packing a task set onto M
+// identical cores.
+//
+// Partitioned EDF (the canonical multiprocessor extension of the paper's
+// setting, cf. Nélis et al., "Power-Aware Real-Time Scheduling upon
+// Identical Multiprocessor Platforms") statically assigns every task to
+// one core; each core then runs the plain uniprocessor EDF simulator with
+// its own governor and EnergyMeter.  The assignment is produced by the
+// classic decreasing-utilization bin-packing heuristics:
+//
+//   * first-fit  (FFD): the lowest-numbered core that accepts the task;
+//   * best-fit   (BFD): the accepting core with the LEAST remaining
+//                       utilization capacity (tightest fit);
+//   * worst-fit  (WFD): the accepting core with the MOST remaining
+//                       capacity (spreads load — the heuristic that leaves
+//                       each core the most slack for DVS to exploit).
+//
+// "Accepts" is exact per-core EDF schedulability at full speed
+// (sched::edf_schedulable on the candidate subset), not a utilization
+// bound, so constrained-deadline sets partition correctly too.  A task
+// that no core accepts makes the whole partition infeasible; the result
+// reports the offending task so callers (and the property harness) can
+// show WHY a set was rejected.
+//
+// Determinism contract: the assignment is a pure function of (task set,
+// n_cores, heuristic).  Ties (equal utilization, equal capacity) break
+// toward the lower task index / lower core index.  Within each core,
+// tasks keep their ORIGINAL task-set order (ascending global index);
+// with M = 1 the single core therefore holds an exact copy of the input
+// set, which is what makes the M = 1 backend bit-identical to the
+// uniprocessor simulator (DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "task/task_set.hpp"
+
+namespace dvs::mp {
+
+/// Bin-packing heuristic, all in decreasing-utilization task order.
+enum class PartitionHeuristic { kFirstFit, kBestFit, kWorstFit };
+
+/// Canonical short name: "ff" | "bf" | "wf".
+[[nodiscard]] std::string heuristic_name(PartitionHeuristic h);
+
+/// Parse "ff"/"bf"/"wf" (also accepts "first-fit" etc., case-insensitive);
+/// throws ContractError for unknown names.
+[[nodiscard]] PartitionHeuristic heuristic_by_name(const std::string& name);
+
+/// All heuristics in canonical (ff, bf, wf) order.
+[[nodiscard]] const std::vector<PartitionHeuristic>& all_heuristics();
+
+/// A feasible assignment of every task to one of `n_cores` cores.
+struct Partition {
+  std::size_t n_cores = 1;
+  PartitionHeuristic heuristic = PartitionHeuristic::kFirstFit;
+  /// Task index -> core index.
+  std::vector<std::int32_t> core_of;
+  /// Core -> task indices on that core, ascending (original set order).
+  /// Cores may be empty when the set has fewer tasks than cores.
+  std::vector<std::vector<std::size_t>> tasks_of_core;
+  /// WCET utilization per core.
+  std::vector<double> core_utilization;
+
+  /// Human-readable description, e.g.
+  /// "ff on 2 cores: core0{tau0,tau2|U=0.61} core1{tau1|U=0.34}".
+  [[nodiscard]] std::string describe(const task::TaskSet& ts) const;
+};
+
+/// Outcome of partitioning: a feasible partition, or a rejection naming
+/// the first task (in decreasing-utilization packing order) that no core
+/// accepted.
+struct PartitionResult {
+  bool feasible = false;
+  Partition partition;
+  std::int32_t rejected_task = -1;  ///< task id; -1 when feasible
+  std::string error;                ///< non-empty iff !feasible
+};
+
+/// Bin-pack `ts` onto `n_cores` identical unit-speed cores with `h`.
+/// Pure and deterministic; throws ContractError only for invalid inputs
+/// (empty set, n_cores == 0) — an unschedulable set is a *rejection*, not
+/// an error.
+[[nodiscard]] PartitionResult partition_task_set(const task::TaskSet& ts,
+                                                 std::size_t n_cores,
+                                                 PartitionHeuristic h);
+
+/// The per-core task set of `core`: the assigned tasks in ascending
+/// global-index order (ids rewritten to local indices by TaskSet::add).
+/// When the core holds every task (always true for M = 1) the set keeps
+/// the original name, otherwise it is suffixed "#c<core>".
+[[nodiscard]] task::TaskSet core_task_set(const task::TaskSet& ts,
+                                          const Partition& p,
+                                          std::size_t core);
+
+}  // namespace dvs::mp

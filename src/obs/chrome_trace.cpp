@@ -147,29 +147,42 @@ std::string json_escape(const std::string& s) {
 void write_chrome_trace(std::ostream& out, const task::TaskSet& ts,
                         const std::vector<GovernorTrace>& traces,
                         Time sim_length) {
-  DVS_EXPECT(!traces.empty(), "chrome trace export needs at least one trace");
-  DVS_EXPECT(sim_length > 0.0, "chrome trace export needs a positive length");
+  std::vector<TraceProcess> processes;
+  processes.reserve(traces.size());
   for (const auto& g : traces) {
-    DVS_EXPECT(g.trace != nullptr,
-               "chrome trace export: null trace for governor '" + g.governor +
-                   "'");
+    processes.push_back({g.governor, &ts, g.trace});
+  }
+  write_chrome_trace(out, ts.name(), processes, sim_length);
+}
+
+void write_chrome_trace(std::ostream& out, const std::string& set_name,
+                        const std::vector<TraceProcess>& processes,
+                        Time sim_length) {
+  DVS_EXPECT(!processes.empty(),
+             "chrome trace export needs at least one trace");
+  DVS_EXPECT(sim_length > 0.0, "chrome trace export needs a positive length");
+  for (const auto& p : processes) {
+    DVS_EXPECT(p.task_set != nullptr,
+               "chrome trace export: null task set for '" + p.label + "'");
+    DVS_EXPECT(p.trace != nullptr,
+               "chrome trace export: null trace for '" + p.label + "'");
   }
 
   out << "{\n\"traceEvents\": [";
   EventWriter w(out);
-  for (std::size_t i = 0; i < traces.size(); ++i) {
+  for (std::size_t i = 0; i < processes.size(); ++i) {
     const int pid = static_cast<int>(i) + 1;
-    write_metadata(w, ts, pid, traces[i].governor);
-    write_segments(w, ts, pid, *traces[i].trace);
-    write_speed_counter(w, pid, *traces[i].trace, sim_length);
-    write_miss_instants(w, pid, *traces[i].trace);
+    write_metadata(w, *processes[i].task_set, pid, processes[i].label);
+    write_segments(w, *processes[i].task_set, pid, *processes[i].trace);
+    write_speed_counter(w, pid, *processes[i].trace, sim_length);
+    write_miss_instants(w, pid, *processes[i].trace);
   }
   out << "\n],\n";
   out << "\"displayTimeUnit\": \"ms\",\n";
   out << "\"otherData\": {\"exporter\": \"slackdvs\", \"task_set\": \""
-      << json_escape(ts.name()) << "\", \"sim_length_us\": "
+      << json_escape(set_name) << "\", \"sim_length_us\": "
       << num(sim_length * 1e6, 12) << ", \"governors\": "
-      << traces.size() << "}\n}\n";
+      << processes.size() << "}\n}\n";
 }
 
 }  // namespace dvs::obs

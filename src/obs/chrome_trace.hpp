@@ -39,11 +39,28 @@ struct GovernorTrace {
   const sim::VectorTrace* trace = nullptr;
 };
 
+/// One exported pid with its own task set: the general form, used by the
+/// partitioned multiprocessor backend to lay out one pid per
+/// (governor, core) — e.g. "lpSEH/core2" showing only that core's tasks.
+struct TraceProcess {
+  std::string label;  ///< process name, e.g. "lpSEH" or "lpSEH/core2"
+  const task::TaskSet* task_set = nullptr;
+  const sim::VectorTrace* trace = nullptr;
+};
+
 /// Write a complete Chrome trace-event JSON document.  `sim_length` is the
 /// simulated duration every trace covers (recorded into otherData and used
 /// by the validator's duration-conservation check).
 void write_chrome_trace(std::ostream& out, const task::TaskSet& ts,
                         const std::vector<GovernorTrace>& traces,
+                        Time sim_length);
+
+/// General form: every pid brings its own task set (tids are that set's
+/// task ids).  `set_name` labels the export in otherData.  The overload
+/// above is exactly this with the same task set for every pid — the two
+/// produce byte-identical output for that layout.
+void write_chrome_trace(std::ostream& out, const std::string& set_name,
+                        const std::vector<TraceProcess>& processes,
                         Time sim_length);
 
 /// JSON string escaping (exposed for tests).

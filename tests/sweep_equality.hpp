@@ -1,0 +1,121 @@
+// Shared exact-equality assertions for determinism tests: SimResult,
+// RunningStats, MpResult and whole SweepOutcome comparisons, all with
+// EXPECT_EQ on doubles — the contract across this repo is bit-identical
+// results for every thread count / backend, not results within a
+// tolerance.  Used by test_parallel_determinism, test_mp_differential and
+// test_mp_golden.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "mp/mp_sim.hpp"
+
+namespace dvs::exp {
+
+// EXPECT_EQ on doubles throughout: the contract is bit-identical results,
+// not results within a tolerance.
+inline void expect_same_result(const sim::SimResult& a,
+                               const sim::SimResult& b) {
+  EXPECT_EQ(a.governor, b.governor);
+  EXPECT_EQ(a.sim_length, b.sim_length);
+  EXPECT_EQ(a.busy_energy, b.busy_energy);
+  EXPECT_EQ(a.idle_energy, b.idle_energy);
+  EXPECT_EQ(a.transition_energy, b.transition_energy);
+  EXPECT_EQ(a.busy_time, b.busy_time);
+  EXPECT_EQ(a.idle_time, b.idle_time);
+  EXPECT_EQ(a.transition_time, b.transition_time);
+  EXPECT_EQ(a.jobs_released, b.jobs_released);
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.jobs_truncated, b.jobs_truncated);
+  EXPECT_EQ(a.speed_switches, b.speed_switches);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.average_speed, b.average_speed);
+  EXPECT_EQ(a.per_task_energy, b.per_task_energy);
+  EXPECT_EQ(a.worst_response, b.worst_response);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t j = 0; j < a.jobs.size(); ++j) {
+    EXPECT_EQ(a.jobs[j].task_id, b.jobs[j].task_id);
+    EXPECT_EQ(a.jobs[j].index, b.jobs[j].index);
+    EXPECT_EQ(a.jobs[j].release, b.jobs[j].release);
+    EXPECT_EQ(a.jobs[j].abs_deadline, b.jobs[j].abs_deadline);
+    EXPECT_EQ(a.jobs[j].completion, b.jobs[j].completion);
+    EXPECT_EQ(a.jobs[j].wcet, b.jobs[j].wcet);
+    EXPECT_EQ(a.jobs[j].actual, b.jobs[j].actual);
+    EXPECT_EQ(a.jobs[j].missed, b.jobs[j].missed);
+  }
+}
+
+inline void expect_same_stats(const util::RunningStats& a,
+                              const util::RunningStats& b) {
+  ASSERT_EQ(a.count(), b.count());
+  if (a.count() > 0) {
+    EXPECT_EQ(a.mean(), b.mean());
+    EXPECT_EQ(a.min(), b.min());
+    EXPECT_EQ(a.max(), b.max());
+  }
+  if (a.count() > 1) EXPECT_EQ(a.variance(), b.variance());
+}
+
+/// Per-core detail of a partitioned run: same partition shape, same
+/// per-core results (core order), same aggregate.
+inline void expect_same_mp(const mp::MpResult& a, const mp::MpResult& b) {
+  EXPECT_EQ(a.partition.n_cores, b.partition.n_cores);
+  EXPECT_EQ(a.partition.heuristic, b.partition.heuristic);
+  EXPECT_EQ(a.partition.core_of, b.partition.core_of);
+  EXPECT_EQ(a.partition.tasks_of_core, b.partition.tasks_of_core);
+  EXPECT_EQ(a.partition.core_utilization, b.partition.core_utilization);
+  ASSERT_EQ(a.cores.size(), b.cores.size());
+  for (std::size_t c = 0; c < a.cores.size(); ++c) {
+    expect_same_result(a.cores[c], b.cores[c]);
+  }
+  expect_same_result(a.total, b.total);
+}
+
+inline void expect_same_sweep(const SweepOutcome& a, const SweepOutcome& b) {
+  EXPECT_EQ(a.x_label, b.x_label);
+  EXPECT_EQ(a.governors, b.governors);
+  EXPECT_EQ(a.simulations, b.simulations);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t p = 0; p < a.points.size(); ++p) {
+    const PointResult& pa = a.points[p];
+    const PointResult& pb = b.points[p];
+    EXPECT_EQ(pa.x, pb.x);
+    EXPECT_EQ(pa.total_misses, pb.total_misses);
+    ASSERT_EQ(pa.normalized_energy.size(), pb.normalized_energy.size());
+    for (std::size_t g = 0; g < pa.normalized_energy.size(); ++g) {
+      expect_same_stats(pa.normalized_energy[g], pb.normalized_energy[g]);
+      expect_same_stats(pa.speed_switches[g], pb.speed_switches[g]);
+      expect_same_stats(pa.miss_ratio[g], pb.miss_ratio[g]);
+    }
+    ASSERT_EQ(pa.cases.size(), pb.cases.size());
+    for (std::size_t c = 0; c < pa.cases.size(); ++c) {
+      const CaseOutcome& ca = pa.cases[c];
+      const CaseOutcome& cb = pb.cases[c];
+      ASSERT_EQ(ca.outcomes.size(), cb.outcomes.size());
+      for (std::size_t g = 0; g < ca.outcomes.size(); ++g) {
+        EXPECT_EQ(ca.outcomes[g].governor, cb.outcomes[g].governor);
+        EXPECT_EQ(ca.outcomes[g].error, cb.outcomes[g].error);
+        EXPECT_EQ(ca.outcomes[g].normalized_energy,
+                  cb.outcomes[g].normalized_energy);
+        expect_same_result(ca.outcomes[g].result, cb.outcomes[g].result);
+        ASSERT_EQ(ca.outcomes[g].mp == nullptr, cb.outcomes[g].mp == nullptr);
+        if (ca.outcomes[g].mp) {
+          expect_same_mp(*ca.outcomes[g].mp, *cb.outcomes[g].mp);
+        }
+      }
+    }
+  }
+  // Failure records are part of the deterministic outcome too.
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (std::size_t f = 0; f < a.failures.size(); ++f) {
+    EXPECT_EQ(a.failures[f].point_index, b.failures[f].point_index);
+    EXPECT_EQ(a.failures[f].x, b.failures[f].x);
+    EXPECT_EQ(a.failures[f].replication, b.failures[f].replication);
+    EXPECT_EQ(a.failures[f].governor, b.failures[f].governor);
+    EXPECT_EQ(a.failures[f].message, b.failures[f].message);
+  }
+}
+
+}  // namespace dvs::exp

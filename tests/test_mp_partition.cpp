@@ -1,0 +1,193 @@
+// Partitioned-scheduling bin packing (mp/partition.hpp): heuristic
+// behaviour on hand-built sets, exact-schedulability fit tests, rejection
+// reporting, and the determinism / ordering contracts the M = 1
+// equivalence relies on.
+#include "mp/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/analysis.hpp"
+#include "task/benchmarks.hpp"
+#include "task/task_set.hpp"
+#include "util/error.hpp"
+
+namespace dvs::mp {
+namespace {
+
+/// Implicit-deadline set with the given utilizations, all on period 10 ms.
+task::TaskSet util_set(const std::vector<double>& utils) {
+  task::TaskSet ts("util-set");
+  for (std::size_t i = 0; i < utils.size(); ++i) {
+    ts.add(task::make_task(0, "t" + std::to_string(i), 0.01, 0.01 * utils[i]));
+  }
+  return ts;
+}
+
+TEST(PartitionHeuristics, NamesRoundTrip) {
+  for (const auto h : all_heuristics()) {
+    EXPECT_EQ(heuristic_by_name(heuristic_name(h)), h);
+  }
+  EXPECT_EQ(heuristic_by_name("first-fit"), PartitionHeuristic::kFirstFit);
+  EXPECT_EQ(heuristic_by_name("BestFit"), PartitionHeuristic::kBestFit);
+  EXPECT_EQ(heuristic_by_name("WF"), PartitionHeuristic::kWorstFit);
+  EXPECT_THROW((void)heuristic_by_name("round-robin"), util::ContractError);
+}
+
+TEST(PartitionHeuristics, CanonicalOrder) {
+  const auto& all = all_heuristics();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], PartitionHeuristic::kFirstFit);
+  EXPECT_EQ(all[1], PartitionHeuristic::kBestFit);
+  EXPECT_EQ(all[2], PartitionHeuristic::kWorstFit);
+}
+
+TEST(Partition, SingleCoreHoldsEverythingInOriginalOrder) {
+  const task::TaskSet ts = task::cnc_task_set();
+  for (const auto h : all_heuristics()) {
+    const PartitionResult res = partition_task_set(ts, 1, h);
+    ASSERT_TRUE(res.feasible);
+    EXPECT_EQ(res.rejected_task, -1);
+    ASSERT_EQ(res.partition.tasks_of_core.size(), 1u);
+    // Ascending original order — the property that makes the M = 1 core
+    // set an exact copy of the input (DESIGN.md §10).
+    const auto& core0 = res.partition.tasks_of_core[0];
+    ASSERT_EQ(core0.size(), ts.size());
+    for (std::size_t i = 0; i < core0.size(); ++i) EXPECT_EQ(core0[i], i);
+    EXPECT_NEAR(res.partition.core_utilization[0], ts.utilization(), 1e-12);
+  }
+}
+
+TEST(Partition, FirstFitConcentratesOnLowCores) {
+  const task::TaskSet ts = util_set({0.4, 0.4, 0.3, 0.3});
+  const auto res =
+      partition_task_set(ts, 2, PartitionHeuristic::kFirstFit);
+  ASSERT_TRUE(res.feasible);
+  EXPECT_EQ(res.partition.tasks_of_core[0],
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(res.partition.tasks_of_core[1],
+            (std::vector<std::size_t>{2, 3}));
+}
+
+TEST(Partition, WorstFitSpreadsAcrossCores) {
+  const task::TaskSet ts = util_set({0.4, 0.4, 0.3, 0.3});
+  const auto res =
+      partition_task_set(ts, 2, PartitionHeuristic::kWorstFit);
+  ASSERT_TRUE(res.feasible);
+  // t0 -> core0 (tie toward the lower core), t1 -> the emptier core1,
+  // t2 -> tie again -> core0, t3 -> core1.
+  EXPECT_EQ(res.partition.tasks_of_core[0],
+            (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(res.partition.tasks_of_core[1],
+            (std::vector<std::size_t>{1, 3}));
+  EXPECT_NEAR(res.partition.core_utilization[0], 0.7, 1e-12);
+  EXPECT_NEAR(res.partition.core_utilization[1], 0.7, 1e-12);
+}
+
+TEST(Partition, BestFitPrefersTheTightestCore) {
+  const task::TaskSet ts = util_set({0.6, 0.3, 0.25});
+  const auto res = partition_task_set(ts, 2, PartitionHeuristic::kBestFit);
+  ASSERT_TRUE(res.feasible);
+  // t1 (u=0.3) fits both cores; best-fit picks the fuller core0.
+  EXPECT_EQ(res.partition.tasks_of_core[0],
+            (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(res.partition.tasks_of_core[1], (std::vector<std::size_t>{2}));
+}
+
+TEST(Partition, RejectionNamesTheOffendingTask) {
+  // Three u = 0.7 tasks cannot share 2 unit-speed cores.
+  const task::TaskSet ts = util_set({0.7, 0.7, 0.7});
+  for (const auto h : all_heuristics()) {
+    const auto res = partition_task_set(ts, 2, h);
+    EXPECT_FALSE(res.feasible);
+    EXPECT_EQ(res.rejected_task, 2);  // ties pack in index order
+    EXPECT_NE(res.error.find("t2"), std::string::npos) << res.error;
+    EXPECT_NE(res.error.find("rejected task"), std::string::npos);
+  }
+}
+
+TEST(Partition, FitTestIsExactNotUtilizationBased) {
+  // Two constrained-deadline tasks: U = 0.8 but demand in [0, 5 ms) is
+  // 8 ms > 5 ms, so one core must reject what a utilization bound would
+  // accept; two cores take one task each.
+  task::TaskSet ts("constrained");
+  task::Task a = task::make_task(0, "a", 0.010, 0.004);
+  a.deadline = 0.005;
+  task::Task b = task::make_task(1, "b", 0.010, 0.004);
+  b.deadline = 0.005;
+  ts.add(a);
+  ts.add(b);
+  ASSERT_FALSE(sched::edf_schedulable(ts));
+  const auto one = partition_task_set(ts, 1, PartitionHeuristic::kFirstFit);
+  EXPECT_FALSE(one.feasible);
+  const auto two = partition_task_set(ts, 2, PartitionHeuristic::kFirstFit);
+  ASSERT_TRUE(two.feasible);
+  EXPECT_EQ(two.partition.tasks_of_core[0], (std::vector<std::size_t>{0}));
+  EXPECT_EQ(two.partition.tasks_of_core[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(Partition, AssignmentIsDeterministic) {
+  const task::TaskSet ts = task::avionics_task_set();
+  for (const auto h : all_heuristics()) {
+    const auto a = partition_task_set(ts, 3, h);
+    const auto b = partition_task_set(ts, 3, h);
+    ASSERT_EQ(a.feasible, b.feasible);
+    EXPECT_EQ(a.partition.core_of, b.partition.core_of);
+    EXPECT_EQ(a.partition.tasks_of_core, b.partition.tasks_of_core);
+    EXPECT_EQ(a.partition.core_utilization, b.partition.core_utilization);
+  }
+}
+
+TEST(Partition, MoreCoresThanTasksLeavesEmptyCores) {
+  const task::TaskSet ts = util_set({0.5, 0.5});
+  const auto res = partition_task_set(ts, 4, PartitionHeuristic::kWorstFit);
+  ASSERT_TRUE(res.feasible);
+  std::size_t used = 0;
+  for (const auto& core : res.partition.tasks_of_core) {
+    used += core.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(used, 2u);  // one task per core, two cores powered down
+}
+
+TEST(Partition, CoreTaskSetKeepsOrderAndRewritesIds) {
+  const task::TaskSet ts = util_set({0.4, 0.4, 0.3, 0.3});
+  const auto res =
+      partition_task_set(ts, 2, PartitionHeuristic::kWorstFit);
+  ASSERT_TRUE(res.feasible);
+  const task::TaskSet c0 = core_task_set(ts, res.partition, 0);
+  ASSERT_EQ(c0.size(), 2u);
+  EXPECT_EQ(c0.name(), "util-set#c0");  // partial set gets a core suffix
+  EXPECT_EQ(c0[0].name, "t0");
+  EXPECT_EQ(c0[1].name, "t2");
+  EXPECT_EQ(c0[0].id, 0);  // ids are set-local
+  EXPECT_EQ(c0[1].id, 1);
+
+  // A core holding every task keeps the original name (M = 1 contract).
+  const task::TaskSet light = util_set({0.3, 0.2});
+  const auto all =
+      partition_task_set(light, 1, PartitionHeuristic::kFirstFit);
+  ASSERT_TRUE(all.feasible);
+  EXPECT_EQ(core_task_set(light, all.partition, 0).name(), light.name());
+}
+
+TEST(Partition, DescribeMentionsHeuristicAndCores) {
+  const task::TaskSet ts = util_set({0.4, 0.3});
+  const auto res = partition_task_set(ts, 2, PartitionHeuristic::kWorstFit);
+  ASSERT_TRUE(res.feasible);
+  const std::string d = res.partition.describe(ts);
+  EXPECT_NE(d.find("wf on 2 cores"), std::string::npos) << d;
+  EXPECT_NE(d.find("core0{"), std::string::npos) << d;
+  EXPECT_NE(d.find("t0"), std::string::npos) << d;
+}
+
+TEST(Partition, InvalidInputsThrow) {
+  const task::TaskSet empty("empty");
+  EXPECT_THROW(
+      (void)partition_task_set(empty, 2, PartitionHeuristic::kFirstFit),
+      util::ContractError);
+  const task::TaskSet ts = util_set({0.5});
+  EXPECT_THROW((void)partition_task_set(ts, 0, PartitionHeuristic::kFirstFit),
+               util::ContractError);
+}
+
+}  // namespace
+}  // namespace dvs::mp

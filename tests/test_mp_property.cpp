@@ -1,0 +1,150 @@
+// Property-based zero-miss fuzz harness for the partitioned backend (the
+// tentpole's load-bearing guarantee): for EVERY registered EDF governor,
+// EVERY bin-packing heuristic, and a few hundred seeded random task sets
+// (U up to nearly M, n in [3, 30], M in [2, 8]), a set the partitioner
+// ACCEPTS must simulate with ZERO deadline misses on every core — the
+// uniprocessor hard real-time invariant, lifted to M cores.  A set the
+// partitioner REJECTS must name the offending task.  Every assertion
+// carries the full replay recipe (seed, M, n, U, heuristic, governor), so
+// a failure reproduces with a one-liner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <tuple>
+
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "mp/mp_sim.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs {
+namespace {
+
+constexpr std::uint64_t kFuzzSalt = 0xE11;
+constexpr std::uint64_t kSetsPerCell = 7;
+
+struct FuzzCase {
+  std::size_t n_cores;
+  std::size_t n_tasks;
+  double utilization;
+  task::TaskSet task_set;
+  task::ExecutionTimeModelPtr workload;
+};
+
+/// Derive one random case from `seed` alone: every dimension (M, n, U,
+/// the set itself, the workload) is a pure function of the seed, so a
+/// printed seed replays the exact case.
+FuzzCase fuzz_case(std::uint64_t seed) {
+  util::Rng rng(seed);
+  FuzzCase c;
+  c.n_cores = static_cast<std::size_t>(rng.uniform_int(2, 8));
+  c.n_tasks = static_cast<std::size_t>(rng.uniform_int(3, 30));
+  // U in (0.2, min(0.95 * M, 0.5 * n)]: up to nearly the platform
+  // capacity, but bounded so UUniFast can honour the per-task cap.
+  const double u_max =
+      std::min(0.95 * static_cast<double>(c.n_cores),
+               0.5 * static_cast<double>(c.n_tasks));
+  c.utilization = 0.2 + (u_max - 0.2) * rng.unit();
+
+  task::GeneratorConfig gen;
+  gen.n_tasks = c.n_tasks;
+  gen.total_utilization = c.utilization;
+  gen.period_min = 0.01;
+  gen.period_max = 0.16;
+  gen.bcet_ratio = 0.1;
+  gen.grid_fraction = 0.5;
+  gen.allow_overload = c.utilization > 1.0;
+  gen.max_task_utilization = 0.9;
+  util::Rng set_rng(seed ^ kFuzzSalt);
+  c.task_set = task::generate_task_set(gen, set_rng, "fuzz");
+  c.workload = task::uniform_model(seed);
+  return c;
+}
+
+using FuzzParam = std::tuple<std::string /*heuristic*/,
+                             std::string /*governor*/>;
+
+class MpZeroMiss : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(MpZeroMiss, AcceptedPartitionsNeverMissADeadline) {
+  const auto& [heuristic_name_, governor_name] = GetParam();
+  const mp::PartitionHeuristic h = mp::heuristic_by_name(heuristic_name_);
+  const std::uint64_t cell =
+      util::hash_u64(kFuzzSalt, std::hash<std::string>{}(heuristic_name_),
+                     std::hash<std::string>{}(governor_name));
+  std::size_t accepted = 0;
+  for (std::uint64_t rep = 0; rep < kSetsPerCell; ++rep) {
+    const std::uint64_t seed = util::hash_u64(cell, rep);
+    const FuzzCase c = fuzz_case(seed);
+    const std::string replay =
+        "replay: seed=" + std::to_string(seed) + " M=" +
+        std::to_string(c.n_cores) + " n=" + std::to_string(c.n_tasks) +
+        " U=" + std::to_string(c.utilization) + " heuristic=" +
+        heuristic_name_ + " governor=" + governor_name;
+    SCOPED_TRACE(replay);
+
+    const mp::PartitionResult pr =
+        mp::partition_task_set(c.task_set, c.n_cores, h);
+    if (!pr.feasible) {
+      // A rejection must identify the offending task, so the harness (and
+      // a human) can see WHY the set was dropped.
+      EXPECT_GE(pr.rejected_task, 0);
+      EXPECT_LT(static_cast<std::size_t>(pr.rejected_task),
+                c.task_set.size());
+      EXPECT_NE(pr.error.find(
+                    c.task_set[static_cast<std::size_t>(pr.rejected_task)]
+                        .name),
+                std::string::npos)
+          << pr.error;
+      continue;
+    }
+    ++accepted;
+
+    mp::MpOptions o;
+    o.n_cores = c.n_cores;
+    o.heuristic = h;
+    o.length = 0.3;
+    const mp::MpResult r = mp::simulate_mp(
+        c.task_set, c.workload, cpu::ideal_processor(),
+        [&governor_name] { return core::make_governor(governor_name); }, o);
+    EXPECT_EQ(r.total.deadline_misses, 0) << replay;
+    for (std::size_t core = 0; core < r.cores.size(); ++core) {
+      EXPECT_EQ(r.cores[core].deadline_misses, 0)
+          << replay << " (core " << core << ")";
+    }
+    // Accounting closes: every released job completed or was truncated at
+    // the horizon, summed across cores.
+    EXPECT_EQ(r.total.jobs_completed + r.total.jobs_truncated,
+              r.total.jobs_released)
+        << replay;
+  }
+  // The grid must actually exercise the zero-miss property, not reject
+  // everything: most sampled sets fit (U stays below 0.95 * M).
+  EXPECT_GE(accepted, kSetsPerCell / 2) << "fuzz grid rejected too much";
+}
+
+std::string param_name(const ::testing::TestParamInfo<FuzzParam>& info) {
+  std::string name =
+      std::get<0>(info.param) + "_" + std::get<1>(info.param);
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllHeuristicsAllGovernors, MpZeroMiss,
+    ::testing::Combine(::testing::Values("ff", "bf", "wf"),
+                       ::testing::Values("noDVS", "staticEDF", "lppsEDF",
+                                         "ccEDF", "laEDF", "DRA", "AGR",
+                                         "lpSEH-h", "lpSEH",
+                                         "uniformSlack")),
+    param_name);
+
+}  // namespace
+}  // namespace dvs

@@ -1,0 +1,243 @@
+// The partitioned multiprocessor backend (mp/mp_sim.hpp): plan building,
+// workload remapping (common random numbers across partitionings),
+// aggregation, powered-down cores, per-core traces, rejection reporting,
+// and thread-count invariance of simulate_mp.
+#include "mp/mp_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "obs/chrome_trace.hpp"
+#include "sweep_equality.hpp"
+#include "task/benchmarks.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::mp {
+namespace {
+
+MpOptions wf_options(std::size_t n_cores, Time length = 0.5) {
+  MpOptions o;
+  o.n_cores = n_cores;
+  o.heuristic = PartitionHeuristic::kWorstFit;
+  o.length = length;
+  return o;
+}
+
+GovernorFactory registry_factory(const std::string& name) {
+  return [name] { return core::make_governor(name); };
+}
+
+task::TaskSet random_set(double u, std::uint64_t seed, std::size_t n) {
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = n;
+  cfg.total_utilization = u;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = 0.1;
+  cfg.grid_fraction = 0.5;
+  cfg.allow_overload = u > 1.0;
+  cfg.max_task_utilization = 0.9;
+  util::Rng rng(seed);
+  return task::generate_task_set(cfg, rng);
+}
+
+TEST(MpPlan, ResolvesLengthFromTheFullSet) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const auto workload = task::uniform_model(7);
+  const MpPlan def =
+      plan_mp(ts, workload, 2, PartitionHeuristic::kWorstFit);
+  EXPECT_EQ(def.length, ts.default_sim_length());
+  const MpPlan fixed =
+      plan_mp(ts, workload, 2, PartitionHeuristic::kWorstFit, 0.25);
+  EXPECT_EQ(fixed.length, 0.25);
+  ASSERT_TRUE(fixed.feasible());
+  ASSERT_EQ(fixed.core_sets.size(), 2u);
+  ASSERT_EQ(fixed.core_workloads.size(), 2u);
+}
+
+TEST(MpPlan, InfeasiblePlanIsNotAnError) {
+  task::TaskSet ts("heavy");
+  for (int i = 0; i < 3; ++i) {
+    ts.add(task::make_task(i, "h" + std::to_string(i), 0.01, 0.007));
+  }
+  const MpPlan plan = plan_mp(ts, task::uniform_model(1), 2,
+                              PartitionHeuristic::kFirstFit);
+  EXPECT_FALSE(plan.feasible());
+  EXPECT_TRUE(plan.core_sets.empty());
+  EXPECT_FALSE(plan.partition.error.empty());
+}
+
+TEST(MpWorkload, RemapDrawsWithGlobalTaskIds) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const auto inner = task::uniform_model(99);
+  // A core holding global tasks {2, 5}: local 0 -> global 2, 1 -> global 5.
+  const auto remapped = remap_workload(inner, {ts[2].id, ts[5].id});
+  task::Task local = ts[2];
+  local.id = 0;
+  for (std::int64_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(remapped->draw(local, k), inner->draw(ts[2], k));
+  }
+  task::Task local1 = ts[5];
+  local1.id = 1;
+  EXPECT_EQ(remapped->draw(local1, 3), inner->draw(ts[5], 3));
+  EXPECT_EQ(remapped->name(), inner->name());  // transparent
+}
+
+TEST(MpSimulate, AggregateSumsTheCores) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const auto workload = task::uniform_model(42);
+  const MpResult mp =
+      simulate_mp(ts, workload, cpu::ideal_processor(),
+                  registry_factory("ccEDF"), wf_options(2));
+  ASSERT_EQ(mp.cores.size(), 2u);
+  double busy_e = 0.0, busy_t = 0.0, speed_dot_busy = 0.0;
+  std::int64_t released = 0, misses = 0, switches = 0;
+  for (const auto& c : mp.cores) {
+    busy_e += c.busy_energy;
+    busy_t += c.busy_time;
+    speed_dot_busy += c.average_speed * c.busy_time;
+    released += c.jobs_released;
+    misses += c.deadline_misses;
+    switches += c.speed_switches;
+  }
+  EXPECT_EQ(mp.total.busy_energy, busy_e);
+  EXPECT_EQ(mp.total.busy_time, busy_t);
+  EXPECT_EQ(mp.total.jobs_released, released);
+  EXPECT_EQ(mp.total.deadline_misses, misses);
+  EXPECT_EQ(mp.total.speed_switches, switches);
+  EXPECT_EQ(mp.total.average_speed, speed_dot_busy / busy_t);
+  // per-task scatter: every global slot filled from its core's local slot.
+  ASSERT_EQ(mp.total.per_task_energy.size(), ts.size());
+  const Partition& p = mp.partition;
+  for (std::size_t c = 0; c < mp.cores.size(); ++c) {
+    for (std::size_t i = 0; i < p.tasks_of_core[c].size(); ++i) {
+      EXPECT_EQ(mp.total.per_task_energy[p.tasks_of_core[c][i]],
+                mp.cores[c].per_task_energy[i]);
+      EXPECT_EQ(mp.total.worst_response[p.tasks_of_core[c][i]],
+                mp.cores[c].worst_response[i]);
+    }
+  }
+}
+
+TEST(MpSimulate, EmptyCoresArePoweredDown) {
+  task::TaskSet ts("tiny");
+  ts.add(task::make_task(0, "only0", 0.01, 0.004, 0.002));
+  ts.add(task::make_task(1, "only1", 0.02, 0.008, 0.002));
+  const MpResult mp =
+      simulate_mp(ts, task::uniform_model(3), cpu::ideal_processor(),
+                  registry_factory("lpSEH"), wf_options(4));
+  ASSERT_EQ(mp.cores.size(), 4u);
+  std::size_t empty = 0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    if (!mp.partition.tasks_of_core[c].empty()) continue;
+    ++empty;
+    EXPECT_EQ(mp.cores[c].total_energy(), 0.0);
+    EXPECT_EQ(mp.cores[c].jobs_released, 0);
+    EXPECT_EQ(mp.cores[c].busy_time, 0.0);
+    EXPECT_EQ(mp.cores[c].sim_length, 0.5);  // placeholder keeps the length
+  }
+  EXPECT_EQ(empty, 2u);
+  EXPECT_EQ(mp.total.deadline_misses, 0);
+  EXPECT_GT(mp.total.jobs_released, 0);
+}
+
+TEST(MpSimulate, RejectionThrowsNamingTheOffendingTask) {
+  task::TaskSet ts("heavy");
+  for (int i = 0; i < 3; ++i) {
+    ts.add(task::make_task(i, "hog" + std::to_string(i), 0.01, 0.007));
+  }
+  try {
+    (void)simulate_mp(ts, task::uniform_model(1), cpu::ideal_processor(),
+                      registry_factory("noDVS"), wf_options(2));
+    FAIL() << "expected ContractError for the rejected partition";
+  } catch (const util::ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("hog2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(MpSimulate, ThreadCountDoesNotChangeOneBit) {
+  const task::TaskSet ts = random_set(1.4, 77, 8);
+  const auto workload = task::uniform_model(77);
+  MpOptions o = wf_options(4);
+  o.record_jobs = true;
+  o.n_threads = 1;
+  const MpResult serial = simulate_mp(ts, workload, cpu::ideal_processor(),
+                                      registry_factory("DRA"), o);
+  o.n_threads = 8;
+  const MpResult parallel = simulate_mp(ts, workload, cpu::ideal_processor(),
+                                        registry_factory("DRA"), o);
+  exp::expect_same_mp(serial, parallel);
+}
+
+TEST(MpSimulate, JobRecordsCarryGlobalTaskIds) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const auto workload = task::uniform_model(5);
+  MpOptions o = wf_options(2);
+  o.record_jobs = true;
+  const MpResult mp = simulate_mp(ts, workload, cpu::ideal_processor(),
+                                  registry_factory("staticEDF"), o);
+  ASSERT_FALSE(mp.total.jobs.empty());
+  std::map<std::int32_t, std::int64_t> per_task;
+  for (const auto& j : mp.total.jobs) {
+    ASSERT_GE(j.task_id, 0);
+    ASSERT_LT(static_cast<std::size_t>(j.task_id), ts.size());
+    ++per_task[j.task_id];
+  }
+  // Every task of the full set released jobs under its global id.
+  EXPECT_EQ(per_task.size(), ts.size());
+  // And the records agree with the per-core recordings.
+  std::int64_t core_jobs = 0;
+  for (const auto& c : mp.cores) {
+    core_jobs += static_cast<std::int64_t>(c.jobs.size());
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(mp.total.jobs.size()), core_jobs);
+}
+
+TEST(MpSimulate, PerCoreTracesExportAsOnePidPerCore) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const auto workload = task::uniform_model(11);
+  std::vector<sim::VectorTrace> traces;
+  MpOptions o = wf_options(2, 0.2);
+  o.traces = &traces;
+  const MpResult mp = simulate_mp(ts, workload, cpu::ideal_processor(),
+                                  registry_factory("lpSEH"), o);
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_FALSE(traces[0].segments().empty());
+  EXPECT_FALSE(traces[1].segments().empty());
+
+  const MpPlan plan =
+      plan_mp(ts, workload, 2, PartitionHeuristic::kWorstFit, 0.2);
+  std::vector<obs::TraceProcess> procs;
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    procs.push_back({"lpSEH/core" + std::to_string(c), &plan.core_sets[c],
+                     &traces[c]});
+  }
+  std::ostringstream out;
+  obs::write_chrome_trace(out, ts.name(), procs, plan.length);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"lpSEH/core0\""), std::string::npos);
+  EXPECT_NE(json.find("\"lpSEH/core1\""), std::string::npos);
+  EXPECT_NE(json.find("\"governors\": 2"), std::string::npos);
+  (void)mp;
+}
+
+TEST(MpSimulate, SummaryMentionsPartitionShape) {
+  const task::TaskSet ts = task::cnc_task_set();
+  const MpResult mp =
+      simulate_mp(ts, task::uniform_model(42), cpu::ideal_processor(),
+                  registry_factory("ccEDF"), wf_options(2));
+  const std::string s = mp.summary();
+  EXPECT_NE(s.find("ccEDF"), std::string::npos) << s;
+  EXPECT_NE(s.find("wf 2/2 cores"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace dvs::mp

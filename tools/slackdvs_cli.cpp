@@ -29,6 +29,11 @@
 //   --metrics                   print per-governor metrics (speed residency,
 //                               queue depth, preemptions) and the slack-
 //                               estimate audit
+//   --cores M                   partitioned multiprocessor run on M cores
+//                               (EDF only; M=1 matches the uniprocessor
+//                               simulator bit for bit, DESIGN.md §10)
+//   --partition ff|bf|wf        bin-packing heuristic for --cores
+//                               (first/best/worst-fit decreasing; default ff)
 #include <cstdlib>
 #include <deque>
 #include <fstream>
@@ -42,6 +47,7 @@
 #include "fault/fault.hpp"
 #include "cpu/processors.hpp"
 #include "exp/experiment.hpp"
+#include "mp/mp_sim.hpp"
 #include "exp/report.hpp"
 #include "obs/audit.hpp"
 #include "obs/chrome_trace.hpp"
@@ -72,6 +78,7 @@ void usage() {
                    [--gantt T0:T1] [--jobs N] [--overrun-prob P]
                    [--overrun-mag M] [--containment MODE]
                    [--trace-out FILE.json] [--metrics]
+                   [--cores M] [--partition ff|bf|wf]
   slackdvs gen     <utilization> <n_tasks> <seed> [out.csv]
 
 <taskset>: a CSV file or a preset (ins | cnc | avionics).
@@ -188,6 +195,8 @@ int cmd_run(const std::vector<std::string>& args) {
   fspec.seed = 42;
   fspec.overrun_magnitude = 0.5;
   sim::OverrunPolicy containment = sim::OverrunPolicy::kNone;
+  std::size_t n_cores = 0;  // 0 = uniprocessor
+  mp::PartitionHeuristic partitioner = mp::PartitionHeuristic::kFirstFit;
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -222,6 +231,11 @@ int cmd_run(const std::vector<std::string>& args) {
       fspec.overrun_magnitude = std::atof(value().c_str());
     } else if (a == "--containment") {
       containment = fault::containment_by_name(value());
+    } else if (a == "--cores") {
+      n_cores = static_cast<std::size_t>(std::atoll(value().c_str()));
+      DVS_EXPECT(n_cores >= 1, "--cores wants M >= 1");
+    } else if (a == "--partition") {
+      partitioner = mp::heuristic_by_name(value());
     } else if (a == "--trace-out") {
       trace_out = value();
       DVS_EXPECT(!trace_out.empty(), "--trace-out needs a file name");
@@ -243,6 +257,10 @@ int cmd_run(const std::vector<std::string>& args) {
   if (fspec.injects_workload_faults()) {
     workload = fault::faulty_workload(std::move(workload), fspec);
   }
+  DVS_EXPECT(n_cores == 0 || policy == sim::SchedulingPolicy::kEdf,
+             "--cores requires --policy edf (partitioned EDF backend)");
+  DVS_EXPECT(n_cores == 0 || !want_gantt,
+             "--gantt is uniprocessor-only; drop --cores to render it");
 
   std::int64_t misses = 0;
   if (policy == sim::SchedulingPolicy::kEdf) {
@@ -252,6 +270,17 @@ int cmd_run(const std::vector<std::string>& args) {
     cfg.sim_length = length;
     cfg.containment = containment;
     cfg.n_threads = jobs;  // parallel across governors; output identical
+    if (n_cores >= 1) {
+      const mp::PartitionResult pr =
+          mp::partition_task_set(ts, n_cores, partitioner);
+      if (!pr.feasible) {
+        std::cerr << "partition rejected: " << pr.error << '\n';
+        return 2;
+      }
+      std::cout << "partition: " << pr.partition.describe(ts) << '\n';
+      cfg.n_cores = n_cores;
+      cfg.partitioner = partitioner;
+    }
     const exp::CaseOutcome outcome = exp::run_case({ts, workload}, cfg);
     exp::print_case(std::cout, outcome,
                     ts.name() + " on " + processor.name + " (" +
@@ -265,6 +294,21 @@ int cmd_run(const std::vector<std::string>& args) {
         results.push_back(&g.result);
       }
       print_per_task_energy(ts, names, results);
+    }
+    if (n_cores >= 1) {
+      std::cout << "per-core results:\n";
+      for (const auto& g : outcome.outcomes) {
+        if (!g.mp) continue;
+        std::cout << "  " << g.governor << ":\n";
+        for (std::size_t c = 0; c < g.mp->cores.size(); ++c) {
+          if (g.mp->partition.tasks_of_core[c].empty()) {
+            std::cout << "    core" << c << ": powered down (no tasks)\n";
+            continue;
+          }
+          std::cout << "    core" << c << ": " << g.mp->cores[c].summary()
+                    << '\n';
+        }
+      }
     }
     if (fspec.injects_workload_faults() ||
         containment != sim::OverrunPolicy::kNone) {
@@ -309,7 +353,56 @@ int cmd_run(const std::vector<std::string>& args) {
     }
   }
 
-  if (!trace_out.empty() || want_metrics) {
+  if ((!trace_out.empty() || want_metrics) && n_cores >= 1) {
+    // Partitioned observability pass: one pid per (governor, core), each
+    // with its own core-local task set.  Determinism makes this re-run
+    // reproduce the comparison above exactly.
+    const mp::MpPlan plan =
+        mp::plan_mp(ts, workload, n_cores, partitioner, length);
+    DVS_EXPECT(plan.feasible(), plan.partition.error);  // checked above
+    struct MpObsRun {
+      std::string label;
+      const task::TaskSet* set = nullptr;
+      sim::VectorTrace trace;
+    };
+    std::deque<MpObsRun> runs;
+    for (const auto& name : governors) {
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        if (plan.core_sets[c].empty()) continue;  // powered down
+        runs.emplace_back();
+        MpObsRun& run = runs.back();
+        run.set = &plan.core_sets[c];
+        sim::SimOptions o;
+        o.length = plan.length;
+        o.containment = containment;
+        o.trace = &run.trace;
+        obs::MetricsRegistry reg;
+        if (want_metrics) o.metrics = &reg;
+        auto g = core::make_governor(name);
+        const auto r = sim::simulate(plan.core_sets[c],
+                                     *plan.core_workloads[c], processor, *g,
+                                     o);
+        run.label = r.governor + "/core" + std::to_string(c);
+        if (want_metrics) {
+          std::cout << "metrics of " << run.label << ":\n";
+          reg.print(std::cout);
+        }
+      }
+    }
+    if (!trace_out.empty()) {
+      std::vector<obs::TraceProcess> procs;
+      procs.reserve(runs.size());
+      for (const MpObsRun& run : runs) {
+        procs.push_back({run.label, run.set, &run.trace});
+      }
+      std::ofstream out(trace_out);
+      DVS_EXPECT(out.is_open(), "cannot open trace output: " + trace_out);
+      obs::write_chrome_trace(out, ts.name(), procs, plan.length);
+      std::cout << "wrote Chrome trace (" << procs.size()
+                << " governor/core pids) to " << trace_out
+                << "  [chrome://tracing or ui.perfetto.dev]\n";
+    }
+  } else if (!trace_out.empty() || want_metrics) {
     // Observability pass: re-run every governor of the comparison with a
     // trace recorder (and, with --metrics, a registry + decision audit)
     // attached.  Determinism makes the re-run reproduce the comparison
