@@ -8,22 +8,37 @@
 // Expected shape (DATE-2002-era literature): all DVS schemes save energy;
 // savings shrink as U -> 1; dynamic slack reclaiming (DRA, laEDF, lpSEH)
 // beats the static optimum below U ~ 0.9; lppsEDF trails the pack.
+//
+// `--oracle` additionally runs the clairvoyant YDS-optimal schedule on
+// every case and reports each governor's optimality gap (energy / lower
+// bound).  The exit code then also gates the gap floor: on the ideal
+// idle-free processor no governor may undercut the continuous bound, so
+// every per-point gap minimum must stay >= 1.  `--smoke` shrinks the
+// grid for the CI oracle step (the O(jobs^2) bound is costly at full
+// length).
 #include "common.hpp"
+
+#include "util/strings.hpp"
 
 int main(int argc, char** argv) {
   using namespace dvs;
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
 
   exp::ExperimentConfig cfg = exp::default_config();
   cfg.seed = 20020304;  // DATE 2002
-  cfg.replications = 8;
-  cfg.sim_length = 1.2;
-  cfg.n_threads = bench::parse_jobs(argc, argv);
+  cfg.replications = opts.smoke ? 3 : 8;
+  cfg.sim_length = opts.smoke ? 0.6 : 1.2;
+  cfg.n_threads = opts.jobs;
+  cfg.fail_fast = opts.strict;
+  cfg.oracle = opts.oracle;
   // Slack-estimate audit for the headline figure (observational only: the
   // data CSV is byte-identical with this off — CI compares it across runs).
   cfg.audit_decisions = true;
 
-  const std::vector<double> utils{0.1, 0.2, 0.3, 0.4, 0.5,
-                                  0.6, 0.7, 0.8, 0.9, 1.0};
+  const std::vector<double> utils =
+      opts.smoke ? std::vector<double>{0.3, 0.5, 0.7, 0.9}
+                 : std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9, 1.0};
   const auto sweep = exp::run_sweep(
       cfg, "U", utils, [](double u, std::size_t, std::uint64_t seed) {
         return bench::uniform_case(bench::base_generator(8, u, 0.1), seed);
@@ -33,5 +48,16 @@ int main(int argc, char** argv) {
               "E1: normalized energy vs worst-case utilization "
               "(8 tasks, uniform RET in [0.1, 1.0] x WCET, ideal CPU)",
               "bench_e1_util_sweep.csv");
-  return bench::total_misses(sweep) == 0 ? 0 : 1;
+
+  const std::int64_t misses = bench::total_misses(sweep);
+  bool ok = misses == 0;
+  if (opts.oracle) {
+    const bool gap_ok = bench::oracle_gap_holds(sweep);
+    std::cout << "  continuous-gap floor across all governors and points: "
+              << util::format_double(bench::min_gap_continuous(sweep), 6)
+              << (gap_ok ? "  [oracle lower bound holds]\n"
+                         : "  [BOUND VIOLATION]\n");
+    ok = ok && gap_ok;
+  }
+  return ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 // Results are bit-for-bit identical for every N — see DESIGN.md §6.
 #pragma once
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -56,11 +57,14 @@ inline std::size_t parse_jobs(int argc, char** argv) {
 
 /// Options of the fault/robustness benches, a superset of parse_jobs:
 /// `--strict` turns failure isolation off (fail-fast on the first broken
-/// simulation), `--smoke` shrinks the grid for CI smoke runs.
+/// simulation), `--smoke` shrinks the grid for CI smoke runs, `--oracle`
+/// adds the clairvoyant YDS lower bound and per-governor optimality-gap
+/// columns (ExperimentConfig::oracle).
 struct BenchOptions {
   std::size_t jobs = 0;
   bool strict = false;
   bool smoke = false;
+  bool oracle = false;
 };
 
 inline BenchOptions parse_bench_options(int argc, char** argv) {
@@ -77,13 +81,18 @@ inline BenchOptions parse_bench_options(int argc, char** argv) {
       opts.strict = true;
     } else if (a == "--smoke") {
       opts.smoke = true;
+    } else if (a == "--oracle") {
+      opts.oracle = true;
     } else {
-      std::cerr << "usage: " << argv[0] << " [--jobs N] [--strict] [--smoke]\n"
+      std::cerr << "usage: " << argv[0]
+                << " [--jobs N] [--strict] [--smoke] [--oracle]\n"
                 << "  --jobs N   worker threads (0: one per hardware thread; "
                    "1: serial; identical results for every N)\n"
                 << "  --strict   abort on the first failed simulation instead "
                    "of isolating it\n"
-                << "  --smoke    tiny grid for CI smoke runs\n";
+                << "  --smoke    tiny grid for CI smoke runs\n"
+                << "  --oracle   compute the clairvoyant YDS bound and report "
+                   "per-governor optimality gaps\n";
       std::exit(2);
     }
   }
@@ -141,6 +150,34 @@ inline std::int64_t total_misses(const exp::SweepOutcome& sweep) {
   std::int64_t misses = 0;
   for (const auto& p : sweep.points) misses += p.total_misses;
   return misses;
+}
+
+/// Sweep-wide floor of the continuous optimality gap: the minimum of
+/// gap_continuous over every governor at every point (skipping empty
+/// stats — a governor whose every case failed contributes nothing).
+/// Returns 0 when the sweep carries no gap samples at all, so a
+/// misconfigured oracle run fails the >= 1 gate loudly instead of
+/// passing vacuously.
+inline double min_gap_continuous(const exp::SweepOutcome& sweep) {
+  double floor = 0.0;
+  bool any = false;
+  for (const auto& p : sweep.points) {
+    for (const auto& s : p.gap_continuous) {
+      if (s.empty()) continue;
+      floor = any ? std::min(floor, s.min()) : s.min();
+      any = true;
+    }
+  }
+  return any ? floor : 0.0;
+}
+
+/// Oracle-mode exit gate: on an idle-free processor no governor's energy
+/// can undercut the clairvoyant continuous YDS bound, so every recorded
+/// gap must stay >= 1 (minus float tolerance).  Trivially true on
+/// non-oracle sweeps.
+inline bool oracle_gap_holds(const exp::SweepOutcome& sweep,
+                             double tol = 1e-6) {
+  return !sweep.oracle || min_gap_continuous(sweep) >= 1.0 - tol;
 }
 
 /// Evaluate `fn(i)` for i in [0, n) and return the results in index order.

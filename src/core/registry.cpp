@@ -7,6 +7,7 @@
 #include "core/lpps_edf.hpp"
 #include "core/no_dvs.hpp"
 #include "core/slack_time.hpp"
+#include "opt/oracle.hpp"
 #include "core/static_edf.hpp"
 #include "core/uniform_slack.hpp"
 #include "util/error.hpp"
@@ -53,9 +54,21 @@ const std::vector<GovernorSpec>& standard_governors() {
   return kSpecs;
 }
 
+const std::vector<GovernorSpec>& auxiliary_governors() {
+  static const std::vector<GovernorSpec> kSpecs = {
+      {"oracle",
+       "clairvoyant YDS-optimal schedule (lower bound; needs priming)",
+       [] { return opt::make_oracle(); }},
+  };
+  return kSpecs;
+}
+
 GovernorFactory governor_factory(const std::string& name) {
   const std::string key = util::to_lower(name);
   for (const auto& spec : standard_governors()) {
+    if (util::to_lower(spec.name) == key) return spec.make;
+  }
+  for (const auto& spec : auxiliary_governors()) {
     if (util::to_lower(spec.name) == key) return spec.make;
   }
   DVS_EXPECT(false, "unknown governor: " + name);

@@ -21,8 +21,16 @@ struct GovernorSpec {
 /// noDVS, staticEDF, lppsEDF, ccEDF, laEDF, DRA, lpSEH-h, lpSEH.
 [[nodiscard]] const std::vector<GovernorSpec>& standard_governors();
 
-/// Factory for one governor by (case-insensitive) name; throws
-/// ContractError for unknown names.
+/// Auxiliary governors that are resolvable by name but excluded from the
+/// standard roster: currently only "oracle", the clairvoyant YDS-optimal
+/// schedule (opt/oracle.hpp).  Kept out of standard_governors() because
+/// it must be primed with the concrete case before simulation — the exp
+/// layer does that via ExperimentConfig::oracle — and because default
+/// sweeps compare ONLINE policies.
+[[nodiscard]] const std::vector<GovernorSpec>& auxiliary_governors();
+
+/// Factory for one governor by (case-insensitive) name — standard first,
+/// then auxiliary; throws ContractError for unknown names.
 [[nodiscard]] GovernorFactory governor_factory(const std::string& name);
 
 /// Fresh instance by name.

@@ -6,6 +6,7 @@
 
 #include "core/registry.hpp"
 #include "fault/checked_governor.hpp"
+#include "opt/oracle.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -23,25 +24,40 @@ sim::SimOptions sim_options(const ExperimentConfig& cfg) {
 }
 
 /// The governor roster of a run: the noDVS reference first, then the
-/// configured governors (minus any duplicate noDVS entry).
+/// configured governors (minus any duplicate noDVS entry), then — with
+/// ExperimentConfig::oracle — the clairvoyant oracle as the closing
+/// column.
 std::vector<std::string> governor_roster(const ExperimentConfig& cfg) {
   std::vector<std::string> roster{"noDVS"};
   for (const auto& name : cfg.governors) {
-    if (util::to_lower(name) != "nodvs") roster.push_back(name);
+    const std::string key = util::to_lower(name);
+    if (key != "nodvs" && !(cfg.oracle && key == "oracle")) {
+      roster.push_back(name);
+    }
   }
+  if (cfg.oracle) roster.push_back("oracle");
   return roster;
 }
 
 /// Fresh governor instance for one simulation (constructed on the calling
 /// worker — governors are stateful, sharing one across cases would leak
-/// state between simulations).
+/// state between simulations).  Clairvoyant governors (the oracle) are
+/// primed with exactly the (task set, workload, horizon) triple the
+/// simulator is about to run, before any wrapping.
 sim::GovernorPtr fresh_governor(const std::string& name,
-                                const ExperimentConfig& cfg) {
+                                const ExperimentConfig& cfg,
+                                const task::TaskSet& ts,
+                                const task::ExecutionTimeModel& workload,
+                                Time horizon) {
   auto governor =
       cfg.governor_factory ? cfg.governor_factory(name)
                            : core::make_governor(name);
   DVS_EXPECT(governor != nullptr,
              "governor factory returned null for '" + name + "'");
+  if (auto* clairvoyant = dynamic_cast<opt::ClairvoyantGovernor*>(
+          governor.get())) {
+    clairvoyant->prime(ts, workload, cfg.processor, horizon);
+  }
   if (cfg.check_governors) governor = fault::checked(std::move(governor));
   return governor;
 }
@@ -50,7 +66,8 @@ sim::GovernorPtr fresh_governor(const std::string& name,
 /// later, once the noDVS reference of the same case is available.
 GovernorOutcome simulate_governor(const std::string& name, const Case& c,
                                   const ExperimentConfig& cfg) {
-  auto governor = fresh_governor(name, cfg);
+  auto governor =
+      fresh_governor(name, cfg, c.task_set, *c.workload, cfg.sim_length);
   GovernorOutcome g;
   g.governor = governor->name();
   sim::SimOptions opts = sim_options(cfg);
@@ -83,7 +100,8 @@ CoreSlot simulate_core(const std::string& name, const mp::MpPlan& plan,
                        std::size_t c, const ExperimentConfig& cfg) {
   CoreSlot slot;
   if (plan.core_sets[c].empty()) return slot;
-  auto governor = fresh_governor(name, cfg);
+  auto governor = fresh_governor(name, cfg, plan.core_sets[c],
+                                 *plan.core_workloads[c], plan.length);
   sim::SimOptions opts = sim_options(cfg);
   opts.length = plan.length;  // uniform across cores (full-set default)
   obs::DecisionAudit audit;
@@ -125,12 +143,51 @@ GovernorOutcome assemble_governor_mp(const std::string& name,
   return g;
 }
 
+/// Clairvoyant lower bounds of one uniprocessor case.
+opt::OracleBounds case_bounds(const Case& c, const ExperimentConfig& cfg) {
+  return opt::oracle_bounds(c.task_set, *c.workload, cfg.processor,
+                            cfg.sim_length);
+}
+
+/// Clairvoyant lower bounds of one partitioned case: per-core bounds
+/// summed over the populated cores (cores are independent uniprocessors,
+/// so the sum is a valid whole-system floor), feasible only when every
+/// populated core is.  A rejected partition yields an invalid bound.
+opt::OracleBounds mp_case_bounds(const mp::MpPlan& plan,
+                                 const ExperimentConfig& cfg) {
+  opt::OracleBounds total;
+  if (!plan.feasible()) return total;
+  total.feasible = true;
+  for (std::size_t c = 0; c < plan.core_sets.size(); ++c) {
+    if (plan.core_sets[c].empty()) continue;
+    const opt::OracleBounds b = opt::oracle_bounds(
+        plan.core_sets[c], *plan.core_workloads[c], cfg.processor,
+        plan.length);
+    total.continuous_energy += b.continuous_energy;
+    total.discrete_energy += b.discrete_energy;
+    total.max_speed = std::max(total.max_speed, b.max_speed);
+    total.n_jobs += b.n_jobs;
+    total.feasible = total.feasible && b.feasible;
+  }
+  return total;
+}
+
 /// Fill in normalized_energy against outcomes.front() (the noDVS run),
-/// exactly as the legacy serial loop did.  Failed outcomes keep their
-/// placeholder value; a failed reference leaves the whole case
-/// unnormalized (there is no baseline to divide by).
+/// exactly as the legacy serial loop did, plus — when the case carries a
+/// usable oracle bound — each outcome's optimality gaps.  Failed outcomes
+/// keep their placeholder values; a failed reference leaves the whole
+/// case unnormalized (there is no baseline to divide by).
 void normalize_case(CaseOutcome& out) {
   DVS_ENSURE(!out.outcomes.empty(), "case without outcomes");
+  const bool bounded = out.bounds.valid();
+  for (auto& g : out.outcomes) {
+    if (g.failed() || !bounded) continue;
+    const double e = g.result.total_energy();
+    g.gap_continuous = e / out.bounds.continuous_energy;
+    g.gap_discrete =
+        out.bounds.discrete_energy > 0.0 ? e / out.bounds.discrete_energy
+                                         : 0.0;
+  }
   if (out.outcomes.front().failed()) return;
   out.outcomes.front().normalized_energy = 1.0;
   const double ref_energy = out.outcomes.front().result.total_energy();
@@ -206,10 +263,12 @@ CaseOutcome run_case(const Case& c, const ExperimentConfig& cfg) {
       out.outcomes[g] =
           assemble_governor_mp(roster[g], c.task_set, plan, std::move(unit));
     }
+    if (cfg.oracle) out.bounds = mp_case_bounds(plan, cfg);
   } else {
     dispatch_indexed(workers, roster.size(), [&](std::size_t g) {
       out.outcomes[g] = simulate_governor(roster[g], c, cfg);
     });
+    if (cfg.oracle) out.bounds = case_bounds(c, cfg);
   }
   normalize_case(out);
   return out;
@@ -224,6 +283,7 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
 
   SweepOutcome sweep;
   sweep.x_label = x_label;
+  sweep.oracle = cfg.oracle;
   sweep.governors = governor_roster(cfg);
   const std::size_t n_govs = sweep.governors.size();
   sweep.slack_accuracy.assign(n_govs, {});
@@ -260,6 +320,20 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
         DVS_EXPECT(plans.back().feasible(), plans.back().partition.error);
       }
     }
+  }
+
+  // Clairvoyant lower bounds, one per case (ExperimentConfig::oracle).
+  // The YDS peeling is O(jobs^2) per peel, so the bounds are fanned out
+  // over the pool exactly like the simulations; the per-case slot array
+  // keeps the result independent of the execution order.
+  std::vector<opt::OracleBounds> bounds(cfg.oracle ? n_cases : 0);
+  if (cfg.oracle) {
+    const std::size_t workers =
+        util::ThreadPool::resolve_threads(cfg.n_threads);
+    dispatch_indexed(workers, bounds.size(), [&](std::size_t ci) {
+      bounds[ci] = mp_mode ? mp_case_bounds(plans[ci], cfg)
+                           : case_bounds(cases[ci], cfg);
+    });
   }
 
   // One independent simulation per (case, governor) — or, in partitioned
@@ -323,10 +397,13 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
     point.normalized_energy.assign(n_govs, {});
     point.speed_switches.assign(n_govs, {});
     point.miss_ratio.assign(n_govs, {});
+    point.gap_continuous.assign(n_govs, {});
+    point.gap_discrete.assign(n_govs, {});
 
     for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
       const std::size_t ci = xi * cfg.replications + rep;
       CaseOutcome outcome;
+      if (cfg.oracle) outcome.bounds = bounds[ci];
       outcome.outcomes.reserve(n_govs);
       for (std::size_t g = 0; g < n_govs; ++g) {
         outcome.outcomes.push_back(std::move(sims[ci * n_govs + g]));
@@ -351,6 +428,10 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
         point.speed_switches[g].add(
             static_cast<double>(o.result.speed_switches));
         point.miss_ratio[g].add(miss_ratio_of(o.result));
+        if (outcome.bounds.valid()) {
+          point.gap_continuous[g].add(o.gap_continuous);
+          point.gap_discrete[g].add(o.gap_discrete);
+        }
         point.total_misses += o.result.deadline_misses;
       }
       if (cfg.keep_case_outcomes) point.cases.push_back(std::move(outcome));

@@ -25,6 +25,7 @@
 #include "cpu/processors.hpp"
 #include "mp/mp_sim.hpp"
 #include "obs/audit.hpp"
+#include "opt/yds.hpp"
 #include "sim/simulator.hpp"
 #include "task/task_set.hpp"
 #include "task/workload.hpp"
@@ -97,6 +98,17 @@ struct ExperimentConfig {
   /// the offending task.
   std::size_t n_cores = 0;
   mp::PartitionHeuristic partitioner = mp::PartitionHeuristic::kFirstFit;
+
+  /// Optimal-schedule oracle (src/opt/, ISSUE 6).  When set, every case
+  /// additionally computes the clairvoyant YDS lower bounds
+  /// (CaseOutcome::bounds) and every outcome carries its optimality gaps
+  /// (GovernorOutcome::gap_continuous / gap_discrete, aggregated into
+  /// PointResult and the CSV/report layers), and the "oracle" governor
+  /// itself is appended to the roster — primed per case (per core in
+  /// partitioned mode) before it simulates.  Off by default: the bound
+  /// computation is O(jobs^2) per peel and default sweeps compare online
+  /// policies only, so existing outputs stay byte-identical.
+  bool oracle = false;
 };
 
 /// Result of one governor on one case.
@@ -114,12 +126,24 @@ struct GovernorOutcome {
   /// >= 1): partition shape plus every core's SimResult.  `result` above
   /// is then mp->total.  Null on uniprocessor runs and on failures.
   std::shared_ptr<const mp::MpResult> mp;
+
+  /// Optimality gaps: total energy divided by the case's oracle lower
+  /// bounds (continuous YDS optimum / level-restricted optimum).  >= 1 up
+  /// to idle- and transition-energy slack by construction; 0 when
+  /// ExperimentConfig::oracle was off or the case's bound is unusable.
+  double gap_continuous = 0.0;
+  double gap_discrete = 0.0;
+
   [[nodiscard]] bool failed() const noexcept { return !error.empty(); }
 };
 
 /// All governors on one case (the noDVS reference is outcomes.front()).
 struct CaseOutcome {
   std::vector<GovernorOutcome> outcomes;
+  /// Clairvoyant YDS lower bounds of this case (summed over cores in
+  /// partitioned mode); default-constructed (invalid) unless
+  /// ExperimentConfig::oracle was set.
+  opt::OracleBounds bounds;
   [[nodiscard]] const GovernorOutcome& by_name(const std::string& name) const;
 };
 
@@ -130,6 +154,10 @@ struct PointResult {
   std::vector<util::RunningStats> speed_switches;     ///< per governor
   /// Per-governor deadline-miss ratio (misses / released) across cases.
   std::vector<util::RunningStats> miss_ratio;
+  /// Per-governor optimality gaps across cases with a valid oracle bound;
+  /// empty stats unless ExperimentConfig::oracle was set.
+  std::vector<util::RunningStats> gap_continuous;
+  std::vector<util::RunningStats> gap_discrete;
   std::int64_t total_misses = 0;  ///< across every governor and case
   /// Per-case outcomes, only when ExperimentConfig::keep_case_outcomes.
   std::vector<CaseOutcome> cases;
@@ -153,6 +181,11 @@ struct SweepOutcome {
   std::string x_label;
   std::vector<std::string> governors;
   std::vector<PointResult> points;
+  /// True when the sweep ran with ExperimentConfig::oracle: the roster
+  /// ends with the oracle governor and the gap aggregates are populated.
+  /// Gates the extra report tables and CSV columns, keeping non-oracle
+  /// output byte-identical to pre-oracle builds.
+  bool oracle = false;
   /// Failed simulations, in (point, replication, governor) order; empty on
   /// clean runs.  See ExperimentConfig::fail_fast for the throwing mode.
   std::vector<SimFailure> failures;

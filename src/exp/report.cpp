@@ -23,6 +23,49 @@ obs::SlackAccuracy audit_totals(const SweepOutcome& sweep) {
   return total;
 }
 
+/// Empty-safe statistics accessors: gap stats can be empty for a point
+/// whose cases all lacked a usable oracle bound.
+double mean_or_zero(const util::RunningStats& s) {
+  return s.empty() ? 0.0 : s.mean();
+}
+double min_or_zero(const util::RunningStats& s) {
+  return s.empty() ? 0.0 : s.min();
+}
+double max_or_zero(const util::RunningStats& s) {
+  return s.empty() ? 0.0 : s.max();
+}
+
+/// Per-governor gap statistics merged across every sweep point.
+std::vector<util::RunningStats> sweep_gaps(
+    const SweepOutcome& sweep,
+    std::vector<util::RunningStats> PointResult::* member) {
+  std::vector<util::RunningStats> merged(sweep.governors.size());
+  for (const auto& p : sweep.points) {
+    const auto& stats = p.*member;
+    for (std::size_t g = 0; g < merged.size() && g < stats.size(); ++g) {
+      merged[g].merge(stats[g]);
+    }
+  }
+  return merged;
+}
+
+/// One mean-per-point table (the normalized-energy table and both gap
+/// tables share this shape).
+void print_point_table(std::ostream& out, const SweepOutcome& sweep,
+                       std::vector<util::RunningStats> PointResult::* member) {
+  util::TextTable table;
+  std::vector<std::string> header{sweep.x_label};
+  header.insert(header.end(), sweep.governors.begin(), sweep.governors.end());
+  table.header(std::move(header));
+  for (const auto& p : sweep.points) {
+    std::vector<double> values;
+    values.reserve((p.*member).size());
+    for (const auto& s : p.*member) values.push_back(mean_or_zero(s));
+    table.row_numeric(util::format_double(p.x, 3), values, 4);
+  }
+  table.render(out);
+}
+
 }  // namespace
 
 void print_sweep(std::ostream& out, const SweepOutcome& sweep,
@@ -45,6 +88,13 @@ void print_sweep(std::ostream& out, const SweepOutcome& sweep,
   out << "  deadline misses across all runs: " << misses
       << (misses == 0 ? "  [hard real-time invariant holds]" : "  [VIOLATION]")
       << "\n";
+  if (sweep.oracle) {
+    out << "  optimality gap vs the continuous YDS oracle "
+           "(energy / bound; 1.0 = optimal):\n";
+    print_point_table(out, sweep, &PointResult::gap_continuous);
+    out << "  optimality gap vs the level-restricted (discrete) oracle:\n";
+    print_point_table(out, sweep, &PointResult::gap_discrete);
+  }
   if (sweep_was_audited(sweep)) {
     out << "  slack-estimate audit (error = realized - estimated, seconds):\n";
     util::TextTable audit;
@@ -83,17 +133,38 @@ void print_sweep(std::ostream& out, const SweepOutcome& sweep,
 void print_case(std::ostream& out, const CaseOutcome& outcome,
                 const std::string& title) {
   out << "== " << title << " ==\n";
+  const bool bounded = outcome.bounds.valid();
   util::TextTable table;
-  table.header({"governor", "energy", "normalized", "avg speed", "switches",
-                "misses"});
+  std::vector<std::string> header{"governor",  "energy",   "normalized",
+                                  "avg speed", "switches", "misses"};
+  if (bounded) {
+    header.push_back("gap_c");
+    header.push_back("gap_d");
+  }
+  table.header(std::move(header));
   for (const auto& g : outcome.outcomes) {
-    table.row({g.governor, util::format_double(g.result.total_energy(), 4),
-               util::format_double(g.normalized_energy, 4),
-               util::format_double(g.result.average_speed, 3),
-               std::to_string(g.result.speed_switches),
-               std::to_string(g.result.deadline_misses)});
+    std::vector<std::string> row{
+        g.governor, util::format_double(g.result.total_energy(), 4),
+        util::format_double(g.normalized_energy, 4),
+        util::format_double(g.result.average_speed, 3),
+        std::to_string(g.result.speed_switches),
+        std::to_string(g.result.deadline_misses)};
+    if (bounded) {
+      row.push_back(util::format_double(g.gap_continuous, 4));
+      row.push_back(util::format_double(g.gap_discrete, 4));
+    }
+    table.row(std::move(row));
   }
   table.render(out);
+  if (bounded) {
+    out << "  oracle bounds: continuous "
+        << util::format_double(outcome.bounds.continuous_energy, 4)
+        << " | discrete "
+        << util::format_double(outcome.bounds.discrete_energy, 4)
+        << " | peak YDS speed "
+        << util::format_double(outcome.bounds.max_speed, 3) << " | "
+        << outcome.bounds.n_jobs << " bound jobs\n";
+  }
   out << '\n';
 }
 
@@ -103,22 +174,44 @@ void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
   for (const auto& g : sweep.governors) header.push_back(g + "_mean");
   for (const auto& g : sweep.governors) header.push_back(g + "_min");
   for (const auto& g : sweep.governors) header.push_back(g + "_max");
+  // Gap columns exist only on oracle sweeps, appended AFTER every
+  // pre-existing column so non-oracle CSVs stay byte-identical and
+  // oracle CSVs remain a superset existing parsers still read.
+  if (sweep.oracle) {
+    for (const auto& g : sweep.governors) header.push_back(g + "_gapc_mean");
+    for (const auto& g : sweep.governors) header.push_back(g + "_gapc_min");
+    for (const auto& g : sweep.governors) header.push_back(g + "_gapc_max");
+    for (const auto& g : sweep.governors) header.push_back(g + "_gapd_mean");
+  }
   csv.row(header);
   for (const auto& p : sweep.points) {
     std::vector<double> row{p.x};
     for (const auto& s : p.normalized_energy) row.push_back(s.mean());
     for (const auto& s : p.normalized_energy) row.push_back(s.min());
     for (const auto& s : p.normalized_energy) row.push_back(s.max());
+    if (sweep.oracle) {
+      for (const auto& s : p.gap_continuous) row.push_back(mean_or_zero(s));
+      for (const auto& s : p.gap_continuous) row.push_back(min_or_zero(s));
+      for (const auto& s : p.gap_continuous) row.push_back(max_or_zero(s));
+      for (const auto& s : p.gap_discrete) row.push_back(mean_or_zero(s));
+    }
     csv.row_numeric(row, 6);
   }
 }
 
 void write_sweep_meta_csv(std::ostream& out, const SweepOutcome& sweep) {
   const obs::SlackAccuracy total = audit_totals(sweep);
+  // Sweep-wide floor of the continuous gap: the single number the oracle
+  // CI gate reads — it must never dip below 1 (minus idle/transition
+  // slack) on an idle-free processor.
+  util::RunningStats all_gaps;
+  for (const auto& s : sweep_gaps(sweep, &PointResult::gap_continuous)) {
+    all_gaps.merge(s);
+  }
   util::CsvWriter csv(out);
   csv.row({"wall_seconds", "simulations", "sims_per_second", "threads",
            "failures", "audit_decisions", "audit_audited", "audit_bias_s",
-           "audit_mae_s"});
+           "audit_mae_s", "oracle", "min_gap_continuous"});
   csv.row({util::format_double(sweep.wall_seconds, 6),
            std::to_string(sweep.simulations),
            util::format_double(sweep.throughput(), 2),
@@ -126,13 +219,18 @@ void write_sweep_meta_csv(std::ostream& out, const SweepOutcome& sweep) {
            std::to_string(sweep.failures.size()),
            std::to_string(total.decisions), std::to_string(total.audited),
            util::format_double(total.bias(), 6),
-           util::format_double(total.mae(), 6)});
+           util::format_double(total.mae(), 6),
+           sweep.oracle ? "1" : "0",
+           util::format_double(min_or_zero(all_gaps), 6)});
 }
 
 void write_sweep_metrics_csv(std::ostream& out, const SweepOutcome& sweep) {
+  const auto gaps_c = sweep_gaps(sweep, &PointResult::gap_continuous);
+  const auto gaps_d = sweep_gaps(sweep, &PointResult::gap_discrete);
   util::CsvWriter csv(out);
   csv.row({"governor", "decisions", "audited", "bias_s", "mae_s",
-           "min_error_s", "max_error_s"});
+           "min_error_s", "max_error_s", "gapc_mean", "gapc_min", "gapc_max",
+           "gapd_mean"});
   for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
     const obs::SlackAccuracy a =
         g < sweep.slack_accuracy.size() ? sweep.slack_accuracy[g]
@@ -142,7 +240,11 @@ void write_sweep_metrics_csv(std::ostream& out, const SweepOutcome& sweep) {
              std::to_string(a.audited), util::format_double(a.bias(), 6),
              util::format_double(a.mae(), 6),
              util::format_double(any ? a.min_error : 0.0, 6),
-             util::format_double(any ? a.max_error : 0.0, 6)});
+             util::format_double(any ? a.max_error : 0.0, 6),
+             util::format_double(mean_or_zero(gaps_c[g]), 6),
+             util::format_double(min_or_zero(gaps_c[g]), 6),
+             util::format_double(max_or_zero(gaps_c[g]), 6),
+             util::format_double(mean_or_zero(gaps_d[g]), 6)});
   }
 }
 

@@ -1,0 +1,58 @@
+#include "opt/oracle.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvs::opt {
+
+void OracleGovernor::prime(const task::TaskSet& ts,
+                           const task::ExecutionTimeModel& workload,
+                           const cpu::Processor& processor, Time horizon) {
+  (void)processor;  // speeds depend only on the instance; energy does not
+                    // feed back into the schedule.
+  const Time length = horizon < 0.0 ? ts.default_sim_length() : horizon;
+  schedule_ = yds_schedule(expand_jobs(ts, workload, length));
+
+  speed_of_.assign(ts.size(), {});
+  for (std::size_t i = 0; i < schedule_.jobs.size(); ++i) {
+    const OracleJob& j = schedule_.jobs[i];
+    auto& per_task = speed_of_[static_cast<std::size_t>(j.task_id)];
+    if (per_task.size() <= static_cast<std::size_t>(j.index)) {
+      per_task.resize(static_cast<std::size_t>(j.index) + 1, 1.0);
+    }
+    per_task[static_cast<std::size_t>(j.index)] = schedule_.speed[i];
+  }
+  primed_ = true;
+}
+
+void OracleGovernor::on_start(const sim::SimContext& ctx) {
+  DVS_EXPECT(primed_,
+             "OracleGovernor must be primed with the concrete case before "
+             "simulation (use ExperimentConfig::oracle or prime())");
+  // YDS optimality and feasibility are proven for EDF dispatch only.
+  DVS_EXPECT(ctx.policy() == sim::SchedulingPolicy::kEdf,
+             "the oracle governor requires EDF scheduling");
+  DVS_EXPECT(speed_of_.size() == ctx.task_set().size(),
+             "oracle was primed for a different task set");
+}
+
+double OracleGovernor::select_speed(const sim::Job& running,
+                                    const sim::SimContext& /*ctx*/) {
+  double s = 1.0;  // jobs beyond the primed window run at full speed
+  const auto tid = static_cast<std::size_t>(running.task_id);
+  if (tid < speed_of_.size()) {
+    const auto& per_task = speed_of_[tid];
+    const auto idx = static_cast<std::size_t>(running.index);
+    if (idx < per_task.size()) s = per_task[idx];
+  }
+  s = std::clamp(s, 0.0, 1.0);
+  if (s <= 0.0) s = 1.0;
+  // Stretch this speed claims beyond the remaining WCET budget, for the
+  // decision audit; clairvoyance routinely makes it exceed what online
+  // slack analysis could prove.
+  last_slack_ = running.remaining_wcet() * (1.0 / std::max(s, 1e-9) - 1.0);
+  return s;
+}
+
+}  // namespace dvs::opt

@@ -1,0 +1,70 @@
+// The oracle governor: replays the YDS-optimal per-job speeds inside the
+// ordinary simulator, so the optimal schedule flows through the exact same
+// accounting (energy integration, audit, traces) as every online governor.
+//
+// Unlike every other governor, the oracle is CLAIRVOYANT: it must be
+// primed with the concrete case — task set, execution-time model, and
+// horizon — before the simulation starts, because the optimal schedule
+// depends on actual demands no online policy may observe.  The exp layer
+// primes it automatically (ExperimentConfig::oracle); using it through
+// the plain registry factory without priming is a contract error at
+// on_start().
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "opt/yds.hpp"
+#include "sim/governor.hpp"
+
+namespace dvs::opt {
+
+/// A governor that needs the concrete case revealed before simulation.
+/// The exp layer detects this interface (dynamic_cast) and calls prime()
+/// with the same (task set, workload, horizon) triple the simulator will
+/// run, per case and per core.
+class ClairvoyantGovernor : public sim::Governor {
+ public:
+  virtual void prime(const task::TaskSet& ts,
+                     const task::ExecutionTimeModel& workload,
+                     const cpu::Processor& processor, Time horizon) = 0;
+  [[nodiscard]] virtual bool primed() const noexcept = 0;
+};
+
+/// Executes every job at its YDS-optimal constant speed under EDF.
+/// With a zero-miss outcome its measured energy realizes the oracle lower
+/// bound on the processor (up to quantization and idle/transition cost),
+/// which the oracle-bound test tier asserts no governor can beat.
+class OracleGovernor final : public ClairvoyantGovernor {
+ public:
+  void prime(const task::TaskSet& ts,
+             const task::ExecutionTimeModel& workload,
+             const cpu::Processor& processor, Time horizon) override;
+  [[nodiscard]] bool primed() const noexcept override { return primed_; }
+
+  /// The schedule computed by the last prime() (empty before priming).
+  [[nodiscard]] const YdsSchedule& schedule() const noexcept {
+    return schedule_;
+  }
+
+  void on_start(const sim::SimContext& ctx) override;
+  [[nodiscard]] double select_speed(const sim::Job& running,
+                                    const sim::SimContext& ctx) override;
+  [[nodiscard]] Time last_slack_estimate() const override {
+    return last_slack_;
+  }
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+
+ private:
+  bool primed_ = false;
+  YdsSchedule schedule_;
+  /// speed_of_[task_id][job_index] — dense per-task lookup.
+  std::vector<std::vector<double>> speed_of_;
+  Time last_slack_ = 0.0;
+};
+
+[[nodiscard]] inline std::unique_ptr<OracleGovernor> make_oracle() {
+  return std::make_unique<OracleGovernor>();
+}
+
+}  // namespace dvs::opt

@@ -1,0 +1,264 @@
+#include "opt/yds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace dvs::opt {
+namespace {
+
+// Relative tolerance for intensity comparisons during peeling.  Ties
+// within this band are broken deterministically (earliest start, then
+// longest interval) so the peel order — and hence the reported interval
+// list — is stable across platforms.
+constexpr double kDensityTol = 1e-12;
+
+void validate_jobs(const std::vector<OracleJob>& jobs) {
+  for (const OracleJob& j : jobs) {
+    DVS_EXPECT(j.work > 0.0, "oracle job work must be positive");
+    DVS_EXPECT(j.deadline > j.release + kTimeEps,
+               "oracle job deadline must be after its release");
+    DVS_EXPECT(std::isfinite(j.release) && std::isfinite(j.deadline) &&
+                   std::isfinite(j.work),
+               "oracle job fields must be finite");
+  }
+}
+
+// Busy energy of running `work` units at constant speed `alpha`:
+// time = work / alpha, power = P(alpha).
+double run_energy(const cpu::PowerModel& power, Work work, double alpha) {
+  return power.busy_power(alpha) * (work / alpha);
+}
+
+}  // namespace
+
+double YdsSchedule::continuous_energy(const cpu::PowerModel& power) const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Infeasible instances still get a defined figure: speed capped at 1
+    // (the fastest any real schedule can run).
+    e += run_energy(power, jobs[i].work, std::min(speed[i], 1.0));
+  }
+  return e;
+}
+
+double YdsSchedule::discrete_energy(const cpu::FrequencyScale& scale,
+                                    const cpu::PowerModel& power) const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const double s = std::min(speed[i], 1.0);
+    const Work w = jobs[i].work;
+    if (!scale.is_discrete()) {
+      // Continuous hardware: only the low end is restricted.
+      e += run_energy(power, w, std::max(s, scale.alpha_min()));
+      continue;
+    }
+    const std::vector<double>& lv = scale.levels();
+    // First level >= s (levels end at 1.0, so this always exists).
+    const auto up = std::lower_bound(lv.begin(), lv.end(), s - kDensityTol);
+    const double hi = (up == lv.end()) ? lv.back() : *up;
+    if (up == lv.begin() || hi <= s + kDensityTol) {
+      // s at or below the lowest level, or exactly on a level: run the
+      // whole job there (speeding up only shortens the busy window).
+      e += run_energy(power, w, hi);
+      continue;
+    }
+    // Two-level split (Ishihara/Yasuura): spend x of the job's YDS time
+    // budget t = w/s at `hi` and the rest at `lo`, choosing x so total
+    // work is preserved: hi*x + lo*(t-x) = w  =>  x = t*(s-lo)/(hi-lo).
+    // Timing is identical to the continuous schedule, so feasibility is
+    // inherited.
+    const double lo = *(up - 1);
+    const Time t = w / s;
+    const Time x = t * (s - lo) / (hi - lo);
+    e += power.busy_power(hi) * x + power.busy_power(lo) * (t - x);
+  }
+  return e;
+}
+
+YdsSchedule yds_schedule(std::vector<OracleJob> jobs) {
+  validate_jobs(jobs);
+
+  YdsSchedule out;
+  out.jobs = std::move(jobs);
+  const std::size_t n = out.jobs.size();
+  out.speed.assign(n, 0.0);
+  if (n == 0) return out;
+
+  // Working copy on the collapsing timeline.  `orig` maps back to the
+  // input slot so speeds land in input order.
+  struct Live {
+    Time r, d;
+    Work w;
+    std::size_t orig;
+  };
+  std::vector<Live> live;
+  live.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    live.push_back({out.jobs[i].release, out.jobs[i].deadline,
+                    out.jobs[i].work, i});
+  }
+
+  // Collapse cuts applied so far, in application order: each removed
+  // [t1, t2) shifted later times down by (t2 - t1).  Used to map peeled
+  // interval endpoints back onto the original timeline.
+  struct Cut {
+    Time at, len;
+  };
+  std::vector<Cut> cuts;
+
+  const auto uncollapse = [&cuts](Time t) {
+    // Replay the cuts in reverse: a point at collapsed-time t expands to
+    // t + len for every cut at or before it.
+    for (auto it = cuts.rbegin(); it != cuts.rend(); ++it) {
+      if (t >= it->at - kTimeEps) t += it->len;
+    }
+    return t;
+  };
+
+  while (!live.empty()) {
+    // Candidate interval starts are the distinct releases; for each, a
+    // single deadline-ascending scan accumulates the work of jobs fully
+    // inside [r, d] and tracks the densest prefix.
+    std::vector<Live> by_deadline = live;
+    std::sort(by_deadline.begin(), by_deadline.end(),
+              [](const Live& a, const Live& b) { return a.d < b.d; });
+    std::vector<Time> starts;
+    starts.reserve(live.size());
+    for (const Live& j : live) starts.push_back(j.r);
+    std::sort(starts.begin(), starts.end());
+    starts.erase(std::unique(starts.begin(), starts.end(),
+                             [](Time a, Time b) { return time_eq(a, b); }),
+                 starts.end());
+
+    double best_g = -1.0;
+    Time best_r = 0.0, best_d = 0.0;
+    for (const Time r : starts) {
+      Work acc = 0.0;
+      for (const Live& j : by_deadline) {
+        if (j.r < r - kTimeEps) continue;  // released before the window
+        acc += j.w;
+        const Time len = j.d - r;
+        if (len <= kTimeEps) continue;  // degenerate; a wider d will catch it
+        const double g = acc / len;
+        // Deterministic tie-break: strictly denser wins; within tolerance
+        // prefer the earlier start, then the longer interval, so one peel
+        // swallows the widest critical window available.
+        const bool better =
+            g > best_g * (1.0 + kDensityTol) + kDensityTol ||
+            (g >= best_g * (1.0 - kDensityTol) - kDensityTol &&
+             (time_less(r, best_r) ||
+              (time_eq(r, best_r) && time_less(best_d, j.d))));
+        if (better) {
+          best_g = g;
+          best_r = r;
+          best_d = j.d;
+        }
+      }
+    }
+    DVS_ENSURE(best_g > 0.0, "YDS peel found no critical interval");
+
+    // Capture the contained jobs, assign the interval's intensity.
+    std::size_t captured = 0;
+    std::vector<Live> rest;
+    rest.reserve(live.size());
+    for (const Live& j : live) {
+      const bool inside =
+          j.r >= best_r - kTimeEps && j.d <= best_d + kTimeEps;
+      if (inside) {
+        out.speed[j.orig] = best_g;
+        ++captured;
+      } else {
+        rest.push_back(j);
+      }
+    }
+    DVS_ENSURE(captured > 0, "YDS critical interval captured no jobs");
+
+    YdsInterval iv;
+    iv.start = uncollapse(best_r);
+    iv.end = uncollapse(best_d);
+    iv.speed = best_g;
+    iv.n_jobs = captured;
+    out.intervals.push_back(iv);
+    out.max_speed = std::max(out.max_speed, best_g);
+
+    // Collapse [best_r, best_d) out of the timeline: times inside the
+    // window clamp to best_r, later times shift down by its length.
+    const Time len = best_d - best_r;
+    for (Live& j : rest) {
+      if (j.r >= best_d - kTimeEps) {
+        j.r -= len;
+      } else if (j.r > best_r) {
+        j.r = best_r;
+      }
+      if (j.d >= best_d - kTimeEps) {
+        j.d -= len;
+      } else if (j.d > best_r) {
+        j.d = best_r;
+      }
+      j.r = snap_nonnegative(j.r);
+      j.d = snap_nonnegative(j.d);
+    }
+    cuts.push_back({best_r, len});
+    live = std::move(rest);
+  }
+
+  return out;
+}
+
+std::vector<OracleJob> expand_jobs(const task::TaskSet& ts,
+                                   const task::ExecutionTimeModel& workload,
+                                   Time horizon) {
+  DVS_EXPECT(!ts.empty(), "cannot expand an empty task set");
+  const Time length = horizon < 0.0 ? ts.default_sim_length() : horizon;
+  DVS_EXPECT(length > 0.0, "horizon must be positive");
+
+  std::vector<OracleJob> jobs;
+  for (const task::Task& t : ts) {
+    for (std::int64_t k = 0;; ++k) {
+      const Time release = t.release_of(k);
+      // Mirror the engine's release loop: jobs released at (or a hair
+      // before) the horizon are never activated.
+      if (!(release < length - kTimeEps)) break;
+      OracleJob j;
+      j.task_id = t.id;
+      j.index = k;
+      j.release = release;
+      j.deadline = t.deadline_of(k);
+      // Clamp like the engine under OverrunPolicy::kNone: a model drawing
+      // beyond WCET still executes, but the budget floors at > 0.
+      j.work = std::max(workload.draw(t, k), 1e-12);
+      jobs.push_back(j);
+    }
+  }
+  return jobs;
+}
+
+OracleBounds oracle_bounds(const task::TaskSet& ts,
+                           const task::ExecutionTimeModel& workload,
+                           const cpu::Processor& processor, Time horizon) {
+  const Time length = horizon < 0.0 ? ts.default_sim_length() : horizon;
+  std::vector<OracleJob> jobs = expand_jobs(ts, workload, length);
+  // Only jobs whose deadlines fall inside the window bind every zero-miss
+  // schedule; horizon-truncated jobs would otherwise inflate the bound
+  // above what a governor is charged for.
+  std::erase_if(jobs, [length](const OracleJob& j) {
+    return j.deadline > length + kTimeEps;
+  });
+
+  OracleBounds b;
+  b.n_jobs = jobs.size();
+  if (jobs.empty()) return b;
+
+  const YdsSchedule sched = yds_schedule(std::move(jobs));
+  b.max_speed = sched.max_speed;
+  b.feasible = sched.feasible();
+  b.continuous_energy = sched.continuous_energy(*processor.power);
+  b.discrete_energy =
+      sched.discrete_energy(processor.scale, *processor.power);
+  return b;
+}
+
+}  // namespace dvs::opt

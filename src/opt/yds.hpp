@@ -1,0 +1,136 @@
+// The optimal continuous voltage schedule (YDS) and its discrete rounding
+// — the absolute energy lower bound every governor is measured against.
+//
+// Yao, Demers & Shenker's critical-interval algorithm computes, for a
+// concrete job set {(release, deadline, work)}, the minimum-energy
+// feasible speed schedule under a convex power function: repeatedly find
+// the interval [t1, t2] of maximum intensity
+//
+//   g(t1, t2) = sum{ work_i : t1 <= r_i, d_i <= t2 } / (t2 - t1),
+//
+// run every job contained in it at speed g (EDF-ordered inside), remove
+// the interval from the timeline (collapsing later releases/deadlines),
+// and recur on the rest.  Each job therefore receives ONE constant speed
+// — the intensity of the critical interval that captured it — and
+// preemptive EDF dispatch with these per-job speeds meets every deadline.
+// We follow the O(n^2)-style event-grid formulation of Li, Yao & Yuan
+// (PAPERS.md): per peel, intensities are maximized by one cumulative scan
+// over deadline-sorted jobs for each candidate start, and the peeled
+// interval is collapsed out of the remaining instance.
+//
+// Two energies are derived from the schedule (both *busy-only*: idle and
+// transition draw are deliberately excluded so the figures stay lower
+// bounds on ANY simulated schedule's total energy):
+//  * continuous_energy — sum of work_i * P(s_i) / s_i over the real
+//    speeds, the unconstrained optimum;
+//  * discrete_energy — the Ishihara/Yasuura-Kwon/Kim rounding: each
+//    continuous speed is realized by splitting the job's time budget
+//    between the two adjacent hardware levels (one level below the
+//    lowest level, the lowest level alone), which preserves the YDS
+//    timing exactly and is the optimum over level-restricted schedules
+//    for convex power curves.
+//
+// Feasibility: the peak intensity is the minimum maximum speed any
+// feasible schedule needs; max_speed <= 1 means the instance fits the
+// (normalized) processor.  All shipped power models are convex on the
+// ranges the schedule evaluates; the bound is documented as assuming
+// convexity (docs/ALGORITHMS.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/frequency.hpp"
+#include "cpu/power_model.hpp"
+#include "cpu/processors.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+#include "util/time.hpp"
+
+namespace dvs::opt {
+
+/// One concrete job of the oracle instance.  Unlike sim::Job, `work` is
+/// the job's ACTUAL demand — the oracle is clairvoyant by design (the
+/// whole point of a lower bound is to see what online governors cannot).
+struct OracleJob {
+  std::int32_t task_id = 0;
+  std::int64_t index = 0;  ///< per-task activation number (0-based)
+  Time release = 0.0;
+  Time deadline = 0.0;  ///< absolute; > release
+  Work work = 0.0;      ///< actual demand; > 0
+};
+
+/// One peeled critical interval, in peel order (speeds non-increasing).
+/// start/end span the interval's original-time footprint; earlier
+/// (faster) critical intervals collapsed out of a later one lie nested
+/// inside that span and are excluded from it by construction.
+struct YdsInterval {
+  Time start = 0.0;
+  Time end = 0.0;
+  double speed = 0.0;     ///< intensity = contained work / length
+  std::size_t n_jobs = 0; ///< jobs captured by this interval
+};
+
+/// The optimal continuous-speed schedule of a job set.
+struct YdsSchedule {
+  std::vector<OracleJob> jobs;   ///< the instance, input order preserved
+  std::vector<double> speed;     ///< optimal per-job speed, parallel to jobs
+  std::vector<YdsInterval> intervals;  ///< critical intervals, peel order
+  double max_speed = 0.0;        ///< peak intensity over all intervals
+
+  /// The instance fits a unit-speed processor (every deadline reachable).
+  [[nodiscard]] bool feasible(double tol = 1e-9) const noexcept {
+    return max_speed <= 1.0 + tol;
+  }
+
+  /// Busy-only energy of the continuous optimum: sum w_i * P(s_i) / s_i.
+  /// Meaningful only when feasible() (speeds above 1 are evaluated at 1).
+  [[nodiscard]] double continuous_energy(const cpu::PowerModel& power) const;
+
+  /// Busy-only energy after rounding every per-job speed onto `scale`:
+  /// two-level split for discrete scales (timing-preserving, optimal for
+  /// convex power), clamp-to-alpha_min for continuous scales.  Always
+  /// >= continuous_energy for convex power.
+  [[nodiscard]] double discrete_energy(const cpu::FrequencyScale& scale,
+                                       const cpu::PowerModel& power) const;
+};
+
+/// Compute the optimal continuous schedule by critical-interval peeling.
+/// Throws ContractError on invalid jobs (non-positive work, deadline not
+/// after release).  An empty input yields an empty schedule.
+[[nodiscard]] YdsSchedule yds_schedule(std::vector<OracleJob> jobs);
+
+/// Expand a periodic task set into the concrete jobs a simulation of
+/// `horizon` seconds releases (release < horizon, mirroring the engine's
+/// release loop), with each job's actual demand drawn from `workload` —
+/// the common-random-numbers draw every governor replays.  `horizon` < 0
+/// resolves to ts.default_sim_length().
+[[nodiscard]] std::vector<OracleJob> expand_jobs(
+    const task::TaskSet& ts, const task::ExecutionTimeModel& workload,
+    Time horizon);
+
+/// Analytic lower bounds for one (task set, workload, processor, horizon)
+/// case.  Computed over the jobs whose deadlines lie within the horizon —
+/// exactly the jobs EVERY zero-miss schedule must finish inside the
+/// simulated window — so each bound is a true floor for any simulated
+/// governor's total energy on the same case (jobs truncated at the
+/// horizon only ever ADD governor energy).
+struct OracleBounds {
+  double continuous_energy = 0.0;  ///< unconstrained YDS optimum
+  double discrete_energy = 0.0;    ///< optimum over the processor's levels
+  double max_speed = 0.0;          ///< peak YDS intensity of the instance
+  bool feasible = false;           ///< max_speed <= 1 (+tolerance)
+  std::size_t n_jobs = 0;          ///< jobs in the bound instance
+
+  /// Bounds usable as a gap denominator.
+  [[nodiscard]] bool valid() const noexcept {
+    return feasible && continuous_energy > 0.0;
+  }
+};
+
+[[nodiscard]] OracleBounds oracle_bounds(const task::TaskSet& ts,
+                                         const task::ExecutionTimeModel& workload,
+                                         const cpu::Processor& processor,
+                                         Time horizon);
+
+}  // namespace dvs::opt

@@ -8,6 +8,7 @@
 
 #include "core/registry.hpp"
 #include "core/slack_time.hpp"
+#include "opt/yds.hpp"
 #include "sched/analysis.hpp"
 #include "sim/simulator.hpp"
 #include "task/benchmarks.hpp"
@@ -166,6 +167,36 @@ TEST(DeadlineInvariantConstrained, SlackAnalysisHandlesConstrainedDeadlines) {
     const auto r =
         sim::simulate(ts, *workload, cpu::ideal_processor(), *g, opts);
     EXPECT_EQ(r.deadline_misses, 0) << name;
+  }
+}
+
+TEST(DeadlineInvariantOracle, NoGovernorUndercutsTheClairvoyantBound) {
+  // The YDS schedule of the ACTUAL execution times is the minimum busy
+  // energy ANY zero-miss schedule can spend on the jobs due within the
+  // horizon, so on the idle-free ideal processor every governor's total
+  // energy must sit at or above the continuous bound.  Horizon 1.0 (not
+  // the 3.0 the miss tests use) keeps the O(jobs^2) peeling cheap.
+  const cpu::Processor proc = cpu::ideal_processor();
+  for (const double u : {0.4, 0.7, 0.9}) {
+    for (const std::uint64_t seed : {21, 42}) {
+      const auto ts = random_set(u, seed);
+      ASSERT_TRUE(sched::edf_schedulable(ts));
+      const auto workload = task::uniform_model(seed + 1);
+      const opt::OracleBounds b = opt::oracle_bounds(ts, *workload, proc, 1.0);
+      ASSERT_TRUE(b.valid()) << "U=" << u << " seed=" << seed;
+      EXPECT_LE(b.continuous_energy, b.discrete_energy + 1e-12);
+      for (const auto& spec : core::standard_governors()) {
+        SCOPED_TRACE("governor=" + std::string(spec.name) + " U=" +
+                     std::to_string(u) + " seed=" + std::to_string(seed));
+        auto g = spec.make();
+        sim::SimOptions opts;
+        opts.length = 1.0;
+        const auto r = sim::simulate(ts, *workload, proc, *g, opts);
+        EXPECT_EQ(r.deadline_misses, 0);
+        EXPECT_GE(r.total_energy(), b.continuous_energy - 1e-9);
+        EXPECT_GE(r.total_energy(), b.discrete_energy - 1e-9);
+      }
+    }
   }
 }
 

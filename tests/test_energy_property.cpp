@@ -156,6 +156,39 @@ TEST(EnergyProperty, ExactSlackAnalysisAtLeastAsGoodAsHeuristic) {
   EXPECT_LE(exact_acc.mean(), heur_acc.mean() + 1e-9);
 }
 
+TEST(EnergyProperty, OptimalityGapsNeverDipBelowOne) {
+  // With ExperimentConfig::oracle the harness appends the clairvoyant
+  // oracle governor and stamps every outcome's optimality gaps.  On the
+  // idle-free ideal processor no governor can beat either bound, so both
+  // gaps stay >= 1 for every governor on every case, and the discrete
+  // bound (the optimum restricted to realizable speeds) is at least the
+  // continuous one, i.e. gap_continuous >= gap_discrete.
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.sim_length = 1.0;
+  cfg.oracle = true;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const auto ts = random_set(0.4 + 0.2 * static_cast<double>(i), 810 + i);
+    const auto workload = task::uniform_model(i + 5);
+    const auto outcome = exp::run_case({ts, workload}, cfg);
+    ASSERT_TRUE(outcome.bounds.valid()) << "case " << i;
+    ASSERT_EQ(outcome.outcomes.back().governor, "oracle");
+    for (const auto& g : outcome.outcomes) {
+      SCOPED_TRACE(g.governor + " case " + std::to_string(i));
+      ASSERT_FALSE(g.failed()) << g.error;
+      EXPECT_EQ(g.result.deadline_misses, 0);
+      EXPECT_GE(g.gap_continuous, 1.0 - 1e-6);
+      EXPECT_GE(g.gap_discrete, 1.0 - 1e-6);
+      EXPECT_GE(g.gap_continuous, g.gap_discrete - 1e-9);
+    }
+    // The simulated oracle run itself lands closest to the bound.
+    const auto& oracle = outcome.outcomes.back();
+    for (const auto& g : outcome.outcomes) {
+      EXPECT_GE(g.gap_continuous, oracle.gap_continuous - 1e-9)
+          << g.governor << " beat the clairvoyant schedule on case " << i;
+    }
+  }
+}
+
 TEST(EnergyProperty, AverageSpeedNeverBelowAlphaMin) {
   exp::ExperimentConfig cfg = exp::default_config();
   cfg.sim_length = 1.0;

@@ -17,7 +17,9 @@
 
 #include "core/registry.hpp"
 #include "cpu/processors.hpp"
+#include "exp/experiment.hpp"
 #include "mp/mp_sim.hpp"
+#include "opt/yds.hpp"
 #include "task/generator.hpp"
 #include "task/workload.hpp"
 #include "util/rng.hpp"
@@ -126,6 +128,68 @@ TEST_P(MpZeroMiss, AcceptedPartitionsNeverMissADeadline) {
   // The grid must actually exercise the zero-miss property, not reject
   // everything: most sampled sets fit (U stays below 0.95 * M).
   EXPECT_GE(accepted, kSetsPerCell / 2) << "fuzz grid rejected too much";
+}
+
+TEST(MpOracleBound, PerCoreBoundsSumAndNoGovernorUndercutsThem) {
+  // The partitioned optimum decomposes over cores (no migration), so the
+  // case bound the harness reports must equal the sum of each populated
+  // core's own YDS bound, and on idle-free ideal cores every governor's
+  // total energy — summed across cores — must stay at or above it
+  // (gap >= 1).  The simulated oracle governor itself must stay
+  // zero-miss on every core.
+  const cpu::Processor proc = cpu::ideal_processor();
+  std::size_t checked = 0;
+  for (std::uint64_t rep = 1; rep <= 4 && checked < 2; ++rep) {
+    const std::uint64_t seed = util::hash_u64(kFuzzSalt, 0xACEu, rep);
+    const FuzzCase c = fuzz_case(seed);
+    const std::string replay =
+        "replay: seed=" + std::to_string(seed) + " M=" +
+        std::to_string(c.n_cores) + " n=" + std::to_string(c.n_tasks) +
+        " U=" + std::to_string(c.utilization);
+    SCOPED_TRACE(replay);
+    const mp::MpPlan plan =
+        mp::plan_mp(c.task_set, c.workload, c.n_cores,
+                    mp::PartitionHeuristic::kWorstFit, 0.3);
+    if (!plan.feasible()) continue;
+
+    // Manual per-core sum, against the same remapped per-core workloads
+    // the harness simulates with.
+    double continuous = 0.0;
+    double discrete = 0.0;
+    bool all_feasible = true;
+    for (std::size_t core = 0; core < plan.core_sets.size(); ++core) {
+      if (plan.core_sets[core].empty()) continue;
+      const opt::OracleBounds b = opt::oracle_bounds(
+          plan.core_sets[core], *plan.core_workloads[core], proc,
+          plan.length);
+      all_feasible = all_feasible && b.feasible;
+      continuous += b.continuous_energy;
+      discrete += b.discrete_energy;
+    }
+    if (!all_feasible) continue;  // an over-packed core: no usable bound
+    ++checked;
+
+    exp::ExperimentConfig cfg = exp::default_config();
+    cfg.n_cores = c.n_cores;
+    cfg.partitioner = mp::PartitionHeuristic::kWorstFit;
+    cfg.sim_length = 0.3;
+    cfg.oracle = true;
+    const exp::CaseOutcome outcome =
+        exp::run_case({c.task_set, c.workload}, cfg);
+    ASSERT_TRUE(outcome.bounds.valid());
+    EXPECT_NEAR(outcome.bounds.continuous_energy, continuous, 1e-9);
+    EXPECT_NEAR(outcome.bounds.discrete_energy, discrete, 1e-9);
+    ASSERT_EQ(outcome.outcomes.back().governor, "oracle");
+    for (const auto& g : outcome.outcomes) {
+      SCOPED_TRACE("governor=" + g.governor);
+      ASSERT_FALSE(g.failed()) << g.error;
+      EXPECT_EQ(g.result.deadline_misses, 0);
+      EXPECT_GE(g.gap_continuous, 1.0 - 1e-6);
+      EXPECT_GE(g.gap_discrete, 1.0 - 1e-6);
+    }
+  }
+  // The seed schedule must actually exercise the property.
+  EXPECT_GE(checked, 1u) << "every sampled partition was rejected";
 }
 
 std::string param_name(const ::testing::TestParamInfo<FuzzParam>& info) {

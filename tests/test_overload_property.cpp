@@ -8,6 +8,7 @@
 
 #include "core/registry.hpp"
 #include "fault/checked_governor.hpp"
+#include "opt/yds.hpp"
 #include "sim/simulator.hpp"
 #include "task/generator.hpp"
 #include "task/workload.hpp"
@@ -69,6 +70,41 @@ TEST(OverloadProperty, EveryGovernorSurvivesOverload) {
       EXPECT_GE(r.total_energy(), 0.0);
     }
   }
+}
+
+TEST(OverloadProperty, OracleReportsSustainedOverloadAsInfeasible) {
+  // Even a clairvoyant scheduler cannot meet deadlines when demand
+  // outstrips capacity: under a sustained full-WCET workload at U > 1 the
+  // YDS peak speed must exceed 1 and the bounds must come back
+  // infeasible (and therefore unusable as a gap denominator).  A
+  // feasible control set at the same horizon stays feasible, proving the
+  // detection is not vacuous.
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = 6;
+  cfg.allow_overload = true;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.1;
+  const auto workload = task::constant_ratio_model(1.0);
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cfg.total_utilization = 1.0 + 0.1 * static_cast<double>(seed);
+    util::Rng rng(seed);
+    const task::TaskSet ts =
+        task::generate_task_set(cfg, rng, "overload" + std::to_string(seed));
+    const opt::OracleBounds b =
+        opt::oracle_bounds(ts, *workload, cpu::ideal_processor(), 2.0);
+    EXPECT_FALSE(b.feasible) << "U=" << cfg.total_utilization;
+    EXPECT_GT(b.max_speed, 1.0) << "U=" << cfg.total_utilization;
+    EXPECT_FALSE(b.valid());
+  }
+  cfg.total_utilization = 0.8;
+  cfg.allow_overload = false;
+  util::Rng rng(99);
+  const task::TaskSet control = task::generate_task_set(cfg, rng, "control");
+  const opt::OracleBounds b =
+      opt::oracle_bounds(control, *workload, cpu::ideal_processor(), 2.0);
+  EXPECT_TRUE(b.feasible);
+  EXPECT_TRUE(b.valid());
+  EXPECT_LE(b.max_speed, 1.0 + 1e-9);
 }
 
 }  // namespace

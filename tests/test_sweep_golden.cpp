@@ -6,6 +6,12 @@
 // (changed seed derivation, aggregation order, normalization, CSV
 // formatting) even when the drift is thread-count-independent.
 //
+// The golden sweep runs with ExperimentConfig::oracle, so the committed
+// CSV also pins the oracle governor's column and every governor's
+// optimality-gap columns; a separate test proves those are a pure
+// superset (every pre-existing column byte-identical to a non-oracle
+// run of the same sweep).
+//
 // To regenerate after an INTENDED semantic change:
 //   SLACKDVS_REGOLD=1 ./test_exp --gtest_filter='SweepGolden.*'
 // then commit the rewritten tests/data/sweep_golden_expected.csv.
@@ -13,8 +19,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "exp/experiment.hpp"
 #include "exp/report.hpp"
@@ -28,13 +36,14 @@ namespace {
 const char* const kGoldenPath =
     SLACKDVS_TEST_DATA_DIR "/sweep_golden_expected.csv";
 
-SweepOutcome golden_sweep(std::size_t n_threads) {
+SweepOutcome golden_sweep(std::size_t n_threads, bool oracle = true) {
   ExperimentConfig cfg = default_config();
   cfg.governors = {"staticEDF", "ccEDF", "lpSEH"};
   cfg.seed = 20020304;  // the E1 seed
   cfg.replications = 2;
   cfg.sim_length = 0.4;
   cfg.n_threads = n_threads;
+  cfg.oracle = oracle;
   return run_sweep(cfg, "U", {0.5, 0.9},
                    [](double u, std::size_t, std::uint64_t seed) {
                      task::GeneratorConfig gen;
@@ -82,6 +91,50 @@ TEST(SweepGolden, ParallelSweepMatchesCommittedCsv) {
     GTEST_SKIP() << "regolding uses the serial test";
   }
   EXPECT_EQ(to_csv(golden_sweep(4)), read_golden());
+}
+
+/// Parse a sweep CSV into header -> column values (cell strings).
+std::map<std::string, std::vector<std::string>> csv_columns(
+    const std::string& csv) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(csv);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> cells;
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  std::map<std::string, std::vector<std::string>> cols;
+  if (rows.empty()) return cols;
+  for (std::size_t c = 0; c < rows.front().size(); ++c) {
+    auto& col = cols[rows.front()[c]];
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      col.push_back(c < rows[r].size() ? rows[r][c] : "");
+    }
+  }
+  return cols;
+}
+
+TEST(SweepGolden, OracleCsvIsAPureSupersetOfTheLegacyCsv) {
+  // Turning the oracle on appends the oracle governor and the gap
+  // columns but must not perturb a single pre-existing cell: the case
+  // seeds and every legacy governor's simulations are unchanged, so
+  // every column of the non-oracle CSV must reappear byte-identical in
+  // the oracle CSV.  This is the compatibility contract that lets CI
+  // diff non-oracle CSVs across builds that differ only in oracle
+  // support.
+  const auto legacy = csv_columns(to_csv(golden_sweep(1, /*oracle=*/false)));
+  const auto oracle = csv_columns(to_csv(golden_sweep(1, /*oracle=*/true)));
+  ASSERT_FALSE(legacy.empty());
+  EXPECT_GT(oracle.size(), legacy.size());
+  for (const auto& [name, cells] : legacy) {
+    const auto it = oracle.find(name);
+    ASSERT_NE(it, oracle.end()) << "column lost: " << name;
+    EXPECT_EQ(it->second, cells) << "column drifted: " << name;
+  }
 }
 
 }  // namespace

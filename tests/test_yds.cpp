@@ -1,0 +1,273 @@
+// The YDS kernel against ground truth: hand-computed critical-interval
+// cases from the Li/Yao/Yuan construction, the discrete two-level
+// rounding against closed-form energies, and a brute-force differential
+// — on tiny job sets, no enumerated feasible per-job speed assignment
+// may use less energy than yds_schedule() reports.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cpu/power_model.hpp"
+#include "opt/yds.hpp"
+#include "task/task.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace dvs::opt {
+namespace {
+
+OracleJob job(Time r, Time d, Work w, std::int32_t id = 0,
+              std::int64_t index = 0) {
+  OracleJob j;
+  j.task_id = id;
+  j.index = index;
+  j.release = r;
+  j.deadline = d;
+  j.work = w;
+  return j;
+}
+
+// Exact preemptive-EDF replay of a per-job constant-speed assignment:
+// true iff every job finishes by its deadline.  Ties on equal deadlines
+// go to the lower index; the choice cannot affect feasibility.
+bool edf_feasible(const std::vector<OracleJob>& jobs,
+                  const std::vector<double>& speed, double tol = 1e-9) {
+  const std::size_t n = jobs.size();
+  std::vector<Work> rem(n);
+  Time t = std::numeric_limits<Time>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    rem[i] = jobs[i].work;
+    t = std::min(t, jobs[i].release);
+  }
+  std::size_t done = 0;
+  while (done < n) {
+    // Highest-priority active job; earliest pending release for idling.
+    std::size_t run = n;
+    Time next_r = std::numeric_limits<Time>::infinity();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rem[i] <= 0.0) continue;
+      if (jobs[i].release <= t + tol) {
+        if (run == n || jobs[i].deadline < jobs[run].deadline) run = i;
+      } else {
+        next_r = std::min(next_r, jobs[i].release);
+      }
+    }
+    if (run == n) {
+      t = next_r;
+      continue;
+    }
+    const Time finish = t + rem[run] / speed[run];
+    if (next_r < finish) {
+      rem[run] -= (next_r - t) * speed[run];
+      t = next_r;
+    } else {
+      if (finish > jobs[run].deadline + tol) return false;
+      rem[run] = 0.0;
+      t = finish;
+      ++done;
+    }
+  }
+  return true;
+}
+
+TEST(Yds, EmptyInstance) {
+  const YdsSchedule s = yds_schedule({});
+  EXPECT_TRUE(s.jobs.empty());
+  EXPECT_TRUE(s.intervals.empty());
+  EXPECT_EQ(s.max_speed, 0.0);
+  EXPECT_TRUE(s.feasible());
+}
+
+TEST(Yds, RejectsMalformedJobs) {
+  EXPECT_THROW((void)yds_schedule({job(0.0, 1.0, 0.0)}), util::ContractError);
+  EXPECT_THROW((void)yds_schedule({job(1.0, 1.0, 0.5)}), util::ContractError);
+  EXPECT_THROW((void)yds_schedule({job(2.0, 1.0, 0.5)}), util::ContractError);
+}
+
+TEST(Yds, SingleJobRunsAtItsDensity) {
+  const YdsSchedule s = yds_schedule({job(0.0, 2.0, 1.0)});
+  ASSERT_EQ(s.speed.size(), 1u);
+  EXPECT_NEAR(s.speed[0], 0.5, 1e-12);
+  EXPECT_NEAR(s.max_speed, 0.5, 1e-12);
+  ASSERT_EQ(s.intervals.size(), 1u);
+  EXPECT_NEAR(s.intervals[0].start, 0.0, 1e-12);
+  EXPECT_NEAR(s.intervals[0].end, 2.0, 1e-12);
+  EXPECT_EQ(s.intervals[0].n_jobs, 1u);
+  // Cubic power: E = w * P(s) / s = 1 * 0.125 / 0.5.
+  const auto power = cpu::cubic_power_model();
+  EXPECT_NEAR(s.continuous_energy(*power), 0.25, 1e-12);
+}
+
+// The canonical nested construction: a tight inner job forces a fast
+// critical interval; the outer job is then stretched over the REMAINING
+// time only (Li/Yao/Yuan's collapse step), not its naive full window.
+TEST(Yds, NestedCriticalIntervalPeelsInnerFirst) {
+  const std::vector<OracleJob> jobs = {
+      job(0.0, 10.0, 2.0, 0),  // outer: naive density 0.2
+      job(3.0, 7.0, 4.0, 1),   // inner: density 1.0 — the critical interval
+  };
+  const YdsSchedule s = yds_schedule(jobs);
+  ASSERT_EQ(s.speed.size(), 2u);
+  EXPECT_NEAR(s.speed[1], 1.0, 1e-12);
+  // Outer job gets 10 - 4 = 6 seconds of real time for 2 units of work —
+  // NOT 2/10: the collapse is what makes the answer optimal.
+  EXPECT_NEAR(s.speed[0], 2.0 / 6.0, 1e-12);
+  EXPECT_NEAR(s.max_speed, 1.0, 1e-12);
+  EXPECT_TRUE(s.feasible());
+
+  ASSERT_EQ(s.intervals.size(), 2u);
+  EXPECT_NEAR(s.intervals[0].start, 3.0, 1e-12);
+  EXPECT_NEAR(s.intervals[0].end, 7.0, 1e-12);
+  EXPECT_NEAR(s.intervals[0].speed, 1.0, 1e-12);
+  // Second interval's original-time footprint spans the outer window,
+  // with the peeled inner interval nested inside it.
+  EXPECT_NEAR(s.intervals[1].start, 0.0, 1e-12);
+  EXPECT_NEAR(s.intervals[1].end, 10.0, 1e-12);
+  EXPECT_NEAR(s.intervals[1].speed, 2.0 / 6.0, 1e-12);
+  // Peel order is non-increasing in speed.
+  EXPECT_GE(s.intervals[0].speed, s.intervals[1].speed);
+}
+
+// Two adjacent jobs of identical density merge into ONE critical
+// interval (the tie-break prefers the widest window), which is exactly
+// the optimal constant-speed schedule.
+TEST(Yds, EqualDensityTieMergesIntoOneInterval) {
+  const YdsSchedule s =
+      yds_schedule({job(0.0, 2.0, 1.0, 0), job(2.0, 4.0, 1.0, 1)});
+  ASSERT_EQ(s.intervals.size(), 1u);
+  EXPECT_NEAR(s.intervals[0].start, 0.0, 1e-12);
+  EXPECT_NEAR(s.intervals[0].end, 4.0, 1e-12);
+  EXPECT_EQ(s.intervals[0].n_jobs, 2u);
+  EXPECT_NEAR(s.speed[0], 0.5, 1e-12);
+  EXPECT_NEAR(s.speed[1], 0.5, 1e-12);
+}
+
+TEST(Yds, OverloadedInstanceIsReportedInfeasible) {
+  const YdsSchedule s = yds_schedule({job(0.0, 1.0, 2.0)});
+  EXPECT_NEAR(s.max_speed, 2.0, 1e-12);
+  EXPECT_FALSE(s.feasible());
+}
+
+TEST(YdsDiscrete, TwoLevelSplitMatchesClosedForm) {
+  YdsSchedule s = yds_schedule({job(0.0, 2.0, 1.0)});  // speed 0.5
+  const auto power = cpu::cubic_power_model();
+  const auto scale = cpu::FrequencyScale::discrete({0.4, 1.0});
+  // t = 2; x = t(s-lo)/(hi-lo) = 2*0.1/0.6 = 1/3 at speed 1, rest at 0.4:
+  // E = 1^3 * 1/3 + 0.4^3 * 5/3.
+  const double expected = 1.0 / 3.0 + 0.064 * 5.0 / 3.0;
+  EXPECT_NEAR(s.discrete_energy(scale, *power), expected, 1e-12);
+  // Convexity: discrete rounding can never beat the continuous optimum.
+  EXPECT_GE(s.discrete_energy(scale, *power), s.continuous_energy(*power));
+}
+
+TEST(YdsDiscrete, ExactLevelNeedsNoSplit) {
+  YdsSchedule s = yds_schedule({job(0.0, 2.0, 1.0)});  // speed 0.5
+  const auto power = cpu::cubic_power_model();
+  const auto scale = cpu::FrequencyScale::discrete({0.5, 1.0});
+  EXPECT_NEAR(s.discrete_energy(scale, *power), 0.25, 1e-12);
+}
+
+TEST(YdsDiscrete, BelowLowestLevelRunsAtLowestLevel) {
+  YdsSchedule s = yds_schedule({job(0.0, 5.0, 1.0)});  // speed 0.2
+  const auto power = cpu::cubic_power_model();
+  const auto scale = cpu::FrequencyScale::discrete({0.4, 1.0});
+  // Runs at 0.4 for w/0.4 = 2.5 s (busy-only; the idle tail is free).
+  EXPECT_NEAR(s.discrete_energy(scale, *power), 0.064 * 2.5, 1e-12);
+}
+
+TEST(YdsDiscrete, ContinuousScaleClampsAtAlphaMin) {
+  YdsSchedule s = yds_schedule({job(0.0, 5.0, 1.0)});  // speed 0.2
+  const auto power = cpu::cubic_power_model();
+  const auto scale = cpu::FrequencyScale::continuous(0.3);
+  EXPECT_NEAR(s.discrete_energy(scale, *power), 0.027 / 0.3, 1e-12);
+}
+
+TEST(YdsExpand, MirrorsEngineReleaseSemantics) {
+  task::TaskSet ts("expand");
+  ts.add(task::make_task(0, "t0", 0.1, 0.02));
+  const auto workload = task::constant_ratio_model(1.0);
+  // Releases at 0, 0.1, 0.2; the job released exactly at the horizon is
+  // never activated, matching the simulator's release loop.
+  const auto jobs = expand_jobs(ts, *workload, 0.3);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_NEAR(jobs[2].release, 0.2, 1e-12);
+  EXPECT_NEAR(jobs[2].deadline, 0.3, 1e-12);
+  EXPECT_NEAR(jobs[1].work, 0.02, 1e-12);
+}
+
+TEST(YdsBounds, FiltersJobsWithDeadlinesBeyondHorizon) {
+  task::TaskSet ts("bounds");
+  ts.add(task::make_task(0, "t0", 0.1, 0.05));
+  const auto workload = task::constant_ratio_model(1.0);
+  const cpu::Processor proc = cpu::ideal_processor();
+  // Horizon 0.25 releases jobs at 0, 0.1, 0.2 but only the first two have
+  // deadlines inside the window.
+  const OracleBounds b = oracle_bounds(ts, *workload, proc, 0.25);
+  EXPECT_EQ(b.n_jobs, 2u);
+  EXPECT_TRUE(b.feasible);
+  EXPECT_NEAR(b.max_speed, 0.5, 1e-12);
+  // Two back-to-back density-0.5 windows: E = 2 * 0.05 * P(0.5)/0.5.
+  EXPECT_NEAR(b.continuous_energy, 0.025, 1e-12);
+  EXPECT_NEAR(b.discrete_energy, b.continuous_energy, 1e-12);  // continuous scale
+  EXPECT_TRUE(b.valid());
+}
+
+// Brute-force differential: on tiny random instances, enumerate every
+// per-job speed assignment on a fixed grid, replay each under preemptive
+// EDF, and record the cheapest feasible one.  Grid schedules are a
+// subset of all schedules, so no grid point may undercut the YDS energy;
+// the YDS assignment itself must replay feasibly.
+TEST(YdsDifferential, NoEnumeratedAssignmentBeatsYds) {
+  const auto power = cpu::cubic_power_model();
+  const std::vector<double> grid = {0.125, 0.25, 0.375, 0.5,
+                                    0.625, 0.75, 0.875, 1.0};
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    util::Rng rng(seed);
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    std::vector<OracleJob> jobs;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Time r = rng.uniform(0.0, 3.0);
+      const Time len = rng.uniform(0.5, 3.0);
+      // Per-job density <= 0.5/n caps ANY window's combined intensity at
+      // 0.5, so every instance is feasible and grid speeds can compete.
+      jobs.push_back(job(r, r + len,
+                         rng.uniform(0.1, 0.5) * len / static_cast<double>(n),
+                         static_cast<std::int32_t>(i)));
+    }
+    SCOPED_TRACE("replay: seed=" + std::to_string(seed) +
+                 " n=" + std::to_string(n));
+
+    const YdsSchedule s = yds_schedule(jobs);
+    ASSERT_TRUE(s.feasible());
+    EXPECT_TRUE(edf_feasible(jobs, s.speed))
+        << "YDS speeds must replay feasibly under EDF";
+    const double yds_energy = s.continuous_energy(*power);
+
+    double grid_best = std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> pick(n, 0);
+    for (;;) {
+      std::vector<double> speed(n);
+      double e = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        speed[i] = grid[pick[i]];
+        e += power->busy_power(speed[i]) * (jobs[i].work / speed[i]);
+      }
+      if (e < grid_best && edf_feasible(jobs, speed)) grid_best = e;
+      // Odometer increment over the grid.
+      std::size_t d = 0;
+      while (d < n && ++pick[d] == grid.size()) pick[d++] = 0;
+      if (d == n) break;
+    }
+    ASSERT_TRUE(std::isfinite(grid_best)) << "grid found no feasible point";
+    EXPECT_LE(yds_energy, grid_best + 1e-9)
+        << "an enumerated assignment beat the 'optimal' schedule";
+  }
+}
+
+}  // namespace
+}  // namespace dvs::opt

@@ -77,7 +77,7 @@ void usage() {
                    [--workload SPEC] [--length SECONDS] [--policy edf|fp]
                    [--gantt T0:T1] [--jobs N] [--overrun-prob P]
                    [--overrun-mag M] [--containment MODE]
-                   [--trace-out FILE.json] [--metrics]
+                   [--trace-out FILE.json] [--metrics] [--oracle]
                    [--cores M] [--partition ff|bf|wf]
   slackdvs gen     <utilization> <n_tasks> <seed> [out.csv]
 
@@ -191,6 +191,7 @@ int cmd_run(const std::vector<std::string>& args) {
   Time gantt_t1 = 0.0;
   std::string trace_out;
   bool want_metrics = false;
+  bool want_oracle = false;
   fault::FaultSpec fspec;
   fspec.seed = 42;
   fspec.overrun_magnitude = 0.5;
@@ -241,6 +242,8 @@ int cmd_run(const std::vector<std::string>& args) {
       DVS_EXPECT(!trace_out.empty(), "--trace-out needs a file name");
     } else if (a == "--metrics") {
       want_metrics = true;
+    } else if (a == "--oracle") {
+      want_oracle = true;
     } else if (a == "--gantt") {
       const std::string v = value();
       const auto colon = v.find(':');
@@ -261,6 +264,8 @@ int cmd_run(const std::vector<std::string>& args) {
              "--cores requires --policy edf (partitioned EDF backend)");
   DVS_EXPECT(n_cores == 0 || !want_gantt,
              "--gantt is uniprocessor-only; drop --cores to render it");
+  DVS_EXPECT(!want_oracle || policy == sim::SchedulingPolicy::kEdf,
+             "--oracle requires --policy edf (YDS optimality is EDF-only)");
 
   std::int64_t misses = 0;
   if (policy == sim::SchedulingPolicy::kEdf) {
@@ -269,6 +274,7 @@ int cmd_run(const std::vector<std::string>& args) {
     cfg.processor = processor;
     cfg.sim_length = length;
     cfg.containment = containment;
+    cfg.oracle = want_oracle;
     cfg.n_threads = jobs;  // parallel across governors; output identical
     if (n_cores >= 1) {
       const mp::PartitionResult pr =
