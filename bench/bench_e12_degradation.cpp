@@ -1,0 +1,295 @@
+// E12 — Graceful degradation: (m,k)-firm skip-aware overload management
+// (DESIGN.md §11).
+//
+// Part A overloads the task set (sustained U > 1, every job at WCET) and
+// compares the degradation controller (skipping) against a monitor-only
+// controller (observes pressure and windows but never sheds) under every
+// governor.  Part B keeps the set feasible and injects WCET overrun
+// storms instead.  Part C fixes the overload and sweeps the firmness
+// window k of (1,k)-firm tasks — the energy-vs-firmness tradeoff table in
+// EXPERIMENTS.md.
+//
+// Every set keeps its minimum-utilization task hard (m == k); the others
+// are weakly-hard.  Expected shape: the monitor arm misses deadlines all
+// over the overloaded points, the skipping arm sheds window-legal jobs
+// instead.  Part B runs under clamp_at_wcet: the clamp keeps every
+// executed job within its budget (the regime where the weakly-hard
+// contract is provable — see DESIGN.md §11; uncontained overrun storms
+// are E9's subject, and no shedding policy can stop an overrunning job
+// from missing its own deadline), while the overruns remain visible to
+// the controller as pressure events.  Exit 0 iff no simulation failed,
+// every skipping arm kept the weakly-hard contract — zero (m,k)
+// violations and zero hard-task misses — the monitor arm did record
+// misses at the overloaded points, and the overrun storms did push the
+// skipping arm into shedding (the comparison would be vacuous otherwise).
+#include "common.hpp"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "degrade/degrade.hpp"
+#include "fault/fault.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dvs;
+
+constexpr std::uint64_t kOverrunSeedSalt = 0x9e3779b97f4a7c15ull;
+
+/// Overloaded case: 8 tasks at total utilization `x` (> 1 allowed), every
+/// job demanding its full WCET, all tasks (1,k)-firm except the
+/// minimum-utilization one, which stays hard.
+exp::CaseBuilder overload_builder(std::int32_t k) {
+  return [k](double x, std::size_t /*rep*/, std::uint64_t seed) {
+    task::GeneratorConfig gen = bench::base_generator(8, x, 1.0);
+    gen.allow_overload = true;
+    util::Rng rng(seed);
+    task::TaskSet ts = task::generate_task_set(gen, rng);
+    std::size_t hard = 0;
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      if (ts[i].utilization() < ts[hard].utilization()) hard = i;
+    }
+    ts = degrade::with_firmness(ts, 1, k);
+    ts = degrade::with_task_firmness(ts, hard, 1, 1);
+    return exp::Case{std::move(ts), task::constant_ratio_model(1.0)};
+  };
+}
+
+/// Feasible case (U = 0.75) under a WCET overrun storm of probability `x`
+/// (+50% WCET demand per overrun); firmness as in overload_builder.
+exp::CaseBuilder overrun_builder() {
+  return [](double x, std::size_t /*rep*/, std::uint64_t seed) {
+    exp::Case c =
+        bench::uniform_case(bench::base_generator(8, 0.75, 0.5), seed);
+    std::size_t hard = 0;
+    const task::TaskSet& ts = c.task_set;
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+      if (ts[i].utilization() < ts[hard].utilization()) hard = i;
+    }
+    c.task_set = degrade::with_firmness(c.task_set, 1, 2);
+    c.task_set = degrade::with_task_firmness(c.task_set, hard, 1, 1);
+    fault::FaultSpec spec;
+    spec.seed = seed ^ kOverrunSeedSalt;
+    spec.overrun_prob = x;
+    spec.overrun_magnitude = 0.5;
+    c.workload = fault::faulty_workload(std::move(c.workload), spec);
+    return c;
+  };
+}
+
+struct SweepTotals {
+  std::int64_t misses = 0;
+  std::int64_t skips = 0;
+  std::int64_t mk_violations = 0;
+  std::int64_t hard_misses = 0;
+};
+
+SweepTotals totals_of(const exp::SweepOutcome& sweep) {
+  SweepTotals t;
+  for (const auto& p : sweep.points) {
+    t.misses += p.total_misses;
+    t.skips += p.total_skips;
+    t.mk_violations += p.total_mk_violations;
+    t.hard_misses += p.total_hard_misses;
+  }
+  return t;
+}
+
+// Append one combined-CSV row per (point, governor) of `sweep`.
+void append_rows(util::CsvWriter& csv, const std::string& part,
+                 const std::string& arm, const std::string& x_name,
+                 const exp::SweepOutcome& sweep) {
+  for (const auto& p : sweep.points) {
+    for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
+      const auto& miss = p.miss_ratio[g];
+      const auto& skip = p.skip_ratio[g];
+      const auto& energy = p.normalized_energy[g];
+      csv.row({part, arm, x_name, util::format_double(p.x, 6),
+               sweep.governors[g],
+               miss.count() > 0 ? util::format_double(miss.mean(), 6) : "",
+               skip.count() > 0 ? util::format_double(skip.mean(), 6) : "",
+               energy.count() > 0 ? util::format_double(energy.mean(), 6)
+                                  : "",
+               std::to_string(p.total_skips),
+               std::to_string(p.total_mk_violations),
+               std::to_string(p.total_hard_misses),
+               std::to_string(sweep.failures.size())});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dvs;
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"staticEDF", "ccEDF", "laEDF", "DRA", "lpSEH"};
+  cfg.seed = 12;
+  cfg.replications = opts.smoke ? 2 : 6;
+  cfg.sim_length = opts.smoke ? 0.4 : 1.2;
+  cfg.n_threads = opts.jobs;
+  cfg.check_governors = true;  // loud failures instead of silent clamps
+  cfg.fail_fast = opts.strict;
+
+  // The two arms: a shedding controller that reacts to the first pressure
+  // event, and the identical controller in monitor-only mode (the honest
+  // "degradation off" comparison — same windows, same counters, no skips).
+  degrade::DegradationConfig deg_on;
+  deg_on.enter_pressure = 1;
+  degrade::DegradationConfig monitor = deg_on;
+  monitor.skipping = false;
+  const std::pair<const char*, const degrade::DegradationConfig*> kArms[] = {
+      {"degrade", &deg_on},
+      {"monitor", &monitor},
+  };
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_csv", ec);
+  util::CsvFile combined("bench_csv/bench_e12_degradation.csv");
+  combined.writer().row({"part", "arm", "x_name", "x", "governor",
+                         "miss_ratio_mean", "skip_ratio_mean",
+                         "norm_energy_mean", "skips", "mk_violations",
+                         "hard_misses", "failures"});
+
+  std::size_t failures = 0;
+  std::int64_t degrade_mk_violations = 0;
+  std::int64_t degrade_hard_misses = 0;
+  std::int64_t monitor_overload_misses = 0;
+  std::int64_t degrade_storm_skips = 0;
+
+  // --- Part A: sustained overload sweep (every job at WCET) ---------------
+  const std::vector<double> overloads =
+      opts.smoke ? std::vector<double>{1.0, 1.2}
+                 : std::vector<double>{1.0, 1.05, 1.1, 1.2, 1.3};
+  for (const auto& [arm, dcfg] : kArms) {
+    cfg.degradation = *dcfg;
+    const auto sweep = exp::run_sweep(cfg, "utilization", overloads,
+                                      overload_builder(/*k=*/2));
+    bench::emit(sweep,
+                std::string("E12a[") + arm + "]: overload sweep "
+                "(8 tasks, (1,2)-firm + one hard, demand = WCET)",
+                std::string("bench_e12a_") + arm + ".csv");
+    append_rows(combined.writer(), "A", arm, "utilization", sweep);
+    failures += sweep.failures.size();
+    const SweepTotals t = totals_of(sweep);
+    if (std::string(arm) == "degrade") {
+      degrade_mk_violations += t.mk_violations;
+      degrade_hard_misses += t.hard_misses;
+    } else {
+      // Points with U > 1 must show misses in the monitor arm, or the
+      // comparison proves nothing.
+      for (const auto& p : sweep.points) {
+        if (p.x > 1.0) monitor_overload_misses += p.total_misses;
+      }
+    }
+  }
+
+  // --- Part B: WCET overrun storms on a feasible set, clamp containment ---
+  const std::vector<double> probs =
+      opts.smoke ? std::vector<double>{0.0, 0.2}
+                 : std::vector<double>{0.0, 0.1, 0.2, 0.4};
+  cfg.containment = sim::OverrunPolicy::kClampAtWcet;
+  for (const auto& [arm, dcfg] : kArms) {
+    cfg.degradation = *dcfg;
+    const auto sweep =
+        exp::run_sweep(cfg, "overrun_prob", probs, overrun_builder());
+    bench::emit(sweep,
+                std::string("E12b[") + arm + "]: overrun storm sweep "
+                "(U = 0.75, magnitude +50% WCET clamped, (1,2)-firm + one "
+                "hard)",
+                std::string("bench_e12b_") + arm + ".csv");
+    append_rows(combined.writer(), "B", arm, "overrun_prob", sweep);
+    failures += sweep.failures.size();
+    const SweepTotals t = totals_of(sweep);
+    if (std::string(arm) == "degrade") {
+      degrade_mk_violations += t.mk_violations;
+      degrade_hard_misses += t.hard_misses;
+      for (const auto& p : sweep.points) {
+        if (p.x > 0.0) degrade_storm_skips += p.total_skips;
+      }
+    }
+  }
+  cfg.containment = sim::OverrunPolicy::kNone;
+
+  // --- Part C: energy vs firmness (fixed overload, sweep window k) --------
+  const std::vector<double> windows =
+      opts.smoke ? std::vector<double>{2, 4} : std::vector<double>{2, 3, 4, 5};
+  {
+    cfg.degradation = deg_on;
+    std::vector<exp::SweepOutcome> per_k;
+    for (const double k : windows) {
+      const auto sweep = exp::run_sweep(
+          cfg, "firmness_k", {1.15},
+          overload_builder(static_cast<std::int32_t>(k)));
+      failures += sweep.failures.size();
+      const SweepTotals t = totals_of(sweep);
+      degrade_mk_violations += t.mk_violations;
+      degrade_hard_misses += t.hard_misses;
+      for (const auto& p : sweep.points) {
+        for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
+          const auto& miss = p.miss_ratio[g];
+          const auto& skip = p.skip_ratio[g];
+          const auto& energy = p.normalized_energy[g];
+          combined.writer().row(
+              {"C", "degrade", "firmness_k", util::format_double(k, 6),
+               sweep.governors[g],
+               miss.count() > 0 ? util::format_double(miss.mean(), 6) : "",
+               skip.count() > 0 ? util::format_double(skip.mean(), 6) : "",
+               energy.count() > 0 ? util::format_double(energy.mean(), 6)
+                                  : "",
+               std::to_string(p.total_skips),
+               std::to_string(p.total_mk_violations),
+               std::to_string(p.total_hard_misses),
+               std::to_string(sweep.failures.size())});
+        }
+      }
+      per_k.push_back(sweep);
+    }
+    std::cout << "== E12c: energy vs firmness (U = 1.15, (1,k)-firm + one "
+                 "hard, demand = WCET) ==\n";
+    util::TextTable table;
+    std::vector<std::string> header{"k"};
+    for (const auto& g : cfg.governors) header.push_back(g + " energy");
+    header.push_back("shed ratio");
+    table.header(std::move(header));
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+      const auto& p = per_k[i].points.front();
+      std::vector<std::string> row{util::format_double(windows[i], 0)};
+      double shed = 0.0;
+      std::size_t shed_n = 0;
+      for (std::size_t g = 0; g < per_k[i].governors.size(); ++g) {
+        if (p.skip_ratio[g].count() > 0) {
+          shed += p.skip_ratio[g].mean();
+          ++shed_n;
+        }
+        // noDVS leads the roster; the configured governors follow it.
+        if (per_k[i].governors[g] == "noDVS") continue;
+        row.push_back(p.normalized_energy[g].count() > 0
+                          ? util::format_double(
+                                p.normalized_energy[g].mean(), 4)
+                          : "");
+      }
+      row.push_back(shed_n > 0 ? util::format_double(shed / shed_n, 4) : "");
+      table.row(std::move(row));
+    }
+    table.render(std::cout);
+  }
+
+  // --- Verdict ------------------------------------------------------------
+  const bool ok = failures == 0 && degrade_mk_violations == 0 &&
+                  degrade_hard_misses == 0 && monitor_overload_misses > 0 &&
+                  degrade_storm_skips > 0;
+  std::cout << "  failed simulations: " << failures
+            << ", degrade-arm (m,k) violations: " << degrade_mk_violations
+            << ", degrade-arm hard misses: " << degrade_hard_misses
+            << ", monitor-arm overload misses: " << monitor_overload_misses
+            << ", storm-arm sheds: " << degrade_storm_skips
+            << (ok ? "  [weakly-hard contract holds]\n" : "  [VIOLATION]\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,196 @@
+#include "degrade/degrade.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dvs::degrade {
+
+const char* mode_name(Mode m) noexcept {
+  return m == Mode::kNormal ? "normal" : "degraded";
+}
+
+void DegradationConfig::validate() const {
+  DVS_EXPECT(backlog_threshold > 0.0,
+             "degradation: backlog_threshold must be positive");
+  DVS_EXPECT(enter_pressure >= 1,
+             "degradation: enter_pressure must be at least 1");
+  DVS_EXPECT(pressure_window > 0.0,
+             "degradation: pressure_window must be positive");
+  DVS_EXPECT(recovery_clean_jobs >= 1,
+             "degradation: recovery_clean_jobs must be at least 1");
+  DVS_EXPECT(recovery_quiet >= 0.0,
+             "degradation: recovery_quiet must be non-negative");
+  DVS_EXPECT(min_degraded_dwell >= 0.0,
+             "degradation: min_degraded_dwell must be non-negative");
+}
+
+DegradationController::DegradationController(const task::TaskSet& ts,
+                                             const DegradationConfig& cfg)
+    : cfg_(cfg) {
+  cfg_.validate();
+  DVS_EXPECT(!ts.empty(), "degradation: empty task set");
+  ts.validate();
+  tasks_.reserve(ts.size());
+  for (const auto& t : ts) {
+    TaskState st;
+    st.m = t.mk_m;
+    st.k = t.mk_k;
+    st.hard = t.is_hard();
+    st.ring.assign(static_cast<std::size_t>(st.k), 0);
+    tasks_.push_back(std::move(st));
+  }
+  pressure_times_.assign(static_cast<std::size_t>(cfg_.enter_pressure), 0.0);
+}
+
+DegradationController::TaskState& DegradationController::state_of(
+    std::int32_t task_id) {
+  DVS_EXPECT(task_id >= 0 &&
+                 static_cast<std::size_t>(task_id) < tasks_.size(),
+             "degradation: unknown task id");
+  return tasks_[static_cast<std::size_t>(task_id)];
+}
+
+void DegradationController::note_outcome(TaskState& st, bool met) {
+  // Slide the k-window: evict the oldest entry once full, admit the new
+  // outcome, then check the freshly completed window position.
+  const auto h = static_cast<std::size_t>(st.head);
+  if (st.filled == st.k) {
+    st.met_in_ring -= st.ring[h];
+  } else {
+    ++st.filled;
+  }
+  st.ring[h] = met ? 1 : 0;
+  st.met_in_ring += st.ring[h];
+  st.head = (st.head + 1) % st.k;
+  if (st.filled == st.k && st.met_in_ring < st.m) ++mk_violations_;
+}
+
+bool DegradationController::skip_legal(const TaskState& st) const {
+  if (st.hard) return false;
+  // The window ending at the candidate skip holds the last k-1 finalized
+  // outcomes plus the skip itself (a non-met).  Legal iff that window
+  // still carries >= m met outcomes; jobs older than the task's history
+  // count as met so cold starts are permissive.
+  std::int32_t met_recent = st.met_in_ring;
+  std::int32_t absent = 0;
+  if (st.filled == st.k) {
+    // Ring is full: the entry at head is the k-th most recent — outside
+    // the k-1 window.
+    met_recent -= st.ring[static_cast<std::size_t>(st.head)];
+  } else {
+    absent = (st.k - 1) - st.filled;
+  }
+  return met_recent + absent >= st.m;
+}
+
+void DegradationController::pressure(Time now) {
+  last_pressure_ = now;
+  clean_streak_ = 0;
+  if (mode_ != Mode::kNormal) return;
+  const auto n = static_cast<std::int32_t>(pressure_times_.size());
+  pressure_times_[static_cast<std::size_t>(pressure_head_)] = now;
+  pressure_head_ = (pressure_head_ + 1) % n;
+  if (pressure_filled_ < n) ++pressure_filled_;
+  if (pressure_filled_ < n) return;
+  // With the ring full, head points at the oldest of the last
+  // enter_pressure events; trip when they all fit the window.
+  const Time oldest = pressure_times_[static_cast<std::size_t>(pressure_head_)];
+  if (now - oldest <= cfg_.pressure_window + kTimeEps) {
+    mode_ = Mode::kDegraded;
+    degraded_since_ = now;
+    ++mode_changes_;
+  }
+}
+
+void DegradationController::maybe_recover(Time now) {
+  if (mode_ != Mode::kDegraded) return;
+  if (clean_streak_ < cfg_.recovery_clean_jobs) return;
+  if (last_pressure_ >= 0.0 && now - last_pressure_ < cfg_.recovery_quiet - kTimeEps) {
+    return;
+  }
+  if (now - degraded_since_ < cfg_.min_degraded_dwell - kTimeEps) return;
+  mode_ = Mode::kNormal;
+  time_degraded_ += now - degraded_since_;
+  ++mode_changes_;
+  clean_streak_ = 0;
+  pressure_filled_ = 0;  // a fresh burst is needed to degrade again
+}
+
+void DegradationController::on_job_outcome(std::int32_t task_id, bool met,
+                                           Time now) {
+  TaskState& st = state_of(task_id);
+  note_outcome(st, met);
+  if (met) {
+    ++clean_streak_;
+    maybe_recover(now);
+  } else {
+    if (st.hard) ++hard_misses_;
+    pressure(now);
+  }
+}
+
+void DegradationController::on_overrun(Time now) { pressure(now); }
+
+void DegradationController::on_backlog(double density, Time now) {
+  if (density > cfg_.backlog_threshold) pressure(now);
+}
+
+bool DegradationController::should_skip(std::int32_t task_id, Work wcet,
+                                        Time abs_deadline, Time /*now*/) {
+  if (!cfg_.skipping || mode_ != Mode::kDegraded) return false;
+  TaskState& st = state_of(task_id);
+  if (!skip_legal(st)) return false;
+  // The skip is a (legal) non-met outcome, final immediately; its demand
+  // stays visible to the pressure probe until the deadline passes.
+  note_outcome(st, /*met=*/false);
+  st.shadow_deadline = abs_deadline;
+  st.shadow_wcet = wcet;
+  ++jobs_skipped_;
+  return true;
+}
+
+double DegradationController::shadow_density(Time now) const {
+  double d = 0.0;
+  for (const auto& st : tasks_) {
+    if (st.shadow_deadline > now + kTimeEps) {
+      d += st.shadow_wcet / (st.shadow_deadline - now);
+    }
+  }
+  return d;
+}
+
+void DegradationController::finish(Time end) {
+  if (mode_ == Mode::kDegraded) {
+    time_degraded_ += std::max(0.0, end - degraded_since_);
+    degraded_since_ = end;  // idempotent under repeated finish()
+  }
+}
+
+task::TaskSet with_firmness(const task::TaskSet& ts, std::int32_t m,
+                            std::int32_t k) {
+  task::TaskSet out(ts.name());
+  for (auto t : ts) {
+    t.mk_m = m;
+    t.mk_k = k;
+    out.add(std::move(t));
+  }
+  return out;
+}
+
+task::TaskSet with_task_firmness(const task::TaskSet& ts, std::size_t index,
+                                 std::int32_t m, std::int32_t k) {
+  DVS_EXPECT(index < ts.size(), "with_task_firmness: index out of range");
+  task::TaskSet out(ts.name());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    auto t = ts[i];
+    if (i == index) {
+      t.mk_m = m;
+      t.mk_k = k;
+    }
+    out.add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace dvs::degrade

@@ -1,0 +1,200 @@
+// Graceful degradation: (m,k)-firm skip-aware overload management.
+//
+// The DATE 2002 slack-stealing argument assumes every released job runs to
+// completion; sustained overload (WCET overrun storms, U > 1 task sets)
+// breaks that assumption and the only containment answers so far — clamp
+// or escalate-to-max — burn energy and still cannot save an infeasible
+// set.  This layer adds the weakly-hard alternative (Hamdaoui &
+// Ramanathan's (m,k)-firm model; Koren & Shasha's skippable periodic
+// tasks): tasks may declare that only m of any k consecutive jobs must
+// meet their deadlines, and a DegradationController sheds the permitted
+// jobs — and only those — while the system is under observed pressure.
+//
+// Mode machine (DESIGN.md §11):
+//
+//   Normal --[>= enter_pressure events within pressure_window]--> Degraded
+//   Degraded --[clean streak + quiet time + minimum dwell]-------> Normal
+//
+// Pressure events are observability-honest: a finalized deadline miss, a
+// WCET overrun observed at job completion, or an offered-demand density
+// above backlog_threshold at a release instant.  The controller never
+// sees a job's actual demand before it completes (the same information
+// contract governors live under).
+//
+// Skip-by-construction: a job is skipped only when its task's sliding
+// (m,k) window proves the skip legal — at least m of the k-job window
+// ending at the skipped job are already met (absent history counts as
+// met, so cold-start windows are permissive).  Hard tasks (m == k) and
+// exhausted windows are never skipped, so the controller cannot cause an
+// (m,k) violation; violations it reports were caused by genuine misses.
+//
+// Skipped jobs never enter the ready queue, so every slack kernel
+// (lpSEH/DRA/lppsEDF/...) sees the reclaimed demand removed from its
+// demand bound automatically — no governor changes, no new information
+// channel.  While a skipped job's deadline has not yet passed, the
+// controller charges its WCET density to a *shadow* term included in the
+// release-time pressure probe: sustained overload keeps generating
+// pressure even while skips mask the symptom, which is what prevents
+// premature recovery and mode flapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "task/task_set.hpp"
+#include "util/time.hpp"
+
+namespace dvs::degrade {
+
+enum class Mode : std::uint8_t { kNormal, kDegraded };
+
+[[nodiscard]] const char* mode_name(Mode m) noexcept;
+
+/// Tuning knobs of the degradation controller.  The defaults are sized
+/// for the repo's canonical 10–160 ms period range; all thresholds are
+/// validated at controller construction.
+struct DegradationConfig {
+  /// When false the controller runs in monitor-only mode: it observes
+  /// pressure, tracks (m,k) windows and counts violations, but never
+  /// skips a job — the simulation is provably unperturbed.  This is the
+  /// honest "degradation off" arm for A/B comparisons.
+  bool skipping = true;
+
+  /// Offered-demand density (ready backlog + shadow skipped demand + the
+  /// releasing job, each as remaining-WCET / time-to-deadline) above
+  /// which a release instant counts as a pressure event.  1.0 is the
+  /// uniprocessor capacity line.
+  double backlog_threshold = 1.0;
+
+  /// Number of pressure events within pressure_window needed to enter
+  /// Degraded mode.  1 reacts on the first sign of trouble.
+  std::int32_t enter_pressure = 2;
+
+  /// Sliding window (seconds) over which pressure events accumulate.
+  Time pressure_window = 0.25;
+
+  /// Hysteresis: consecutive finalized deadline-met outcomes required
+  /// before recovery is considered.
+  std::int32_t recovery_clean_jobs = 8;
+
+  /// Hysteresis: no pressure event for this long before recovery.
+  Time recovery_quiet = 0.2;
+
+  /// Hysteresis: minimum stay in Degraded mode.
+  Time min_degraded_dwell = 0.05;
+
+  /// Throws ContractError naming the offending field.
+  void validate() const;
+};
+
+/// The Normal/Degraded mode machine plus per-task (m,k) window
+/// bookkeeping.  Driven entirely by the simulation engine; every input is
+/// a deterministic function of the simulated run, so a controller-bearing
+/// simulation is as reproducible as a plain one.  All storage is
+/// allocated at construction — the per-event paths never allocate.
+class DegradationController {
+ public:
+  DegradationController(const task::TaskSet& ts, const DegradationConfig& cfg);
+
+  // --- engine-driven signals (chronological order per task id) ---------
+
+  /// Finalized outcome of a released (non-skipped) job: `met` is true iff
+  /// the job completed by its deadline.  Called at the next release of
+  /// the same task (the outcome is final there because D <= T) or at the
+  /// end-of-run flush.  A miss is a pressure event; a met outcome feeds
+  /// the recovery streak.
+  void on_job_outcome(std::int32_t task_id, bool met, Time now);
+
+  /// A WCET overrun observed at job completion (pressure event).
+  void on_overrun(Time now);
+
+  /// Offered-demand density probe at a release instant; above
+  /// backlog_threshold it is a pressure event.
+  void on_backlog(double density, Time now);
+
+  /// Decide whether the job about to be released may be shed.  True only
+  /// in Degraded mode with skipping enabled and a window-proven-legal
+  /// skip; the skip is then recorded (window entry + shadow demand) and
+  /// the caller must not enqueue the job.
+  [[nodiscard]] bool should_skip(std::int32_t task_id, Work wcet,
+                                 Time abs_deadline, Time now);
+
+  /// Shadow demand density: sum of wcet / (deadline - now) over skipped
+  /// jobs whose deadline has not yet passed (at most one per task since
+  /// D <= T).  Include this in the release-time density probe.
+  [[nodiscard]] double shadow_density(Time now) const;
+
+  /// Close the books at the end of the run (accrues the tail of an open
+  /// Degraded interval into time_degraded()).
+  void finish(Time end);
+
+  // --- observers --------------------------------------------------------
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] std::int64_t jobs_skipped() const noexcept {
+    return jobs_skipped_;
+  }
+  [[nodiscard]] std::int64_t mode_changes() const noexcept {
+    return mode_changes_;
+  }
+  [[nodiscard]] Time time_degraded() const noexcept { return time_degraded_; }
+  /// Full (m,k) windows with fewer than m met outcomes, counted per
+  /// sliding window position.  Zero whenever skips are the only non-met
+  /// outcomes (the skip-legality invariant).
+  [[nodiscard]] std::int64_t mk_violations() const noexcept {
+    return mk_violations_;
+  }
+  /// Finalized deadline misses of hard (m == k) tasks.
+  [[nodiscard]] std::int64_t hard_misses() const noexcept {
+    return hard_misses_;
+  }
+
+ private:
+  struct TaskState {
+    std::int32_t m = 1;
+    std::int32_t k = 1;
+    bool hard = true;
+    // Ring of the task's last k finalized outcomes (1 = met).
+    std::vector<std::uint8_t> ring;
+    std::int32_t head = 0;      ///< next write position == oldest when full
+    std::int32_t filled = 0;    ///< entries recorded, saturates at k
+    std::int32_t met_in_ring = 0;
+    // Shadow demand of the task's most recent skipped job.
+    Time shadow_deadline = -1.0;
+    Work shadow_wcet = 0.0;
+  };
+
+  void note_outcome(TaskState& st, bool met);
+  [[nodiscard]] bool skip_legal(const TaskState& st) const;
+  void pressure(Time now);
+  void maybe_recover(Time now);
+  [[nodiscard]] TaskState& state_of(std::int32_t task_id);
+
+  DegradationConfig cfg_;
+  std::vector<TaskState> tasks_;
+  Mode mode_ = Mode::kNormal;
+  Time degraded_since_ = 0.0;
+  Time last_pressure_ = -1.0;
+  std::int32_t clean_streak_ = 0;
+  // Ring of the timestamps of the last enter_pressure pressure events.
+  std::vector<Time> pressure_times_;
+  std::int32_t pressure_head_ = 0;
+  std::int32_t pressure_filled_ = 0;
+
+  std::int64_t jobs_skipped_ = 0;
+  std::int64_t mode_changes_ = 0;
+  Time time_degraded_ = 0.0;
+  std::int64_t mk_violations_ = 0;
+  std::int64_t hard_misses_ = 0;
+};
+
+/// Copy of `ts` with every task's firmness set to (m, k).
+[[nodiscard]] task::TaskSet with_firmness(const task::TaskSet& ts,
+                                          std::int32_t m, std::int32_t k);
+
+/// Copy of `ts` with task `index`'s firmness set to (m, k).
+[[nodiscard]] task::TaskSet with_task_firmness(const task::TaskSet& ts,
+                                               std::size_t index,
+                                               std::int32_t m, std::int32_t k);
+
+}  // namespace dvs::degrade

@@ -20,7 +20,18 @@ sim::SimOptions sim_options(const ExperimentConfig& cfg) {
   opts.length = cfg.sim_length;
   opts.record_jobs = cfg.record_jobs;
   opts.containment = cfg.containment;
+  if (cfg.degradation.has_value()) opts.degradation = &*cfg.degradation;
   return opts;
+}
+
+/// The clairvoyant oracle plans a full schedule of every released job up
+/// front; a controller shedding jobs underneath it would invalidate both
+/// the primed schedule and the bound denominators, so the combination is
+/// rejected loudly instead of reporting meaningless gaps.
+void reject_oracle_degradation(const ExperimentConfig& cfg) {
+  DVS_EXPECT(!(cfg.oracle && cfg.degradation.has_value()),
+             "oracle mode is incompatible with degradation: the clairvoyant "
+             "bounds assume every released job executes");
 }
 
 /// The governor roster of a run: the noDVS reference first, then the
@@ -237,6 +248,7 @@ const GovernorOutcome& CaseOutcome::by_name(const std::string& name) const {
 
 CaseOutcome run_case(const Case& c, const ExperimentConfig& cfg) {
   DVS_EXPECT(c.workload != nullptr, "case has no workload model");
+  reject_oracle_degradation(cfg);
   const std::vector<std::string> roster = governor_roster(cfg);
 
   CaseOutcome out;
@@ -279,11 +291,13 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
                        const CaseBuilder& builder) {
   DVS_EXPECT(!xs.empty(), "sweep needs at least one point");
   DVS_EXPECT(cfg.replications >= 1, "sweep needs at least one replication");
+  reject_oracle_degradation(cfg);
   const auto started = std::chrono::steady_clock::now();
 
   SweepOutcome sweep;
   sweep.x_label = x_label;
   sweep.oracle = cfg.oracle;
+  sweep.degradation = cfg.degradation.has_value();
   sweep.governors = governor_roster(cfg);
   const std::size_t n_govs = sweep.governors.size();
   sweep.slack_accuracy.assign(n_govs, {});
@@ -399,6 +413,7 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
     point.miss_ratio.assign(n_govs, {});
     point.gap_continuous.assign(n_govs, {});
     point.gap_discrete.assign(n_govs, {});
+    point.skip_ratio.assign(n_govs, {});
 
     for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
       const std::size_t ci = xi * cfg.replications + rep;
@@ -431,6 +446,16 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
         if (outcome.bounds.valid()) {
           point.gap_continuous[g].add(o.gap_continuous);
           point.gap_discrete[g].add(o.gap_discrete);
+        }
+        if (sweep.degradation) {
+          point.skip_ratio[g].add(
+              o.result.jobs_released > 0
+                  ? static_cast<double>(o.result.jobs_skipped) /
+                        static_cast<double>(o.result.jobs_released)
+                  : 0.0);
+          point.total_skips += o.result.jobs_skipped;
+          point.total_mk_violations += o.result.mk_violations;
+          point.total_hard_misses += o.result.hard_misses;
         }
         point.total_misses += o.result.deadline_misses;
       }

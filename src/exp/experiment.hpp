@@ -19,10 +19,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cpu/processors.hpp"
+#include "degrade/degrade.hpp"
 #include "mp/mp_sim.hpp"
 #include "obs/audit.hpp"
 #include "opt/yds.hpp"
@@ -109,6 +111,15 @@ struct ExperimentConfig {
   /// computation is O(jobs^2) per peel and default sweeps compare online
   /// policies only, so existing outputs stay byte-identical.
   bool oracle = false;
+
+  /// Graceful degradation (src/degrade/, DESIGN.md §11).  When set, every
+  /// simulation attaches a degrade::DegradationController with this
+  /// configuration; skip/mode/violation counters flow into PointResult
+  /// and the degradation-gated report/CSV columns.  Incompatible with
+  /// `oracle` (the clairvoyant bounds assume every released job executes)
+  /// — the combination throws.  Unset (the default) keeps every output
+  /// byte-identical to pre-degradation builds.
+  std::optional<degrade::DegradationConfig> degradation;
 };
 
 /// Result of one governor on one case.
@@ -158,7 +169,15 @@ struct PointResult {
   /// empty stats unless ExperimentConfig::oracle was set.
   std::vector<util::RunningStats> gap_continuous;
   std::vector<util::RunningStats> gap_discrete;
+  /// Per-governor shed ratio (jobs_skipped / jobs_released) across cases;
+  /// empty stats unless ExperimentConfig::degradation was set.
+  std::vector<util::RunningStats> skip_ratio;
   std::int64_t total_misses = 0;  ///< across every governor and case
+  // Degradation aggregates across every governor and case (all zero
+  // unless ExperimentConfig::degradation was set).
+  std::int64_t total_skips = 0;
+  std::int64_t total_mk_violations = 0;
+  std::int64_t total_hard_misses = 0;
   /// Per-case outcomes, only when ExperimentConfig::keep_case_outcomes.
   std::vector<CaseOutcome> cases;
 };
@@ -186,6 +205,10 @@ struct SweepOutcome {
   /// Gates the extra report tables and CSV columns, keeping non-oracle
   /// output byte-identical to pre-oracle builds.
   bool oracle = false;
+  /// True when the sweep ran with ExperimentConfig::degradation: gates
+  /// the degradation report/CSV columns the same way `oracle` gates the
+  /// gap columns.
+  bool degradation = false;
   /// Failed simulations, in (point, replication, governor) order; empty on
   /// clean runs.  See ExperimentConfig::fail_fast for the throwing mode.
   std::vector<SimFailure> failures;

@@ -95,6 +95,24 @@ void print_sweep(std::ostream& out, const SweepOutcome& sweep,
     out << "  optimality gap vs the level-restricted (discrete) oracle:\n";
     print_point_table(out, sweep, &PointResult::gap_discrete);
   }
+  if (sweep.degradation) {
+    std::int64_t skips = 0;
+    std::int64_t violations = 0;
+    std::int64_t hard = 0;
+    for (const auto& p : sweep.points) {
+      skips += p.total_skips;
+      violations += p.total_mk_violations;
+      hard += p.total_hard_misses;
+    }
+    out << "  degradation: " << skips << " jobs shed | (m,k) violations "
+        << violations
+        << (violations == 0 ? "  [weakly-hard contract holds]"
+                            : "  [VIOLATION]")
+        << " | hard-task misses " << hard
+        << (hard == 0 ? "  [hard tasks protected]" : "  [VIOLATION]") << "\n";
+    out << "  shed ratio per governor (skipped / released):\n";
+    print_point_table(out, sweep, &PointResult::skip_ratio);
+  }
   if (sweep_was_audited(sweep)) {
     out << "  slack-estimate audit (error = realized - estimated, seconds):\n";
     util::TextTable audit;
@@ -183,6 +201,14 @@ void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
     for (const auto& g : sweep.governors) header.push_back(g + "_gapc_max");
     for (const auto& g : sweep.governors) header.push_back(g + "_gapd_mean");
   }
+  // Degradation columns follow the same append-only contract as the gap
+  // columns (non-degradation CSVs stay byte-identical).
+  if (sweep.degradation) {
+    for (const auto& g : sweep.governors) header.push_back(g + "_skip_mean");
+    header.push_back("total_skips");
+    header.push_back("mk_violations");
+    header.push_back("hard_misses");
+  }
   csv.row(header);
   for (const auto& p : sweep.points) {
     std::vector<double> row{p.x};
@@ -194,6 +220,12 @@ void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
       for (const auto& s : p.gap_continuous) row.push_back(min_or_zero(s));
       for (const auto& s : p.gap_continuous) row.push_back(max_or_zero(s));
       for (const auto& s : p.gap_discrete) row.push_back(mean_or_zero(s));
+    }
+    if (sweep.degradation) {
+      for (const auto& s : p.skip_ratio) row.push_back(mean_or_zero(s));
+      row.push_back(static_cast<double>(p.total_skips));
+      row.push_back(static_cast<double>(p.total_mk_violations));
+      row.push_back(static_cast<double>(p.total_hard_misses));
     }
     csv.row_numeric(row, 6);
   }

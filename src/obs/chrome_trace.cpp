@@ -116,6 +116,27 @@ void write_miss_instants(EventWriter& w, int pid,
   }
 }
 
+/// Degradation markers: skipped jobs on their task row, Normal/Degraded
+/// transitions on the cpu row (process-scoped so they stand out).
+void write_degradation_instants(EventWriter& w, const task::TaskSet& ts,
+                                int pid, const sim::VectorTrace& trace) {
+  const std::string cpu_tid = std::to_string(ts.size());
+  for (const auto& e : trace.events()) {
+    if (e.kind == sim::TraceEvent::Kind::kSkip) {
+      w.event("\"ph\":\"i\",\"s\":\"t\",\"name\":\"skip\",\"pid\":" +
+              std::to_string(pid) + ",\"tid\":" + std::to_string(e.task_id) +
+              ",\"ts\":" + us(e.at) + ",\"args\":{\"job\":" +
+              std::to_string(e.job_index) + "}");
+    } else if (e.kind == sim::TraceEvent::Kind::kModeChange) {
+      const char* mode = e.job_index == 1 ? "degraded" : "normal";
+      w.event("\"ph\":\"i\",\"s\":\"p\",\"name\":\"mode: " +
+              std::string(mode) + "\",\"pid\":" + std::to_string(pid) +
+              ",\"tid\":" + cpu_tid + ",\"ts\":" + us(e.at) +
+              ",\"args\":{\"mode\":\"" + mode + "\"}");
+    }
+  }
+}
+
 }  // namespace
 
 std::string json_escape(const std::string& s) {
@@ -176,6 +197,8 @@ void write_chrome_trace(std::ostream& out, const std::string& set_name,
     write_segments(w, *processes[i].task_set, pid, *processes[i].trace);
     write_speed_counter(w, pid, *processes[i].trace, sim_length);
     write_miss_instants(w, pid, *processes[i].trace);
+    write_degradation_instants(w, *processes[i].task_set, pid,
+                               *processes[i].trace);
   }
   out << "\n],\n";
   out << "\"displayTimeUnit\": \"ms\",\n";

@@ -20,6 +20,8 @@ struct Job {
   bool missed = false;
   bool overrun = false;         ///< drawn demand exceeded the WCET budget
   bool escalated = false;       ///< overrun containment forced max speed
+  bool skipped = false;         ///< shed by the degradation controller
+                                ///< (never enqueued; actual stays 0)
 
   /// Remaining worst-case budget — the only remaining-work figure a
   /// governor is allowed to use.

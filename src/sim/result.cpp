@@ -20,6 +20,13 @@ std::string SimResult::summary() const {
          std::to_string(overruns_contained) + "), hw faults " +
          std::to_string(processor_faults);
   }
+  if (degradation) {
+    s += ", degrade: " + std::to_string(jobs_skipped) + " skipped, " +
+         std::to_string(mode_changes) + " mode changes, " +
+         util::format_double(time_degraded, 3) + " s degraded, " +
+         std::to_string(mk_violations) + " (m,k) violations, " +
+         std::to_string(hard_misses) + " hard misses";
+  }
   return s;
 }
 

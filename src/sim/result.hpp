@@ -20,6 +20,7 @@ struct JobRecord {
   Work wcet = 0.0;
   Work actual = 0.0;
   bool missed = false;
+  bool skipped = false;  ///< shed by the degradation controller
 };
 
 struct SimResult {
@@ -65,6 +66,24 @@ struct SimResult {
   /// Injected hardware faults observed: stuck-frequency events plus
   /// extra transition stalls (see cpu::ProcessorFaultModel).
   std::int64_t processor_faults = 0;
+
+  // Graceful-degradation accounting (all zero — and `degradation` false —
+  // unless SimOptions::degradation attached a controller; a disabled run
+  // is bit-identical to the pre-degradation simulator).
+  /// A DegradationController was attached to the run.
+  bool degradation = false;
+  /// Jobs shed by the controller (counted in jobs_released, never
+  /// executed, never misses).
+  std::int64_t jobs_skipped = 0;
+  /// Normal <-> Degraded transitions.
+  std::int64_t mode_changes = 0;
+  /// Simulated seconds spent in Degraded mode.
+  Time time_degraded = 0.0;
+  /// (m,k) windows with fewer than m met outcomes — zero whenever skips
+  /// are the only non-met outcomes (the skip-legality invariant).
+  std::int64_t mk_violations = 0;
+  /// Finalized deadline misses of hard (m == k) tasks.
+  std::int64_t hard_misses = 0;
 
   /// Work-weighted average executed speed in (0, 1].
   double average_speed = 1.0;

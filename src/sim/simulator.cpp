@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "cpu/energy_meter.hpp"
+#include "degrade/degrade.hpp"
 #include "sched/edf_queue.hpp"
 #include "sched/fixed_priority.hpp"
 #include "util/error.hpp"
@@ -67,6 +69,16 @@ class SimEngine final : public SimContext {
       depth_gauge_ = &m.gauge("ready_queue_depth_last");
       dispatch_counter_ = &m.counter("dispatches");
     }
+    if (opts_.degradation != nullptr) {
+      degrade_.emplace(ts_, *opts_.degradation);
+      last_unfinalized_.assign(ts_.size(), kNoSlot);
+      if (opts_.metrics != nullptr) {
+        // Degradation instruments exist only on controller-bearing runs,
+        // so plain runs' metrics dumps stay byte-identical.
+        skip_counter_ = &opts_.metrics->counter("jobs_skipped");
+        mode_counter_ = &opts_.metrics->counter("degradation_mode_changes");
+      }
+    }
   }
 
   SimResult run() {
@@ -126,6 +138,51 @@ class SimEngine final : public SimContext {
   }
 
  private:
+  // --- degradation hooks (no-ops unless a controller is attached) -------
+
+  /// Run a controller call and surface any Normal/Degraded transition it
+  /// causes as a trace instant + metrics tick.
+  template <typename Fn>
+  void watch_mode(Time at, const Fn& fn) {
+    const degrade::Mode before = degrade_->mode();
+    fn();
+    const degrade::Mode after = degrade_->mode();
+    if (after == before) return;
+    if (opts_.trace != nullptr) {
+      opts_.trace->event(
+          {TraceEvent::Kind::kModeChange, at, -1,
+           after == degrade::Mode::kDegraded ? std::int64_t{1}
+                                             : std::int64_t{0}});
+    }
+    if (mode_counter_ != nullptr) mode_counter_->inc();
+  }
+
+  /// Finalize the outcome of task i's previous released job, if any.
+  /// Called at the task's next release (where the previous deadline has
+  /// certainly passed, because D <= T) and from the end-of-run flush.
+  void finalize_outcome(std::size_t i, Time now) {
+    const std::size_t slot = last_unfinalized_[i];
+    if (slot == kNoSlot) return;
+    const Job& prev = jobs_[slot];
+    const bool met = prev.finished() && !prev.missed;
+    watch_mode(now, [&] { degrade_->on_job_outcome(prev.task_id, met, now); });
+    last_unfinalized_[i] = kNoSlot;
+  }
+
+  /// Offered-demand density at a release instant: ready backlog plus the
+  /// controller's shadow (skipped-but-unexpired) demand plus the job
+  /// being released, each as remaining-WCET over time-to-deadline.  Uses
+  /// only worst-case budgets — the same information governors see.
+  [[nodiscard]] double offered_density(Time now, Work new_wcet,
+                                       Time new_deadline) const {
+    double d = new_wcet / std::max(new_deadline - now, kTimeEps);
+    for (const auto& e : ready_.raw()) {
+      const Job& j = jobs_[e.slot];
+      d += j.remaining_wcet() / std::max(j.abs_deadline - now, kTimeEps);
+    }
+    return d + degrade_->shadow_density(now);
+  }
+
   /// Release every job whose release time has been reached (and lies
   /// within the simulated window).
   void release_due_jobs() {
@@ -139,6 +196,31 @@ class SimEngine final : public SimContext {
         job.release = next_release_[i];
         job.abs_deadline = job.release + task.deadline;
         job.wcet = task.wcet;
+        if (degrade_.has_value()) {
+          // Order matters: settle the previous job's outcome, probe the
+          // offered load (a pressure source), then decide the skip —
+          // all before the demand draw, so the decision is structurally
+          // non-clairvoyant.
+          finalize_outcome(i, job.release);
+          const double density =
+              offered_density(job.release, job.wcet, job.abs_deadline);
+          watch_mode(job.release,
+                     [&] { degrade_->on_backlog(density, job.release); });
+          if (degrade_->should_skip(task.id, task.wcet, job.abs_deadline,
+                                    job.release)) {
+            job.skipped = true;
+            jobs_.push_back(job);
+            ++released_;
+            ++next_index_[i];
+            next_release_[i] += task.period;
+            if (opts_.trace != nullptr) {
+              opts_.trace->event({TraceEvent::Kind::kSkip, job.release,
+                                  job.task_id, job.index});
+            }
+            if (skip_counter_ != nullptr) skip_counter_->inc();
+            continue;  // never enqueued: governors see no trace of it
+          }
+        }
         job.actual = workload_.draw(task, job.index);
         DVS_ENSURE(std::isfinite(job.actual) && job.actual > 0.0,
                    "workload model returned non-positive or non-finite work");
@@ -156,6 +238,7 @@ class SimEngine final : public SimContext {
         }
         const std::size_t slot = jobs_.size();
         jobs_.push_back(job);
+        if (degrade_.has_value()) last_unfinalized_[i] = slot;
         // The queue key encodes dispatch priority: the absolute deadline
         // under EDF, the static rank under fixed priorities.
         const Time key =
@@ -384,6 +467,11 @@ class SimEngine final : public SimContext {
       opts_.trace->event(
           {TraceEvent::Kind::kCompletion, t_, job.task_id, job.index});
     }
+    if (degrade_.has_value() && job.overrun) {
+      // The overrun becomes observable when the job retires past its
+      // budget — a pressure event for the mode machine.
+      watch_mode(t_, [&] { degrade_->on_overrun(t_); });
+    }
     governor_.on_completion(job, *this);
   }
 
@@ -399,6 +487,20 @@ class SimEngine final : public SimContext {
       } else {
         ++truncated;
       }
+    }
+
+    if (degrade_.has_value()) {
+      // Flush the windows: outcomes whose deadline fell inside the
+      // horizon are final now; truncated jobs stay out of the books.
+      for (std::size_t i = 0; i < ts_.size(); ++i) {
+        const std::size_t slot = last_unfinalized_[i];
+        if (slot != kNoSlot && !time_leq(jobs_[slot].abs_deadline, length_)) {
+          last_unfinalized_[i] = kNoSlot;  // truncated: no outcome
+          continue;
+        }
+        finalize_outcome(i, length_);
+      }
+      degrade_->finish(length_);
     }
 
     SimResult r;
@@ -425,11 +527,23 @@ class SimEngine final : public SimContext {
         meter_.busy_time() > 0.0 ? retired_work_ / meter_.busy_time() : 1.0;
     r.per_task_energy = meter_.per_task_energy();
     r.worst_response = worst_response_;
+    if (degrade_.has_value()) {
+      r.degradation = true;
+      r.jobs_skipped = degrade_->jobs_skipped();
+      r.mode_changes = degrade_->mode_changes();
+      r.time_degraded = degrade_->time_degraded();
+      r.mk_violations = degrade_->mk_violations();
+      r.hard_misses = degrade_->hard_misses();
+      if (opts_.metrics != nullptr) {
+        opts_.metrics->counter("mk_violations").inc(r.mk_violations);
+      }
+    }
     if (opts_.record_jobs) {
       r.jobs.reserve(jobs_.size());
       for (const auto& j : jobs_) {
         r.jobs.push_back({j.task_id, j.index, j.release, j.abs_deadline,
-                          j.completion, j.wcet, j.actual, j.missed});
+                          j.completion, j.wcet, j.actual, j.missed,
+                          j.skipped});
       }
     }
     if (opts_.metrics != nullptr) {
@@ -491,6 +605,17 @@ class SimEngine final : public SimContext {
   obs::Histogram* depth_hist_ = nullptr;
   obs::Gauge* depth_gauge_ = nullptr;
   obs::Counter* dispatch_counter_ = nullptr;
+
+  // Graceful degradation (absent unless SimOptions::degradation is set;
+  // every hook above is gated on has_value, so a plain run executes no
+  // controller code at all).
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  std::optional<degrade::DegradationController> degrade_;
+  /// Per task: slab slot of the last released job whose outcome has not
+  /// been folded into its (m,k) window yet.
+  std::vector<std::size_t> last_unfinalized_;
+  obs::Counter* skip_counter_ = nullptr;
+  obs::Counter* mode_counter_ = nullptr;
 };
 
 }  // namespace

@@ -16,6 +16,7 @@
 #pragma once
 
 #include "cpu/processors.hpp"
+#include "degrade/degrade.hpp"
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
 #include "sim/governor.hpp"
@@ -76,6 +77,15 @@ struct SimOptions {
   /// (time, job, slack estimate, requested/chosen alpha), realized slack
   /// backfilled at job completion.  Observational, like `metrics`.
   obs::DecisionAudit* audit = nullptr;
+
+  /// Optional graceful-degradation controller configuration (DESIGN.md
+  /// §11).  When attached, the engine runs a degrade::DegradationController
+  /// that may shed (m,k)-window-legal jobs of weakly-hard tasks under
+  /// observed overload; skip/mode counters land in SimResult.  When null
+  /// (the default) no controller code runs and the simulation is
+  /// bit-identical to the pre-degradation engine.  The config must
+  /// outlive the run.
+  const degrade::DegradationConfig* degradation = nullptr;
 };
 
 /// Run one simulation.  Throws ContractError for invalid inputs (empty or

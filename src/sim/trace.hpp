@@ -27,7 +27,16 @@ struct TraceSegment {
 };
 
 struct TraceEvent {
-  enum class Kind : std::uint8_t { kRelease, kCompletion, kMiss };
+  /// kSkip marks a job shed by the degradation controller; kModeChange
+  /// marks a Normal/Degraded transition (task_id -1, job_index carries
+  /// the new mode: 0 = Normal, 1 = Degraded).
+  enum class Kind : std::uint8_t {
+    kRelease,
+    kCompletion,
+    kMiss,
+    kSkip,
+    kModeChange
+  };
   Kind kind = Kind::kRelease;
   Time at = 0.0;
   std::int32_t task_id = 0;

@@ -48,6 +48,17 @@ double parse_time(const std::string& field, double fallback,
   return v;
 }
 
+std::int32_t parse_mk(const std::string& field, std::int32_t fallback,
+                      std::size_t line_no, const char* what) {
+  if (field.empty()) return fallback;
+  const double v = parse_time(field, static_cast<double>(fallback), line_no,
+                              what);
+  DVS_EXPECT(v == std::floor(v) && v >= 1.0 && v <= 1e9,
+             "task CSV line " + std::to_string(line_no) + ": " + what +
+                 " must be a positive integer, got '" + field + "'");
+  return static_cast<std::int32_t>(v);
+}
+
 }  // namespace
 
 TaskSet load_task_set_csv(std::istream& in, const std::string& name) {
@@ -69,9 +80,11 @@ TaskSet load_task_set_csv(std::istream& in, const std::string& name) {
       continue;
     }
     const auto fields = split_csv_row(line);
-    DVS_EXPECT(fields.size() == 6, "task CSV line " + std::to_string(line_no) +
-                                       ": expected 6 fields, got " +
-                                       std::to_string(fields.size()));
+    // 6 classic columns, or 8 with the optional (m,k)-firmness pair.
+    DVS_EXPECT(fields.size() == 6 || fields.size() == 8,
+               "task CSV line " + std::to_string(line_no) +
+                   ": expected 6 or 8 fields, got " +
+                   std::to_string(fields.size()));
     Task t;
     t.name = fields[0];
     DVS_EXPECT(!t.name.empty(), "task CSV line " + std::to_string(line_no) +
@@ -84,6 +97,10 @@ TaskSet load_task_set_csv(std::istream& in, const std::string& name) {
     t.wcet = parse_time(fields[3], -1.0, line_no, "wcet");
     t.bcet = parse_time(fields[4], t.wcet, line_no, "bcet");
     t.phase = parse_time(fields[5], 0.0, line_no, "phase");
+    if (fields.size() == 8) {
+      t.mk_m = parse_mk(fields[6], 1, line_no, "mk_m");
+      t.mk_k = parse_mk(fields[7], t.mk_m, line_no, "mk_k");
+    }
     try {
       ts.add(std::move(t));
     } catch (const util::ContractError& e) {
@@ -106,13 +123,21 @@ TaskSet load_task_set_csv_file(const std::string& path) {
 }
 
 void save_task_set_csv(const TaskSet& ts, std::ostream& out) {
-  out << "name,period,deadline,wcet,bcet,phase\n";
+  // Emit the (m,k) columns only when some task is weakly-hard, so files
+  // produced from plain hard sets stay byte-identical to earlier releases.
+  bool any_firm = false;
+  for (const auto& t : ts) any_firm |= !t.is_hard();
+  out << "name,period,deadline,wcet,bcet,phase";
+  if (any_firm) out << ",mk_m,mk_k";
+  out << '\n';
   for (const auto& t : ts) {
     out << t.name << ',' << util::format_double(t.period, 9) << ','
         << util::format_double(t.deadline, 9) << ','
         << util::format_double(t.wcet, 9) << ','
         << util::format_double(t.bcet, 9) << ','
-        << util::format_double(t.phase, 9) << '\n';
+        << util::format_double(t.phase, 9);
+    if (any_firm) out << ',' << t.mk_m << ',' << t.mk_k;
+    out << '\n';
   }
 }
 

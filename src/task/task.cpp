@@ -26,6 +26,9 @@ void Task::validate() const {
   DVS_EXPECT(bcet > 0.0 && time_leq(bcet, wcet),
              "task '" + name + "': BCET must be in (0, WCET]");
   DVS_EXPECT(phase >= 0.0, "task '" + name + "': phase must be non-negative");
+  DVS_EXPECT(mk_m >= 1, "task '" + name + "': (m,k) firmness needs m >= 1");
+  DVS_EXPECT(mk_m <= mk_k,
+             "task '" + name + "': (m,k) firmness needs m <= k");
 }
 
 Task make_task(std::int32_t id, std::string name, Time period, Work wcet,

@@ -21,6 +21,17 @@ struct Task {
   Work bcet = 0.0;         ///< best-case execution time; 0 < bcet <= wcet
   Time phase = 0.0;        ///< release offset of the first job; >= 0
 
+  /// Weakly-hard (m, k)-firm constraint (Hamdaoui & Ramanathan; skippable
+  /// periodic tasks per Koren & Shasha): at least `mk_m` of any `mk_k`
+  /// consecutive jobs must meet their deadlines.  `m == k` is the hard
+  /// real-time case and the default — plain task sets stay hard unless a
+  /// firmness is assigned explicitly.  1 <= mk_m <= mk_k.
+  std::int32_t mk_m = 1;   ///< required deadline-met jobs per window
+  std::int32_t mk_k = 1;   ///< window length, in consecutive jobs
+
+  /// True when every job of this task must meet its deadline (m == k).
+  [[nodiscard]] bool is_hard() const noexcept { return mk_m == mk_k; }
+
   /// WCET utilization wcet / period.
   [[nodiscard]] double utilization() const noexcept { return wcet / period; }
 

@@ -34,6 +34,12 @@ inline void expect_same_result(const sim::SimResult& a,
   EXPECT_EQ(a.average_speed, b.average_speed);
   EXPECT_EQ(a.per_task_energy, b.per_task_energy);
   EXPECT_EQ(a.worst_response, b.worst_response);
+  EXPECT_EQ(a.degradation, b.degradation);
+  EXPECT_EQ(a.jobs_skipped, b.jobs_skipped);
+  EXPECT_EQ(a.mode_changes, b.mode_changes);
+  EXPECT_EQ(a.time_degraded, b.time_degraded);
+  EXPECT_EQ(a.mk_violations, b.mk_violations);
+  EXPECT_EQ(a.hard_misses, b.hard_misses);
   ASSERT_EQ(a.jobs.size(), b.jobs.size());
   for (std::size_t j = 0; j < a.jobs.size(); ++j) {
     EXPECT_EQ(a.jobs[j].task_id, b.jobs[j].task_id);
@@ -44,6 +50,7 @@ inline void expect_same_result(const sim::SimResult& a,
     EXPECT_EQ(a.jobs[j].wcet, b.jobs[j].wcet);
     EXPECT_EQ(a.jobs[j].actual, b.jobs[j].actual);
     EXPECT_EQ(a.jobs[j].missed, b.jobs[j].missed);
+    EXPECT_EQ(a.jobs[j].skipped, b.jobs[j].skipped);
   }
 }
 
@@ -83,11 +90,17 @@ inline void expect_same_sweep(const SweepOutcome& a, const SweepOutcome& b) {
     const PointResult& pb = b.points[p];
     EXPECT_EQ(pa.x, pb.x);
     EXPECT_EQ(pa.total_misses, pb.total_misses);
+    EXPECT_EQ(pa.total_skips, pb.total_skips);
+    EXPECT_EQ(pa.total_mk_violations, pb.total_mk_violations);
+    EXPECT_EQ(pa.total_hard_misses, pb.total_hard_misses);
     ASSERT_EQ(pa.normalized_energy.size(), pb.normalized_energy.size());
     for (std::size_t g = 0; g < pa.normalized_energy.size(); ++g) {
       expect_same_stats(pa.normalized_energy[g], pb.normalized_energy[g]);
       expect_same_stats(pa.speed_switches[g], pb.speed_switches[g]);
       expect_same_stats(pa.miss_ratio[g], pb.miss_ratio[g]);
+      if (!pa.skip_ratio.empty() && !pb.skip_ratio.empty()) {
+        expect_same_stats(pa.skip_ratio[g], pb.skip_ratio[g]);
+      }
     }
     ASSERT_EQ(pa.cases.size(), pb.cases.size());
     for (std::size_t c = 0; c < pa.cases.size(); ++c) {

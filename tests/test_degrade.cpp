@@ -1,0 +1,365 @@
+// Graceful degradation (DESIGN.md §11): (m,k) window bookkeeping, skip
+// legality, the Normal/Degraded mode machine with hysteresis, the engine
+// wiring (skips, traces, counters) and the equivalence contracts
+// (monitor mode perturbs nothing; disabled is bit-identical).
+#include "degrade/degrade.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/no_dvs.hpp"
+#include "exp/experiment.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "task/task.hpp"
+#include "task/workload.hpp"
+#include "util/error.hpp"
+
+namespace dvs::degrade {
+namespace {
+
+using task::make_task;
+using task::TaskSet;
+using util::ContractError;
+
+/// One (1,2)-firm task at utilization 0.8 plus a small hard task: feasible
+/// at U = 0.9, so with a lowered backlog threshold the controller sheds
+/// without ever being the cause of a miss — every outcome is
+/// hand-computable.
+TaskSet soft_pair() {
+  TaskSet ts("soft_pair");
+  ts.add(make_task(0, "soft", 0.1, 0.08));
+  ts.add(make_task(1, "hard", 0.1, 0.01));
+  return with_task_firmness(ts, 0, 1, 2);
+}
+
+/// Aggressive config: one pressure event enters Degraded, threshold low
+/// enough that the soft task's own density (0.8) trips it.
+DegradationConfig aggressive() {
+  DegradationConfig cfg;
+  cfg.enter_pressure = 1;
+  cfg.backlog_threshold = 0.5;
+  return cfg;
+}
+
+// --- config validation ----------------------------------------------------
+
+TEST(DegradationConfig, ValidatesEveryKnobNamingTheField) {
+  EXPECT_NO_THROW(DegradationConfig{}.validate());
+  const struct {
+    const char* field;
+    void (*poison)(DegradationConfig&);
+  } kTable[] = {
+      {"backlog_threshold",
+       [](DegradationConfig& c) { c.backlog_threshold = 0.0; }},
+      {"enter_pressure", [](DegradationConfig& c) { c.enter_pressure = 0; }},
+      {"pressure_window",
+       [](DegradationConfig& c) { c.pressure_window = -0.1; }},
+      {"recovery_clean_jobs",
+       [](DegradationConfig& c) { c.recovery_clean_jobs = 0; }},
+      {"recovery_quiet",
+       [](DegradationConfig& c) { c.recovery_quiet = -1.0; }},
+      {"min_degraded_dwell",
+       [](DegradationConfig& c) { c.min_degraded_dwell = -1e-9; }},
+  };
+  for (const auto& row : kTable) {
+    DegradationConfig cfg;
+    row.poison(cfg);
+    try {
+      cfg.validate();
+      FAIL() << "expected ContractError for " << row.field;
+    } catch (const ContractError& e) {
+      EXPECT_NE(std::string(e.what()).find(row.field), std::string::npos)
+          << "message must name '" << row.field << "', got: " << e.what();
+    }
+  }
+}
+
+// --- firmness helpers and the task model ----------------------------------
+
+TEST(Firmness, HelpersSetWindowsAndHardness) {
+  TaskSet ts("t");
+  ts.add(make_task(0, "a", 0.1, 0.01));
+  ts.add(make_task(1, "b", 0.1, 0.01));
+  EXPECT_TRUE(ts[0].is_hard());  // default (1,1)
+
+  const TaskSet all = with_firmness(ts, 2, 5);
+  EXPECT_EQ(all[0].mk_m, 2);
+  EXPECT_EQ(all[0].mk_k, 5);
+  EXPECT_EQ(all[1].mk_k, 5);
+  EXPECT_FALSE(all[0].is_hard());
+
+  const TaskSet one = with_task_firmness(ts, 1, 1, 3);
+  EXPECT_TRUE(one[0].is_hard());
+  EXPECT_FALSE(one[1].is_hard());
+
+  EXPECT_THROW((void)with_firmness(ts, 3, 2), ContractError);   // m > k
+  EXPECT_THROW((void)with_firmness(ts, 0, 2), ContractError);   // m < 1
+  EXPECT_THROW((void)with_task_firmness(ts, 7, 1, 2), ContractError);
+}
+
+// --- window bookkeeping and violations ------------------------------------
+
+TEST(Controller, CountsEverySlidingWindowViolation) {
+  TaskSet ts("t");
+  ts.add(make_task(0, "a", 0.1, 0.01));
+  ts = with_firmness(ts, 2, 3);  // (2,3)-firm
+  DegradationController c(ts, DegradationConfig{});
+
+  c.on_job_outcome(0, true, 0.01);    // [met]
+  EXPECT_EQ(c.mk_violations(), 0);
+  c.on_job_outcome(0, false, 0.11);   // [met, miss]
+  EXPECT_EQ(c.mk_violations(), 0);    // window not yet full
+  c.on_job_outcome(0, false, 0.21);   // [met, miss, miss]: 1 < 2
+  EXPECT_EQ(c.mk_violations(), 1);
+  c.on_job_outcome(0, false, 0.31);   // [miss, miss, miss]: slides, again
+  EXPECT_EQ(c.mk_violations(), 2);
+  c.on_job_outcome(0, true, 0.41);    // [miss, miss, met]: 1 < 2, again
+  EXPECT_EQ(c.mk_violations(), 3);
+  c.on_job_outcome(0, true, 0.51);    // [miss, met, met]: satisfied
+  EXPECT_EQ(c.mk_violations(), 3);
+  EXPECT_EQ(c.hard_misses(), 0);      // not a hard task
+}
+
+TEST(Controller, HardTaskMissesAreCountedSeparately) {
+  TaskSet ts("t");
+  ts.add(make_task(0, "a", 0.1, 0.01));  // (1,1): hard
+  DegradationController c(ts, DegradationConfig{});
+  c.on_job_outcome(0, false, 0.1);
+  EXPECT_EQ(c.hard_misses(), 1);
+  EXPECT_EQ(c.mk_violations(), 1);  // (1,1) window with 0 met
+}
+
+// --- skip legality --------------------------------------------------------
+
+TEST(Controller, SkipLegalityFollowsTheWindow) {
+  const TaskSet ts = soft_pair();
+  DegradationController c(ts, aggressive());
+
+  // Normal mode: nothing is sheddable no matter how legal the window is.
+  EXPECT_FALSE(c.should_skip(0, 0.08, 0.1, 0.0));
+
+  c.on_backlog(2.0, 0.0);  // pressure -> Degraded (enter_pressure = 1)
+  EXPECT_EQ(c.mode(), Mode::kDegraded);
+
+  // Hard tasks are never skipped.
+  EXPECT_FALSE(c.should_skip(1, 0.01, 0.1, 0.0));
+
+  // Cold start: absent history counts as met, first skip is legal...
+  EXPECT_TRUE(c.should_skip(0, 0.08, 0.1, 0.0));
+  EXPECT_EQ(c.jobs_skipped(), 1);
+  // ...but the skip recorded a non-met outcome, so a second consecutive
+  // skip would put two non-met in a (1,2) window: illegal.
+  EXPECT_FALSE(c.should_skip(0, 0.08, 0.2, 0.1));
+  // A met outcome re-arms the window.
+  c.on_job_outcome(0, true, 0.2);
+  EXPECT_TRUE(c.should_skip(0, 0.08, 0.3, 0.2));
+  // The skip-legality invariant: skips alone never violate the window.
+  EXPECT_EQ(c.mk_violations(), 0);
+}
+
+TEST(Controller, ShadowDensityDecaysAtTheDeadline) {
+  const TaskSet ts = soft_pair();
+  DegradationController c(ts, aggressive());
+  c.on_backlog(2.0, 0.0);
+  ASSERT_TRUE(c.should_skip(0, 0.08, 0.1, 0.0));
+  // wcet 0.08 over the 0.1 s to the deadline.
+  EXPECT_NEAR(c.shadow_density(0.0), 0.8, 1e-12);
+  EXPECT_NEAR(c.shadow_density(0.05), 1.6, 1e-12);  // closer deadline
+  EXPECT_EQ(c.shadow_density(0.1), 0.0);            // deadline passed
+}
+
+// --- mode machine ---------------------------------------------------------
+
+TEST(Controller, EntersOnlyOnClusteredPressure) {
+  const TaskSet ts = soft_pair();
+  DegradationConfig cfg;
+  cfg.enter_pressure = 2;
+  cfg.pressure_window = 0.25;
+  DegradationController c(ts, cfg);
+
+  c.on_backlog(2.0, 0.0);
+  EXPECT_EQ(c.mode(), Mode::kNormal);   // one event is not enough
+  c.on_backlog(2.0, 0.3);
+  EXPECT_EQ(c.mode(), Mode::kNormal);   // 0.3 s apart: outside the window
+  c.on_backlog(2.0, 0.4);
+  EXPECT_EQ(c.mode(), Mode::kDegraded); // 0.1 s apart: clustered
+  EXPECT_EQ(c.mode_changes(), 1);
+}
+
+TEST(Controller, RecoveryNeedsStreakQuietAndDwell) {
+  const TaskSet ts = soft_pair();
+  DegradationConfig cfg;
+  cfg.enter_pressure = 1;
+  cfg.backlog_threshold = 0.5;
+  cfg.recovery_clean_jobs = 2;
+  cfg.recovery_quiet = 0.1;
+  cfg.min_degraded_dwell = 0.05;
+  DegradationController c(ts, cfg);
+
+  c.on_backlog(2.0, 0.0);
+  ASSERT_EQ(c.mode(), Mode::kDegraded);
+
+  c.on_job_outcome(0, true, 0.04);
+  c.on_job_outcome(0, true, 0.08);
+  // Streak (2) and dwell (0.08 >= 0.05) hold, but the last pressure was
+  // at t = 0 and 0.08 < recovery_quiet: still Degraded.
+  EXPECT_EQ(c.mode(), Mode::kDegraded);
+
+  c.on_job_outcome(0, true, 0.12);
+  EXPECT_EQ(c.mode(), Mode::kNormal);  // all three gates hold
+  EXPECT_EQ(c.mode_changes(), 2);
+
+  // A miss is a pressure event and resets the clean streak.
+  c.on_backlog(2.0, 0.2);
+  ASSERT_EQ(c.mode(), Mode::kDegraded);
+  c.on_job_outcome(0, true, 0.26);
+  c.on_job_outcome(0, false, 0.3);    // pressure + streak reset
+  c.on_job_outcome(0, true, 0.34);
+  c.on_job_outcome(0, true, 0.38);
+  EXPECT_EQ(c.mode(), Mode::kDegraded);  // quiet clock restarted at 0.3
+  c.on_job_outcome(0, true, 0.41);
+  EXPECT_EQ(c.mode(), Mode::kNormal);    // 0.41 - 0.3 >= 0.1
+}
+
+TEST(Controller, FinishAccruesTheOpenDegradedInterval) {
+  const TaskSet ts = soft_pair();
+  DegradationController c(ts, aggressive());
+  c.on_backlog(2.0, 0.25);
+  c.finish(1.0);
+  EXPECT_NEAR(c.time_degraded(), 0.75, 1e-12);
+  c.finish(1.0);  // idempotent
+  EXPECT_NEAR(c.time_degraded(), 0.75, 1e-12);
+}
+
+// --- engine wiring --------------------------------------------------------
+
+/// The soft_pair scenario end to end: the soft task's own release density
+/// (0.8 > threshold 0.5) keeps the controller in Degraded mode, so the
+/// soft task alternates skip / execute while the hard task and every
+/// executed job stay on time.  10 jobs per task over 1 s.
+sim::SimResult run_soft_pair(const DegradationConfig* cfg,
+                             sim::TraceRecorder* trace = nullptr) {
+  const TaskSet ts = soft_pair();
+  auto wl = task::constant_ratio_model(1.0);
+  core::NoDvsGovernor g;
+  sim::SimOptions opts;
+  opts.length = 1.0;
+  opts.record_jobs = true;
+  opts.degradation = cfg;
+  opts.trace = trace;
+  return sim::simulate(ts, *wl, cpu::ideal_processor(), g, opts);
+}
+
+TEST(Engine, SkipsAlternateAndContractHolds) {
+  const DegradationConfig cfg = aggressive();
+  sim::VectorTrace trace;
+  const auto r = run_soft_pair(&cfg, &trace);
+
+  EXPECT_TRUE(r.degradation);
+  EXPECT_EQ(r.jobs_released, 20);
+  EXPECT_EQ(r.jobs_skipped, 5);       // soft jobs 0, 2, 4, 6, 8
+  EXPECT_EQ(r.jobs_completed, 15);
+  EXPECT_EQ(r.deadline_misses, 0);
+  EXPECT_EQ(r.mk_violations, 0);
+  EXPECT_EQ(r.hard_misses, 0);
+  EXPECT_EQ(r.mode_changes, 1);       // enters at t = 0, never recovers
+  EXPECT_NEAR(r.time_degraded, 1.0, 1e-9);
+
+  // Job records: exactly the even-indexed soft jobs are skipped, skipped
+  // jobs retire zero work, and the hard task is untouched.
+  int skipped = 0;
+  for (const auto& j : r.jobs) {
+    if (j.skipped) {
+      ++skipped;
+      EXPECT_EQ(j.task_id, 0);
+      EXPECT_EQ(j.index % 2, 0);
+      EXPECT_EQ(j.actual, 0.0);
+      EXPECT_FALSE(j.missed);
+    }
+  }
+  EXPECT_EQ(skipped, 5);
+
+  // Trace: one kSkip instant per skipped job, one kModeChange to Degraded.
+  int skip_events = 0;
+  int mode_events = 0;
+  for (const auto& e : trace.events()) {
+    if (e.kind == sim::TraceEvent::Kind::kSkip) {
+      ++skip_events;
+      EXPECT_EQ(e.task_id, 0);
+    } else if (e.kind == sim::TraceEvent::Kind::kModeChange) {
+      ++mode_events;
+      EXPECT_EQ(e.job_index, 1);  // 1 = Degraded
+      EXPECT_EQ(e.at, 0.0);
+    }
+  }
+  EXPECT_EQ(skip_events, 5);
+  EXPECT_EQ(mode_events, 1);
+}
+
+TEST(Engine, MonitorModePerturbsNothing) {
+  DegradationConfig monitor = aggressive();
+  monitor.skipping = false;
+  const auto with = run_soft_pair(&monitor);
+  const auto without = run_soft_pair(nullptr);
+
+  // The monitored run observes (mode machine runs, counters fill)...
+  EXPECT_TRUE(with.degradation);
+  EXPECT_EQ(with.jobs_skipped, 0);
+  EXPECT_EQ(with.mode_changes, 1);
+  EXPECT_GT(with.time_degraded, 0.0);
+
+  // ...but every simulated quantity is identical to the detached run.
+  EXPECT_FALSE(without.degradation);
+  EXPECT_EQ(with.jobs_released, without.jobs_released);
+  EXPECT_EQ(with.jobs_completed, without.jobs_completed);
+  EXPECT_EQ(with.deadline_misses, without.deadline_misses);
+  EXPECT_EQ(with.busy_energy, without.busy_energy);
+  EXPECT_EQ(with.idle_energy, without.idle_energy);
+  EXPECT_EQ(with.busy_time, without.busy_time);
+  EXPECT_EQ(with.idle_time, without.idle_time);
+  EXPECT_EQ(with.speed_switches, without.speed_switches);
+  EXPECT_EQ(with.preemptions, without.preemptions);
+  EXPECT_EQ(with.average_speed, without.average_speed);
+  EXPECT_EQ(with.per_task_energy, without.per_task_energy);
+  ASSERT_EQ(with.jobs.size(), without.jobs.size());
+  for (std::size_t j = 0; j < with.jobs.size(); ++j) {
+    EXPECT_EQ(with.jobs[j].completion, without.jobs[j].completion);
+    EXPECT_EQ(with.jobs[j].actual, without.jobs[j].actual);
+    EXPECT_EQ(with.jobs[j].skipped, without.jobs[j].skipped);
+  }
+}
+
+TEST(Engine, DisabledRunsCarryNoDegradationCounters) {
+  const auto r = run_soft_pair(nullptr);
+  EXPECT_FALSE(r.degradation);
+  EXPECT_EQ(r.jobs_skipped, 0);
+  EXPECT_EQ(r.mode_changes, 0);
+  EXPECT_EQ(r.time_degraded, 0.0);
+  EXPECT_EQ(r.mk_violations, 0);
+  EXPECT_EQ(r.hard_misses, 0);
+  // And the summary line stays free of degradation text.
+  EXPECT_EQ(r.summary().find("degrade"), std::string::npos);
+}
+
+TEST(Engine, SummaryMentionsDegradationWhenAttached) {
+  const DegradationConfig cfg = aggressive();
+  const auto r = run_soft_pair(&cfg);
+  EXPECT_NE(r.summary().find("degrade"), std::string::npos);
+  EXPECT_NE(r.summary().find("skipped"), std::string::npos);
+}
+
+// --- experiment-layer contracts -------------------------------------------
+
+TEST(Experiment, OracleAndDegradationAreIncompatible) {
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"staticEDF"};
+  cfg.oracle = true;
+  cfg.degradation = DegradationConfig{};
+  const exp::Case c{soft_pair(), task::constant_ratio_model(1.0)};
+  EXPECT_THROW((void)exp::run_case(c, cfg), ContractError);
+}
+
+}  // namespace
+}  // namespace dvs::degrade

@@ -1,0 +1,154 @@
+// Weakly-hard fuzz (DESIGN.md §11): seeded overloaded task sets, every
+// registered governor, three arms per case —
+//   skipping:  the degradation controller sheds window-legal jobs and must
+//              keep the weakly-hard contract (zero (m,k) violations, zero
+//              hard-task misses) while the overload forces it to shed;
+//   monitor:   same controller, skipping disabled — it must record the
+//              misses the skipping arm avoided, and must not perturb the
+//              simulation at all;
+//   disabled:  no controller attached — bit-identical across replays and
+//              identical to the monitor arm on every simulated quantity.
+// Each case is replayable from (seed, governor) alone: the generator, the
+// workload and the fault layer all derive from the printed seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/registry.hpp"
+#include "degrade/degrade.hpp"
+#include "fault/checked_governor.hpp"
+#include "sim/simulator.hpp"
+#include "sweep_equality.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+
+namespace dvs {
+namespace {
+
+/// Overloaded weakly-hard set: 8 tasks at total utilization `u` (> 1),
+/// every task (1,2)-firm except the minimum-utilization one, which stays
+/// hard — the same shape bench_e12_degradation sweeps.
+task::TaskSet overload_set(double u, std::uint64_t seed) {
+  task::GeneratorConfig gen;
+  gen.n_tasks = 8;
+  gen.total_utilization = u;
+  gen.period_min = 0.01;
+  gen.period_max = 0.16;
+  gen.bcet_ratio = 1.0;
+  gen.grid_fraction = 0.5;
+  gen.allow_overload = true;
+  util::Rng rng(seed);
+  task::TaskSet ts =
+      task::generate_task_set(gen, rng, "wh" + std::to_string(seed));
+  std::size_t hard = 0;
+  for (std::size_t i = 1; i < ts.size(); ++i) {
+    if (ts[i].utilization() < ts[hard].utilization()) hard = i;
+  }
+  ts = degrade::with_firmness(ts, 1, 2);
+  return degrade::with_task_firmness(ts, hard, 1, 1);
+}
+
+sim::SimResult run_arm(const task::TaskSet& ts, const std::string& governor,
+                       const degrade::DegradationConfig* dcfg) {
+  // Every job at full WCET: the overload is sustained, so the monitor arm
+  // is guaranteed misses and the skipping arm is guaranteed pressure.
+  const auto workload = task::constant_ratio_model(1.0);
+  auto g = fault::checked(core::make_governor(governor));
+  sim::SimOptions opts;
+  opts.length = 1.0;
+  opts.record_jobs = true;
+  opts.degradation = dcfg;
+  return sim::simulate(ts, *workload, cpu::ideal_processor(), *g, opts);
+}
+
+TEST(WeaklyHardFuzz, SkippingKeepsTheContractWhereMonitoringMisses) {
+  const auto names = core::governor_names();
+  ASSERT_FALSE(names.empty());
+
+  degrade::DegradationConfig skipping;
+  skipping.enter_pressure = 1;  // shed from the first pressure event
+  degrade::DegradationConfig monitor = skipping;
+  monitor.skipping = false;
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    // U in [1.05, 1.30]: sustained overload at every point.
+    const double u = 1.0 + 0.05 * static_cast<double>(seed);
+    const task::TaskSet ts = overload_set(u, seed);
+
+    for (const auto& name : names) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " U=" + std::to_string(u) +
+                   " governor=" + name);
+
+      const sim::SimResult on = run_arm(ts, name, &skipping);
+      const sim::SimResult off = run_arm(ts, name, &monitor);
+      const sim::SimResult none = run_arm(ts, name, nullptr);
+
+      // The contract: shedding never breaks a window and never touches a
+      // hard task, and the overload really did force it to shed.
+      EXPECT_TRUE(on.degradation);
+      EXPECT_EQ(on.mk_violations, 0);
+      EXPECT_EQ(on.hard_misses, 0);
+      EXPECT_GT(on.jobs_skipped, 0);
+      EXPECT_GT(on.mode_changes, 0);
+      EXPECT_LE(on.jobs_completed + on.jobs_skipped, on.jobs_released);
+      for (const auto& j : on.jobs) {
+        if (j.skipped) {
+          EXPECT_FALSE(ts[static_cast<std::size_t>(j.task_id)].is_hard());
+          EXPECT_EQ(j.actual, 0.0);
+        }
+      }
+
+      // The comparison is not vacuous: without shedding the same case
+      // misses deadlines (and those misses land in the (m,k) windows).
+      EXPECT_EQ(off.jobs_skipped, 0);
+      EXPECT_GT(off.deadline_misses, 0);
+      EXPECT_GT(off.mk_violations + off.hard_misses, 0);
+
+      // Monitoring perturbs nothing: every simulated quantity matches the
+      // detached run.
+      EXPECT_EQ(off.jobs_released, none.jobs_released);
+      EXPECT_EQ(off.jobs_completed, none.jobs_completed);
+      EXPECT_EQ(off.deadline_misses, none.deadline_misses);
+      EXPECT_EQ(off.busy_energy, none.busy_energy);
+      EXPECT_EQ(off.idle_energy, none.idle_energy);
+      EXPECT_EQ(off.busy_time, none.busy_time);
+      EXPECT_EQ(off.idle_time, none.idle_time);
+      EXPECT_EQ(off.speed_switches, none.speed_switches);
+      EXPECT_EQ(off.preemptions, none.preemptions);
+      EXPECT_EQ(off.average_speed, none.average_speed);
+      EXPECT_EQ(off.per_task_energy, none.per_task_energy);
+      ASSERT_EQ(off.jobs.size(), none.jobs.size());
+      for (std::size_t j = 0; j < off.jobs.size(); ++j) {
+        EXPECT_EQ(off.jobs[j].completion, none.jobs[j].completion);
+        EXPECT_EQ(off.jobs[j].actual, none.jobs[j].actual);
+        EXPECT_EQ(off.jobs[j].missed, none.jobs[j].missed);
+        EXPECT_EQ(off.jobs[j].skipped, none.jobs[j].skipped);
+      }
+
+      // Replayability: the disabled arm is bit-identical run to run (and
+      // carries no degradation counters at all).
+      EXPECT_FALSE(none.degradation);
+      EXPECT_EQ(none.jobs_skipped, 0);
+      const sim::SimResult replay = run_arm(ts, name, nullptr);
+      exp::expect_same_result(none, replay);
+      if (::testing::Test::HasFailure()) return;  // one replayable case
+    }
+  }
+}
+
+TEST(WeaklyHardFuzz, SkippingArmIsItselfReplayable) {
+  degrade::DegradationConfig skipping;
+  skipping.enter_pressure = 1;
+  const task::TaskSet ts = overload_set(1.2, 42);
+  const auto names = core::governor_names();
+  for (const auto& name : names) {
+    SCOPED_TRACE("governor=" + name);
+    const sim::SimResult a = run_arm(ts, name, &skipping);
+    const sim::SimResult b = run_arm(ts, name, &skipping);
+    exp::expect_same_result(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace dvs

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <string>
+#include <utility>
 
 #include "core/no_dvs.hpp"
 #include "fault/checked_governor.hpp"
@@ -269,6 +272,106 @@ TEST(CheckedGovernor, ThrowsOnOutOfRangeSpeeds) {
                            sim::OverrunPolicy::kNone),
                  InternalError);
   }
+}
+
+// --- FaultSpec rejection table -------------------------------------------
+// One row per out-of-range knob: validation must throw ContractError and
+// the message must name the offending field, so a bad experiment config
+// fails with an actionable error instead of a generic one.
+
+using KnobCase = std::pair<const char*, void (*)(FaultSpec&)>;
+
+class FaultSpecRejection : public ::testing::TestWithParam<KnobCase> {};
+
+TEST_P(FaultSpecRejection, RejectsOutOfRangeNamingTheField) {
+  const auto& [field, poison] = GetParam();
+  FaultSpec spec;
+  poison(spec);
+  try {
+    spec.validate();
+    FAIL() << "expected ContractError for out-of-range " << field;
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+        << "validation message must name '" << field << "', got: "
+        << e.what();
+  }
+  // The entry points guard with the same validation: a bad spec must not
+  // reach a workload or processor.
+  EXPECT_THROW((void)faulty_workload(task::constant_ratio_model(1.0), spec),
+               ContractError);
+  EXPECT_THROW((void)faulty_processor(cpu::ideal_processor(), spec),
+               ContractError);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, FaultSpecRejection,
+    ::testing::Values(
+        KnobCase{"overrun_prob", [](FaultSpec& s) { s.overrun_prob = 1.5; }},
+        KnobCase{"overrun_prob", [](FaultSpec& s) { s.overrun_prob = -0.1; }},
+        KnobCase{"overrun_prob",
+                 [](FaultSpec& s) { s.overrun_prob = std::nan(""); }},
+        KnobCase{"jitter_prob", [](FaultSpec& s) { s.jitter_prob = 2.0; }},
+        KnobCase{"stuck_prob", [](FaultSpec& s) { s.stuck_prob = -1.0; }},
+        KnobCase{"stall_prob",
+                 [](FaultSpec& s) {
+                   s.stall_prob = std::numeric_limits<double>::infinity();
+                 }},
+        KnobCase{"overrun_magnitude",
+                 [](FaultSpec& s) { s.overrun_magnitude = -0.5; }},
+        KnobCase{"overrun_magnitude",
+                 [](FaultSpec& s) {
+                   s.overrun_magnitude =
+                       std::numeric_limits<double>::infinity();
+                 }},
+        KnobCase{"jitter_time", [](FaultSpec& s) { s.jitter_time = -1e-9; }},
+        KnobCase{"stall_time",
+                 [](FaultSpec& s) { s.stall_time = std::nan(""); }}));
+
+// --- Containment edge cases ----------------------------------------------
+
+TEST(ContainmentEdge, EscalateWithZeroRemainingBudgetAtDispatch) {
+  // wcet == bcet and a +50% overrun: the budget-exhaustion timer fires
+  // exactly when executed work reaches the WCET, so the job re-dispatches
+  // with zero remaining budget and the whole overrun tail must run at max
+  // speed — not loop or stall at the boundary.
+  TaskSet ts("edge");
+  ts.add(make_task(0, "a", 10.0, 2.0, 2.0));
+  FaultSpec spec;
+  spec.overrun_prob = 1.0;
+  spec.overrun_magnitude = 0.5;  // actual = 3.0 against wcet = 2.0
+  auto wl = faulty_workload(task::constant_ratio_model(1.0), spec);
+  FixedSpeedGovernor slow(0.5);
+  const auto r = run(ts, *wl, cpu::ideal_processor(), slow,
+                     sim::OverrunPolicy::kEscalateToMaxSpeed);
+  EXPECT_EQ(r.jobs_overrun, 4);
+  EXPECT_EQ(r.overruns_contained, 4);
+  // Per job: 2.0 budget at 0.5 (4 s) + 1.0 tail at max speed 1.0 (1 s).
+  EXPECT_NEAR(r.busy_time, 20.0, 1e-9);
+  EXPECT_EQ(r.deadline_misses, 0);
+}
+
+TEST(ContainmentEdge, OverrunCompletingAtTheFinalHorizonInstant) {
+  // One job whose overrun tail retires exactly at the simulation horizon:
+  // the completion must land (counted, not truncated) and the overrun must
+  // still be recorded.  period 10, wcet 2, actual 3 at full speed -> done
+  // at t = 3; horizon 3 ends the run on that very event.
+  TaskSet ts("edge");
+  ts.add(make_task(0, "a", 10.0, 2.0, 0.5));
+  FaultSpec spec;
+  spec.overrun_prob = 1.0;
+  spec.overrun_magnitude = 0.5;
+  auto wl = faulty_workload(task::constant_ratio_model(1.0), spec);
+  core::NoDvsGovernor g;
+  sim::SimOptions opts;
+  opts.length = 3.0;
+  opts.containment = sim::OverrunPolicy::kNone;
+  const auto r = sim::simulate(ts, *wl, cpu::ideal_processor(), g, opts);
+  EXPECT_EQ(r.jobs_released, 1);
+  EXPECT_EQ(r.jobs_completed, 1);
+  EXPECT_EQ(r.jobs_truncated, 0);
+  EXPECT_EQ(r.jobs_overrun, 1);
+  EXPECT_NEAR(r.busy_time, 3.0, 1e-9);
+  EXPECT_EQ(r.deadline_misses, 0);  // deadline 10 is past the horizon
 }
 
 TEST(ContainmentNames, RoundTripAndRejectUnknown) {

@@ -56,6 +56,24 @@ TEST(Task, ValidateRejectsBadFields) {
   EXPECT_THROW(t.validate(), ContractError);
 }
 
+TEST(Task, FirmnessDefaultsHardAndValidates) {
+  Task t = make_task(0, "t", 0.1, 0.02);
+  EXPECT_EQ(t.mk_m, 1);
+  EXPECT_EQ(t.mk_k, 1);
+  EXPECT_TRUE(t.is_hard());
+
+  t.mk_m = 2;
+  t.mk_k = 5;  // (2,5)-firm
+  EXPECT_FALSE(t.is_hard());
+  EXPECT_NO_THROW(t.validate());
+
+  t.mk_m = 0;  // m < 1
+  EXPECT_THROW(t.validate(), ContractError);
+  t.mk_m = 6;  // m > k
+  t.mk_k = 5;
+  EXPECT_THROW(t.validate(), ContractError);
+}
+
 TEST(TaskSet, AddRewritesIds) {
   TaskSet ts("s");
   ts.add(make_task(99, "a", 0.1, 0.01));

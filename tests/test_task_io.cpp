@@ -46,6 +46,44 @@ TEST(TaskSetCsv, RoundTripsExactly) {
   }
 }
 
+TEST(TaskSetCsv, ParsesAndRoundTripsFirmnessColumns) {
+  // 8-column form: the optional (m,k) pair, with the usual defaulting
+  // (empty mk_m -> 1 = hard; empty mk_k -> mk_m).
+  std::istringstream in(
+      "name,period,deadline,wcet,bcet,phase,mk_m,mk_k\n"
+      "video,0.010,,0.004,,,1,3\n"
+      "audio,0.020,,0.004,,,2,4\n"
+      "control,0.005,,0.002,,,,\n");
+  const TaskSet ts = load_task_set_csv(in, "firm");
+  ASSERT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts[0].mk_m, 1);
+  EXPECT_EQ(ts[0].mk_k, 3);
+  EXPECT_FALSE(ts[0].is_hard());
+  EXPECT_EQ(ts[1].mk_m, 2);
+  EXPECT_EQ(ts[1].mk_k, 4);
+  EXPECT_TRUE(ts[2].is_hard());  // both defaulted -> (1,1)
+
+  // Round-trip: a set with a weakly-hard task keeps its windows exactly.
+  std::ostringstream out;
+  save_task_set_csv(ts, out);
+  EXPECT_NE(out.str().find("mk_m,mk_k"), std::string::npos);
+  std::istringstream back(out.str());
+  const TaskSet loaded = load_task_set_csv(back, "firm");
+  ASSERT_EQ(loaded.size(), ts.size());
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    EXPECT_EQ(loaded[i].mk_m, ts[i].mk_m);
+    EXPECT_EQ(loaded[i].mk_k, ts[i].mk_k);
+  }
+}
+
+TEST(TaskSetCsv, AllHardSetsOmitTheFirmnessColumns) {
+  // Plain hard sets must stay byte-compatible with the 6-column format.
+  const TaskSet original = cnc_task_set(0.25);
+  std::ostringstream out;
+  save_task_set_csv(original, out);
+  EXPECT_EQ(out.str().find("mk_m"), std::string::npos);
+}
+
 TEST(TaskSetCsv, RejectsMissingHeader) {
   std::istringstream in("control,0.005,0.005,0.002,0.0005,0\n");
   EXPECT_THROW((void)load_task_set_csv(in), ContractError);
@@ -158,7 +196,18 @@ INSTANTIATE_TEST_SUITE_P(
         MalformedCase{"duplicate_name", "good,0.020,0.020,0.004,0.001,0",
                       "duplicate task name"},
         MalformedCase{"not_a_number", "t,0.005,,2ms,,", "malformed wcet"},
-        MalformedCase{"empty_name", ",0.005,,0.002,,", "empty task name"}),
+        MalformedCase{"empty_name", ",0.005,,0.002,,", "empty task name"},
+        MalformedCase{"seven_fields", "t,0.005,,0.002,,,1", "expected 6"},
+        MalformedCase{"fractional_mk", "t,0.005,,0.002,,,1.5,3",
+                      "must be a positive integer"},
+        MalformedCase{"zero_mk_m", "t,0.005,,0.002,,,0,3",
+                      "must be a positive integer"},
+        MalformedCase{"negative_mk_k", "t,0.005,,0.002,,,1,-2",
+                      "must be a positive integer"},
+        MalformedCase{"garbage_mk", "t,0.005,,0.002,,,two,3",
+                      "malformed mk_m"},
+        MalformedCase{"m_exceeds_k", "t,0.005,,0.002,,,3,2",
+                      "(m,k) firmness needs m <= k"}),
     [](const ::testing::TestParamInfo<MalformedCase>& info) {
       return info.param.label;
     });

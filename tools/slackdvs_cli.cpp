@@ -34,16 +34,31 @@
 //                               simulator bit for bit, DESIGN.md §10)
 //   --partition ff|bf|wf        bin-packing heuristic for --cores
 //                               (first/best/worst-fit decreasing; default ff)
+//   --mk M:K                    set every task's weakly-hard firmness to
+//                               (M,K): at least M of any K consecutive jobs
+//                               must meet their deadlines (M=K means hard)
+//   --degrade                   attach the graceful-degradation controller
+//                               (DESIGN.md §11): under observed overload it
+//                               sheds (m,k)-legal jobs and reports skips,
+//                               mode changes and contract violations
+//
+// Malformed numeric flag values (garbage, NaN, out-of-range) exit 2 with a
+// message naming the flag; runtime failures exit 1.
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/fp.hpp"
 #include "core/registry.hpp"
+#include "degrade/degrade.hpp"
 #include "fault/fault.hpp"
 #include "cpu/processors.hpp"
 #include "exp/experiment.hpp"
@@ -68,6 +83,51 @@ namespace {
 
 using namespace dvs;
 
+/// A malformed command line (as opposed to a failed run).  Caught in
+/// main(), which prints the message plus a usage pointer and exits 2, so
+/// scripts can tell "bad invocation" from "bad run" (exit 1).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Checked replacement for the old std::atof calls: rejects garbage,
+/// trailing junk, NaN/inf and out-of-range values with a UsageError that
+/// names the offending flag.
+double parse_double(const std::string& flag, const std::string& v,
+                    double lo, double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE ||
+      !std::isfinite(x)) {
+    throw UsageError(flag + ": expected a finite number, got '" + v + "'");
+  }
+  if (x < lo || x > hi) {
+    throw UsageError(flag + ": value " + v + " out of range [" +
+                     util::format_double(lo, 6) + ", " +
+                     util::format_double(hi, 6) + "]");
+  }
+  return x;
+}
+
+/// Checked replacement for the old std::atoll calls; same contract as
+/// parse_double but for integers.
+long long parse_int(const std::string& flag, const std::string& v,
+                    long long lo, long long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    throw UsageError(flag + ": expected an integer, got '" + v + "'");
+  }
+  if (x < lo || x > hi) {
+    throw UsageError(flag + ": value " + v + " out of range [" +
+                     std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return x;
+}
+
 void usage() {
   std::cout <<
       R"(slackdvs — slack-time DVS for hard real-time systems (DATE 2002 repro)
@@ -79,6 +139,7 @@ void usage() {
                    [--overrun-mag M] [--containment MODE]
                    [--trace-out FILE.json] [--metrics] [--oracle]
                    [--cores M] [--partition ff|bf|wf]
+                   [--mk M:K] [--degrade]
   slackdvs gen     <utilization> <n_tasks> <seed> [out.csv]
 
 <taskset>: a CSV file or a preset (ins | cnc | avionics).
@@ -101,13 +162,19 @@ task::ExecutionTimeModelPtr resolve_workload(const std::string& spec) {
     arg = spec.substr(colon + 1);
   }
   kind = util::to_lower(kind);
-  const std::uint64_t seed =
-      arg.empty() ? 42 : static_cast<std::uint64_t>(std::atoll(arg.c_str()));
-  if (kind == "uniform") return task::uniform_model(seed);
   if (kind == "const") {
-    DVS_EXPECT(!arg.empty(), "const workload needs a ratio, e.g. const:0.5");
-    return task::constant_ratio_model(std::atof(arg.c_str()));
+    if (arg.empty()) {
+      throw UsageError("--workload const needs a ratio, e.g. const:0.5");
+    }
+    return task::constant_ratio_model(
+        parse_double("--workload const", arg, 1e-9, 1.0));
   }
+  const std::uint64_t seed =
+      arg.empty() ? 42
+                  : static_cast<std::uint64_t>(parse_int(
+                        "--workload " + kind + " seed", arg, 0,
+                        std::numeric_limits<long long>::max()));
+  if (kind == "uniform") return task::uniform_model(seed);
   if (kind == "sin") return task::sin_pattern_model(seed);
   if (kind == "cos") return task::cos_pattern_model(seed);
   if (kind == "bimodal") return task::bimodal_model(seed, 0.3, 0.2, 0.95);
@@ -175,7 +242,7 @@ void print_per_task_energy(const task::TaskSet& ts,
 
 int cmd_run(const std::vector<std::string>& args) {
   DVS_EXPECT(!args.empty(), "run: missing <taskset>");
-  const task::TaskSet ts = resolve_task_set(args[0]);
+  task::TaskSet ts = resolve_task_set(args[0]);
 
   std::vector<std::string> governors = core::governor_names();
   cpu::Processor processor = cpu::ideal_processor();
@@ -198,6 +265,10 @@ int cmd_run(const std::vector<std::string>& args) {
   sim::OverrunPolicy containment = sim::OverrunPolicy::kNone;
   std::size_t n_cores = 0;  // 0 = uniprocessor
   mp::PartitionHeuristic partitioner = mp::PartitionHeuristic::kFirstFit;
+  bool want_degrade = false;
+  degrade::DegradationConfig dcfg;  // used only when want_degrade
+  std::int32_t mk_m = 0;            // 0 = leave the task set's firmness
+  std::int32_t mk_k = 0;
 
   for (std::size_t i = 1; i < args.size(); ++i) {
     const std::string& a = args[i];
@@ -218,23 +289,24 @@ int cmd_run(const std::vector<std::string>& args) {
     } else if (a == "--workload") {
       workload = resolve_workload(value());
     } else if (a == "--length") {
-      length = std::atof(value().c_str());
+      length = parse_double("--length", value(), 1e-6, 1e9);
     } else if (a == "--policy") {
       const std::string v = util::to_lower(value());
       DVS_EXPECT(v == "edf" || v == "fp", "--policy must be edf or fp");
       policy = v == "edf" ? sim::SchedulingPolicy::kEdf
                           : sim::SchedulingPolicy::kFixedPriority;
     } else if (a == "--jobs") {
-      jobs = static_cast<std::size_t>(std::atoll(value().c_str()));
+      jobs = static_cast<std::size_t>(parse_int("--jobs", value(), 0, 4096));
     } else if (a == "--overrun-prob") {
-      fspec.overrun_prob = std::atof(value().c_str());
+      fspec.overrun_prob = parse_double("--overrun-prob", value(), 0.0, 1.0);
     } else if (a == "--overrun-mag") {
-      fspec.overrun_magnitude = std::atof(value().c_str());
+      fspec.overrun_magnitude =
+          parse_double("--overrun-mag", value(), 0.0, 1e6);
     } else if (a == "--containment") {
       containment = fault::containment_by_name(value());
     } else if (a == "--cores") {
-      n_cores = static_cast<std::size_t>(std::atoll(value().c_str()));
-      DVS_EXPECT(n_cores >= 1, "--cores wants M >= 1");
+      n_cores = static_cast<std::size_t>(parse_int("--cores", value(), 1,
+                                                   4096));
     } else if (a == "--partition") {
       partitioner = mp::heuristic_by_name(value());
     } else if (a == "--trace-out") {
@@ -247,10 +319,30 @@ int cmd_run(const std::vector<std::string>& args) {
     } else if (a == "--gantt") {
       const std::string v = value();
       const auto colon = v.find(':');
-      DVS_EXPECT(colon != std::string::npos, "--gantt wants T0:T1");
-      gantt_t0 = std::atof(v.substr(0, colon).c_str());
-      gantt_t1 = std::atof(v.substr(colon + 1).c_str());
+      if (colon == std::string::npos) {
+        throw UsageError("--gantt wants T0:T1, e.g. --gantt 0:0.5");
+      }
+      gantt_t0 = parse_double("--gantt T0", v.substr(0, colon), 0.0, 1e9);
+      gantt_t1 = parse_double("--gantt T1", v.substr(colon + 1), 0.0, 1e9);
+      if (gantt_t1 <= gantt_t0) {
+        throw UsageError("--gantt wants T0 < T1, got " + v);
+      }
       want_gantt = true;
+    } else if (a == "--mk") {
+      const std::string v = value();
+      const auto colon = v.find(':');
+      if (colon == std::string::npos) {
+        throw UsageError("--mk wants M:K, e.g. --mk 1:2");
+      }
+      mk_m = static_cast<std::int32_t>(
+          parse_int("--mk M", v.substr(0, colon), 1, 1000000000));
+      mk_k = static_cast<std::int32_t>(
+          parse_int("--mk K", v.substr(colon + 1), 1, 1000000000));
+      if (mk_m > mk_k) {
+        throw UsageError("--mk wants M <= K, got " + v);
+      }
+    } else if (a == "--degrade") {
+      want_degrade = true;
     } else {
       DVS_EXPECT(false, "unknown option: " + a);
     }
@@ -260,12 +352,18 @@ int cmd_run(const std::vector<std::string>& args) {
   if (fspec.injects_workload_faults()) {
     workload = fault::faulty_workload(std::move(workload), fspec);
   }
+  if (mk_m >= 1) ts = degrade::with_firmness(ts, mk_m, mk_k);
   DVS_EXPECT(n_cores == 0 || policy == sim::SchedulingPolicy::kEdf,
              "--cores requires --policy edf (partitioned EDF backend)");
   DVS_EXPECT(n_cores == 0 || !want_gantt,
              "--gantt is uniprocessor-only; drop --cores to render it");
   DVS_EXPECT(!want_oracle || policy == sim::SchedulingPolicy::kEdf,
              "--oracle requires --policy edf (YDS optimality is EDF-only)");
+  DVS_EXPECT(!want_degrade || n_cores == 0,
+             "--degrade is uniprocessor-only; drop --cores");
+  DVS_EXPECT(!(want_degrade && want_oracle),
+             "--degrade and --oracle are incompatible: the clairvoyant "
+             "bounds assume every released job executes");
 
   std::int64_t misses = 0;
   if (policy == sim::SchedulingPolicy::kEdf) {
@@ -275,6 +373,7 @@ int cmd_run(const std::vector<std::string>& args) {
     cfg.sim_length = length;
     cfg.containment = containment;
     cfg.oracle = want_oracle;
+    if (want_degrade) cfg.degradation = dcfg;
     cfg.n_threads = jobs;  // parallel across governors; output identical
     if (n_cores >= 1) {
       const mp::PartitionResult pr =
@@ -326,12 +425,25 @@ int cmd_run(const std::vector<std::string>& args) {
                   << g.result.overruns_contained << ")\n";
       }
     }
+    if (want_degrade) {
+      std::cout << "graceful degradation (DESIGN.md §11):\n";
+      for (const auto& g : outcome.outcomes) {
+        const sim::SimResult& r = g.result;
+        std::cout << "  " << g.governor << ": " << r.jobs_skipped
+                  << " skipped, " << r.mode_changes << " mode changes, "
+                  << util::format_double(r.time_degraded, 4)
+                  << " s degraded, " << r.mk_violations
+                  << " (m,k) violations, " << r.hard_misses
+                  << " hard misses\n";
+      }
+    }
   } else {
     // Fixed-priority: run the FP-safe family.
     sim::SimOptions opts;
     opts.length = length;
     opts.policy = policy;
     opts.containment = containment;
+    if (want_degrade) opts.degradation = &dcfg;
     std::vector<sim::GovernorPtr> fp_governors;
     fp_governors.push_back(core::make_governor("noDVS"));
     fp_governors.push_back(std::make_unique<core::StaticFpGovernor>());
@@ -426,6 +538,7 @@ int cmd_run(const std::vector<std::string>& args) {
       o.length = length;
       o.policy = policy;
       o.containment = containment;
+      if (want_degrade) o.degradation = &dcfg;
       o.trace = &run.trace;
       obs::MetricsRegistry reg;
       obs::DecisionAudit audit;
@@ -481,6 +594,7 @@ int cmd_run(const std::vector<std::string>& args) {
     sim::SimOptions opts;
     opts.length = length;
     opts.policy = policy;
+    if (want_degrade) opts.degradation = &dcfg;
     opts.trace = &trace;
     const auto r = sim::simulate(ts, *workload, processor, *g, opts);
     std::cout << "\nschedule of " << r.governor << ":\n";
@@ -492,9 +606,13 @@ int cmd_run(const std::vector<std::string>& args) {
 int cmd_gen(const std::vector<std::string>& args) {
   DVS_EXPECT(args.size() >= 3, "gen: need <utilization> <n_tasks> <seed>");
   task::GeneratorConfig cfg;
-  cfg.total_utilization = std::atof(args[0].c_str());
-  cfg.n_tasks = static_cast<std::size_t>(std::atoll(args[1].c_str()));
-  util::Rng rng(static_cast<std::uint64_t>(std::atoll(args[2].c_str())));
+  cfg.total_utilization = parse_double("gen <utilization>", args[0],
+                                       1e-6, 1.0);
+  cfg.n_tasks = static_cast<std::size_t>(
+      parse_int("gen <n_tasks>", args[1], 1, 100000));
+  util::Rng rng(static_cast<std::uint64_t>(
+      parse_int("gen <seed>", args[2], 0,
+                std::numeric_limits<long long>::max())));
   const task::TaskSet ts = task::generate_task_set(cfg, rng, "generated");
   if (args.size() >= 4) {
     std::ofstream out(args[3]);
@@ -529,6 +647,10 @@ int main(int argc, char** argv) {
     usage();
     std::cerr << "unknown command: " << cmd << '\n';
     return 1;
+  } catch (const UsageError& e) {
+    std::cerr << "usage error: " << e.what()
+              << "\n(run `slackdvs --help` for the full synopsis)\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
