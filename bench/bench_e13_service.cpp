@@ -1,0 +1,343 @@
+// E13 — planning-service throughput and latency (EXPERIMENTS.md §E13).
+//
+// Starts an in-process svc::Daemon on an ephemeral loopback port and
+// measures, over real TCP round trips:
+//
+//   table 1  single client, synchronous admission queries — qps and the
+//            client-observed p50/p99 latency,
+//   table 2  C concurrent clients, each synchronous — aggregate qps,
+//   table 3  one batch request of N admission queries vs N sequential
+//            singles — per-query speedup of the batched path.
+//
+// A machine-readable copy goes to bench_csv/BENCH_service.json.  Exit 0
+// requires: the single-client admission rate meets --min-qps (default
+// 10000), and the batch responses are byte-identical to the single
+// responses (the protocol's determinism contract).
+//
+//   bench_e13_service [--seconds S] [--clients C] [--batch N]
+//                     [--min-qps Q] [--jobs N]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_mini.hpp"
+#include "obs/json_writer.hpp"
+#include "svc/daemon.hpp"
+#include "task/benchmarks.hpp"
+#include "task/task_set.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Minimal synchronous NDJSON client (same framing as tools/planner_client).
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    DVS_EXPECT(fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    DVS_EXPECT(::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                         sizeof addr) == 0,
+               std::string("connect(): ") + std::strerror(errno));
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  std::string round_trip(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    const char* p = framed.data();
+    std::size_t left = framed.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd_, p, left, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        DVS_EXPECT(false, "send() failed mid-benchmark");
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    while (true) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return out;
+      }
+      char chunk[65536];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      DVS_EXPECT(n > 0 || (n < 0 && errno == EINTR),
+                 "connection closed mid-benchmark");
+      if (n > 0) buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Admission query over the CNC preset, inlined as a "tasks" array so the
+/// daemon exercises the full parse -> validate -> demand-test path.
+std::string admit_query(const dvs::task::TaskSet& ts) {
+  std::string out;
+  dvs::obs::JsonWriter j(out);
+  j.begin_object().kv("op", "admit");
+  j.key("tasks").begin_array();
+  for (const auto& t : ts.tasks()) {
+    j.begin_object()
+        .kv("name", t.name)
+        .kv("period", t.period)
+        .kv("wcet", t.wcet)
+        .kv("deadline", t.deadline)
+        .kv("bcet", t.bcet)
+        .end_object();
+  }
+  j.end_array().end_object();
+  return out;
+}
+
+struct LoadResult {
+  std::uint64_t queries = 0;
+  double seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double qps() const { return seconds > 0.0 ? queries / seconds : 0.0; }
+};
+
+/// Drive synchronous queries for `seconds`, recording per-query latency.
+LoadResult drive(Client& client, const std::string& query, double seconds) {
+  LoadResult r;
+  std::vector<double> lat_us;
+  lat_us.reserve(1 << 16);
+  const auto end = Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < end) {
+    const auto t0 = Clock::now();
+    const std::string resp = client.round_trip(query);
+    const auto t1 = Clock::now();
+    DVS_EXPECT(resp.rfind("{\"ok\":true", 0) == 0,
+               "daemon returned an error under load: " + resp);
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    ++r.queries;
+  }
+  r.seconds = seconds;
+  if (!lat_us.empty()) {
+    std::sort(lat_us.begin(), lat_us.end());
+    r.p50_us = lat_us[lat_us.size() / 2];
+    r.p99_us = lat_us[std::min(lat_us.size() - 1,
+                               static_cast<std::size_t>(
+                                   0.99 * static_cast<double>(lat_us.size())))];
+  }
+  return r;
+}
+
+struct Options {
+  double seconds = 2.0;
+  std::size_t clients = 4;
+  std::size_t batch = 1000;
+  double min_qps = 10000.0;
+  std::size_t jobs = 0;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_arg = i + 1 < argc;
+    if (a == "--seconds" && has_arg) {
+      o.seconds = std::strtod(argv[++i], nullptr);
+    } else if (a == "--clients" && has_arg) {
+      o.clients = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--batch" && has_arg) {
+      o.batch = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--min-qps" && has_arg) {
+      o.min_qps = std::strtod(argv[++i], nullptr);
+    } else if (a == "--jobs" && has_arg) {
+      o.jobs = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--seconds S] [--clients C] [--batch N] [--min-qps Q]"
+                   " [--jobs N]\n";
+      std::exit(2);
+    }
+  }
+  DVS_EXPECT(o.seconds > 0.0 && o.clients >= 1 && o.batch >= 1,
+             "bench_e13_service: invalid options");
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_options(argc, argv);
+  const dvs::task::TaskSet cnc = dvs::task::cnc_task_set();
+  const std::string query = admit_query(cnc);
+
+  dvs::svc::DaemonOptions dopts;
+  dopts.port = 0;
+  dopts.batch_threads = opts.jobs;
+  dvs::svc::Daemon daemon(dopts);
+  daemon.start();
+  const std::uint16_t port = daemon.port();
+  std::cout << "E13: planning service on 127.0.0.1:" << port
+            << " (admission query: " << query.size() << " bytes, "
+            << cnc.size() << " tasks)\n\n";
+
+  // --- Table 1: single synchronous client -------------------------------
+  LoadResult single;
+  {
+    Client client(port);
+    client.round_trip(query);  // warm up (first query builds the session)
+    single = drive(client, query, opts.seconds);
+  }
+  std::cout << "single client, synchronous admission\n"
+            << "  queries    " << single.queries << "\n"
+            << "  qps        " << static_cast<std::uint64_t>(single.qps())
+            << "\n"
+            << "  p50        " << single.p50_us << " us\n"
+            << "  p99        " << single.p99_us << " us\n\n";
+
+  // --- Table 2: concurrent synchronous clients --------------------------
+  std::vector<LoadResult> per_client(opts.clients);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(opts.clients);
+    for (std::size_t c = 0; c < opts.clients; ++c) {
+      threads.emplace_back([&, c] {
+        Client client(port);
+        client.round_trip(query);
+        per_client[c] = drive(client, query, opts.seconds);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  std::uint64_t concurrent_queries = 0;
+  double concurrent_p99 = 0.0;
+  for (const LoadResult& r : per_client) {
+    concurrent_queries += r.queries;
+    concurrent_p99 = std::max(concurrent_p99, r.p99_us);
+  }
+  const double concurrent_qps =
+      static_cast<double>(concurrent_queries) / opts.seconds;
+  std::cout << opts.clients << " concurrent clients\n"
+            << "  queries    " << concurrent_queries << "\n"
+            << "  qps        " << static_cast<std::uint64_t>(concurrent_qps)
+            << "\n"
+            << "  worst p99  " << concurrent_p99 << " us\n\n";
+
+  // --- Table 3: batch vs sequential singles -----------------------------
+  double singles_s = 0.0;
+  double batch_s = 0.0;
+  bool batch_identical = true;
+  {
+    Client client(port);
+    client.round_trip(query);
+    std::vector<std::string> single_resps;
+    single_resps.reserve(opts.batch);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < opts.batch; ++i) {
+      single_resps.push_back(client.round_trip(query));
+    }
+    singles_s = std::chrono::duration<double>(Clock::now() - t0).count();
+
+    std::string batch_req = R"({"op":"batch","queries":[)";
+    for (std::size_t i = 0; i < opts.batch; ++i) {
+      if (i != 0) batch_req.push_back(',');
+      batch_req += query;
+    }
+    batch_req += "]}";
+    const auto t1 = Clock::now();
+    const std::string batch_resp = client.round_trip(batch_req);
+    batch_s = std::chrono::duration<double>(Clock::now() - t1).count();
+
+    const dvs::obs::JsonValue parsed = dvs::obs::parse_json(batch_resp);
+    const dvs::obs::JsonValue* results = parsed.find("results");
+    DVS_EXPECT(results != nullptr && results->is_array() &&
+                   results->array.size() == opts.batch,
+               "batch response malformed: " + batch_resp.substr(0, 200));
+    for (std::size_t i = 0; i < opts.batch; ++i) {
+      batch_identical = batch_identical &&
+                        dvs::obs::write_json(results->array[i]) ==
+                            single_resps[i];
+    }
+  }
+  const double per_query_speedup = batch_s > 0.0 ? singles_s / batch_s : 0.0;
+  std::cout << "batch of " << opts.batch << " admissions vs singles\n"
+            << "  singles    " << singles_s * 1e3 << " ms\n"
+            << "  batch      " << batch_s * 1e3 << " ms\n"
+            << "  speedup    " << per_query_speedup << "x\n"
+            << "  identical  " << (batch_identical ? "yes" : "NO") << "\n\n";
+
+  daemon.stop();
+
+  // --- BENCH_service.json ----------------------------------------------
+  {
+    std::string report;
+    dvs::obs::JsonWriter j(report);
+    j.begin_object();
+    j.kv("bench", "e13_service").kv("seconds", opts.seconds);
+    j.key("single").begin_object();
+    j.kv("queries", single.queries)
+        .kv("qps", single.qps())
+        .kv("p50_us", single.p50_us)
+        .kv("p99_us", single.p99_us)
+        .end_object();
+    j.key("concurrent").begin_object();
+    j.kv("clients", static_cast<std::uint64_t>(opts.clients))
+        .kv("queries", concurrent_queries)
+        .kv("qps", concurrent_qps)
+        .kv("worst_p99_us", concurrent_p99)
+        .end_object();
+    j.key("batch").begin_object();
+    j.kv("n", static_cast<std::uint64_t>(opts.batch))
+        .kv("singles_ms", singles_s * 1e3)
+        .kv("batch_ms", batch_s * 1e3)
+        .kv("speedup", per_query_speedup)
+        .kv("identical", batch_identical)
+        .end_object();
+    j.kv("min_qps_gate", opts.min_qps);
+    j.end_object();
+    std::error_code ec;
+    std::filesystem::create_directories("bench_csv", ec);
+    std::ofstream out("bench_csv/BENCH_service.json");
+    if (out) out << report << '\n';
+  }
+
+  bool pass = true;
+  if (single.qps() < opts.min_qps) {
+    std::cout << "FAIL: single-client qps " << single.qps() << " < gate "
+              << opts.min_qps << "\n";
+    pass = false;
+  }
+  if (!batch_identical) {
+    std::cout << "FAIL: batch responses differ from single responses\n";
+    pass = false;
+  }
+  std::cout << (pass ? "E13 PASS" : "E13 FAIL") << "\n";
+  return pass ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "obs/json_writer.hpp"
 #include "util/error.hpp"
 
 namespace dvs::obs {
@@ -31,27 +32,49 @@ class EventWriter {
     first_ = false;
   }
 
+  /// Emit one complete event object (already braced) — the form the
+  /// JsonWriter-built metadata events use.
+  void object(const std::string& obj) {
+    out_ << (first_ ? "\n  " : ",\n  ") << obj;
+    first_ = false;
+  }
+
  private:
   std::ostream& out_;
   bool first_ = true;
 };
 
+/// Metadata events go through the escape-correct streaming JsonWriter
+/// (obs/json_writer.hpp); only the per-segment hot path below keeps its
+/// hand-tuned string building.
 void write_metadata(EventWriter& w, const task::TaskSet& ts, int pid,
                     const std::string& governor) {
-  w.event("\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" +
-          std::to_string(pid) + ",\"args\":{\"name\":\"" +
-          json_escape(governor) + "\"}");
-  w.event("\"ph\":\"M\",\"name\":\"process_sort_index\",\"pid\":" +
-          std::to_string(pid) + ",\"args\":{\"sort_index\":" +
-          std::to_string(pid) + "}");
+  std::string buf;
+  JsonWriter j(buf);
+  auto emit = [&] {
+    w.object(buf);
+    buf.clear();
+    j.reset();
+  };
+  j.begin_object().kv("ph", "M").kv("name", "process_name").kv("pid", pid);
+  j.key("args").begin_object().kv("name", governor).end_object().end_object();
+  emit();
+  j.begin_object().kv("ph", "M").kv("name", "process_sort_index");
+  j.kv("pid", pid);
+  j.key("args").begin_object().kv("sort_index", pid).end_object();
+  j.end_object();
+  emit();
   for (const auto& t : ts) {
-    w.event("\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
-            std::to_string(pid) + ",\"tid\":" + std::to_string(t.id) +
-            ",\"args\":{\"name\":\"" + json_escape(t.name) + "\"}");
+    j.begin_object().kv("ph", "M").kv("name", "thread_name").kv("pid", pid);
+    j.kv("tid", t.id);
+    j.key("args").begin_object().kv("name", t.name).end_object().end_object();
+    emit();
   }
-  w.event("\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" +
-          std::to_string(pid) + ",\"tid\":" + std::to_string(ts.size()) +
-          ",\"args\":{\"name\":\"cpu (idle / transition)\"}");
+  j.begin_object().kv("ph", "M").kv("name", "thread_name").kv("pid", pid);
+  j.kv("tid", ts.size());
+  j.key("args").begin_object().kv("name", "cpu (idle / transition)");
+  j.end_object().end_object();
+  emit();
 }
 
 void write_segments(EventWriter& w, const task::TaskSet& ts, int pid,
@@ -139,32 +162,6 @@ void write_degradation_instants(EventWriter& w, const task::TaskSet& ts,
 
 }  // namespace
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
 void write_chrome_trace(std::ostream& out, const task::TaskSet& ts,
                         const std::vector<GovernorTrace>& traces,
                         Time sim_length) {
@@ -202,10 +199,12 @@ void write_chrome_trace(std::ostream& out, const std::string& set_name,
   }
   out << "\n],\n";
   out << "\"displayTimeUnit\": \"ms\",\n";
-  out << "\"otherData\": {\"exporter\": \"slackdvs\", \"task_set\": \""
-      << json_escape(set_name) << "\", \"sim_length_us\": "
-      << num(sim_length * 1e6, 12) << ", \"governors\": "
-      << processes.size() << "}\n}\n";
+  std::string footer;
+  JsonWriter j(footer);
+  j.begin_object().kv("exporter", "slackdvs").kv("task_set", set_name);
+  j.kv("sim_length_us", sim_length * 1e6).kv("governors", processes.size());
+  j.end_object();
+  out << "\"otherData\": " << footer << "\n}\n";
 }
 
 }  // namespace dvs::obs

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/json_writer.hpp"  // json_escape (historically declared here)
 #include "sim/trace.hpp"
 #include "task/task_set.hpp"
 #include "util/time.hpp"
@@ -62,8 +63,5 @@ void write_chrome_trace(std::ostream& out, const task::TaskSet& ts,
 void write_chrome_trace(std::ostream& out, const std::string& set_name,
                         const std::vector<TraceProcess>& processes,
                         Time sim_length);
-
-/// JSON string escaping (exposed for tests).
-[[nodiscard]] std::string json_escape(const std::string& s);
 
 }  // namespace dvs::obs

@@ -99,6 +99,9 @@ class Parser {
     while (true) {
       skip_ws();
       std::string key = parse_string();
+      for (const auto& [k, existing] : v.object) {
+        if (k == key) fail("duplicate object key '" + key + "'");
+      }
       skip_ws();
       expect(':');
       v.object.emplace_back(std::move(key), parse_value(depth + 1));

@@ -1,12 +1,16 @@
 // Minimal JSON value model + parser.
 //
-// Exists for exactly one consumer: tools/trace_check, which must re-parse
-// the Chrome trace-event JSON this library emits and verify it
-// structurally (obs/trace_check.hpp).  The container ships no JSON
-// dependency, so this is a small, strict RFC-8259-subset recursive-descent
-// parser: objects, arrays, strings (with escapes incl. \uXXXX), numbers,
-// booleans, null.  It is a validator's parser — unknown escapes, trailing
-// garbage, or unterminated structures throw rather than recover.
+// Two consumers: tools/trace_check, which re-parses the Chrome trace-event
+// JSON this library emits and verifies it structurally
+// (obs/trace_check.hpp), and the scheduling service protocol (src/svc/),
+// which decodes untrusted client queries with it.  The container ships no
+// JSON dependency, so this is a small, strict RFC-8259-subset
+// recursive-descent parser: objects, arrays, strings (with escapes incl.
+// \uXXXX), numbers, booleans, null.  It is a validator's parser — unknown
+// escapes, trailing garbage, unterminated structures, numbers outside the
+// double range, nesting beyond 200 levels, and duplicate object keys all
+// throw rather than recover (hardening the daemon against hostile input).
+// The writer half lives in obs/json_writer.hpp.
 #pragma once
 
 #include <string>
@@ -23,7 +27,7 @@ struct JsonValue {
   double number = 0.0;
   std::string string;
   std::vector<JsonValue> array;
-  /// Key order preserved as parsed (duplicate keys: first one wins find()).
+  /// Key order preserved as parsed; the parser rejects duplicate keys.
   std::vector<std::pair<std::string, JsonValue>> object;
 
   [[nodiscard]] bool is_null() const noexcept { return kind == Kind::kNull; }

@@ -1,0 +1,224 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace dvs::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  DVS_EXPECT(std::isfinite(v), "JSON cannot represent a non-finite number");
+  // Shortest round-trip: try increasing precision until strtod maps the
+  // digits back to the identical double.  %.17g always does; most values
+  // stop at %.15g, keeping the wire format short and stable.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+namespace {
+
+void append_value(std::string& out, const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber:
+      out += json_number(v.number);
+      return;
+    case JsonValue::Kind::kString:
+      out.push_back('"');
+      out += json_escape(v.string);
+      out.push_back('"');
+      return;
+    case JsonValue::Kind::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const JsonValue& e : v.array) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_value(out, e);
+      }
+      out.push_back(']');
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [k, e] : v.object) {
+        if (!first) out.push_back(',');
+        first = false;
+        out.push_back('"');
+        out += json_escape(k);
+        out += "\":";
+        append_value(out, e);
+      }
+      out.push_back('}');
+      return;
+    }
+  }
+  DVS_ENSURE(false, "unreachable JSON kind");
+}
+
+}  // namespace
+
+std::string write_json(const JsonValue& v) {
+  std::string out;
+  append_value(out, v);
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (stack_.empty()) {
+    DVS_EXPECT(!wrote_top_, "JSON document already complete");
+    return;
+  }
+  const Scope s = stack_.back();
+  DVS_EXPECT(s != Scope::kObjectKey,
+             "object member needs a key before its value");
+  if (s == Scope::kArray && counts_.back() > 0) out_->push_back(',');
+}
+
+void JsonWriter::post_value() {
+  if (stack_.empty()) {
+    wrote_top_ = true;
+    return;
+  }
+  ++counts_.back();
+  if (stack_.back() == Scope::kObjectValue) stack_.back() = Scope::kObjectKey;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_->push_back('{');
+  stack_.push_back(Scope::kObjectKey);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  DVS_EXPECT(!stack_.empty() && stack_.back() == Scope::kObjectKey,
+             "end_object outside an object (or after a dangling key)");
+  out_->push_back('}');
+  stack_.pop_back();
+  counts_.pop_back();
+  post_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_->push_back('[');
+  stack_.push_back(Scope::kArray);
+  counts_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  DVS_EXPECT(!stack_.empty() && stack_.back() == Scope::kArray,
+             "end_array outside an array");
+  out_->push_back(']');
+  stack_.pop_back();
+  counts_.pop_back();
+  post_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  DVS_EXPECT(!stack_.empty() && stack_.back() == Scope::kObjectKey,
+             "key() is only valid directly inside an object");
+  if (counts_.back() > 0) out_->push_back(',');
+  out_->push_back('"');
+  *out_ += json_escape(std::string(k));
+  *out_ += "\":";
+  stack_.back() = Scope::kObjectValue;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  pre_value();
+  out_->push_back('"');
+  *out_ += json_escape(std::string(s));
+  out_->push_back('"');
+  post_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  pre_value();
+  *out_ += json_number(v);
+  post_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  pre_value();
+  *out_ += std::to_string(v);
+  post_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  *out_ += std::to_string(v);
+  post_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  *out_ += v ? "true" : "false";
+  post_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  *out_ += "null";
+  post_value();
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  DVS_EXPECT(!json.empty(), "raw() needs a non-empty JSON value");
+  pre_value();
+  *out_ += json;
+  post_value();
+  return *this;
+}
+
+}  // namespace dvs::obs

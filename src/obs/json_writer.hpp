@@ -1,0 +1,110 @@
+// Escape-correct JSON emission — the writer half of obs::json_mini.
+//
+// Two layers, both emitting the same compact wire format (no whitespace,
+// insertion-ordered object keys) that parse_json accepts back:
+//  * write_json(JsonValue)   — serialize a value model; the round-trip
+//    parse_json(write_json(v)) reproduces v exactly (numbers are printed
+//    with the shortest digit string strtod maps back to the same double);
+//  * JsonWriter              — a streaming state-machine writer for code
+//    that builds documents piecewise (the svc protocol encoder, the
+//    Chrome-trace exporter's metadata events) without materializing a
+//    JsonValue tree.  Misuse (a key outside an object, a bare value where
+//    a key is required, unbalanced end_*) throws ContractError instead of
+//    emitting malformed output.
+//
+// Non-finite numbers have no JSON representation; both layers reject them
+// (ContractError) rather than emit "nan" the parser would choke on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_mini.hpp"
+
+namespace dvs::obs {
+
+/// `s` with every character JSON requires escaped (quotes, backslash,
+/// control characters) replaced by its escape sequence.  Bytes >= 0x20
+/// pass through untouched, so UTF-8 payloads survive verbatim.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Shortest decimal form of `v` that strtod parses back to exactly `v`
+/// ("1", "0.25", "9.419999999999999e+21").  Throws ContractError for
+/// NaN/infinity.
+[[nodiscard]] std::string json_number(double v);
+
+/// Compact serialization of a JsonValue; round-trips through parse_json.
+[[nodiscard]] std::string write_json(const JsonValue& v);
+
+/// Streaming writer appending compact JSON to a caller-owned string.
+/// The buffer may be reused across documents: clear() both the string and
+/// the writer (reset()) between documents, so a long-lived Session emits
+/// responses with zero steady-state allocation once the buffer has grown
+/// to its high-water mark.
+class JsonWriter {
+ public:
+  /// Appends to `out`; the reference must outlive the writer.
+  explicit JsonWriter(std::string& out) : out_(&out) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be directly inside an object, once per value.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Convenience: key(k) followed by value(v).
+  template <typename T>
+  JsonWriter& kv(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Splice an already-serialized JSON document as the next value (used
+  /// by the batch encoder to embed per-query responses verbatim).  The
+  /// caller guarantees `json` is a complete well-formed value.
+  JsonWriter& raw(std::string_view json);
+
+  /// True once the document is complete (one top-level value, all scopes
+  /// closed); the writer then accepts no further output.
+  [[nodiscard]] bool complete() const noexcept {
+    return stack_.empty() && wrote_top_;
+  }
+
+  /// Forget all state so the writer can start a new document (the output
+  /// string is the caller's to clear).
+  void reset() noexcept {
+    stack_.clear();
+    wrote_top_ = false;
+  }
+
+ private:
+  enum class Scope : std::uint8_t {
+    kObjectKey,    ///< inside an object, a key is expected next
+    kObjectValue,  ///< inside an object, the key was written
+    kArray,
+  };
+
+  void pre_value();   ///< comma/placement bookkeeping before any value
+  void post_value();  ///< scope transition after any value
+
+  std::string* out_;
+  std::vector<Scope> stack_;
+  /// Elements written in the innermost scope, parallel to stack_.
+  std::vector<std::size_t> counts_;
+  bool wrote_top_ = false;
+};
+
+}  // namespace dvs::obs

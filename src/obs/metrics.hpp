@@ -133,6 +133,28 @@ class Histogram {
     return samples_ > 0 ? max_seen_ : 0.0;
   }
 
+  /// Weight-interpolated quantile estimate: the value below which a `q`
+  /// fraction of the recorded weight lies, linearly interpolated inside
+  /// the containing bucket.  Underflow clamps to lo(), overflow to the
+  /// maximum seen sample (a tail estimate must not understate the tail).
+  /// Used by the svc daemon's per-endpoint latency reporting.  0 when the
+  /// histogram is empty; q outside [0, 1] is clamped.
+  [[nodiscard]] double quantile(double q) const noexcept {
+    if (weight_sum_ <= 0.0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * weight_sum_;
+    double cum = underflow_;
+    if (cum >= target) return lo_;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      if (cum + weights_[i] >= target && weights_[i] > 0.0) {
+        const double frac = (target - cum) / weights_[i];
+        return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+      }
+      cum += weights_[i];
+    }
+    return max_seen();
+  }
+
   /// Buckets (incl. under-/overflow) holding weight: a distribution is
   /// "degenerate" when everything landed in a single bucket.
   [[nodiscard]] std::size_t nonzero_buckets() const noexcept {

@@ -68,8 +68,15 @@ std::optional<Time> analysis_horizon(const task::TaskSet& ts) {
 }
 
 std::vector<Time> deadline_checkpoints(const task::TaskSet& ts, Time horizon) {
-  DVS_EXPECT(horizon >= 0.0, "horizon must be non-negative");
   std::vector<Time> points;
+  deadline_checkpoints_into(ts, horizon, points);
+  return points;
+}
+
+void deadline_checkpoints_into(const task::TaskSet& ts, Time horizon,
+                               std::vector<Time>& points) {
+  DVS_EXPECT(horizon >= 0.0, "horizon must be non-negative");
+  points.clear();
   for (const auto& t : ts) {
     for (Time d = t.deadline; time_leq(d, horizon); d += t.period) {
       points.push_back(d);
@@ -79,7 +86,6 @@ std::vector<Time> deadline_checkpoints(const task::TaskSet& ts, Time horizon) {
   points.erase(std::unique(points.begin(), points.end(),
                            [](Time a, Time b) { return time_eq(a, b); }),
                points.end());
-  return points;
 }
 
 bool edf_schedulable(const task::TaskSet& ts) {

@@ -28,6 +28,13 @@ namespace dvs::sched {
 [[nodiscard]] std::vector<Time> deadline_checkpoints(const task::TaskSet& ts,
                                                      Time horizon);
 
+/// Scratch-buffer variant: fills `out` (cleared first, capacity kept) so a
+/// long-lived caller — the svc Planner Session answering admission queries
+/// at service rates — reuses one allocation across requests instead of
+/// building a fresh vector per query.
+void deadline_checkpoints_into(const task::TaskSet& ts, Time horizon,
+                               std::vector<Time>& out);
+
 /// The horizon the demand test must examine; nullopt when no finite bound
 /// exists (U > 1 with unbounded hyperperiod).
 [[nodiscard]] std::optional<Time> analysis_horizon(const task::TaskSet& ts);

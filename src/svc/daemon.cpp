@@ -1,0 +1,251 @@
+#include "svc/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "svc/protocol.hpp"
+#include "util/error.hpp"
+
+namespace dvs::svc {
+namespace {
+
+/// Ops the stats endpoint enumerates (a fixed list keeps the stats JSON
+/// deterministic even before an op was ever requested).
+constexpr const char* kOps[] = {"ping", "admit", "plan",     "batch",
+                                "stats", "?",    "shutdown"};
+
+/// Write the whole buffer, looping over partial sends.  Returns false on
+/// a connection error (the caller then drops the connection).
+bool send_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::send(fd, data, len, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions opts)
+    : opts_(opts),
+      pool_(util::ThreadPool::resolve_threads(opts.batch_threads)) {}
+
+Daemon::~Daemon() { stop(); }
+
+void Daemon::start() {
+  DVS_EXPECT(!started_, "Daemon::start called twice");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DVS_EXPECT(listen_fd_ >= 0,
+             std::string("socket(): ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    DVS_EXPECT(false, "bind(127.0.0.1:" + std::to_string(opts_.port) +
+                          "): " + why);
+  }
+  DVS_EXPECT(::listen(listen_fd_, 64) == 0,
+             std::string("listen(): ") + std::strerror(errno));
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+  started_ = true;
+  if (opts_.log != nullptr) {
+    (*opts_.log) << "slackdvs-planner listening on 127.0.0.1:" << port_
+                 << std::endl;
+  }
+  accept_thread_ = std::thread(&Daemon::accept_loop, this);
+}
+
+void Daemon::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed (stop) or fatal — either way we are done
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&Daemon::serve_connection, this, fd);
+  }
+}
+
+void Daemon::serve_connection(int fd) {
+  ProtocolHandler handler(
+      {&pool_, [this](obs::JsonWriter& j) { write_stats(j); }});
+  std::string buf;
+  buf.reserve(4096);
+  std::string response;
+  char chunk[16384];
+  bool overflowing = false;  // discarding an oversized request
+  bool shutdown_requested = false;
+  bool alive = true;
+  while (alive && !shutdown_requested) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;  // client closed, or request_stop() shut the socket down
+    }
+    std::size_t start = 0;
+    for (ssize_t i = 0; i < n && alive && !shutdown_requested; ++i) {
+      if (chunk[i] != '\n') continue;
+      buf.append(chunk + start, static_cast<std::size_t>(i) -
+                                    start);
+      start = static_cast<std::size_t>(i) + 1;
+      if (!buf.empty() && buf.back() == '\r') buf.pop_back();
+      if (overflowing) {
+        // The newline ends the oversized request; resynchronize.
+        overflowing = false;
+        buf.clear();
+        continue;
+      }
+      if (buf.size() > opts_.max_request_bytes) {
+        // A complete line can exceed the cap without ever tripping the
+        // partial-line check below (the whole request arrived in one
+        // recv); it gets the same size error, never the parser.
+        observe("?", false, 0.0);
+        response = error_response(
+            "request exceeds " + std::to_string(opts_.max_request_bytes) +
+            " bytes");
+        response.push_back('\n');
+        alive = send_all(fd, response.data(), response.size());
+        buf.clear();
+        continue;
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      std::string op;
+      response = handler.handle(buf, &shutdown_requested, &op);
+      response.push_back('\n');
+      const double micros =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const bool ok = response.rfind("{\"ok\":true", 0) == 0;
+      observe(op, ok, micros);
+      alive = send_all(fd, response.data(), response.size());
+      buf.clear();
+    }
+    if (alive && !shutdown_requested) {
+      buf.append(chunk + start, static_cast<std::size_t>(n) - start);
+      if (!overflowing && buf.size() > opts_.max_request_bytes) {
+        // Reject now, then skip bytes until the request's newline.
+        observe("?", false, 0.0);
+        response = error_response(
+            "request exceeds " + std::to_string(opts_.max_request_bytes) +
+            " bytes");
+        response.push_back('\n');
+        alive = send_all(fd, response.data(), response.size());
+        overflowing = true;
+        buf.clear();
+      }
+    }
+  }
+  ::close(fd);
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto it = conn_fds_.begin(); it != conn_fds_.end(); ++it) {
+      if (*it == fd) {
+        conn_fds_.erase(it);
+        break;
+      }
+    }
+  }
+  if (shutdown_requested) request_stop();
+}
+
+void Daemon::observe(const std::string& op, bool ok, double micros) {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  metrics_.counter("svc." + op + ".requests").inc();
+  if (!ok) metrics_.counter("svc." + op + ".errors").inc();
+  // 0..5 ms in 100 buckets (50 us each); slower requests land in the
+  // overflow bucket and the quantile falls back to max_seen.
+  metrics_.histogram("svc." + op + ".latency_us", 0.0, 5000.0, 100)
+      .add(micros);
+}
+
+void Daemon::write_stats(obs::JsonWriter& j) {
+  const std::lock_guard<std::mutex> lock(metrics_mutex_);
+  j.key("daemon").begin_object();
+  j.key("endpoints").begin_object();
+  for (const char* op : kOps) {
+    const obs::Counter* requests =
+        metrics_.find_counter("svc." + std::string(op) + ".requests");
+    if (requests == nullptr || requests->value() == 0) continue;
+    const obs::Counter* errors =
+        metrics_.find_counter("svc." + std::string(op) + ".errors");
+    const obs::Histogram* lat =
+        metrics_.find_histogram("svc." + std::string(op) + ".latency_us");
+    j.key(op).begin_object();
+    j.kv("requests", requests->value());
+    j.kv("errors", errors != nullptr ? errors->value() : 0);
+    if (lat != nullptr && lat->samples() > 0) {
+      j.kv("p50_us", lat->quantile(0.5)).kv("p99_us", lat->quantile(0.99));
+    }
+    j.end_object();
+  }
+  j.end_object();
+  j.end_object();
+}
+
+void Daemon::request_stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    // shutdown() unblocks accept(); the fd itself is closed in wait() so
+    // a concurrent accept never sees a recycled descriptor.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  const std::lock_guard<std::mutex> lock(conn_mutex_);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Daemon::wait() {
+  if (!started_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has exited, so conn_threads_ can no longer grow.
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  pool_.shutdown();
+}
+
+void Daemon::stop() {
+  if (!started_) return;
+  request_stop();
+  wait();
+}
+
+}  // namespace dvs::svc

@@ -1,0 +1,107 @@
+// The planning daemon: `slackdvs serve` (DESIGN.md §12).
+//
+// A blocking-socket TCP server on 127.0.0.1 speaking the NDJSON protocol
+// of svc/protocol.hpp.  Thread-per-connection — each connection owns its
+// ProtocolHandler (and therefore its Session arenas); batch queries from
+// any connection fan out over one shared util::ThreadPool.  Loopback
+// only by design: the daemon is a local planning sidecar, not an
+// internet-facing service.
+//
+// Hardening contract: nothing a client sends kills the daemon.  Malformed
+// JSON, unknown ops, invalid task sets and oversized requests (the
+// request-size cap skips to the next newline) each produce one structured
+// {"ok":false,...} response on the offending connection and leave every
+// other connection untouched.
+//
+// Observability: a shared obs::MetricsRegistry (mutex-guarded — the
+// registry itself is single-threaded by design) keeps per-endpoint
+// request/error counters and latency histograms; the "stats" op reports
+// them, including p50/p99 from Histogram::quantile.
+//
+// Shutdown: the {"op":"shutdown"} request (or Daemon::stop()) closes the
+// listener, unblocks every connection, drains the batch pool and joins
+// all threads — `wait()` returns only when the last byte was written.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dvs::svc {
+
+struct DaemonOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (read it back via
+  /// port() — the CLI prints "listening on 127.0.0.1:<port>").
+  std::uint16_t port = 0;
+  /// Batch fan-out workers; 0 = one per hardware thread.
+  std::size_t batch_threads = 0;
+  /// Requests larger than this (one NDJSON line) are rejected with a
+  /// structured error; the connection survives and resynchronizes at the
+  /// next newline.
+  std::size_t max_request_bytes = 1u << 20;
+  /// Where to announce the listening address (null: silent).
+  std::ostream* log = nullptr;
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions opts = {});
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind + listen + spawn the accept thread.  Throws ContractError when
+  /// the socket cannot be bound.
+  void start();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Begin a graceful stop without blocking: close the listener and
+  /// unblock every connection.  Safe to call from a connection thread
+  /// (the shutdown op does) and idempotent.
+  void request_stop();
+
+  /// Block until the daemon has fully stopped (accept thread and every
+  /// connection joined).  Returns immediately if start() was never
+  /// called.
+  void wait();
+
+  /// request_stop() + wait().  The destructor calls it.
+  void stop();
+
+  [[nodiscard]] bool stopping() const noexcept { return stopping_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  /// Record one handled request into the shared registry.
+  void observe(const std::string& op, bool ok, double micros);
+  /// Write the daemon section of the "stats" response (locked).
+  void write_stats(obs::JsonWriter& j);
+
+  DaemonOptions opts_;
+  util::ThreadPool pool_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  std::thread accept_thread_;
+
+  std::mutex conn_mutex_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;  ///< live connection sockets (for unblock)
+
+  std::mutex metrics_mutex_;
+  obs::MetricsRegistry metrics_;
+};
+
+}  // namespace dvs::svc

@@ -1,0 +1,195 @@
+#include "svc/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cpu/processors.hpp"
+#include "sched/analysis.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dvs::svc {
+namespace {
+
+/// True when every task has an implicit deadline (D == T) — the case the
+/// utilization bound answers exactly, no checkpoint walk needed.
+bool implicit_deadlines(const task::TaskSet& ts) {
+  for (const auto& t : ts) {
+    if (!time_eq(t.deadline, t.period)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Session::Session() {
+  // Pre-size the checkpoint arena so typical embedded-scale queries
+  // (tens of tasks, hyperperiods of a few hundred deadlines) never grow
+  // it: the admission hot path then allocates nothing at all.
+  checkpoints_.reserve(1024);
+}
+
+AdmissionVerdict Session::check_uniprocessor(const task::TaskSet& ts) {
+  // The same decision procedure as sched::edf_schedulable /
+  // sched::minimum_constant_speed (same bounds, same epsilons — the
+  // equivalence is pinned by test_svc), fused into one checkpoint walk
+  // that also explains rejections and reuses the session's buffer.
+  AdmissionVerdict v;
+  v.utilization = ts.utilization();
+  v.density = ts.density();
+  if (ts.empty()) {
+    v.admitted = true;
+    v.static_speed = 1e-9;  // matches sched::minimum_constant_speed
+    return v;
+  }
+  if (v.utilization > 1.0 + 1e-9) {
+    v.reason = "utilization " + util::format_double(v.utilization, 4) +
+               " exceeds 1";
+    return v;
+  }
+  if (implicit_deadlines(ts)) {
+    v.admitted = true;
+    v.static_speed = std::min(1.0, v.utilization);
+    return v;
+  }
+  const auto horizon = sched::analysis_horizon(ts);
+  if (!horizon) {
+    // No finite demand horizon: the (sufficient) density test decides.
+    if (ts.density() <= 1.0 + 1e-9) {
+      v.admitted = true;
+      v.static_speed = std::min(1.0, ts.density());
+    } else {
+      v.reason = "density " + util::format_double(ts.density(), 4) +
+                 " exceeds 1 with no finite analysis horizon";
+    }
+    return v;
+  }
+  sched::deadline_checkpoints_into(ts, *horizon, checkpoints_);
+  double speed = v.utilization;  // h(t)/t converges to U for large t
+  for (const Time d : checkpoints_) {
+    const Work h = sched::demand_bound(ts, d);
+    if (h > d + kTimeEps) {
+      v.reason = "processor demand " + util::format_double(h, 6) +
+                 " exceeds the interval at t = " + util::format_double(d, 6);
+      return v;
+    }
+    if (d > 0.0) speed = std::max(speed, h / d);
+  }
+  v.admitted = true;
+  v.static_speed = std::min(1.0, speed);
+  return v;
+}
+
+AdmissionVerdict Session::check(const task::TaskSet& ts, std::size_t cores,
+                                mp::PartitionHeuristic heuristic,
+                                PlacementReport* placement) {
+  if (cores == 0) {
+    DVS_EXPECT(placement == nullptr,
+               "placement is a partitioned concept; pass cores >= 1");
+    return check_uniprocessor(ts);
+  }
+  AdmissionVerdict v;
+  v.utilization = ts.utilization();
+  v.density = ts.density();
+  const mp::PartitionResult pr =
+      mp::partition_task_set(ts, cores, heuristic);
+  if (placement != nullptr) {
+    placement->feasible = pr.feasible;
+    placement->cores = cores;
+    placement->heuristic = heuristic;
+    placement->core_of = pr.partition.core_of;
+    placement->core_utilization = pr.partition.core_utilization;
+    placement->rejected_task = pr.rejected_task;
+    placement->error = pr.error;
+  }
+  if (!pr.feasible) {
+    v.reason = pr.error;
+    return v;
+  }
+  v.admitted = true;
+  // The partitioned static plan: each core runs at its own minimum
+  // constant speed; report the binding (maximum) one.
+  double speed = 0.0;
+  for (std::size_t c = 0; c < cores; ++c) {
+    if (pr.partition.tasks_of_core[c].empty()) continue;
+    const task::TaskSet core_set = mp::core_task_set(ts, pr.partition, c);
+    speed = std::max(speed, sched::minimum_constant_speed(core_set));
+  }
+  v.static_speed = speed;
+  return v;
+}
+
+AdmissionVerdict Session::admit(const task::TaskSet& ts) {
+  AdmissionVerdict v = check(ts, 0, mp::PartitionHeuristic::kFirstFit,
+                             nullptr);
+  ++stats_.admit_queries;
+  ++(v.admitted ? stats_.admitted : stats_.rejected);
+  return v;
+}
+
+AdmissionVerdict Session::admit(const task::TaskSet& ts, std::size_t cores,
+                                mp::PartitionHeuristic heuristic,
+                                PlacementReport* placement) {
+  AdmissionVerdict v = check(ts, cores, heuristic, placement);
+  ++stats_.admit_queries;
+  ++(v.admitted ? stats_.admitted : stats_.rejected);
+  return v;
+}
+
+PlanReport Session::plan(const task::TaskSet& ts, const QueryOptions& opts) {
+  PlanReport r;
+  if (opts.cores >= 1) {
+    r.placement.emplace();
+    r.admission = check(ts, opts.cores, opts.heuristic, &*r.placement);
+  } else {
+    r.admission = check(ts, 0, opts.heuristic, nullptr);
+  }
+  ++stats_.plan_queries;
+  ++(r.admission.admitted ? stats_.admitted : stats_.rejected);
+  r.sim_length = opts.length < 0.0 ? ts.default_sim_length() : opts.length;
+  if (!r.admission.admitted || opts.governors.empty()) return r;
+
+  exp::ExperimentConfig cfg;
+  cfg.governors = opts.governors;
+  cfg.processor = cpu::processor_by_name(opts.processor);
+  cfg.sim_length = opts.length;
+  cfg.n_threads = 1;  // sessions are per-thread; the daemon parallelizes
+  cfg.oracle = opts.yds_bound;
+  if (opts.cores >= 1) {
+    cfg.n_cores = opts.cores;
+    cfg.partitioner = opts.heuristic;
+  }
+  const exp::Case c{ts, task::workload_by_spec(opts.workload)};
+  const exp::CaseOutcome outcome = exp::run_case(c, cfg);
+  r.bounds = outcome.bounds;
+  r.have_bounds = cfg.oracle;
+  r.plans.reserve(outcome.outcomes.size());
+  for (const auto& g : outcome.outcomes) {
+    DVS_ENSURE(!g.failed(), "plan simulation failed for governor '" +
+                                g.governor + "': " + g.error);
+    GovernorPlan p;
+    p.governor = g.governor;
+    p.total_energy = g.result.total_energy();
+    p.normalized_energy = g.normalized_energy;
+    p.average_speed = g.result.average_speed;
+    p.jobs_released = g.result.jobs_released;
+    p.deadline_misses = g.result.deadline_misses;
+    p.speed_switches = g.result.speed_switches;
+    p.preemptions = g.result.preemptions;
+    p.gap_continuous = g.gap_continuous;
+    p.gap_discrete = g.gap_discrete;
+    r.plans.push_back(std::move(p));
+  }
+  if (!outcome.outcomes.empty()) {
+    r.sim_length = outcome.outcomes.front().result.sim_length;
+  }
+  return r;
+}
+
+exp::CaseOutcome Session::run_case(const exp::Case& c,
+                                   const exp::ExperimentConfig& cfg) {
+  ++stats_.run_cases;
+  return exp::run_case(c, cfg);
+}
+
+}  // namespace dvs::svc

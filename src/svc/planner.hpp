@@ -1,0 +1,176 @@
+// Scheduling-as-a-service: the session-oriented Planner API (DESIGN.md
+// §12).
+//
+// A Session is a long-lived planning context answering four kinds of
+// question about a task set it has never seen before:
+//
+//   * admission  — the exact processor-demand EDF fit test (uniprocessor)
+//                  or partitioned feasibility (cores >= 1), with a reason
+//                  string naming the first violated checkpoint / the
+//                  rejected task instead of a bare boolean;
+//   * placement  — the ff/bf/wf bin-packing assignment, per-core
+//                  utilizations included;
+//   * speed plan — the optimal static speed plus, per requested governor,
+//                  the predicted energy/miss statistics from a
+//                  bounded-horizon simulation (exp::run_case underneath,
+//                  so the numbers are bit-identical to `slackdvs run`);
+//   * bounds     — optionally the clairvoyant YDS lower bounds (src/opt/).
+//
+// Sessions exist so the admission hot path allocates nothing in steady
+// state: the demand-test checkpoint buffer, the per-core scratch sets and
+// the response strings all live in the Session and are reused across
+// queries (capacity ratchets up to the high-water mark, like the
+// simulator's arenas).  One Session per thread — a Session is NOT
+// thread-safe; the daemon keeps one per connection and one per batch
+// worker.
+//
+// Everything here is deterministic: a query's answer is a pure function
+// of (task set, options), never of session history, thread count, or
+// which endpoint (single vs. batch) delivered it — the property the
+// batch-vs-single byte-identity test pins down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "mp/partition.hpp"
+#include "opt/yds.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+#include "util/time.hpp"
+
+namespace dvs::svc {
+
+/// What a plan/admit query should compute beyond the admission test.
+struct QueryOptions {
+  /// 0 = uniprocessor demand test; M >= 1 = partitioned feasibility.
+  std::size_t cores = 0;
+  mp::PartitionHeuristic heuristic = mp::PartitionHeuristic::kFirstFit;
+  /// Governors to simulate (registry names).  Empty: admission/placement
+  /// only, no simulation.  noDVS is prepended as the normalization
+  /// reference exactly as in exp::run_case.
+  std::vector<std::string> governors;
+  std::string processor = "ideal";
+  /// Workload spec (task::workload_by_spec grammar).
+  std::string workload = "uniform";
+  /// Simulated horizon; negative = the task set's default length.
+  Time length = -1.0;
+  /// Also compute the clairvoyant YDS lower bounds and optimality gaps.
+  bool yds_bound = false;
+};
+
+/// Outcome of the exact admission test.
+struct AdmissionVerdict {
+  bool admitted = false;
+  double utilization = 0.0;
+  double density = 0.0;
+  /// Minimum constant EDF speed (the optimal static plan); on a
+  /// partitioned query, the max over cores.  0 when rejected.
+  double static_speed = 0.0;
+  /// Empty when admitted; otherwise why not (the first violated demand
+  /// checkpoint, or the bin-packing rejection naming the task).
+  std::string reason;
+};
+
+/// The bin-packing assignment of a partitioned query.
+struct PlacementReport {
+  bool feasible = false;
+  std::size_t cores = 0;
+  mp::PartitionHeuristic heuristic = mp::PartitionHeuristic::kFirstFit;
+  std::vector<std::int32_t> core_of;        ///< task index -> core
+  std::vector<double> core_utilization;     ///< per core
+  std::int32_t rejected_task = -1;          ///< task id; -1 when feasible
+  std::string error;                        ///< non-empty iff !feasible
+};
+
+/// Predicted statistics of one governor on the queried case.
+struct GovernorPlan {
+  std::string governor;
+  double total_energy = 0.0;
+  double normalized_energy = 1.0;  ///< vs. the noDVS reference
+  double average_speed = 1.0;
+  std::int64_t jobs_released = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t speed_switches = 0;
+  std::int64_t preemptions = 0;
+  /// Optimality gaps vs. the YDS bounds; 0 unless yds_bound was set.
+  double gap_continuous = 0.0;
+  double gap_discrete = 0.0;
+};
+
+/// Full answer to a plan query.
+struct PlanReport {
+  AdmissionVerdict admission;
+  /// Present on partitioned queries (cores >= 1), admitted or not.
+  std::optional<PlacementReport> placement;
+  /// Valid when QueryOptions::yds_bound was set and the set was admitted.
+  opt::OracleBounds bounds;
+  bool have_bounds = false;
+  /// The horizon the simulation covered (resolved default included).
+  Time sim_length = 0.0;
+  /// One entry per simulated governor, noDVS reference first; empty when
+  /// the set was rejected or no governors were requested.
+  std::vector<GovernorPlan> plans;
+};
+
+/// Monotone counters a Session keeps about itself (exported by the
+/// daemon's stats endpoint).
+struct SessionStats {
+  std::int64_t admit_queries = 0;
+  std::int64_t plan_queries = 0;
+  std::int64_t run_cases = 0;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+};
+
+class Session {
+ public:
+  Session();
+
+  /// Exact uniprocessor admission (processor-demand criterion).  Agrees
+  /// with sched::edf_schedulable on every set; additionally reports the
+  /// static speed and a rejection reason.  Zero steady-state allocation:
+  /// the checkpoint buffer is session-owned.
+  [[nodiscard]] AdmissionVerdict admit(const task::TaskSet& ts);
+
+  /// Partitioned admission: bin-pack onto `cores` with `heuristic`; the
+  /// verdict is the packing feasibility, `static_speed` the max per-core
+  /// minimum constant speed.  With placement != nullptr the assignment is
+  /// reported even on rejection (as far as packing got).
+  [[nodiscard]] AdmissionVerdict admit(const task::TaskSet& ts,
+                                       std::size_t cores,
+                                       mp::PartitionHeuristic heuristic,
+                                       PlacementReport* placement);
+
+  /// The full query: admission (+placement), then — when admitted and
+  /// governors were requested — the bounded-horizon simulation and
+  /// optional YDS bounds.
+  [[nodiscard]] PlanReport plan(const task::TaskSet& ts,
+                                const QueryOptions& opts);
+
+  /// The CLI `run` path: a full experiment case through this session.
+  /// Exactly exp::run_case — same bytes, same determinism contract — with
+  /// the session accounting for it.
+  [[nodiscard]] exp::CaseOutcome run_case(const exp::Case& c,
+                                          const exp::ExperimentConfig& cfg);
+
+  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+
+ private:
+  /// The admission test proper, shared by admit() and plan() (which do
+  /// their own stats accounting).
+  [[nodiscard]] AdmissionVerdict check(const task::TaskSet& ts,
+                                       std::size_t cores,
+                                       mp::PartitionHeuristic heuristic,
+                                       PlacementReport* placement);
+  [[nodiscard]] AdmissionVerdict check_uniprocessor(const task::TaskSet& ts);
+
+  /// Reusable demand-test checkpoint buffer (the admission hot path).
+  std::vector<Time> checkpoints_;
+  SessionStats stats_;
+};
+
+}  // namespace dvs::svc

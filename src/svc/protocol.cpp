@@ -1,0 +1,378 @@
+#include "svc/protocol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "obs/json_mini.hpp"
+#include "task/io.hpp"
+#include "util/error.hpp"
+
+namespace dvs::svc {
+namespace {
+
+using obs::JsonValue;
+using obs::JsonWriter;
+using util::ContractError;
+
+// ---------------------------------------------------------------------------
+// Request decoding
+// ---------------------------------------------------------------------------
+
+const JsonValue& require(const JsonValue& q, const char* key) {
+  const JsonValue* v = q.find(key);
+  DVS_EXPECT(v != nullptr, std::string("missing required field '") + key +
+                               "'");
+  return *v;
+}
+
+double require_number(const JsonValue& q, const char* key) {
+  const JsonValue& v = require(q, key);
+  DVS_EXPECT(v.is_number(), std::string("field '") + key +
+                                "' must be a number");
+  return v.number;
+}
+
+double optional_number(const JsonValue& q, const char* key, double fallback) {
+  const JsonValue* v = q.find(key);
+  if (v == nullptr) return fallback;
+  DVS_EXPECT(v->is_number(), std::string("field '") + key +
+                                 "' must be a number");
+  return v->number;
+}
+
+std::string optional_string(const JsonValue& q, const char* key,
+                            const std::string& fallback) {
+  const JsonValue* v = q.find(key);
+  if (v == nullptr) return fallback;
+  DVS_EXPECT(v->is_string(), std::string("field '") + key +
+                                 "' must be a string");
+  return v->string;
+}
+
+std::size_t optional_count(const JsonValue& q, const char* key,
+                           std::size_t fallback, std::size_t max) {
+  const double raw = optional_number(q, key, static_cast<double>(fallback));
+  DVS_EXPECT(raw >= 0.0 && raw <= static_cast<double>(max) &&
+                 raw == std::floor(raw),
+             std::string("field '") + key + "' must be an integer in [0, " +
+                 std::to_string(max) + "]");
+  return static_cast<std::size_t>(raw);
+}
+
+std::int32_t optional_window(const JsonValue& t, const char* key,
+                             std::int32_t fallback) {
+  const double raw =
+      optional_number(t, key, static_cast<double>(fallback));
+  DVS_EXPECT(raw >= 1.0 && raw <= 1e9 && raw == std::floor(raw),
+             std::string("field '") + key +
+                 "' must be a positive integer window");
+  return static_cast<std::int32_t>(raw);
+}
+
+/// Task set from the "tasks" array or the "tasks_csv" string; the same
+/// defaulting rules as the CSV loader (deadline = period, bcet = wcet,
+/// phase = 0, hard firmness).
+task::TaskSet parse_task_set(const JsonValue& q) {
+  const std::string set_name = optional_string(q, "name", "query");
+  if (const JsonValue* csv = q.find("tasks_csv")) {
+    DVS_EXPECT(csv->is_string(), "field 'tasks_csv' must be a string");
+    std::istringstream in(csv->string);
+    return task::load_task_set_csv(in, set_name);
+  }
+  const JsonValue& tasks = require(q, "tasks");
+  DVS_EXPECT(tasks.is_array(), "field 'tasks' must be an array");
+  DVS_EXPECT(!tasks.array.empty(), "field 'tasks' must not be empty");
+  task::TaskSet ts(set_name);
+  for (std::size_t i = 0; i < tasks.array.size(); ++i) {
+    const JsonValue& jt = tasks.array[i];
+    DVS_EXPECT(jt.is_object(),
+               "tasks[" + std::to_string(i) + "] must be an object");
+    task::Task t;
+    t.id = static_cast<std::int32_t>(i);
+    t.name = optional_string(jt, "name", "t" + std::to_string(i));
+    t.period = require_number(jt, "period");
+    t.wcet = require_number(jt, "wcet");
+    t.deadline = optional_number(jt, "deadline", t.period);
+    t.bcet = optional_number(jt, "bcet", t.wcet);
+    t.phase = optional_number(jt, "phase", 0.0);
+    t.mk_m = optional_window(jt, "mk_m", 1);
+    t.mk_k = optional_window(jt, "mk_k", t.mk_m);
+    ts.add(std::move(t));
+  }
+  ts.validate();
+  return ts;
+}
+
+QueryOptions parse_options(const JsonValue& q) {
+  QueryOptions o;
+  o.cores = optional_count(q, "cores", 0, 4096);
+  o.heuristic = mp::heuristic_by_name(optional_string(q, "partition", "ff"));
+  o.processor = optional_string(q, "processor", "ideal");
+  o.workload = optional_string(q, "workload", "uniform");
+  o.length = optional_number(q, "length", -1.0);
+  if (const JsonValue* yds = q.find("yds")) {
+    DVS_EXPECT(yds->is_bool(), "field 'yds' must be a boolean");
+    o.yds_bound = yds->boolean;
+  }
+  if (const JsonValue* g = q.find("governors")) {
+    if (g->is_string()) {
+      DVS_EXPECT(g->string == "all",
+                 "field 'governors' must be an array of names or \"all\"");
+      o.governors = core::governor_names();
+    } else {
+      DVS_EXPECT(g->is_array(),
+                 "field 'governors' must be an array of names or \"all\"");
+      for (const JsonValue& name : g->array) {
+        DVS_EXPECT(name.is_string(), "governor names must be strings");
+        o.governors.push_back(name.string);
+      }
+    }
+  }
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding
+// ---------------------------------------------------------------------------
+
+/// Echo a numeric request id, directly after "op" so pipelined clients
+/// can match responses.  Non-numeric ids are a request error upstream.
+void echo_id(JsonWriter& j, const JsonValue& q) {
+  if (const JsonValue* id = q.find("id"); id != nullptr && id->is_number()) {
+    j.kv("id", id->number);
+  }
+}
+
+void encode_admission(JsonWriter& j, const AdmissionVerdict& v) {
+  j.kv("admitted", v.admitted)
+      .kv("utilization", v.utilization)
+      .kv("density", v.density)
+      .kv("static_speed", v.static_speed);
+  if (!v.reason.empty()) j.kv("reason", v.reason);
+}
+
+void encode_placement(JsonWriter& j, const PlacementReport& p) {
+  j.key("placement").begin_object();
+  j.kv("feasible", p.feasible)
+      .kv("cores", static_cast<std::int64_t>(p.cores))
+      .kv("heuristic", mp::heuristic_name(p.heuristic));
+  j.key("core_of").begin_array();
+  for (const std::int32_t c : p.core_of) j.value(c);
+  j.end_array();
+  j.key("core_utilization").begin_array();
+  for (const double u : p.core_utilization) j.value(u);
+  j.end_array();
+  if (!p.feasible) {
+    j.kv("rejected_task", p.rejected_task).kv("error", p.error);
+  }
+  j.end_object();
+}
+
+void encode_plans(JsonWriter& j, const PlanReport& r) {
+  j.kv("length", r.sim_length);
+  if (r.have_bounds) {
+    j.key("bounds").begin_object();
+    j.kv("continuous_energy", r.bounds.continuous_energy)
+        .kv("discrete_energy", r.bounds.discrete_energy)
+        .kv("max_speed", r.bounds.max_speed)
+        .kv("feasible", r.bounds.feasible)
+        .kv("jobs", static_cast<std::int64_t>(r.bounds.n_jobs));
+    j.end_object();
+  }
+  j.key("plans").begin_array();
+  for (const GovernorPlan& p : r.plans) {
+    j.begin_object();
+    j.kv("governor", p.governor)
+        .kv("energy", p.total_energy)
+        .kv("normalized", p.normalized_energy)
+        .kv("average_speed", p.average_speed)
+        .kv("jobs", p.jobs_released)
+        .kv("misses", p.deadline_misses)
+        .kv("switches", p.speed_switches)
+        .kv("preemptions", p.preemptions);
+    if (p.gap_continuous > 0.0) {
+      j.kv("gap_continuous", p.gap_continuous)
+          .kv("gap_discrete", p.gap_discrete);
+    }
+    j.end_object();
+  }
+  j.end_array();
+}
+
+/// Answer one ping/admit/plan query.  Pure: the bytes depend only on the
+/// query (plus the session's reusable arenas, never its history), which
+/// is what makes batch elements byte-identical to single responses.
+std::string respond_query(Session& session, const JsonValue& q) {
+  std::string out;
+  JsonWriter j(out);
+  const JsonValue& op_v = require(q, "op");
+  DVS_EXPECT(op_v.is_string(), "field 'op' must be a string");
+  const std::string& op = op_v.string;
+  if (op == "ping") {
+    j.begin_object().kv("ok", true).kv("op", "ping");
+    echo_id(j, q);
+    j.end_object();
+    return out;
+  }
+  if (op == "admit") {
+    const task::TaskSet ts = parse_task_set(q);
+    const QueryOptions o = parse_options(q);
+    PlacementReport placement;
+    const AdmissionVerdict v =
+        o.cores >= 1 ? session.admit(ts, o.cores, o.heuristic, &placement)
+                     : session.admit(ts);
+    j.begin_object().kv("ok", true).kv("op", "admit");
+    echo_id(j, q);
+    encode_admission(j, v);
+    if (o.cores >= 1) encode_placement(j, placement);
+    j.end_object();
+    return out;
+  }
+  if (op == "plan") {
+    const task::TaskSet ts = parse_task_set(q);
+    const QueryOptions o = parse_options(q);
+    const PlanReport r = session.plan(ts, o);
+    j.begin_object().kv("ok", true).kv("op", "plan");
+    echo_id(j, q);
+    encode_admission(j, r.admission);
+    if (r.placement) encode_placement(j, *r.placement);
+    encode_plans(j, r);
+    j.end_object();
+    return out;
+  }
+  throw ContractError("unknown op '" + op + "'");
+}
+
+}  // namespace
+
+std::string error_response(const std::string& message) {
+  std::string out;
+  JsonWriter j(out);
+  j.begin_object().kv("ok", false).kv("error", message).end_object();
+  return out;
+}
+
+ProtocolHandler::ProtocolHandler(HandlerHooks hooks)
+    : hooks_(std::move(hooks)) {}
+
+std::string ProtocolHandler::handle(const std::string& line,
+                                    bool* shutdown_requested,
+                                    std::string* op_out) {
+  if (op_out != nullptr) *op_out = "?";
+  try {
+    const JsonValue q = obs::parse_json(line);
+    DVS_EXPECT(q.is_object(), "request must be a JSON object");
+    const JsonValue& op_v = require(q, "op");
+    DVS_EXPECT(op_v.is_string(), "field 'op' must be a string");
+    const std::string& op = op_v.string;
+    if (op_out != nullptr) *op_out = op;
+
+    if (op == "shutdown") {
+      if (shutdown_requested != nullptr) *shutdown_requested = true;
+      std::string out;
+      JsonWriter j(out);
+      j.begin_object().kv("ok", true).kv("op", "shutdown");
+      echo_id(j, q);
+      j.end_object();
+      return out;
+    }
+    if (op == "stats") {
+      std::string out;
+      JsonWriter j(out);
+      j.begin_object().kv("ok", true).kv("op", "stats");
+      echo_id(j, q);
+      const SessionStats& s = session_.stats();
+      j.key("session").begin_object();
+      j.kv("admit_queries", s.admit_queries)
+          .kv("plan_queries", s.plan_queries)
+          .kv("run_cases", s.run_cases)
+          .kv("admitted", s.admitted)
+          .kv("rejected", s.rejected);
+      j.end_object();
+      if (hooks_.stats_fields) hooks_.stats_fields(j);
+      j.end_object();
+      return out;
+    }
+    if (op == "batch") {
+      const JsonValue& queries = require(q, "queries");
+      DVS_EXPECT(queries.is_array(), "field 'queries' must be an array");
+      // Fan out over the pool when one is wired in; either way results
+      // are assembled in query index order and each element's bytes are
+      // exactly the single-query response (respond_query is pure).
+      // Queries are sharded into one contiguous slab per worker so a
+      // large batch of cheap admissions pays a handful of submit/future
+      // round trips rather than one per query.
+      const std::size_t n = queries.array.size();
+      std::vector<std::string> results(n);
+      if (hooks_.batch_pool != nullptr && n > 1) {
+        // At least one slab even when the pool reports zero workers
+        // (already shut down) — its failed future routes the whole batch
+        // through the inline fallback below.
+        const std::size_t slabs =
+            std::max<std::size_t>(1, std::min(n, hooks_.batch_pool->size() * 4));
+        std::vector<std::future<void>> futures;
+        futures.reserve(slabs);
+        for (std::size_t s = 0; s < slabs; ++s) {
+          const std::size_t lo = n * s / slabs;
+          const std::size_t hi = n * (s + 1) / slabs;
+          futures.push_back(
+              hooks_.batch_pool->submit([&queries, &results, lo, hi] {
+                thread_local Session worker_session;
+                for (std::size_t i = lo; i < hi; ++i) {
+                  try {
+                    results[i] =
+                        respond_query(worker_session, queries.array[i]);
+                  } catch (const std::exception& e) {
+                    results[i] = error_response(e.what());
+                  }
+                }
+              }));
+        }
+        for (std::size_t s = 0; s < slabs; ++s) {
+          try {
+            futures[s].get();
+          } catch (const std::exception&) {
+            // Pool already shut down: answer this slab inline instead.
+            const std::size_t lo = n * s / slabs;
+            const std::size_t hi = n * (s + 1) / slabs;
+            for (std::size_t i = lo; i < hi; ++i) {
+              try {
+                results[i] = respond_query(session_, queries.array[i]);
+              } catch (const std::exception& inner) {
+                results[i] = error_response(inner.what());
+              }
+            }
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < queries.array.size(); ++i) {
+          try {
+            results[i] = respond_query(session_, queries.array[i]);
+          } catch (const std::exception& e) {
+            results[i] = error_response(e.what());
+          }
+        }
+      }
+      std::string out;
+      JsonWriter j(out);
+      j.begin_object().kv("ok", true).kv("op", "batch");
+      echo_id(j, q);
+      j.kv("n", static_cast<std::int64_t>(results.size()));
+      j.key("results").begin_array();
+      for (const std::string& r : results) j.raw(r);
+      j.end_array();
+      j.end_object();
+      return out;
+    }
+    return respond_query(session_, q);
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+}  // namespace dvs::svc

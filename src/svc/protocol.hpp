@@ -1,0 +1,80 @@
+// The svc wire protocol: newline-delimited JSON over a byte stream
+// (DESIGN.md §12).
+//
+// One request line -> one response line.  Requests are JSON objects with
+// an "op" field:
+//
+//   {"op":"ping","id":1}
+//   {"op":"admit","id":2,"tasks":[{"name":"ctl","period":0.005,
+//        "wcet":0.002}],"cores":2,"partition":"wf"}
+//   {"op":"plan","tasks_csv":"name,period,...","governors":["ccEDF"],
+//        "processor":"ideal","workload":"uniform:42","length":0.5,
+//        "yds":true}
+//   {"op":"batch","queries":[{...},{...}]}
+//   {"op":"stats"}      {"op":"shutdown"}
+//
+// Task sets arrive either as a "tasks" array of objects (period and wcet
+// required; deadline/bcet/phase/name defaulted like the CSV loader) or as
+// a "tasks_csv" string in the task/io.hpp format.  Every response is one
+// compact JSON object starting with "ok": {"ok":true,...} on success,
+// {"ok":false,"error":"..."} on failure — malformed input is an answer,
+// never a crash or a dropped connection.  A numeric "id" in the request
+// is echoed back so pipelining clients can match responses.
+//
+// Batch queries fan out over a util::ThreadPool (one thread-local Session
+// per worker) and are reassembled in query index order; each element of
+// "results" is BYTE-IDENTICAL to the response the same query would get on
+// its own — the contract that makes batching a pure transport
+// optimization (pinned by test_svc_daemon and the E13 bench).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "obs/json_writer.hpp"
+#include "svc/planner.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dvs::svc {
+
+/// Handler wiring a daemon (or a test) provides.
+struct HandlerHooks {
+  /// Fan-out pool for batch queries; null = run them inline (still in
+  /// index order, still byte-identical).
+  util::ThreadPool* batch_pool = nullptr;
+  /// Appends daemon-level fields (request counters, latency) to the
+  /// "stats" response object; null = session counters only.
+  std::function<void(obs::JsonWriter&)> stats_fields;
+};
+
+/// One protocol endpoint: a Session plus the encode/decode machinery.
+/// NOT thread-safe — one handler per connection, like the Session it
+/// owns.  Response buffers are reused across requests (zero steady-state
+/// allocation on the admission path once warmed up).
+class ProtocolHandler {
+ public:
+  explicit ProtocolHandler(HandlerHooks hooks = {});
+
+  /// Process one request line (without the trailing newline); returns the
+  /// response line (without a trailing newline).  Never throws on
+  /// malformed input.  Sets *shutdown_requested (when non-null) on a
+  /// well-formed {"op":"shutdown"} request.  When op_out is non-null it
+  /// receives the request's op ("?" when the line didn't parse that far)
+  /// — the daemon keys its per-endpoint metrics on it.
+  [[nodiscard]] std::string handle(const std::string& line,
+                                   bool* shutdown_requested = nullptr,
+                                   std::string* op_out = nullptr);
+
+  [[nodiscard]] Session& session() noexcept { return session_; }
+
+ private:
+  HandlerHooks hooks_;
+  Session session_;
+};
+
+/// The canonical error response: {"ok":false,"error":<message>}.  Used by
+/// the handler and by the daemon's request-size guard so every failure
+/// mode speaks the same shape.
+[[nodiscard]] std::string error_response(const std::string& message);
+
+}  // namespace dvs::svc

@@ -67,9 +67,18 @@ TaskSet load_task_set_csv(std::istream& in, const std::string& name) {
   std::size_t line_no = 0;
   bool header_seen = false;
   std::unordered_set<std::string> seen_names;
+  // Daemon clients (svc/, ISSUE 8) send CSV from every OS and editor:
+  // CRLF line endings, a missing final newline (std::getline already
+  // yields that last row), a UTF-8 byte-order mark, and whitespace-only
+  // lines all parse as if the file were plain POSIX text.
   while (std::getline(in, line)) {
     ++line_no;
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line_no == 1 && line.size() >= 3 && line[0] == '\xEF' &&
+        line[1] == '\xBB' && line[2] == '\xBF') {
+      line.erase(0, 3);
+    }
+    line = trim(line);
     if (line.empty() || line.front() == '#') continue;
     if (!header_seen) {
       DVS_EXPECT(util::starts_with(util::to_lower(line), "name,"),

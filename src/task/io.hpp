@@ -9,6 +9,10 @@
 //
 // All times are seconds.  `deadline`, `bcet`, and `phase` may be left
 // empty ("") to default to period, wcet, and 0 respectively.
+//
+// Robustness (service clients send all of these): CRLF line endings, a
+// final row without a trailing newline, a UTF-8 byte-order mark, and
+// whitespace-only lines are all accepted and normalized away.
 #pragma once
 
 #include <istream>

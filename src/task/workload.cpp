@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numbers>
 
 #include "util/error.hpp"
@@ -267,6 +268,41 @@ ExecutionTimeModelPtr phased_model(std::uint64_t seed, std::int64_t block_len,
 ExecutionTimeModelPtr exponential_model(std::uint64_t seed,
                                         double mean_ratio) {
   return std::make_shared<ExponentialModel>(seed, mean_ratio);
+}
+
+ExecutionTimeModelPtr workload_by_spec(const std::string& spec) {
+  std::string kind = spec;
+  std::string arg;
+  if (const auto colon = spec.find(':'); colon != std::string::npos) {
+    kind = spec.substr(0, colon);
+    arg = spec.substr(colon + 1);
+  }
+  kind = util::to_lower(kind);
+  if (kind == "const") {
+    DVS_EXPECT(!arg.empty(),
+               "workload 'const' needs a ratio, e.g. const:0.5");
+    char* end = nullptr;
+    const double ratio = std::strtod(arg.c_str(), &end);
+    DVS_EXPECT(end == arg.c_str() + arg.size() && std::isfinite(ratio) &&
+                   ratio > 0.0 && ratio <= 1.0,
+               "workload const ratio must be in (0, 1], got '" + arg + "'");
+    return constant_ratio_model(ratio);
+  }
+  std::uint64_t seed = 42;  // the CLI's historical default
+  if (!arg.empty()) {
+    char* end = nullptr;
+    const unsigned long long s = std::strtoull(arg.c_str(), &end, 10);
+    DVS_EXPECT(end == arg.c_str() + arg.size() && arg[0] != '-',
+               "workload seed must be a non-negative integer, got '" + arg +
+                   "'");
+    seed = s;
+  }
+  if (kind == "uniform") return uniform_model(seed);
+  if (kind == "sin") return sin_pattern_model(seed);
+  if (kind == "cos") return cos_pattern_model(seed);
+  if (kind == "bimodal") return bimodal_model(seed, 0.3, 0.2, 0.95);
+  DVS_EXPECT(false, "unknown workload spec: " + spec);
+  return nullptr;
 }
 
 }  // namespace dvs::task

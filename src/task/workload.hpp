@@ -87,4 +87,13 @@ using ExecutionTimeModelPtr = std::shared_ptr<const ExecutionTimeModel>;
 [[nodiscard]] ExecutionTimeModelPtr exponential_model(std::uint64_t seed,
                                                       double mean_ratio);
 
+/// Resolve a textual workload spec — the grammar the CLI and the svc
+/// protocol share:
+///   uniform[:seed] | const:RATIO | sin[:seed] | cos[:seed] |
+///   bimodal[:seed]
+/// The default seed is 42 (the CLI's historical default).  Throws
+/// util::ContractError on unknown kinds, malformed or out-of-range
+/// arguments — service callers turn that into a structured error.
+[[nodiscard]] ExecutionTimeModelPtr workload_by_spec(const std::string& spec);
+
 }  // namespace dvs::task

@@ -12,13 +12,22 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // already shut down
     stopping_ = true;
   }
   wake_.notify_all();
   for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+bool ThreadPool::stopped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
 }
 
 std::size_t ThreadPool::resolve_threads(std::size_t requested) {

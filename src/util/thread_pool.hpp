@@ -12,6 +12,11 @@
 //  * The destructor DRAINS the queue: every task submitted before
 //    destruction runs to completion, then the workers join.  A future
 //    obtained from submit() therefore never observes a broken promise.
+//  * Service hardening (ISSUE 8): shutdown() is exposed for long-lived
+//    daemons; submitting after shutdown is not UB but returns a future
+//    already holding a ContractError, and a task that throws is contained
+//    in its own future — one poisoned request can neither take down a
+//    worker nor leak into a neighbor's result.
 #pragma once
 
 #include <condition_variable>
@@ -25,6 +30,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace dvs::util {
 
 class ThreadPool {
@@ -34,6 +41,15 @@ class ThreadPool {
 
   /// Drains every pending task, then joins the workers.
   ~ThreadPool();
+
+  /// Initiate and complete an orderly shutdown: every task already queued
+  /// runs to completion, the workers join, and any later submit() returns
+  /// a failed future.  Idempotent; the destructor calls it.  Must not be
+  /// called from inside a pool task (a worker cannot join itself).
+  void shutdown();
+
+  /// True once shutdown() has begun; submissions are rejected from then on.
+  [[nodiscard]] bool stopped() const;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -46,7 +62,11 @@ class ThreadPool {
   [[nodiscard]] static std::size_t resolve_threads(std::size_t requested);
 
   /// Enqueue a nullary callable; its result (or exception) is delivered
-  /// through the returned future.
+  /// through the returned future.  An exception thrown by the task is
+  /// captured by its packaged_task and rethrown from future::get() only —
+  /// the worker survives.  After shutdown() the task is NOT enqueued; the
+  /// returned future holds a ContractError instead (checkable without
+  /// crashing a daemon that raced a request against its own stop).
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
     using R = std::invoke_result_t<std::decay_t<F>>;
@@ -55,6 +75,7 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       const std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return rejected_future<R>();
       queue_.push([task] { (*task)(); });
     }
     wake_.notify_one();
@@ -64,9 +85,18 @@ class ThreadPool {
  private:
   void worker_loop();
 
+  /// A ready future carrying the submit-after-shutdown ContractError.
+  template <typename R>
+  static std::future<R> rejected_future() {
+    std::promise<R> p;
+    p.set_exception(std::make_exception_ptr(
+        ContractError("ThreadPool::submit after shutdown")));
+    return p.get_future();
+  }
+
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;
 };

@@ -1,0 +1,138 @@
+// Hostile-input hardening of the JSON parser (obs/json_mini.hpp).  The
+// svc daemon feeds client bytes straight into parse_json, so every
+// malformed shape here must throw ContractError — never crash, hang, or
+// silently accept.  The table covers one case per failure class; the
+// focused tests pin the numeric limits (depth cap, double range) and the
+// behaviors that are easy to regress (duplicate keys, truncation points).
+#include "obs/json_mini.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dvs::obs {
+namespace {
+
+using util::ContractError;
+
+TEST(JsonMini, DeepNestingIsCappedNotUnbounded) {
+  // Just under the cap parses; past it throws instead of overflowing the
+  // recursive-descent stack.
+  const auto nested = [](std::size_t depth) {
+    return std::string(depth, '[') + std::string(depth, ']');
+  };
+  EXPECT_NO_THROW((void)parse_json(nested(150)));
+  EXPECT_THROW((void)parse_json(nested(250)), ContractError);
+  // Objects burn the same budget.
+  std::string obj;
+  for (int i = 0; i < 250; ++i) obj += "{\"k\":";
+  obj += "0";
+  for (int i = 0; i < 250; ++i) obj += "}";
+  EXPECT_THROW((void)parse_json(obj), ContractError);
+  // A pathological 100k-deep array must still be a clean error.
+  EXPECT_THROW((void)parse_json(nested(100000)), ContractError);
+}
+
+TEST(JsonMini, NumbersBeyondDoubleRangeAreErrors) {
+  EXPECT_THROW((void)parse_json("1e999"), ContractError);
+  EXPECT_THROW((void)parse_json("-1e999"), ContractError);
+  EXPECT_THROW((void)parse_json("[1, 2, 1e400]"), ContractError);
+  // The largest finite double still parses.
+  EXPECT_NO_THROW((void)parse_json("1.7976931348623157e308"));
+  // Underflow to zero is representable, not an error.
+  EXPECT_EQ(parse_json("1e-999").number, 0.0);
+}
+
+TEST(JsonMini, DuplicateObjectKeysAreRejected) {
+  try {
+    (void)parse_json("{\"a\":1,\"b\":2,\"a\":3}");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key 'a'"),
+              std::string::npos)
+        << e.what();
+  }
+  // Same key in different objects is fine.
+  EXPECT_NO_THROW((void)parse_json("[{\"a\":1},{\"a\":2}]"));
+  // And nesting under the same key is fine.
+  EXPECT_NO_THROW((void)parse_json("{\"a\":{\"a\":1}}"));
+}
+
+TEST(JsonMini, TruncationAtEveryPrefixIsACleanError) {
+  // Chop a representative document at every byte boundary; each proper
+  // prefix must throw (never crash) because no prefix of it is itself a
+  // complete document.
+  const std::string doc =
+      "{\"op\":\"admit\",\"tasks\":[{\"name\":\"c\\u00e9\",\"period\":1e-2}],"
+      "\"ok\":true}";
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_THROW((void)parse_json(doc.substr(0, len)), ContractError)
+        << "prefix length " << len;
+  }
+  EXPECT_NO_THROW((void)parse_json(doc));
+}
+
+// Malformed-input table: every entry must raise ContractError.
+struct BadJson {
+  const char* label;
+  const char* text;
+};
+
+class JsonMiniMalformed : public ::testing::TestWithParam<BadJson> {};
+
+TEST_P(JsonMiniMalformed, Throws) {
+  EXPECT_THROW((void)parse_json(GetParam().text), ContractError)
+      << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, JsonMiniMalformed,
+    ::testing::Values(
+        BadJson{"empty_input", ""},
+        BadJson{"whitespace_only", "  \n\t "},
+        BadJson{"truncated_mid_string", "\"ab"},
+        BadJson{"truncated_mid_escape", "\"ab\\"},
+        BadJson{"truncated_unicode_escape", "\"\\u00"},
+        BadJson{"non_hex_unicode_escape", "\"\\u00gz\""},
+        BadJson{"unknown_escape", "\"\\q\""},
+        BadJson{"raw_control_in_string", "\"a\nb\""},
+        BadJson{"bare_minus", "-"},
+        BadJson{"leading_plus", "+1"},
+        BadJson{"bad_literal_True", "True"},
+        BadJson{"bad_literal_nul", "nul"},
+        BadJson{"trailing_garbage", "1 2"},
+        BadJson{"trailing_comma_array", "[1,]"},
+        BadJson{"trailing_comma_object", "{\"a\":1,}"},
+        BadJson{"missing_colon", "{\"a\" 1}"},
+        BadJson{"unquoted_key", "{a:1}"},
+        BadJson{"unterminated_array", "[1,2"},
+        BadJson{"unterminated_object", "{\"a\":1"},
+        BadJson{"lone_close", "]"},
+        BadJson{"single_quotes", "'a'"}),
+    [](const ::testing::TestParamInfo<BadJson>& info) {
+      return info.param.label;
+    });
+
+TEST(JsonMini, ErrorsCarryTheByteOffset) {
+  try {
+    (void)parse_json("[1, 2, x]");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte 7"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonMini, AcceptsTheValidEdgeCases) {
+  EXPECT_EQ(parse_json("-0.0").number, 0.0);
+  EXPECT_EQ(parse_json("[]").array.size(), 0u);
+  EXPECT_EQ(parse_json("{}").object.size(), 0u);
+  EXPECT_EQ(parse_json("\"\\u0041\"").string, "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").string, "\xC3\xA9");  // é as UTF-8
+  EXPECT_EQ(parse_json(" 2.5e+2 ").number, 250.0);
+}
+
+}  // namespace
+}  // namespace dvs::obs

@@ -1,0 +1,411 @@
+// svc::Session and svc::ProtocolHandler — the Planner API contract.
+//
+// The load-bearing properties:
+//  * Session admission is EXACTLY sched::edf_schedulable (same decision on
+//    presets and on fuzzed constrained-deadline sets) plus a static speed
+//    that matches sched::minimum_constant_speed and a human-readable
+//    rejection reason;
+//  * partitioned admission mirrors mp::partition_task_set;
+//  * plan() predictions are bit-identical to exp::run_case (the CLI path);
+//  * the NDJSON protocol answers every malformed request with a structured
+//    {"ok":false,...} error, and batch responses are byte-identical to the
+//    same queries issued singly — with and without a thread pool.
+#include "svc/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "mp/partition.hpp"
+#include "obs/json_mini.hpp"
+#include "obs/json_writer.hpp"
+#include "sched/analysis.hpp"
+#include "svc/protocol.hpp"
+#include "task/benchmarks.hpp"
+#include "task/generator.hpp"
+#include "task/task.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dvs::svc {
+namespace {
+
+using obs::JsonValue;
+using obs::parse_json;
+
+// ---------------------------------------------------------------------------
+// Session: uniprocessor admission
+// ---------------------------------------------------------------------------
+
+TEST(PlannerSession, AdmitsTheEmbeddedPresets) {
+  Session session;
+  for (const task::TaskSet& ts : task::embedded_task_sets()) {
+    const AdmissionVerdict v = session.admit(ts);
+    EXPECT_TRUE(v.admitted) << ts.name() << ": " << v.reason;
+    EXPECT_TRUE(v.reason.empty());
+    EXPECT_NEAR(v.utilization, ts.utilization(), 1e-12);
+    EXPECT_NEAR(v.static_speed, sched::minimum_constant_speed(ts), 1e-9)
+        << ts.name();
+  }
+}
+
+TEST(PlannerSession, RejectsOverloadWithAUtilizationReason) {
+  Session session;
+  task::TaskSet ts("overload");
+  ts.add(task::make_task(0, "hog0", 0.01, 0.007));
+  ts.add(task::make_task(1, "hog1", 0.01, 0.007));
+  const AdmissionVerdict v = session.admit(ts);
+  EXPECT_FALSE(v.admitted);
+  EXPECT_EQ(v.static_speed, 0.0);
+  EXPECT_NE(v.reason.find("utilization"), std::string::npos) << v.reason;
+}
+
+TEST(PlannerSession, RejectsConstrainedDeadlineOverDemandWithACheckpoint) {
+  // U = 0.8 < 1, but both deadlines are half the period: h(0.005) = 0.008
+  // exceeds the interval, so only the demand test (not the utilization
+  // bound) can reject this set.
+  Session session;
+  task::TaskSet ts("tight");
+  for (int i = 0; i < 2; ++i) {
+    task::Task t = task::make_task(i, "t" + std::to_string(i), 0.01, 0.004);
+    t.deadline = 0.005;
+    ts.add(std::move(t));
+  }
+  ts.validate();
+  ASSERT_FALSE(sched::edf_schedulable(ts));
+  const AdmissionVerdict v = session.admit(ts);
+  EXPECT_FALSE(v.admitted);
+  EXPECT_NE(v.reason.find("demand"), std::string::npos) << v.reason;
+}
+
+/// Fuzzed agreement with the reference decision procedure: random sets
+/// with randomly tightened deadlines and inflated WCETs land on both
+/// sides of the schedulability boundary; Session::admit must agree with
+/// sched::edf_schedulable on every one of them, and report the matching
+/// static speed whenever the set is admitted.
+TEST(PlannerSession, FuzzedAdmissionAgreesWithEdfSchedulable) {
+  Session session;
+  util::Rng rng(20260809);
+  int admitted = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    task::GeneratorConfig gen;
+    gen.n_tasks = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    gen.total_utilization = 0.4 + 0.55 * rng.unit();
+    gen.period_min = 0.01;
+    gen.period_max = 0.16;
+    const task::TaskSet base =
+        task::generate_task_set(gen, rng);
+    // Tighten deadlines and inflate WCETs so the demand test has teeth.
+    task::TaskSet ts("fuzz" + std::to_string(iter));
+    for (const task::Task& src : base) {
+      task::Task t = src;
+      const double tighten = 0.4 + 0.6 * rng.unit();
+      t.deadline = std::max(t.wcet, t.period * tighten);
+      const double inflate = 1.0 + 0.6 * rng.unit();
+      t.wcet = std::min(t.deadline, t.wcet * inflate);
+      t.bcet = std::min(t.bcet, t.wcet);
+      ts.add(std::move(t));
+    }
+    ts.validate();
+    const bool reference = sched::edf_schedulable(ts);
+    const AdmissionVerdict v = session.admit(ts);
+    ASSERT_EQ(v.admitted, reference) << ts.name() << ": " << v.reason;
+    if (v.admitted) {
+      ++admitted;
+      EXPECT_NEAR(v.static_speed, sched::minimum_constant_speed(ts), 1e-9);
+      EXPECT_TRUE(v.reason.empty());
+    } else {
+      ++rejected;
+      EXPECT_FALSE(v.reason.empty());
+    }
+  }
+  // The fuzz grid must straddle the boundary or the test proves nothing.
+  EXPECT_GT(admitted, 20);
+  EXPECT_GT(rejected, 20);
+}
+
+TEST(PlannerSession, StatsCountQueriesAndVerdicts) {
+  Session session;
+  (void)session.admit(task::cnc_task_set());
+  task::TaskSet bad("bad");
+  bad.add(task::make_task(0, "hog", 0.01, 0.0099));
+  bad.add(task::make_task(1, "hog2", 0.01, 0.0099));
+  (void)session.admit(bad);
+  const SessionStats& s = session.stats();
+  EXPECT_EQ(s.admit_queries, 2);
+  EXPECT_EQ(s.admitted, 1);
+  EXPECT_EQ(s.rejected, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Session: partitioned admission
+// ---------------------------------------------------------------------------
+
+TEST(PlannerSession, PartitionedAdmissionMirrorsMpPartition) {
+  Session session;
+  const task::TaskSet ins = task::ins_task_set();
+  for (const auto h :
+       {mp::PartitionHeuristic::kFirstFit, mp::PartitionHeuristic::kBestFit,
+        mp::PartitionHeuristic::kWorstFit}) {
+    const mp::PartitionResult ref = mp::partition_task_set(ins, 2, h);
+    PlacementReport placement;
+    const AdmissionVerdict v = session.admit(ins, 2, h, &placement);
+    EXPECT_EQ(v.admitted, ref.feasible);
+    ASSERT_TRUE(placement.feasible);
+    EXPECT_EQ(placement.core_of, ref.partition.core_of);
+    ASSERT_EQ(placement.core_utilization.size(), 2u);
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(placement.core_utilization[c],
+                  ref.partition.core_utilization[c], 1e-12);
+    }
+  }
+}
+
+TEST(PlannerSession, PartitionedRejectionNamesTheTask) {
+  // Three ~0.9-utilization tasks cannot pack onto two cores.
+  Session session;
+  task::TaskSet ts("heavy");
+  for (int i = 0; i < 3; ++i) {
+    ts.add(task::make_task(i, "heavy" + std::to_string(i), 0.01, 0.009));
+  }
+  PlacementReport placement;
+  const AdmissionVerdict v = session.admit(
+      ts, 2, mp::PartitionHeuristic::kWorstFit, &placement);
+  EXPECT_FALSE(v.admitted);
+  EXPECT_FALSE(placement.feasible);
+  EXPECT_GE(placement.rejected_task, 0);
+  EXPECT_FALSE(v.reason.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Session: plan == exp::run_case
+// ---------------------------------------------------------------------------
+
+TEST(PlannerSession, PlanPredictionsMatchRunCase) {
+  const task::TaskSet cnc = task::cnc_task_set();
+  QueryOptions o;
+  o.governors = {"ccEDF", "lpSEH"};
+  o.length = 0.1;
+  Session session;
+  const PlanReport r = session.plan(cnc, o);
+  ASSERT_TRUE(r.admission.admitted);
+  ASSERT_EQ(r.plans.size(), 3u);  // noDVS reference first
+  EXPECT_EQ(r.plans[0].governor, "noDVS");
+
+  exp::ExperimentConfig cfg;
+  cfg.governors = o.governors;
+  cfg.sim_length = o.length;
+  cfg.n_threads = 1;
+  const exp::CaseOutcome ref =
+      exp::run_case({cnc, task::workload_by_spec("uniform")}, cfg);
+  ASSERT_EQ(ref.outcomes.size(), r.plans.size());
+  for (std::size_t i = 0; i < r.plans.size(); ++i) {
+    const GovernorPlan& p = r.plans[i];
+    const exp::GovernorOutcome& g = ref.outcomes[i];
+    EXPECT_EQ(p.governor, g.governor);
+    EXPECT_EQ(p.total_energy, g.result.total_energy());  // bit-identical
+    EXPECT_EQ(p.normalized_energy, g.normalized_energy);
+    EXPECT_EQ(p.jobs_released, g.result.jobs_released);
+    EXPECT_EQ(p.deadline_misses, g.result.deadline_misses);
+    EXPECT_EQ(p.speed_switches, g.result.speed_switches);
+    EXPECT_EQ(p.preemptions, g.result.preemptions);
+    EXPECT_EQ(p.deadline_misses, 0);
+  }
+}
+
+TEST(PlannerSession, PlanWithYdsBoundReportsGaps) {
+  QueryOptions o;
+  o.governors = {"lpSEH"};
+  o.length = 0.1;
+  o.yds_bound = true;
+  Session session;
+  const PlanReport r = session.plan(task::cnc_task_set(), o);
+  ASSERT_TRUE(r.have_bounds);
+  EXPECT_GT(r.bounds.continuous_energy, 0.0);
+  // noDVS reference first, then lpSEH, then the oracle closing column.
+  ASSERT_EQ(r.plans.size(), 3u);
+  EXPECT_EQ(r.plans.back().governor, "oracle");
+  // Gaps >= 1: no governor undercuts the clairvoyant bound.
+  EXPECT_GE(r.plans[1].gap_continuous, 1.0 - 1e-6);
+}
+
+TEST(PlannerSession, PlanOnARejectedSetSkipsSimulation) {
+  task::TaskSet bad("bad");
+  bad.add(task::make_task(0, "a", 0.01, 0.008));
+  bad.add(task::make_task(1, "b", 0.01, 0.008));
+  QueryOptions o;
+  o.governors = {"ccEDF"};
+  Session session;
+  const PlanReport r = session.plan(bad, o);
+  EXPECT_FALSE(r.admission.admitted);
+  EXPECT_TRUE(r.plans.empty());
+  EXPECT_FALSE(r.have_bounds);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol
+// ---------------------------------------------------------------------------
+
+const char* kCncTasksJson =
+    R"("tasks":[{"name":"a","period":0.0024,"wcet":0.00022},)"
+    R"({"name":"b","period":0.0048,"wcet":0.0005},)"
+    R"({"name":"c","period":0.0096,"wcet":0.00048}])";
+
+TEST(Protocol, PingEchoesTheNumericId) {
+  ProtocolHandler h;
+  EXPECT_EQ(h.handle(R"({"op":"ping","id":7})"),
+            R"({"ok":true,"op":"ping","id":7})");
+  // Non-numeric ids are not echoed (the field is defined as a number).
+  EXPECT_EQ(h.handle(R"({"op":"ping","id":"x"})"),
+            R"({"ok":true,"op":"ping"})");
+}
+
+TEST(Protocol, MalformedRequestsYieldStructuredErrors) {
+  ProtocolHandler h;
+  const char* bad[] = {
+      "",                                  // empty line
+      "{not json",                         // parse error
+      "[1,2,3]",                           // not an object
+      "{}",                                // missing op
+      R"({"op":42})",                      // op not a string
+      R"({"op":"frobnicate"})",            // unknown op
+      R"({"op":"admit"})",                 // no tasks
+      R"({"op":"admit","tasks":[]})",      // empty tasks
+      R"({"op":"admit","tasks":[{"period":0.01}]})",   // missing wcet
+      R"({"op":"admit","tasks":[{"period":-1,"wcet":0.1}]})",  // invalid
+      R"({"op":"batch"})",                 // no queries
+      R"({"op":"batch","queries":7})",     // queries not an array
+  };
+  for (const char* line : bad) {
+    const std::string resp = h.handle(line);
+    EXPECT_EQ(resp.rfind(R"({"ok":false,"error":)", 0), 0u)
+        << "input: " << line << " -> " << resp;
+    // Every error is itself valid JSON (the writer escapes the message).
+    EXPECT_NO_THROW((void)parse_json(resp)) << resp;
+  }
+}
+
+TEST(Protocol, AdmitAnswersOverTheWireShape) {
+  ProtocolHandler h;
+  const std::string resp = h.handle(
+      std::string(R"({"op":"admit","id":3,)") + kCncTasksJson + "}");
+  const JsonValue v = parse_json(resp);
+  EXPECT_TRUE(v.find("ok")->boolean);
+  EXPECT_TRUE(v.find("admitted")->boolean);
+  EXPECT_NEAR(v.find("utilization")->number, 0.2458, 1e-3);
+  EXPECT_GT(v.find("static_speed")->number, 0.0);
+  EXPECT_EQ(v.find("id")->number, 3.0);
+}
+
+TEST(Protocol, AdmitAcceptsTasksCsv) {
+  ProtocolHandler h;
+  const std::string resp = h.handle(
+      R"({"op":"admit","tasks_csv":"name,period,deadline,wcet,bcet,phase\n)"
+      R"(a,0.01,0.01,0.002,0.002,0\nb,0.02,0.02,0.004,0.004,0\n"})");
+  const JsonValue v = parse_json(resp);
+  ASSERT_TRUE(v.find("ok")->boolean) << resp;
+  EXPECT_TRUE(v.find("admitted")->boolean);
+  EXPECT_NEAR(v.find("utilization")->number, 0.4, 1e-9);
+}
+
+TEST(Protocol, PartitionedAdmitReportsPlacement) {
+  ProtocolHandler h;
+  const std::string resp = h.handle(
+      std::string(R"({"op":"admit","cores":2,"partition":"wf",)") +
+      kCncTasksJson + "}");
+  const JsonValue v = parse_json(resp);
+  ASSERT_TRUE(v.find("ok")->boolean) << resp;
+  const JsonValue* placement = v.find("placement");
+  ASSERT_NE(placement, nullptr);
+  EXPECT_TRUE(placement->find("feasible")->boolean);
+  EXPECT_EQ(placement->find("core_of")->array.size(), 3u);
+  EXPECT_EQ(placement->find("core_utilization")->array.size(), 2u);
+}
+
+TEST(Protocol, ShutdownSetsTheFlag) {
+  ProtocolHandler h;
+  bool shutdown = false;
+  const std::string resp = h.handle(R"({"op":"shutdown"})", &shutdown);
+  EXPECT_TRUE(shutdown);
+  EXPECT_EQ(resp, R"({"ok":true,"op":"shutdown"})");
+  // Other ops leave the flag alone.
+  shutdown = false;
+  (void)h.handle(R"({"op":"ping"})", &shutdown);
+  EXPECT_FALSE(shutdown);
+}
+
+TEST(Protocol, StatsReportSessionCounters) {
+  ProtocolHandler h;
+  (void)h.handle(std::string(R"({"op":"admit",)") + kCncTasksJson + "}");
+  const JsonValue v = parse_json(h.handle(R"({"op":"stats"})"));
+  const JsonValue* session = v.find("session");
+  ASSERT_NE(session, nullptr);
+  EXPECT_EQ(session->find("admit_queries")->number, 1.0);
+  EXPECT_EQ(session->find("admitted")->number, 1.0);
+}
+
+/// The protocol's central determinism contract, checked both serially and
+/// through the thread-pool fan-out: batch element i is byte-identical to
+/// the response the same query gets on its own.
+TEST(Protocol, BatchElementsAreByteIdenticalToSingles) {
+  const std::vector<std::string> queries = {
+      R"({"op":"ping","id":1})",
+      std::string(R"({"op":"admit","id":2,)") + kCncTasksJson + "}",
+      std::string(R"({"op":"admit","id":3,"cores":2,)") + kCncTasksJson +
+          "}",
+      R"({"op":"admit","id":4,"tasks":[{"period":0.01,"wcet":0.009},)"
+      R"({"period":0.01,"wcet":0.009}]})",          // rejected
+      R"({"op":"admit"})",                          // per-query error
+      std::string(R"({"op":"plan","id":6,"governors":["ccEDF"],)"
+                  R"("length":0.05,)") +
+          kCncTasksJson + "}",
+  };
+  std::string batch = R"({"op":"batch","id":99,"queries":[)";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i != 0) batch.push_back(',');
+    batch += queries[i];
+  }
+  batch += "]}";
+
+  // Reference: each query answered singly by a fresh-but-shared handler.
+  ProtocolHandler ref;
+  std::vector<std::string> singles;
+  for (const std::string& q : queries) singles.push_back(ref.handle(q));
+
+  util::ThreadPool pool(4);
+  ProtocolHandler pooled({&pool, {}});
+  ProtocolHandler serial;  // no pool: inline loop
+  for (ProtocolHandler* h : {&pooled, &serial}) {
+    const std::string resp = h->handle(batch);
+    const JsonValue v = parse_json(resp);
+    ASSERT_TRUE(v.find("ok")->boolean) << resp;
+    EXPECT_EQ(v.find("id")->number, 99.0);
+    EXPECT_EQ(v.find("n")->number, static_cast<double>(queries.size()));
+    const JsonValue* results = v.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->array.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      EXPECT_EQ(obs::write_json(results->array[i]), singles[i])
+          << "query " << i;
+    }
+  }
+}
+
+TEST(Protocol, BatchSurvivesAShutDownPool) {
+  util::ThreadPool pool(2);
+  pool.shutdown();
+  ProtocolHandler h({&pool, {}});
+  const std::string resp = h.handle(
+      R"({"op":"batch","queries":[{"op":"ping"},{"op":"ping"}]})");
+  const JsonValue v = parse_json(resp);
+  ASSERT_TRUE(v.find("ok")->boolean) << resp;
+  ASSERT_EQ(v.find("results")->array.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dvs::svc

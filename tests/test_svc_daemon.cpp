@@ -1,0 +1,266 @@
+// svc::Daemon — loopback end-to-end over real TCP.
+//
+// Covers the daemon's operational contract: ephemeral-port startup,
+// request/response over the wire, batch-vs-single byte identity through
+// the network path, resilience (malformed lines and oversized requests
+// answer an error without dropping the connection), the stats endpoint's
+// per-endpoint counters, concurrent connections, and both shutdown paths
+// (client-initiated {"op":"shutdown"} and server-side stop()).
+#include "svc/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json_mini.hpp"
+#include "obs/json_writer.hpp"
+#include "util/error.hpp"
+
+namespace dvs::svc {
+namespace {
+
+using obs::JsonValue;
+using obs::parse_json;
+
+/// Minimal blocking NDJSON test client.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    connected_ = ::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof addr) == 0;
+    EXPECT_TRUE(connected_) << std::strerror(errno);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  [[nodiscard]] bool connected() const { return connected_; }
+
+  void send_raw(const std::string& bytes) {
+    const char* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        FAIL() << "send: " << std::strerror(errno);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  /// One response line; empty string on EOF.
+  std::string recv_line() {
+    while (true) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return {};
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string round_trip(const std::string& line) {
+    send_raw(line + "\n");
+    return recv_line();
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+const char* kTasksJson =
+    R"("tasks":[{"name":"a","period":0.0024,"wcet":0.00022},)"
+    R"({"name":"b","period":0.0048,"wcet":0.0005},)"
+    R"({"name":"c","period":0.0096,"wcet":0.00048}])";
+
+TEST(SvcDaemon, BindsAnEphemeralPortAndAnswersPing) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  ASSERT_GT(daemon.port(), 0);
+  TestClient client(daemon.port());
+  EXPECT_EQ(client.round_trip(R"({"op":"ping","id":1})"),
+            R"({"ok":true,"op":"ping","id":1})");
+  daemon.stop();
+}
+
+TEST(SvcDaemon, AdmissionOverTheWire) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  TestClient client(daemon.port());
+  const JsonValue v = parse_json(client.round_trip(
+      std::string(R"({"op":"admit",)") + kTasksJson + "}"));
+  EXPECT_TRUE(v.find("ok")->boolean);
+  EXPECT_TRUE(v.find("admitted")->boolean);
+  daemon.stop();
+}
+
+TEST(SvcDaemon, BatchOverTheWireIsByteIdenticalToSingles) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  TestClient client(daemon.port());
+  const std::vector<std::string> queries = {
+      R"({"op":"ping","id":1})",
+      std::string(R"({"op":"admit","id":2,)") + kTasksJson + "}",
+      R"({"op":"admit","id":3,"tasks":[{"period":0.01,"wcet":0.009},)"
+      R"({"period":0.01,"wcet":0.009}]})",
+  };
+  std::vector<std::string> singles;
+  for (const std::string& q : queries) singles.push_back(client.round_trip(q));
+  std::string batch = R"({"op":"batch","queries":[)";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i != 0) batch.push_back(',');
+    batch += queries[i];
+  }
+  batch += "]}";
+  const JsonValue v = parse_json(client.round_trip(batch));
+  ASSERT_TRUE(v.find("ok")->boolean);
+  const JsonValue* results = v.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(obs::write_json(results->array[i]), singles[i]);
+  }
+  daemon.stop();
+}
+
+TEST(SvcDaemon, MalformedLineDoesNotDropTheConnection) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  TestClient client(daemon.port());
+  const std::string err = client.round_trip("{definitely not json");
+  EXPECT_EQ(err.rfind(R"({"ok":false)", 0), 0u) << err;
+  // CRLF framing is accepted too.
+  client.send_raw("{\"op\":\"ping\"}\r\n");
+  EXPECT_EQ(client.recv_line(), R"({"ok":true,"op":"ping"})");
+  daemon.stop();
+}
+
+TEST(SvcDaemon, OversizedRequestIsRejectedAndTheStreamResynchronizes) {
+  DaemonOptions opts;
+  opts.max_request_bytes = 1024;
+  Daemon daemon(opts);
+  daemon.start();
+  TestClient client(daemon.port());
+  // 4 KB of garbage on one line: one error response, then the connection
+  // must keep serving the next (valid) request.
+  const std::string huge(4096, 'x');
+  const std::string err = client.round_trip(huge);
+  EXPECT_EQ(err.rfind(R"({"ok":false)", 0), 0u) << err;
+  EXPECT_NE(err.find("1024"), std::string::npos) << err;
+  EXPECT_EQ(client.round_trip(R"({"op":"ping"})"),
+            R"({"ok":true,"op":"ping"})");
+  daemon.stop();
+}
+
+TEST(SvcDaemon, StatsCountPerEndpointTraffic) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  TestClient client(daemon.port());
+  (void)client.round_trip(R"({"op":"ping"})");
+  (void)client.round_trip(R"({"op":"ping"})");
+  (void)client.round_trip(std::string(R"({"op":"admit",)") + kTasksJson +
+                          "}");
+  (void)client.round_trip("not json");
+  const JsonValue v = parse_json(client.round_trip(R"({"op":"stats"})"));
+  ASSERT_TRUE(v.find("ok")->boolean);
+  const JsonValue* endpoints = v.find("daemon")->find("endpoints");
+  ASSERT_NE(endpoints, nullptr);
+  EXPECT_EQ(endpoints->find("ping")->find("requests")->number, 2.0);
+  EXPECT_EQ(endpoints->find("admit")->find("requests")->number, 1.0);
+  // The malformed line lands on the "?" endpoint as an error.
+  EXPECT_EQ(endpoints->find("?")->find("errors")->number, 1.0);
+  // Latency quantiles are present once an endpoint saw traffic.
+  EXPECT_GE(endpoints->find("ping")->find("p99_us")->number, 0.0);
+  daemon.stop();
+}
+
+TEST(SvcDaemon, ServesConcurrentConnections) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  const std::uint16_t port = daemon.port();
+  constexpr int kClients = 8;
+  constexpr int kQueries = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> ok_counts(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client(port);
+      if (!client.connected()) return;
+      const std::string q =
+          std::string(R"({"op":"admit","id":)") + std::to_string(c) + "," +
+          kTasksJson + "}";
+      const std::string expected = client.round_trip(q);
+      for (int i = 1; i < kQueries; ++i) {
+        if (client.round_trip(q) == expected) ++ok_counts[c];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(ok_counts[c], kQueries - 1) << "client " << c;
+  }
+  daemon.stop();
+}
+
+TEST(SvcDaemon, ClientShutdownOpStopsTheDaemon) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  TestClient client(daemon.port());
+  EXPECT_EQ(client.round_trip(R"({"op":"shutdown"})"),
+            R"({"ok":true,"op":"shutdown"})");
+  daemon.wait();  // must return: the shutdown op tears everything down
+  EXPECT_TRUE(daemon.stopping());
+  // A second stop() is a harmless no-op.
+  daemon.stop();
+}
+
+TEST(SvcDaemon, StopUnblocksAnIdleConnection) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  TestClient idle(daemon.port());
+  (void)idle.round_trip(R"({"op":"ping"})");
+  // The client is now idle mid-connection; stop() must not hang on it.
+  daemon.stop();
+  EXPECT_TRUE(idle.recv_line().empty());  // server closed the socket
+}
+
+TEST(SvcDaemon, StartTwiceIsAContractError) {
+  Daemon daemon((DaemonOptions()));
+  daemon.start();
+  EXPECT_THROW(daemon.start(), util::ContractError);
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace dvs::svc

@@ -133,6 +133,78 @@ TEST(TaskSetCsv, HandlesWindowsLineEndings) {
   EXPECT_EQ(ts[0].name, "control");
 }
 
+// Byte-level framing table: the same two-task document under every line
+// convention a networked client might send (DESIGN.md §12 — the daemon
+// accepts tasks_csv payloads verbatim).  Each variant must load the same
+// two tasks.
+struct FramingCase {
+  const char* label;
+  const char* text;
+};
+
+class TaskSetCsvFraming : public ::testing::TestWithParam<FramingCase> {};
+
+TEST_P(TaskSetCsvFraming, LoadsTheSameTwoTasks) {
+  std::istringstream in(GetParam().text);
+  const TaskSet ts = load_task_set_csv(in, "framing");
+  ASSERT_EQ(ts.size(), 2u) << GetParam().label;
+  EXPECT_EQ(ts[0].name, "control");
+  EXPECT_DOUBLE_EQ(ts[0].period, 0.005);
+  EXPECT_EQ(ts[1].name, "telemetry");
+  EXPECT_DOUBLE_EQ(ts[1].wcet, 0.004);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, TaskSetCsvFraming,
+    ::testing::Values(
+        FramingCase{"unix_lf",
+                    "name,period,deadline,wcet,bcet,phase\n"
+                    "control,0.005,,0.002,,\n"
+                    "telemetry,0.020,,0.004,,\n"},
+        FramingCase{"crlf",
+                    "name,period,deadline,wcet,bcet,phase\r\n"
+                    "control,0.005,,0.002,,\r\n"
+                    "telemetry,0.020,,0.004,,\r\n"},
+        FramingCase{"no_final_newline",
+                    "name,period,deadline,wcet,bcet,phase\n"
+                    "control,0.005,,0.002,,\n"
+                    "telemetry,0.020,,0.004,,"},
+        FramingCase{"crlf_no_final_newline",
+                    "name,period,deadline,wcet,bcet,phase\r\n"
+                    "control,0.005,,0.002,,\r\n"
+                    "telemetry,0.020,,0.004,,"},
+        FramingCase{"utf8_bom",
+                    "\xEF\xBB\xBFname,period,deadline,wcet,bcet,phase\n"
+                    "control,0.005,,0.002,,\n"
+                    "telemetry,0.020,,0.004,,\n"},
+        FramingCase{"blank_and_whitespace_lines",
+                    "name,period,deadline,wcet,bcet,phase\n"
+                    "\n"
+                    "control,0.005,,0.002,,\n"
+                    "   \t\n"
+                    "telemetry,0.020,,0.004,,\n"
+                    "\n"},
+        FramingCase{"indented_comment_and_rows",
+                    "name,period,deadline,wcet,bcet,phase\n"
+                    "  # mid-file comment\n"
+                    "  control,0.005,,0.002,,\n"
+                    "  telemetry,0.020,,0.004,,\n"}),
+    [](const ::testing::TestParamInfo<FramingCase>& info) {
+      return info.param.label;
+    });
+
+TEST(TaskSetCsv, BomIsOnlyStrippedOnTheFirstLine) {
+  // A BOM byte sequence mid-file is payload, not framing: here it corrupts
+  // a task name into non-matching bytes, and the row still parses (names
+  // are opaque), proving the stripping is positionally scoped.
+  std::istringstream in(
+      "name,period,deadline,wcet,bcet,phase\n"
+      "\xEF\xBB\xBFweird,0.005,,0.002,,\n");
+  const TaskSet ts = load_task_set_csv(in);
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].name, "\xEF\xBB\xBFweird");
+}
+
 TEST(TaskSetCsv, MissingFileThrows) {
   EXPECT_THROW((void)load_task_set_csv_file("/nonexistent/path.csv"),
                ContractError);

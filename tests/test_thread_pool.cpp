@@ -87,6 +87,59 @@ TEST(ThreadPool, DestructionDrainsPendingWork) {
   for (auto& f : futures) EXPECT_NO_THROW(f.get());
 }
 
+TEST(ThreadPool, SubmitAfterShutdownReturnsFailedFuture) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.stopped());
+  pool.shutdown();
+  EXPECT_TRUE(pool.stopped());
+  // Service hardening: a late submit is a rejected request, not UB.  The
+  // future is valid and reports the refusal as ContractError.
+  auto f = pool.submit([] { return 7; });
+  ASSERT_TRUE(f.valid());
+  EXPECT_THROW((void)f.get(), ContractError);
+  // The rejected task never ran.
+  std::atomic<bool> ran{false};
+  auto g = pool.submit([&ran] { ran.store(true); });
+  EXPECT_THROW(g.get(), ContractError);
+  EXPECT_FALSE(ran.load());
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWorkFirst) {
+  ThreadPool pool(2);
+  std::atomic<int> executed{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([&executed] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      executed.fetch_add(1);
+    }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(executed.load(), 32);
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(3);
+  pool.shutdown();
+  EXPECT_NO_THROW(pool.shutdown());
+  EXPECT_NO_THROW(pool.shutdown());
+  EXPECT_TRUE(pool.stopped());
+  // The destructor's implicit shutdown after an explicit one is also fine.
+}
+
+TEST(ThreadPool, ThrowingTaskIsContainedToItsFuture) {
+  // A worker that sees a throwing task must not take the pool (or the
+  // process) down with it: later submissions on the same workers succeed.
+  ThreadPool pool(1);  // one worker => the same thread handles all three
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto also_bad = pool.submit([]() -> int { throw 42; });  // non-std throw
+  auto good = pool.submit([] { return 3; });
+  EXPECT_THROW((void)bad.get(), std::runtime_error);
+  EXPECT_THROW((void)also_bad.get(), int);
+  EXPECT_EQ(good.get(), 3);
+}
+
 TEST(ThreadPool, SingleWorkerDegeneratesToSerialFifo) {
   ThreadPool pool(1);
   std::vector<int> order;

@@ -1,0 +1,288 @@
+// planner_client — NDJSON client for the slackdvs planning daemon.
+//
+//   planner_client --port P [--host H] [--smoke] [--shutdown]
+//
+// Modes:
+//   (default)   pipe: read request lines from stdin, print response lines
+//               to stdout — `echo '{"op":"ping"}' | planner_client ...`
+//   --smoke     run the CI smoke set against the daemon: ping, an
+//               admission that must be accepted (cnc), one that must be
+//               rejected (overloaded), a plan query, a batch whose
+//               elements must be byte-identical to the same queries
+//               issued one at a time, a malformed line that must produce
+//               a structured error WITHOUT killing the connection, and a
+//               stats read that must show nonzero request counts.  Exit 0
+//               iff every check passed.
+//   --shutdown  additionally send {"op":"shutdown"} at the end (smoke) or
+//               as the only request (pipe mode with no stdin input).
+//
+// Exit status: 0 success, 1 failed checks or I/O errors, 2 usage.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/json_mini.hpp"
+#include "obs/json_writer.hpp"
+
+namespace {
+
+using dvs::obs::JsonValue;
+
+/// Blocking line-oriented connection to the daemon.
+class Connection {
+ public:
+  Connection(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) fail("socket");
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      fail("bad host address: " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) != 0) {
+      fail("connect to " + host + ":" + std::to_string(port));
+    }
+  }
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  void send_line(const std::string& line) {
+    std::string framed = line;
+    framed.push_back('\n');
+    const char* p = framed.data();
+    std::size_t left = framed.size();
+    while (left > 0) {
+      const ssize_t n = ::send(fd_, p, left, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        fail("send");
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  /// One response line, newline stripped; empty on EOF.
+  std::string recv_line() {
+    std::string line;
+    while (true) {
+      const auto nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        return buf_;  // EOF: whatever is left (usually empty)
+      }
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string round_trip(const std::string& line) {
+    send_line(line);
+    return recv_line();
+  }
+
+ private:
+  [[noreturn]] static void fail(const std::string& what) {
+    std::cerr << "planner_client: " << what << ": " << std::strerror(errno)
+              << '\n';
+    std::exit(1);
+  }
+  int fd_ = -1;
+  std::string buf_;
+};
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what, const std::string& detail = "") {
+  if (ok) {
+    std::cout << "ok   " << what << '\n';
+  } else {
+    ++g_failures;
+    std::cout << "FAIL " << what;
+    if (!detail.empty()) std::cout << " — " << detail;
+    std::cout << '\n';
+  }
+}
+
+/// True when the response parses and "ok" has the expected value.
+bool response_ok(const std::string& line, bool expect_ok) {
+  try {
+    const JsonValue v = dvs::obs::parse_json(line);
+    const JsonValue* ok = v.find("ok");
+    return ok != nullptr && ok->is_bool() && ok->boolean == expect_ok;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool bool_field(const std::string& line, const char* key) {
+  const JsonValue v = dvs::obs::parse_json(line);
+  const JsonValue* f = v.find(key);
+  return f != nullptr && f->is_bool() && f->boolean;
+}
+
+/// The CNC preset as an inline "tasks" array (admitted: U ~ 0.52).
+const char* kCncTasks =
+    R"("tasks":[{"name":"x_axis","period":0.0024,"wcet":0.00022},)"
+    R"({"name":"y_axis","period":0.0024,"wcet":0.00022},)"
+    R"({"name":"x_pos","period":0.0048,"wcet":0.00024},)"
+    R"({"name":"y_pos","period":0.0048,"wcet":0.00024},)"
+    R"({"name":"interp","period":0.0048,"wcet":0.0005},)"
+    R"({"name":"status","period":0.0096,"wcet":0.00048},)"
+    R"({"name":"parser","period":0.0096,"wcet":0.00048},)"
+    R"({"name":"panel","period":0.0192,"wcet":0.0006}])";
+
+/// Two tasks demanding 140% of the processor (rejected).
+const char* kOverloadTasks =
+    R"("tasks":[{"name":"hog0","period":0.01,"wcet":0.007},)"
+    R"({"name":"hog1","period":0.01,"wcet":0.007}])";
+
+int run_smoke(Connection& conn, bool send_shutdown) {
+  // 1. ping
+  check(response_ok(conn.round_trip(R"({"op":"ping","id":1})"), true),
+        "ping");
+
+  // 2. admission accept
+  const std::string admit_yes =
+      conn.round_trip(std::string(R"({"op":"admit","id":2,)") + kCncTasks +
+                      "}");
+  check(response_ok(admit_yes, true) && bool_field(admit_yes, "admitted"),
+        "admit accepts a schedulable set", admit_yes);
+
+  // 3. admission reject
+  const std::string admit_no =
+      conn.round_trip(std::string(R"({"op":"admit","id":3,)") +
+                      kOverloadTasks + "}");
+  check(response_ok(admit_no, true) && !bool_field(admit_no, "admitted"),
+        "admit rejects an overloaded set", admit_no);
+
+  // 4. plan with governors
+  const std::string plan = conn.round_trip(
+      std::string(R"({"op":"plan","id":4,)") + kCncTasks +
+      R"(,"governors":["ccEDF","lpSEH"],"length":0.1})");
+  check(response_ok(plan, true) &&
+            plan.find("\"plans\":[") != std::string::npos,
+        "plan returns governor predictions");
+
+  // 5. batch == singles, byte for byte
+  const std::vector<std::string> queries = {
+      std::string(R"({"op":"admit","id":10,)") + kCncTasks + "}",
+      std::string(R"({"op":"admit","id":11,)") + kOverloadTasks + "}",
+      R"({"op":"ping","id":12})",
+  };
+  std::vector<std::string> singles;
+  singles.reserve(queries.size());
+  for (const std::string& q : queries) singles.push_back(conn.round_trip(q));
+  std::string batch = R"({"op":"batch","id":13,"queries":[)";
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (i != 0) batch.push_back(',');
+    batch += queries[i];
+  }
+  batch += "]}";
+  const std::string batch_resp = conn.round_trip(batch);
+  bool batch_ok = response_ok(batch_resp, true);
+  if (batch_ok) {
+    const JsonValue v = dvs::obs::parse_json(batch_resp);
+    const JsonValue* results = v.find("results");
+    batch_ok = results != nullptr && results->is_array() &&
+               results->array.size() == singles.size();
+    if (batch_ok) {
+      for (std::size_t i = 0; i < singles.size(); ++i) {
+        batch_ok = batch_ok &&
+                   dvs::obs::write_json(results->array[i]) == singles[i];
+      }
+    }
+  }
+  check(batch_ok, "batch responses byte-identical to single queries");
+
+  // 6. malformed input: structured error, connection survives
+  check(response_ok(conn.round_trip("{this is not json"), false),
+        "malformed request yields a structured error");
+  check(response_ok(conn.round_trip(R"({"op":"ping"})"), true),
+        "connection survives the malformed request");
+
+  // 7. stats show traffic
+  const std::string stats = conn.round_trip(R"({"op":"stats"})");
+  check(response_ok(stats, true) &&
+            stats.find("\"admit\":{\"requests\":") != std::string::npos,
+        "stats report per-endpoint counters", stats);
+
+  if (send_shutdown) {
+    check(response_ok(conn.round_trip(R"({"op":"shutdown"})"), true),
+          "shutdown acknowledged");
+  }
+  std::cout << (g_failures == 0 ? "SMOKE PASS" : "SMOKE FAIL") << '\n';
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  bool smoke = false;
+  bool shutdown = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (a == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--shutdown") {
+      shutdown = true;
+    } else {
+      std::cerr << "usage: planner_client --port P [--host H] [--smoke] "
+                   "[--shutdown]\n";
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::cerr << "planner_client: --port is required (1..65535)\n";
+    return 2;
+  }
+  Connection conn(host, static_cast<std::uint16_t>(port));
+  if (smoke) return run_smoke(conn, shutdown);
+
+  // Pipe mode: forward stdin lines, print responses.
+  std::string line;
+  bool any = false;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    any = true;
+    std::cout << conn.round_trip(line) << '\n';
+  }
+  if (shutdown) {
+    std::cout << conn.round_trip(R"({"op":"shutdown"})") << '\n';
+    any = true;
+  }
+  if (!any) {
+    std::cerr << "planner_client: nothing to send (empty stdin; see "
+                 "--smoke)\n";
+    return 2;
+  }
+  return 0;
+}

@@ -2,10 +2,29 @@
 //
 //   slackdvs analyze  <taskset>                      schedulability report
 //   slackdvs run      <taskset> [options]            simulate + compare
+//   slackdvs admit    <taskset> [options]            admission verdict
+//   slackdvs serve    [options]                      planning daemon
 //   slackdvs gen      <U> <n> <seed> [file]          random task set CSV
 //
 // <taskset> is either a CSV file (see task/io.hpp) or one of the presets
 // ins / cnc / avionics.
+//
+// `admit` and `run` are thin clients of the svc Planner API (DESIGN.md
+// §12): the same svc::Session that backs the daemon answers them, so a
+// verdict printed here is bit-identical to the one `slackdvs serve`
+// would return over the wire.
+//
+// admit options:
+//   --cores M, --partition ff|bf|wf   partitioned admission (as in run)
+//   exit status: 0 admitted, 2 rejected
+//
+// serve options:
+//   --port P                    TCP port on 127.0.0.1 (default 0 =
+//                               ephemeral; the bound port is printed as
+//                               "listening on 127.0.0.1:PORT")
+//   --jobs N                    batch fan-out workers (0 = hardware)
+//   --max-request-bytes B       per-request size cap (default 1 MiB)
+//   The daemon runs until it receives {"op":"shutdown"}.
 //
 // run options:
 //   --governor NAME[,NAME...]   registry names; default: all
@@ -73,6 +92,8 @@
 #include "task/benchmarks.hpp"
 #include "task/generator.hpp"
 #include "task/io.hpp"
+#include "svc/daemon.hpp"
+#include "svc/planner.hpp"
 #include "task/workload.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -140,6 +161,8 @@ void usage() {
                    [--trace-out FILE.json] [--metrics] [--oracle]
                    [--cores M] [--partition ff|bf|wf]
                    [--mk M:K] [--degrade]
+  slackdvs admit   <taskset> [--cores M] [--partition ff|bf|wf]
+  slackdvs serve   [--port P] [--jobs N] [--max-request-bytes B]
   slackdvs gen     <utilization> <n_tasks> <seed> [out.csv]
 
 <taskset>: a CSV file or a preset (ins | cnc | avionics).
@@ -155,31 +178,13 @@ task::TaskSet resolve_task_set(const std::string& spec) {
 }
 
 task::ExecutionTimeModelPtr resolve_workload(const std::string& spec) {
-  std::string kind = spec;
-  std::string arg;
-  if (const auto colon = spec.find(':'); colon != std::string::npos) {
-    kind = spec.substr(0, colon);
-    arg = spec.substr(colon + 1);
+  // The spec grammar lives with the workload models now (the svc protocol
+  // shares it); a bad spec is still a *usage* error here (exit 2).
+  try {
+    return task::workload_by_spec(spec);
+  } catch (const util::ContractError& e) {
+    throw UsageError(std::string("--workload: ") + e.what());
   }
-  kind = util::to_lower(kind);
-  if (kind == "const") {
-    if (arg.empty()) {
-      throw UsageError("--workload const needs a ratio, e.g. const:0.5");
-    }
-    return task::constant_ratio_model(
-        parse_double("--workload const", arg, 1e-9, 1.0));
-  }
-  const std::uint64_t seed =
-      arg.empty() ? 42
-                  : static_cast<std::uint64_t>(parse_int(
-                        "--workload " + kind + " seed", arg, 0,
-                        std::numeric_limits<long long>::max()));
-  if (kind == "uniform") return task::uniform_model(seed);
-  if (kind == "sin") return task::sin_pattern_model(seed);
-  if (kind == "cos") return task::cos_pattern_model(seed);
-  if (kind == "bimodal") return task::bimodal_model(seed, 0.3, 0.2, 0.95);
-  DVS_EXPECT(false, "unknown workload spec: " + spec);
-  return nullptr;
 }
 
 int cmd_analyze(const std::string& spec) {
@@ -386,7 +391,10 @@ int cmd_run(const std::vector<std::string>& args) {
       cfg.n_cores = n_cores;
       cfg.partitioner = partitioner;
     }
-    const exp::CaseOutcome outcome = exp::run_case({ts, workload}, cfg);
+    // Through the Planner Session — the same engine the daemon serves;
+    // forwards to exp::run_case, so the output bytes are unchanged.
+    svc::Session session;
+    const exp::CaseOutcome outcome = session.run_case({ts, workload}, cfg);
     exp::print_case(std::cout, outcome,
                     ts.name() + " on " + processor.name + " (" +
                         workload->name() + ", EDF)");
@@ -603,6 +611,90 @@ int cmd_run(const std::vector<std::string>& args) {
   return misses == 0 ? 0 : 3;
 }
 
+/// `slackdvs admit` — the admission endpoint as a one-shot command: the
+/// exact verdict (and rejection reason) the daemon would serve, exit 0
+/// when admitted and 2 when rejected.
+int cmd_admit(const std::vector<std::string>& args) {
+  DVS_EXPECT(!args.empty(), "admit: missing <taskset>");
+  const task::TaskSet ts = resolve_task_set(args[0]);
+  std::size_t n_cores = 0;
+  mp::PartitionHeuristic partitioner = mp::PartitionHeuristic::kFirstFit;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      DVS_EXPECT(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--cores") {
+      n_cores = static_cast<std::size_t>(parse_int("--cores", value(), 1,
+                                                   4096));
+    } else if (a == "--partition") {
+      partitioner = mp::heuristic_by_name(value());
+    } else {
+      DVS_EXPECT(false, "unknown option: " + a);
+    }
+  }
+  svc::Session session;
+  svc::PlacementReport placement;
+  const svc::AdmissionVerdict v =
+      n_cores >= 1 ? session.admit(ts, n_cores, partitioner, &placement)
+                   : session.admit(ts);
+  std::cout << "task set '" << ts.name() << "': U = "
+            << util::format_double(v.utilization, 4) << ", density = "
+            << util::format_double(v.density, 4) << '\n';
+  if (n_cores >= 1) {
+    std::cout << "partitioned admission (" << mp::heuristic_name(partitioner)
+              << " on " << n_cores << " cores): ";
+  } else {
+    std::cout << "EDF admission (processor demand): ";
+  }
+  if (v.admitted) {
+    std::cout << "ADMITTED (static speed "
+              << util::format_double(v.static_speed, 4) << ")\n";
+    if (n_cores >= 1) {
+      for (std::size_t c = 0; c < placement.core_utilization.size(); ++c) {
+        std::cout << "  core" << c << ": U = "
+                  << util::format_double(placement.core_utilization[c], 4)
+                  << '\n';
+      }
+    }
+    return 0;
+  }
+  std::cout << "REJECTED: " << v.reason << '\n';
+  return 2;
+}
+
+/// `slackdvs serve` — the planning daemon, foreground, until a client
+/// sends {"op":"shutdown"}.
+int cmd_serve(const std::vector<std::string>& args) {
+  svc::DaemonOptions opts;
+  opts.log = &std::cout;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto value = [&]() -> std::string {
+      DVS_EXPECT(i + 1 < args.size(), a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--port") {
+      opts.port = static_cast<std::uint16_t>(
+          parse_int("--port", value(), 0, 65535));
+    } else if (a == "--jobs") {
+      opts.batch_threads =
+          static_cast<std::size_t>(parse_int("--jobs", value(), 0, 4096));
+    } else if (a == "--max-request-bytes") {
+      opts.max_request_bytes = static_cast<std::size_t>(
+          parse_int("--max-request-bytes", value(), 1024, 1 << 30));
+    } else {
+      DVS_EXPECT(false, "unknown option: " + a);
+    }
+  }
+  svc::Daemon daemon(opts);
+  daemon.start();
+  daemon.wait();
+  std::cout << "planner daemon stopped\n";
+  return 0;
+}
+
 int cmd_gen(const std::vector<std::string>& args) {
   DVS_EXPECT(args.size() >= 3, "gen: need <utilization> <n_tasks> <seed>");
   task::GeneratorConfig cfg;
@@ -643,6 +735,8 @@ int main(int argc, char** argv) {
       return cmd_analyze(rest[0]);
     }
     if (cmd == "run") return cmd_run(rest);
+    if (cmd == "admit") return cmd_admit(rest);
+    if (cmd == "serve") return cmd_serve(rest);
     if (cmd == "gen") return cmd_gen(rest);
     usage();
     std::cerr << "unknown command: " << cmd << '\n';
