@@ -51,19 +51,25 @@ struct E10Options {
   std::size_t reps = 0;  ///< 0: mode default (smoke 2, full 5)
   std::string out = "BENCH_hotpath.json";
   std::string baseline = "";  ///< --check default: next to the binary
+  std::string delta_baseline = "";  ///< --baseline: ns/dec delta report
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [--smoke] [--reps N] [--out FILE] [--check [BASELINE]]\n"
+      << " [--smoke] [--reps N] [--out FILE] [--check [BASELINE]]"
+      << " [--baseline FILE]\n"
       << "  --smoke          tiny grid for CI smoke runs\n"
       << "  --reps N         timing repetitions per measurement (best-of)\n"
       << "  --out FILE       write the JSON report here\n"
       << "  --check [FILE]   compare relative throughput against a baseline\n"
       << "                   report (default bench/baseline_hotpath.json,\n"
       << "                   resolved from the source tree) and exit 1 on a\n"
-      << "                   >30% regression\n";
+      << "                   >30% regression\n"
+      << "  --baseline FILE  print per-governor ns/decision deltas against a\n"
+      << "                   committed report (e.g. BENCH_hotpath.json) and\n"
+      << "                   exit 1 when a governor's noDVS-normalized\n"
+      << "                   ns/decision regressed by more than 30%\n";
   std::exit(2);
 }
 
@@ -80,6 +86,8 @@ E10Options parse(int argc, char** argv) {
     } else if (a == "--check") {
       o.check = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') o.baseline = argv[++i];
+    } else if (a == "--baseline" && i + 1 < argc) {
+      o.delta_baseline = argv[++i];
     } else {
       usage(argv[0]);
     }
@@ -240,6 +248,73 @@ int check_against(const std::string& path,
   return regressions;
 }
 
+/// Per-governor ns/decision deltas against a committed report.  Absolute
+/// ns measures the host as much as the code, so the pass/fail verdict
+/// normalizes both sides by their own noDVS ns/decision (the engine
+/// floor) and flags a >30% growth of that ratio; the raw before/after
+/// columns are printed anyway because they are what docs/PERFORMANCE.md
+/// quotes.  Returns the number of regressed governors.
+int delta_against(const std::string& path,
+                  const std::vector<GovernorReport>& reps) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "e10: cannot open baseline " << path << "\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::JsonValue doc = obs::parse_json(buf.str());
+  const obs::JsonValue* govs = doc.find("governors");
+  if (govs == nullptr || !govs->is_array()) {
+    std::cerr << "e10: baseline " << path << " has no governors array\n";
+    return 1;
+  }
+  auto baseline_ns = [&](const std::string& name) -> double {
+    for (const auto& g : govs->array) {
+      const obs::JsonValue* n = g.find("name");
+      if (n == nullptr || !n->is_string() || n->string != name) continue;
+      const obs::JsonValue* ns = g.find("ns_per_decision");
+      if (ns != nullptr && ns->is_number()) return ns->number;
+    }
+    return 0.0;
+  };
+  double now_floor = 0.0;
+  for (const auto& r : reps) {
+    if (r.name == "noDVS") now_floor = r.ns_per_decision;
+  }
+  const double base_floor = baseline_ns("noDVS");
+
+  std::cout << "ns/decision vs " << path
+            << " (normalized by noDVS; fail above 130%)\n"
+            << std::left << std::setw(14) << "governor" << std::right
+            << std::setw(12) << "baseline" << std::setw(12) << "now"
+            << std::setw(12) << "delta" << std::setw(12) << "norm" << "\n";
+  int regressions = 0;
+  for (const auto& r : reps) {
+    const double base = baseline_ns(r.name);
+    if (base <= 0.0 || r.ns_per_decision <= 0.0) {
+      std::cout << std::left << std::setw(14) << r.name
+                << "  no baseline entry, skipped\n";
+      continue;
+    }
+    const double delta = (r.ns_per_decision - base) / base;
+    double norm = 0.0;
+    if (base_floor > 0.0 && now_floor > 0.0) {
+      norm = (r.ns_per_decision / now_floor) / (base / base_floor);
+    }
+    const bool bad = r.name != "noDVS" && norm > 1.3;
+    std::cout << std::left << std::setw(14) << r.name << std::right
+              << std::setw(12) << std::fixed << std::setprecision(1) << base
+              << std::setw(12) << r.ns_per_decision << std::setw(11)
+              << std::showpos << std::setprecision(1) << delta * 100.0
+              << "%" << std::noshowpos << std::setw(11)
+              << std::setprecision(0) << norm * 100.0 << "%"
+              << (bad ? "  REGRESSION" : "") << "\n";
+    if (bad) ++regressions;
+  }
+  return regressions;
+}
+
 int run(int argc, char** argv) {
   const E10Options o = parse(argc, argv);
   const std::size_t reps = o.reps != 0 ? o.reps : (o.smoke ? 2 : 5);
@@ -293,6 +368,14 @@ int run(int argc, char** argv) {
     const int bad = check_against(baseline, reports);
     if (bad > 0) {
       std::cerr << "e10: " << bad << " governor(s) regressed\n";
+      return 1;
+    }
+  }
+  if (!o.delta_baseline.empty()) {
+    const int bad = delta_against(o.delta_baseline, reports);
+    if (bad > 0) {
+      std::cerr << "e10: " << bad
+                << " governor(s) regressed in ns/decision\n";
       return 1;
     }
   }

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <optional>
+
+#include "core/slack_kernel.hpp"
 
 namespace dvs::core {
 
@@ -15,6 +16,7 @@ TaskSetStats TaskSetStats::of(const task::TaskSet& ts) {
     s.wcet_sum += t.wcet;
     s.max_deadline = std::max(s.max_deadline, t.deadline);
     s.max_period = std::max(s.max_period, t.period);
+    s.dbf_credit += t.wcet * (std::min(t.deadline, t.period) / t.period);
   }
   return s;
 }
@@ -86,8 +88,11 @@ void DemandSweeper::init_cursors(const sim::SimContext& ctx, NextK next_k) {
   std::size_t i = 0;
   for (const auto& task : ctx.task_set()) {
     TaskCursor c;
-    c.next_deadline = task.deadline_of(next_k(i++));
+    c.k = next_k(i++);
+    c.next_deadline = task.deadline_of(c.k);
     c.period = task.period;
+    c.phase = task.phase;
+    c.rel_deadline = task.deadline;
     c.work = task.wcet;
     if (!time_leq(c.next_deadline, horizon_)) {
       c.next_deadline = std::numeric_limits<double>::infinity();
@@ -147,7 +152,9 @@ Work DemandSweeper::consume(Time deadline) {
   for (auto& c : *cur_) {
     while (time_leq(c.next_deadline, deadline)) {
       sum += c.work + extra_per_job_;
-      c.next_deadline += c.period;
+      ++c.k;
+      c.next_deadline =
+          (c.phase + static_cast<double>(c.k) * c.period) + c.rel_deadline;
       if (!time_leq(c.next_deadline, horizon_)) {
         c.next_deadline = std::numeric_limits<double>::infinity();
         break;
@@ -167,10 +174,18 @@ bool DemandSweeper::next(Time& deadline, Work& work_at_deadline) {
   return true;
 }
 
-double demand_speed_floor(const sim::SimContext& ctx,
-                          const TaskSetStats& stats, Time d0,
-                          double fallback_horizon_periods,
-                          DemandCache* cache) {
+namespace {
+
+// The floor sweep itself, shared verbatim by every sweeper backend
+// (from-scratch cursors, the DemandCache, the SlackKernel) so the
+// bit-identity contract between them reduces to their next() streams
+// agreeing.  `make_sweeper(horizon_end, backlog)` constructs the backend
+// (the kernel seeds its skip-ahead active_total from the backlog sum the
+// horizon rule needed anyway).
+template <typename MakeSweeper>
+double floor_over(const sim::SimContext& ctx, const TaskSetStats& stats,
+                  Time d0, double fallback_horizon_periods,
+                  MakeSweeper make_sweeper) {
   const Time t = ctx.now();
   const Time window = d0 - t;
   if (window <= kTimeEps) return 1.0;
@@ -191,13 +206,7 @@ double demand_speed_floor(const sim::SimContext& ctx,
   Work demand = 0.0;
   Time last_d = d0;
   bool exhausted = true;
-  std::optional<DemandSweeper> sw;
-  if (cache != nullptr) {
-    sw.emplace(ctx, horizon.end, 0.0, *cache);
-  } else {
-    sw.emplace(ctx, horizon.end, 0.0);
-  }
-  DemandSweeper& sweeper = *sw;
+  auto sweeper = make_sweeper(horizon.end, backlog);
   Time d = 0.0;
   Work at_d = 0.0;
   while (sweeper.next(d, at_d)) {
@@ -216,6 +225,39 @@ double demand_speed_floor(const sim::SimContext& ctx,
         exhausted = false;
         break;
       }
+      if constexpr (requires { sweeper.suffix_min_c(); }) {
+        // Kernel skip-ahead, mirror image of the slack sweep's
+        // (docs/ALGORITHMS.md): upper-bound the requirement any unvisited
+        // checkpoint can impose via the unfolded active budgets (gap),
+        // the C(j) suffix min (suffix), and — past the rate-bound
+        // crossover F* — the U < 1 demand rate alone.  The store must
+        // reach F* for the suffix and rate bounds to meet; the sweep
+        // extends it once and it slides with t from then on.  When every
+        // bound sits below `floor` minus an FP margin, the floor is
+        // final.  Gated off for truncated horizons — the truncation
+        // closure below could otherwise *raise* the floor past what the
+        // skipped sweep would have returned.
+        if (!horizon.truncated && sweeper.skip_exact() &&
+            stats.utilization < 1.0 - 1e-12) {
+          const double margin = 1e-8 + 1e-9 / window;
+          const double lim = floor - margin;
+          if ((demand + sweeper.active_remaining() - (d - d0)) / window <=
+                  lim &&
+              (sweeper.active_total() + d0 - sweeper.suffix_min_c()) /
+                      window <=
+                  lim) {
+            const double fstar =
+                t + (sweeper.active_total() + stats.wcet_sum -
+                     stats.dbf_credit + window * (1.0 - lim)) /
+                        (1.0 - stats.utilization);
+            if (sweeper.frontier() >= fstar) {
+              exhausted = false;
+              break;
+            }
+            (void)sweeper.ensure_frontier(fstar);
+          }
+        }
+      }
     }
     if (floor >= 1.0) return 1.0;
   }
@@ -225,6 +267,35 @@ double demand_speed_floor(const sim::SimContext& ctx,
     floor = std::max(floor, tail_bound(demand, std::max(last_d, d0)));
   }
   return std::clamp(floor, 0.0, 1.0);
+}
+
+}  // namespace
+
+double demand_speed_floor(const sim::SimContext& ctx,
+                          const TaskSetStats& stats, Time d0,
+                          double fallback_horizon_periods,
+                          DemandCache* cache) {
+  if (cache != nullptr) {
+    return floor_over(ctx, stats, d0, fallback_horizon_periods,
+                      [&](Time horizon_end, Work) {
+                        return DemandSweeper(ctx, horizon_end, 0.0, *cache);
+                      });
+  }
+  return floor_over(ctx, stats, d0, fallback_horizon_periods,
+                    [&](Time horizon_end, Work) {
+                      return DemandSweeper(ctx, horizon_end, 0.0);
+                    });
+}
+
+double demand_speed_floor(const sim::SimContext& ctx,
+                          const TaskSetStats& stats, Time d0,
+                          double fallback_horizon_periods,
+                          SlackKernel& kernel) {
+  return floor_over(ctx, stats, d0, fallback_horizon_periods,
+                    [&](Time horizon_end, Work backlog) {
+                      return SlackKernel::Sweep(kernel, ctx, horizon_end, 0.0,
+                                                backlog);
+                    });
 }
 
 }  // namespace dvs::core

@@ -22,6 +22,18 @@
 
 namespace dvs::core {
 
+/// Which demand-sweep backend a slack-analysis governor runs on.  All
+/// three produce bit-identical results (pinned by verify modes and the
+/// kernel-differential fuzz suite); they differ only in per-decision cost
+/// — see the complexity table in docs/ALGORITHMS.md.
+///   kKernel       — the incremental SlackKernel job store (the default):
+///                   O(1) sweep setup, ~O(1) per checkpoint.
+///   kLegacyCached — PR 4's DemandCache cursors: allocation-free, but one
+///                   O(n) cursor pass per checkpoint.
+///   kLegacyScan   — from-scratch cursor derivation per decision: the
+///                   differential-testing reference (allocates).
+enum class SweepEngine { kKernel, kLegacyCached, kLegacyScan };
+
 /// Static task-set facts cached once per simulation (compute in on_start).
 struct TaskSetStats {
   std::optional<Time> hyperperiod;
@@ -29,6 +41,14 @@ struct TaskSetStats {
   Work wcet_sum = 0.0;
   Time max_deadline = 0.0;
   Time max_period = 0.0;
+  /// sum_i C_i * min(D_i, P_i) / P_i.  Task i's future demand in (t, x] is
+  /// at most C_i * ((x - t)/P_i + 1 - min(D_i, P_i)/P_i) — nonnegative
+  /// for every x >= t — so total demand is at most
+  /// U * (x - t) + wcet_sum - dbf_credit, a strictly tighter slop than
+  /// wcet_sum alone (for implicit deadlines the slop vanishes).  The
+  /// kernel skip-ahead's rate-bound crossover (docs/ALGORITHMS.md) uses
+  /// it to keep the materialized window short.
+  Work dbf_credit = 0.0;
 
   [[nodiscard]] static TaskSetStats of(const task::TaskSet& ts);
 };
@@ -55,6 +75,9 @@ struct DemandContribution {
 struct TaskCursor {
   Time next_deadline = 0.0;
   Time period = 0.0;
+  Time phase = 0.0;
+  Time rel_deadline = 0.0;
+  std::int64_t k = 0;
   Work work = 0.0;
 };
 
@@ -184,5 +207,16 @@ struct Horizon {
                                         const TaskSetStats& stats, Time d0,
                                         double fallback_horizon_periods,
                                         DemandCache* cache = nullptr);
+
+class SlackKernel;
+
+/// Same floor, swept through the incremental SlackKernel job store
+/// (core/slack_kernel.hpp) instead of per-task cursors: bit-identical
+/// result, O(1) sweep setup per decision.  `kernel` must have been reset()
+/// for the simulation's task set (governors do this in on_start).
+[[nodiscard]] double demand_speed_floor(const sim::SimContext& ctx,
+                                        const TaskSetStats& stats, Time d0,
+                                        double fallback_horizon_periods,
+                                        SlackKernel& kernel);
 
 }  // namespace dvs::core

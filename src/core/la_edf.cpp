@@ -19,6 +19,7 @@ void LaEdfGovernor::on_start(const sim::SimContext& ctx) {
   }
   stats_ = TaskSetStats::of(ts);
   cache_.invalidate();
+  kernel_.reset(ts, ctx.now());
   c_left_.reserve(ts.size());
   order_.reserve(ts.size());
 }
@@ -43,16 +44,29 @@ double LaEdfGovernor::select_speed(const sim::Job& running,
     c_left[static_cast<std::size_t>(j->task_id)] += j->remaining_wcet();
   }
 
-  // Tasks sorted by current deadline, latest first (reverse EDF).
+  // Tasks sorted by current deadline, latest first (reverse EDF).  The
+  // comparator is a strict total order (indices are unique), so every
+  // correct sort yields the same permutation; insertion sort beats the
+  // introsort dispatch at these sizes (n is a task count, not a job
+  // count) and keeps the result bit-for-bit what std::sort produced.
   std::vector<std::size_t>& order = order_;
   order.resize(ts.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+  auto later = [this](std::size_t a, std::size_t b) {
     if (current_deadline_[a] != current_deadline_[b]) {
       return current_deadline_[a] > current_deadline_[b];
     }
     return a > b;
-  });
+  };
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const std::size_t v = order[i];
+    std::size_t j = i;
+    while (j > 0 && later(v, order[j - 1])) {
+      order[j] = order[j - 1];
+      --j;
+    }
+    order[j] = v;
+  }
 
   // Deferral pass (Pillai & Shin, Fig. 6): U tracks how much utilization
   // the later-deadline tasks will consume inside (d_next, d_i]; x_i is the
@@ -93,8 +107,19 @@ double LaEdfGovernor::select_speed(const sim::Job& running,
   // can under-provision near deadline boundaries (demand is not uniform).
   // Never drop below the processor-demand floor, which keeps every future
   // checkpoint feasible by construction (see core/demand.hpp).
-  alpha = std::max(alpha,
-                   demand_speed_floor(ctx, stats_, d_next, 64.0, &cache_));
+  double floor = 0.0;
+  switch (config_.engine) {
+    case SweepEngine::kKernel:
+      floor = demand_speed_floor(ctx, stats_, d_next, 64.0, kernel_);
+      break;
+    case SweepEngine::kLegacyCached:
+      floor = demand_speed_floor(ctx, stats_, d_next, 64.0, &cache_);
+      break;
+    case SweepEngine::kLegacyScan:
+      floor = demand_speed_floor(ctx, stats_, d_next, 64.0);
+      break;
+  }
+  alpha = std::max(alpha, floor);
   return std::clamp(alpha, 1e-9, 1.0);
 }
 

@@ -24,12 +24,23 @@
 #include <vector>
 
 #include "core/demand.hpp"
+#include "core/slack_kernel.hpp"
 #include "sim/governor.hpp"
 
 namespace dvs::core {
 
+struct LaEdfConfig {
+  /// Backend of the safety-floor sweep (bit-identical across engines; see
+  /// core/demand.hpp).  kLegacyScan/kLegacyCached stay compiled in as the
+  /// differential-testing reference.
+  SweepEngine engine = SweepEngine::kKernel;
+};
+
 class LaEdfGovernor final : public sim::Governor {
  public:
+  LaEdfGovernor() = default;
+  explicit LaEdfGovernor(const LaEdfConfig& config) : config_(config) {}
+
   void on_start(const sim::SimContext& ctx) override;
   void on_release(const sim::Job& job, const sim::SimContext& ctx) override;
   [[nodiscard]] double select_speed(const sim::Job& running,
@@ -37,10 +48,12 @@ class LaEdfGovernor final : public sim::Governor {
   [[nodiscard]] std::string name() const override { return "laEDF"; }
 
  private:
+  LaEdfConfig config_;
   std::vector<Time> current_deadline_;  ///< per task
   double static_u_ = 0.0;
   TaskSetStats stats_;
-  DemandCache cache_;  ///< memoized floor enumeration (see core/demand.hpp)
+  DemandCache cache_;    ///< legacy-cached floor enumeration
+  SlackKernel kernel_;   ///< incremental floor enumeration (the default)
   // Per-decision scratch (capacity reused; the hot path never allocates).
   std::vector<Work> c_left_;
   std::vector<std::size_t> order_;

@@ -1,0 +1,420 @@
+#include "core/slack_kernel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/demand.hpp"
+
+namespace dvs::core {
+
+namespace {
+
+// Materialization safety margin: the job store must extend far enough
+// past any probed time that the kTimeEps checkpoint grouping can never
+// straddle the materialized frontier.  1e-6 >> 2 * kTimeEps.
+constexpr Time kMatMargin = 1e-6;
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// SuffMinTree
+//
+// Representation: minv_[node] is the *effective* min of the node's
+// subtree — it includes the node's own pending add (lazy_) and all adds
+// below it, but not its ancestors'.  Queries and partial updates descend
+// and account for each partially-covered node's lazy on the way, so no
+// pushdown (and no mutation) is ever needed on the query path.
+
+namespace {
+
+std::size_t tree_cap_for(std::size_t n) {
+  std::size_t cap = 1;
+  while (cap < n) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+void SuffMinTree::assign(const std::vector<double>& values) {
+  n_ = values.size();
+  cap_ = tree_cap_for(std::max<std::size_t>(n_, 1));
+  minv_.assign(2 * cap_, std::numeric_limits<double>::infinity());
+  lazy_.assign(cap_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) minv_[cap_ + i] = values[i];
+  for (std::size_t i = cap_ - 1; i >= 1; --i) {
+    minv_[i] = std::min(minv_[2 * i], minv_[2 * i + 1]);
+  }
+}
+
+void SuffMinTree::append(const std::vector<double>& values) {
+  const std::size_t base = n_;
+  const std::size_t m = values.size();
+  if (m == 0) return;
+  n_ = base + m;
+  // A suffix add issued before an entry existed must not apply to it —
+  // but lazies are range-wide and cannot exclude future leaf slots (a
+  // full-cover add on a right sibling also covers every unoccupied slot
+  // under it).  So write each appended leaf *compensated* by the pending
+  // adds its ancestors already carry: the effective value (leaf plus
+  // ancestor lazies) then comes out as exactly the raw key.  The descent
+  // re-walks shared ancestors per leaf — O(m log cap), and append runs a
+  // handful of times per simulation.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t leaf = base + i;
+    double acc = 0.0;
+    std::size_t node = 1, lo = 0, hi = cap_;
+    while (node < cap_) {
+      acc += lazy_[node];
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (leaf < mid) {
+        node = 2 * node;
+        hi = mid;
+      } else {
+        node = 2 * node + 1;
+        lo = mid;
+      }
+    }
+    minv_[cap_ + leaf] = values[i] - acc;
+  }
+  // Recompute only the ancestors of the touched suffix, level by level.
+  std::size_t lo = cap_ + base, hi = cap_ + n_ - 1;
+  while (lo > 1) {
+    lo >>= 1;
+    hi >>= 1;
+    for (std::size_t i = lo; i <= hi; ++i) {
+      minv_[i] = std::min(minv_[2 * i], minv_[2 * i + 1]) + lazy_[i];
+    }
+  }
+}
+
+void SuffMinTree::suffix_add(std::size_t i, double v) {
+  if (n_ == 0 || i >= n_) return;
+  // Iterative descent: every right sibling strictly inside the suffix
+  // takes a full-cover add; path nodes are recomputed on the way back up.
+  std::size_t node = 1, lo = 0, hi = cap_;
+  while (node < cap_) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (i < mid) {
+      const std::size_t r = 2 * node + 1;
+      minv_[r] += v;
+      if (r < cap_) lazy_[r] += v;
+      node = 2 * node;
+      hi = mid;
+    } else {
+      node = 2 * node + 1;
+      lo = mid;
+    }
+  }
+  minv_[node] += v;  // leaf i
+  for (node >>= 1; node >= 1; node >>= 1) {
+    minv_[node] =
+        std::min(minv_[2 * node], minv_[2 * node + 1]) + lazy_[node];
+  }
+}
+
+double SuffMinTree::suffix_min(std::size_t i) const {
+  if (n_ == 0 || i >= n_) return std::numeric_limits<double>::infinity();
+  // Iterative descent accumulating partially-covering nodes' lazies; each
+  // fully-covered right sibling contributes its effective min directly.
+  double acc = 0.0;
+  double res = std::numeric_limits<double>::infinity();
+  std::size_t node = 1, lo = 0, hi = cap_;
+  while (node < cap_) {
+    acc += lazy_[node];
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (i < mid) {
+      res = std::min(res, minv_[2 * node + 1] + acc);
+      node = 2 * node;
+      hi = mid;
+    } else {
+      node = 2 * node + 1;
+      lo = mid;
+    }
+  }
+  return std::min(res, minv_[node] + acc);
+}
+
+void SuffMinTree::flatten_node(std::size_t node, std::size_t lo,
+                               std::size_t hi, double acc,
+                               std::vector<double>& out) const {
+  if (lo >= n_) return;
+  if (node >= cap_) {
+    out.push_back(minv_[node] + acc);
+    return;
+  }
+  acc += lazy_[node];
+  const std::size_t mid = lo + (hi - lo) / 2;
+  flatten_node(2 * node, lo, mid, acc, out);
+  flatten_node(2 * node + 1, mid, hi, acc, out);
+}
+
+void SuffMinTree::flatten(std::vector<double>& out) const {
+  if (n_ != 0) flatten_node(1, 0, cap_, 0.0, out);
+}
+
+// ---------------------------------------------------------------------
+// SlackKernel
+
+void SlackKernel::reset(const task::TaskSet& ts, Time now) {
+  ts_ = &ts;
+  deadline_.clear();
+  release_.clear();
+  work_.clear();
+  okey_.clear();
+  mat_k_.resize(ts.size());
+  // Jobs released at or before `now` (with the kTimeEps tolerance) can
+  // never satisfy the strict-future membership predicate at any later
+  // decision time, so materialization starts at the same index the legacy
+  // cursors would — the one canonical helper keeps the two paths agreeing
+  // on the boundary ulp for ulp.
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    mat_k_[i] = first_strict_future_release(ts[i], now);
+  }
+  chunk_ = 0.0;
+  for (const auto& t : ts) chunk_ = std::max(chunk_, t.period);
+  // An empty set releases nothing, ever: an infinite frontier keeps the
+  // sweep from chasing the horizon in margin-sized steps.
+  mat_end_ = ts.empty() ? std::numeric_limits<double>::infinity() : now;
+  start_ = 0;
+  last_now_ = now;
+  group_.reserve(16);
+  cvals_.clear();
+  ctree_.assign(cvals_);
+  pending_.resize(ts.size());
+  for (auto& p : pending_) p.clear();
+  pend_pos_.assign(ts.size(), 0);
+  future_work_ = 0.0;
+  next_due_ = std::numeric_limits<double>::infinity();
+}
+
+void SlackKernel::extend(Time need) {
+  const Time target =
+      std::max(need + kMatMargin, mat_end_ + std::max(chunk_, kMatMargin));
+  // One k-way merge over the per-task job streams appends the batch in
+  // (deadline, task-index, job-index) order directly — each stream is
+  // already deadline-ascending, so picking the smallest head (first task
+  // wins exact-double ties) reproduces the comparator a sort would use
+  // without staging or moving anything twice.  The same pass threads the
+  // membership-aware prefix G through the new C(j) keys and files each
+  // still-future entry with its task's pending-release list (per-task
+  // release order IS job order, so the lists stay drain-sorted for free).
+  // The linear head scan is O(#tasks) per entry — fine for the task-set
+  // sizes this repo simulates.  extend() must not allocate beyond
+  // amortized scratch growth — steady-state allocation-freedom is a
+  // tested contract (tests/test_alloc_regression.cpp).
+  const std::size_t ntasks = ts_->size();
+  head_dl_.resize(ntasks);
+  for (std::size_t i = 0; i < ntasks; ++i) {
+    head_dl_[i] = (*ts_)[i].deadline_of(mat_k_[i]);
+  }
+  const Time born_cut = last_now_ + kTimeEps;
+  double g = future_work_;
+  cbatch_.clear();
+  for (;;) {
+    Time best = std::numeric_limits<double>::infinity();
+    std::size_t bi = ntasks;
+    for (std::size_t i = 0; i < ntasks; ++i) {
+      if (head_dl_[i] <= target && head_dl_[i] < best) {
+        best = head_dl_[i];
+        bi = i;
+      }
+    }
+    if (bi == ntasks) break;
+    const task::Task& task = (*ts_)[bi];
+    const std::int64_t k = mat_k_[bi];
+    const Time rel = task.release_of(k);
+    const auto idx = static_cast<std::uint32_t>(deadline_.size());
+    deadline_.push_back(best);
+    release_.push_back(rel);
+    work_.push_back(task.wcet);
+    okey_.push_back(order_key(static_cast<std::uint32_t>(bi), k));
+    // Jobs already released at last_now_ ("born released") never count
+    // toward G and never need a release event applied later.
+    if (rel > born_cut) {
+      g += task.wcet;
+      pending_[bi].push_back(idx);
+      next_due_ = std::min(next_due_, rel);
+    }
+    cbatch_.push_back(best - g);
+    mat_k_[bi] = k + 1;
+    head_dl_[bi] = task.deadline_of(k + 1);
+  }
+  future_work_ = g;
+  mat_end_ = target;
+  // Appending the C(j) batch reuses the tree in place (O(batch + log));
+  // only a capacity overflow pays the flatten + full rebuild.
+  if (ctree_.can_append(cbatch_.size())) {
+    ctree_.append(cbatch_);
+  } else {
+    cvals_.clear();
+    ctree_.flatten(cvals_);
+    cvals_.insert(cvals_.end(), cbatch_.begin(), cbatch_.end());
+    ctree_.assign(cvals_);
+  }
+}
+
+void SlackKernel::advance_start(Time t) {
+  if (t < last_now_) {
+    // Time moved backwards (test doubles drive governors that way).  The
+    // released prefix — possibly already compacted away — is no longer
+    // provably released, so rebuild from scratch.
+    reset(*ts_, t);
+    return;
+  }
+  last_now_ = t;
+  const Time cut = t + kTimeEps;
+  // Apply release events first: each removes its work from every later
+  // G(j), i.e. adds +w to the C(j) suffix — one O(log n) tree update per
+  // release.  Released entries keep their (now larger) C value until the
+  // next rebuild; that only raises the suffix min, which is the sound
+  // direction for a lower bound on slack.  next_due_ (the earliest
+  // unapplied release) makes the no-event case — most decisions — one
+  // comparison instead of a per-task scan.
+  if (next_due_ <= cut) {
+    const std::size_t ntasks = pending_.size();
+    Time due = std::numeric_limits<double>::infinity();
+    for (std::size_t ti = 0; ti < ntasks; ++ti) {
+      const std::vector<std::uint32_t>& pend = pending_[ti];
+      std::size_t& pp = pend_pos_[ti];
+      while (pp < pend.size() && release_[pend[pp]] <= cut) {
+        const std::uint32_t i = pend[pp];
+        ctree_.suffix_add(i, work_[i]);
+        future_work_ -= work_[i];
+        ++pp;
+      }
+      if (pp < pend.size()) due = std::min(due, release_[pend[pp]]);
+    }
+    next_due_ = due;
+  }
+  while (start_ < release_.size() && release_[start_] <= cut) ++start_;
+  // Entries before start_ stay released forever (time is monotone within
+  // a run); recycle their storage once they dominate the store so the
+  // capacity — and with it steady-state allocation — stays bounded by the
+  // analysis window instead of growing with simulated time.
+  if (start_ >= 64 && start_ * 2 >= deadline_.size()) {
+    const auto cutoff = static_cast<std::ptrdiff_t>(start_);
+    deadline_.erase(deadline_.begin(), deadline_.begin() + cutoff);
+    release_.erase(release_.begin(), release_.begin() + cutoff);
+    work_.erase(work_.begin(), work_.begin() + cutoff);
+    okey_.erase(okey_.begin(), okey_.begin() + cutoff);
+    // Every unapplied pending entry has release > cut, so it sits at or
+    // past start_ — reindexing by the cutoff is always in range.  The
+    // tree is rebuilt over the surviving effective suffix.
+    for (std::size_t ti = 0; ti < pending_.size(); ++ti) {
+      std::vector<std::uint32_t>& pend = pending_[ti];
+      pend.erase(pend.begin(),
+                 pend.begin() + static_cast<std::ptrdiff_t>(pend_pos_[ti]));
+      pend_pos_[ti] = 0;
+      for (std::uint32_t& e : pend) e -= static_cast<std::uint32_t>(cutoff);
+    }
+    cvals_.clear();
+    ctree_.flatten(cvals_);
+    cvals_.erase(cvals_.begin(), cvals_.begin() + cutoff);
+    ctree_.assign(cvals_);
+    start_ = 0;
+  }
+}
+
+SlackKernel::Sweep::Sweep(SlackKernel& kernel, const sim::SimContext& ctx,
+                          Time horizon, Work extra_per_job, Work active_total)
+    : k_(kernel),
+      active_(ctx.active_jobs()),
+      strict_after_(ctx.now() + kTimeEps),
+      horizon_(horizon),
+      extra_per_job_(extra_per_job),
+      act_total_(active_total),
+      rem_act_(active_total) {
+  if (k_.ts_ != &ctx.task_set()) k_.reset(ctx.task_set(), ctx.now());
+  k_.advance_start(ctx.now());
+  pos_ = k_.start_;
+  refresh_active_deadline();
+}
+
+bool SlackKernel::Sweep::next_fallback(Time& deadline,
+                                       Work& work_at_deadline) {
+  const std::vector<Time>& dls = k_.deadline_;
+  const std::vector<Time>& rel = k_.release_;
+
+  // Find the next *future* entry — released (or (m,k)-shed, which is just
+  // "never released") entries contribute nothing and are not checkpoints.
+  // Extend the store chunk-wise when the sweep outruns the materialized
+  // frontier before the frontier provably covers the horizon.
+  for (;;) {
+    if (pos_ == dls.size()) {
+      if (k_.mat_end_ > horizon_ + 2.0 * kTimeEps) break;
+      k_.extend(k_.mat_end_);
+      continue;
+    }
+    if (rel[pos_] > strict_after_) break;
+    ++pos_;
+  }
+
+  // The checkpoint is the smallest pending deadline — exactly the min the
+  // legacy sweeper's peek() takes over the same doubles.
+  Time d = std::numeric_limits<double>::infinity();
+  if (pos_ < dls.size()) d = dls[pos_];
+  if (active_pos_ < active_.size()) {
+    d = std::min(d, active_[active_pos_]->abs_deadline);
+  }
+  if (!time_leq(d, horizon_)) return false;
+  deadline = d;
+
+  // Fold order is part of the bit-identity contract: active jobs in EDF
+  // span order first, then future releases in task-index (then job-index)
+  // order — the order the legacy cursor loop visits them.
+  Work sum = 0.0;
+  while (active_pos_ < active_.size() &&
+         time_leq(active_[active_pos_]->abs_deadline, d)) {
+    const Work c = active_[active_pos_]->remaining_wcet() + extra_per_job_;
+    sum += c;
+    rem_act_ -= c;
+    ++active_pos_;
+  }
+  refresh_active_deadline();  // keep the fast path's memoized copy coherent
+
+  // Gather the checkpoint group: the contiguous run of entries within
+  // kTimeEps of d.  The grouping itself can probe past the frontier when
+  // d came from an active job near mat_end_, so extend first.
+  while (k_.mat_end_ <= d + 2.0 * kTimeEps) k_.extend(d);
+  std::size_t g = pos_;
+  while (g < dls.size() && time_leq(dls[g], d)) ++g;
+
+  auto eligible = [&](std::size_t j) {
+    // Strictly-future release, and inside the horizon: the legacy cursors
+    // go +inf at the first beyond-horizon job, so a beyond-horizon entry
+    // inside an eps-tie group must not be folded.
+    return rel[j] > strict_after_ && time_leq(dls[j], horizon_);
+  };
+
+  if (g - pos_ == 1) {
+    // Common case: one entry at this checkpoint (it is the future entry
+    // the candidate scan stopped on, so it is eligible by construction
+    // unless d came from an earlier active deadline).
+    if (eligible(pos_)) sum += k_.work_[pos_] + extra_per_job_;
+  } else {
+    // Ties within one kTimeEps group may be stored in any relative order
+    // (suffix sorts never see cross-extension ties), so re-establish the
+    // legacy fold order explicitly.
+    std::vector<std::uint32_t>& grp = k_.group_;
+    grp.clear();
+    for (std::size_t j = pos_; j < g; ++j) {
+      if (eligible(j)) grp.push_back(static_cast<std::uint32_t>(j));
+    }
+    for (std::size_t a = 1; a < grp.size(); ++a) {  // insertion sort: tiny
+      const std::uint32_t v = grp[a];
+      const std::uint64_t vk = k_.okey_[v];
+      std::size_t b = a;
+      while (b > 0 && k_.okey_[grp[b - 1]] > vk) {
+        grp[b] = grp[b - 1];
+        --b;
+      }
+      grp[b] = v;
+    }
+    for (const std::uint32_t j : grp) sum += k_.work_[j] + extra_per_job_;
+  }
+  pos_ = g;
+  work_at_deadline = sum;
+  return true;
+}
+
+}  // namespace dvs::core

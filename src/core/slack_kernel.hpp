@@ -1,0 +1,380 @@
+// SlackKernel — the incremental slack kernel (DESIGN.md §13).
+//
+// Every slack-analysis governor (lpSEH, laEDF's safety floor,
+// uniformSlack) consumes the same stream: the worst-case demand
+// contributions inside (t, horizon], ordered by ascending absolute
+// deadline.  The legacy DemandSweeper (core/demand.hpp) re-derives that
+// stream per decision from one cursor per task and advances all n cursors
+// at every checkpoint — O(n) comparisons with data-dependent branches per
+// checkpoint, which BENCH_hotpath.json showed is a 10x per-decision
+// penalty over the O(1) governors.
+//
+// The kernel replaces the per-decision rescan with a *persistent*,
+// deadline-sorted structure-of-arrays job store:
+//
+//   deadline_[j] <= deadline_[j+1]          (ascending, ties by task then
+//                                            job index)
+//   entry j = job k of task i  =>  deadline_[j] = task_i.deadline_of(k),
+//                                  release_[j]  = task_i.release_of(k),
+//                                  work_[j]     = task_i.wcet
+//
+// The store is a pure function of the static task set, so simulated
+// events never rewrite it.  What changes over time is *membership*: a job
+// contributes to future demand at time t iff it has not been released yet
+// (release > t + kTimeEps) — the identical predicate the legacy path
+// feeds through first_strict_future_release().  Releases are monotone in
+// time, so membership only ever flips future -> released, and the kernel
+// tracks the flip with a single monotone start cursor plus a per-entry
+// release comparison inside the sweep window.  A release event therefore
+// costs O(1) amortized (advance the start cursor past it) and a
+// completion event costs nothing at all — the active-job side of demand
+// is read from the engine's EDF-ordered scratch exactly like the legacy
+// path.  Jobs shed by the (m,k) degradation controller are never
+// released, never active, and fail the membership predicate from their
+// release instant on — skipped demand vanishes without any kernel hook.
+//
+// The store is materialized lazily: entries exist only up to mat_end_,
+// and a sweep that probes past it extends the store by at least one
+// max-period chunk (amortized O(log) vector growths per simulation, none
+// in steady state — tests/test_alloc_regression.cpp).
+//
+// Bit-identity contract: a kernel sweep visits exactly the checkpoints
+// the legacy DemandSweeper visits, with bit-equal deadline values (both
+// sides regenerate them as Task::deadline_of(k)) and folds contributions
+// in the identical order — active jobs in EDF order first, then future
+// releases in task-index order (ties inside one kTimeEps checkpoint
+// group).  The oracle tests and the kernel-differential fuzz suite
+// (tests/test_slack_kernel.cpp) assert SimResult equality to the ulp.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "sim/governor.hpp"
+#include "task/task_set.hpp"
+#include "util/time.hpp"
+
+namespace dvs::core {
+
+/// Lazy "suffix add / suffix min" segment tree over the per-entry keys
+///
+///   C(j) = deadline_j - G(j),   G(j) = sum of still-future work over
+///                                      entries 0..j (inclusive)
+///
+/// C(j) - t - A_total is a sound lower bound on the slack any sweep can
+/// observe at checkpoint j (every accumulated-demand term cancels; see
+/// docs/ALGORITHMS.md for the derivation), so a single suffix-min query
+/// lets a sweep prove "no later checkpoint can undercut the running
+/// minimum" and stop — the skip-ahead that makes the kernel's amortized
+/// per-decision cost independent of the analysis window.  A release
+/// event removes the job's work from every later G, i.e. adds +w to the
+/// C suffix: one O(log n) range update per event.
+class SuffMinTree {
+ public:
+  /// Rebuild from scratch over `values` (reuses storage).
+  void assign(const std::vector<double>& values);
+  /// True iff append(values) fits without growing the leaf capacity.
+  [[nodiscard]] bool can_append(std::size_t count) const noexcept {
+    return n_ + count <= cap_;
+  }
+  /// Append `values` as new trailing leaves without a full rebuild.
+  /// Suffix adds issued before an entry existed must not apply to it, but
+  /// pending lazies are range-wide and may already cover the unoccupied
+  /// slots — so each new leaf is written compensated by the sum of its
+  /// ancestors' lazies, and only the ancestors of the appended suffix are
+  /// recomputed — O(count · log cap).  Requires can_append().
+  void append(const std::vector<double>& values);
+  /// values[j] += v for all j >= i.
+  void suffix_add(std::size_t i, double v);
+  /// min over values[j], j >= i (+inf when the range is empty).
+  [[nodiscard]] double suffix_min(std::size_t i) const;
+  /// Append the current effective values to `out` (for rebuilds).
+  void flatten(std::vector<double>& out) const;
+  [[nodiscard]] std::size_t size() const noexcept { return n_; }
+
+ private:
+  void flatten_node(std::size_t node, std::size_t lo, std::size_t hi,
+                    double acc, std::vector<double>& out) const;
+
+  std::size_t n_ = 0;
+  std::size_t cap_ = 1;           ///< leaf capacity, power of two
+  std::vector<double> minv_;      ///< effective subtree min (2 * cap_)
+  std::vector<double> lazy_;      ///< pending add for the children (cap_)
+};
+
+class SlackKernel {
+ public:
+  /// Bind to a task set at simulation start (call from on_start).  Drops
+  /// all previous state; entries materialize lazily from the first job of
+  /// each task whose deadline lies beyond `now`.
+  void reset(const task::TaskSet& ts, Time now);
+
+  /// Number of materialized timeline entries (tests/benchmarks).
+  [[nodiscard]] std::size_t materialized() const noexcept {
+    return deadline_.size();
+  }
+
+  /// One per-decision pass over the demand checkpoints, mirroring
+  /// DemandSweeper's interface: next() yields ascending checkpoint
+  /// deadlines with the folded contribution at each (active jobs'
+  /// remaining budgets plus future-release WCETs, `extra_per_job` charged
+  /// per contribution).  Construction is allocation-free and O(1): no
+  /// per-task cursor setup.
+  ///
+  /// next() is defined here so the per-checkpoint fast path inlines into
+  /// the governor sweep loops — with ~40 checkpoints per decision at high
+  /// utilization, an out-of-line call per checkpoint is itself a multiple
+  /// of the target decision budget.  The fast path folds a whole
+  /// checkpoint tie group inline (period-grid workloads tie constantly):
+  /// entries materialized by one extend() batch are stored in
+  /// (deadline, task-index, job-index) order, which IS the legacy fold
+  /// order, so the run can be summed as stored.  Everything else —
+  /// pending active-job folds, cross-batch tie disorder, lazy extension,
+  /// the horizon edge, sweep end — takes the out-of-line fallback.
+  class Sweep {
+   public:
+    /// `active_total` is the sum of remaining_wcet() over the active jobs
+    /// — every caller has just computed it for demand_horizon(), so the
+    /// ctor takes it instead of re-chasing the Job pointers.  It seeds the
+    /// skip-ahead bounds only (active_total() / active_remaining()), which
+    /// are gated on skip_exact(), so an extra_per_job surcharge never
+    /// reaches them.
+    Sweep(SlackKernel& kernel, const sim::SimContext& ctx, Time horizon,
+          Work extra_per_job, Work active_total);
+
+    /// Advance to the next checkpoint; false when the window is done.
+    [[nodiscard]] bool next(Time& deadline, Work& work_at_deadline) {
+      const Time* const dls = k_.deadline_.data();
+      const Time* const rel = k_.release_.data();
+      const std::size_t n = k_.deadline_.size();
+      std::size_t p = pos_;
+      for (;;) {
+        if (p >= n) {  // frontier (or store exhausted): may need extend()
+          pos_ = p;
+          return next_fallback(deadline, work_at_deadline);
+        }
+        if (rel[p] > strict_after_) break;  // future entry: a checkpoint
+        ++p;  // released/shed entry: contributes nothing, skip
+      }
+      // The checkpoint is the smaller of the next future-entry deadline
+      // and the next active-job deadline (same doubles the legacy peek
+      // takes its min over).
+      Time d = dls[p];
+      if (active_dl_ < d) d = active_dl_;
+      // Horizon edge and frontier go out of line: d <= horizon_
+      // guarantees every tie member within d + kTimeEps also passes
+      // time_leq(member, horizon_), so no per-member horizon check is
+      // needed below; mat_end_ > d + 2*kTimeEps guarantees no
+      // unmaterialized entry can join this group (every unstored deadline
+      // is > mat_end_, so the comparison is exact).  The edge case d in
+      // (horizon_, horizon_ + kTimeEps] and the sweep end are both
+      // detected by the fallback's time_leq.
+      if (d > horizon_ || k_.mat_end_ <= d + 2.0 * kTimeEps) {
+        pos_ = p;
+        return next_fallback(deadline, work_at_deadline);
+      }
+      // Fold order is part of the bit-identity contract: active jobs in
+      // EDF span order first, then future releases in (task-index,
+      // job-index) order.
+      const std::size_t active_entry = active_pos_;
+      const Work rem_entry = rem_act_;
+      Work sum = 0.0;
+      while (active_dl_ <= d + kTimeEps) {
+        const Work c = active_[active_pos_]->remaining_wcet() + extra_per_job_;
+        sum += c;
+        rem_act_ -= c;
+        ++active_pos_;
+        active_dl_ = active_pos_ < active_.size()
+                         ? active_[active_pos_]->abs_deadline
+                         : std::numeric_limits<double>::infinity();
+      }
+      // Future members of the group: the contiguous run within kTimeEps
+      // of d (empty when d came from an active job alone).  Released/shed
+      // entries inside the run contribute nothing.  The store is sorted
+      // by raw deadline doubles, but the legacy fold order within a tie
+      // group is (task-index, job-index) — and FP-near ties (3*T vs the
+      // literal 3T, one ulp apart) make the two orders disagree all the
+      // time on period-grid workloads, so gather the members first and
+      // re-sort the (rare-in-size, common-in-kind) disordered group on a
+      // stack buffer before summing.
+      const Time tie_hi = d + kTimeEps;
+      constexpr std::size_t kMaxGroup = 16;
+      std::uint32_t buf[kMaxGroup];
+      std::size_t m = 0;
+      bool ordered = true;
+      std::uint64_t prev_key = 0;
+      const std::uint64_t* const keys = k_.okey_.data();
+      std::size_t j = p;
+      for (; j < n && dls[j] <= tie_hi; ++j) {
+        if (rel[j] > strict_after_) {
+          if (m == kMaxGroup) {  // oversized group: undo, go out of line
+            active_pos_ = active_entry;
+            rem_act_ = rem_entry;
+            refresh_active_deadline();
+            pos_ = p;
+            return next_fallback(deadline, work_at_deadline);
+          }
+          const std::uint64_t kj = keys[j];
+          ordered &= kj >= prev_key;
+          prev_key = kj;
+          buf[m++] = static_cast<std::uint32_t>(j);
+        }
+      }
+      if (!ordered) {  // insertion sort: groups are at most a few entries
+        for (std::size_t a = 1; a < m; ++a) {
+          const std::uint32_t v = buf[a];
+          const std::uint64_t vk = keys[v];
+          std::size_t b = a;
+          while (b > 0 && keys[buf[b - 1]] > vk) {
+            buf[b] = buf[b - 1];
+            --b;
+          }
+          buf[b] = v;
+        }
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        sum += k_.work_[buf[i]] + extra_per_job_;
+      }
+      pos_ = j;
+      deadline = d;
+      work_at_deadline = sum;
+      return true;
+    }
+
+    // --- Skip-ahead support (sound early exit; see docs/ALGORITHMS.md).
+    // A caller that has already observed a running extremum can combine
+    // these O(1)/O(log n) bounds to prove that no not-yet-visited
+    // checkpoint can change it, and stop the sweep early.  All bounds are
+    // valid only when extra_per_job == 0 (the C(j) keys account for bare
+    // WCETs) — callers must gate on skip_exact().
+
+    /// True iff the per-contribution surcharge is zero, i.e. the C(j)
+    /// bounds below exactly cover every folded term.
+    [[nodiscard]] bool skip_exact() const noexcept {
+      return extra_per_job_ == 0.0;
+    }
+    /// Sum of remaining_wcet() over ALL active jobs, taken at sweep
+    /// construction.
+    [[nodiscard]] Work active_total() const noexcept { return act_total_; }
+    /// Portion of active_total() not yet folded into a checkpoint.
+    [[nodiscard]] Work active_remaining() const noexcept { return rem_act_; }
+    /// Materialization frontier: every job with deadline <= frontier() is
+    /// in the store (and hence covered by suffix_min_c()).
+    [[nodiscard]] Time frontier() const noexcept { return k_.mat_end_; }
+    /// Total still-future work over the materialized store.
+    [[nodiscard]] Work future_work_total() const noexcept {
+      return k_.future_work_;
+    }
+    /// min over the unvisited entries j >= pos of C(j) = deadline_j - G(j)
+    /// (+inf when the sweep has passed the last stored entry).  Every
+    /// unvisited checkpoint d at or past an unvisited store entry has
+    /// slack(d) >= suffix_min_c() - t - active_total() up to FP rounding
+    /// (callers add a margin); active-only checkpoints before the next
+    /// store entry are the gap bound's job (active_remaining()).
+    [[nodiscard]] double suffix_min_c() const {
+      return pos_ < k_.ctree_.size()
+                 ? k_.ctree_.suffix_min(pos_)
+                 : std::numeric_limits<double>::infinity();
+    }
+    /// Materialize the store through `target` so the suffix bound covers
+    /// everything up to the caller's rate-bound crossover point.  Refuses
+    /// pathological jumps (a U -> 1 crossover can sit arbitrarily far
+    /// out): targets beyond 64 max-period chunks past now — the same
+    /// notion of "sane window" as the demand sweep's fallback horizon —
+    /// are left alone.  Returns frontier() >= target.
+    bool ensure_frontier(Time target) {
+      if (k_.mat_end_ >= target) return true;
+      const Time cap = k_.last_now_ + 64.0 * k_.chunk_;
+      if (target > cap) return false;
+      // Overshoot: the crossover point slides forward with t, so land
+      // the frontier well past it and pay the O(n) extend rebuild once
+      // per many chunks of simulated time instead of once per chunk.
+      k_.extend(std::min(target + 16.0 * k_.chunk_, cap));
+      return true;
+    }
+
+   private:
+    /// The general case, out of line (slack_kernel.cpp): extends the
+    /// store, folds active jobs and kTimeEps tie groups in the legacy
+    /// order, detects the end of the window.
+    [[nodiscard]] bool next_fallback(Time& deadline, Work& work_at_deadline);
+
+    /// Memoize the pending active deadline so the fast path branches on a
+    /// member instead of chasing the Job pointer every checkpoint.
+    void refresh_active_deadline() noexcept {
+      active_dl_ = active_pos_ < active_.size()
+                       ? active_[active_pos_]->abs_deadline
+                       : std::numeric_limits<double>::infinity();
+    }
+
+    SlackKernel& k_;
+    std::span<const sim::Job* const> active_;  ///< EDF order
+    std::size_t active_pos_ = 0;
+    Time active_dl_ = 0.0;  ///< active_[active_pos_] deadline or +inf
+    std::size_t pos_;       ///< next candidate entry in the job store
+    Time strict_after_;     ///< t + kTimeEps: future iff release > this
+    Time horizon_;
+    Work extra_per_job_;
+    Work act_total_ = 0.0;  ///< sum of active remaining budgets at start
+    Work rem_act_ = 0.0;    ///< act_total_ minus folded active budgets
+  };
+
+ private:
+  friend class Sweep;
+
+  /// Packed legacy fold-order key: (task-index, job-index) lexicographic
+  /// order as one unsigned compare.  Job indices are biased so any
+  /// negative k (phases can put the first strictly-future job below
+  /// zero on backwards-driven test clocks) still orders correctly; 2^39
+  /// jobs per task is unreachable within any simulated window.
+  [[nodiscard]] static constexpr std::uint64_t order_key(
+      std::uint32_t tindex, std::int64_t k) noexcept {
+    return (static_cast<std::uint64_t>(tindex) << 40) |
+           (static_cast<std::uint64_t>(k + (std::int64_t{1} << 39)) &
+            ((std::uint64_t{1} << 40) - 1));
+  }
+
+  /// Materialize the job store through at least `need` (plus margin), one
+  /// max-period chunk minimum, keeping the deadline sort invariant.
+  void extend(Time need);
+
+  /// Monotonically skip the already-released prefix for time `t`,
+  /// applying the pending release events (suffix adds to the C(j) tree)
+  /// first so the tree never counts a released job as future work.
+  void advance_start(Time t);
+
+  const task::TaskSet* ts_ = nullptr;
+  // Deadline-sorted structure-of-arrays job store.
+  std::vector<Time> deadline_;
+  std::vector<Time> release_;
+  std::vector<Work> work_;
+  std::vector<std::uint64_t> okey_;    ///< order_key() per entry
+  std::vector<std::int64_t> mat_k_;    ///< per task: next job to materialize
+  std::vector<std::uint32_t> group_;   ///< checkpoint tie-group scratch
+  std::vector<Time> head_dl_;          ///< extend()'s k-way merge heads
+  // Skip-ahead state: the C(j) keys live in the lazy tree, the per-task
+  // pending lists schedule the release-event suffix updates (a task's
+  // entries release in job order, so each list is drain-sorted by
+  // construction), future_work_ tracks G over the whole store (= G(last
+  // entry)).
+  SuffMinTree ctree_;
+  std::vector<double> cvals_;   ///< full-rebuild scratch for ctree_
+  std::vector<double> cbatch_;  ///< extend()'s per-batch C(j) scratch
+  std::vector<std::vector<std::uint32_t>> pending_;  ///< per task: indices
+                                                     ///< of unapplied
+                                                     ///< future entries
+  std::vector<std::size_t> pend_pos_;  ///< per task: drain cursor
+  Work future_work_ = 0.0;  ///< total still-future work in the store
+  /// Earliest unapplied pending release, or +inf: advance_start() skips
+  /// the per-task drain scan entirely until time actually crosses it.
+  Time next_due_ = std::numeric_limits<double>::infinity();
+  Time mat_end_ = 0.0;   ///< every job with deadline <= mat_end_ is stored
+  Time chunk_ = 0.0;     ///< minimum extension span (max period)
+  std::size_t start_ = 0;  ///< entries before start_ are released forever
+  Time last_now_ = 0.0;    ///< monotonicity guard for start_
+};
+
+}  // namespace dvs::core

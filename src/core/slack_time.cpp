@@ -25,6 +25,7 @@ void SlackTimeGovernor::on_start(const sim::SimContext& ctx) {
              "dispatching");
   stats_ = TaskSetStats::of(ctx.task_set());
   cache_.invalidate();  // a reused governor must not see the previous run
+  kernel_.reset(ctx.task_set(), ctx.now());
 }
 
 double SlackTimeGovernor::select_speed(const sim::Job& running,
@@ -76,19 +77,40 @@ Time SlackTimeGovernor::compute_slack(const sim::Job& running,
     DVS_ENSURE(s_cached == s_oracle,
                "incremental slack sweep diverged from the from-scratch "
                "oracle");
-    return s_cached;
+    SlackKernel::Sweep kernel(kernel_, ctx, horizon.end, per_job_stall,
+                              backlog);
+    const Time s_kernel = sweep_slack(kernel, t, d0, per_job_stall,
+                                      tail_work, horizon.truncated);
+    DVS_ENSURE(s_kernel == s_oracle,
+               "slack kernel sweep diverged from the from-scratch oracle");
+    return s_kernel;
   }
-  if (config_.incremental) {
-    DemandSweeper sweeper(ctx, horizon.end, per_job_stall, cache_);
-    return sweep_slack(sweeper, t, d0, per_job_stall, tail_work,
-                       horizon.truncated);
+  // The pre-engine `incremental = false` switch keeps meaning "sweep from
+  // scratch" so historical differential tests still exercise the oracle.
+  const auto engine = config_.incremental ? config_.engine
+                                          : SlackTimeConfig::Engine::kLegacyScan;
+  switch (engine) {
+    case SlackTimeConfig::Engine::kKernel: {
+      SlackKernel::Sweep sweeper(kernel_, ctx, horizon.end, per_job_stall,
+                                 backlog);
+      return sweep_slack(sweeper, t, d0, per_job_stall, tail_work,
+                         horizon.truncated);
+    }
+    case SlackTimeConfig::Engine::kLegacyCached: {
+      DemandSweeper sweeper(ctx, horizon.end, per_job_stall, cache_);
+      return sweep_slack(sweeper, t, d0, per_job_stall, tail_work,
+                         horizon.truncated);
+    }
+    case SlackTimeConfig::Engine::kLegacyScan:
+      break;
   }
   DemandSweeper sweeper(ctx, horizon.end, per_job_stall);
   return sweep_slack(sweeper, t, d0, per_job_stall, tail_work,
                      horizon.truncated);
 }
 
-Time SlackTimeGovernor::sweep_slack(DemandSweeper& sweeper, Time t, Time d0,
+template <typename Sweeper>
+Time SlackTimeGovernor::sweep_slack(Sweeper& sweeper, Time t, Time d0,
                                     Work per_job_stall, Work tail_work,
                                     bool truncated_horizon) const {
   const bool heuristic = config_.mode == SlackTimeConfig::Mode::kHeuristic;
@@ -119,6 +141,46 @@ Time SlackTimeGovernor::sweep_slack(DemandSweeper& sweeper, Time t, Time d0,
         // undercut `best`.
         end_state = SweepEnd::kProvenCovered;
         break;
+      }
+      if constexpr (requires { sweeper.suffix_min_c(); }) {
+        // Kernel skip-ahead (docs/ALGORITHMS.md): three lower bounds on
+        // every unvisited checkpoint's slack —
+        //   gap:    active-only checkpoints before the next store entry
+        //           cost at most the unfolded active budgets,
+        //   suffix: any checkpoint at or past a store entry j satisfies
+        //           slack >= C(j) - t - active_total  (demand through j
+        //           is at most active_total + G(j)),
+        //   rate:   beyond the crossover point T* the U < 1 demand-rate
+        //           bound alone gives slack >= (1-U)(x-t) - active_total
+        //           - wcet_sum >= best + margin, no materialization
+        //           needed.
+        // The suffix bound covers the store; the rate bound covers
+        // x > T*; the store must reach T* for the two to meet, so the
+        // sweep extends it once (it then slides with t, amortized).
+        // When all bounds clear `best` (with an FP margin), the rest of
+        // the window is proven covered — identical result, sweep over.
+        // Gated off when a closure rule could *lower* the result below
+        // `best` (heuristic budget, truncated horizon) and when per-job
+        // stalls make the C(j) keys undercount (skip_exact()).
+        if (!heuristic && !truncated_horizon && sweeper.skip_exact() &&
+            stats_.utilization < 1.0 - 1e-12) {
+          constexpr double kSkipMargin = 1e-8;
+          const double lim = best + kSkipMargin;
+          if (s - sweeper.active_remaining() >= lim &&
+              sweeper.suffix_min_c() - t - sweeper.active_total() >= lim) {
+            const double tstar =
+                t + (sweeper.active_total() + stats_.wcet_sum -
+                     stats_.dbf_credit + lim) /
+                        (1.0 - stats_.utilization);
+            if (sweeper.frontier() >= tstar) {
+              end_state = SweepEnd::kProvenCovered;
+              break;
+            }
+            // Not enough store: extend toward T* and re-test at the next
+            // checkpoint (the appended entries join the suffix bound).
+            (void)sweeper.ensure_frontier(tstar);
+          }
+        }
       }
       if (checked >= max_checked) {  // heuristic checkpoint budget spent
         end_state = SweepEnd::kCutShort;

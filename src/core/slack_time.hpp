@@ -51,6 +51,7 @@
 #pragma once
 
 #include "core/demand.hpp"
+#include "core/slack_kernel.hpp"
 #include "sim/governor.hpp"
 
 namespace dvs::core {
@@ -75,13 +76,19 @@ struct SlackTimeConfig {
   /// veto energy-negative switches.
   Time switch_overhead = 0.0;
 
-  /// Use the DemandCache: memoize the checkpoint enumeration between
-  /// decisions (bit-identical slack, no per-decision allocation — see
-  /// docs/ALGORITHMS.md).  Off = always sweep from scratch (the oracle).
+  /// Which demand-sweep backend executes the checkpoint enumeration (see
+  /// core/demand.hpp — all three are bit-identical, only cost differs).
+  using Engine = SweepEngine;
+  Engine engine = Engine::kKernel;
+
+  /// Back-compat switch predating `engine`: when false, the governor
+  /// sweeps from scratch every decision regardless of `engine` (the
+  /// historical oracle behaviour relied on by differential tests).
   bool incremental = true;
 
-  /// Paranoia mode for tests: run BOTH the cached and the from-scratch
-  /// sweep at every decision and assert the slack values are bit-equal.
+  /// Paranoia mode for tests: run the kernel, the cached and the
+  /// from-scratch sweep at every decision and assert the slack values are
+  /// bit-equal.
   bool verify_with_oracle = false;
 };
 
@@ -109,16 +116,19 @@ class SlackTimeGovernor final : public sim::Governor {
   [[nodiscard]] Time compute_slack(const sim::Job& running,
                                    const sim::SimContext& ctx);
 
-  /// The checkpoint sweep itself, over an already-constructed sweeper
-  /// (shared verbatim by the cached and the from-scratch path so the
-  /// oracle comparison exercises identical arithmetic).
-  [[nodiscard]] Time sweep_slack(DemandSweeper& sweeper, Time t, Time d0,
+  /// The checkpoint sweep itself, over an already-constructed sweeper —
+  /// one template shared verbatim by the kernel, the cached and the
+  /// from-scratch backends, so the oracle comparison exercises identical
+  /// arithmetic (instantiated in slack_time.cpp only).
+  template <typename Sweeper>
+  [[nodiscard]] Time sweep_slack(Sweeper& sweeper, Time t, Time d0,
                                  Work per_job_stall, Work tail_work,
                                  bool truncated_horizon) const;
 
   SlackTimeConfig config_;
   TaskSetStats stats_;
   DemandCache cache_;
+  SlackKernel kernel_;
   Time last_slack_ = 0.0;
 };
 

@@ -12,12 +12,24 @@ void UniformSlackGovernor::on_start(const sim::SimContext& ctx) {
              "the demand speed floor requires EDF dispatching");
   stats_ = TaskSetStats::of(ctx.task_set());
   cache_.invalidate();
+  kernel_.reset(ctx.task_set(), ctx.now());
 }
 
 double UniformSlackGovernor::select_speed(const sim::Job& running,
                                           const sim::SimContext& ctx) {
-  const double floor =
-      demand_speed_floor(ctx, stats_, running.abs_deadline, 64.0, &cache_);
+  const Time d0 = running.abs_deadline;
+  double floor = 0.0;
+  switch (config_.engine) {
+    case SweepEngine::kKernel:
+      floor = demand_speed_floor(ctx, stats_, d0, 64.0, kernel_);
+      break;
+    case SweepEngine::kLegacyCached:
+      floor = demand_speed_floor(ctx, stats_, d0, 64.0, &cache_);
+      break;
+    case SweepEngine::kLegacyScan:
+      floor = demand_speed_floor(ctx, stats_, d0, 64.0);
+      break;
+  }
   const double alpha = std::clamp(floor, 1e-9, 1.0);
   const Work rem = running.remaining_wcet();
   last_slack_ = rem > 0.0 ? rem / alpha - rem

@@ -21,12 +21,24 @@
 #pragma once
 
 #include "core/demand.hpp"
+#include "core/slack_kernel.hpp"
 #include "sim/governor.hpp"
 
 namespace dvs::core {
 
+struct UniformSlackConfig {
+  /// Backend of the floor sweep (bit-identical across engines; see
+  /// core/demand.hpp).  kLegacyScan/kLegacyCached stay compiled in as the
+  /// differential-testing reference.
+  SweepEngine engine = SweepEngine::kKernel;
+};
+
 class UniformSlackGovernor final : public sim::Governor {
  public:
+  UniformSlackGovernor() = default;
+  explicit UniformSlackGovernor(const UniformSlackConfig& config)
+      : config_(config) {}
+
   void on_start(const sim::SimContext& ctx) override;
   [[nodiscard]] double select_speed(const sim::Job& running,
                                     const sim::SimContext& ctx) override;
@@ -40,8 +52,10 @@ class UniformSlackGovernor final : public sim::Governor {
   }
 
  private:
+  UniformSlackConfig config_;
   TaskSetStats stats_;
-  DemandCache cache_;  ///< memoized floor enumeration (see core/demand.hpp)
+  DemandCache cache_;   ///< legacy-cached floor enumeration
+  SlackKernel kernel_;  ///< incremental floor enumeration (the default)
   Time last_slack_ = 0.0;
 };
 

@@ -51,11 +51,18 @@ double FrequencyScale::quantize_up(double alpha) const noexcept {
   if (levels_.empty()) {
     return std::clamp(alpha, alpha_min_, 1.0);
   }
-  // First level >= alpha (within tolerance so exact levels map to themselves).
-  for (double level : levels_) {
-    if (level >= alpha - 1e-12) return level;
+  // First level >= alpha (within tolerance so exact levels map to
+  // themselves).  Counting the strictly-smaller levels instead of
+  // branching out at the first match keeps the loop branchless — each
+  // comparison compiles to a flagless setcc/add — which matters because
+  // quantize_up runs once per scheduling decision and the target level
+  // varies decision to decision, so an early-exit branch is unpredictable.
+  const double cut = alpha - 1e-12;
+  std::size_t below = 0;
+  for (const double level : levels_) {
+    below += level < cut ? 1u : 0u;
   }
-  return levels_.back();
+  return levels_[std::min(below, levels_.size() - 1)];
 }
 
 std::string FrequencyScale::describe() const {

@@ -94,12 +94,14 @@ TEST_P(AllocRegression, SteadyStateIsAllocationFree) {
   const long long extra_jobs = eleven.jobs - one.jobs;
   ASSERT_GE(extra_jobs, 100);  // the long run really is ~10 hyperperiods
   // 11x the events may cost a few extra up-front allocations (job-record
-  // slabs are 256 jobs each), never per-event ones.
+  // slabs are 256 jobs each, and the slack kernel's job store + skip-ahead
+  // tree double their capacity O(log n) times on the way to steady state),
+  // never per-event ones — those would show up hundreds at a time.
   const std::uint64_t extra_allocs =
       eleven.allocations > one.allocations
           ? eleven.allocations - one.allocations
           : 0;
-  EXPECT_LE(extra_allocs, 16u)
+  EXPECT_LE(extra_allocs, 24u)
       << GetParam() << ": " << extra_allocs << " allocations for "
       << extra_jobs << " extra jobs";
 }

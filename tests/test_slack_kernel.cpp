@@ -1,0 +1,570 @@
+// SlackKernel — the incremental slack kernel (DESIGN.md §13,
+// docs/ALGORITHMS.md "The incremental slack kernel").  Three layers of
+// pinning, all with exact double equality:
+//
+//   1. SuffMinTree unit differentials: the lazy suffix-add/suffix-min
+//      tree (including the iterative query/update paths and append())
+//      against a naive vector model, on integer-valued doubles so every
+//      operation is FP-exact and EXPECT_EQ is meaningful.
+//   2. Sweep-stream differentials: SlackKernel::Sweep must emit exactly
+//      the (deadline, work) checkpoint stream of the from-scratch
+//      DemandSweeper at every decision time — across monotone time,
+//      rewinds, eps-tie groups (including oversized ones that overflow
+//      the inline fast path), compaction, and nonzero per-job stalls.
+//   3. Whole-simulation differentials: the kernel engine vs the legacy
+//      cached and from-scratch engines, bit-identical SimResults on
+//      seeded sets straddling U = 1, sustained overloads, (m,k)
+//      shedding, partitioned multiprocessor runs and thread counts
+//      1/2/8.
+//
+// The binary also overrides ::operator new to prove the kernel performs
+// no allocation in steady state (warm store, monotone time).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/demand.hpp"
+#include "core/la_edf.hpp"
+#include "core/slack_kernel.hpp"
+#include "core/slack_time.hpp"
+#include "core/uniform_slack.hpp"
+#include "cpu/processors.hpp"
+#include "degrade/degrade.hpp"
+#include "exp/experiment.hpp"
+#include "fake_context.hpp"
+#include "mp/mp_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sweep_equality.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_new_calls{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace dvs::core {
+namespace {
+
+using dvs::testing::FakeContext;
+using task::make_task;
+using task::TaskSet;
+
+// ---------------------------------------------------------------------
+// 1. SuffMinTree vs a naive model.  Integer values keep every add and
+//    min FP-exact, so the differential can demand equality to the bit.
+
+struct NaiveSuffix {
+  std::vector<double> v;
+  void suffix_add(std::size_t i, double x) {
+    for (std::size_t j = i; j < v.size(); ++j) v[j] += x;
+  }
+  [[nodiscard]] double suffix_min(std::size_t i) const {
+    double m = std::numeric_limits<double>::infinity();
+    for (std::size_t j = i; j < v.size(); ++j) m = std::min(m, v[j]);
+    return m;
+  }
+};
+
+TEST(SuffMinTree, RandomizedDifferentialAgainstNaiveModel) {
+  util::Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 70));
+    NaiveSuffix naive;
+    for (std::size_t i = 0; i < n; ++i) {
+      naive.v.push_back(static_cast<double>(rng.uniform_int(-1000, 999)));
+    }
+    SuffMinTree tree;
+    tree.assign(naive.v);
+    ASSERT_EQ(tree.size(), n);
+    for (int op = 0; op < 200; ++op) {
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      if (rng.uniform_int(0, 1) == 0) {
+        const double x = static_cast<double>(rng.uniform_int(-50, 49));
+        naive.suffix_add(i, x);
+        tree.suffix_add(i, x);
+      } else {
+        EXPECT_EQ(tree.suffix_min(i), naive.suffix_min(i))
+            << "round " << round << " op " << op << " i=" << i;
+      }
+    }
+    std::vector<double> flat;
+    tree.flatten(flat);
+    EXPECT_EQ(flat, naive.v) << "round " << round;
+  }
+}
+
+TEST(SuffMinTree, AppendMatchesNaiveModelWithInterleavedUpdates) {
+  util::Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    // Start below a power-of-two capacity so append() has room.
+    NaiveSuffix naive;
+    const std::size_t n0 = static_cast<std::size_t>(rng.uniform_int(5, 12));
+    for (std::size_t i = 0; i < n0; ++i) {
+      naive.v.push_back(static_cast<double>(rng.uniform_int(0, 999)));
+    }
+    SuffMinTree tree;
+    tree.assign(naive.v);
+    std::vector<double> batch;
+    for (int op = 0; op < 60; ++op) {
+      const std::size_t n = naive.v.size();
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {  // suffix add (builds up lazies along the right spine)
+          const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          const double x = static_cast<double>(rng.uniform_int(-32, 31));
+          naive.suffix_add(i, x);
+          tree.suffix_add(i, x);
+          break;
+        }
+        case 1: {  // append a small batch when capacity allows
+          batch.clear();
+          const std::size_t m = static_cast<std::size_t>(rng.uniform_int(1, 4));
+          for (std::size_t i = 0; i < m; ++i) {
+            batch.push_back(static_cast<double>(rng.uniform_int(0, 999)));
+          }
+          if (tree.can_append(batch.size())) {
+            tree.append(batch);
+            naive.v.insert(naive.v.end(), batch.begin(), batch.end());
+          }
+          break;
+        }
+        default: {
+          const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+          EXPECT_EQ(tree.suffix_min(i), naive.suffix_min(i))
+              << "round " << round << " op " << op << " i=" << i;
+          break;
+        }
+      }
+    }
+    std::vector<double> flat;
+    tree.flatten(flat);
+    EXPECT_EQ(flat, naive.v) << "round " << round;
+  }
+}
+
+// ---------------------------------------------------------------------
+// 2. Sweep-stream differentials against the from-scratch DemandSweeper.
+
+TaskSet trio_set() {
+  TaskSet ts("trio");
+  ts.add(make_task(0, "a", 10.0, 2.0));
+  ts.add(make_task(1, "b", 25.0, 5.0));
+  ts.add(make_task(2, "c", 40.0, 4.0));
+  return ts;
+}
+
+/// Every task shares one period: every checkpoint is one big eps-tie
+/// group.  With more than 16 tasks the group overflows the inline fast
+/// path's stack buffer and must take the fallback's undo path.
+TaskSet grid_set(std::size_t n_tasks) {
+  TaskSet ts("grid");
+  for (std::size_t i = 0; i < n_tasks; ++i) {
+    ts.add(make_task(static_cast<std::int32_t>(i),
+                     "g" + std::to_string(i), 0.5, 0.01));
+  }
+  return ts;
+}
+
+Work backlog_of(const FakeContext& ctx) {
+  Work b = 0.0;
+  for (const sim::Job* j : ctx.active_jobs()) b += j->remaining_wcet();
+  return b;
+}
+
+/// Drain a kernel sweep and the from-scratch oracle and require identical
+/// (deadline, work) streams — the bit-identity contract.
+void expect_kernel_matches_oracle(SlackKernel& kernel, FakeContext& ctx,
+                                  Time horizon, Work extra = 0.0) {
+  DemandSweeper oracle(ctx, horizon, extra);
+  SlackKernel::Sweep sweep(kernel, ctx, horizon, extra, backlog_of(ctx));
+  Time d1 = 0.0, d2 = 0.0;
+  Work w1 = 0.0, w2 = 0.0;
+  for (;;) {
+    const bool more1 = oracle.next(d1, w1);
+    const bool more2 = sweep.next(d2, w2);
+    ASSERT_EQ(more1, more2) << "t=" << ctx.now_ << " horizon=" << horizon;
+    if (!more1) return;
+    EXPECT_EQ(d1, d2) << "t=" << ctx.now_;
+    EXPECT_EQ(w1, w2) << "t=" << ctx.now_ << " d=" << d1;
+  }
+}
+
+TEST(SlackKernelSweep, StreamMatchesOracleOverMonotoneTime) {
+  FakeContext ctx(trio_set());
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  for (const Time t : {0.0, 1.0, 9.0, 10.0, 12.5, 20.0, 25.0, 26.0, 40.0,
+                       55.0, 79.9, 80.0, 123.4}) {
+    ctx.now_ = t;
+    ctx.clear_jobs();
+    ctx.add_job(1, 0, 0.0);
+    expect_kernel_matches_oracle(kernel, ctx, t + 70.0);
+  }
+}
+
+TEST(SlackKernelSweep, LazyMaterializationOnlyGrowsOnDemand) {
+  FakeContext ctx(trio_set());
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  EXPECT_EQ(kernel.materialized(), 0u);
+  expect_kernel_matches_oracle(kernel, ctx, 20.0);
+  const std::size_t small = kernel.materialized();
+  EXPECT_GT(small, 0u);
+  expect_kernel_matches_oracle(kernel, ctx, 300.0);
+  EXPECT_GT(kernel.materialized(), small);
+}
+
+TEST(SlackKernelSweep, PerJobStallSurchargeMatchesOracle) {
+  FakeContext ctx(trio_set());
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  for (const Time t : {0.0, 7.0, 31.0}) {
+    ctx.now_ = t;
+    ctx.clear_jobs();
+    ctx.add_job(0, 0, 0.0, 0.5);
+    expect_kernel_matches_oracle(kernel, ctx, t + 60.0, 0.01);
+  }
+}
+
+TEST(SlackKernelSweep, EpsTieGroupsMatchOracle) {
+  // 8 identical periods: every checkpoint folds an 8-entry tie group.
+  FakeContext ctx(grid_set(8));
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  for (const Time t : {0.0, 0.2, 0.5, 0.9, 1.0, 3.7}) {
+    ctx.now_ = t;
+    expect_kernel_matches_oracle(kernel, ctx, t + 4.0);
+  }
+}
+
+TEST(SlackKernelSweep, OversizedTieGroupTakesTheFallbackAndStaysExact) {
+  // 20 > kMaxGroup = 16 entries per checkpoint: the inline gather must
+  // undo its partial active folds and defer to the out-of-line path.
+  FakeContext ctx(grid_set(20));
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  for (const Time t : {0.0, 0.3, 0.5, 1.2, 2.0}) {
+    ctx.now_ = t;
+    ctx.clear_jobs();
+    ctx.add_job(3, 0, 0.0);
+    ctx.add_job(11, 0, 0.0, 0.004);
+    expect_kernel_matches_oracle(kernel, ctx, t + 3.0);
+  }
+}
+
+TEST(SlackKernelSweep, CompactionKeepsTheStreamExact) {
+  // Ride one kernel far enough that the released prefix dominates and the
+  // store compacts (start_ >= 64 needs > 64 releases); the stream must
+  // stay exact before, across and after the compaction points.
+  FakeContext ctx(grid_set(4));
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  for (Time t = 0.0; t < 30.0; t += 0.7) {
+    ctx.now_ = t;
+    expect_kernel_matches_oracle(kernel, ctx, t + 5.0);
+  }
+}
+
+TEST(SlackKernelSweep, BackwardsTimeResetsAndStaysExact) {
+  FakeContext ctx(trio_set());
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  for (const Time t : {0.0, 30.0, 5.0, 60.0, 2.0, 90.0}) {  // rewinds
+    ctx.now_ = t;
+    expect_kernel_matches_oracle(kernel, ctx, t + 50.0);
+  }
+}
+
+TEST(SlackKernelSweep, SkipAheadBoundsAreSoundLowerBounds) {
+  // The combined invariant sweep_slack() leans on (docs/ALGORITHMS.md):
+  // after folding checkpoint k, every later checkpoint d' satisfies
+  //   slack(d') >= min(slack_k - active_remaining_k,
+  //                    suffix_min_c_k - t - active_total)
+  // — the gap bound covers active-only checkpoints before the next store
+  // entry, the suffix bound everything at or past one.  Fold the stream
+  // by hand, record the advertised bounds after every checkpoint, and
+  // check each later checkpoint within the frontier against all of them.
+  FakeContext ctx(trio_set());
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  ctx.now_ = 3.0;
+  ctx.add_job(0, 0, 0.0, 1.0);
+  const Work backlog = backlog_of(ctx);
+  SlackKernel::Sweep sweep(kernel, ctx, 120.0, 0.0, backlog);
+  EXPECT_TRUE(sweep.skip_exact());
+  EXPECT_EQ(sweep.active_total(), backlog);
+
+  struct Point {
+    Time d;
+    Time slack;
+    double gap_bound;
+    double suffix_bound;
+    Time frontier;
+  };
+  std::vector<Point> stream;
+  Time d = 0.0;
+  Work w = 0.0;
+  Work demand = 0.0;
+  while (sweep.next(d, w)) {
+    demand += w;
+    const Time slack = d - ctx.now_ - demand;
+    stream.push_back({d, slack, slack - sweep.active_remaining(),
+                      sweep.suffix_min_c() - ctx.now_ - backlog,
+                      sweep.frontier()});
+  }
+  ASSERT_GT(stream.size(), 4u);
+  for (std::size_t k = 0; k + 1 < stream.size(); ++k) {
+    const double bound = std::min(stream[k].gap_bound, stream[k].suffix_bound);
+    for (std::size_t j = k + 1; j < stream.size(); ++j) {
+      if (stream[j].d > stream[k].frontier) break;  // bound's coverage ends
+      EXPECT_GE(stream[j].slack, bound - 1e-9)
+          << "k=" << k << " d_k=" << stream[k].d << " d'=" << stream[j].d;
+    }
+  }
+}
+
+TEST(SlackKernelSweep, EnsureFrontierExtendsWithinTheSaneWindowOnly) {
+  // ensure_frontier() must materialize up to reachable targets (and
+  // report coverage) but refuse pathological jumps past 64 max-period
+  // chunks — the U -> 1 crossover can sit arbitrarily far out and must
+  // not trigger an unbounded store build.
+  FakeContext ctx(trio_set());
+  SlackKernel kernel;
+  kernel.reset(ctx.task_set(), 0.0);
+  ctx.now_ = 1.0;
+  SlackKernel::Sweep sweep(kernel, ctx, 40.0, 0.0, 0.0);
+  const Time near = ctx.now_ + 25.0;
+  EXPECT_TRUE(sweep.ensure_frontier(near));
+  EXPECT_GE(sweep.frontier(), near);
+  // Max period in trio_set() bounds the chunk; anything past now + 64
+  // chunks is out of the sane window regardless of the exact chunk value.
+  Time max_period = 0.0;
+  for (const auto& task : ctx.task_set()) {
+    max_period = std::max(max_period, task.period);
+  }
+  const Time far = ctx.now_ + 65.0 * max_period + 1.0;
+  EXPECT_FALSE(sweep.ensure_frontier(far));
+  EXPECT_LT(sweep.frontier(), far);
+  // The refusal must not have wedged the sweep: the stream still drains.
+  Time d = 0.0;
+  Work w = 0.0;
+  int folds = 0;
+  while (sweep.next(d, w)) ++folds;
+  EXPECT_GT(folds, 0);
+}
+
+// ---------------------------------------------------------------------
+// 3. Whole-simulation differentials: kernel vs legacy engines.
+
+task::TaskSet random_set(double u, std::uint64_t seed, std::size_t n,
+                         bool overload = false) {
+  task::GeneratorConfig gen;
+  gen.n_tasks = n;
+  gen.total_utilization = u;
+  gen.period_min = 0.01;
+  gen.period_max = 0.12;
+  gen.bcet_ratio = 0.2;
+  gen.grid_fraction = 0.5;
+  gen.allow_overload = overload;
+  util::Rng rng(seed);
+  return task::generate_task_set(gen, rng, "k" + std::to_string(seed));
+}
+
+sim::SimResult run_engine(const task::TaskSet& ts, const std::string& gov,
+                          SweepEngine engine, std::uint64_t seed,
+                          const degrade::DegradationConfig* dcfg = nullptr) {
+  const auto workload = task::uniform_model(seed);
+  sim::SimOptions opts;
+  opts.length = 0.5;
+  opts.record_jobs = true;
+  opts.degradation = dcfg;
+  const cpu::Processor proc = cpu::ideal_processor();
+  if (gov == "lpSEH") {
+    SlackTimeConfig cfg;
+    cfg.engine = engine;
+    SlackTimeGovernor g(cfg);
+    return sim::simulate(ts, *workload, proc, g, opts);
+  }
+  if (gov == "laEDF") {
+    LaEdfConfig cfg;
+    cfg.engine = engine;
+    LaEdfGovernor g(cfg);
+    return sim::simulate(ts, *workload, proc, g, opts);
+  }
+  UniformSlackConfig cfg;
+  cfg.engine = engine;
+  UniformSlackGovernor g(cfg);
+  return sim::simulate(ts, *workload, proc, g, opts);
+}
+
+TEST(SlackKernelDifferential, EnginesBitIdenticalStraddlingFullUtilization) {
+  // U from comfortably feasible through exactly 1 into overload: the
+  // skip-ahead's U < 1 gate, the truncated-horizon closure and the
+  // overloaded zero-slack paths all get exercised.
+  const double us[] = {0.85, 0.95, 1.0, 1.08};
+  const char* govs[] = {"lpSEH", "laEDF", "uniformSlack"};
+  for (const double u : us) {
+    for (std::uint64_t i = 0; i < 3; ++i) {
+      const std::uint64_t seed = util::hash_u64(0x51ac, i,
+                                                static_cast<int>(u * 100));
+      const task::TaskSet ts = random_set(u, seed, 6, u > 0.999);
+      for (const char* gov : govs) {
+        SCOPED_TRACE(std::string(gov) + " U=" + std::to_string(u) +
+                     " seed=" + std::to_string(seed));
+        const sim::SimResult kernel =
+            run_engine(ts, gov, SweepEngine::kKernel, seed);
+        const sim::SimResult cached =
+            run_engine(ts, gov, SweepEngine::kLegacyCached, seed);
+        const sim::SimResult scan =
+            run_engine(ts, gov, SweepEngine::kLegacyScan, seed);
+        exp::expect_same_result(kernel, scan);
+        exp::expect_same_result(cached, scan);
+      }
+    }
+  }
+}
+
+TEST(SlackKernelDifferential, MkSheddingStaysBitIdentical) {
+  // Sustained overload with (m,k)-firm tasks and shedding on: skipped
+  // jobs are never released, which the kernel's membership predicate must
+  // treat exactly like the legacy cursors do.
+  degrade::DegradationConfig dcfg;
+  dcfg.enter_pressure = 1;
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const std::uint64_t seed = util::hash_u64(0xdeadf, i);
+    task::TaskSet ts = random_set(1.15, seed, 6, true);
+    ts = degrade::with_firmness(ts, 1, 2);
+    for (const char* gov : {"lpSEH", "laEDF", "uniformSlack"}) {
+      SCOPED_TRACE(std::string(gov) + " seed=" + std::to_string(seed));
+      const sim::SimResult kernel =
+          run_engine(ts, gov, SweepEngine::kKernel, seed, &dcfg);
+      const sim::SimResult scan =
+          run_engine(ts, gov, SweepEngine::kLegacyScan, seed, &dcfg);
+      EXPECT_GT(kernel.jobs_skipped, 0);
+      exp::expect_same_result(kernel, scan);
+    }
+  }
+}
+
+TEST(SlackKernelDifferential, PartitionedCoresKeepPerCoreKernelsExact) {
+  // Each core owns its own governor instance — and hence its own kernel,
+  // reset against the per-core subset in on_start.  The partitioned run
+  // must be bit-identical across engines, core by core.
+  const cpu::Processor proc = cpu::ideal_processor();
+  for (const std::size_t m : {std::size_t{1}, std::size_t{2}}) {
+    const std::uint64_t seed = util::hash_u64(0xc07e5, m);
+    const task::TaskSet ts = random_set(0.8, seed, 6);
+    mp::MpOptions mo;
+    mo.n_cores = m;
+    mo.heuristic = mp::PartitionHeuristic::kWorstFit;
+    mo.length = 0.4;
+    auto factory_for = [](SweepEngine engine) {
+      return [engine] {
+        SlackTimeConfig cfg;
+        cfg.engine = engine;
+        return sim::GovernorPtr(std::make_unique<SlackTimeGovernor>(cfg));
+      };
+    };
+    const mp::MpResult kernel = mp::simulate_mp(
+        ts, task::uniform_model(seed), proc,
+        factory_for(SweepEngine::kKernel), mo);
+    const mp::MpResult scan = mp::simulate_mp(
+        ts, task::uniform_model(seed), proc,
+        factory_for(SweepEngine::kLegacyScan), mo);
+    exp::expect_same_mp(kernel, scan);
+  }
+}
+
+TEST(SlackKernelDifferential, ThreadCountsDoNotPerturbKernelResults) {
+  // The kernel is per-governor state and sweeps run inside one
+  // simulation's thread; a parallel sweep must not change anything.
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"lpSEH", "laEDF", "uniformSlack"};
+  cfg.seed = 99;
+  cfg.replications = 2;
+  cfg.sim_length = 0.25;
+  cfg.keep_case_outcomes = true;
+  auto sweep_with = [&](std::size_t n_threads) {
+    exp::ExperimentConfig c = cfg;
+    c.n_threads = n_threads;
+    return exp::run_sweep(c, "U", {0.7, 0.95},
+                          [](double u, std::size_t, std::uint64_t seed) {
+                            return exp::Case{random_set(u, seed, 5),
+                                             task::uniform_model(seed)};
+                          });
+  };
+  const exp::SweepOutcome one = sweep_with(1);
+  const exp::SweepOutcome two = sweep_with(2);
+  const exp::SweepOutcome eight = sweep_with(8);
+  exp::expect_same_sweep(one, two);
+  exp::expect_same_sweep(one, eight);
+}
+
+// ---------------------------------------------------------------------
+// 4. Steady-state allocation freedom.
+
+TEST(SlackKernelAllocation, WarmKernelSweepsAllocateNothing) {
+  // Pass 1 warms every buffer (store, tree, pending lists, scratch).
+  // reset() drops the contents but keeps the capacity, so replaying the
+  // identical monotone decision sequence must not allocate at all.
+  FakeContext ctx(trio_set());
+  SlackKernel kernel;
+  auto pass = [&] {
+    kernel.reset(ctx.task_set(), 0.0);
+    for (Time t = 0.0; t < 60.0; t += 1.3) {
+      ctx.now_ = t;
+      ctx.clear_jobs();
+      ctx.add_job(0, 0, 0.0);
+      const Work backlog = backlog_of(ctx);
+      SlackKernel::Sweep sweep(kernel, ctx, t + 80.0, 0.0, backlog);
+      Time d = 0.0;
+      Work w = 0.0;
+      while (sweep.next(d, w)) {
+      }
+    }
+  };
+  pass();  // warm
+  // FakeContext::active_jobs reallocates its own scratch lazily; warm it
+  // too, then measure the kernel-only replay.
+  const std::uint64_t before = g_new_calls.load(std::memory_order_relaxed);
+  pass();  // steady state
+  const std::uint64_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << (after - before) << " allocations in a warm kernel replay";
+}
+
+}  // namespace
+}  // namespace dvs::core
