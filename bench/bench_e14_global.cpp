@@ -1,0 +1,165 @@
+// E14 — Global vs partitioned multiprocessor DVS: normalized energy vs
+// core count under one shared deadline-ordered ready queue (DESIGN.md
+// §14) against the three bin-packing heuristics of E11.
+//
+// For every backend arm (global at zero migration cost, global charging a
+// 50 us surcharge per migration, and partitioned ff/bf/wf) and M in
+// {2, 4, 8, 16} cores, random task sets with total U = 0.55 * M and
+// per-task utilization capped at 0.35 are simulated under every governor;
+// energy is normalized against the noDVS run of the same case and
+// backend.  The utilization point is chosen GFB-safe: with the cap, the
+// global dispatch floor (U + (M-1) * U_max) / M stays below 0.9, so the
+// global arms are schedulable by construction — and low enough that
+// every heuristic partitions every sampled set, so the arms compare the
+// same workloads.  6M tasks keep the UUniFast per-task cap generatable
+// (the max share of n concentrates near U * ln(n) / n, so the cap needs
+// U <= 0.15 * n with comfortable headroom).
+//
+// Expected shape: the arms quantify a real tension.  The partitioned
+// backends hand every governor a per-core subset with U <= 1, where the
+// paper's uniprocessor slack analysis applies in full; the global backend
+// feeds the shared governor the whole set (U = 0.55 * M > 1), so the
+// analytical governors (staticEDF, lpSEH) pin at full speed and only
+// measurement-driven reclamation (ccEDF, DRA) recovers energy — at the
+// price the migration columns make explicit.  The priced arm shows the
+// 50 us surcharge folding into demands.  Exit 0 iff every simulation
+// completed and no deadline was missed in any arm.
+#include "common.hpp"
+
+#include <cstdint>
+
+#include "mp/global_sim.hpp"
+#include "mp/mp_sim.hpp"
+#include "mp/partition.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dvs;
+
+/// Per-core target utilization: GFB-safe under the per-task cap (floor
+/// 0.55 + 0.35 * (M-1)/M < 0.9 for every M) yet high enough that slack
+/// reclamation separates the governors.
+constexpr double kPerCoreU = 0.55;
+constexpr double kMaxTaskU = 0.35;
+constexpr std::size_t kTasksPerCore = 6;
+/// The priced global arm's per-migration surcharge (seconds).
+constexpr double kMigrationCost = 50e-6;
+
+exp::CaseBuilder global_builder(std::size_t m) {
+  return [m](double /*x*/, std::size_t /*rep*/, std::uint64_t seed) {
+    task::GeneratorConfig gen = bench::base_generator(
+        kTasksPerCore * m, kPerCoreU * static_cast<double>(m), 0.1);
+    gen.allow_overload = true;     // total U > 1 is the point of M cores
+    gen.max_task_utilization = kMaxTaskU;  // GFB-safe + packable
+    util::Rng rng(seed);
+    return exp::Case{task::generate_task_set(gen, rng),
+                     task::uniform_model(seed)};
+  };
+}
+
+/// One comparison arm: a backend configuration sharing the same cases.
+struct Arm {
+  std::string name;                 // CSV/report label
+  mp::MpBackend backend = mp::MpBackend::kPartitioned;
+  mp::PartitionHeuristic heuristic = mp::PartitionHeuristic::kFirstFit;
+  Time migration_cost = 0.0;        // global arms only
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dvs;
+  const bench::BenchOptions opts = bench::parse_bench_options(argc, argv);
+  if (opts.oracle) {
+    // The YDS bound decomposes over independent cores; migration
+    // invalidates it, so the global arms cannot be oracle-gated.
+    std::cerr << "bench_e14_global: --oracle is not supported (the global "
+                 "backend has no per-core YDS decomposition)\n";
+    return 2;
+  }
+
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"staticEDF", "ccEDF", "DRA", "lpSEH"};
+  cfg.seed = 14;
+  cfg.replications = opts.smoke ? 2 : 5;
+  cfg.sim_length = opts.smoke ? 0.3 : 1.0;
+  cfg.n_threads = opts.jobs;
+  cfg.fail_fast = opts.strict;
+
+  const std::vector<std::size_t> core_counts =
+      opts.smoke ? std::vector<std::size_t>{2, 4}
+                 : std::vector<std::size_t>{2, 4, 8, 16};
+
+  const std::vector<Arm> arms{
+      {"global", mp::MpBackend::kGlobal, mp::PartitionHeuristic::kFirstFit,
+       0.0},
+      {"global-mc50", mp::MpBackend::kGlobal,
+       mp::PartitionHeuristic::kFirstFit, kMigrationCost},
+      {"ff", mp::MpBackend::kPartitioned, mp::PartitionHeuristic::kFirstFit,
+       0.0},
+      {"bf", mp::MpBackend::kPartitioned, mp::PartitionHeuristic::kBestFit,
+       0.0},
+      {"wf", mp::MpBackend::kPartitioned, mp::PartitionHeuristic::kWorstFit,
+       0.0},
+  };
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_csv", ec);
+  util::CsvFile combined("bench_csv/bench_e14_global.csv");
+  combined.writer().row({"backend", "cores", "governor", "norm_energy_mean",
+                         "norm_energy_min", "norm_energy_max",
+                         "miss_ratio_mean", "misses", "migrations_mean",
+                         "total_migrations", "migration_overhead_us",
+                         "failures"});
+
+  std::size_t failures = 0;
+  std::int64_t misses = 0;
+
+  for (const Arm& arm : arms) {
+    cfg.mp_backend = arm.backend;
+    cfg.partitioner = arm.heuristic;
+    cfg.migration_cost = arm.migration_cost;
+    for (const std::size_t m : core_counts) {
+      cfg.n_cores = m;
+      const auto sweep =
+          exp::run_sweep(cfg, "cores", {static_cast<double>(m)},
+                         global_builder(m));
+      bench::emit(sweep,
+                  "E14[" + arm.name + ", M=" + std::to_string(m) +
+                      "]: global vs partitioned, per-core U = 0.55, " +
+                      std::to_string(kTasksPerCore * m) + " tasks",
+                  "bench_e14_" + arm.name + "_m" + std::to_string(m) +
+                      ".csv");
+      failures += sweep.failures.size();
+      misses += bench::total_misses(sweep);
+      const auto& p = sweep.points.front();
+      for (std::size_t g = 0; g < sweep.governors.size(); ++g) {
+        const auto& e = p.normalized_energy[g];
+        const auto& mr = p.miss_ratio[g];
+        const bool global = sweep.global_mp;
+        const auto& mig = global ? p.migrations[g] : util::RunningStats{};
+        combined.writer().row(
+            {arm.name, std::to_string(m), sweep.governors[g],
+             e.count() > 0 ? util::format_double(e.mean(), 6) : "",
+             e.count() > 0 ? util::format_double(e.min(), 6) : "",
+             e.count() > 0 ? util::format_double(e.max(), 6) : "",
+             mr.count() > 0 ? util::format_double(mr.mean(), 6) : "",
+             std::to_string(p.total_misses),
+             mig.count() > 0 ? util::format_double(mig.mean(), 3) : "",
+             global ? std::to_string(p.total_migrations) : "",
+             global ? util::format_double(p.total_migration_overhead_us, 1)
+                    : "",
+             std::to_string(sweep.failures.size())});
+      }
+    }
+  }
+
+  const bool ok = failures == 0 && misses == 0;
+  std::cout << "  failed simulations / rejected partitions: " << failures
+            << ", deadline misses: " << misses
+            << (ok ? "  [hard real-time invariant holds]\n"
+                   : "  [VIOLATION]\n");
+  return ok ? 0 : 1;
+}

@@ -34,6 +34,20 @@ void reject_oracle_degradation(const ExperimentConfig& cfg) {
              "bounds assume every released job executes");
 }
 
+[[nodiscard]] bool global_mode(const ExperimentConfig& cfg) {
+  return cfg.n_cores >= 1 && cfg.mp_backend == mp::MpBackend::kGlobal;
+}
+
+/// The clairvoyant YDS bound decomposes over independent cores; job-level
+/// migration breaks that decomposition, so no valid lower bound exists
+/// for the global backend and the combination is rejected loudly.
+void reject_oracle_global(const ExperimentConfig& cfg) {
+  DVS_EXPECT(!(cfg.oracle && global_mode(cfg)),
+             "oracle mode is incompatible with the global backend: the YDS "
+             "bound decomposes over independent cores, which migration "
+             "invalidates");
+}
+
 /// The governor roster of a run: the noDVS reference first, then the
 /// configured governors (minus any duplicate noDVS entry), then — with
 /// ExperimentConfig::oracle — the clairvoyant oracle as the closing
@@ -89,6 +103,44 @@ GovernorOutcome simulate_governor(const std::string& name, const Case& c,
   if (cfg.audit_decisions) opts.audit = &audit;
   g.result =
       sim::simulate(c.task_set, *c.workload, cfg.processor, *governor, opts);
+  if (cfg.audit_decisions) g.slack = audit.accuracy();
+  return g;
+}
+
+/// One global-EDF platform simulation of `name` on `c` (ExperimentConfig
+/// ::mp_backend == kGlobal): the whole M-core engine run is ONE unit of
+/// work — the engine is sequential and deterministic by contract
+/// (mp/global_sim.hpp), so sweep outputs cannot depend on n_threads.
+GovernorOutcome simulate_governor_global(const std::string& name,
+                                         const Case& c,
+                                         const ExperimentConfig& cfg) {
+  auto governor =
+      fresh_governor(name, cfg, c.task_set, *c.workload, cfg.sim_length);
+  GovernorOutcome g;
+  g.governor = governor->name();
+  mp::GlobalOptions opts;
+  opts.length = cfg.sim_length;
+  opts.n_cores = cfg.n_cores;
+  opts.migration_cost = cfg.migration_cost;
+  opts.record_jobs = cfg.record_jobs;
+  opts.containment = cfg.containment;
+  if (cfg.degradation.has_value()) opts.degradation = &*cfg.degradation;
+  obs::DecisionAudit audit;
+  if (cfg.audit_decisions) opts.audit = &audit;
+  mp::GlobalResult r = mp::simulate_global(c.task_set, *c.workload,
+                                           cfg.processor, *governor, opts);
+  auto detail = std::make_shared<dvs::mp::MpResult>();
+  detail->backend = mp::MpBackend::kGlobal;
+  detail->partition.n_cores = cfg.n_cores;
+  detail->partition.core_of.assign(c.task_set.size(), -1);
+  detail->partition.tasks_of_core.resize(cfg.n_cores);
+  detail->partition.core_utilization.assign(cfg.n_cores, 0.0);
+  detail->total = std::move(r.total);
+  detail->cores = std::move(r.cores);
+  detail->migrations = std::move(r.migrations);
+  g.result = detail->total;
+  g.governor = g.result.governor.empty() ? name : g.result.governor;
+  g.mp = std::move(detail);
   if (cfg.audit_decisions) g.slack = audit.accuracy();
   return g;
 }
@@ -249,12 +301,20 @@ const GovernorOutcome& CaseOutcome::by_name(const std::string& name) const {
 CaseOutcome run_case(const Case& c, const ExperimentConfig& cfg) {
   DVS_EXPECT(c.workload != nullptr, "case has no workload model");
   reject_oracle_degradation(cfg);
+  reject_oracle_global(cfg);
   const std::vector<std::string> roster = governor_roster(cfg);
 
   CaseOutcome out;
   out.outcomes.resize(roster.size());
   const std::size_t workers = util::ThreadPool::resolve_threads(cfg.n_threads);
-  if (cfg.n_cores >= 1) {
+  if (global_mode(cfg)) {
+    // Global backend: one whole-platform engine run per governor is the
+    // unit of work (never split across threads; the engine is sequential
+    // by determinism contract).
+    dispatch_indexed(workers, roster.size(), [&](std::size_t g) {
+      out.outcomes[g] = simulate_governor_global(roster[g], c, cfg);
+    });
+  } else if (cfg.n_cores >= 1) {
     // Partitioned mode: every (governor, core) pair is one unit of work.
     // run_case keeps its legacy loud-failure semantics — an infeasible
     // partition (or a throwing core simulation) propagates to the caller.
@@ -292,12 +352,14 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
   DVS_EXPECT(!xs.empty(), "sweep needs at least one point");
   DVS_EXPECT(cfg.replications >= 1, "sweep needs at least one replication");
   reject_oracle_degradation(cfg);
+  reject_oracle_global(cfg);
   const auto started = std::chrono::steady_clock::now();
 
   SweepOutcome sweep;
   sweep.x_label = x_label;
   sweep.oracle = cfg.oracle;
   sweep.degradation = cfg.degradation.has_value();
+  sweep.global_mp = global_mode(cfg);
   sweep.governors = governor_roster(cfg);
   const std::size_t n_govs = sweep.governors.size();
   sweep.slack_accuracy.assign(n_govs, {});
@@ -322,7 +384,10 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
   // An infeasible partition is not an error here; it is attributed as one
   // SimFailure per governor during reassembly, unless fail_fast asks for
   // the legacy loud behaviour.
-  const bool mp_mode = cfg.n_cores >= 1;
+  // The global backend bypasses partitioning entirely: there is no plan
+  // to reject, and the unit of work is the whole platform engine run —
+  // n_units stays 1 (the engine is sequential by determinism contract).
+  const bool mp_mode = cfg.n_cores >= 1 && !sweep.global_mp;
   const std::size_t n_units = mp_mode ? cfg.n_cores : 1;
   std::vector<mp::MpPlan> plans;
   if (mp_mode) {
@@ -390,7 +455,9 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
     dispatch_indexed(workers, n_sims, [&](std::size_t i) {
       const std::string& gov = sweep.governors[i % n_govs];
       try {
-        sims[i] = simulate_governor(gov, cases[i / n_govs], cfg);
+        sims[i] = sweep.global_mp
+                      ? simulate_governor_global(gov, cases[i / n_govs], cfg)
+                      : simulate_governor(gov, cases[i / n_govs], cfg);
       } catch (const std::exception& e) {
         // Failure isolation: one crashing simulation must not take down the
         // other (n_sims - 1) jobs.  The error is parked in its slot and
@@ -414,6 +481,7 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
     point.gap_continuous.assign(n_govs, {});
     point.gap_discrete.assign(n_govs, {});
     point.skip_ratio.assign(n_govs, {});
+    point.migrations.assign(n_govs, {});
 
     for (std::size_t rep = 0; rep < cfg.replications; ++rep) {
       const std::size_t ci = xi * cfg.replications + rep;
@@ -456,6 +524,11 @@ SweepOutcome run_sweep(const ExperimentConfig& cfg, const std::string& x_label,
           point.total_skips += o.result.jobs_skipped;
           point.total_mk_violations += o.result.mk_violations;
           point.total_hard_misses += o.result.hard_misses;
+        }
+        if (sweep.global_mp) {
+          point.migrations[g].add(static_cast<double>(o.result.migrations));
+          point.total_migrations += o.result.migrations;
+          point.total_migration_overhead_us += o.result.migration_overhead_us;
         }
         point.total_misses += o.result.deadline_misses;
       }

@@ -100,6 +100,19 @@ struct ExperimentConfig {
   /// the offending task.
   std::size_t n_cores = 0;
   mp::PartitionHeuristic partitioner = mp::PartitionHeuristic::kFirstFit;
+  /// Which multiprocessor backend n_cores >= 1 routes through (ISSUE 10).
+  /// kPartitioned is the bin-packing path above; kGlobal runs the single-
+  /// queue global-EDF engine (mp/global_sim.hpp) instead — no partition
+  /// to reject, ONE sequential engine run per (case, governor) as the
+  /// thread-pool unit of work (the engine itself is deterministic and
+  /// single-threaded, so sweeps stay bit-identical for every n_threads).
+  /// Incompatible with `oracle`: the clairvoyant YDS bound decomposes
+  /// over independent cores, which migration invalidates.  Ignored when
+  /// n_cores == 0.
+  mp::MpBackend mp_backend = mp::MpBackend::kPartitioned;
+  /// Per-migration surcharge in seconds of full-speed work (global
+  /// backend only; see mp::GlobalOptions::migration_cost).
+  Time migration_cost = 0.0;
 
   /// Optimal-schedule oracle (src/opt/, ISSUE 6).  When set, every case
   /// additionally computes the clairvoyant YDS lower bounds
@@ -133,9 +146,11 @@ struct GovernorOutcome {
   /// Non-empty when the simulation threw instead of completing; `result`
   /// and `normalized_energy` are then meaningless placeholders.
   std::string error;
-  /// Per-core detail of a partitioned run (ExperimentConfig::n_cores
-  /// >= 1): partition shape plus every core's SimResult.  `result` above
-  /// is then mp->total.  Null on uniprocessor runs and on failures.
+  /// Per-core detail of a multiprocessor run (ExperimentConfig::n_cores
+  /// >= 1): partition shape (a placeholder under the global backend) plus
+  /// every core's SimResult and — under the global backend — the
+  /// migration records.  `result` above is then mp->total.  Null on
+  /// uniprocessor runs and on failures.
   std::shared_ptr<const mp::MpResult> mp;
 
   /// Optimality gaps: total energy divided by the case's oracle lower
@@ -172,12 +187,19 @@ struct PointResult {
   /// Per-governor shed ratio (jobs_skipped / jobs_released) across cases;
   /// empty stats unless ExperimentConfig::degradation was set.
   std::vector<util::RunningStats> skip_ratio;
+  /// Per-governor migration count across cases; empty stats unless the
+  /// sweep ran the global backend (SweepOutcome::global_mp).
+  std::vector<util::RunningStats> migrations;
   std::int64_t total_misses = 0;  ///< across every governor and case
   // Degradation aggregates across every governor and case (all zero
   // unless ExperimentConfig::degradation was set).
   std::int64_t total_skips = 0;
   std::int64_t total_mk_violations = 0;
   std::int64_t total_hard_misses = 0;
+  // Migration aggregates across every governor and case (all zero unless
+  // the sweep ran the global backend).
+  std::int64_t total_migrations = 0;
+  double total_migration_overhead_us = 0.0;
   /// Per-case outcomes, only when ExperimentConfig::keep_case_outcomes.
   std::vector<CaseOutcome> cases;
 };
@@ -209,6 +231,11 @@ struct SweepOutcome {
   /// the degradation report/CSV columns the same way `oracle` gates the
   /// gap columns.
   bool degradation = false;
+  /// True when the sweep ran the global multiprocessor backend
+  /// (ExperimentConfig::mp_backend == kGlobal with n_cores >= 1): gates
+  /// the migration report/CSV columns, keeping partitioned and
+  /// uniprocessor output byte-identical to pre-global builds.
+  bool global_mp = false;
   /// Failed simulations, in (point, replication, governor) order; empty on
   /// clean runs.  See ExperimentConfig::fail_fast for the throwing mode.
   std::vector<SimFailure> failures;

@@ -113,6 +113,19 @@ void print_sweep(std::ostream& out, const SweepOutcome& sweep,
     out << "  shed ratio per governor (skipped / released):\n";
     print_point_table(out, sweep, &PointResult::skip_ratio);
   }
+  if (sweep.global_mp) {
+    std::int64_t migrations = 0;
+    double overhead_us = 0.0;
+    for (const auto& p : sweep.points) {
+      migrations += p.total_migrations;
+      overhead_us += p.total_migration_overhead_us;
+    }
+    out << "  global backend: " << migrations
+        << " migrations | surcharge folded into demands "
+        << util::format_double(overhead_us, 1) << " us\n";
+    out << "  migrations per governor (mean per case):\n";
+    print_point_table(out, sweep, &PointResult::migrations);
+  }
   if (sweep_was_audited(sweep)) {
     out << "  slack-estimate audit (error = realized - estimated, seconds):\n";
     util::TextTable audit;
@@ -209,6 +222,15 @@ void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
     header.push_back("mk_violations");
     header.push_back("hard_misses");
   }
+  // Migration columns, gated on the global backend: the same append-only
+  // contract again (partitioned / uniprocessor CSVs stay byte-identical).
+  if (sweep.global_mp) {
+    for (const auto& g : sweep.governors) {
+      header.push_back(g + "_migrations_mean");
+    }
+    header.push_back("total_migrations");
+    header.push_back("migration_overhead_us");
+  }
   csv.row(header);
   for (const auto& p : sweep.points) {
     std::vector<double> row{p.x};
@@ -226,6 +248,11 @@ void write_sweep_csv(std::ostream& out, const SweepOutcome& sweep) {
       row.push_back(static_cast<double>(p.total_skips));
       row.push_back(static_cast<double>(p.total_mk_violations));
       row.push_back(static_cast<double>(p.total_hard_misses));
+    }
+    if (sweep.global_mp) {
+      for (const auto& s : p.migrations) row.push_back(mean_or_zero(s));
+      row.push_back(static_cast<double>(p.total_migrations));
+      row.push_back(p.total_migration_overhead_us);
     }
     csv.row_numeric(row, 6);
   }

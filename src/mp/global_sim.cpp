@@ -1,0 +1,833 @@
+#include "mp/global_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "cpu/energy_meter.hpp"
+#include "sched/edf_queue.hpp"
+#include "util/error.hpp"
+#include "util/stable_vector.hpp"
+
+namespace dvs::mp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+/// Speeds closer than this are the same operating point (no switch).
+/// Identical to the uniprocessor engine's tolerance (sim/simulator.cpp).
+constexpr double kAlphaTol = 1e-9;
+constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
+/// The global engine mirrors sim/simulator.cpp's SimEngine operation for
+/// operation wherever the M = 1 bit-identity contract reaches: the
+/// release path, the governor call protocol, the transition/stall
+/// charging, the per-segment busy accounting and the completion path are
+/// copies with the engine-wide state generalized to per-core state.
+/// Comments below mark where (and why) the generalization is allowed to
+/// differ at M >= 2.
+class GlobalSimEngine final : public sim::SimContext {
+ public:
+  GlobalSimEngine(const task::TaskSet& ts,
+                  const task::ExecutionTimeModel& workload,
+                  const cpu::Processor& proc, sim::Governor& governor,
+                  const GlobalOptions& opts)
+      : ts_(ts),
+        workload_(workload),
+        proc_(proc),
+        governor_(governor),
+        opts_(opts) {
+    DVS_EXPECT(!ts_.empty(), "cannot simulate an empty task set");
+    ts_.validate();
+    DVS_EXPECT(opts_.n_cores >= 1, "global simulation needs >= 1 core");
+    DVS_EXPECT(std::isfinite(opts_.migration_cost) &&
+                   opts_.migration_cost >= 0.0,
+               "migration cost must be finite and non-negative");
+    length_ = opts.length < 0.0 ? ts_.default_sim_length() : opts.length;
+    DVS_EXPECT(length_ > 0.0, "simulation length must be positive");
+    next_release_.reserve(ts_.size());
+    next_index_.assign(ts_.size(), 0);
+    worst_response_.assign(ts_.size(), 0.0);
+    for (const auto& t : ts_) next_release_.push_back(t.phase);
+    floor_ = global_speed_floor(ts_, opts_.n_cores);
+
+    std::size_t expected_jobs = 0;
+    for (const auto& t : ts_) {
+      if (t.phase < length_) {
+        expected_jobs +=
+            static_cast<std::size_t>((length_ - t.phase) / t.period) + 2;
+      }
+    }
+    jobs_.reserve(expected_jobs);
+    job_core_.reserve(expected_jobs);
+    ready_.reserve(2 * ts_.size() + 2);
+    sorted_scratch_.reserve(2 * ts_.size() + 2);
+    active_scratch_.reserve(2 * ts_.size() + 2);
+    assign_scratch_.reserve(2 * ts_.size() + 2);
+    if (opts_.traces != nullptr) {
+      opts_.traces->clear();
+      opts_.traces->resize(opts_.n_cores);
+    }
+    cores_.reserve(opts_.n_cores);
+    for (std::size_t c = 0; c < opts_.n_cores; ++c) {
+      cores_.emplace_back(proc_.power, ts_.size());
+      if (opts_.traces != nullptr) {
+        cores_[c].trace = &(*opts_.traces)[c];
+        cores_[c].trace->reserve_hint(expected_jobs);
+      }
+    }
+    if (opts_.audit != nullptr) opts_.audit->reserve(expected_jobs * 3);
+    if (opts_.degradation != nullptr) {
+      degrade_.emplace(ts_, *opts_.degradation);
+      last_unfinalized_.assign(ts_.size(), kNoSlot);
+    }
+  }
+
+  GlobalResult run() {
+    governor_.on_start(*this);
+    while (true) {
+      release_due_jobs();
+      if (t_ >= length_ - kTimeEps) break;
+      if (!dispatch()) {
+        // A guard-complete inside dispatch() may have recorded the
+        // stopping miss even though nothing is left running.
+        if (opts_.stop_on_miss && misses_ > 0) break;
+        if (!advance_idle_all()) break;
+        continue;
+      }
+      if (opts_.stop_on_miss && misses_ > 0) break;
+
+      // Next platform event: any executing core's completion or budget
+      // timer, any stall end, the next release, or the horizon.  Releases
+      // are deferred while every core is stalling (no execution, no idle
+      // capacity) — exactly the uniprocessor engine's behavior of
+      // processing stall-window arrivals at the stall end.
+      bool any_exec = false;
+      bool any_idle = false;
+      Time t_next = length_;
+      for (const CoreState& c : cores_) {
+        if (c.stall_until > t_) {
+          t_next = std::min(t_next, c.stall_until);
+        } else if (c.running != kNoSlot) {
+          any_exec = true;
+          t_next = std::min(t_next, std::min(c.t_fin, c.t_budget));
+        } else {
+          any_idle = true;
+        }
+      }
+      if (any_exec || any_idle) {
+        Time t_rel = kInf;
+        for (std::size_t i = 0; i < ts_.size(); ++i) {
+          if (next_release_[i] < length_ - kTimeEps) {
+            t_rel = std::min(t_rel, next_release_[i]);
+          }
+        }
+        t_next = std::min(t_next, t_rel);
+      }
+      DVS_ENSURE(t_next > t_, "simulation failed to make progress");
+
+      charge(t_next);
+      t_ = t_next;
+      process_completions();
+      if (opts_.stop_on_miss && misses_ > 0) break;
+    }
+    return finish();
+  }
+
+  // --- SimContext -------------------------------------------------------
+  [[nodiscard]] Time now() const override { return t_; }
+  [[nodiscard]] const task::TaskSet& task_set() const override { return ts_; }
+  [[nodiscard]] sim::SchedulingPolicy policy() const override {
+    return sim::SchedulingPolicy::kEdf;
+  }
+  [[nodiscard]] double alpha_min() const override {
+    return proc_.scale.alpha_min();
+  }
+  [[nodiscard]] Time next_release_after(Time t) const override {
+    Time best = kInf;
+    for (const auto& task : ts_) {
+      std::int64_t k = task.first_job_at_or_after(t + 2.0 * kTimeEps);
+      Time r = task.release_of(k);
+      if (r <= t + kTimeEps) r = task.release_of(k + 1);
+      best = std::min(best, r);
+    }
+    return best;
+  }
+  [[nodiscard]] std::span<const sim::Job* const> active_jobs()
+      const override {
+    if (active_dirty_) {
+      ready_.sorted_into(sorted_scratch_);
+      active_scratch_.clear();
+      for (const auto& e : sorted_scratch_) {
+        active_scratch_.push_back(&jobs_[e.slot]);
+      }
+      active_dirty_ = false;
+    }
+    return active_scratch_;
+  }
+  [[nodiscard]] double current_speed() const override {
+    const double a = cores_[cur_core_].last_alpha;
+    return a > 0.0 ? a : 1.0;
+  }
+
+ private:
+  struct CoreState {
+    CoreState(const cpu::PowerModelPtr& power, std::size_t n_tasks)
+        : meter(power, n_tasks) {}
+
+    cpu::EnergyMeter meter;
+    sim::VectorTrace* trace = nullptr;
+    double last_alpha = -1.0;  ///< speed of the previous execution segment
+    double retired_work = 0.0;
+    std::int64_t switches = 0;
+    std::int64_t hw_faults = 0;
+    std::int64_t switch_attempts = 0;  ///< per-core fault-model index
+    std::int64_t preemptions = 0;
+    std::int64_t completions = 0;
+    std::int64_t misses = 0;  ///< misses detected at completion here
+    std::size_t last_running = kNoSlot;
+
+    // Per-event dispatch state.
+    std::size_t running = kNoSlot;  ///< job executing this interval
+    double alpha = 1.0;             ///< its speed
+    Time t_fin = kInf;
+    Time t_budget = kInf;
+
+    // Transition-stall commitment: while stall_until > now the core is
+    // switching and owns `committed`; the commitment survives the stall
+    // only if no release/completion happened meanwhile (version check) —
+    // the uniprocessor engine's arrivals-during-stall re-dispatch rule.
+    Time stall_until = -1.0;
+    std::size_t committed = kNoSlot;
+    std::uint64_t committed_version = 0;
+  };
+
+  // --- degradation hooks (copies of the uniprocessor engine's) ----------
+  template <typename Fn>
+  void watch_mode(Time at, const Fn& fn) {
+    const degrade::Mode before = degrade_->mode();
+    fn();
+    const degrade::Mode after = degrade_->mode();
+    if (after == before) return;
+    if (cores_[0].trace != nullptr) {
+      cores_[0].trace->event(
+          {sim::TraceEvent::Kind::kModeChange, at, -1,
+           after == degrade::Mode::kDegraded ? std::int64_t{1}
+                                             : std::int64_t{0}});
+    }
+  }
+
+  void finalize_outcome(std::size_t i, Time now) {
+    const std::size_t slot = last_unfinalized_[i];
+    if (slot == kNoSlot) return;
+    const sim::Job& prev = jobs_[slot];
+    const bool met = prev.finished() && !prev.missed;
+    watch_mode(now, [&] { degrade_->on_job_outcome(prev.task_id, met, now); });
+    last_unfinalized_[i] = kNoSlot;
+  }
+
+  [[nodiscard]] double offered_density(Time now, Work new_wcet,
+                                       Time new_deadline) const {
+    double d = new_wcet / std::max(new_deadline - now, kTimeEps);
+    for (const auto& e : ready_.raw()) {
+      const sim::Job& j = jobs_[e.slot];
+      d += j.remaining_wcet() / std::max(j.abs_deadline - now, kTimeEps);
+    }
+    return d + degrade_->shadow_density(now);
+  }
+
+  /// Release every due job — a verbatim copy of the uniprocessor path
+  /// (EDF key only; the global backend has no fixed-priority mode).
+  /// Every processed release bumps version_, dissolving stall
+  /// commitments exactly where the uniprocessor engine re-dispatches.
+  void release_due_jobs() {
+    cur_core_ = 0;  // platform events answer current_speed() for core 0
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      while (next_release_[i] <= t_ + kTimeEps &&
+             next_release_[i] < length_ - kTimeEps) {
+        const task::Task& task = ts_[i];
+        sim::Job job;
+        job.task_id = task.id;
+        job.index = next_index_[i];
+        job.release = next_release_[i];
+        job.abs_deadline = job.release + task.deadline;
+        job.wcet = task.wcet;
+        if (degrade_.has_value()) {
+          finalize_outcome(i, job.release);
+          const double density =
+              offered_density(job.release, job.wcet, job.abs_deadline);
+          watch_mode(job.release,
+                     [&] { degrade_->on_backlog(density, job.release); });
+          if (degrade_->should_skip(task.id, task.wcet, job.abs_deadline,
+                                    job.release)) {
+            job.skipped = true;
+            jobs_.push_back(job);
+            job_core_.push_back(-1);
+            ++version_;
+            ++released_;
+            ++next_index_[i];
+            next_release_[i] += task.period;
+            if (cores_[0].trace != nullptr) {
+              cores_[0].trace->event({sim::TraceEvent::Kind::kSkip,
+                                      job.release, job.task_id, job.index});
+            }
+            continue;  // never enqueued: governors see no trace of it
+          }
+        }
+        job.actual = workload_.draw(task, job.index);
+        DVS_ENSURE(std::isfinite(job.actual) && job.actual > 0.0,
+                   "workload model returned non-positive or non-finite work");
+        if (job.actual > job.wcet + kTimeEps) {
+          job.overrun = true;
+          ++overruns_;
+          if (opts_.containment == sim::OverrunPolicy::kClampAtWcet) {
+            job.actual = job.wcet;  // budget enforcement at release
+            ++contained_;
+          }
+        } else {
+          job.actual = std::min(job.actual, job.wcet);
+        }
+        const std::size_t slot = jobs_.size();
+        jobs_.push_back(job);
+        job_core_.push_back(-1);
+        if (degrade_.has_value()) last_unfinalized_[i] = slot;
+        ready_.push({job.abs_deadline, job.task_id, job.index, slot});
+        active_dirty_ = true;
+        ++version_;
+        ++released_;
+        ++next_index_[i];
+        next_release_[i] += task.period;
+        if (cores_[0].trace != nullptr) {
+          cores_[0].trace->event({sim::TraceEvent::Kind::kRelease,
+                                  job.release, job.task_id, job.index});
+        }
+        governor_.on_release(jobs_[slot], *this);
+      }
+    }
+  }
+
+  /// All cores idle until the next release (or the end of the run).
+  bool advance_idle_all() {
+    Time next = kInf;
+    for (std::size_t i = 0; i < ts_.size(); ++i) {
+      if (next_release_[i] < length_ - kTimeEps) {
+        next = std::min(next, next_release_[i]);
+      }
+    }
+    const Time until = std::min(next, length_);
+    if (until > t_) {
+      for (CoreState& c : cores_) {
+        c.meter.add_idle(until - t_);
+        if (c.trace != nullptr) {
+          c.trace->segment(
+              {t_, until, sim::SegmentKind::kIdle, -1, -1, 0.0});
+        }
+      }
+      t_ = until;
+    }
+    return t_ < length_ - kTimeEps;
+  }
+
+  [[nodiscard]] bool slot_taken(std::size_t slot) const {
+    for (const CoreState& c : cores_) {
+      if (c.running == slot || c.committed == slot) return true;
+    }
+    return false;
+  }
+
+  /// Map ready jobs onto cores and query the governor per core.  Returns
+  /// false when the platform is fully idle (nothing ready, no stalls).
+  bool dispatch() {
+    // Phase A: reset non-stalled cores and resolve ended stalls.  A
+    // commitment whose stall passed without a version change resumes
+    // WITHOUT a fresh governor query (the uniprocessor engine executes
+    // straight after an arrival-free stall); otherwise the job returns
+    // to the pool and the core re-dispatches below.
+    for (std::size_t ci = 0; ci < cores_.size(); ++ci) {
+      CoreState& c = cores_[ci];
+      if (c.stall_until > t_) continue;  // mid-stall: keep the commitment
+      c.running = kNoSlot;
+      c.t_fin = kInf;
+      c.t_budget = kInf;
+      if (c.committed == kNoSlot) continue;
+      const std::size_t slot = c.committed;
+      const bool hold = c.committed_version == version_;
+      c.committed = kNoSlot;
+      c.stall_until = -1.0;
+      if (!hold) continue;
+      if (jobs_[slot].remaining_actual() <= kTimeEps) {
+        complete(slot, ci);  // zero-length execution window
+        continue;
+      }
+      c.running = slot;  // c.alpha still holds the committed speed
+    }
+
+    // Phase B: assign free cores from the EDF-sorted pool, sticky to the
+    // core a job last executed on.  Guard-completed assignments free the
+    // core again, so loop until the assignment settles.
+    while (!(opts_.stop_on_miss && misses_ > 0)) {
+      free_scratch_.clear();
+      for (std::size_t ci = 0; ci < cores_.size(); ++ci) {
+        const CoreState& c = cores_[ci];
+        if (c.stall_until <= t_ && c.running == kNoSlot &&
+            c.committed == kNoSlot) {
+          free_scratch_.push_back(ci);
+        }
+      }
+      if (free_scratch_.empty()) break;
+      ready_.sorted_into(assign_scratch_);
+      selected_scratch_.clear();
+      for (const auto& e : assign_scratch_) {
+        if (selected_scratch_.size() >= free_scratch_.size()) break;
+        if (!slot_taken(e.slot)) selected_scratch_.push_back(e.slot);
+      }
+      if (selected_scratch_.empty()) break;
+
+      // Pass 1 (EDF order): keep a job on its previous core when free.
+      claim_scratch_.assign(free_scratch_.size(), kNoSlot);
+      placed_scratch_.assign(selected_scratch_.size(), false);
+      for (std::size_t s = 0; s < selected_scratch_.size(); ++s) {
+        const std::int32_t prev = job_core_[selected_scratch_[s]];
+        if (prev < 0) continue;
+        for (std::size_t f = 0; f < free_scratch_.size(); ++f) {
+          if (free_scratch_[f] == static_cast<std::size_t>(prev) &&
+              claim_scratch_[f] == kNoSlot) {
+            claim_scratch_[f] = selected_scratch_[s];
+            placed_scratch_[s] = true;
+            break;
+          }
+        }
+      }
+      // Pass 2 (EDF order): fill the lowest-index unclaimed free cores.
+      for (std::size_t s = 0; s < selected_scratch_.size(); ++s) {
+        if (placed_scratch_[s]) continue;
+        for (std::size_t f = 0; f < free_scratch_.size(); ++f) {
+          if (claim_scratch_[f] == kNoSlot) {
+            claim_scratch_[f] = selected_scratch_[s];
+            break;
+          }
+        }
+      }
+
+      // Query the governor per claimed core, ascending core order.
+      for (std::size_t f = 0; f < free_scratch_.size(); ++f) {
+        if (claim_scratch_[f] == kNoSlot) continue;
+        const std::size_t ci = free_scratch_[f];
+        const std::size_t slot = claim_scratch_[f];
+        CoreState& c = cores_[ci];
+        cur_core_ = ci;
+        sim::Job& job = jobs_[slot];
+        double alpha = decide_speed(job);
+        if (apply_transition(c, alpha)) {
+          c.committed = slot;
+          c.alpha = alpha;
+          c.committed_version = version_;
+          continue;
+        }
+        if (job.remaining_actual() <= kTimeEps) {
+          complete(slot, ci);  // zero-length execution window
+          continue;            // the settle loop re-fills this core
+        }
+        c.running = slot;
+        c.alpha = alpha;
+      }
+    }
+
+    // Finalize executing cores: migration accounting, preemption
+    // accounting, execution horizons.  Mirrors the head of the
+    // uniprocessor engine's execute().
+    bool any = false;
+    for (std::size_t ci = 0; ci < cores_.size(); ++ci) {
+      CoreState& c = cores_[ci];
+      if (c.stall_until > t_) {
+        any = true;
+        continue;
+      }
+      if (c.running == kNoSlot) continue;
+      any = true;
+      sim::Job& job = jobs_[c.running];
+      if (job_core_[c.running] != static_cast<std::int32_t>(ci)) {
+        if (job.executed > 0.0) {
+          // Resuming on a new core: one migration, surcharge folded into
+          // the remaining demand and the WCET budget alike (so overrun
+          // detection and budget timers stay consistent).
+          ++migrations_;
+          job.actual += opts_.migration_cost;
+          job.wcet += opts_.migration_cost;
+          migration_overhead_ += opts_.migration_cost;
+          migration_records_.push_back({t_, job.task_id, job.index,
+                                        job_core_[c.running],
+                                        static_cast<std::int32_t>(ci)});
+        }
+        job_core_[c.running] = static_cast<std::int32_t>(ci);
+      }
+      if (c.last_running != kNoSlot && c.last_running != c.running &&
+          !jobs_[c.last_running].finished()) {
+        ++c.preemptions;
+      }
+      c.last_running = c.running;
+      c.t_fin = t_ + job.remaining_actual() / c.alpha;
+      c.t_budget = kInf;
+      if (opts_.containment == sim::OverrunPolicy::kEscalateToMaxSpeed &&
+          !job.escalated && job.actual > job.wcet + kTimeEps &&
+          job.executed < job.wcet - kTimeEps) {
+        c.t_budget = t_ + (job.wcet - job.executed) / c.alpha;
+      }
+    }
+    return any;
+  }
+
+  /// Copy of the uniprocessor decide_speed with the M >= 2 GFB floor
+  /// added; floor_ is 0 at M == 1, where max(req, 0) preserves req
+  /// bit-for-bit.
+  double decide_speed(sim::Job& job) {
+    if (opts_.containment == sim::OverrunPolicy::kEscalateToMaxSpeed &&
+        job.executed >= job.wcet - kTimeEps &&
+        job.remaining_actual() > kTimeEps) {
+      if (!job.escalated) {
+        job.escalated = true;
+        ++contained_;
+      }
+      record_decision(job, 1.0, 1.0, /*from_governor=*/false);
+      return 1.0;
+    }
+    double req = governor_.select_speed(job, *this);
+    DVS_ENSURE(std::isfinite(req) && req > 0.0,
+               "governor '" + governor_.name() +
+                   "' returned a non-positive or non-finite speed");
+    req = std::min(req, 1.0);
+    req = std::max(req, floor_);
+    const double chosen = proc_.scale.quantize_up(req);
+    record_decision(job, req, chosen, /*from_governor=*/true);
+    return chosen;
+  }
+
+  void record_decision(const sim::Job& job, double requested, double chosen,
+                       bool from_governor) {
+    if (opts_.audit == nullptr) return;
+    obs::Decision d;
+    d.at = t_;
+    d.task_id = job.task_id;
+    d.job_index = job.index;
+    d.remaining_wcet = job.remaining_wcet();
+    d.estimated_slack = from_governor
+                            ? governor_.last_slack_estimate()
+                            : std::numeric_limits<Time>::quiet_NaN();
+    d.requested_alpha = requested;
+    d.chosen_alpha = chosen;
+    opts_.audit->decision(d);
+  }
+
+  /// Per-core copy of the uniprocessor apply_transition.  Instead of
+  /// jumping the global clock through the stall, the stall becomes the
+  /// core's `stall_until` horizon (charged upfront, like the
+  /// uniprocessor engine); returns true when a stall was incurred.
+  bool apply_transition(CoreState& core, double& alpha) {
+    if (core.last_alpha <= 0.0) {  // first execution segment: free setup
+      core.last_alpha = alpha;
+      return false;
+    }
+    if (std::fabs(alpha - core.last_alpha) <= kAlphaTol) return false;
+
+    Time fault_stall = 0.0;
+    if (proc_.faults != nullptr) {
+      const std::int64_t idx = core.switch_attempts++;
+      const double honored =
+          proc_.faults->honored_speed(idx, core.last_alpha, alpha);
+      DVS_ENSURE(std::isfinite(honored) && honored > 0.0,
+                 "processor fault model returned an invalid speed");
+      if (std::fabs(honored - alpha) > kAlphaTol) {
+        ++core.hw_faults;  // stuck frequency: the request was ignored
+        alpha = honored;
+        if (std::fabs(alpha - core.last_alpha) <= kAlphaTol) return false;
+      }
+      fault_stall = proc_.faults->extra_stall(idx, core.last_alpha, alpha);
+      DVS_ENSURE(fault_stall >= 0.0, "negative injected stall");
+      if (fault_stall > 0.0) ++core.hw_faults;
+    }
+
+    ++core.switches;
+    const double from = core.last_alpha;
+    core.last_alpha = alpha;
+    if (proc_.transition.is_free() && fault_stall <= 0.0) return false;
+
+    const Time base_stall =
+        proc_.transition.is_free() ? 0.0
+                                   : proc_.transition.switch_time(from, alpha);
+    const Time dsw = std::min(base_stall + fault_stall, length_ - t_);
+    const double esw =
+        proc_.transition.is_free()
+            ? 0.0
+            : proc_.transition.switch_energy(*proc_.power, from, alpha);
+    core.meter.add_transition(dsw, esw);
+    if (dsw <= 0.0) return false;
+    if (core.trace != nullptr) {
+      core.trace->segment(
+          {t_, t_ + dsw, sim::SegmentKind::kTransition, -1, -1, 0.0});
+    }
+    core.stall_until = t_ + dsw;
+    return true;
+  }
+
+  /// Charge the interval [t_, t_next] per core: busy for executing cores
+  /// (the uniprocessor execute()'s accounting), idle for free cores,
+  /// nothing for stalling cores (their stall was charged upfront).
+  void charge(Time t_next) {
+    const Time dt = t_next - t_;
+    for (CoreState& c : cores_) {
+      if (c.stall_until > t_) continue;
+      if (c.running != kNoSlot) {
+        sim::Job& job = jobs_[c.running];
+        c.meter.add_busy(dt, c.alpha, job.task_id);
+        c.retired_work += c.alpha * dt;
+        job.executed += c.alpha * dt;
+        if (c.trace != nullptr) {
+          c.trace->segment({t_, t_next, sim::SegmentKind::kBusy, job.task_id,
+                            job.index, c.alpha});
+        }
+      } else {
+        c.meter.add_idle(dt);
+        if (c.trace != nullptr) {
+          c.trace->segment(
+              {t_, t_next, sim::SegmentKind::kIdle, -1, -1, 0.0});
+        }
+      }
+    }
+  }
+
+  void process_completions() {
+    for (std::size_t ci = 0; ci < cores_.size(); ++ci) {
+      CoreState& c = cores_[ci];
+      if (c.running == kNoSlot) continue;
+      sim::Job& job = jobs_[c.running];
+      if (job.remaining_actual() <= kTimeEps || time_leq(c.t_fin, t_)) {
+        const std::size_t slot = c.running;
+        c.running = kNoSlot;
+        complete(slot, ci);
+      }
+    }
+  }
+
+  /// Copy of the uniprocessor complete(); removal generalizes from "must
+  /// be the EDF head" to remove-by-slot (another core may hold an
+  /// earlier deadline).  The head fast path IS pop(), so at M == 1 —
+  /// where the completing job is always the head — the heap operation
+  /// sequence matches the uniprocessor engine exactly.
+  void complete(std::size_t slot, std::size_t ci) {
+    CoreState& core = cores_[ci];
+    cur_core_ = ci;
+    sim::Job& job = jobs_[slot];
+    job.executed = job.actual;  // snap away rounding residue
+    job.completion = t_;
+    if (core.last_running == slot) core.last_running = kNoSlot;
+    if (opts_.audit != nullptr) {
+      opts_.audit->complete(job.task_id, job.index, job.abs_deadline - t_);
+    }
+    auto& worst = worst_response_[static_cast<std::size_t>(job.task_id)];
+    worst = std::max(worst, job.completion - job.release);
+    job.missed = time_less(job.abs_deadline, t_);
+    if (!ready_.empty() && ready_.top().slot == slot) {
+      ready_.pop();
+    } else {
+      DVS_ENSURE(ready_.remove_slot(slot),
+                 "completing job is not in the ready queue");
+    }
+    active_dirty_ = true;
+    ++version_;
+    ++completed_;
+    ++core.completions;
+    if (job.missed) {
+      ++misses_;
+      ++core.misses;
+      if (core.trace != nullptr) {
+        core.trace->event(
+            {sim::TraceEvent::Kind::kMiss, t_, job.task_id, job.index});
+      }
+    }
+    if (core.trace != nullptr) {
+      core.trace->event(
+          {sim::TraceEvent::Kind::kCompletion, t_, job.task_id, job.index});
+    }
+    if (degrade_.has_value() && job.overrun) {
+      watch_mode(t_, [&] { degrade_->on_overrun(t_); });
+    }
+    governor_.on_completion(job, *this);
+  }
+
+  GlobalResult finish() {
+    std::int64_t truncated = 0;
+    for (const auto& e : ready_.raw()) {
+      sim::Job& job = jobs_[e.slot];
+      if (time_leq(job.abs_deadline, length_)) {
+        job.missed = true;
+        ++misses_;
+      } else {
+        ++truncated;
+      }
+    }
+
+    if (degrade_.has_value()) {
+      for (std::size_t i = 0; i < ts_.size(); ++i) {
+        const std::size_t slot = last_unfinalized_[i];
+        if (slot != kNoSlot && !time_leq(jobs_[slot].abs_deadline, length_)) {
+          last_unfinalized_[i] = kNoSlot;  // truncated: no outcome
+          continue;
+        }
+        finalize_outcome(i, length_);
+      }
+      degrade_->finish(length_);
+    }
+
+    GlobalResult out;
+    sim::SimResult& r = out.total;
+    r.governor = governor_.name();
+    r.processor = proc_.name;
+    r.workload = workload_.name();
+    r.sim_length = length_;
+    r.per_task_energy.assign(ts_.size(), 0.0);
+    double retired_total = 0.0;
+    for (const CoreState& c : cores_) {
+      r.busy_energy += c.meter.busy_energy();
+      r.idle_energy += c.meter.idle_energy();
+      r.transition_energy += c.meter.transition_energy();
+      r.busy_time += c.meter.busy_time();
+      r.idle_time += c.meter.idle_time();
+      r.transition_time += c.meter.transition_time();
+      r.speed_switches += c.switches;
+      r.preemptions += c.preemptions;
+      r.processor_faults += c.hw_faults;
+      retired_total += c.retired_work;
+      const auto& per_task = c.meter.per_task_energy();
+      for (std::size_t i = 0; i < per_task.size(); ++i) {
+        r.per_task_energy[i] += per_task[i];
+      }
+    }
+    r.jobs_released = released_;
+    r.jobs_completed = completed_;
+    r.deadline_misses = misses_;
+    r.jobs_truncated = truncated;
+    r.jobs_overrun = overruns_;
+    r.overruns_contained = contained_;
+    r.migrations = migrations_;
+    r.migration_overhead_us = migration_overhead_ * 1e6;
+    r.average_speed =
+        r.busy_time > 0.0 ? retired_total / r.busy_time : 1.0;
+    r.worst_response = worst_response_;
+    if (degrade_.has_value()) {
+      r.degradation = true;
+      r.jobs_skipped = degrade_->jobs_skipped();
+      r.mode_changes = degrade_->mode_changes();
+      r.time_degraded = degrade_->time_degraded();
+      r.mk_violations = degrade_->mk_violations();
+      r.hard_misses = degrade_->hard_misses();
+    }
+    if (opts_.record_jobs) {
+      r.jobs.reserve(jobs_.size());
+      for (const auto& j : jobs_) {
+        r.jobs.push_back({j.task_id, j.index, j.release, j.abs_deadline,
+                          j.completion, j.wcet, j.actual, j.missed,
+                          j.skipped});
+      }
+    }
+
+    // Per-core detail.  At M == 1 the platform IS a uniprocessor: the
+    // core view is the aggregate verbatim (the bit-identity contract's
+    // cores.front() == sim::simulate result).
+    if (cores_.size() == 1) {
+      out.cores.push_back(r);
+    } else {
+      out.cores.reserve(cores_.size());
+      for (const CoreState& c : cores_) {
+        sim::SimResult cr;
+        cr.governor = r.governor;
+        cr.processor = r.processor;
+        cr.workload = r.workload;
+        cr.sim_length = length_;
+        cr.busy_energy = c.meter.busy_energy();
+        cr.idle_energy = c.meter.idle_energy();
+        cr.transition_energy = c.meter.transition_energy();
+        cr.busy_time = c.meter.busy_time();
+        cr.idle_time = c.meter.idle_time();
+        cr.transition_time = c.meter.transition_time();
+        cr.jobs_completed = c.completions;
+        cr.deadline_misses = c.misses;
+        cr.speed_switches = c.switches;
+        cr.preemptions = c.preemptions;
+        cr.processor_faults = c.hw_faults;
+        cr.average_speed = c.meter.busy_time() > 0.0
+                               ? c.retired_work / c.meter.busy_time()
+                               : 1.0;
+        cr.per_task_energy = c.meter.per_task_energy();
+        out.cores.push_back(std::move(cr));
+      }
+    }
+    out.migrations = std::move(migration_records_);
+    return out;
+  }
+
+  const task::TaskSet& ts_;
+  const task::ExecutionTimeModel& workload_;
+  const cpu::Processor& proc_;
+  sim::Governor& governor_;
+  const GlobalOptions& opts_;
+
+  Time length_ = 0.0;
+  Time t_ = 0.0;
+  double floor_ = 0.0;  ///< GFB dispatch floor; 0 at M == 1
+
+  std::vector<CoreState> cores_;
+  std::size_t cur_core_ = 0;  ///< core the current governor query is for
+
+  util::StableVector<sim::Job> jobs_;
+  std::vector<std::int32_t> job_core_;  ///< last core a job executed on
+  sched::EdfReadyQueue ready_;          ///< ALL released unfinished jobs
+  mutable std::vector<sched::EdfEntry> sorted_scratch_;
+  mutable std::vector<const sim::Job*> active_scratch_;
+  mutable bool active_dirty_ = true;
+  std::vector<sched::EdfEntry> assign_scratch_;
+  std::vector<std::size_t> free_scratch_;
+  std::vector<std::size_t> selected_scratch_;
+  std::vector<std::size_t> claim_scratch_;
+  std::vector<char> placed_scratch_;
+  std::vector<Time> next_release_;
+  std::vector<std::int64_t> next_index_;
+  std::vector<Time> worst_response_;
+
+  /// Bumped on every release (skips included — they are "arrivals" for
+  /// the stall-commitment rule) and every completion.
+  std::uint64_t version_ = 0;
+
+  std::int64_t released_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t misses_ = 0;
+  std::int64_t overruns_ = 0;
+  std::int64_t contained_ = 0;
+  std::int64_t migrations_ = 0;
+  Work migration_overhead_ = 0.0;  ///< seconds of full-speed work
+  std::vector<MigrationRecord> migration_records_;
+
+  std::optional<degrade::DegradationController> degrade_;
+  std::vector<std::size_t> last_unfinalized_;
+};
+
+}  // namespace
+
+double global_speed_floor(const task::TaskSet& ts, std::size_t n_cores) {
+  if (n_cores <= 1) return 0.0;
+  double u_max = 0.0;
+  for (const auto& t : ts) u_max = std::max(u_max, t.utilization());
+  const double m = static_cast<double>(n_cores);
+  const double floor = (ts.utilization() + (m - 1.0) * u_max) / m;
+  return std::min(floor, 1.0);
+}
+
+GlobalResult simulate_global(const task::TaskSet& ts,
+                             const task::ExecutionTimeModel& workload,
+                             const cpu::Processor& processor,
+                             sim::Governor& governor,
+                             const GlobalOptions& options) {
+  GlobalSimEngine engine(ts, workload, processor, governor, options);
+  return engine.run();
+}
+
+}  // namespace dvs::mp

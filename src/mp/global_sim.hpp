@@ -1,0 +1,123 @@
+// Global-EDF multiprocessor DVS simulation (DESIGN.md §14).
+//
+// The second `mp` backend, next to the partitioned one (mp_sim.hpp): a
+// SINGLE deadline-ordered ready queue feeds M identical DVS cores, and a
+// preempted job may resume on any core (job-level migration).  Where the
+// partitioned backend is M independent uniprocessor runs, the global
+// backend is ONE discrete-event engine whose events (releases,
+// completions, budget timers, stall ends) are platform-wide scheduling
+// points: at every event the M earliest-deadline ready jobs are mapped
+// onto the M cores (sticky to the core a job last executed on, so
+// migrations happen only when EDF forces them) and the shared governor is
+// asked for each core's speed.
+//
+// Migration-cost model: resuming a partially executed job on a different
+// core counts one migration and folds a surcharge of
+// `GlobalOptions::migration_cost` seconds of full-speed work into BOTH
+// the job's remaining demand and its WCET budget (governors must budget
+// for the overhead they cause).  Totals land in the new SimResult fields
+// `migrations` / `migration_overhead_us`.
+//
+// Speed floor: with M >= 2 every governor request is clamped up to the
+// GFB bound (U_sum + (M-1)·U_max) / M.  Goossens–Funk–Baruah showed a
+// set is global-EDF schedulable on M unit-speed cores when
+// U_sum <= M·(1 - U_max) + U_max; running every core at least at the
+// floor scales that test back to a pass, and global EDF's predictability
+// under execution-time reduction makes any faster-than-floor schedule
+// finish no later.  Sets inside the bound therefore never miss at
+// migration_cost == 0 on free-transition processors — the property the
+// zero-miss fuzz enforces.  The floor is DISABLED at M == 1, where the
+// engine instead promises bit-identity with sim::simulate.
+//
+// Determinism contract (the reason this engine is sequential): results
+// are a pure function of the inputs — there is no thread pool here, and
+// the exp-layer fan-out treats one global run as one unit of work, so
+// SweepOutcomes are bit-identical for every thread count.  With M == 1
+// the event sequence, governor call sequence, heap operations and FP
+// operation order all reduce to exactly sim::simulate's, and the result
+// is bit-identical to the uniprocessor engine (tests/test_global_sim.cpp
+// enforces both).
+//
+// Governor model: ONE shared governor instance observes the whole
+// platform — on_start once, every release/completion once, and one
+// select_speed per (core, scheduling event).  SimContext::active_jobs()
+// exposes the full EDF-ordered ready set (a conservative virtual-
+// uniprocessor view), and current_speed() answers for the core being
+// dispatched.  At M == 1 this is verbatim the uniprocessor protocol.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/processors.hpp"
+#include "degrade/degrade.hpp"
+#include "obs/audit.hpp"
+#include "sim/result.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+#include "task/task_set.hpp"
+#include "task/workload.hpp"
+
+namespace dvs::mp {
+
+/// One job-level migration: job (task_id, job_index) resumed on
+/// `to_core` after last executing on `from_core` at time `at`.
+struct MigrationRecord {
+  Time at = 0.0;
+  std::int32_t task_id = 0;
+  std::int64_t job_index = 0;
+  std::int32_t from_core = 0;
+  std::int32_t to_core = 0;
+};
+
+struct GlobalOptions {
+  Time length = -1.0;  ///< negative: TaskSet::default_sim_length()
+  std::size_t n_cores = 1;
+  /// Per-migration surcharge in seconds of full-speed work, folded into
+  /// the migrating job's remaining demand AND its WCET budget.
+  Time migration_cost = 0.0;
+  bool record_jobs = false;
+  bool stop_on_miss = false;
+  sim::OverrunPolicy containment = sim::OverrunPolicy::kNone;
+  /// Optional graceful-degradation controller config (platform-wide, one
+  /// controller; same semantics as SimOptions::degradation).
+  const degrade::DegradationConfig* degradation = nullptr;
+  /// Optional decision audit (one obs::Decision per per-core dispatch).
+  obs::DecisionAudit* audit = nullptr;
+  /// Optional per-core trace sinks; resized to n_cores when non-null.
+  /// Release/skip/mode events land on core 0's trace; busy/idle/
+  /// transition segments and completion/miss events on the owning core's.
+  std::vector<sim::VectorTrace>* traces = nullptr;
+};
+
+/// Result of one global-EDF run.
+struct GlobalResult {
+  /// Whole-platform aggregate.  Job accounting (released / completed /
+  /// misses / truncated / overruns / degradation) is platform-wide;
+  /// busy + idle + transition time sums to M × sim_length (all M cores
+  /// are powered — a global scheduler cannot power a core down).
+  sim::SimResult total;
+  /// Per-core detail: energy/time breakdown, switches, preemptions,
+  /// processor faults, completions and completion-detected misses of the
+  /// jobs that finished there.  At M == 1 this is a verbatim copy of
+  /// `total` (the uniprocessor-identical result).
+  std::vector<sim::SimResult> cores;
+  /// Every migration instant in time order (drives the Chrome-trace flow
+  /// events).
+  std::vector<MigrationRecord> migrations;
+};
+
+/// Run one global-EDF simulation.  EDF only (the global backend has no
+/// fixed-priority mode).  The governor is shared and stateful: pass a
+/// fresh instance per run.  Throws ContractError on invalid inputs.
+[[nodiscard]] GlobalResult simulate_global(
+    const task::TaskSet& ts, const task::ExecutionTimeModel& workload,
+    const cpu::Processor& processor, sim::Governor& governor,
+    const GlobalOptions& options = {});
+
+/// The M >= 2 dispatch speed floor (GFB bound clamped to [0, 1]):
+/// (U_sum + (M-1)·U_max) / M.  Exposed for tests; returns 0 for M <= 1.
+[[nodiscard]] double global_speed_floor(const task::TaskSet& ts,
+                                        std::size_t n_cores);
+
+}  // namespace dvs::mp

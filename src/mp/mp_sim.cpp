@@ -58,6 +58,21 @@ void dispatch_cores(std::size_t workers, std::size_t n, const Fn& job) {
 
 }  // namespace
 
+std::string backend_name(MpBackend b) {
+  return b == MpBackend::kGlobal ? "global" : "partitioned";
+}
+
+MpBackend backend_by_name(const std::string& name) {
+  const std::string low = util::to_lower(name);
+  if (low == "partitioned" || low == "part" || low == "p") {
+    return MpBackend::kPartitioned;
+  }
+  if (low == "global" || low == "g") return MpBackend::kGlobal;
+  DVS_EXPECT(false, "unknown multiprocessor backend: '" + name +
+                        "' (expected partitioned | global)");
+  return MpBackend::kPartitioned;  // unreachable
+}
+
 task::ExecutionTimeModelPtr remap_workload(task::ExecutionTimeModelPtr inner,
                                            std::vector<std::int32_t> ids) {
   DVS_EXPECT(inner != nullptr, "remap_workload: null inner model");
@@ -90,6 +105,14 @@ MpPlan plan_mp(const task::TaskSet& ts,
 }
 
 std::string MpResult::summary() const {
+  if (backend == MpBackend::kGlobal) {
+    return total.governor + " [global " + std::to_string(partition.n_cores) +
+           " cores]: E=" + util::format_double(total.total_energy(), 4) +
+           " misses=" + std::to_string(total.deadline_misses) +
+           " migrations=" + std::to_string(total.migrations) +
+           " switches=" + std::to_string(total.speed_switches) +
+           " avg_speed=" + util::format_double(total.average_speed, 3);
+  }
   std::size_t used = 0;
   for (const auto& c : partition.tasks_of_core) used += c.empty() ? 0 : 1;
   return total.governor + " [" + heuristic_name(partition.heuristic) + " " +
@@ -192,6 +215,30 @@ MpResult simulate_mp(const task::TaskSet& ts,
                      const GovernorFactory& make_governor,
                      const MpOptions& options) {
   DVS_EXPECT(make_governor != nullptr, "simulate_mp: null governor factory");
+  if (options.backend == MpBackend::kGlobal) {
+    DVS_EXPECT(workload != nullptr, "simulate_mp: null workload model");
+    auto governor = make_governor();  // ONE shared platform governor
+    DVS_EXPECT(governor != nullptr, "governor factory returned null");
+    GlobalOptions gopts;
+    gopts.length = options.length;
+    gopts.n_cores = options.n_cores;
+    gopts.migration_cost = options.migration_cost;
+    gopts.record_jobs = options.record_jobs;
+    gopts.containment = options.containment;
+    gopts.traces = options.traces;
+    GlobalResult g =
+        simulate_global(ts, *workload, processor, *governor, gopts);
+    MpResult mp;
+    mp.backend = MpBackend::kGlobal;
+    mp.partition.n_cores = options.n_cores;
+    mp.partition.core_of.assign(ts.size(), -1);
+    mp.partition.tasks_of_core.resize(options.n_cores);
+    mp.partition.core_utilization.assign(options.n_cores, 0.0);
+    mp.total = std::move(g.total);
+    mp.cores = std::move(g.cores);
+    mp.migrations = std::move(g.migrations);
+    return mp;
+  }
   const MpPlan plan = plan_mp(ts, workload, options.n_cores,
                               options.heuristic, options.length);
   DVS_EXPECT(plan.feasible(), plan.partition.error);

@@ -28,12 +28,25 @@
 #include <vector>
 
 #include "cpu/processors.hpp"
+#include "mp/global_sim.hpp"
 #include "mp/partition.hpp"
 #include "sim/simulator.hpp"
 #include "task/task_set.hpp"
 #include "task/workload.hpp"
 
 namespace dvs::mp {
+
+/// Which multiprocessor backend a run uses: partitioned EDF (M
+/// independent uniprocessor runs over a static bin-packing) or global
+/// EDF (one shared ready queue, job-level migration; global_sim.hpp).
+enum class MpBackend { kPartitioned, kGlobal };
+
+/// Canonical name: "partitioned" | "global".
+[[nodiscard]] std::string backend_name(MpBackend b);
+
+/// Parse "partitioned"/"global" (also "part"/"g", case-insensitive);
+/// throws ContractError for unknown names.
+[[nodiscard]] MpBackend backend_by_name(const std::string& name);
 
 /// Fresh-governor factory: called once per core (and per run).
 using GovernorFactory = std::function<sim::GovernorPtr()>;
@@ -69,9 +82,15 @@ struct MpPlan {
 [[nodiscard]] task::ExecutionTimeModelPtr remap_workload(
     task::ExecutionTimeModelPtr inner, std::vector<std::int32_t> global_ids);
 
-/// Result of one partitioned multiprocessor run.
+/// Result of one multiprocessor run (either backend).
 struct MpResult {
+  /// Backend that produced this result.  Under kGlobal the partition is
+  /// a placeholder (no static assignment exists): n_cores set, every
+  /// tasks_of_core empty, core_of all -1.
+  MpBackend backend = MpBackend::kPartitioned;
   Partition partition;
+  /// Job-level migrations in time order (kGlobal only; empty otherwise).
+  std::vector<MigrationRecord> migrations;
   /// Per-core uniprocessor results, in core order.  Empty cores carry a
   /// zeroed placeholder (sim_length set, all counters zero).
   std::vector<sim::SimResult> cores;
@@ -100,7 +119,13 @@ struct MpResult {
 struct MpOptions {
   Time length = -1.0;  ///< negative: the FULL set's default_sim_length()
   std::size_t n_cores = 1;
+  /// Backend selector.  kGlobal ignores `heuristic` and `n_threads` (one
+  /// sequential engine IS the unit of work) and never rejects a set.
+  MpBackend backend = MpBackend::kPartitioned;
   PartitionHeuristic heuristic = PartitionHeuristic::kFirstFit;
+  /// kGlobal only: per-migration surcharge in seconds of full-speed work
+  /// (see GlobalOptions::migration_cost).
+  Time migration_cost = 0.0;
   bool record_jobs = false;
   sim::OverrunPolicy containment = sim::OverrunPolicy::kNone;
   /// Worker threads for the per-core fan-out (0 = hardware concurrency,

@@ -175,7 +175,8 @@ void write_chrome_trace(std::ostream& out, const task::TaskSet& ts,
 
 void write_chrome_trace(std::ostream& out, const std::string& set_name,
                         const std::vector<TraceProcess>& processes,
-                        Time sim_length) {
+                        Time sim_length,
+                        const std::vector<TraceFlowEvent>& flows) {
   DVS_EXPECT(!processes.empty(),
              "chrome trace export needs at least one trace");
   DVS_EXPECT(sim_length > 0.0, "chrome trace export needs a positive length");
@@ -184,6 +185,11 @@ void write_chrome_trace(std::ostream& out, const std::string& set_name,
                "chrome trace export: null task set for '" + p.label + "'");
     DVS_EXPECT(p.trace != nullptr,
                "chrome trace export: null trace for '" + p.label + "'");
+  }
+  for (const auto& f : flows) {
+    DVS_EXPECT(f.from_process < processes.size() &&
+                   f.to_process < processes.size(),
+               "chrome trace export: flow references a process out of range");
   }
 
   out << "{\n\"traceEvents\": [";
@@ -196,6 +202,23 @@ void write_chrome_trace(std::ostream& out, const std::string& set_name,
     write_miss_instants(w, pid, *processes[i].trace);
     write_degradation_instants(w, *processes[i].task_set, pid,
                                *processes[i].trace);
+  }
+  // Flow arrows last, with sequential ids: one 's' on the source pid and
+  // one binding-point-enclosing 'f' on the destination pid, both at the
+  // flow instant, on the migrating task's row.
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    const TraceFlowEvent& f = flows[i];
+    const std::string common =
+        "\"cat\":\"" + json_escape(f.name) + "\",\"name\":\"" +
+        json_escape(f.name) + "\",\"id\":" + std::to_string(i + 1) +
+        ",\"tid\":" + std::to_string(f.task_id) + ",\"ts\":" + us(f.at) +
+        ",\"args\":{\"job\":" + std::to_string(f.job_index) + "}";
+    w.event("\"ph\":\"s\",\"pid\":" +
+            std::to_string(static_cast<int>(f.from_process) + 1) + "," +
+            common);
+    w.event("\"ph\":\"f\",\"bp\":\"e\",\"pid\":" +
+            std::to_string(static_cast<int>(f.to_process) + 1) + "," +
+            common);
   }
   out << "\n],\n";
   out << "\"displayTimeUnit\": \"ms\",\n";

@@ -23,6 +23,7 @@
 // threaded, deterministic) simulation.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -49,6 +50,20 @@ struct TraceProcess {
   const sim::VectorTrace* trace = nullptr;
 };
 
+/// One cross-process flow arrow: a start ('s') / finish ('f') event pair
+/// at the same instant, drawn from one process's task row to another's.
+/// The global multiprocessor backend renders each mp::MigrationRecord as
+/// one flow named "migration" between the source and destination core
+/// pids, so the migration shows up as an arrow in Perfetto.
+struct TraceFlowEvent {
+  std::string name;           ///< flow name, e.g. "migration"
+  Time at = 0.0;              ///< instant (seconds)
+  std::size_t from_process = 0;  ///< index into `processes`
+  std::size_t to_process = 0;    ///< index into `processes`
+  std::int32_t task_id = 0;      ///< tid on both rows
+  std::int64_t job_index = 0;
+};
+
 /// Write a complete Chrome trace-event JSON document.  `sim_length` is the
 /// simulated duration every trace covers (recorded into otherData and used
 /// by the validator's duration-conservation check).
@@ -59,9 +74,11 @@ void write_chrome_trace(std::ostream& out, const task::TaskSet& ts,
 /// General form: every pid brings its own task set (tids are that set's
 /// task ids).  `set_name` labels the export in otherData.  The overload
 /// above is exactly this with the same task set for every pid — the two
-/// produce byte-identical output for that layout.
+/// produce byte-identical output for that layout.  `flows` (optional)
+/// adds cross-pid flow arrows with sequential ids, each one 's'/'f' pair.
 void write_chrome_trace(std::ostream& out, const std::string& set_name,
                         const std::vector<TraceProcess>& processes,
-                        Time sim_length);
+                        Time sim_length,
+                        const std::vector<TraceFlowEvent>& flows = {});
 
 }  // namespace dvs::obs

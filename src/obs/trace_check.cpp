@@ -59,6 +59,7 @@ TraceCheckReport check_chrome_trace(const std::string& json) {
   std::map<std::pair<double, std::string>, double> counters;  // (pid, name)
   std::map<double, double> pid_duration;                      // pid -> Σ dur
   std::set<double> pids;
+  std::map<double, std::pair<int, int>> flow_ids;  // id -> (starts, ends)
 
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& e = events->array[i];
@@ -141,8 +142,32 @@ TraceCheckReport check_chrome_trace(const std::string& json) {
       }
     } else if (kind == 'i') {
       // Instant events need only the (already checked) ts and pid.
+    } else if (kind == 's' || kind == 'f') {
+      // Flow events (the global backend's migration arrows): each needs a
+      // numeric id, and ids must pair up one 's' with one 'f' (checked
+      // after the loop).
+      ++report.flow_events;
+      const double id = get_number(e, "id", std::nan(""));
+      if (!std::isfinite(id)) {
+        err(at + ": flow event without a numeric \"id\"");
+        continue;
+      }
+      auto& [starts, ends] = flow_ids[id];
+      if (kind == 's') {
+        ++starts;
+      } else {
+        ++ends;
+      }
     } else {
       err(at + ": unexpected event phase '" + ph->string + "'");
+    }
+  }
+
+  for (const auto& [id, counts] : flow_ids) {
+    if (counts.first != 1 || counts.second != 1) {
+      err("flow id " + std::to_string(id) + ": expected exactly one start "
+          "and one finish event, got " + std::to_string(counts.first) +
+          " / " + std::to_string(counts.second));
     }
   }
 

@@ -14,7 +14,10 @@
 //   3. duration conservation — per pid, busy + idle + transition "X"
 //      durations sum to otherData.sim_length_us: the single processor is
 //      in exactly one state at every instant, so the rows of one governor
-//      partition the simulated interval.
+//      partition the simulated interval;
+//   4. flow pairing — every flow id carries exactly one start ('s') and
+//      one finish ('f') event (the migration arrows of the global
+//      multiprocessor backend), each with a finite ts and numeric id.
 //
 // Used by tools/trace_check (CI round-trip smoke) and the test suite.
 #pragma once
@@ -31,6 +34,7 @@ struct TraceCheckReport {
   // Statistics for the tool's summary line.
   std::size_t events = 0;          ///< total entries in traceEvents
   std::size_t duration_events = 0; ///< "X" events checked
+  std::size_t flow_events = 0;     ///< "s"/"f" flow events checked
   std::size_t tracks = 0;          ///< distinct (pid, tid) rows
   std::size_t pids = 0;            ///< distinct processes (governors)
   double sim_length_us = 0.0;      ///< from otherData (0 when absent)

@@ -29,6 +29,22 @@ void EdfReadyQueue::pop() {
   if (!heap_.empty()) sift_down(0);
 }
 
+bool EdfReadyQueue::remove_slot(std::size_t slot) {
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (heap_[i].slot != slot) continue;
+    // Same move-the-tail-in repair as pop(); at i == 0 the sift_up is a
+    // no-op and the operation sequence is exactly pop()'s.
+    heap_[i] = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      sift_down(i);
+      sift_up(i);
+    }
+    return true;
+  }
+  return false;
+}
+
 std::vector<EdfEntry> EdfReadyQueue::sorted() const {
   std::vector<EdfEntry> out = heap_;
   std::sort(out.begin(), out.end(), edf_before);

@@ -31,6 +31,12 @@ class EdfReadyQueue {
   [[nodiscard]] const EdfEntry& top() const;
   /// Remove the top entry. Requires !empty().
   void pop();
+  /// Remove the entry whose `slot` matches (O(n) scan + O(log n) repair).
+  /// Removing the head performs exactly the same heap operations as pop(),
+  /// so an engine that only ever removes the head stays bit-identical to
+  /// one calling pop() — the global backend's M = 1 equivalence relies on
+  /// this.  Returns false when no entry carries `slot`.
+  bool remove_slot(std::size_t slot);
   void clear() noexcept { heap_.clear(); }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }

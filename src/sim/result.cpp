@@ -20,6 +20,10 @@ std::string SimResult::summary() const {
          std::to_string(overruns_contained) + "), hw faults " +
          std::to_string(processor_faults);
   }
+  if (migrations > 0) {
+    s += ", migrations " + std::to_string(migrations) + " (overhead " +
+         util::format_double(migration_overhead_us, 3) + " us)";
+  }
   if (degradation) {
     s += ", degrade: " + std::to_string(jobs_skipped) + " skipped, " +
          std::to_string(mode_changes) + " mode changes, " +

@@ -85,6 +85,14 @@ struct SimResult {
   /// Finalized deadline misses of hard (m == k) tasks.
   std::int64_t hard_misses = 0;
 
+  // Migration accounting (all zero except under the global multiprocessor
+  // backend, mp/global_sim.hpp; the uniprocessor engine never migrates).
+  /// Times a partially executed job resumed on a different core.
+  std::int64_t migrations = 0;
+  /// Total migration surcharge folded into job demands, in microseconds
+  /// of full-speed work (migrations × migration_cost × 1e6).
+  double migration_overhead_us = 0.0;
+
   /// Work-weighted average executed speed in (0, 1].
   double average_speed = 1.0;
 

@@ -40,6 +40,8 @@ inline void expect_same_result(const sim::SimResult& a,
   EXPECT_EQ(a.time_degraded, b.time_degraded);
   EXPECT_EQ(a.mk_violations, b.mk_violations);
   EXPECT_EQ(a.hard_misses, b.hard_misses);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.migration_overhead_us, b.migration_overhead_us);
   ASSERT_EQ(a.jobs.size(), b.jobs.size());
   for (std::size_t j = 0; j < a.jobs.size(); ++j) {
     EXPECT_EQ(a.jobs[j].task_id, b.jobs[j].task_id);
@@ -65,9 +67,19 @@ inline void expect_same_stats(const util::RunningStats& a,
   if (a.count() > 1) EXPECT_EQ(a.variance(), b.variance());
 }
 
-/// Per-core detail of a partitioned run: same partition shape, same
-/// per-core results (core order), same aggregate.
+/// Per-core detail of a multiprocessor run: same backend, same partition
+/// shape, same per-core results (core order), same aggregate, same
+/// migration sequence.
 inline void expect_same_mp(const mp::MpResult& a, const mp::MpResult& b) {
+  EXPECT_EQ(a.backend, b.backend);
+  ASSERT_EQ(a.migrations.size(), b.migrations.size());
+  for (std::size_t m = 0; m < a.migrations.size(); ++m) {
+    EXPECT_EQ(a.migrations[m].at, b.migrations[m].at);
+    EXPECT_EQ(a.migrations[m].task_id, b.migrations[m].task_id);
+    EXPECT_EQ(a.migrations[m].job_index, b.migrations[m].job_index);
+    EXPECT_EQ(a.migrations[m].from_core, b.migrations[m].from_core);
+    EXPECT_EQ(a.migrations[m].to_core, b.migrations[m].to_core);
+  }
   EXPECT_EQ(a.partition.n_cores, b.partition.n_cores);
   EXPECT_EQ(a.partition.heuristic, b.partition.heuristic);
   EXPECT_EQ(a.partition.core_of, b.partition.core_of);
@@ -84,6 +96,7 @@ inline void expect_same_sweep(const SweepOutcome& a, const SweepOutcome& b) {
   EXPECT_EQ(a.x_label, b.x_label);
   EXPECT_EQ(a.governors, b.governors);
   EXPECT_EQ(a.simulations, b.simulations);
+  EXPECT_EQ(a.global_mp, b.global_mp);
   ASSERT_EQ(a.points.size(), b.points.size());
   for (std::size_t p = 0; p < a.points.size(); ++p) {
     const PointResult& pa = a.points[p];
@@ -93,6 +106,8 @@ inline void expect_same_sweep(const SweepOutcome& a, const SweepOutcome& b) {
     EXPECT_EQ(pa.total_skips, pb.total_skips);
     EXPECT_EQ(pa.total_mk_violations, pb.total_mk_violations);
     EXPECT_EQ(pa.total_hard_misses, pb.total_hard_misses);
+    EXPECT_EQ(pa.total_migrations, pb.total_migrations);
+    EXPECT_EQ(pa.total_migration_overhead_us, pb.total_migration_overhead_us);
     ASSERT_EQ(pa.normalized_energy.size(), pb.normalized_energy.size());
     for (std::size_t g = 0; g < pa.normalized_energy.size(); ++g) {
       expect_same_stats(pa.normalized_energy[g], pb.normalized_energy[g]);
@@ -100,6 +115,9 @@ inline void expect_same_sweep(const SweepOutcome& a, const SweepOutcome& b) {
       expect_same_stats(pa.miss_ratio[g], pb.miss_ratio[g]);
       if (!pa.skip_ratio.empty() && !pb.skip_ratio.empty()) {
         expect_same_stats(pa.skip_ratio[g], pb.skip_ratio[g]);
+      }
+      if (!pa.migrations.empty() && !pb.migrations.empty()) {
+        expect_same_stats(pa.migrations[g], pb.migrations[g]);
       }
     }
     ASSERT_EQ(pa.cases.size(), pb.cases.size());

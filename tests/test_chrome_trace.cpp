@@ -11,12 +11,15 @@
 
 #include "core/registry.hpp"
 #include "cpu/processors.hpp"
+#include "mp/global_sim.hpp"
 #include "obs/json_mini.hpp"
 #include "obs/trace_check.hpp"
 #include "sim/simulator.hpp"
 #include "task/benchmarks.hpp"
+#include "task/generator.hpp"
 #include "task/workload.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace dvs::obs {
 namespace {
@@ -180,6 +183,103 @@ TEST(TraceCheck, RejectsMissingSimLength) {
   ]})";
   const TraceCheckReport report = check_chrome_trace(json);
   EXPECT_FALSE(report.ok());
+}
+
+// ---------------------------------------------------------- flow arrows
+
+/// Run the global backend with per-core traces and export one pid per
+/// core plus one flow arrow per migration — the CLI's global trace
+/// layout.  Returns the JSON document.
+std::string exported_global_trace(Time migration_cost) {
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = 9;
+  cfg.total_utilization = 1.1;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = 0.1;
+  cfg.grid_fraction = 0.5;
+  cfg.allow_overload = true;  // U = 1.1 > 1: overload for one core, not two
+  cfg.max_task_utilization = 0.35;
+  util::Rng rng(4242);
+  const task::TaskSet ts = task::generate_task_set(cfg, rng);
+  const auto workload = task::uniform_model(4242);
+  auto governor = core::make_governor("ccEDF");
+
+  std::vector<sim::VectorTrace> recordings;
+  mp::GlobalOptions opts;
+  opts.length = 0.3;
+  opts.n_cores = 2;
+  opts.migration_cost = migration_cost;
+  opts.traces = &recordings;
+  const mp::GlobalResult r = mp::simulate_global(
+      ts, *workload, cpu::ideal_processor(), *governor, opts);
+  EXPECT_GT(r.total.migrations, 0);
+
+  std::vector<TraceProcess> processes;
+  for (std::size_t c = 0; c < recordings.size(); ++c) {
+    processes.push_back(
+        {"ccEDF/core" + std::to_string(c), &ts, &recordings[c]});
+  }
+  std::vector<TraceFlowEvent> flows;
+  for (const auto& m : r.migrations) {
+    flows.push_back({"migration", m.at,
+                     static_cast<std::size_t>(m.from_core),
+                     static_cast<std::size_t>(m.to_core), m.task_id,
+                     m.job_index});
+  }
+  std::ostringstream out;
+  write_chrome_trace(out, ts.name(), processes, r.total.sim_length, flows);
+  return out.str();
+}
+
+TEST(ChromeTrace, GlobalExportWithMigrationFlowsValidates) {
+  const std::string json = exported_global_trace(1e-4);
+  const TraceCheckReport report = check_chrome_trace(json);
+  for (const auto& e : report.errors) ADD_FAILURE() << e;
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.pids, 2u);          // one pid per core
+  EXPECT_GT(report.flow_events, 0u);
+  EXPECT_EQ(report.flow_events % 2, 0u);  // each flow is an s/f pair
+}
+
+TEST(ChromeTrace, GlobalExportIsDeterministic) {
+  EXPECT_EQ(exported_global_trace(1e-4), exported_global_trace(1e-4));
+}
+
+TEST(ChromeTrace, FlowOutOfRangeProcessIsRejected) {
+  const task::TaskSet ts = task::cnc_task_set();
+  sim::VectorTrace trace;
+  trace.segment({0.0, 0.01, sim::SegmentKind::kIdle, -1, -1, 0.0});
+  const std::vector<TraceProcess> processes{{"only", &ts, &trace}};
+  const std::vector<TraceFlowEvent> flows{{"migration", 0.005, 0, 1, 0, 0}};
+  std::ostringstream out;
+  EXPECT_THROW(write_chrome_trace(out, "x", processes, 0.01, flows),
+               util::ContractError);
+}
+
+TEST(TraceCheck, RejectsUnpairedFlowEvents) {
+  // A start without its finish (and vice versa) — a dangling arrow.
+  const std::string json = R"({"traceEvents": [
+    {"ph": "X", "pid": 1, "tid": 0, "name": "a", "ts": 0, "dur": 10},
+    {"ph": "s", "pid": 1, "tid": 0, "name": "migration", "id": 1, "ts": 2},
+    {"ph": "f", "bp": "e", "pid": 1, "tid": 0, "name": "migration",
+     "id": 2, "ts": 3}
+  ], "otherData": {"sim_length_us": 10}})";
+  const TraceCheckReport report = check_chrome_trace(json);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.errors.size(), 2u);
+  EXPECT_NE(report.errors[0].find("exactly one start"), std::string::npos);
+}
+
+TEST(TraceCheck, RejectsFlowEventWithoutId) {
+  const std::string json = R"({"traceEvents": [
+    {"ph": "X", "pid": 1, "tid": 0, "name": "a", "ts": 0, "dur": 10},
+    {"ph": "s", "pid": 1, "tid": 0, "name": "migration", "ts": 2}
+  ], "otherData": {"sim_length_us": 10}})";
+  const TraceCheckReport report = check_chrome_trace(json);
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.errors.size(), 1u);
+  EXPECT_NE(report.errors[0].find("numeric \"id\""), std::string::npos);
 }
 
 TEST(TraceCheck, AcceptsMinimalWellFormedDocument) {

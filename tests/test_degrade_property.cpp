@@ -18,6 +18,7 @@
 #include "core/registry.hpp"
 #include "degrade/degrade.hpp"
 #include "fault/checked_governor.hpp"
+#include "mp/global_sim.hpp"
 #include "sim/simulator.hpp"
 #include "sweep_equality.hpp"
 #include "task/generator.hpp"
@@ -147,6 +148,91 @@ TEST(WeaklyHardFuzz, SkippingArmIsItselfReplayable) {
     const sim::SimResult a = run_arm(ts, name, &skipping);
     const sim::SimResult b = run_arm(ts, name, &skipping);
     exp::expect_same_result(a, b);
+  }
+}
+
+// ---- global-backend arms (DESIGN.md §14) --------------------------------
+
+/// The same three arms through mp::simulate_global on two cores: the
+/// platform-wide controller must uphold the identical contract when the
+/// overload spans the whole platform and jobs migrate.
+mp::GlobalResult run_global_arm(const task::TaskSet& ts,
+                                const std::string& governor,
+                                const degrade::DegradationConfig* dcfg) {
+  const auto workload = task::constant_ratio_model(1.0);
+  auto g = fault::checked(core::make_governor(governor));
+  mp::GlobalOptions opts;
+  opts.length = 1.0;
+  opts.n_cores = 2;
+  opts.migration_cost = 1e-5;
+  opts.record_jobs = true;
+  opts.degradation = dcfg;
+  return mp::simulate_global(ts, *workload, cpu::ideal_processor(), *g,
+                             opts);
+}
+
+TEST(WeaklyHardFuzz, GlobalBackendKeepsTheContractUnderPlatformOverload) {
+  degrade::DegradationConfig skipping;
+  skipping.enter_pressure = 1;
+  degrade::DegradationConfig monitor = skipping;
+  monitor.skipping = false;
+
+  for (std::uint64_t seed = 11; seed <= 13; ++seed) {
+    // U in [2.15, 2.45]: sustained overload even for the two-core
+    // platform, recoverable by (1,2) shedding (effective U <= 1.23 < 2).
+    const double u = 2.0 + 0.15 * static_cast<double>(seed - 10);
+    const task::TaskSet ts = overload_set(u, seed);
+
+    for (const auto& name : core::governor_names()) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) + " U=" + std::to_string(u) +
+                   " governor=" + name + " backend=global M=2");
+
+      const mp::GlobalResult on = run_global_arm(ts, name, &skipping);
+      const mp::GlobalResult off = run_global_arm(ts, name, &monitor);
+      const mp::GlobalResult none = run_global_arm(ts, name, nullptr);
+
+      // The shedding contract holds platform-wide.
+      EXPECT_TRUE(on.total.degradation);
+      EXPECT_EQ(on.total.mk_violations, 0);
+      EXPECT_EQ(on.total.hard_misses, 0);
+      EXPECT_GT(on.total.jobs_skipped, 0);
+      EXPECT_LE(on.total.jobs_completed + on.total.jobs_skipped,
+                on.total.jobs_released);
+      for (const auto& j : on.total.jobs) {
+        if (j.skipped) {
+          EXPECT_FALSE(ts[static_cast<std::size_t>(j.task_id)].is_hard());
+          EXPECT_EQ(j.actual, 0.0);
+        }
+      }
+
+      // Not vacuous: monitoring alone misses inside the windows.
+      EXPECT_EQ(off.total.jobs_skipped, 0);
+      EXPECT_GT(off.total.deadline_misses, 0);
+      EXPECT_GT(off.total.mk_violations + off.total.hard_misses, 0);
+
+      // Monitoring perturbs nothing — platform-wide, per core, and in the
+      // migration stream.
+      EXPECT_EQ(off.total.jobs_released, none.total.jobs_released);
+      EXPECT_EQ(off.total.jobs_completed, none.total.jobs_completed);
+      EXPECT_EQ(off.total.deadline_misses, none.total.deadline_misses);
+      EXPECT_EQ(off.total.busy_energy, none.total.busy_energy);
+      EXPECT_EQ(off.total.busy_time, none.total.busy_time);
+      EXPECT_EQ(off.total.speed_switches, none.total.speed_switches);
+      EXPECT_EQ(off.total.preemptions, none.total.preemptions);
+      EXPECT_EQ(off.total.migrations, none.total.migrations);
+      EXPECT_EQ(off.migrations.size(), none.migrations.size());
+      ASSERT_EQ(off.cores.size(), none.cores.size());
+      for (std::size_t c = 0; c < off.cores.size(); ++c) {
+        EXPECT_EQ(off.cores[c].busy_energy, none.cores[c].busy_energy);
+        EXPECT_EQ(off.cores[c].busy_time, none.cores[c].busy_time);
+        EXPECT_EQ(off.cores[c].jobs_completed, none.cores[c].jobs_completed);
+      }
+
+      // Replayability of the skipping arm, bit for bit.
+      const mp::GlobalResult replay = run_global_arm(ts, name, &skipping);
+      exp::expect_same_result(on.total, replay.total);
+      if (::testing::Test::HasFailure()) return;  // one replayable case
+    }
   }
 }
 

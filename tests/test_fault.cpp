@@ -8,7 +8,9 @@
 #include <utility>
 
 #include "core/no_dvs.hpp"
+#include "cpu/processors.hpp"
 #include "fault/checked_governor.hpp"
+#include "mp/global_sim.hpp"
 #include "task/workload.hpp"
 #include "util/error.hpp"
 
@@ -372,6 +374,73 @@ TEST(ContainmentEdge, OverrunCompletingAtTheFinalHorizonInstant) {
   EXPECT_EQ(r.jobs_overrun, 1);
   EXPECT_NEAR(r.busy_time, 3.0, 1e-9);
   EXPECT_EQ(r.deadline_misses, 0);  // deadline 10 is past the horizon
+}
+
+// ---- global-backend arm (DESIGN.md §14) ---------------------------------
+
+/// Four tasks at U = 1.2: overloads any single core, comfortably GFB-
+/// schedulable on two (dispatch floor (1.2 + 0.3) / 2 = 0.75).
+TaskSet four_tasks() {
+  TaskSet ts("gfault");
+  for (std::int32_t i = 0; i < 4; ++i) {
+    ts.add(make_task(i, std::string(1, static_cast<char>('a' + i)), 10.0,
+                     3.0, 3.0));
+  }
+  return ts;
+}
+
+TEST(Containment, GlobalBackendCountsAndContainsOverruns) {
+  const TaskSet ts = four_tasks();
+  FaultSpec spec;
+  spec.seed = 7;
+  spec.overrun_prob = 0.5;
+  spec.overrun_magnitude = 0.5;
+  const auto arm = [&](sim::OverrunPolicy policy, bool faults) {
+    task::ExecutionTimeModelPtr wl = task::constant_ratio_model(1.0);
+    if (faults) wl = faulty_workload(std::move(wl), spec);
+    FixedSpeedGovernor g(1.0);
+    mp::GlobalOptions o;
+    o.length = 40.0;
+    o.n_cores = 2;
+    o.containment = policy;
+    return mp::simulate_global(ts, *wl, cpu::ideal_processor(), g, o);
+  };
+
+  const mp::GlobalResult clean = arm(sim::OverrunPolicy::kNone, false);
+  EXPECT_EQ(clean.total.jobs_overrun, 0);
+  EXPECT_EQ(clean.total.deadline_misses, 0);
+
+  // kNone: overruns are counted, not contained, and run past budget.
+  const mp::GlobalResult none = arm(sim::OverrunPolicy::kNone, true);
+  EXPECT_GT(none.total.jobs_overrun, 0);
+  EXPECT_EQ(none.total.overruns_contained, 0);
+  EXPECT_GT(none.total.busy_time, clean.total.busy_time);
+
+  // Clamping restores the fault-free schedule exactly: the base draws are
+  // already at WCET, so clamped overrun demands coincide with them and
+  // only the counters differ.
+  const mp::GlobalResult clamped = arm(sim::OverrunPolicy::kClampAtWcet,
+                                       true);
+  EXPECT_EQ(clamped.total.jobs_overrun, none.total.jobs_overrun);
+  EXPECT_EQ(clamped.total.overruns_contained, clamped.total.jobs_overrun);
+  EXPECT_EQ(clamped.total.busy_time, clean.total.busy_time);
+  EXPECT_EQ(clamped.total.busy_energy, clean.total.busy_energy);
+  EXPECT_EQ(clamped.total.deadline_misses, clean.total.deadline_misses);
+  EXPECT_EQ(clamped.migrations.size(), clean.migrations.size());
+
+  const mp::GlobalResult esc = arm(sim::OverrunPolicy::kEscalateToMaxSpeed,
+                                   true);
+  EXPECT_EQ(esc.total.overruns_contained, esc.total.jobs_overrun);
+
+  // Overrun counters are platform-level only: an overrun is detected at
+  // release, before the job is dispatched to (possibly several) cores, so
+  // the per-core views deliberately carry none.
+  for (const mp::GlobalResult* r : {&clean, &none, &clamped, &esc}) {
+    for (const auto& c : r->cores) {
+      EXPECT_EQ(c.jobs_overrun, 0);
+      EXPECT_EQ(c.overruns_contained, 0);
+    }
+  }
 }
 
 TEST(ContainmentNames, RoundTripAndRejectUnknown) {

@@ -1,0 +1,572 @@
+// Global-EDF backend differentials (DESIGN.md §14): the M = 1 run is
+// BIT-IDENTICAL to the uniprocessor simulator — every SimResult field and
+// every JobRecord, over 50 random task sets spanning governors,
+// utilizations and set sizes, including the degradation / containment /
+// processor-fault arms.  On M >= 2 ideal cores, GFB-bounded sets never
+// miss at zero migration cost; the migration-cost model counts and
+// charges surcharges exactly; per-core traces tile the horizon (the
+// Chrome-trace exporter's invariant).  The EdfReadyQueue::remove_slot
+// primitive the engine's M = 1 contract rests on is pinned down here too.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "cpu/processors.hpp"
+#include "degrade/degrade.hpp"
+#include "fault/fault.hpp"
+#include "mp/global_sim.hpp"
+#include "mp/mp_sim.hpp"
+#include "sched/edf_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sweep_equality.hpp"
+#include "task/generator.hpp"
+#include "task/workload.hpp"
+#include "util/rng.hpp"
+
+namespace dvs {
+namespace {
+
+task::TaskSet random_set(double u, std::uint64_t seed, std::size_t n,
+                         double max_task_u = 1.0) {
+  task::GeneratorConfig cfg;
+  cfg.n_tasks = n;
+  cfg.total_utilization = u;
+  cfg.period_min = 0.01;
+  cfg.period_max = 0.16;
+  cfg.bcet_ratio = 0.1;
+  cfg.grid_fraction = 0.5;
+  cfg.allow_overload = u > 1.0;
+  cfg.max_task_utilization = max_task_u;
+  util::Rng rng(seed);
+  return task::generate_task_set(cfg, rng);
+}
+
+const std::vector<std::string> kGovernors{
+    "noDVS", "staticEDF", "lppsEDF", "ccEDF", "laEDF",
+    "DRA",   "AGR",       "lpSEH-h", "lpSEH", "uniformSlack"};
+
+// --- the heap primitive the M = 1 contract rests on ----------------------
+
+TEST(EdfQueueRemoveSlot, HeadRemovalIsOperationIdenticalToPop) {
+  sched::EdfReadyQueue a;
+  sched::EdfReadyQueue b;
+  util::Rng rng(41);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const sched::EdfEntry e{rng.unit(), static_cast<std::int32_t>(i % 7),
+                            static_cast<std::int64_t>(i), i};
+    a.push(e);
+    b.push(e);
+  }
+  while (!a.empty()) {
+    const std::size_t head = a.top().slot;
+    a.pop();
+    ASSERT_TRUE(b.remove_slot(head));
+    // Identical repair => identical raw heap layout, not just same order.
+    ASSERT_EQ(a.raw().size(), b.raw().size());
+    for (std::size_t i = 0; i < a.raw().size(); ++i) {
+      EXPECT_EQ(a.raw()[i].slot, b.raw()[i].slot);
+      EXPECT_EQ(a.raw()[i].deadline, b.raw()[i].deadline);
+    }
+  }
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(EdfQueueRemoveSlot, InteriorRemovalKeepsTheHeapOrdered) {
+  util::Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    sched::EdfReadyQueue q;
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 40));
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push({rng.unit(), static_cast<std::int32_t>(i % 5),
+              static_cast<std::int64_t>(i), i});
+    }
+    // Remove every other slot from the middle, then drain: the pops must
+    // come out in EDF order.
+    for (std::size_t s = 0; s < n; s += 2) ASSERT_TRUE(q.remove_slot(s));
+    sched::EdfEntry prev{-1.0, 0, -1, 0};
+    while (!q.empty()) {
+      const sched::EdfEntry e = q.top();
+      q.pop();
+      EXPECT_TRUE(sched::edf_before(prev, e));
+      EXPECT_EQ(e.slot % 2, 1u);
+      prev = e;
+    }
+  }
+}
+
+TEST(EdfQueueRemoveSlot, MissingSlotReturnsFalseAndLeavesTheQueueIntact) {
+  sched::EdfReadyQueue q;
+  q.push({1.0, 0, 0, 0});
+  q.push({2.0, 1, 0, 1});
+  EXPECT_FALSE(q.remove_slot(7));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.top().slot, 0u);
+}
+
+// --- the GFB dispatch floor ----------------------------------------------
+
+TEST(GlobalSpeedFloor, DisabledOnOneCoreAndClampedToOne) {
+  const task::TaskSet ts = random_set(0.8, 99, 5);
+  EXPECT_EQ(mp::global_speed_floor(ts, 0), 0.0);
+  EXPECT_EQ(mp::global_speed_floor(ts, 1), 0.0);
+  // Heavily loaded set on few cores: the unclamped bound exceeds 1.
+  const task::TaskSet heavy = random_set(1.9, 100, 4, 0.9);
+  EXPECT_EQ(mp::global_speed_floor(heavy, 2), 1.0);
+}
+
+TEST(GlobalSpeedFloor, MatchesTheGfbFormula) {
+  const task::TaskSet ts = random_set(1.2, 7, 6, 0.5);
+  double u_max = 0.0;
+  for (const auto& t : ts) u_max = std::max(u_max, t.utilization());
+  for (const std::size_t m : {std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    const double expected =
+        std::min(1.0, (ts.utilization() + (static_cast<double>(m) - 1.0) *
+                                              u_max) /
+                          static_cast<double>(m));
+    EXPECT_DOUBLE_EQ(mp::global_speed_floor(ts, m), expected);
+  }
+}
+
+// --- the M = 1 bit-identity contract -------------------------------------
+
+TEST(GlobalDifferential, FiftySetsBitIdenticalToUniprocessor) {
+  const cpu::Processor proc = cpu::ideal_processor();
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const std::uint64_t seed = util::hash_u64(0x610BA1, i);
+    const double u = 0.3 + 0.65 * static_cast<double>(i) / 49.0;
+    const std::size_t n = 3 + static_cast<std::size_t>(i % 8);
+    const std::string& gov = kGovernors[i % kGovernors.size()];
+    SCOPED_TRACE("set " + std::to_string(i) + " seed " +
+                 std::to_string(seed) + " governor " + gov);
+
+    const task::TaskSet ts = random_set(u, seed, n);
+    const auto workload = task::uniform_model(seed);
+
+    auto uni_gov = core::make_governor(gov);
+    sim::SimOptions opts;
+    opts.length = 0.4;
+    opts.record_jobs = true;
+    const sim::SimResult uni =
+        sim::simulate(ts, *workload, proc, *uni_gov, opts);
+
+    auto glob_gov = core::make_governor(gov);
+    mp::GlobalOptions go;
+    go.length = 0.4;
+    go.n_cores = 1;
+    go.record_jobs = true;
+    const mp::GlobalResult glob =
+        mp::simulate_global(ts, *workload, proc, *glob_gov, go);
+
+    exp::expect_same_result(uni, glob.total);
+    ASSERT_EQ(glob.cores.size(), 1u);
+    exp::expect_same_result(uni, glob.cores.front());
+    EXPECT_EQ(glob.total.migrations, 0);
+    EXPECT_EQ(glob.total.migration_overhead_us, 0.0);
+    EXPECT_TRUE(glob.migrations.empty());
+  }
+}
+
+TEST(GlobalDifferential, TransitionCostProcessorStaysBitIdentical) {
+  // Nonzero switch times exercise the stall-commitment machinery: the
+  // M = 1 engine must defer in-stall releases to the stall end and only
+  // re-query the governor when arrivals dissolved the commitment —
+  // exactly the uniprocessor engine's arrivals-during-stall rule.
+  const cpu::Processor proc = cpu::strongarm_processor();
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    const std::uint64_t seed = util::hash_u64(0x57A11, i);
+    const std::string& gov = kGovernors[i % kGovernors.size()];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " governor " + gov);
+    const task::TaskSet ts = random_set(0.4 + 0.04 * static_cast<double>(i),
+                                        seed, 4 + i % 5);
+    const auto workload = task::uniform_model(seed);
+
+    auto g1 = core::make_governor(gov);
+    sim::SimOptions opts;
+    opts.length = 0.4;
+    opts.record_jobs = true;
+    const sim::SimResult uni = sim::simulate(ts, *workload, proc, *g1, opts);
+
+    auto g2 = core::make_governor(gov);
+    mp::GlobalOptions go;
+    go.length = 0.4;
+    go.n_cores = 1;
+    go.record_jobs = true;
+    const mp::GlobalResult glob =
+        mp::simulate_global(ts, *workload, proc, *g2, go);
+    exp::expect_same_result(uni, glob.total);
+  }
+}
+
+TEST(GlobalDifferential, DegradationArmStaysBitIdentical) {
+  // Overloaded weakly-hard sets force skips, mode changes and the
+  // release-path version bumps the commitment rule depends on.
+  degrade::DegradationConfig dcfg;
+  dcfg.enter_pressure = 1;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const std::uint64_t seed = util::hash_u64(0xDE61ADE, i);
+    const std::string& gov = kGovernors[i % kGovernors.size()];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " governor " + gov);
+    task::TaskSet ts =
+        random_set(1.05 + 0.03 * static_cast<double>(i), seed, 8);
+    ts = degrade::with_firmness(ts, 1, 2);
+    const auto workload = task::constant_ratio_model(1.0);
+
+    auto g1 = core::make_governor(gov);
+    sim::SimOptions opts;
+    opts.length = 0.5;
+    opts.record_jobs = true;
+    opts.degradation = &dcfg;
+    const sim::SimResult uni =
+        sim::simulate(ts, *workload, cpu::ideal_processor(), *g1, opts);
+    EXPECT_GT(uni.jobs_skipped, 0);  // the arm must actually shed
+
+    auto g2 = core::make_governor(gov);
+    mp::GlobalOptions go;
+    go.length = 0.5;
+    go.n_cores = 1;
+    go.record_jobs = true;
+    go.degradation = &dcfg;
+    const mp::GlobalResult glob =
+        mp::simulate_global(ts, *workload, cpu::ideal_processor(), *g2, go);
+    exp::expect_same_result(uni, glob.total);
+  }
+}
+
+TEST(GlobalDifferential, ContainmentAndFaultArmsStayBitIdentical) {
+  // Overrunning workloads under every containment policy, on a processor
+  // with injected stuck-frequency and stall faults: the escalation branch,
+  // budget timers and the per-core fault-model indexing must all reduce
+  // to the uniprocessor sequence at M = 1.
+  fault::FaultSpec spec;
+  spec.seed = 23;
+  spec.overrun_prob = 0.4;
+  spec.overrun_magnitude = 0.5;
+  spec.stuck_prob = 0.3;
+  spec.stall_prob = 0.5;
+  spec.stall_time = 0.002;
+  const cpu::Processor proc =
+      fault::faulty_processor(cpu::ideal_processor(), spec);
+  for (const auto policy :
+       {sim::OverrunPolicy::kNone, sim::OverrunPolicy::kClampAtWcet,
+        sim::OverrunPolicy::kEscalateToMaxSpeed}) {
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      const std::uint64_t seed = util::hash_u64(0xFA111, i);
+      const std::string& gov = kGovernors[(i + 3) % kGovernors.size()];
+      SCOPED_TRACE("policy " + std::to_string(static_cast<int>(policy)) +
+                   " seed " + std::to_string(seed) + " governor " + gov);
+      const task::TaskSet ts =
+          random_set(0.35 + 0.05 * static_cast<double>(i), seed, 5);
+      const auto workload =
+          fault::faulty_workload(task::uniform_model(seed), spec);
+
+      auto g1 = core::make_governor(gov);
+      sim::SimOptions opts;
+      opts.length = 0.4;
+      opts.record_jobs = true;
+      opts.containment = policy;
+      const sim::SimResult uni =
+          sim::simulate(ts, *workload, proc, *g1, opts);
+
+      auto g2 = core::make_governor(gov);
+      mp::GlobalOptions go;
+      go.length = 0.4;
+      go.n_cores = 1;
+      go.record_jobs = true;
+      go.containment = policy;
+      const mp::GlobalResult glob =
+          mp::simulate_global(ts, *workload, proc, *g2, go);
+      exp::expect_same_result(uni, glob.total);
+    }
+  }
+}
+
+TEST(GlobalDifferential, StopOnMissHaltsAtTheSameInstant) {
+  // An infeasible set guarantees a miss; both engines must stop at the
+  // same first-miss event with identical partial accounting.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const std::uint64_t seed = util::hash_u64(0x57090, i);
+    const std::string& gov = kGovernors[i % kGovernors.size()];
+    SCOPED_TRACE("seed " + std::to_string(seed) + " governor " + gov);
+    const task::TaskSet ts =
+        random_set(1.2 + 0.05 * static_cast<double>(i), seed, 6);
+    const auto workload = task::constant_ratio_model(1.0);
+
+    auto g1 = core::make_governor(gov);
+    sim::SimOptions opts;
+    opts.length = 0.5;
+    opts.record_jobs = true;
+    opts.stop_on_miss = true;
+    const sim::SimResult uni =
+        sim::simulate(ts, *workload, cpu::ideal_processor(), *g1, opts);
+    EXPECT_GT(uni.deadline_misses, 0);
+
+    auto g2 = core::make_governor(gov);
+    mp::GlobalOptions go;
+    go.length = 0.5;
+    go.n_cores = 1;
+    go.record_jobs = true;
+    go.stop_on_miss = true;
+    const mp::GlobalResult glob =
+        mp::simulate_global(ts, *workload, cpu::ideal_processor(), *g2, go);
+    exp::expect_same_result(uni, glob.total);
+  }
+}
+
+TEST(GlobalDifferential, MpBackendSelectorRoutesToGlobal) {
+  const std::uint64_t seed = 77;
+  const task::TaskSet ts = random_set(0.6, seed, 5);
+  const auto workload = task::uniform_model(seed);
+
+  auto g1 = core::make_governor("DRA");
+  mp::GlobalOptions go;
+  go.length = 0.4;
+  go.n_cores = 2;
+  const mp::GlobalResult direct = mp::simulate_global(
+      ts, *workload, cpu::ideal_processor(), *g1, go);
+
+  mp::MpOptions mo;
+  mo.backend = mp::MpBackend::kGlobal;
+  mo.n_cores = 2;
+  mo.length = 0.4;
+  const mp::MpResult via_mp = mp::simulate_mp(
+      ts, workload, cpu::ideal_processor(),
+      [] { return core::make_governor("DRA"); }, mo);
+
+  EXPECT_EQ(via_mp.backend, mp::MpBackend::kGlobal);
+  exp::expect_same_result(direct.total, via_mp.total);
+  ASSERT_EQ(via_mp.cores.size(), 2u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    exp::expect_same_result(direct.cores[c], via_mp.cores[c]);
+  }
+  EXPECT_EQ(via_mp.migrations.size(), direct.migrations.size());
+  EXPECT_NE(via_mp.summary().find("global"), std::string::npos);
+
+  // Backend names round-trip and reject garbage.
+  EXPECT_EQ(mp::backend_by_name("global"), mp::MpBackend::kGlobal);
+  EXPECT_EQ(mp::backend_by_name("Partitioned"), mp::MpBackend::kPartitioned);
+  EXPECT_THROW((void)mp::backend_by_name("clustered"), util::ContractError);
+}
+
+// --- M >= 2: the zero-miss guarantee and platform accounting -------------
+
+TEST(GlobalZeroMiss, GfbBoundedSetsNeverMissOnIdealCores) {
+  // U <= 0.6 M with per-task utilization <= 0.35 keeps the GFB floor
+  // strictly below 1, so the engine's dispatch floor guarantees the
+  // schedule.  A handful of governors here; the full registry fuzz lives
+  // in test_global_property.cpp.
+  const cpu::Processor proc = cpu::ideal_processor();
+  for (const std::size_t m : {std::size_t{2}, std::size_t{4}}) {
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      const std::uint64_t seed = util::hash_u64(0x0FFB, m, i);
+      const double u = 0.6 * static_cast<double>(m) *
+                       (0.5 + 0.5 * static_cast<double>(i) / 5.0);
+      const std::string& gov = kGovernors[i % kGovernors.size()];
+      SCOPED_TRACE("M=" + std::to_string(m) + " seed=" +
+                   std::to_string(seed) + " U=" + std::to_string(u) +
+                   " governor=" + gov);
+      const task::TaskSet ts = random_set(u, seed, 12, 0.35);
+      ASSERT_LT(mp::global_speed_floor(ts, m), 1.0);
+      const auto workload = task::uniform_model(seed);
+      auto g = core::make_governor(gov);
+      mp::GlobalOptions go;
+      go.length = 0.3;
+      go.n_cores = m;
+      const mp::GlobalResult r =
+          mp::simulate_global(ts, *workload, proc, *g, go);
+      EXPECT_EQ(r.total.deadline_misses, 0);
+      EXPECT_EQ(r.total.jobs_completed + r.total.jobs_truncated,
+                r.total.jobs_released);
+      // All M cores are powered: the time breakdown tiles M x length.
+      EXPECT_NEAR(r.total.busy_time + r.total.idle_time +
+                      r.total.transition_time,
+                  static_cast<double>(m) * 0.3, 1e-6);
+    }
+  }
+}
+
+TEST(GlobalMigration, SurchargeIsCountedAndCharged) {
+  // A set that forces preemptions across cores; with a nonzero cost every
+  // counted migration must surface in the aggregate overhead and inflate
+  // the recorded job demands relative to the fresh workload draws.
+  const std::uint64_t seed = 4242;
+  const task::TaskSet ts = random_set(1.1, seed, 9, 0.35);
+  const auto workload = task::uniform_model(seed);
+  const Time cost = 1e-4;
+
+  auto g = core::make_governor("ccEDF");
+  mp::GlobalOptions go;
+  go.length = 0.4;
+  go.n_cores = 2;
+  go.migration_cost = cost;
+  go.record_jobs = true;
+  const mp::GlobalResult r =
+      mp::simulate_global(ts, *workload, cpu::ideal_processor(), *g, go);
+  ASSERT_GT(r.total.migrations, 0) << "set failed to provoke migrations";
+  EXPECT_NEAR(r.total.migration_overhead_us,
+              static_cast<double>(r.total.migrations) * cost * 1e6, 1e-6);
+  EXPECT_EQ(static_cast<std::int64_t>(r.migrations.size()),
+            r.total.migrations);
+
+  // Conservation: summed job-demand inflation == total surcharge work.
+  double inflation = 0.0;
+  for (const auto& j : r.total.jobs) {
+    if (j.skipped) continue;
+    const Work base = workload->draw(ts[static_cast<std::size_t>(j.task_id)],
+                                     j.index);
+    EXPECT_GE(j.actual + 1e-12, std::min(base, j.wcet));
+    inflation += j.actual - std::min(base, ts[static_cast<std::size_t>(
+                                               j.task_id)].wcet);
+  }
+  EXPECT_NEAR(inflation * 1e6, r.total.migration_overhead_us, 1e-3);
+
+  // Records are time-ordered and name real cores.
+  Time prev = 0.0;
+  for (const auto& m : r.migrations) {
+    EXPECT_GE(m.at, prev);
+    prev = m.at;
+    EXPECT_NE(m.from_core, m.to_core);
+    EXPECT_GE(m.from_core, 0);
+    EXPECT_LT(m.to_core, 2);
+  }
+}
+
+TEST(GlobalMigration, ZeroCostStillCountsMigrations) {
+  const std::uint64_t seed = 4242;  // same shape as above: migrations occur
+  const task::TaskSet ts = random_set(1.1, seed, 9, 0.35);
+  const auto workload = task::uniform_model(seed);
+  auto g = core::make_governor("ccEDF");
+  mp::GlobalOptions go;
+  go.length = 0.4;
+  go.n_cores = 2;
+  const mp::GlobalResult r =
+      mp::simulate_global(ts, *workload, cpu::ideal_processor(), *g, go);
+  EXPECT_GT(r.total.migrations, 0);
+  EXPECT_EQ(r.total.migration_overhead_us, 0.0);
+  EXPECT_NE(r.total.summary().find("migrations"), std::string::npos);
+}
+
+TEST(GlobalTrace, PerCoreTracesTileTheHorizon) {
+  // Every core's segments must cover [0, length] without gaps or overlap
+  // — the invariant the Chrome-trace exporter (and its validator) builds
+  // on.  Release events land on core 0; completions on the owning core.
+  const std::uint64_t seed = 99;
+  const task::TaskSet ts = random_set(1.0, seed, 8, 0.35);
+  const auto workload = task::uniform_model(seed);
+  auto g = core::make_governor("DRA");
+  std::vector<sim::VectorTrace> traces;
+  mp::GlobalOptions go;
+  go.length = 0.3;
+  go.n_cores = 3;
+  go.traces = &traces;
+  const mp::GlobalResult r =
+      mp::simulate_global(ts, *workload, cpu::ideal_processor(), *g, go);
+  ASSERT_EQ(traces.size(), 3u);
+  std::int64_t releases = 0;
+  std::int64_t completions = 0;
+  for (std::size_t c = 0; c < traces.size(); ++c) {
+    SCOPED_TRACE("core " + std::to_string(c));
+    Time covered = 0.0;
+    Time cursor = 0.0;
+    for (const auto& s : traces[c].segments()) {
+      EXPECT_NEAR(s.begin, cursor, 1e-9);
+      EXPECT_GT(s.end, s.begin);
+      covered += s.end - s.begin;
+      cursor = s.end;
+    }
+    EXPECT_NEAR(covered, 0.3, 1e-6);
+    for (const auto& e : traces[c].events()) {
+      if (e.kind == sim::TraceEvent::Kind::kRelease) {
+        ++releases;
+        EXPECT_EQ(c, 0u);  // platform events live on core 0's track
+      }
+      if (e.kind == sim::TraceEvent::Kind::kCompletion) ++completions;
+    }
+  }
+  EXPECT_EQ(releases, r.total.jobs_released);
+  EXPECT_EQ(completions, r.total.jobs_completed);
+}
+
+// --- exp-layer integration: determinism across thread counts -------------
+
+TEST(GlobalSweep, BitIdenticalForEveryThreadCount) {
+  // The whole-platform engine run is the unit of work of global sweeps,
+  // so a SweepOutcome — stats, totals, per-case results, migration
+  // aggregates — must be bit-identical for 1, 2 and 8 worker threads.
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.replications = 3;
+  cfg.sim_length = 0.3;
+  cfg.keep_case_outcomes = true;
+  cfg.record_jobs = true;
+  cfg.n_cores = 3;
+  cfg.mp_backend = mp::MpBackend::kGlobal;
+  cfg.migration_cost = 2e-5;
+  const exp::CaseBuilder builder = [](double u, std::size_t /*rep*/,
+                                      std::uint64_t seed) {
+    return exp::Case{random_set(u, seed, 10, 0.35),
+                     task::uniform_model(seed)};
+  };
+  const std::vector<double> xs{0.8, 1.4};
+
+  cfg.n_threads = 1;
+  const exp::SweepOutcome serial = exp::run_sweep(cfg, "U", xs, builder);
+  EXPECT_TRUE(serial.global_mp);
+  EXPECT_TRUE(serial.failures.empty());
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    cfg.n_threads = threads;
+    const exp::SweepOutcome parallel = exp::run_sweep(cfg, "U", xs, builder);
+    exp::expect_same_sweep(serial, parallel);
+  }
+}
+
+TEST(GlobalSweep, RunCaseRoutesThroughTheGlobalBackend) {
+  exp::ExperimentConfig cfg = exp::default_config();
+  cfg.governors = {"ccEDF"};
+  cfg.sim_length = 0.3;
+  cfg.n_cores = 2;
+  cfg.mp_backend = mp::MpBackend::kGlobal;
+  const std::uint64_t seed = 51;
+  const exp::Case c{random_set(0.9, seed, 8, 0.35),
+                    task::uniform_model(seed)};
+  const exp::CaseOutcome out = exp::run_case(c, cfg);
+  ASSERT_EQ(out.outcomes.size(), 2u);  // noDVS reference + ccEDF
+  for (const auto& g : out.outcomes) {
+    ASSERT_FALSE(g.failed()) << g.error;
+    ASSERT_NE(g.mp, nullptr);
+    EXPECT_EQ(g.mp->backend, mp::MpBackend::kGlobal);
+    EXPECT_EQ(g.mp->cores.size(), 2u);
+    EXPECT_EQ(g.result.deadline_misses, 0);
+  }
+  // The oracle's lower bound decomposes over independent cores, which
+  // migration invalidates — the combination must refuse loudly.
+  cfg.oracle = true;
+  EXPECT_THROW((void)exp::run_case(c, cfg), util::ContractError);
+}
+
+TEST(GlobalInputValidation, RejectsBadOptions) {
+  const task::TaskSet ts = random_set(0.5, 1, 4);
+  const auto workload = task::uniform_model(1);
+  auto g = core::make_governor("noDVS");
+  {
+    mp::GlobalOptions go;
+    go.n_cores = 0;
+    EXPECT_THROW((void)mp::simulate_global(ts, *workload,
+                                           cpu::ideal_processor(), *g, go),
+                 util::ContractError);
+  }
+  {
+    mp::GlobalOptions go;
+    go.migration_cost = -1.0;
+    EXPECT_THROW((void)mp::simulate_global(ts, *workload,
+                                           cpu::ideal_processor(), *g, go),
+                 util::ContractError);
+  }
+}
+
+}  // namespace
+}  // namespace dvs

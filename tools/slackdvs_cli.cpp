@@ -48,11 +48,20 @@
 //   --metrics                   print per-governor metrics (speed residency,
 //                               queue depth, preemptions) and the slack-
 //                               estimate audit
-//   --cores M                   partitioned multiprocessor run on M cores
-//                               (EDF only; M=1 matches the uniprocessor
-//                               simulator bit for bit, DESIGN.md §10)
+//   --cores M                   multiprocessor run on M cores (EDF only;
+//                               M=1 matches the uniprocessor simulator bit
+//                               for bit, DESIGN.md §10/§14)
+//   --mp partitioned|global     multiprocessor backend for --cores:
+//                               partitioned (default) bin-packs tasks onto
+//                               cores; global runs one deadline-ordered
+//                               ready queue over all M cores with
+//                               job-level migration (DESIGN.md §14)
 //   --partition ff|bf|wf        bin-packing heuristic for --cores
-//                               (first/best/worst-fit decreasing; default ff)
+//                               (first/best/worst-fit decreasing; default
+//                               ff; partitioned backend only)
+//   --migration-cost US         per-migration surcharge in microseconds of
+//                               full-speed work, charged to the migrating
+//                               job (global backend only; default 0)
 //   --mk M:K                    set every task's weakly-hard firmness to
 //                               (M,K): at least M of any K consecutive jobs
 //                               must meet their deadlines (M=K means hard)
@@ -81,6 +90,7 @@
 #include "fault/fault.hpp"
 #include "cpu/processors.hpp"
 #include "exp/experiment.hpp"
+#include "mp/global_sim.hpp"
 #include "mp/mp_sim.hpp"
 #include "exp/report.hpp"
 #include "obs/audit.hpp"
@@ -159,7 +169,8 @@ void usage() {
                    [--gantt T0:T1] [--jobs N] [--overrun-prob P]
                    [--overrun-mag M] [--containment MODE]
                    [--trace-out FILE.json] [--metrics] [--oracle]
-                   [--cores M] [--partition ff|bf|wf]
+                   [--cores M] [--mp partitioned|global]
+                   [--partition ff|bf|wf] [--migration-cost US]
                    [--mk M:K] [--degrade]
   slackdvs admit   <taskset> [--cores M] [--partition ff|bf|wf]
   slackdvs serve   [--port P] [--jobs N] [--max-request-bytes B]
@@ -270,6 +281,9 @@ int cmd_run(const std::vector<std::string>& args) {
   sim::OverrunPolicy containment = sim::OverrunPolicy::kNone;
   std::size_t n_cores = 0;  // 0 = uniprocessor
   mp::PartitionHeuristic partitioner = mp::PartitionHeuristic::kFirstFit;
+  mp::MpBackend backend = mp::MpBackend::kPartitioned;
+  Time migration_cost = 0.0;  // seconds; --migration-cost takes us
+  bool migration_cost_set = false;
   bool want_degrade = false;
   degrade::DegradationConfig dcfg;  // used only when want_degrade
   std::int32_t mk_m = 0;            // 0 = leave the task set's firmness
@@ -314,6 +328,12 @@ int cmd_run(const std::vector<std::string>& args) {
                                                    4096));
     } else if (a == "--partition") {
       partitioner = mp::heuristic_by_name(value());
+    } else if (a == "--mp") {
+      backend = mp::backend_by_name(value());
+    } else if (a == "--migration-cost") {
+      migration_cost =
+          parse_double("--migration-cost", value(), 0.0, 1e9) * 1e-6;
+      migration_cost_set = true;
     } else if (a == "--trace-out") {
       trace_out = value();
       DVS_EXPECT(!trace_out.empty(), "--trace-out needs a file name");
@@ -364,8 +384,22 @@ int cmd_run(const std::vector<std::string>& args) {
              "--gantt is uniprocessor-only; drop --cores to render it");
   DVS_EXPECT(!want_oracle || policy == sim::SchedulingPolicy::kEdf,
              "--oracle requires --policy edf (YDS optimality is EDF-only)");
-  DVS_EXPECT(!want_degrade || n_cores == 0,
-             "--degrade is uniprocessor-only; drop --cores");
+  const bool global = backend == mp::MpBackend::kGlobal;
+  DVS_EXPECT(!global || n_cores >= 1,
+             "--mp global requires --cores M (M >= 1)");
+  DVS_EXPECT(!migration_cost_set || global,
+             "--migration-cost applies to the global backend; add "
+             "--mp global");
+  DVS_EXPECT(!want_oracle || !global,
+             "--oracle is incompatible with --mp global: the YDS bound "
+             "decomposes over independent cores, which migration "
+             "invalidates");
+  DVS_EXPECT(!want_metrics || !global,
+             "--metrics is not wired to the global backend; drop --mp "
+             "global");
+  DVS_EXPECT(!want_degrade || n_cores == 0 || global,
+             "--degrade needs the uniprocessor simulator or --mp global "
+             "(the partitioned backend has no platform-wide controller)");
   DVS_EXPECT(!(want_degrade && want_oracle),
              "--degrade and --oracle are incompatible: the clairvoyant "
              "bounds assume every released job executes");
@@ -380,7 +414,16 @@ int cmd_run(const std::vector<std::string>& args) {
     cfg.oracle = want_oracle;
     if (want_degrade) cfg.degradation = dcfg;
     cfg.n_threads = jobs;  // parallel across governors; output identical
-    if (n_cores >= 1) {
+    if (n_cores >= 1 && global) {
+      std::cout << "global EDF on " << n_cores << " cores (dispatch floor "
+                << util::format_double(
+                       mp::global_speed_floor(ts, n_cores), 4)
+                << ", migration cost "
+                << util::format_double(migration_cost * 1e6, 3) << " us)\n";
+      cfg.n_cores = n_cores;
+      cfg.mp_backend = mp::MpBackend::kGlobal;
+      cfg.migration_cost = migration_cost;
+    } else if (n_cores >= 1) {
       const mp::PartitionResult pr =
           mp::partition_task_set(ts, n_cores, partitioner);
       if (!pr.feasible) {
@@ -414,12 +457,21 @@ int cmd_run(const std::vector<std::string>& args) {
         if (!g.mp) continue;
         std::cout << "  " << g.governor << ":\n";
         for (std::size_t c = 0; c < g.mp->cores.size(); ++c) {
-          if (g.mp->partition.tasks_of_core[c].empty()) {
+          // Under the global backend every core is powered (the single
+          // ready queue can dispatch to any of them); the partition's
+          // powered-down shortcut applies only to the bin-packed layout.
+          if (!global && g.mp->partition.tasks_of_core[c].empty()) {
             std::cout << "    core" << c << ": powered down (no tasks)\n";
             continue;
           }
           std::cout << "    core" << c << ": " << g.mp->cores[c].summary()
                     << '\n';
+        }
+        if (global) {
+          std::cout << "    migrations: " << g.result.migrations
+                    << " (surcharge "
+                    << util::format_double(g.result.migration_overhead_us, 1)
+                    << " us folded into demands)\n";
         }
       }
     }
@@ -479,7 +531,59 @@ int cmd_run(const std::vector<std::string>& args) {
     }
   }
 
-  if ((!trace_out.empty() || want_metrics) && n_cores >= 1) {
+  if (!trace_out.empty() && n_cores >= 1 && global) {
+    // Global observability pass: re-run every governor with per-core trace
+    // sinks attached.  One pid per (governor, core) — every pid carries
+    // the FULL task set (any task can run on any core) — plus one flow
+    // arrow per migration, drawn from the source core's pid to the
+    // destination's on the migrating task's row.  Determinism makes this
+    // re-run reproduce the comparison above exactly.
+    struct GlobalObsRun {
+      std::string governor;
+      std::vector<sim::VectorTrace> traces;
+      mp::GlobalResult result;
+    };
+    std::deque<GlobalObsRun> runs;
+    Time sim_len = 0.0;
+    for (const auto& name : governors) {
+      runs.emplace_back();
+      GlobalObsRun& run = runs.back();
+      mp::GlobalOptions o;
+      o.length = length;
+      o.n_cores = n_cores;
+      o.migration_cost = migration_cost;
+      o.containment = containment;
+      if (want_degrade) o.degradation = &dcfg;
+      o.traces = &run.traces;
+      auto g = core::make_governor(name);
+      run.result = mp::simulate_global(ts, *workload, processor, *g, o);
+      run.governor = run.result.total.governor;
+      sim_len = run.result.total.sim_length;
+    }
+    std::vector<obs::TraceProcess> procs;
+    std::vector<obs::TraceFlowEvent> flows;
+    procs.reserve(runs.size() * n_cores);
+    for (const GlobalObsRun& run : runs) {
+      const std::size_t base = procs.size();
+      for (std::size_t c = 0; c < n_cores; ++c) {
+        procs.push_back({run.governor + "/core" + std::to_string(c), &ts,
+                         &run.traces[c]});
+      }
+      for (const auto& m : run.result.migrations) {
+        flows.push_back({"migration", m.at,
+                         base + static_cast<std::size_t>(m.from_core),
+                         base + static_cast<std::size_t>(m.to_core),
+                         m.task_id, m.job_index});
+      }
+    }
+    std::ofstream out(trace_out);
+    DVS_EXPECT(out.is_open(), "cannot open trace output: " + trace_out);
+    obs::write_chrome_trace(out, ts.name(), procs, sim_len, flows);
+    std::cout << "wrote Chrome trace (" << procs.size()
+              << " governor/core pids, " << flows.size()
+              << " migration flows) to " << trace_out
+              << "  [chrome://tracing or ui.perfetto.dev]\n";
+  } else if ((!trace_out.empty() || want_metrics) && n_cores >= 1) {
     // Partitioned observability pass: one pid per (governor, core), each
     // with its own core-local task set.  Determinism makes this re-run
     // reproduce the comparison above exactly.

@@ -41,8 +41,8 @@ int main(int argc, char** argv) {
     if (report.ok()) {
       std::cout << path << ": OK (" << report.events << " events, "
                 << report.duration_events << " duration events, "
-                << report.tracks << " tracks, " << report.pids
-                << " governors)\n";
+                << report.flow_events << " flow events, " << report.tracks
+                << " tracks, " << report.pids << " governors)\n";
     } else {
       all_ok = false;
       std::cerr << path << ": INVALID (" << report.errors.size()
